@@ -1,0 +1,70 @@
+"""Section IV.A — identifying unwanted disclosure.
+
+The paper's first case study, verbatim: a user who agreed to the
+Medical Service only and is highly sensitive about the Diagnosis
+field. The analysis must (1) classify Administrator and Researcher as
+non-allowed, (2) flag the Administrator's read access to the EHR at
+risk level MEDIUM, and (3) drop to LOW once the access policy is
+tightened.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies import (
+    build_surgery_system,
+    tighten_administrator_policy,
+)
+from repro.core.risk import DisclosureRiskAnalyzer, RiskLevel
+
+
+def test_case_a_before_policy_change(benchmark, surgery_system,
+                                     patient):
+    analyzer = DisclosureRiskAnalyzer(surgery_system)
+    report = benchmark(analyzer.analyse, patient)
+    assert report.non_allowed_actors == ("Administrator", "Researcher")
+    assert report.max_level is RiskLevel.MEDIUM
+    event = report.events[0]
+    assert event.actor == "Administrator"
+    assert event.store == "EHR"
+    assert event.assessment.impact_category is RiskLevel.HIGH
+    assert event.assessment.likelihood_category is RiskLevel.LOW
+    benchmark.extra_info["risk_level"] = report.max_level.value
+    benchmark.extra_info["events"] = len(report.events)
+    print()
+    print("=== IV.A before policy change ===")
+    print(report.summary_table())
+
+
+def test_case_a_after_policy_change(benchmark, patient):
+    def analyse_fixed():
+        system = tighten_administrator_policy(build_surgery_system())
+        return DisclosureRiskAnalyzer(system).analyse(patient)
+
+    report = benchmark(analyse_fixed)
+    assert report.max_level is RiskLevel.LOW     # the paper's verdict
+    assert not report.unacceptable_for(patient)
+    benchmark.extra_info["risk_level"] = report.max_level.value
+    print()
+    print("=== IV.A after policy change ===")
+    print(report.summary_table())
+
+
+def test_case_a_identification_payoff(benchmark, surgery_system,
+                                      patient):
+    """"A developer can determine which actors can identify which data
+    during the course of a service"."""
+    from repro.core import GenerationOptions, ModelGenerator
+    from repro.viz import identification_table
+
+    generator = ModelGenerator(surgery_system)
+    lts = generator.generate(GenerationOptions(
+        services=("MedicalService",),
+        include_potential_reads=True,
+        potential_read_actors=frozenset(
+            patient.non_allowed_actors(surgery_system))))
+    table = benchmark(identification_table, lts)
+    admin_row = [line for line in table.splitlines()
+                 if line.startswith("Administrator")][0]
+    assert "diagnosis" in admin_row
+    print()
+    print(table)

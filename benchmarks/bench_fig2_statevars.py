@@ -1,0 +1,60 @@
+"""Fig. 2 — the state-based model of user privacy.
+
+The paper computes 2 x 5 actors x 6 fields = 60 Boolean state
+variables for the healthcare example (hence 2^60 possible privacy
+states). This bench builds the variable registry, measures bit-vector
+operations at that scale, and renders the per-state variable table of
+Fig. 2.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies import SURGERY_ACTORS, SURGERY_FIELDS
+from repro.core import VarKind, VariableRegistry
+from repro.viz import state_variable_table
+
+
+def test_fig2_registry_size(benchmark):
+    registry = benchmark(VariableRegistry, SURGERY_ACTORS,
+                         SURGERY_FIELDS)
+    assert len(registry) == 60                       # the paper's count
+    benchmark.extra_info["state_variables"] = len(registry)
+    benchmark.extra_info["possible_states"] = "2^60"
+
+
+def test_fig2_vector_operations(benchmark):
+    """Setting/reading all 60 variables through the bit-vector."""
+    registry = VariableRegistry(SURGERY_ACTORS, SURGERY_FIELDS)
+
+    def exercise():
+        vector = registry.empty_vector()
+        for actor in registry.actors:
+            for field in registry.fields:
+                vector = vector.with_true(VarKind.HAS, actor, field)
+        count = sum(
+            vector.has(actor, field)
+            for actor in registry.actors
+            for field in registry.fields
+        )
+        return vector, count
+
+    vector, count = benchmark(exercise)
+    assert count == 30
+    assert vector.count_true() == 30
+
+
+def test_fig2_state_table_render(benchmark):
+    """The table of state variables drawn next to s1 in Fig. 2."""
+    registry = VariableRegistry(SURGERY_ACTORS, SURGERY_FIELDS)
+    vector = (registry.empty_vector()
+              .with_true(VarKind.HAS, "Doctor", "diagnosis")
+              .with_true(VarKind.COULD, "Administrator", "diagnosis"))
+
+    class _FakeState:
+        def __init__(self, vector):
+            self.vector = vector
+
+    table = benchmark(state_variable_table, _FakeState(vector))
+    assert "Doctor" in table and "Administrator" in table
+    print()
+    print(table)

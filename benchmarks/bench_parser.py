@@ -1,0 +1,95 @@
+"""Ablation — model parsing and generation at scale.
+
+The modelling framework must stay interactive on models far larger
+than the case study (the calibration note for this reproduction calls
+out recreating model parsing). This bench synthesises models of
+growing width (services x flows x actors), measures DSL parse time,
+and checks the parse -> serialize -> parse fixpoint at every size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfd import SystemBuilder, parse_dsl, system_to_dict, to_dsl
+
+
+def _synthesise(services: int, flows_per_service: int) -> str:
+    """A model with the given shape, rendered as DSL text."""
+    builder = SystemBuilder(f"synth_{services}x{flows_per_service}")
+    fields = [f"f{i}" for i in range(flows_per_service)]
+    builder.schema("S", fields)
+    for index in range(services):
+        builder.actor(f"Collector{index}")
+        builder.actor(f"Reader{index}")
+    builder.datastore("D", "S")
+    for service_index in range(services):
+        builder.service(f"svc{service_index}")
+        collector = f"Collector{service_index}"
+        for flow_index in range(flows_per_service - 2):
+            builder.flow(flow_index + 1, "User", collector,
+                         [fields[flow_index]],
+                         purpose=f"collect {flow_index}")
+        builder.flow(flows_per_service - 1, collector, "D",
+                     fields[: flows_per_service - 2] or [fields[0]],
+                     purpose="persist")
+        builder.flow(flows_per_service, "D",
+                     f"Reader{service_index}", [fields[0]],
+                     purpose="read back")
+        builder.allow(collector, ["read", "create"], "D")
+        builder.allow(f"Reader{service_index}", "read", "D",
+                      [fields[0]])
+    return to_dsl(builder.build(strict=False))
+
+
+@pytest.mark.parametrize("services,flows", [(5, 6), (20, 10), (50, 12)])
+def test_parse_scales(benchmark, services, flows):
+    text = _synthesise(services, flows)
+    system = benchmark(parse_dsl, text, False)  # validate=False
+    assert len(system.services) == services
+    benchmark.extra_info["dsl_bytes"] = len(text)
+    benchmark.extra_info["flows"] = len(system.all_flows())
+
+
+@pytest.mark.parametrize("services,flows", [(5, 6), (20, 10)])
+def test_parse_serialize_fixpoint(benchmark, services, flows):
+    text = _synthesise(services, flows)
+
+    def round_trip():
+        first = parse_dsl(text, validate=False)
+        second = parse_dsl(to_dsl(first), validate=False)
+        return first, second
+
+    first, second = benchmark(round_trip)
+    assert system_to_dict(first) == system_to_dict(second)
+
+
+def test_validation_scales(benchmark):
+    text = _synthesise(30, 10)
+    from repro.dfd import validate_system
+    system = parse_dsl(text, validate=False)
+    issues = benchmark(validate_system, system, False)  # strict=False
+    from repro.dfd import Severity
+    assert all(i.severity is not Severity.ERROR for i in issues)
+
+
+def test_generation_per_service_on_large_model(benchmark):
+    """Fig. 3-style per-service generation stays cheap no matter how
+    large the surrounding model is (sequence ordering collapses within
+    a service; restricting to one service removes cross-service
+    interleaving, which is how the paper generates its figures)."""
+    from repro.core import GenerationOptions, ModelGenerator
+    system = parse_dsl(_synthesise(50, 12), validate=False)
+    generator = ModelGenerator(system)
+
+    def generate_each():
+        sizes = []
+        for name in list(system.services)[:10]:
+            options = GenerationOptions(services=(name,),
+                                        ordering="sequence")
+            sizes.append(len(generator.generate(options)))
+        return sizes
+
+    sizes = benchmark(generate_each)
+    assert all(size == 13 for size in sizes)  # 12 flows -> 13 states
+    benchmark.extra_info["services_generated"] = len(sizes)

@@ -1,0 +1,89 @@
+"""Ablation — state-space growth and generation cost.
+
+Not a paper table: DESIGN.md calls out the 2^n state-space concern the
+paper raises ("each state would have to carry sixty labelling
+variables; this means there are 2^60 possible privacy states") and the
+mitigation — data-flow models constrain generation to the reachable
+fragment. This bench quantifies that: reachable states grow with the
+number of *independent flows* (interleavings), not with the variable
+count, and the ``sequence`` ordering collapses the growth entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GenerationOptions, generate_lts
+from repro.dfd import SystemBuilder
+
+
+def _parallel_collect_system(width: int):
+    """``width`` independent user->actor collects (worst-case
+    interleaving: 2^width reachable states)."""
+    builder = SystemBuilder(f"par{width}")
+    fields = [f"f{i}" for i in range(width)]
+    builder.schema("S", fields)
+    for index in range(width):
+        builder.actor(f"A{index}")
+    builder.service("svc")
+    for index in range(width):
+        builder.flow(index + 1, "User", f"A{index}", [fields[index]])
+    return builder.build()
+
+
+def _pipeline_system(depth: int):
+    """A depth-long disclose chain (linear state space)."""
+    builder = SystemBuilder(f"chain{depth}")
+    builder.schema("S", ["x"])
+    for index in range(depth):
+        builder.actor(f"A{index}")
+    builder.service("svc")
+    builder.flow(1, "User", "A0", ["x"])
+    for index in range(depth - 1):
+        builder.flow(index + 2, f"A{index}", f"A{index + 1}", ["x"])
+    return builder.build()
+
+
+@pytest.mark.parametrize("width", [4, 8, 12])
+def test_interleaving_growth_dataflow(benchmark, width):
+    system = _parallel_collect_system(width)
+    lts = benchmark(generate_lts, system)
+    assert len(lts) == 2 ** width          # every subset of fired flows
+    benchmark.extra_info["states"] = len(lts)
+    benchmark.extra_info["variables"] = len(lts.registry)
+
+
+@pytest.mark.parametrize("width", [4, 8, 12])
+def test_interleaving_collapse_sequence(benchmark, width):
+    """The same system under strict ordering: linear, not exponential."""
+    system = _parallel_collect_system(width)
+    options = GenerationOptions(ordering="sequence")
+    lts = benchmark(generate_lts, system, options)
+    assert len(lts) == width + 1
+    benchmark.extra_info["states"] = len(lts)
+
+
+@pytest.mark.parametrize("depth", [8, 32, 64])
+def test_chain_depth_is_linear(benchmark, depth):
+    system = _pipeline_system(depth)
+    lts = benchmark(generate_lts, system)
+    assert len(lts) == depth + 1
+    benchmark.extra_info["states"] = len(lts)
+
+
+def test_variables_do_not_drive_cost(benchmark):
+    """60 variables vs 600: same flow structure, same state count —
+    the bit-vector representation absorbs the width."""
+    wide = SystemBuilder("wide")
+    fields = [f"f{i}" for i in range(60)]
+    wide.schema("S", fields)
+    for index in range(5):
+        wide.actor(f"A{index}")
+    wide.service("svc")
+    for index in range(5):
+        wide.flow(index + 1, "User", f"A{index}", fields)
+    system = wide.build()
+
+    lts = benchmark(generate_lts, system)
+    assert len(lts.registry) == 2 * 5 * 60       # 600 variables
+    assert len(lts) == 2 ** 5                    # still 32 states

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper
+(see DESIGN.md's experiment index). Benches both *measure* (via
+pytest-benchmark) and *assert the paper's shape* — who wins, what the
+counts are — so a timing run is also a reproduction run. The artefacts
+themselves (tables, DOT graphs) are attached to ``benchmark.extra_info``
+and printed with ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies import (
+    build_research_system,
+    build_surgery_system,
+    surgery_patient,
+    table1_records,
+)
+from repro.core.risk import ValueRiskPolicy
+
+
+@pytest.fixture
+def surgery_system():
+    return build_surgery_system()
+
+
+@pytest.fixture
+def research_system():
+    return build_research_system()
+
+
+@pytest.fixture
+def patient():
+    return surgery_patient()
+
+
+@pytest.fixture
+def table1():
+    return table1_records()
+
+
+@pytest.fixture
+def weight_policy():
+    return ValueRiskPolicy(sensitive_field="weight", closeness=5.0,
+                           confidence=0.9)

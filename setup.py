@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so the package
+installs editable in environments without the ``wheel`` package (pip's
+legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,147 @@
+"""repro — a model-driven privacy risk analysis framework.
+
+A full reproduction of *"Identifying Privacy Risks in Distributed Data
+Services: A Model-Driven Approach"* (Grace et al., ICDCS 2018):
+
+1. model a data-centric system as purpose-driven **data-flow diagrams**
+   with schemas and access policies (:mod:`repro.dfd`,
+   :mod:`repro.schema`, :mod:`repro.access`);
+2. automatically generate the formal **LTS privacy model** whose states
+   carry has/could state variables per actor-field pair
+   (:mod:`repro.core`);
+3. run **automated risk analyses**: unwanted disclosure
+   (impact x likelihood against a risk matrix) and pseudonymisation
+   value risk (:mod:`repro.core.risk`), backed by a k-anonymisation
+   substrate (:mod:`repro.anonymize`);
+4. keep analysing at **runtime**: execute services over policy-enforced
+   datastores and track the LTS live (:mod:`repro.monitor`,
+   :mod:`repro.datastore`).
+
+Quickstart::
+
+    from repro import SystemBuilder, analyse_disclosure, UserProfile
+
+    system = (SystemBuilder("clinic")
+              .schema("Visit", [("name", "string", "identifier"),
+                                ("issue", "string", "sensitive")])
+              .actor("Doctor").actor("Auditor")
+              .datastore("Records", "Visit")
+              .service("Consult")
+              .flow(1, "User", "Doctor", ["name", "issue"])
+              .flow(2, "Doctor", "Records", ["name", "issue"])
+              .allow("Doctor", ["read", "create"], "Records")
+              .allow("Auditor", "read", "Records")
+              .build())
+    user = UserProfile("u", agreed_services=["Consult"],
+                       sensitivities={"issue": "high"})
+    report = analyse_disclosure(system, user)
+    print(report.summary_table())
+"""
+
+from .access import (
+    AccessControlList,
+    AccessPolicy,
+    AclEntry,
+    Permission,
+    RbacPolicy,
+    Role,
+)
+from .consent import Questionnaire, UserProfile, simulate_users
+from .core import (
+    ActionType,
+    GenerationOptions,
+    LTS,
+    ModelGenerator,
+    PrivacyVector,
+    TransitionKind,
+    TransitionLabel,
+    VarKind,
+    VariableRegistry,
+    generate_lts,
+)
+from .core.risk import (
+    DisclosureRiskAnalyzer,
+    LikelihoodModel,
+    PseudonymisationRiskAnalyzer,
+    RiskLevel,
+    RiskMatrix,
+    SensitivityProfile,
+    ValueRiskPolicy,
+    analyse_disclosure,
+    render_risk_table,
+    risk_sweep,
+    value_risk,
+)
+from .datastore import Query, Record, RuntimeDatastore
+from .dfd import (
+    Actor,
+    Datastore,
+    Flow,
+    Service,
+    SystemBuilder,
+    SystemModel,
+    USER,
+    dfd_to_dot,
+    parse_dsl,
+    parse_file,
+    system_from_dict,
+    system_to_dict,
+    to_dsl,
+    to_json,
+)
+from .errors import (
+    AccessDenied,
+    AnalysisError,
+    AnonymizationError,
+    GenerationError,
+    ModelError,
+    MonitorError,
+    ParseError,
+    PolicyViolationError,
+    ReproError,
+    SchemaError,
+    StateLimitExceeded,
+    ValidationError,
+)
+from .monitor import PrivacyMonitor, ServiceRuntime
+from .policy import PrivacyPolicy, check_compliance, forbid, permit
+from .schema import DataSchema, Field, FieldKind, FieldType
+from .viz import lts_to_dot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # access
+    "AccessControlList", "AccessPolicy", "AclEntry", "Permission",
+    "RbacPolicy", "Role",
+    # consent
+    "Questionnaire", "UserProfile", "simulate_users",
+    # core
+    "ActionType", "GenerationOptions", "LTS", "ModelGenerator",
+    "PrivacyVector", "TransitionKind", "TransitionLabel", "VarKind",
+    "VariableRegistry", "generate_lts",
+    # risk
+    "DisclosureRiskAnalyzer", "LikelihoodModel",
+    "PseudonymisationRiskAnalyzer", "RiskLevel", "RiskMatrix",
+    "SensitivityProfile", "ValueRiskPolicy", "analyse_disclosure",
+    "render_risk_table", "risk_sweep", "value_risk",
+    # datastore
+    "Query", "Record", "RuntimeDatastore",
+    # dfd
+    "Actor", "Datastore", "Flow", "Service", "SystemBuilder",
+    "SystemModel", "USER", "dfd_to_dot", "parse_dsl", "parse_file",
+    "system_from_dict", "system_to_dict", "to_dsl", "to_json",
+    # errors
+    "AccessDenied", "AnalysisError", "AnonymizationError",
+    "GenerationError", "ModelError", "MonitorError", "ParseError",
+    "PolicyViolationError", "ReproError", "SchemaError",
+    "StateLimitExceeded", "ValidationError",
+    # monitor
+    "PrivacyMonitor", "ServiceRuntime",
+    # policy
+    "PrivacyPolicy", "check_compliance", "forbid", "permit",
+    # schema
+    "DataSchema", "Field", "FieldKind", "FieldType",
+    # viz
+    "lts_to_dot",
+]

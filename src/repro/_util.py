@@ -1,0 +1,73 @@
+"""Small shared helpers used across the repro packages.
+
+Kept deliberately tiny: anything with domain meaning lives in its own
+package; this module only holds generic formatting and collection
+utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def unique_ordered(items: Iterable) -> list:
+    """Return ``items`` with duplicates removed, preserving first-seen order."""
+    seen = set()
+    result = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            result.append(item)
+    return result
+
+
+def freeze_fields(fields: Iterable[str]) -> tuple:
+    """Normalise a field collection to a deduplicated, ordered tuple."""
+    return tuple(unique_ordered(fields))
+
+
+def fmt_fraction(numerator: int, denominator: int) -> str:
+    """Render a risk fraction the way the paper's Table I does (e.g. ``2/4``)."""
+    return f"{numerator}/{denominator}"
+
+
+def fmt_fields(fields: Sequence[str]) -> str:
+    """Render a field set for transition labels: ``{name, dob}``."""
+    return "{" + ", ".join(fields) + "}"
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                footer=None) -> str:
+    """Render a list of rows as a fixed-width ASCII table.
+
+    ``footer`` is an optional extra row (e.g. the "Violations" line in
+    Table I) separated from the body by a rule.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    all_rows = [list(headers)] + str_rows
+    if footer is not None:
+        all_rows.append([str(cell) for cell in footer])
+    widths = [
+        max(len(row[col]) for row in all_rows)
+        for col in range(len(headers))
+    ]
+
+    def render(row):
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    rule = "-+-".join("-" * width for width in widths)
+    lines = [render(list(headers)), rule]
+    lines.extend(render(row) for row in str_rows)
+    if footer is not None:
+        lines.append(rule)
+        lines.append(render([str(cell) for cell in footer]))
+    return "\n".join(lines)
+
+
+def check_mapping_keys(mapping: Mapping, allowed: Iterable[str],
+                       context: str) -> None:
+    """Raise ``ValueError`` if ``mapping`` has keys outside ``allowed``."""
+    extra = set(mapping) - set(allowed)
+    if extra:
+        names = ", ".join(sorted(extra))
+        raise ValueError(f"unexpected keys in {context}: {names}")

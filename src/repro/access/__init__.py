@@ -1,0 +1,15 @@
+"""Access control substrate: ACLs, RBAC and the combined policy (paper II.A)."""
+
+from .acl import ALL_FIELDS, AccessControlList, AclEntry, Permission
+from .policy import AccessPolicy
+from .rbac import RbacPolicy, Role
+
+__all__ = [
+    "ALL_FIELDS",
+    "AccessControlList",
+    "AclEntry",
+    "Permission",
+    "AccessPolicy",
+    "RbacPolicy",
+    "Role",
+]

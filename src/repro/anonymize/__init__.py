@@ -1,0 +1,113 @@
+"""Pseudonymisation substrate: hierarchies, k-anonymity, l-diversity,
+suppression, utility and re-identification metrics (paper III.B, refs
+[5], [6], [10])."""
+
+from .generalize import (
+    CategoricalHierarchy,
+    Generalizer,
+    HierarchySet,
+    Interval,
+    NumericHierarchy,
+    SUPPRESSED,
+    SuppressionOnly,
+)
+from .kanonymity import (
+    AnonymizationResult,
+    GlobalRecodingAnonymizer,
+    check_k_anonymity,
+    equivalence_classes,
+    is_k_anonymous,
+)
+from .ldiversity import (
+    DiversityReport,
+    check_l_diversity,
+    diversity_by_class,
+    is_l_diverse,
+)
+from .metrics import PrivacyMetrics, privacy_metrics
+from .mondrian import MondrianAnonymizer
+from .pseudonymizer import PseudonymizationRun, Pseudonymizer
+from .recommend import (
+    Candidate,
+    DEFAULT_CANDIDATES,
+    Evaluation,
+    evaluate_candidates,
+    recommend,
+)
+from .reidentification import (
+    ReidentificationReport,
+    full_report,
+    journalist_risk,
+    marketer_risk,
+    prosecutor_risk,
+)
+from .suppression import (
+    suppress_cells,
+    suppress_small_classes,
+    suppression_cost,
+)
+from .tcloseness import (
+    ClosenessReport,
+    check_t_closeness,
+    is_t_close,
+    ordered_emd,
+    total_variation,
+)
+from .utility import (
+    FieldUtility,
+    acceptable_utility,
+    average_class_size,
+    discernibility,
+    field_utility,
+    generalization_precision,
+    utility_report,
+)
+
+__all__ = [
+    "CategoricalHierarchy",
+    "Generalizer",
+    "HierarchySet",
+    "Interval",
+    "NumericHierarchy",
+    "SUPPRESSED",
+    "SuppressionOnly",
+    "AnonymizationResult",
+    "GlobalRecodingAnonymizer",
+    "check_k_anonymity",
+    "equivalence_classes",
+    "is_k_anonymous",
+    "DiversityReport",
+    "check_l_diversity",
+    "diversity_by_class",
+    "is_l_diverse",
+    "PrivacyMetrics",
+    "privacy_metrics",
+    "MondrianAnonymizer",
+    "PseudonymizationRun",
+    "Pseudonymizer",
+    "Candidate",
+    "DEFAULT_CANDIDATES",
+    "Evaluation",
+    "evaluate_candidates",
+    "recommend",
+    "ReidentificationReport",
+    "full_report",
+    "journalist_risk",
+    "marketer_risk",
+    "prosecutor_risk",
+    "suppress_cells",
+    "suppress_small_classes",
+    "suppression_cost",
+    "ClosenessReport",
+    "check_t_closeness",
+    "is_t_close",
+    "ordered_emd",
+    "total_variation",
+    "FieldUtility",
+    "acceptable_utility",
+    "average_class_size",
+    "discernibility",
+    "field_utility",
+    "generalization_precision",
+    "utility_report",
+]

@@ -1,0 +1,254 @@
+"""Generalization hierarchies for pseudonymisation.
+
+Generalization replaces a precise value by a coarser one: a number by
+an interval (age 34 -> 30-40), a category by an ancestor (flu ->
+respiratory illness), any value by full suppression (``*``). Each
+field gets a hierarchy with numbered levels: level 0 is the raw value
+and the top level carries no information. The k-anonymizers search
+over these levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from ..errors import AnonymizationError
+
+SUPPRESSED = "*"
+"""The fully-suppressed value at the top of every hierarchy."""
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open numeric interval ``[low, high)``.
+
+    Rendered the way the paper's Table I prints bins: ``30-40``.
+    Integer bounds print without trailing ``.0``.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if self.low >= self.high:
+            raise ValueError(
+                f"interval bounds must satisfy low < high, got "
+                f"[{self.low}, {self.high})"
+            )
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value < self.high
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    @staticmethod
+    def _fmt(bound: float) -> str:
+        if float(bound).is_integer():
+            return str(int(bound))
+        return str(bound)
+
+    def __str__(self) -> str:
+        return f"{self._fmt(self.low)}-{self._fmt(self.high)}"
+
+
+class Generalizer:
+    """Interface: a per-field hierarchy of generalization levels."""
+
+    field: str
+
+    @property
+    def max_level(self) -> int:
+        raise NotImplementedError
+
+    def generalize(self, value: Any, level: int) -> Any:
+        """Return ``value`` generalised to ``level`` (0 = raw)."""
+        raise NotImplementedError
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self.max_level:
+            raise AnonymizationError(
+                f"level {level} out of range 0..{self.max_level} for "
+                f"field {self.field!r}"
+            )
+
+
+class NumericHierarchy(Generalizer):
+    """Fixed-width binning with growing widths per level.
+
+    ``widths[i]`` is the bin width at level ``i + 1``; level 0 is the
+    raw value and level ``len(widths) + 1`` is full suppression. Widths
+    must grow and each width must divide the next so that coarser bins
+    nest inside finer ones (a requirement for meaningful recoding).
+
+    >>> age = NumericHierarchy("age", widths=[10, 20], origin=0)
+    >>> str(age.generalize(34, 1))
+    '30-40'
+    >>> age.generalize(34, 3)
+    '*'
+    """
+
+    def __init__(self, field: str, widths: Sequence[float],
+                 origin: float = 0.0):
+        if not widths:
+            raise AnonymizationError(
+                f"numeric hierarchy for {field!r} needs at least one width"
+            )
+        previous = None
+        for width in widths:
+            if width <= 0:
+                raise AnonymizationError(
+                    f"bin widths must be positive, got {width!r}"
+                )
+            if previous is not None:
+                if width < previous:
+                    raise AnonymizationError(
+                        f"bin widths must be non-decreasing "
+                        f"({previous!r} then {width!r})"
+                    )
+                if width % previous != 0:
+                    raise AnonymizationError(
+                        f"each width must be a multiple of the previous "
+                        f"({width!r} vs {previous!r}) so bins nest"
+                    )
+            previous = width
+        self.field = field
+        self._widths = tuple(float(w) for w in widths)
+        self._origin = float(origin)
+
+    @property
+    def max_level(self) -> int:
+        return len(self._widths) + 1
+
+    def generalize(self, value: Any, level: int):
+        self._check_level(level)
+        if level == 0:
+            return value
+        if level == self.max_level:
+            return SUPPRESSED
+        width = self._widths[level - 1]
+        offset = (float(value) - self._origin) // width
+        low = self._origin + offset * width
+        return Interval(low, low + width)
+
+
+class CategoricalHierarchy(Generalizer):
+    """Tree-shaped generalization given as value -> ancestor chains.
+
+    ``chains`` maps each leaf value to its ancestors ordered from the
+    most specific generalization to the most general; the implicit top
+    is :data:`SUPPRESSED`. All chains must have equal length so levels
+    line up across values.
+
+    >>> diag = CategoricalHierarchy("diagnosis", {
+    ...     "flu": ["respiratory", "illness"],
+    ...     "asthma": ["respiratory", "illness"],
+    ...     "eczema": ["dermal", "illness"],
+    ... })
+    >>> diag.generalize("flu", 1)
+    'respiratory'
+    >>> diag.generalize("flu", 3)
+    '*'
+    """
+
+    def __init__(self, field: str, chains: Mapping[Any, Sequence[str]]):
+        if not chains:
+            raise AnonymizationError(
+                f"categorical hierarchy for {field!r} has no values"
+            )
+        lengths = {len(chain) for chain in chains.values()}
+        if len(lengths) != 1:
+            raise AnonymizationError(
+                f"all ancestor chains for {field!r} must have equal "
+                f"length, got lengths {sorted(lengths)}"
+            )
+        self.field = field
+        self._chains: Dict[Any, Tuple[str, ...]] = {
+            value: tuple(chain) for value, chain in chains.items()
+        }
+        self._depth = lengths.pop()
+
+    @property
+    def max_level(self) -> int:
+        return self._depth + 1
+
+    def generalize(self, value: Any, level: int):
+        self._check_level(level)
+        if level == 0:
+            return value
+        if level == self.max_level:
+            return SUPPRESSED
+        chain = self._chains.get(value)
+        if chain is None:
+            raise AnonymizationError(
+                f"value {value!r} is not in the hierarchy for "
+                f"{self.field!r}"
+            )
+        return chain[level - 1]
+
+
+class SuppressionOnly(Generalizer):
+    """Two-level hierarchy: raw or fully suppressed.
+
+    The fallback for fields without a better hierarchy (e.g. free-text
+    identifiers, which should always be suppressed in releases).
+    """
+
+    def __init__(self, field: str):
+        self.field = field
+
+    @property
+    def max_level(self) -> int:
+        return 1
+
+    def generalize(self, value: Any, level: int):
+        self._check_level(level)
+        return value if level == 0 else SUPPRESSED
+
+
+class HierarchySet:
+    """The hierarchies for a record set's quasi-identifier fields."""
+
+    def __init__(self, generalizers: Sequence[Generalizer]):
+        self._by_field: Dict[str, Generalizer] = {}
+        for generalizer in generalizers:
+            if generalizer.field in self._by_field:
+                raise AnonymizationError(
+                    f"duplicate hierarchy for field {generalizer.field!r}"
+                )
+            self._by_field[generalizer.field] = generalizer
+
+    def for_field(self, field: str) -> Generalizer:
+        try:
+            return self._by_field[field]
+        except KeyError:
+            known = ", ".join(self._by_field) or "<none>"
+            raise AnonymizationError(
+                f"no hierarchy for field {field!r} (have: {known})"
+            ) from None
+
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        return tuple(self._by_field)
+
+    def max_levels(self) -> Dict[str, int]:
+        return {f: g.max_level for f, g in self._by_field.items()}
+
+    def generalize_record(self, record, levels: Mapping[str, int]):
+        """Apply per-field levels to a record's quasi-identifiers."""
+        updates = {}
+        for field, generalizer in self._by_field.items():
+            if field not in record:
+                continue
+            level = levels.get(field, 0)
+            updates[field] = generalizer.generalize(record[field], level)
+        return record.with_values(**updates)
+
+    def __len__(self) -> int:
+        return len(self._by_field)

@@ -1,0 +1,106 @@
+"""l-diversity checks (Machanavajjhala et al. [6]).
+
+k-anonymity bounds *re-identification* but not *attribute disclosure*:
+an equivalence class whose sensitive values are all (nearly) equal
+still leaks the value — precisely the residual "value risk" the paper
+models in section III.B. l-diversity requires each class to contain at
+least ``l`` "well-represented" sensitive values. We implement:
+
+- **distinct l-diversity**: >= l distinct sensitive values per class;
+- **entropy l-diversity**: entropy(class) >= log(l).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..datastore import Record
+from .kanonymity import equivalence_classes
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    """Per-class diversity measurements for one sensitive field."""
+
+    sensitive_field: str
+    quasi_identifiers: Tuple[str, ...]
+    distinct_l: int
+    entropy_l: float
+    class_details: Tuple[Tuple[Tuple, int, float], ...]
+    """(class key, distinct count, entropy-l) per equivalence class."""
+
+    def satisfies_distinct(self, l_value: int) -> bool:
+        return self.distinct_l >= l_value
+
+    def satisfies_entropy(self, l_value: float) -> bool:
+        return self.entropy_l >= l_value
+
+
+def _class_entropy(values: List) -> float:
+    counts = Counter(values)
+    total = len(values)
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log(p)
+    return entropy
+
+
+def check_l_diversity(records: Sequence[Record],
+                      quasi_identifiers: Sequence[str],
+                      sensitive_field: str) -> DiversityReport:
+    """Measure the diversity actually achieved by a release.
+
+    ``distinct_l`` is the minimum number of distinct sensitive values
+    in any class; ``entropy_l`` is ``exp(min class entropy)`` — the
+    largest ``l`` for which the release is entropy l-diverse.
+    """
+    if not records:
+        return DiversityReport(sensitive_field, tuple(quasi_identifiers),
+                               0, 0.0, ())
+    classes = equivalence_classes(records, quasi_identifiers)
+    details = []
+    for key, members in classes.items():
+        values = [m[sensitive_field] for m in members
+                  if sensitive_field in m]
+        if not values:
+            details.append((key, 0, 0.0))
+            continue
+        distinct = len(set(values))
+        entropy_equivalent = math.exp(_class_entropy(values))
+        details.append((key, distinct, entropy_equivalent))
+    distinct_l = min(d for _, d, _ in details)
+    entropy_l = min(e for _, _, e in details)
+    return DiversityReport(
+        sensitive_field=sensitive_field,
+        quasi_identifiers=tuple(quasi_identifiers),
+        distinct_l=distinct_l,
+        entropy_l=entropy_l,
+        class_details=tuple(details),
+    )
+
+
+def is_l_diverse(records: Sequence[Record],
+                 quasi_identifiers: Sequence[str],
+                 sensitive_field: str, l_value: int,
+                 entropy: bool = False) -> bool:
+    """Whether the release is (distinct or entropy) l-diverse."""
+    if l_value < 1:
+        raise ValueError(f"l must be >= 1, got {l_value}")
+    if not records:
+        return True
+    report = check_l_diversity(records, quasi_identifiers, sensitive_field)
+    if entropy:
+        return report.satisfies_entropy(float(l_value))
+    return report.satisfies_distinct(l_value)
+
+
+def diversity_by_class(records: Sequence[Record],
+                       quasi_identifiers: Sequence[str],
+                       sensitive_field: str) -> Dict[Tuple, int]:
+    """Class key -> distinct sensitive value count (convenience view)."""
+    report = check_l_diversity(records, quasi_identifiers, sensitive_field)
+    return {key: distinct for key, distinct, _ in report.class_details}

@@ -1,0 +1,94 @@
+"""One-stop privacy metrics for a pseudonymised release.
+
+Section III.B positions the paper's value risk against the metric
+ladder: k-anonymity prevents re-identification [5], l-diversity closes
+the homogeneity gap [6], and the analyzer "model[s] these properties".
+This module computes the whole ladder — k, distinct/entropy l, t,
+and the attacker-model risks — in one call, so examples, reports and
+design gates can quote a release's full privacy posture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .._util import ascii_table
+from ..datastore import Record
+from .kanonymity import check_k_anonymity, equivalence_classes
+from .ldiversity import check_l_diversity
+from .reidentification import marketer_risk, prosecutor_risk
+from .tcloseness import check_t_closeness
+
+
+@dataclass(frozen=True)
+class PrivacyMetrics:
+    """The measured privacy posture of one release."""
+
+    records: int
+    classes: int
+    quasi_identifiers: Tuple[str, ...]
+    sensitive_field: str
+    k: int
+    distinct_l: int
+    entropy_l: float
+    t: float
+    prosecutor_max: float
+    marketer: float
+
+    def summary_table(self) -> str:
+        rows = [
+            ("records", self.records),
+            ("equivalence classes", self.classes),
+            ("k-anonymity (k)", self.k),
+            ("distinct l-diversity (l)", self.distinct_l),
+            ("entropy l-diversity", f"{self.entropy_l:.2f}"),
+            ("t-closeness (t)", f"{self.t:.3f}"),
+            ("prosecutor risk (max)", f"{self.prosecutor_max:.3f}"),
+            ("marketer risk", f"{self.marketer:.3f}"),
+        ]
+        return ascii_table(("metric", "value"), rows)
+
+    def satisfies(self, k: Optional[int] = None,
+                  l_distinct: Optional[int] = None,
+                  t: Optional[float] = None) -> bool:
+        """Check the release against requested thresholds at once."""
+        if k is not None and self.k < k:
+            return False
+        if l_distinct is not None and self.distinct_l < l_distinct:
+            return False
+        if t is not None and self.t > t:
+            return False
+        return True
+
+
+def privacy_metrics(records: Sequence[Record],
+                    quasi_identifiers: Sequence[str],
+                    sensitive_field: str) -> PrivacyMetrics:
+    """Measure k, l, t and attacker risks for a release."""
+    quasi_identifiers = tuple(quasi_identifiers)
+    if not records:
+        return PrivacyMetrics(
+            records=0, classes=0,
+            quasi_identifiers=quasi_identifiers,
+            sensitive_field=sensitive_field,
+            k=0, distinct_l=0, entropy_l=0.0, t=0.0,
+            prosecutor_max=0.0, marketer=0.0,
+        )
+    diversity = check_l_diversity(records, quasi_identifiers,
+                                  sensitive_field)
+    closeness = check_t_closeness(records, quasi_identifiers,
+                                  sensitive_field)
+    return PrivacyMetrics(
+        records=len(records),
+        classes=len(equivalence_classes(records, quasi_identifiers)),
+        quasi_identifiers=quasi_identifiers,
+        sensitive_field=sensitive_field,
+        k=check_k_anonymity(records, quasi_identifiers),
+        distinct_l=diversity.distinct_l,
+        entropy_l=diversity.entropy_l,
+        t=closeness.t_value,
+        prosecutor_max=prosecutor_risk(
+            records, quasi_identifiers).highest_risk,
+        marketer=marketer_risk(records, quasi_identifiers),
+    )

@@ -1,0 +1,151 @@
+"""Mondrian: greedy multidimensional k-anonymisation.
+
+Mondrian (LeFevre et al.) recursively partitions the record set on the
+quasi-identifier with the widest normalized range, splitting at the
+median, until no partition can be split without dropping below ``k``.
+Each final partition's quasi-identifier values are recoded to the
+partition's bounding :class:`~repro.anonymize.generalize.Interval`
+(numeric) or value set (categorical).
+
+Compared to global recoding this usually yields far less information
+loss — the trade-off our ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..datastore import Record
+from ..errors import AnonymizationError
+from .generalize import Interval
+from .kanonymity import AnonymizationResult, check_k_anonymity
+
+
+def _is_numeric(records: Sequence[Record], field: str) -> bool:
+    return all(isinstance(r[field], (int, float)) for r in records)
+
+
+class MondrianAnonymizer:
+    """Strict top-down greedy Mondrian over the given quasi-identifiers."""
+
+    def __init__(self, quasi_identifiers: Sequence[str]):
+        if not quasi_identifiers:
+            raise AnonymizationError(
+                "Mondrian needs at least one quasi-identifier"
+            )
+        self._qids = tuple(quasi_identifiers)
+
+    def anonymize(self, records: Sequence[Record],
+                  k: int) -> AnonymizationResult:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not records:
+            return AnonymizationResult((), None, (), k, 0, self._qids)
+        if k > len(records):
+            raise AnonymizationError(
+                f"cannot {k}-anonymise {len(records)} records: k exceeds "
+                "the record count"
+            )
+        missing = [
+            f for f in self._qids
+            if any(f not in r for r in records)
+        ]
+        if missing:
+            raise AnonymizationError(
+                f"records are missing quasi-identifier fields: {missing}"
+            )
+        numeric = {f: _is_numeric(records, f) for f in self._qids}
+        partitions = self._partition(list(records), k, numeric)
+        released: List[Record] = []
+        for partition in partitions:
+            released.extend(self._recode(partition, numeric))
+        achieved = check_k_anonymity(released, self._qids)
+        return AnonymizationResult(
+            records=tuple(released),
+            levels=None,
+            suppressed=(),
+            k_requested=k,
+            k_achieved=achieved,
+            quasi_identifiers=self._qids,
+        )
+
+    # -- partitioning -------------------------------------------------------
+
+    def _partition(self, records: List[Record], k: int,
+                   numeric: Dict[str, bool]) -> List[List[Record]]:
+        spans = self._normalizing_spans(records, numeric)
+        stack = [records]
+        finished: List[List[Record]] = []
+        while stack:
+            current = stack.pop()
+            split = self._best_split(current, k, numeric, spans)
+            if split is None:
+                finished.append(current)
+            else:
+                stack.extend(split)
+        return finished
+
+    def _normalizing_spans(self, records: List[Record],
+                           numeric: Dict[str, bool]) -> Dict[str, float]:
+        """Global value spans used to compare ranges across fields."""
+        spans: Dict[str, float] = {}
+        for field in self._qids:
+            if numeric[field]:
+                values = [r[field] for r in records]
+                spans[field] = float(max(values) - min(values)) or 1.0
+            else:
+                spans[field] = float(
+                    len({r[field] for r in records})) or 1.0
+        return spans
+
+    def _best_split(self, records: List[Record], k: int,
+                    numeric: Dict[str, bool],
+                    spans: Dict[str, float]):
+        """Try fields widest-normalized-range first; return the first
+        allowable median split, or ``None`` when the partition is
+        unsplittable."""
+        if len(records) < 2 * k:
+            return None
+
+        def normalized_range(field: str) -> float:
+            if numeric[field]:
+                values = [r[field] for r in records]
+                return (max(values) - min(values)) / spans[field]
+            return len({r[field] for r in records}) / spans[field]
+
+        for field in sorted(self._qids, key=normalized_range,
+                            reverse=True):
+            ordered = sorted(records, key=lambda r: r[field])
+            median_index = len(ordered) // 2
+            split_value = ordered[median_index][field]
+            left = [r for r in ordered if r[field] < split_value]
+            right = [r for r in ordered if r[field] >= split_value]
+            if len(left) >= k and len(right) >= k:
+                return [left, right]
+        return None
+
+    # -- recoding -----------------------------------------------------------------
+
+    def _recode(self, partition: List[Record],
+                numeric: Dict[str, bool]) -> List[Record]:
+        updates = {}
+        for field in self._qids:
+            values = [r[field] for r in partition]
+            if numeric[field]:
+                low, high = min(values), max(values)
+                if low == high:
+                    updates[field] = low
+                else:
+                    # Half-open interval: nudge the top so max is inside.
+                    updates[field] = Interval(float(low), float(high) +
+                                              (1.0 if all(
+                                                  float(v).is_integer()
+                                                  for v in values)
+                                               else 1e-9))
+            else:
+                distinct: Set = set(values)
+                updates[field] = (
+                    values[0] if len(distinct) == 1
+                    else "{" + ",".join(sorted(map(str, distinct))) + "}"
+                )
+        return [r.with_values(**updates) for r in partition]

@@ -1,0 +1,162 @@
+"""Recommending a pseudonymisation configuration.
+
+Section III.B closes the loop manually: compute risk scores, "choose
+pseudonymisation techniques or find out if a technique provides
+acceptable risk versus data utility", and if not, "the technique used
+would clearly be not appropriate" — pick another. This module automates
+that loop: sweep candidate configurations (method x k), score each
+release against the value-risk policy and the utility thresholds, and
+return the first acceptable one (or the full scored sweep for a human
+decision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.risk.valuerisk import ValueRiskPolicy, value_risk
+from ..datastore import Record
+from ..errors import AnonymizationError
+from .generalize import HierarchySet
+from .kanonymity import AnonymizationResult, GlobalRecodingAnonymizer
+from .mondrian import MondrianAnonymizer
+from .utility import acceptable_utility, utility_report
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One configuration to try."""
+
+    method: str  # 'recoding' | 'mondrian'
+    k: int
+
+    def describe(self) -> str:
+        return f"{self.method} k={self.k}"
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One candidate's scores against policy and utility."""
+
+    candidate: Candidate
+    result: AnonymizationResult
+    violation_fraction: float
+    max_risk: float
+    utility_ok: bool
+    utility_reasons: Tuple[str, ...]
+
+    def acceptable(self, policy: ValueRiskPolicy) -> bool:
+        threshold = policy.max_violation_fraction
+        risk_ok = True if threshold is None else \
+            self.violation_fraction <= threshold
+        return risk_ok and self.utility_ok
+
+    def describe(self) -> str:
+        return (
+            f"{self.candidate.describe()}: violations "
+            f"{self.violation_fraction:.0%}, max risk "
+            f"{self.max_risk:.2f}, utility "
+            f"{'ok' if self.utility_ok else 'POOR'}"
+        )
+
+
+DEFAULT_CANDIDATES: Tuple[Candidate, ...] = tuple(
+    Candidate(method, k)
+    for k in (2, 3, 5, 10)
+    for method in ("mondrian", "recoding")
+)
+
+
+def evaluate_candidates(records: Sequence[Record],
+                        quasi_identifiers: Sequence[str],
+                        policy: ValueRiskPolicy,
+                        hierarchies: Optional[HierarchySet] = None,
+                        candidates: Sequence[Candidate] =
+                        DEFAULT_CANDIDATES,
+                        numeric_fields: Optional[Sequence[str]] = None,
+                        max_relative_mean_error: float = 0.10,
+                        min_coverage: float = 0.5
+                        ) -> List[Evaluation]:
+    """Score every candidate; skips those that cannot run (e.g. k >
+    record count, recoding without hierarchies)."""
+    quasi_identifiers = tuple(quasi_identifiers)
+    numeric = tuple(numeric_fields) if numeric_fields is not None else \
+        tuple(quasi_identifiers) + (policy.sensitive_field,)
+    evaluations: List[Evaluation] = []
+    for candidate in candidates:
+        result = _run_candidate(records, quasi_identifiers, hierarchies,
+                                candidate)
+        if result is None:
+            continue
+        # Value risk on the worst case: every quasi-identifier read.
+        risk = value_risk(result.records, quasi_identifiers, policy)
+        numeric_in_release = [
+            f for f in numeric
+            if any(isinstance(r.get(f), (int, float))
+                   for r in records)
+        ]
+        report = utility_report(records, result.records,
+                                numeric_in_release)
+        utility_ok, reasons = acceptable_utility(
+            report, max_relative_mean_error, min_coverage)
+        evaluations.append(Evaluation(
+            candidate=candidate,
+            result=result,
+            violation_fraction=risk.violation_fraction,
+            max_risk=risk.max_risk,
+            utility_ok=utility_ok,
+            utility_reasons=tuple(reasons),
+        ))
+    return evaluations
+
+
+def _run_candidate(records, quasi_identifiers, hierarchies,
+                   candidate: Candidate
+                   ) -> Optional[AnonymizationResult]:
+    if candidate.k > len(records):
+        return None
+    try:
+        if candidate.method == "mondrian":
+            return MondrianAnonymizer(quasi_identifiers).anonymize(
+                list(records), candidate.k)
+        if candidate.method == "recoding":
+            if hierarchies is None:
+                return None
+            return GlobalRecodingAnonymizer(
+                hierarchies, max_suppression=0.05).anonymize(
+                    list(records), candidate.k)
+    except AnonymizationError:
+        return None
+    raise ValueError(f"unknown method {candidate.method!r}")
+
+
+def recommend(records: Sequence[Record],
+              quasi_identifiers: Sequence[str],
+              policy: ValueRiskPolicy,
+              hierarchies: Optional[HierarchySet] = None,
+              candidates: Sequence[Candidate] = DEFAULT_CANDIDATES,
+              **utility_kwargs) -> Evaluation:
+    """The first acceptable configuration, preferring small k (most
+    utility) and Mondrian at equal k.
+
+    Raises :class:`AnonymizationError` when nothing passes — the
+    paper's "the technique used would clearly be not appropriate",
+    with the scored sweep attached for diagnosis.
+    """
+    if policy.max_violation_fraction is None:
+        raise AnonymizationError(
+            "recommend() needs a policy with max_violation_fraction "
+            "set; otherwise every configuration is trivially acceptable"
+        )
+    evaluations = evaluate_candidates(
+        records, quasi_identifiers, policy, hierarchies, candidates,
+        **utility_kwargs)
+    for evaluation in evaluations:
+        if evaluation.acceptable(policy):
+            return evaluation
+    tried = "; ".join(e.describe() for e in evaluations) or "<none ran>"
+    raise AnonymizationError(
+        "no candidate pseudonymisation satisfies the policy within "
+        f"acceptable utility — tried: {tried}"
+    )

@@ -1,0 +1,61 @@
+"""Record suppression: the bluntest pseudonymisation instrument.
+
+Suppression removes whole records (or single cells) from a release.
+It is used two ways here: as the top level of every generalization
+hierarchy, and as a post-processing step that drops under-populated
+equivalence classes to restore k-anonymity (the "data removal" whose
+utility cost section III.B tells designers to test for).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..datastore import Record
+from .generalize import SUPPRESSED
+from .kanonymity import equivalence_classes
+
+
+def suppress_small_classes(records: Sequence[Record],
+                           quasi_identifiers: Sequence[str],
+                           k: int) -> Tuple[Tuple[Record, ...],
+                                            Tuple[Record, ...]]:
+    """Split records into (kept, suppressed): classes smaller than
+    ``k`` are suppressed entirely."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    kept: List[Record] = []
+    suppressed: List[Record] = []
+    for members in equivalence_classes(records, quasi_identifiers).values():
+        if len(members) >= k:
+            kept.extend(members)
+        else:
+            suppressed.extend(members)
+    return tuple(kept), tuple(suppressed)
+
+
+def suppress_cells(records: Sequence[Record],
+                   fields: Sequence[str]) -> Tuple[Record, ...]:
+    """Replace the named fields' values with ``*`` in every record.
+
+    Unlike :meth:`Record.mask` the fields remain present — a release
+    schema usually keeps its columns and blanks the values.
+    """
+    updates = {field: SUPPRESSED for field in fields}
+    return tuple(
+        record.with_values(**{
+            field: SUPPRESSED for field in fields if field in record
+        }) if any(field in record for field in updates) else record
+        for record in records
+    )
+
+
+def suppression_cost(original_count: int, released_count: int) -> float:
+    """Fraction of records lost to suppression."""
+    if original_count <= 0:
+        return 0.0
+    if released_count > original_count:
+        raise ValueError(
+            "released record count exceeds the original count"
+        )
+    return (original_count - released_count) / original_count

@@ -1,0 +1,55 @@
+"""The paper's case studies as ready-made fixtures (section IV)."""
+
+from .datasets import (
+    TABLE1_CLOSENESS_KG,
+    TABLE1_CONFIDENCE,
+    TABLE1_QUASI_IDENTIFIERS,
+    TABLE1_SENSITIVE,
+    raw_physical_records,
+    synthetic_ehr_rows,
+    synthetic_physical_records,
+    table1_hierarchies,
+    table1_records,
+)
+from .loyalty import (
+    ANALYTICS_SERVICE,
+    CHECKOUT_SERVICE,
+    OFFERS_SERVICE,
+    build_loyalty_system,
+    loyalty_member,
+)
+from .healthcare import (
+    MEDICAL_SERVICE,
+    RESEARCH_SERVICE,
+    SURGERY_ACTORS,
+    SURGERY_FIELDS,
+    build_research_system,
+    build_surgery_system,
+    surgery_patient,
+    tighten_administrator_policy,
+)
+
+__all__ = [
+    "TABLE1_CLOSENESS_KG",
+    "TABLE1_CONFIDENCE",
+    "TABLE1_QUASI_IDENTIFIERS",
+    "TABLE1_SENSITIVE",
+    "raw_physical_records",
+    "synthetic_ehr_rows",
+    "synthetic_physical_records",
+    "table1_hierarchies",
+    "table1_records",
+    "ANALYTICS_SERVICE",
+    "CHECKOUT_SERVICE",
+    "OFFERS_SERVICE",
+    "build_loyalty_system",
+    "loyalty_member",
+    "MEDICAL_SERVICE",
+    "RESEARCH_SERVICE",
+    "SURGERY_ACTORS",
+    "SURGERY_FIELDS",
+    "build_research_system",
+    "build_surgery_system",
+    "surgery_patient",
+    "tighten_administrator_policy",
+]

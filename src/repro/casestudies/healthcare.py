@@ -1,0 +1,195 @@
+"""The paper's doctors'-surgery case study (Fig. 1, section IV).
+
+Two systems are provided:
+
+- :func:`build_surgery_system` — the healthcare service of Fig. 1:
+  five actors (Receptionist, Doctor, Nurse, Administrator, Researcher),
+  six data fields (name, dob, appointment, medical_issues, diagnosis,
+  treatment), three datastores (Appointments, EHR, AnonEHR) and two
+  services (Medical Service, Medical Research Service). With five
+  actors and six fields the privacy model carries exactly
+  2 x 5 x 6 = 60 state variables, as section II.B computes.
+
+- :func:`build_research_system` — the physical-attributes study behind
+  Table I and Fig. 4: age and height quasi-identifiers, weight as the
+  sensitive value, a researcher with access to the pseudonymised
+  release only.
+
+Both are plain :class:`~repro.dfd.SystemModel` builds; everything the
+benches and examples do with them goes through the public API.
+"""
+
+from __future__ import annotations
+
+from ..consent import UserProfile
+from ..dfd import SystemBuilder, SystemModel
+
+MEDICAL_SERVICE = "MedicalService"
+RESEARCH_SERVICE = "MedicalResearchService"
+
+SURGERY_FIELDS = ("name", "dob", "appointment", "medical_issues",
+                  "diagnosis", "treatment")
+SURGERY_ACTORS = ("Receptionist", "Doctor", "Nurse", "Administrator",
+                  "Researcher")
+
+
+def build_surgery_system() -> SystemModel:
+    """The Fig. 1 doctors' surgery model."""
+    builder = (
+        SystemBuilder("DoctorsSurgery")
+        .schema("AppointmentSchema", [
+            ("name", "string", "identifier"),
+            ("dob", "date", "quasi"),
+            ("appointment", "string", "regular"),
+        ])
+        .schema("EHRSchema", [
+            ("name", "string", "identifier"),
+            ("dob", "date", "quasi"),
+            ("medical_issues", "string", "sensitive"),
+            ("diagnosis", "string", "sensitive"),
+            ("treatment", "string", "sensitive"),
+        ])
+        .anonymised_schema("AnonEHRSchema", "EHRSchema",
+                           ["dob", "medical_issues", "diagnosis",
+                            "treatment"])
+        .actor("Receptionist", role="admin_staff",
+               originates=["appointment"])
+        .actor("Doctor", role="clinician",
+               originates=["diagnosis", "treatment"])
+        .actor("Nurse", role="clinician")
+        .actor("Administrator", role="it_staff")
+        .actor("Researcher", role="research_staff")
+        .datastore("Appointments", "AppointmentSchema")
+        .datastore("EHR", "EHRSchema")
+        .datastore("AnonEHR", "AnonEHRSchema", anonymised=True)
+    )
+
+    builder = (
+        builder
+        .service(MEDICAL_SERVICE,
+                 description="book an appointment, consult, treat")
+        .flow(1, "User", "Receptionist", ["name", "dob"],
+              purpose="book appointment")
+        .flow(2, "Receptionist", "Appointments",
+              ["name", "dob", "appointment"],
+              purpose="store appointment")
+        .flow(3, "Appointments", "Doctor",
+              ["name", "dob", "appointment"],
+              purpose="consultation schedule")
+        .flow(4, "User", "Doctor", ["medical_issues"],
+              purpose="consultation")
+        .flow(5, "Doctor", "EHR",
+              ["name", "dob", "medical_issues", "diagnosis", "treatment"],
+              purpose="record consultation")
+        .flow(6, "EHR", "Nurse", ["name", "treatment"],
+              purpose="administer treatment")
+    )
+
+    builder = (
+        builder
+        .service(RESEARCH_SERVICE,
+                 description="anonymise records for medical research")
+        .flow(1, "EHR", "Administrator",
+              ["dob", "medical_issues", "diagnosis", "treatment"],
+              purpose="prepare research dataset")
+        .flow(2, "Administrator", "AnonEHR",
+              ["dob", "medical_issues", "diagnosis", "treatment"],
+              purpose="pseudonymise records")
+        .flow(3, "AnonEHR", "Researcher",
+              ["dob_anon", "medical_issues_anon", "diagnosis_anon",
+               "treatment_anon"],
+              purpose="research analysis")
+    )
+
+    builder = (
+        builder
+        .allow("Receptionist", ["read", "create"], "Appointments")
+        .allow("Doctor", "read", "Appointments")
+        .allow("Doctor", ["read", "create"], "EHR")
+        .allow("Nurse", "read", "EHR", ["name", "treatment"])
+        .allow("Administrator", ["read", "delete"], "EHR")
+        .allow("Administrator", "create", "AnonEHR")
+        .allow("Researcher", "read", "AnonEHR")
+    )
+    return builder.build()
+
+
+def tighten_administrator_policy(system: SystemModel) -> SystemModel:
+    """The section IV.A remediation: remove the Administrator's read
+    access to the sensitive EHR fields, keeping maintenance access to
+    the rest. Returns the same system (mutated) for chaining."""
+    from ..access import Permission
+    ehr_fields = system.datastore("EHR").field_names()
+    system.policy.revoke(
+        "Administrator", Permission.READ, "EHR",
+        fields=["medical_issues", "diagnosis", "treatment"],
+        store_fields=ehr_fields,
+    )
+    return system
+
+
+def surgery_patient(name: str = "patient-0") -> UserProfile:
+    """The IV.A user: agreed to the Medical Service only, highly
+    sensitive about the diagnosis, mildly about everything else."""
+    return UserProfile(
+        name,
+        agreed_services=[MEDICAL_SERVICE],
+        sensitivities={"diagnosis": "high"},
+        default_sensitivity=0.2,
+        acceptable_risk="low",
+    )
+
+
+def build_research_system() -> SystemModel:
+    """The physical-attributes study of section IV.B (Table I, Fig. 4).
+
+    The researcher may read only the pseudonymised release; the two
+    read flows model the researcher pulling stature (height + weight)
+    and age (age + weight) statistics, which is what makes the
+    quasi-identifier sets {height}, {age}, {age, height} reachable in
+    the LTS exactly as Fig. 4 steps through them.
+    """
+    return (
+        SystemBuilder("PhysicalAttributesStudy")
+        .schema("PhysicalSchema", [
+            ("name", "string", "identifier"),
+            ("age", "int", "quasi"),
+            ("height", "int", "quasi"),
+            ("weight", "float", "sensitive"),
+        ])
+        .anonymised_schema("AnonPhysicalSchema", "PhysicalSchema",
+                           ["age", "height", "weight"])
+        .actor("Clinician", role="clinician")
+        .actor("DataManager", role="it_staff")
+        .actor("Researcher", role="research_staff")
+        .datastore("HealthRecords", "PhysicalSchema")
+        .datastore("AnonHealthRecords", "AnonPhysicalSchema",
+                   anonymised=True)
+        .service("HealthCheckService",
+                 description="collect physical attributes")
+        .flow(1, "User", "Clinician", ["name", "age", "height", "weight"],
+              purpose="health check")
+        .flow(2, "Clinician", "HealthRecords",
+              ["name", "age", "height", "weight"],
+              purpose="record measurements")
+        .service("ResearchService",
+                 description="statistics over the pseudonymised release")
+        .flow(1, "HealthRecords", "DataManager",
+              ["age", "height", "weight"],
+              purpose="prepare release")
+        .flow(2, "DataManager", "AnonHealthRecords",
+              ["age", "height", "weight"],
+              purpose="2-anonymise")
+        .flow(3, "AnonHealthRecords", "Researcher",
+              ["height_anon", "weight_anon"],
+              purpose="stature statistics")
+        .flow(4, "AnonHealthRecords", "Researcher",
+              ["age_anon", "weight_anon"],
+              purpose="age statistics")
+        .allow("Clinician", ["read", "create"], "HealthRecords")
+        .allow("DataManager", "read", "HealthRecords",
+               ["age", "height", "weight"])
+        .allow("DataManager", "create", "AnonHealthRecords")
+        .allow("Researcher", "read", "AnonHealthRecords")
+        .build()
+    )

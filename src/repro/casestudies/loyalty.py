@@ -1,0 +1,101 @@
+"""A second domain case study: a retail loyalty programme.
+
+The paper's motivation is general "online services [that] are becoming
+increasingly data-centric" — healthcare is the worked example, but the
+method must carry to other domains. This fixture models a retail
+loyalty programme with:
+
+- a role *hierarchy* (``head_office`` inheriting ``analytics``), so
+  RBAC resolution beyond flat roles is exercised;
+- three services (checkout, personalised offers, trend analytics over
+  a pseudonymised store);
+- a *delete* grant for the data-protection officer, exercising the
+  ``delete`` action and its effect on ``could`` variables.
+
+Used by tests and available to users as a template for non-healthcare
+modelling.
+"""
+
+from __future__ import annotations
+
+from ..consent import UserProfile
+from ..dfd import SystemBuilder, SystemModel
+
+CHECKOUT_SERVICE = "Checkout"
+OFFERS_SERVICE = "PersonalisedOffers"
+ANALYTICS_SERVICE = "TrendAnalytics"
+
+
+def build_loyalty_system() -> SystemModel:
+    """The loyalty-programme model."""
+    return (
+        SystemBuilder("LoyaltyProgramme")
+        .schema("PurchaseSchema", [
+            ("customer_id", "string", "identifier"),
+            ("postcode", "string", "quasi"),
+            ("age_band", "category", "quasi"),
+            ("basket", "string", "sensitive"),
+            ("spend", "float", "sensitive"),
+        ])
+        .anonymised_schema("AnonPurchaseSchema", "PurchaseSchema",
+                           ["postcode", "age_band", "basket", "spend"])
+        .role("analytics")
+        .role("head_office", parents=["analytics"])
+        .actor("Cashier", role="front_of_house")
+        .actor("OffersEngine", role="marketing",
+               originates=["basket"])  # derives offer baskets
+        .actor("Analyst", role="analytics")
+        .actor("MarketingDirector", role="head_office")
+        .actor("DataOfficer", role="compliance")
+        .datastore("SalesDB", "PurchaseSchema")
+        .datastore("TrendsDB", "AnonPurchaseSchema", anonymised=True)
+        .service(CHECKOUT_SERVICE,
+                 description="record a purchase at the till")
+        .flow(1, "User", "Cashier",
+              ["customer_id", "postcode", "age_band", "basket",
+               "spend"],
+              purpose="process purchase")
+        .flow(2, "Cashier", "SalesDB",
+              ["customer_id", "postcode", "age_band", "basket",
+               "spend"],
+              purpose="sales record")
+        .service(OFFERS_SERVICE,
+                 description="personalised offers from purchase history")
+        .flow(1, "SalesDB", "OffersEngine",
+              ["customer_id", "basket", "spend"],
+              purpose="offer generation")
+        .flow(2, "OffersEngine", "User", ["basket"],
+              purpose="deliver offers")
+        .service(ANALYTICS_SERVICE,
+                 description="aggregate trends over pseudonymised data")
+        .flow(1, "SalesDB", "DataOfficer",
+              ["postcode", "age_band", "basket", "spend"],
+              purpose="prepare release")
+        .flow(2, "DataOfficer", "TrendsDB",
+              ["postcode", "age_band", "basket", "spend"],
+              purpose="pseudonymise")
+        .flow(3, "TrendsDB", "Analyst",
+              ["postcode_anon", "age_band_anon", "basket_anon",
+               "spend_anon"],
+              purpose="trend analysis")
+        .allow("Cashier", ["read", "create"], "SalesDB")
+        .allow("OffersEngine", "read", "SalesDB",
+               ["customer_id", "basket", "spend"])
+        .allow("DataOfficer", ["read", "delete"], "SalesDB")
+        .allow("DataOfficer", "create", "TrendsDB")
+        # grant to the *role*: MarketingDirector inherits via hierarchy
+        .allow("analytics", "read", "TrendsDB")
+        .build()
+    )
+
+
+def loyalty_member(name: str = "member-0") -> UserProfile:
+    """A member who uses checkout and offers but rejected analytics,
+    and cares most about the basket contents."""
+    return UserProfile(
+        name,
+        agreed_services=[CHECKOUT_SERVICE, OFFERS_SERVICE],
+        sensitivities={"basket": "high", "spend": "medium"},
+        default_sensitivity=0.15,
+        acceptable_risk="low",
+    )

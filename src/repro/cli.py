@@ -1,0 +1,234 @@
+"""Command-line interface: the paper's tooling as a terminal workflow.
+
+Subcommands mirror the method's steps over a DSL model file:
+
+- ``repro validate model.dsl`` — structural validation (Step 1);
+- ``repro lts model.dsl`` — generate the privacy LTS and print its
+  digest (Step 2);
+- ``repro dot model.dsl [--lts]`` — DOT for the DFD (Fig. 1) or the
+  LTS (Fig. 3);
+- ``repro analyse model.dsl --agree Svc --sensitivity f=high`` —
+  per-user unwanted-disclosure analysis (Step 3, §III.A);
+- ``repro identify model.dsl`` — who can identify what;
+- ``repro export model.dsl -o lts.json`` — the generated LTS as JSON.
+
+Exit codes: 0 success, 1 findings (validation errors / risk at or
+above ``--fail-at``), 2 usage or input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .consent import UserProfile
+from .core import GenerationOptions, ModelGenerator
+from .core.risk import DisclosureRiskAnalyzer, RiskLevel
+from .dfd import dfd_to_dot, parse_file
+from .dfd.validation import Severity, validate_system
+from .errors import ReproError
+from .viz import identification_table, lts_digest, lts_to_dot
+
+
+def _load_model(path: str):
+    return parse_file(path, validate=False)
+
+
+def _write_output(text: str, output: Optional[str]) -> None:
+    if output is None:
+        print(text)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def _generation_options(args) -> GenerationOptions:
+    services = tuple(args.services) if args.services else None
+    return GenerationOptions(services=services,
+                             ordering=args.ordering)
+
+
+# -- subcommand implementations ---------------------------------------------
+
+def _cmd_validate(args) -> int:
+    system = _load_model(args.model)
+    issues = validate_system(system, strict=False)
+    for issue in issues:
+        print(issue)
+    errors = [i for i in issues if i.severity is Severity.ERROR]
+    if errors:
+        print(f"{len(errors)} error(s), "
+              f"{len(issues) - len(errors)} warning(s)")
+        return 1
+    print(f"ok: {system.name!r} is structurally valid "
+          f"({len(issues)} warning(s))")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    system = _load_model(args.model)
+    if args.lts:
+        lts = ModelGenerator(system).generate(_generation_options(args))
+        _write_output(lts_to_dot(lts, system.name,
+                                 show_variables=args.variables),
+                      args.output)
+    else:
+        services = list(args.services) if args.services else None
+        _write_output(dfd_to_dot(system, services=services),
+                      args.output)
+    return 0
+
+
+def _cmd_lts(args) -> int:
+    system = _load_model(args.model)
+    lts = ModelGenerator(system).generate(_generation_options(args))
+    print(lts_digest(lts, system.name))
+    stats = lts.stats()
+    for action, count in sorted(stats["actions"].items()):
+        print(f"  {action}: {count}")
+    return 0
+
+
+def _cmd_identify(args) -> int:
+    system = _load_model(args.model)
+    lts = ModelGenerator(system).generate(_generation_options(args))
+    print(identification_table(lts))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .core.export import lts_to_json
+    system = _load_model(args.model)
+    lts = ModelGenerator(system).generate(_generation_options(args))
+    _write_output(
+        lts_to_json(lts, include_variables=not args.no_variables),
+        args.output)
+    return 0
+
+
+def _parse_sensitivities(pairs: List[str]) -> dict:
+    sensitivities = {}
+    for pair in pairs:
+        field, _, value = pair.partition("=")
+        if not field or not value:
+            raise ValueError(
+                f"--sensitivity expects field=value, got {pair!r}")
+        try:
+            sensitivities[field] = float(value)
+        except ValueError:
+            sensitivities[field] = value  # category name
+    return sensitivities
+
+
+def _cmd_analyse(args) -> int:
+    system = _load_model(args.model)
+    user = UserProfile(
+        args.user,
+        agreed_services=args.agree,
+        sensitivities=_parse_sensitivities(args.sensitivity),
+        default_sensitivity=args.default_sensitivity,
+        acceptable_risk=args.acceptable,
+    )
+    report = DisclosureRiskAnalyzer(system).analyse(user)
+    print(f"user {user.name!r} | agreed: "
+          f"{', '.join(user.agreed_services)}")
+    print(f"non-allowed actors: "
+          f"{', '.join(report.non_allowed_actors) or '<none>'}")
+    print(report.summary_table())
+    print(f"max risk: {report.max_level.value}")
+    threshold = RiskLevel.from_name(args.fail_at)
+    if report.max_level >= threshold and \
+            report.max_level is not RiskLevel.NONE:
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="model-driven privacy risk analysis "
+                    "(Grace et al., ICDCS 2018)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("model", help="path to a DSL model file")
+        sub.add_argument("--services", nargs="*", default=None,
+                         help="restrict to these services")
+        sub.add_argument("--ordering", default="dataflow",
+                         choices=["dataflow", "sequence"])
+
+    validate = subparsers.add_parser(
+        "validate", help="validate the model's structure")
+    validate.add_argument("model")
+    validate.set_defaults(func=_cmd_validate)
+
+    dot = subparsers.add_parser(
+        "dot", help="render the DFD (default) or LTS as DOT")
+    add_common(dot)
+    dot.add_argument("--lts", action="store_true",
+                     help="render the generated LTS instead of the DFD")
+    dot.add_argument("--variables", action="store_true",
+                     help="label LTS states with their true variables")
+    dot.add_argument("-o", "--output", default=None,
+                     help="write to a file instead of stdout")
+    dot.set_defaults(func=_cmd_dot)
+
+    lts = subparsers.add_parser(
+        "lts", help="generate the privacy LTS and print statistics")
+    add_common(lts)
+    lts.set_defaults(func=_cmd_lts)
+
+    identify = subparsers.add_parser(
+        "identify", help="report which actors can identify which data")
+    add_common(identify)
+    identify.set_defaults(func=_cmd_identify)
+
+    export = subparsers.add_parser(
+        "export", help="generate the LTS and export it as JSON")
+    add_common(export)
+    export.add_argument("-o", "--output", default=None,
+                        help="write to a file instead of stdout")
+    export.add_argument("--no-variables", action="store_true",
+                        help="omit per-state variable lists")
+    export.set_defaults(func=_cmd_export)
+
+    analyse = subparsers.add_parser(
+        "analyse", help="unwanted-disclosure risk analysis for a user")
+    analyse.add_argument("model")
+    analyse.add_argument("--user", default="user")
+    analyse.add_argument("--agree", nargs="+", required=True,
+                         metavar="SERVICE",
+                         help="services the user agreed to")
+    analyse.add_argument("--sensitivity", nargs="*", default=[],
+                         metavar="FIELD=VALUE",
+                         help="per-field sigma (number or "
+                              "low/medium/high)")
+    analyse.add_argument("--default-sensitivity", type=float,
+                         default=0.0)
+    analyse.add_argument("--acceptable", default="low",
+                         choices=["none", "low", "medium", "high"],
+                         help="the user's acceptable risk level")
+    analyse.add_argument("--fail-at", default="high",
+                         choices=["low", "medium", "high"],
+                         help="exit 1 when max risk reaches this level")
+    analyse.set_defaults(func=_cmd_analyse)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

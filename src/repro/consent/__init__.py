@@ -1,0 +1,33 @@
+"""User model: consents, sensitivities, questionnaires, Westin personas."""
+
+from .personas import (
+    FUNDAMENTALIST,
+    PRAGMATIST,
+    Persona,
+    UNCONCERNED,
+    WESTIN_DISTRIBUTION,
+    profile_from_persona,
+    simulate_users,
+)
+from .questionnaire import (
+    ConsentQuestion,
+    LIKERT_5,
+    Questionnaire,
+    SensitivityQuestion,
+)
+from .user import UserProfile
+
+__all__ = [
+    "FUNDAMENTALIST",
+    "PRAGMATIST",
+    "Persona",
+    "UNCONCERNED",
+    "WESTIN_DISTRIBUTION",
+    "profile_from_persona",
+    "simulate_users",
+    "ConsentQuestion",
+    "LIKERT_5",
+    "Questionnaire",
+    "SensitivityQuestion",
+    "UserProfile",
+]

@@ -1,0 +1,141 @@
+"""Simulated users via Westin privacy personas.
+
+The paper's analysis "can be executed with running users of the system,
+or with simulated users in the development phase" (section III), and
+cites Westin's privacy indexes [1]. Westin's surveys segment people
+into three groups, which we encode as sensitivity-generating personas:
+
+- **fundamentalist** (~25%): high sensitivity across the board;
+- **pragmatist** (~57%): sensitive about fields marked sensitive,
+  relaxed about the rest;
+- **unconcerned** (~18%): low sensitivity everywhere.
+
+:func:`simulate_users` draws a deterministic population (seeded PRNG)
+for design-phase sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+from ..schema import DataSchema, FieldKind
+from .user import UserProfile
+
+
+@dataclass(frozen=True)
+class Persona:
+    """A sensitivity-generating template.
+
+    ``by_kind`` gives the sigma range (low, high) drawn per field kind;
+    ``agree_probability`` is the chance the persona consents to any
+    given service.
+    """
+
+    name: str
+    by_kind: Mapping[FieldKind, Tuple[float, float]]
+    agree_probability: float
+    acceptable_risk: str
+
+    def sample_sigma(self, kind: FieldKind, rng: random.Random) -> float:
+        low, high = self.by_kind.get(kind, (0.0, 0.2))
+        return rng.uniform(low, high)
+
+
+FUNDAMENTALIST = Persona(
+    name="fundamentalist",
+    by_kind={
+        FieldKind.IDENTIFIER: (0.8, 1.0),
+        FieldKind.QUASI_IDENTIFIER: (0.6, 0.9),
+        FieldKind.SENSITIVE: (0.85, 1.0),
+        FieldKind.REGULAR: (0.4, 0.7),
+    },
+    agree_probability=0.5,
+    acceptable_risk="low",
+)
+
+PRAGMATIST = Persona(
+    name="pragmatist",
+    by_kind={
+        FieldKind.IDENTIFIER: (0.4, 0.7),
+        FieldKind.QUASI_IDENTIFIER: (0.3, 0.6),
+        FieldKind.SENSITIVE: (0.6, 0.9),
+        FieldKind.REGULAR: (0.1, 0.3),
+    },
+    agree_probability=0.8,
+    acceptable_risk="medium",
+)
+
+UNCONCERNED = Persona(
+    name="unconcerned",
+    by_kind={
+        FieldKind.IDENTIFIER: (0.1, 0.3),
+        FieldKind.QUASI_IDENTIFIER: (0.0, 0.2),
+        FieldKind.SENSITIVE: (0.1, 0.4),
+        FieldKind.REGULAR: (0.0, 0.1),
+    },
+    agree_probability=0.95,
+    acceptable_risk="high",
+)
+
+WESTIN_DISTRIBUTION: Tuple[Tuple[Persona, float], ...] = (
+    (FUNDAMENTALIST, 0.25),
+    (PRAGMATIST, 0.57),
+    (UNCONCERNED, 0.18),
+)
+"""Population shares from Westin's surveys (Kumaraguru & Cranor [1])."""
+
+
+def profile_from_persona(name: str, persona: Persona,
+                         schema_fields: Iterable,
+                         services: Sequence[str],
+                         rng: random.Random) -> UserProfile:
+    """Instantiate one user from a persona.
+
+    ``schema_fields`` is an iterable of :class:`~repro.schema.Field`
+    (e.g. a :class:`~repro.schema.DataSchema`); sensitivities are drawn
+    per field kind, consents per service.
+    """
+    profile = UserProfile(name, acceptable_risk=persona.acceptable_risk)
+    for field in schema_fields:
+        profile.set_sensitivity(
+            field.name, persona.sample_sigma(field.kind, rng))
+    for service in services:
+        if rng.random() < persona.agree_probability:
+            profile.agree_to(service)
+    return profile
+
+
+def simulate_users(count: int, schema_fields: Sequence,
+                   services: Sequence[str],
+                   seed: int = 0,
+                   distribution: Tuple[Tuple[Persona, float], ...] =
+                   WESTIN_DISTRIBUTION) -> List[UserProfile]:
+    """Draw ``count`` simulated users following the persona distribution.
+
+    Deterministic for a given seed, so design-phase sweeps are
+    reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    total_share = sum(share for _, share in distribution)
+    if abs(total_share - 1.0) > 1e-9:
+        raise ValueError(
+            f"persona shares must sum to 1, got {total_share}"
+        )
+    rng = random.Random(seed)
+    users: List[UserProfile] = []
+    for index in range(count):
+        draw = rng.random()
+        cumulative = 0.0
+        chosen = distribution[-1][0]
+        for persona, share in distribution:
+            cumulative += share
+            if draw <= cumulative:
+                chosen = persona
+                break
+        users.append(profile_from_persona(
+            f"user-{index:04d}[{chosen.name}]", chosen,
+            schema_fields, services, rng))
+    return users

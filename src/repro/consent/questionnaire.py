@@ -1,0 +1,140 @@
+"""Questionnaires: eliciting sensitivities and consents from users.
+
+Section III.A: the user's service agreements and field sensitivities
+"can be obtained directly from the user through a questionnaire (if
+necessary)". This module provides a small, deterministic questionnaire
+engine: designers declare questions bound to fields or services,
+answers are scored onto [0, 1] sensitivities or consent decisions, and
+the result is a ready :class:`~repro.consent.user.UserProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
+
+from ..errors import AnalysisError
+from .user import UserProfile
+
+
+@dataclass(frozen=True)
+class SensitivityQuestion:
+    """A Likert-style question scoring one field's sensitivity.
+
+    ``scale`` maps each permitted answer to a sigma value in [0, 1].
+    """
+
+    field: str
+    prompt: str
+    scale: Mapping[str, float]
+
+    def __post_init__(self):
+        if not self.scale:
+            raise ValueError(
+                f"question for field {self.field!r} has an empty scale"
+            )
+        for answer, value in self.scale.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"scale value for answer {answer!r} must be in "
+                    f"[0, 1], got {value}"
+                )
+
+    def score(self, answer: str) -> float:
+        try:
+            return self.scale[answer]
+        except KeyError:
+            valid = ", ".join(sorted(self.scale))
+            raise AnalysisError(
+                f"answer {answer!r} not on the scale for field "
+                f"{self.field!r} (valid: {valid})"
+            ) from None
+
+
+LIKERT_5 = {
+    "not at all": 0.0,
+    "slightly": 0.25,
+    "moderately": 0.5,
+    "very": 0.75,
+    "extremely": 1.0,
+}
+"""A ready five-point scale: 'How sensitive are you about <field>?'"""
+
+
+@dataclass(frozen=True)
+class ConsentQuestion:
+    """A yes/no consent question for one service."""
+
+    service: str
+    prompt: str
+
+    def decide(self, answer: str) -> bool:
+        normalised = answer.strip().lower()
+        if normalised in ("yes", "y", "agree", "true"):
+            return True
+        if normalised in ("no", "n", "decline", "false"):
+            return False
+        raise AnalysisError(
+            f"consent answer for service {self.service!r} must be "
+            f"yes/no, got {answer!r}"
+        )
+
+
+class Questionnaire:
+    """An ordered set of consent and sensitivity questions."""
+
+    def __init__(self, name: str = "privacy questionnaire"):
+        self.name = name
+        self._sensitivity: List[SensitivityQuestion] = []
+        self._consent: List[ConsentQuestion] = []
+
+    def ask_sensitivity(self, field: str, prompt: Optional[str] = None,
+                        scale: Optional[Mapping[str, float]] = None
+                        ) -> "Questionnaire":
+        self._sensitivity.append(SensitivityQuestion(
+            field=field,
+            prompt=prompt or f"How sensitive are you about {field}?",
+            scale=dict(scale) if scale is not None else dict(LIKERT_5),
+        ))
+        return self
+
+    def ask_consent(self, service: str,
+                    prompt: Optional[str] = None) -> "Questionnaire":
+        self._consent.append(ConsentQuestion(
+            service=service,
+            prompt=prompt or f"Do you agree to use {service}?",
+        ))
+        return self
+
+    @property
+    def questions(self) -> Tuple:
+        return tuple(self._consent) + tuple(self._sensitivity)
+
+    def build_profile(self, user_name: str,
+                      answers: Mapping[str, str],
+                      acceptable_risk: str = "low") -> UserProfile:
+        """Score ``answers`` (keyed by field/service name) into a profile.
+
+        Every question must be answered; unknown answer keys are
+        rejected so typos surface instead of silently defaulting.
+        """
+        known_keys = {q.field for q in self._sensitivity} | \
+            {q.service for q in self._consent}
+        unknown = set(answers) - known_keys
+        if unknown:
+            raise AnalysisError(
+                f"answers supplied for unknown questions: {sorted(unknown)}"
+            )
+        missing = known_keys - set(answers)
+        if missing:
+            raise AnalysisError(
+                f"questionnaire answers missing for: {sorted(missing)}"
+            )
+        profile = UserProfile(user_name, acceptable_risk=acceptable_risk)
+        for question in self._consent:
+            if question.decide(answers[question.service]):
+                profile.agree_to(question.service)
+        for question in self._sensitivity:
+            profile.set_sensitivity(
+                question.field, question.score(answers[question.field]))
+        return profile

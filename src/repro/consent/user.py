@@ -1,0 +1,92 @@
+"""User profiles: consents and sensitivities (paper III.A).
+
+Risk analysis "takes the user privacy control requirements and
+annotates the model with their risk; hence there is an instance for
+each user". A :class:`UserProfile` carries exactly the two pieces of
+information the paper assumes available:
+
+1. which services the user agreed to use, and
+2. the user's per-field sensitivities sigma(d).
+
+It also records the user's acceptable residual risk level, which the
+monitor and compliance checks compare against analysis output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Set, Tuple
+
+from ..core.risk.sensitivity import SensitivityProfile
+from ..errors import AnalysisError
+
+
+class UserProfile:
+    """One user's privacy control requirements."""
+
+    def __init__(self, name: str,
+                 agreed_services: Iterable[str] = (),
+                 sensitivities: Optional[Mapping[str, object]] = None,
+                 default_sensitivity: float = 0.0,
+                 acceptable_risk: str = "low"):
+        if not name:
+            raise ValueError("user profile name must be non-empty")
+        self.name = name
+        self._agreed: Set[str] = set(agreed_services)
+        self.sensitivity = SensitivityProfile(default=default_sensitivity)
+        if sensitivities:
+            for field, value in sensitivities.items():
+                self.sensitivity.set(field, value)
+        from ..core.risk.matrix import RiskLevel
+        self.acceptable_risk = RiskLevel.from_name(acceptable_risk)
+
+    # -- consent -----------------------------------------------------------
+
+    def agree_to(self, *services: str) -> "UserProfile":
+        self._agreed.update(services)
+        return self
+
+    def withdraw_from(self, *services: str) -> "UserProfile":
+        self._agreed.difference_update(services)
+        return self
+
+    def has_agreed_to(self, service: str) -> bool:
+        return service in self._agreed
+
+    @property
+    def agreed_services(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._agreed))
+
+    # -- actor classification (needs the system model) ------------------------
+
+    def allowed_actors(self, system) -> Set[str]:
+        """Actors in services the user agreed to — sigma(d, a) = 0."""
+        self._check_services_exist(system)
+        return system.allowed_actors(self._agreed)
+
+    def non_allowed_actors(self, system) -> Set[str]:
+        """Every other actor in the system."""
+        self._check_services_exist(system)
+        return system.non_allowed_actors(self._agreed)
+
+    def _check_services_exist(self, system) -> None:
+        unknown = [s for s in self._agreed if s not in system.services]
+        if unknown:
+            raise AnalysisError(
+                f"user {self.name!r} agreed to services the model does "
+                f"not define: {sorted(unknown)}"
+            )
+
+    # -- sensitivities ---------------------------------------------------------
+
+    def sigma(self, field: str) -> float:
+        return self.sensitivity.sigma(field)
+
+    def set_sensitivity(self, field: str, value) -> "UserProfile":
+        self.sensitivity.set(field, value)
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"UserProfile({self.name!r}, agreed={sorted(self._agreed)}, "
+            f"acceptable_risk={self.acceptable_risk.value})"
+        )

@@ -1,0 +1,95 @@
+"""Privacy actions and transition labels (paper II.B).
+
+Transitions of the privacy LTS "represent actions (collect, create,
+read, disclose, anon, delete) on personal data performed by actors"
+and are labelled with: the action, the set of data fields, the data
+schema the fields belong to, the actor performing the action, an
+optional purpose, and an optional privacy risk measure (attached later
+by risk analysis).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .._util import fmt_fields
+
+
+class ActionType(enum.Enum):
+    """The six privacy actions of the formal model."""
+
+    COLLECT = "collect"
+    CREATE = "create"
+    READ = "read"
+    DISCLOSE = "disclose"
+    ANON = "anon"
+    DELETE = "delete"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ActionType":
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown action {name!r}; expected one of: {valid}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class TransitionLabel:
+    """The full label of one LTS transition.
+
+    Attributes
+    ----------
+    action:
+        One of the six privacy actions.
+    fields:
+        The data fields the action touches.
+    actor:
+        The actor *performing* the action (the collector for
+        ``collect``, the discloser for ``disclose``, the reader for
+        ``read``, the writer for ``create``/``anon``/``delete``).
+    source / target:
+        The flow endpoints (node names); for ``collect`` the source is
+        the user node, for ``read`` the source is a datastore, etc.
+    schema:
+        Name of the data schema the fields belong to, when the action
+        involves a datastore.
+    purpose:
+        The purpose label carried over from the data-flow diagram.
+    flow_key:
+        ``(service, order)`` of the originating flow; ``None`` for
+        transitions injected by analysis (potential reads, risk
+        transitions).
+    """
+
+    action: ActionType
+    fields: Tuple[str, ...]
+    actor: str
+    source: str
+    target: str
+    schema: Optional[str] = None
+    purpose: Optional[str] = None
+    flow_key: Optional[Tuple[str, int]] = None
+
+    def __post_init__(self):
+        if not self.fields:
+            raise ValueError("a transition must touch at least one field")
+        if not self.actor:
+            raise ValueError("a transition must name its acting actor")
+
+    def describe(self) -> str:
+        """Compact human-readable form used in DOT output and reports."""
+        parts = [f"{self.action.value}{fmt_fields(self.fields)}",
+                 f"by {self.actor}"]
+        if self.schema:
+            parts.append(f"schema {self.schema}")
+        if self.purpose:
+            parts.append(f"for {self.purpose!r}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,481 @@
+"""Automatic generation of the privacy LTS from a system model.
+
+Implements the extraction rules of section II.B:
+
+- user -> actor        = ``collect``
+- actor -> actor       = ``disclose``
+- actor -> datastore   = ``create`` (``anon`` for anonymised stores)
+- datastore -> actor   = ``read``
+- "multiple flows within a service ... can be executed independently,
+  provided the start node has the correct data to flow".
+
+The *generation state* (the dedup key of LTS states) is the full
+system configuration:
+
+- ``has``: bit mask of has(actor, field) variables (sticky),
+- ``holdings``: which actor currently holds which fields,
+- ``contents``: which datastore currently stores which fields,
+- ``fired``: which flows have already executed (each flow fires at
+  most once per service session).
+
+The ``could(actor, field)`` half of the privacy vector is *derived*:
+true iff some datastore holds the field and the access policy grants
+the actor read on it. This makes "the potential for a user's personal
+information to be shared" (the paper's key extension over prior FSM
+models) a direct function of the configuration.
+
+Because ``fired`` and ``has`` only grow and ``contents`` only shrinks
+outside flow execution, the generated LTS is always a finite DAG; a
+``max_states`` cap still guards against combinatorial interleavings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..dfd.model import Flow, NodeKind, SystemModel, USER
+from ..errors import GenerationError, StateLimitExceeded
+from ..schema import anon_name
+from .actions import ActionType, TransitionLabel
+from .lts import LTS, TransitionKind
+from .statevars import PrivacyVector, VarKind, VariableRegistry
+
+Holding = Tuple[str, str]           # (actor, field)
+StoredField = Tuple[str, str]       # (store, field)
+FlowKey = Tuple[str, int]           # (service, order)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """The hashable generation state."""
+
+    has_mask: int
+    holdings: FrozenSet[Holding]
+    contents: FrozenSet[StoredField]
+    fired: FrozenSet[FlowKey]
+
+
+@dataclass(frozen=True)
+class GenerationOptions:
+    """Knobs controlling LTS generation.
+
+    Attributes
+    ----------
+    services:
+        Restrict generation to these services (default: all). This is
+        how Fig. 3 generates "only ... the Medical Service process".
+    ordering:
+        ``'dataflow'`` — any enabled flow may fire (the paper's
+        independent execution, the default); ``'sequence'`` — flows of
+        a service fire strictly in their numeric order.
+    max_states:
+        Hard cap on the state count; exceeded -> raise.
+    include_potential_reads:
+        Also generate ``read`` transitions for actors whose only basis
+        is an access-policy grant (no flow). Used by disclosure risk
+        analysis; off for the plain service LTS.
+    potential_read_actors:
+        Restrict potential reads to these actors (default: all).
+    include_deletes:
+        Generate ``delete`` transitions for actors holding DELETE
+        grants on stored fields.
+    delete_actors:
+        Restrict delete transitions to these actors (default: all).
+    initial_store_contents:
+        Pre-populated stores: store name -> field names. Models
+        analysing a *running* system whose stores already hold data.
+    """
+
+    services: Optional[Tuple[str, ...]] = None
+    ordering: str = "dataflow"
+    max_states: int = 50_000
+    include_potential_reads: bool = False
+    potential_read_actors: Optional[FrozenSet[str]] = None
+    include_deletes: bool = False
+    delete_actors: Optional[FrozenSet[str]] = None
+    initial_store_contents: Mapping[str, Tuple[str, ...]] = \
+        dc_field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.ordering not in ("dataflow", "sequence"):
+            raise ValueError(
+                f"ordering must be 'dataflow' or 'sequence', "
+                f"got {self.ordering!r}"
+            )
+        if self.max_states < 1:
+            raise ValueError("max_states must be positive")
+
+
+class ModelGenerator:
+    """Generates the privacy LTS of a system model (Step 2)."""
+
+    def __init__(self, system: SystemModel):
+        self.system = system
+        self.registry = VariableRegistry(
+            system.actor_names(), system.personal_fields())
+        self._could_cache: Dict[FrozenSet[StoredField], int] = {}
+
+    # -- public entry point --------------------------------------------------
+
+    def generate(self, options: Optional[GenerationOptions] = None) -> LTS:
+        options = options if options is not None else GenerationOptions()
+        flows = self._selected_flows(options)
+        lts = LTS(self.registry)
+        initial = self._initial_configuration(options)
+        initial_sid, _ = lts.add_state(
+            initial, self._vector_of(initial),
+            info=self._state_info(initial))
+        lts.set_initial(initial_sid)
+
+        queue = deque([initial_sid])
+        while queue:
+            sid = queue.popleft()
+            configuration = lts.state(sid).key
+            for label, kind, successor in self._successors(
+                    configuration, flows, options):
+                target_sid, created = lts.add_state(
+                    successor, self._vector_of(successor),
+                    info=self._state_info(successor))
+                if len(lts) > options.max_states:
+                    raise StateLimitExceeded(options.max_states)
+                lts.add_transition(sid, target_sid, label, kind)
+                if created:
+                    queue.append(target_sid)
+        return lts
+
+    # -- setup ------------------------------------------------------------------
+
+    def _selected_flows(self, options: GenerationOptions) -> Tuple[Flow, ...]:
+        if options.services is None:
+            names = tuple(self.system.services)
+        else:
+            names = options.services
+        flows: List[Flow] = []
+        for name in names:
+            flows.extend(self.system.service(name).flows)
+        if not flows:
+            raise GenerationError(
+                "no flows selected for generation; check the services "
+                f"option (selected: {list(names)})"
+            )
+        return tuple(flows)
+
+    def _initial_configuration(self, options: GenerationOptions
+                               ) -> Configuration:
+        contents: List[StoredField] = []
+        for store_name, fields in options.initial_store_contents.items():
+            store = self.system.datastore(store_name)
+            for field_name in fields:
+                if field_name not in store.schema:
+                    raise GenerationError(
+                        f"initial contents: field {field_name!r} is not "
+                        f"in datastore {store_name!r}"
+                    )
+                contents.append((store_name, field_name))
+        return Configuration(
+            has_mask=0,
+            holdings=frozenset(),
+            contents=frozenset(contents),
+            fired=frozenset(),
+        )
+
+    # -- privacy vector derivation ---------------------------------------------------
+
+    def _could_mask(self, contents: FrozenSet[StoredField]) -> int:
+        cached = self._could_cache.get(contents)
+        if cached is not None:
+            return cached
+        mask = 0
+        for store_name, field_name in contents:
+            for actor in self.system.policy.readers(store_name, field_name):
+                if actor in self.system.actors:
+                    mask |= self.registry.mask_of(
+                        VarKind.COULD, actor, field_name)
+        self._could_cache[contents] = mask
+        return mask
+
+    def _vector_of(self, configuration: Configuration) -> PrivacyVector:
+        return PrivacyVector(
+            self.registry,
+            configuration.has_mask | self._could_mask(
+                configuration.contents))
+
+    def _state_info(self, configuration: Configuration) -> dict:
+        return {
+            "holdings": configuration.holdings,
+            "contents": configuration.contents,
+            "fired": configuration.fired,
+        }
+
+    # -- successor computation ----------------------------------------------------------
+
+    def _successors(self, configuration: Configuration,
+                    flows: Tuple[Flow, ...],
+                    options: GenerationOptions):
+        for flow in self._enabled_flows(configuration, flows, options):
+            yield self._apply_flow(configuration, flow)
+        if options.include_potential_reads:
+            yield from self._potential_reads(configuration, options)
+        if options.include_deletes:
+            yield from self._policy_deletes(configuration, options)
+
+    def _enabled_flows(self, configuration: Configuration,
+                       flows: Tuple[Flow, ...],
+                       options: GenerationOptions) -> List[Flow]:
+        enabled = []
+        if options.ordering == "sequence":
+            next_order: Dict[str, int] = {}
+            for flow in flows:
+                if flow.key in configuration.fired:
+                    continue
+                current = next_order.get(flow.service)
+                if current is None or flow.order < current:
+                    next_order[flow.service] = flow.order
+        for flow in flows:
+            if flow.key in configuration.fired:
+                continue
+            if options.ordering == "sequence" and \
+                    flow.order != next_order[flow.service]:
+                continue
+            if self._flow_ready(configuration, flow):
+                enabled.append(flow)
+        return enabled
+
+    def _flow_ready(self, configuration: Configuration,
+                    flow: Flow) -> bool:
+        """"Provided the start node has the correct data to flow".
+
+        An actor source may also send fields it *originates* (creates
+        about the user) without having received them first.
+        """
+        kind = self.system.node_kind(flow.source)
+        if kind is NodeKind.USER:
+            return True
+        if kind is NodeKind.ACTOR:
+            originated = set(self.system.actors[flow.source].originates)
+            return all(
+                f in originated or (flow.source, f) in
+                configuration.holdings
+                for f in flow.fields
+            )
+        return all((flow.source, f) in configuration.contents
+                   for f in flow.fields)
+
+    # -- flow application ------------------------------------------------------------------
+
+    def _apply_flow(self, configuration: Configuration, flow: Flow):
+        source_kind = self.system.node_kind(flow.source)
+        target_kind = self.system.node_kind(flow.target)
+        fired = configuration.fired | {flow.key}
+
+        if source_kind is NodeKind.USER and target_kind is NodeKind.ACTOR:
+            return self._apply_collect(configuration, flow, fired)
+        if source_kind is NodeKind.ACTOR and target_kind is NodeKind.ACTOR:
+            return self._apply_disclose(configuration, flow, fired)
+        if source_kind is NodeKind.ACTOR and target_kind is NodeKind.USER:
+            return self._apply_disclose_to_user(configuration, flow, fired)
+        if source_kind is NodeKind.ACTOR and \
+                target_kind is NodeKind.DATASTORE:
+            return self._apply_store_write(configuration, flow, fired)
+        if source_kind is NodeKind.DATASTORE and \
+                target_kind is NodeKind.ACTOR:
+            return self._apply_read(configuration, flow, fired)
+        raise GenerationError(
+            f"flow {flow.describe()} has an unsupported endpoint "
+            f"combination ({source_kind.value} -> {target_kind.value})"
+        )
+
+    def _apply_collect(self, configuration: Configuration, flow: Flow,
+                       fired: FrozenSet[FlowKey]):
+        actor = flow.target
+        has_mask = configuration.has_mask
+        for field_name in flow.fields:
+            has_mask |= self.registry.mask_of(VarKind.HAS, actor,
+                                              field_name)
+        holdings = configuration.holdings | {
+            (actor, f) for f in flow.fields
+        }
+        label = TransitionLabel(
+            action=ActionType.COLLECT, fields=flow.fields, actor=actor,
+            source=flow.source, target=flow.target,
+            purpose=flow.purpose or None, flow_key=flow.key)
+        return label, TransitionKind.FLOW, Configuration(
+            has_mask, holdings, configuration.contents, fired)
+
+    def _materialize_originated(self, configuration: Configuration,
+                                flow: Flow):
+        """Give an actor source its originated fields as it first sends
+        them: the actor now holds — and has identified — the data it
+        created about the user."""
+        actor = flow.source
+        originated = set(self.system.actors[actor].originates)
+        has_mask = configuration.has_mask
+        holdings = configuration.holdings
+        fresh = [
+            f for f in flow.fields
+            if f in originated and (actor, f) not in holdings
+        ]
+        if fresh:
+            holdings = holdings | {(actor, f) for f in fresh}
+            for field_name in fresh:
+                has_mask |= self.registry.mask_of(VarKind.HAS, actor,
+                                                  field_name)
+        return has_mask, holdings
+
+    def _apply_disclose(self, configuration: Configuration, flow: Flow,
+                        fired: FrozenSet[FlowKey]):
+        recipient = flow.target
+        has_mask, holdings = self._materialize_originated(
+            configuration, flow)
+        for field_name in flow.fields:
+            has_mask |= self.registry.mask_of(VarKind.HAS, recipient,
+                                              field_name)
+        holdings = holdings | {
+            (recipient, f) for f in flow.fields
+        }
+        label = TransitionLabel(
+            action=ActionType.DISCLOSE, fields=flow.fields,
+            actor=flow.source, source=flow.source, target=flow.target,
+            purpose=flow.purpose or None, flow_key=flow.key)
+        return label, TransitionKind.FLOW, Configuration(
+            has_mask, holdings, configuration.contents, fired)
+
+    def _apply_disclose_to_user(self, configuration: Configuration,
+                                flow: Flow, fired: FrozenSet[FlowKey]):
+        # Returning data to the subject does not change their privacy,
+        # but sending originated fields still materialises them.
+        has_mask, holdings = self._materialize_originated(
+            configuration, flow)
+        label = TransitionLabel(
+            action=ActionType.DISCLOSE, fields=flow.fields,
+            actor=flow.source, source=flow.source, target=flow.target,
+            purpose=flow.purpose or None, flow_key=flow.key)
+        return label, TransitionKind.FLOW, Configuration(
+            has_mask, holdings, configuration.contents, fired)
+
+    def _apply_store_write(self, configuration: Configuration, flow: Flow,
+                           fired: FrozenSet[FlowKey]):
+        store = self.system.datastore(flow.target)
+        has_mask, holdings = self._materialize_originated(
+            configuration, flow)
+        stored_fields = []
+        for field_name in flow.fields:
+            if store.anonymised and anon_name(field_name) in store.schema:
+                stored_fields.append(anon_name(field_name))
+            else:
+                stored_fields.append(field_name)
+        contents = configuration.contents | {
+            (store.name, f) for f in stored_fields
+        }
+        action = ActionType.ANON if store.anonymised else ActionType.CREATE
+        label = TransitionLabel(
+            action=action, fields=tuple(stored_fields), actor=flow.source,
+            source=flow.source, target=flow.target,
+            schema=store.schema.name,
+            purpose=flow.purpose or None, flow_key=flow.key)
+        return label, TransitionKind.FLOW, Configuration(
+            has_mask, holdings, contents, fired)
+
+    def _apply_read(self, configuration: Configuration, flow: Flow,
+                    fired: FrozenSet[FlowKey]):
+        store = self.system.datastore(flow.source)
+        reader = flow.target
+        has_mask = configuration.has_mask
+        for field_name in flow.fields:
+            has_mask |= self.registry.mask_of(VarKind.HAS, reader,
+                                              field_name)
+        holdings = configuration.holdings | {
+            (reader, f) for f in flow.fields
+        }
+        label = TransitionLabel(
+            action=ActionType.READ, fields=flow.fields, actor=reader,
+            source=flow.source, target=flow.target,
+            schema=store.schema.name,
+            purpose=flow.purpose or None, flow_key=flow.key)
+        return label, TransitionKind.FLOW, Configuration(
+            has_mask, holdings, configuration.contents, fired)
+
+    # -- policy-derived transitions ------------------------------------------------------
+
+    def _potential_reads(self, configuration: Configuration,
+                         options: GenerationOptions):
+        """Reads permitted by the access policy but not in any flow.
+
+        One transition per (actor, store) pair revealing everything the
+        actor may read of the store's current contents; emitted only
+        when it actually changes the state.
+        """
+        actors = options.potential_read_actors \
+            if options.potential_read_actors is not None \
+            else frozenset(self.system.actors)
+        by_store: Dict[str, List[str]] = {}
+        for store_name, field_name in configuration.contents:
+            by_store.setdefault(store_name, []).append(field_name)
+        for actor in sorted(actors):
+            for store_name in sorted(by_store):
+                stored = by_store[store_name]
+                readable = sorted(
+                    f for f in stored
+                    if self.system.policy.can_read(actor, store_name, f)
+                )
+                if not readable:
+                    continue
+                has_mask = configuration.has_mask
+                holdings = set(configuration.holdings)
+                for field_name in readable:
+                    has_mask |= self.registry.mask_of(
+                        VarKind.HAS, actor, field_name)
+                    holdings.add((actor, field_name))
+                successor = Configuration(
+                    has_mask, frozenset(holdings),
+                    configuration.contents, configuration.fired)
+                if successor == configuration:
+                    continue
+                store = self.system.datastore(store_name)
+                label = TransitionLabel(
+                    action=ActionType.READ, fields=tuple(readable),
+                    actor=actor, source=store_name, target=actor,
+                    schema=store.schema.name)
+                yield label, TransitionKind.POTENTIAL, successor
+
+    def _policy_deletes(self, configuration: Configuration,
+                        options: GenerationOptions):
+        """Deletes permitted by the access policy on stored fields."""
+        actors = options.delete_actors \
+            if options.delete_actors is not None \
+            else frozenset(self.system.actors)
+        by_store: Dict[str, List[str]] = {}
+        for store_name, field_name in configuration.contents:
+            by_store.setdefault(store_name, []).append(field_name)
+        for actor in sorted(actors):
+            for store_name in sorted(by_store):
+                deletable = sorted(
+                    f for f in by_store[store_name]
+                    if self.system.policy.can_delete(actor, store_name, f)
+                )
+                if not deletable:
+                    continue
+                contents = frozenset(
+                    entry for entry in configuration.contents
+                    if not (entry[0] == store_name and
+                            entry[1] in deletable)
+                )
+                successor = Configuration(
+                    configuration.has_mask, configuration.holdings,
+                    contents, configuration.fired)
+                if successor == configuration:
+                    continue
+                store = self.system.datastore(store_name)
+                label = TransitionLabel(
+                    action=ActionType.DELETE, fields=tuple(deletable),
+                    actor=actor, source=actor, target=store_name,
+                    schema=store.schema.name)
+                yield label, TransitionKind.POTENTIAL, successor
+
+
+def generate_lts(system: SystemModel,
+                 options: Optional[GenerationOptions] = None) -> LTS:
+    """Convenience one-call generation (builds a fresh generator)."""
+    return ModelGenerator(system).generate(options)

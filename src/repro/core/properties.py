@@ -1,0 +1,243 @@
+"""Temporal privacy properties over the generated LTS.
+
+Related work the paper positions against checks systems against their
+privacy policies; "our LTS can be similarly analysed" (section V).
+This module provides that analysis: a small property language over
+states and transitions with witness/counterexample extraction.
+
+Properties are evaluated over the reachable fragment. The generated
+LTS is a finite DAG, so everything here terminates without fixpoint
+machinery.
+
+Example
+-------
+>>> from repro.core.properties import never, actor_has
+>>> # result = never(lts, actor_has("Researcher", "diagnosis"))
+>>> # result.holds, result.witness
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .lts import LTS, State, Transition
+from .reachability import (
+    path_description,
+    reachable_states,
+    shortest_path_to,
+    states_where,
+)
+
+StatePredicate = Callable[[State], bool]
+TransitionPredicate = Callable[[Transition], bool]
+
+
+# -- atomic state predicates ---------------------------------------------------
+
+def actor_has(actor: str, field: str) -> StatePredicate:
+    """The actor has identified the field."""
+    def predicate(state: State) -> bool:
+        return state.vector.has(actor, field)
+    return predicate
+
+
+def actor_could(actor: str, field: str) -> StatePredicate:
+    """The actor could identify the field."""
+    def predicate(state: State) -> bool:
+        return state.vector.could(actor, field)
+    return predicate
+
+
+def actor_knows_any(actor: str, fields: Sequence[str],
+                    include_could: bool = True) -> StatePredicate:
+    """The actor has (or could have) identified at least one field."""
+    def predicate(state: State) -> bool:
+        for field in fields:
+            if state.vector.has(actor, field):
+                return True
+            if include_could and state.vector.could(actor, field):
+                return True
+        return False
+    return predicate
+
+
+def all_of(*predicates: StatePredicate) -> StatePredicate:
+    def predicate(state: State) -> bool:
+        return all(p(state) for p in predicates)
+    return predicate
+
+
+def any_of(*predicates: StatePredicate) -> StatePredicate:
+    def predicate(state: State) -> bool:
+        return any(p(state) for p in predicates)
+    return predicate
+
+
+def negated(inner: StatePredicate) -> StatePredicate:
+    def predicate(state: State) -> bool:
+        return not inner(state)
+    return predicate
+
+
+# -- atomic transition predicates ------------------------------------------------
+
+def action_is(action) -> TransitionPredicate:
+    from .actions import ActionType
+    resolved = action if isinstance(action, ActionType) else \
+        ActionType.from_name(action)
+
+    def predicate(transition: Transition) -> bool:
+        return transition.label.action is resolved
+    return predicate
+
+
+def by_actor(actor: str) -> TransitionPredicate:
+    def predicate(transition: Transition) -> bool:
+        return transition.label.actor == actor
+    return predicate
+
+
+def touches_field(field: str) -> TransitionPredicate:
+    def predicate(transition: Transition) -> bool:
+        return field in transition.label.fields
+    return predicate
+
+
+def all_of_t(*predicates: TransitionPredicate) -> TransitionPredicate:
+    def predicate(transition: Transition) -> bool:
+        return all(p(transition) for p in predicates)
+    return predicate
+
+
+# -- results ------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PropertyResult:
+    """Outcome of a property check.
+
+    ``witness`` is a transition path: for a satisfied *eventually* it
+    leads to the witnessing state; for a violated *never*/*always* it
+    is the counterexample path.
+    """
+
+    holds: bool
+    description: str
+    witness: Optional[Tuple[Transition, ...]] = None
+
+    def witness_text(self) -> str:
+        if self.witness is None:
+            return "<no witness>"
+        return path_description(self.witness)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __repr__(self) -> str:
+        status = "holds" if self.holds else "violated"
+        return f"PropertyResult({self.description!r}: {status})"
+
+
+# -- property checks -------------------------------------------------------------------
+
+def eventually(lts: LTS, predicate: StatePredicate,
+               description: str = "eventually P") -> PropertyResult:
+    """Some reachable state satisfies the predicate (EF P)."""
+    path = shortest_path_to(lts, predicate)
+    if path is None:
+        return PropertyResult(False, description)
+    return PropertyResult(True, description, tuple(path))
+
+
+def never(lts: LTS, predicate: StatePredicate,
+          description: str = "never P") -> PropertyResult:
+    """No reachable state satisfies the predicate (AG !P).
+
+    A violation's witness is the shortest path to an offending state.
+    """
+    path = shortest_path_to(lts, predicate)
+    if path is None:
+        return PropertyResult(True, description)
+    return PropertyResult(False, description, tuple(path))
+
+
+def always(lts: LTS, predicate: StatePredicate,
+           description: str = "always P") -> PropertyResult:
+    """Every reachable state satisfies the predicate (AG P)."""
+    result = never(lts, negated(predicate),
+                   description)
+    return PropertyResult(result.holds, description, result.witness)
+
+
+def can_occur(lts: LTS, predicate: TransitionPredicate,
+              description: str = "transition can occur") -> PropertyResult:
+    """Some transition reachable from the initial state satisfies the
+    predicate; the witness path ends with that transition."""
+    reachable = reachable_states(lts)
+    for transition in lts.transitions:
+        if transition.source in reachable and predicate(transition):
+            prefix = shortest_path_to(
+                lts, lambda s: s.sid == transition.source)
+            path = tuple(prefix or ()) + (transition,)
+            return PropertyResult(True, description, path)
+    return PropertyResult(False, description)
+
+
+def leads_to(lts: LTS, premise: StatePredicate,
+             conclusion: StatePredicate,
+             description: str = "P leads to Q") -> PropertyResult:
+    """From every reachable state satisfying ``premise``, *all* maximal
+    paths eventually pass a state satisfying ``conclusion``
+    (AG (P -> AF Q)). Conclusion may hold at the premise state itself.
+
+    Sound here because generated LTSs are DAGs; on a cyclic LTS a
+    violating lasso would be missed, so we defensively detect cycles.
+    """
+    memo: Dict[int, bool] = {}
+    on_stack: set = set()
+
+    def all_paths_reach(sid: int) -> bool:
+        if conclusion(lts.state(sid)):
+            return True
+        if sid in memo:
+            return memo[sid]
+        if sid in on_stack:
+            raise ValueError(
+                "leads_to requires an acyclic LTS; found a cycle through "
+                f"state s{sid}"
+            )
+        successors = lts.successors(sid)
+        if not successors:
+            memo[sid] = False
+            return False
+        on_stack.add(sid)
+        verdict = all(all_paths_reach(t) for t in set(successors))
+        on_stack.discard(sid)
+        memo[sid] = verdict
+        return verdict
+
+    for state in states_where(lts, premise):
+        if not all_paths_reach(state.sid):
+            prefix = shortest_path_to(lts, lambda s: s.sid == state.sid)
+            return PropertyResult(False, description,
+                                  tuple(prefix or ()))
+    return PropertyResult(True, description)
+
+
+def check_all(lts: LTS, properties: Dict[str, Tuple[str, object]]
+              ) -> Dict[str, PropertyResult]:
+    """Batch check: name -> (kind, predicate) with kind one of
+    'eventually', 'never', 'always'."""
+    checkers = {"eventually": eventually, "never": never,
+                "always": always}
+    results = {}
+    for name, (kind, predicate) in properties.items():
+        try:
+            checker = checkers[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown property kind {kind!r} for {name!r}; use one "
+                f"of {sorted(checkers)}"
+            ) from None
+        results[name] = checker(lts, predicate, description=name)
+    return results

@@ -1,0 +1,158 @@
+"""Likelihood of out-of-service reads (paper III.A).
+
+The paper reduces the likelihood dimension to the ``read`` action by
+non-allowed actors and lists the situations contributing probability:
+
+1. *Accidental access* — a query returns a small subset of users and
+   the actor sees fields of the wrong user.
+2. *Maintenance deletion* — "if an actor maintaining the service needs
+   to delete the data, the system may first show the data to be
+   deleted".
+3. *Non-agreed service execution* — an actor starts a service the user
+   did not agree to.
+
+"The resulting probability will be the sum of the probabilities of
+these scenarios occurring, as they are intrinsically uncorrelated" —
+we implement that sum (capped at 1.0) as the default and offer
+noisy-or combination as an option for users who prefer an
+independent-events reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One probability-contributing situation.
+
+    The matcher fields restrict where the scenario applies; ``None``
+    means "any". A scenario applies to a (actor, store, fields) read
+    when the actor and store match and at least one read field matches.
+    """
+
+    name: str
+    probability: float
+    actors: Optional[FrozenSet[str]] = None
+    stores: Optional[FrozenSet[str]] = None
+    fields: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"scenario {self.name!r} probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+
+    def applies(self, actor: str, store: Optional[str],
+                fields: Iterable[str]) -> bool:
+        if self.actors is not None and actor not in self.actors:
+            return False
+        if self.stores is not None and (
+                store is None or store not in self.stores):
+            return False
+        if self.fields is not None and \
+                not self.fields.intersection(fields):
+            return False
+        return True
+
+
+def accidental_access(probability: float = 0.05,
+                      stores: Optional[Iterable[str]] = None) -> Scenario:
+    """Scenario 1: small query result exposes another user's fields."""
+    return Scenario(
+        "accidental access", probability,
+        stores=frozenset(stores) if stores is not None else None)
+
+
+def maintenance_deletion(probability: float = 0.02,
+                         actors: Optional[Iterable[str]] = None
+                         ) -> Scenario:
+    """Scenario 2: data shown to a maintainer before deletion."""
+    return Scenario(
+        "maintenance deletion view", probability,
+        actors=frozenset(actors) if actors is not None else None)
+
+
+def non_agreed_service(probability: float = 0.05,
+                       actors: Optional[Iterable[str]] = None) -> Scenario:
+    """Scenario 3: execution of a service the user did not agree to."""
+    return Scenario(
+        "non-agreed service execution", probability,
+        actors=frozenset(actors) if actors is not None else None)
+
+
+class LikelihoodModel:
+    """Combines scenario probabilities for a given read.
+
+    ``combine='sum'`` (paper's default, capped at 1.0) or
+    ``combine='noisy-or'`` (1 - prod(1 - p)).
+    """
+
+    def __init__(self, scenarios: Sequence[Scenario] = (),
+                 combine: str = "sum"):
+        if combine not in ("sum", "noisy-or"):
+            raise ValueError(
+                f"combine must be 'sum' or 'noisy-or', got {combine!r}"
+            )
+        self._scenarios: List[Scenario] = list(scenarios)
+        self._combine = combine
+
+    @classmethod
+    def example(cls) -> "LikelihoodModel":
+        """The example scenario set used by the evaluation benches.
+
+        The paper does not publish numbers; these place a routine
+        out-of-service read in the LOW likelihood band (sum 0.09 with
+        the default banding's LOW <= 0.1), which reproduces the IV.A
+        verdicts: HIGH impact x LOW likelihood -> MEDIUM risk.
+        """
+        return cls([
+            accidental_access(0.04),
+            maintenance_deletion(0.02),
+            non_agreed_service(0.03),
+        ])
+
+    def add(self, scenario: Scenario) -> "LikelihoodModel":
+        self._scenarios.append(scenario)
+        return self
+
+    @property
+    def scenarios(self) -> Tuple[Scenario, ...]:
+        return tuple(self._scenarios)
+
+    def applicable(self, actor: str, store: Optional[str],
+                   fields: Iterable[str]) -> Tuple[Scenario, ...]:
+        field_list = tuple(fields)
+        return tuple(
+            s for s in self._scenarios
+            if s.applies(actor, store, field_list)
+        )
+
+    def probability(self, actor: str, store: Optional[str],
+                    fields: Iterable[str]) -> float:
+        """Combined probability that ``actor`` reads the fields outside
+        any agreed service."""
+        applicable = self.applicable(actor, store, fields)
+        if not applicable:
+            return 0.0
+        if self._combine == "sum":
+            return min(1.0, sum(s.probability for s in applicable))
+        product = 1.0
+        for scenario in applicable:
+            product *= (1.0 - scenario.probability)
+        return 1.0 - product
+
+    def breakdown(self, actor: str, store: Optional[str],
+                  fields: Iterable[str]) -> List[Tuple[str, float]]:
+        """(scenario name, probability) pairs that contributed."""
+        return [
+            (s.name, s.probability)
+            for s in self.applicable(actor, store, fields)
+        ]
+
+    def __repr__(self) -> str:
+        names = [s.name for s in self._scenarios]
+        return f"LikelihoodModel({names}, combine={self._combine!r})"

@@ -1,0 +1,234 @@
+"""Risk levels, banding and the impact x likelihood risk table.
+
+Section III.A: "we categorise the impact and likelihood into categories
+(low, medium and high), and then use a table to determine a risk level.
+The categorisation ... as well as the table ... should be specified
+according to the type of service." Both the bands and the table are
+therefore configuration; we ship the *example* table used by the
+evaluation, chosen so that a HIGH-impact, LOW-likelihood event is
+MEDIUM risk (the Administrator/EHR case of section IV.A).
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from typing import Dict, Mapping, Optional, Tuple
+
+from ...errors import AnalysisError
+
+
+@functools.total_ordering
+class RiskLevel(enum.Enum):
+    """Ordered risk / category level: NONE < LOW < MEDIUM < HIGH."""
+
+    NONE = "none"
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    @property
+    def rank(self) -> int:
+        return _RANKS[self]
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, RiskLevel):
+            return NotImplemented
+        return self.rank < other.rank
+
+    @classmethod
+    def from_name(cls, name) -> "RiskLevel":
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(str(name).lower())
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown risk level {name!r}; expected one of: {valid}"
+            ) from None
+
+
+_RANKS = {
+    RiskLevel.NONE: 0,
+    RiskLevel.LOW: 1,
+    RiskLevel.MEDIUM: 2,
+    RiskLevel.HIGH: 3,
+}
+
+
+class Banding:
+    """Thresholds mapping a [0, 1] quantity to LOW/MEDIUM/HIGH.
+
+    ``low_upper`` and ``medium_upper`` are inclusive upper bounds for
+    LOW and MEDIUM. Values of exactly zero map to NONE — an event with
+    no impact (or no chance) carries no risk at all.
+    """
+
+    def __init__(self, low_upper: float, medium_upper: float):
+        if not 0.0 < low_upper < medium_upper <= 1.0:
+            raise ValueError(
+                "banding requires 0 < low_upper < medium_upper <= 1, "
+                f"got {low_upper}, {medium_upper}"
+            )
+        self.low_upper = low_upper
+        self.medium_upper = medium_upper
+
+    def categorize(self, value: float) -> RiskLevel:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"value {value} outside [0, 1]")
+        if value == 0.0:
+            return RiskLevel.NONE
+        if value <= self.low_upper:
+            return RiskLevel.LOW
+        if value <= self.medium_upper:
+            return RiskLevel.MEDIUM
+        return RiskLevel.HIGH
+
+    def __repr__(self) -> str:
+        return f"Banding(low<={self.low_upper}, medium<={self.medium_upper})"
+
+
+DEFAULT_IMPACT_BANDING = Banding(1.0 / 3.0, 2.0 / 3.0)
+DEFAULT_LIKELIHOOD_BANDING = Banding(0.1, 0.5)
+
+
+class RiskMatrix:
+    """The (impact category, likelihood category) -> risk level table."""
+
+    def __init__(self, table: Mapping[Tuple[RiskLevel, RiskLevel],
+                                      RiskLevel],
+                 impact_banding: Optional[Banding] = None,
+                 likelihood_banding: Optional[Banding] = None):
+        self._table: Dict[Tuple[RiskLevel, RiskLevel], RiskLevel] = {}
+        for (impact, likelihood), level in table.items():
+            self._table[(RiskLevel.from_name(impact),
+                         RiskLevel.from_name(likelihood))] = \
+                RiskLevel.from_name(level)
+        self.impact_banding = impact_banding or DEFAULT_IMPACT_BANDING
+        self.likelihood_banding = (likelihood_banding or
+                                   DEFAULT_LIKELIHOOD_BANDING)
+
+    def level(self, impact_category: RiskLevel,
+              likelihood_category: RiskLevel) -> RiskLevel:
+        """Look up the table; NONE on either axis means no risk."""
+        if RiskLevel.NONE in (impact_category, likelihood_category):
+            return RiskLevel.NONE
+        try:
+            return self._table[(impact_category, likelihood_category)]
+        except KeyError:
+            raise AnalysisError(
+                f"risk matrix has no entry for impact="
+                f"{impact_category.value}, "
+                f"likelihood={likelihood_category.value}"
+            ) from None
+
+    def assess(self, impact: float, likelihood: float) -> "RiskAssessment":
+        """Band the quantities and consult the table."""
+        impact_category = self.impact_banding.categorize(impact)
+        likelihood_category = self.likelihood_banding.categorize(likelihood)
+        return RiskAssessment(
+            impact=impact,
+            likelihood=likelihood,
+            impact_category=impact_category,
+            likelihood_category=likelihood_category,
+            level=self.level(impact_category, likelihood_category),
+        )
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-compatible dict (see :meth:`from_dict`)."""
+        return {
+            "table": {
+                f"{impact.value}/{likelihood.value}": level.value
+                for (impact, likelihood), level in self._table.items()
+            },
+            "impact_banding": [self.impact_banding.low_upper,
+                               self.impact_banding.medium_upper],
+            "likelihood_banding": [
+                self.likelihood_banding.low_upper,
+                self.likelihood_banding.medium_upper],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RiskMatrix":
+        """Build a matrix from configuration.
+
+        The paper: the categorisation and table "should be specified
+        according to the type of service" — i.e. they are deployment
+        configuration, not code. Expected shape::
+
+            {"table": {"high/low": "medium", ...},
+             "impact_banding": [0.33, 0.67],       # optional
+             "likelihood_banding": [0.1, 0.5]}     # optional
+        """
+        try:
+            raw_table = data["table"]
+        except KeyError:
+            raise AnalysisError(
+                "risk matrix configuration needs a 'table' mapping"
+            ) from None
+        table = {}
+        for key, level in raw_table.items():
+            impact_name, separator, likelihood_name = key.partition("/")
+            if not separator:
+                raise AnalysisError(
+                    f"risk matrix key {key!r} must be "
+                    "'<impact>/<likelihood>'"
+                )
+            table[(RiskLevel.from_name(impact_name),
+                   RiskLevel.from_name(likelihood_name))] = \
+                RiskLevel.from_name(level)
+
+        def banding(key):
+            bounds = data.get(key)
+            if bounds is None:
+                return None
+            low_upper, medium_upper = bounds
+            return Banding(low_upper, medium_upper)
+
+        return cls(table, banding("impact_banding"),
+                   banding("likelihood_banding"))
+
+    @classmethod
+    def example(cls) -> "RiskMatrix":
+        """The example table of the evaluation (section IV.A).
+
+        Qualitatively standard: risk grows with both axes; a
+        high-impact event is never below MEDIUM; a low-impact,
+        low-likelihood event is LOW.
+        """
+        low, medium, high = (RiskLevel.LOW, RiskLevel.MEDIUM,
+                             RiskLevel.HIGH)
+        return cls({
+            (low, low): low,
+            (low, medium): low,
+            (low, high): medium,
+            (medium, low): low,
+            (medium, medium): medium,
+            (medium, high): high,
+            (high, low): medium,
+            (high, medium): high,
+            (high, high): high,
+        })
+
+
+class RiskAssessment:
+    """One assessed (impact, likelihood) pair with its table verdict."""
+
+    def __init__(self, impact: float, likelihood: float,
+                 impact_category: RiskLevel,
+                 likelihood_category: RiskLevel,
+                 level: RiskLevel):
+        self.impact = impact
+        self.likelihood = likelihood
+        self.impact_category = impact_category
+        self.likelihood_category = likelihood_category
+        self.level = level
+
+    def __repr__(self) -> str:
+        return (
+            f"RiskAssessment(level={self.level.value}, "
+            f"impact={self.impact:.3f} ({self.impact_category.value}), "
+            f"likelihood={self.likelihood:.3f} "
+            f"({self.likelihood_category.value}))"
+        )

@@ -1,0 +1,162 @@
+"""Population-level disclosure risk analysis.
+
+Section III: "risk analysis ... takes the user privacy control
+requirements and annotates the model with their risk; hence there is
+an instance for each user. The process can be executed with running
+users of the system, or with simulated users in the development
+phase." This module runs the per-user analysis across a population
+(real profiles or :func:`repro.consent.simulate_users` output) and
+aggregates: how many users face unacceptable risk, which actors and
+fields drive it, and how the picture shifts between two designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..._util import ascii_table
+from ...dfd.model import SystemModel
+from .disclosure import DisclosureRiskAnalyzer
+from .likelihood import LikelihoodModel
+from .matrix import RiskLevel, RiskMatrix
+from .report import DisclosureRiskReport
+
+
+@dataclass(frozen=True)
+class UserOutcome:
+    """One user's aggregated verdict."""
+
+    user_name: str
+    max_level: RiskLevel
+    unacceptable_events: int
+    agreed_services: Tuple[str, ...]
+
+
+class PopulationReport:
+    """Aggregate of per-user disclosure reports."""
+
+    def __init__(self, outcomes: Sequence[UserOutcome],
+                 reports: Sequence[DisclosureRiskReport],
+                 skipped: Sequence[str]):
+        self.outcomes = tuple(outcomes)
+        self.reports = tuple(reports)
+        self.skipped = tuple(skipped)
+        """Users skipped because they agreed to no service."""
+
+    @property
+    def analysed_count(self) -> int:
+        return len(self.outcomes)
+
+    def level_histogram(self) -> Dict[RiskLevel, int]:
+        histogram = {level: 0 for level in RiskLevel}
+        for outcome in self.outcomes:
+            histogram[outcome.max_level] += 1
+        return histogram
+
+    def users_at_or_above(self, level) -> Tuple[UserOutcome, ...]:
+        threshold = RiskLevel.from_name(level)
+        return tuple(o for o in self.outcomes
+                     if o.max_level >= threshold)
+
+    @property
+    def unacceptable_fraction(self) -> float:
+        """Fraction of analysed users with at least one event above
+        their personal acceptable risk level."""
+        if not self.outcomes:
+            return 0.0
+        affected = sum(
+            1 for o in self.outcomes if o.unacceptable_events > 0)
+        return affected / len(self.outcomes)
+
+    def hot_spots(self) -> Dict[Tuple[str, str], int]:
+        """(actor, field) -> number of users with a risk event there.
+
+        The designer's to-do list: the grants whose removal helps the
+        most users.
+        """
+        spots: Dict[Tuple[str, str], int] = {}
+        for report in self.reports:
+            seen = set()
+            for event in report.events:
+                for field in event.fields:
+                    seen.add((event.actor, field))
+            for key in seen:
+                spots[key] = spots.get(key, 0) + 1
+        return spots
+
+    def summary_table(self) -> str:
+        histogram = self.level_histogram()
+        rows = [
+            (level.value.upper(), count,
+             f"{count / max(1, self.analysed_count):.0%}")
+            for level, count in histogram.items()
+        ]
+        return ascii_table(("max risk", "users", "share"), rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"PopulationReport(analysed={self.analysed_count}, "
+            f"skipped={len(self.skipped)}, "
+            f"unacceptable={self.unacceptable_fraction:.0%})"
+        )
+
+
+class PopulationAnalyzer:
+    """Runs the §III.A analysis per user and aggregates the outcomes.
+
+    LTS generations are cached by the user's agreed-service set and the
+    induced non-allowed actor set, so a Westin-style population with a
+    handful of distinct consent combinations costs a handful of
+    generations, not one per user.
+    """
+
+    def __init__(self, system: SystemModel,
+                 likelihood: Optional[LikelihoodModel] = None,
+                 matrix: Optional[RiskMatrix] = None):
+        self.system = system
+        self._analyzer = DisclosureRiskAnalyzer(system, likelihood,
+                                                matrix)
+        self._lts_cache: Dict[Tuple, object] = {}
+
+    def analyse(self, users: Sequence) -> PopulationReport:
+        outcomes: List[UserOutcome] = []
+        reports: List[DisclosureRiskReport] = []
+        skipped: List[str] = []
+        for user in users:
+            if not user.agreed_services:
+                skipped.append(user.name)
+                continue
+            report = self._analyzer.analyse(
+                user, lts=self._lts_for(user))
+            reports.append(report)
+            outcomes.append(UserOutcome(
+                user_name=user.name,
+                max_level=report.max_level,
+                unacceptable_events=len(report.unacceptable_for(user)),
+                agreed_services=tuple(user.agreed_services),
+            ))
+        return PopulationReport(outcomes, reports, skipped)
+
+    def _lts_for(self, user):
+        from ..generation import GenerationOptions, ModelGenerator
+        non_allowed = frozenset(user.non_allowed_actors(self.system))
+        key = (tuple(user.agreed_services), non_allowed)
+        cached = self._lts_cache.get(key)
+        if cached is None:
+            generator = ModelGenerator(self.system)
+            cached = generator.generate(GenerationOptions(
+                services=tuple(user.agreed_services),
+                include_potential_reads=True,
+                potential_read_actors=non_allowed,
+            ))
+            self._lts_cache[key] = cached
+        return cached
+
+
+def analyse_population(system: SystemModel, users: Sequence,
+                       likelihood: Optional[LikelihoodModel] = None,
+                       matrix: Optional[RiskMatrix] = None
+                       ) -> PopulationReport:
+    """One-call population analysis."""
+    return PopulationAnalyzer(system, likelihood, matrix).analyse(users)

@@ -1,0 +1,205 @@
+"""Pseudonymisation risk transitions in the LTS (paper III.B, Fig. 4).
+
+"A risk that a given actor (a) can access a given sensitive field (f)
+is said to be present in every state in the LTS where the
+pseudonymised version of f (f_anon) has been accessed by a. If a only
+has access rights to f_anon and not f, transitions will be added to
+the LTS starting from each of these at-risk states."
+
+This analyzer finds the at-risk states, injects the *risk transitions*
+(``read f`` by the actor — rendered dotted in Fig. 4), and labels each
+with a value-risk score computed from data when data is available
+("simulated data can be used at design time, whereas the model can be
+applied to the running system").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...datastore import Record
+from ...dfd.model import SystemModel
+from ...errors import AnalysisError
+from ...schema import anon_name, is_anon_name, original_name
+from ..actions import ActionType, TransitionLabel
+from ..generation import Configuration
+from ..lts import LTS, Transition, TransitionKind
+from ..statevars import VarKind
+from .report import RiskAnnotation
+from .valuerisk import ValueRiskPolicy, ValueRiskResult, value_risk
+
+
+@dataclasses.dataclass(frozen=True)
+class PseudonymisationRisk:
+    """One injected risk transition with its scoring context."""
+
+    transition: Transition
+    actor: str
+    sensitive_field: str
+    fields_read: Tuple[str, ...]
+    result: Optional[ValueRiskResult]
+
+    @property
+    def violations(self) -> Optional[int]:
+        return self.result.violations if self.result is not None else None
+
+    def describe(self) -> str:
+        score = "unscored (no data)" if self.result is None else \
+            f"violations={self.result.violations}" \
+            f"/{len(self.result.per_record)}"
+        return (
+            f"{self.actor} may infer {self.sensitive_field!r} from "
+            f"{{{', '.join(self.fields_read)}}}: {score}"
+        )
+
+
+class PseudonymisationRiskAnalyzer:
+    """Adds and scores the dotted risk transitions of Fig. 4."""
+
+    def __init__(self, system: SystemModel, policy: ValueRiskPolicy,
+                 dataset: Optional[Sequence[Record]] = None,
+                 record_field_map: Optional[Mapping[str, str]] = None):
+        """
+        Parameters
+        ----------
+        system:
+            The modelled system (supplies the access policy).
+        policy:
+            The inference policy (sensitive field, closeness,
+            confidence, optional design threshold).
+        dataset:
+            Released (pseudonymised) records used for scoring; without
+            data the risk transitions are still injected, unscored.
+        record_field_map:
+            Maps LTS field names (``age_anon``) to the dataset's
+            column names; defaults to stripping the ``_anon`` suffix
+            (Table I's records carry original column names).
+        """
+        self.system = system
+        self.policy = policy
+        self.dataset = tuple(dataset) if dataset is not None else None
+        self._field_map = dict(record_field_map) \
+            if record_field_map is not None else None
+
+    # -- helpers ------------------------------------------------------------
+
+    def _map_field(self, lts_field: str) -> str:
+        if self._field_map is not None:
+            try:
+                return self._field_map[lts_field]
+            except KeyError:
+                raise AnalysisError(
+                    f"record_field_map has no entry for {lts_field!r}"
+                ) from None
+        return original_name(lts_field)
+
+    def _actor_lacks_raw_access(self, actor: str, field: str) -> bool:
+        """"If a only has access rights to f_anon and not f"."""
+        for store in self.system.datastores.values():
+            if field in store.schema and \
+                    self.system.policy.can_read(actor, store.name, field):
+                return False
+        return True
+
+    def _score(self, fields_read: Tuple[str, ...]
+               ) -> Optional[ValueRiskResult]:
+        if self.dataset is None:
+            return None
+        mapped = tuple(self._map_field(f) for f in fields_read)
+        return value_risk(self.dataset, mapped, self.policy)
+
+    # -- main entry point -----------------------------------------------------
+
+    def annotate(self, lts: LTS,
+                 actors: Optional[Sequence[str]] = None
+                 ) -> List[PseudonymisationRisk]:
+        """Inject risk transitions into ``lts`` (in place).
+
+        ``actors`` restricts the analysis (default: every actor in the
+        registry). Returns the injected risks; each transition carries
+        a :class:`RiskAnnotation` with the value-risk result.
+        """
+        sensitive = self.policy.sensitive_field
+        sensitive_anon = anon_name(sensitive)
+        if sensitive_anon not in lts.registry.fields:
+            raise AnalysisError(
+                f"the LTS has no {sensitive_anon!r} state variables; "
+                "the model does not pseudonymise "
+                f"{sensitive!r} at all"
+            )
+        candidates = tuple(actors) if actors is not None \
+            else lts.registry.actors
+        anon_quasi_fields = tuple(
+            f for f in lts.registry.fields
+            if is_anon_name(f) and f != sensitive_anon
+        )
+
+        risks: List[PseudonymisationRisk] = []
+        for actor in candidates:
+            if not self._actor_lacks_raw_access(actor, sensitive):
+                continue
+            risks.extend(self._annotate_actor(
+                lts, actor, sensitive, sensitive_anon, anon_quasi_fields))
+        return risks
+
+    def _annotate_actor(self, lts: LTS, actor: str, sensitive: str,
+                        sensitive_anon: str,
+                        anon_quasi_fields: Tuple[str, ...]
+                        ) -> List[PseudonymisationRisk]:
+        risks: List[PseudonymisationRisk] = []
+        # Snapshot: we append states/transitions while iterating.
+        for state in tuple(lts.states):
+            if not state.vector.has(actor, sensitive_anon):
+                continue
+            if state.vector.has(actor, sensitive):
+                continue  # nothing left to infer
+            fields_read = tuple(
+                f for f in anon_quasi_fields
+                if state.vector.has(actor, f)
+            )
+            result = self._score(fields_read)
+            target_sid = self._risk_target(lts, state, actor, sensitive)
+            label = TransitionLabel(
+                action=ActionType.READ, fields=(sensitive,), actor=actor,
+                source=state.name(), target=actor,
+                purpose="value inference from pseudonymised data")
+            transition = lts.add_transition(
+                state.sid, target_sid, label, TransitionKind.RISK)
+            annotation = RiskAnnotation(
+                value_risk=result,
+                context=(
+                    f"inference of {sensitive!r} by {actor} given "
+                    f"{list(fields_read)}"
+                ),
+            )
+            transition.risk = annotation
+            risks.append(PseudonymisationRisk(
+                transition=transition,
+                actor=actor,
+                sensitive_field=sensitive,
+                fields_read=fields_read,
+                result=result,
+            ))
+        return risks
+
+    def _risk_target(self, lts: LTS, state, actor: str,
+                     sensitive: str) -> int:
+        """The state reached if the inference succeeds: has(actor, f)."""
+        vector = state.vector.with_true(VarKind.HAS, actor, sensitive)
+        key = state.key
+        if isinstance(key, Configuration):
+            bit = lts.registry.mask_of(VarKind.HAS, actor, sensitive)
+            key = dataclasses.replace(
+                key, has_mask=key.has_mask | bit)
+        else:  # non-generated LTS (hand-built in tests)
+            key = ("risk", key, actor, sensitive)
+        sid, _ = lts.add_state(key, vector, dict(state.info))
+        return sid
+
+    def enforce(self, risks: Sequence[PseudonymisationRisk]) -> None:
+        """Design-phase gate: raise if any scored risk breaches the
+        policy's violation threshold."""
+        for risk in risks:
+            if risk.result is not None:
+                risk.result.enforce()

@@ -1,0 +1,146 @@
+"""Risk annotations and the disclosure risk report.
+
+A :class:`RiskAnnotation` is the "privacy risk measure" label the
+paper attaches to transitions during analysis. It may carry a full
+impact x likelihood :class:`~repro.core.risk.matrix.RiskAssessment`
+(unwanted disclosure, III.A), a value-risk result (pseudonymisation,
+III.B), or both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..._util import ascii_table
+from ..lts import Transition
+from .matrix import RiskAssessment, RiskLevel
+
+
+@dataclass
+class RiskAnnotation:
+    """The risk label of one transition."""
+
+    assessment: Optional[RiskAssessment] = None
+    value_risk: Optional[object] = None  # ValueRiskResult (III.B)
+    scenario_breakdown: Tuple[Tuple[str, float], ...] = ()
+    context: str = ""
+
+    @property
+    def level(self) -> RiskLevel:
+        if self.assessment is not None:
+            return self.assessment.level
+        return RiskLevel.NONE
+
+    def describe(self) -> str:
+        parts = []
+        if self.assessment is not None:
+            parts.append(
+                f"{self.assessment.level.value.upper()} "
+                f"(impact={self.assessment.impact_category.value}, "
+                f"likelihood={self.assessment.likelihood_category.value})"
+            )
+        if self.value_risk is not None:
+            parts.append(
+                f"violations={self.value_risk.violations}/"
+                f"{len(self.value_risk.per_record)}"
+            )
+        if self.context:
+            parts.append(self.context)
+        return "; ".join(parts) if parts else "<unscored>"
+
+
+@dataclass(frozen=True)
+class RiskEvent:
+    """One identified risk: a transition with its assessment."""
+
+    transition: Transition
+    actor: str
+    fields: Tuple[str, ...]
+    store: Optional[str]
+    assessment: RiskAssessment
+    scenario_breakdown: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def level(self) -> RiskLevel:
+        return self.assessment.level
+
+    def describe(self) -> str:
+        where = f" from {self.store}" if self.store else ""
+        return (
+            f"{self.level.value.upper()}: {self.actor} reads "
+            f"{{{', '.join(self.fields)}}}{where} "
+            f"[impact={self.assessment.impact:.2f} "
+            f"({self.assessment.impact_category.value}), "
+            f"likelihood={self.assessment.likelihood:.2f} "
+            f"({self.assessment.likelihood_category.value})]"
+        )
+
+
+class DisclosureRiskReport:
+    """The output of unwanted-disclosure analysis for one user."""
+
+    def __init__(self, user_name: str,
+                 allowed_actors: Sequence[str],
+                 non_allowed_actors: Sequence[str],
+                 events: Sequence[RiskEvent]):
+        self.user_name = user_name
+        self.allowed_actors = tuple(sorted(allowed_actors))
+        self.non_allowed_actors = tuple(sorted(non_allowed_actors))
+        self._events = tuple(sorted(
+            events, key=lambda e: (-e.assessment.level.rank,
+                                   e.actor, e.fields)))
+
+    @property
+    def events(self) -> Tuple[RiskEvent, ...]:
+        return self._events
+
+    @property
+    def max_level(self) -> RiskLevel:
+        if not self._events:
+            return RiskLevel.NONE
+        return max(e.level for e in self._events)
+
+    def events_at_or_above(self, level) -> Tuple[RiskEvent, ...]:
+        threshold = RiskLevel.from_name(level)
+        return tuple(e for e in self._events if e.level >= threshold)
+
+    def events_above(self, level) -> Tuple[RiskEvent, ...]:
+        threshold = RiskLevel.from_name(level)
+        return tuple(e for e in self._events if e.level > threshold)
+
+    def by_actor(self) -> Dict[str, Tuple[RiskEvent, ...]]:
+        grouped: Dict[str, List[RiskEvent]] = {}
+        for event in self._events:
+            grouped.setdefault(event.actor, []).append(event)
+        return {actor: tuple(events)
+                for actor, events in grouped.items()}
+
+    def unacceptable_for(self, user) -> Tuple[RiskEvent, ...]:
+        """Events exceeding the user's acceptable risk level."""
+        return self.events_above(user.acceptable_risk)
+
+    def summary_table(self) -> str:
+        headers = ("risk", "actor", "fields", "store",
+                   "impact", "likelihood")
+        rows = [
+            (
+                event.level.value.upper(),
+                event.actor,
+                ", ".join(event.fields),
+                event.store or "-",
+                f"{event.assessment.impact:.2f}",
+                f"{event.assessment.likelihood:.2f}",
+            )
+            for event in self._events
+        ]
+        if not rows:
+            rows = [("-", "-", "-", "-", "-", "-")]
+        return ascii_table(headers, rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"DisclosureRiskReport(user={self.user_name!r}, "
+            f"events={len(self._events)}, "
+            f"max={self.max_level.value})"
+        )

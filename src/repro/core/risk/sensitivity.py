@@ -1,0 +1,149 @@
+"""Sensitivity of personal data fields (paper III.A).
+
+The user's view of how bad disclosure of each field would be is either
+a category (low / medium / high) or a number in [0, 1]; the paper uses
+the quantitative measure, written sigma(d). Relative to an actor,
+sigma(d, a) = 0 when the actor is *allowed* (takes part in a service
+the user agreed to) and sigma(d) otherwise — agreeing to a service
+means consenting to its actors handling the data.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+
+class SensitivityCategory(enum.Enum):
+    """Categorical sensitivity, ordered low < medium < high."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SensitivityCategory":
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown sensitivity category {name!r}; "
+                f"expected one of: {valid}"
+            ) from None
+
+    def to_value(self) -> float:
+        """Representative numeric value for a category."""
+        return _CATEGORY_VALUES[self]
+
+
+_CATEGORY_VALUES = {
+    SensitivityCategory.LOW: 0.2,
+    SensitivityCategory.MEDIUM: 0.5,
+    SensitivityCategory.HIGH: 0.9,
+}
+
+# Default banding for mapping numbers back to categories: the risk
+# matrix consumes categories, the model stores numbers.
+DEFAULT_BANDS: Tuple[Tuple[float, SensitivityCategory], ...] = (
+    (1.0 / 3.0, SensitivityCategory.LOW),
+    (2.0 / 3.0, SensitivityCategory.MEDIUM),
+    (1.0, SensitivityCategory.HIGH),
+)
+
+
+def categorize(value: float,
+               bands: Tuple[Tuple[float, SensitivityCategory], ...] =
+               DEFAULT_BANDS) -> SensitivityCategory:
+    """Map a [0, 1] value to a category using inclusive upper bounds."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"sensitivity value {value} outside [0, 1]")
+    for upper, category in bands:
+        if value <= upper:
+            return category
+    return bands[-1][1]
+
+
+class SensitivityProfile:
+    """Per-field sensitivities sigma(d) for one user.
+
+    Fields not explicitly profiled take ``default`` (0.0: the user does
+    not care, matching the paper's per-user notion of privacy where
+    "one user may care ... another user may not").
+    """
+
+    def __init__(self, sensitivities: Optional[Mapping[str, float]] = None,
+                 default: float = 0.0):
+        if not 0.0 <= default <= 1.0:
+            raise ValueError(f"default sensitivity {default} outside [0, 1]")
+        self._default = default
+        self._values: Dict[str, float] = {}
+        if sensitivities:
+            for field, value in sensitivities.items():
+                self.set(field, value)
+
+    def set(self, field: str, value) -> "SensitivityProfile":
+        """Set sigma(field); accepts a number, a category, or a
+        category name."""
+        if isinstance(value, SensitivityCategory):
+            numeric = value.to_value()
+        elif isinstance(value, str):
+            numeric = SensitivityCategory.from_name(value).to_value()
+        else:
+            numeric = float(value)
+        if not 0.0 <= numeric <= 1.0:
+            raise ValueError(
+                f"sensitivity for {field!r} must be in [0, 1], "
+                f"got {numeric}"
+            )
+        self._values[field] = numeric
+        return self
+
+    def sigma(self, field: str) -> float:
+        """sigma(d): the user's sensitivity to disclosure of ``field``.
+
+        Anonymised variants inherit the original's sensitivity unless
+        profiled explicitly — knowing ``weight_anon`` maps back to the
+        same personal attribute.
+        """
+        if field in self._values:
+            return self._values[field]
+        from ...schema import is_anon_name, original_name
+        if is_anon_name(field) and original_name(field) in self._values:
+            return self._values[original_name(field)]
+        return self._default
+
+    def sigma_for(self, field: str, actor: str,
+                  allowed_actors: Iterable[str]) -> float:
+        """sigma(d, a): zero for allowed actors, sigma(d) otherwise."""
+        if actor in set(allowed_actors):
+            return 0.0
+        return self.sigma(field)
+
+    def category(self, field: str) -> SensitivityCategory:
+        return categorize(self.sigma(field))
+
+    def max_sigma(self, fields: Iterable[str]) -> float:
+        """Sensitivity of a collection: "a collection of data fields is
+        only as sensitive as the most sensitive data field"."""
+        values = [self.sigma(f) for f in fields]
+        if not values:
+            return 0.0
+        return max(values)
+
+    @property
+    def default(self) -> float:
+        """The sigma assigned to fields not explicitly profiled."""
+        return self._default
+
+    def fields(self) -> Tuple[str, ...]:
+        return tuple(self._values)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        return (
+            f"SensitivityProfile({self._values!r}, "
+            f"default={self._default})"
+        )

@@ -1,0 +1,205 @@
+"""Value risk of pseudonymised data (paper III.B and Table I).
+
+k-anonymisation prevents re-identification but "do[es] not guarantee
+that there is not still a value risk": within an equivalence set, the
+sensitive values themselves may be so homogeneous that an attacker who
+knows their target is in the set can infer the value. The paper's
+worked policy: "the researcher being able to predict an individual's
+weight to within 5kg with at least 90% confidence".
+
+The risk score algorithm (section III.B, steps 1-3):
+
+1. collect the anonymised fields already read — ``fields_read``;
+2. mask all other fields and divide the data into sets of records that
+   now appear identical;
+3. per record ``r`` and sensitive field ``f``:
+   ``risk(r, f) = frequency(f) / size(s)`` where ``frequency`` counts
+   the values in ``r``'s set that are *close enough* to ``r``'s value
+   (the user may specify a range, e.g. within 5 kg).
+
+Table I of the paper is :func:`value_risk` applied to six sample
+records with ``fields_read`` = {Height}, {Age} and {Age, Height}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..._util import ascii_table, fmt_fraction
+from ...datastore import Record
+from ...errors import PolicyViolationError
+
+
+@dataclass(frozen=True)
+class ValueRiskPolicy:
+    """What counts as an inference violation.
+
+    Attributes
+    ----------
+    sensitive_field:
+        The field whose value must not be inferable.
+    closeness:
+        Two numeric values "match" when they differ by at most this
+        amount (0 = exact equality; non-numeric values always compare
+        by equality).
+    confidence:
+        A record is violated when its risk reaches this probability.
+    max_violation_fraction:
+        Optional design-phase threshold: :func:`enforce` raises when
+        the violated fraction exceeds it (the paper's "the system would
+        now throw an error").
+    """
+
+    sensitive_field: str
+    closeness: float = 0.0
+    confidence: float = 0.9
+    max_violation_fraction: Optional[float] = None
+
+    def __post_init__(self):
+        if self.closeness < 0:
+            raise ValueError("closeness must be non-negative")
+        if not 0.0 < self.confidence <= 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1], got {self.confidence}"
+            )
+        if self.max_violation_fraction is not None and \
+                not 0.0 <= self.max_violation_fraction <= 1.0:
+            raise ValueError(
+                "max_violation_fraction must be in [0, 1], got "
+                f"{self.max_violation_fraction}"
+            )
+
+    def values_match(self, left, right) -> bool:
+        if isinstance(left, (int, float)) and \
+                isinstance(right, (int, float)):
+            return abs(left - right) <= self.closeness
+        return left == right
+
+
+@dataclass(frozen=True)
+class RecordRisk:
+    """The per-record outcome: the paper's "individual value risk"."""
+
+    record: Record
+    frequency: int
+    set_size: int
+    violated: bool
+
+    @property
+    def risk(self) -> float:
+        return self.frequency / self.set_size
+
+    @property
+    def fraction(self) -> str:
+        """Rendered as Table I prints it: ``2/4``."""
+        return fmt_fraction(self.frequency, self.set_size)
+
+
+@dataclass(frozen=True)
+class ValueRiskResult:
+    """All record risks for one ``fields_read`` combination."""
+
+    policy: ValueRiskPolicy
+    fields_read: Tuple[str, ...]
+    per_record: Tuple[RecordRisk, ...]
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for r in self.per_record if r.violated)
+
+    @property
+    def violation_fraction(self) -> float:
+        if not self.per_record:
+            return 0.0
+        return self.violations / len(self.per_record)
+
+    @property
+    def max_risk(self) -> float:
+        if not self.per_record:
+            return 0.0
+        return max(r.risk for r in self.per_record)
+
+    def enforce(self) -> None:
+        """Raise :class:`PolicyViolationError` when the violated
+        fraction exceeds the policy's design threshold."""
+        threshold = self.policy.max_violation_fraction
+        if threshold is None:
+            return
+        if self.violation_fraction > threshold:
+            raise PolicyViolationError(
+                f"{self.violations}/{len(self.per_record)} records "
+                f"({self.violation_fraction:.0%}) allow inferring "
+                f"{self.policy.sensitive_field!r} with >= "
+                f"{self.policy.confidence:.0%} confidence given "
+                f"fields {list(self.fields_read)}; the declared limit "
+                f"is {threshold:.0%} — choose another form of "
+                "pseudonymisation",
+                violations=[r for r in self.per_record if r.violated],
+            )
+
+
+def value_risk(records: Sequence[Record], fields_read: Sequence[str],
+               policy: ValueRiskPolicy) -> ValueRiskResult:
+    """Score every record per the three-step algorithm above."""
+    fields_read = tuple(fields_read)
+    sets: Dict[Tuple, List[Record]] = {}
+    for record in records:
+        # Step 2: masking all fields outside fields_read and grouping
+        # identical-looking records == grouping on the fields_read key.
+        sets.setdefault(record.key_on(fields_read), []).append(record)
+
+    scored: List[RecordRisk] = []
+    for record in records:
+        group = sets[record.key_on(fields_read)]
+        own_value = record[policy.sensitive_field]
+        frequency = sum(
+            1 for member in group
+            if policy.values_match(member[policy.sensitive_field],
+                                   own_value)
+        )
+        risk = frequency / len(group)
+        scored.append(RecordRisk(
+            record=record,
+            frequency=frequency,
+            set_size=len(group),
+            violated=risk >= policy.confidence,
+        ))
+    return ValueRiskResult(policy, fields_read, tuple(scored))
+
+
+def risk_sweep(records: Sequence[Record],
+               field_combinations: Sequence[Sequence[str]],
+               policy: ValueRiskPolicy) -> List[ValueRiskResult]:
+    """Evaluate several ``fields_read`` combinations — "as more
+    identifying fields become available ... the number of violations
+    increases" (section IV.B)."""
+    return [
+        value_risk(records, combination, policy)
+        for combination in field_combinations
+    ]
+
+
+def render_risk_table(records: Sequence[Record],
+                      display_fields: Sequence[str],
+                      results: Sequence[ValueRiskResult]) -> str:
+    """Render the paper's Table I: one row per record, the display
+    fields, then one risk column (and a violations footer) per
+    ``fields_read`` combination."""
+    headers = list(display_fields)
+    headers.extend(
+        " ".join(result.fields_read) + " risk" for result in results
+    )
+    by_rid = [
+        {risk.record.rid: risk for risk in result.per_record}
+        for result in results
+    ]
+    rows = []
+    for record in records:
+        row = [record.get(f, "-") for f in display_fields]
+        for mapping in by_rid:
+            row.append(mapping[record.rid].fraction)
+        rows.append(row)
+    footer = ["Violations:"] + [""] * (len(display_fields) - 1)
+    footer.extend(str(result.violations) for result in results)
+    return ascii_table(headers, rows, footer=footer)

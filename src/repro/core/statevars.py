@@ -1,0 +1,237 @@
+"""Privacy state variables: the Boolean labelling of LTS states.
+
+Section II.B: states "are labelled with variables to represent two
+pre-dominant factors: whether a particular actor *has* identified a
+particular field, or whether an actor *could* identify a field. These
+variables ... take the form of Booleans, and there are two for each
+actor-data field pair (has, could)."
+
+For the healthcare example this is 2 x 5 actors x 6 fields = 60
+Booleans and hence 2^60 possible privacy states — which is exactly why
+the states are stored as integer bit masks behind a
+:class:`VariableRegistry`, not as dictionaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ModelError
+
+
+class VarKind(enum.Enum):
+    """The two variable families per (actor, field) pair."""
+
+    HAS = "has"
+    COULD = "could"
+
+
+@dataclass(frozen=True)
+class StateVariable:
+    """One Boolean state variable: has/could (actor, field)."""
+
+    kind: VarKind
+    actor: str
+    field: str
+
+    def label(self) -> str:
+        return f"{self.kind.value}({self.actor}, {self.field})"
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+class VariableRegistry:
+    """Bijection between state variables and bit positions.
+
+    Built once per system model from its actors and field universe;
+    every privacy vector of the generated LTS indexes through the same
+    registry, so masks are comparable across states.
+    """
+
+    def __init__(self, actors: Sequence[str], fields: Sequence[str]):
+        if len(set(actors)) != len(actors):
+            raise ModelError("duplicate actor names in variable registry")
+        if len(set(fields)) != len(fields):
+            raise ModelError("duplicate field names in variable registry")
+        self._actors = tuple(actors)
+        self._fields = tuple(fields)
+        self._bits: Dict[Tuple[VarKind, str, str], int] = {}
+        self._variables: List[StateVariable] = []
+        for actor in self._actors:
+            for field in self._fields:
+                for kind in (VarKind.HAS, VarKind.COULD):
+                    variable = StateVariable(kind, actor, field)
+                    self._bits[(kind, actor, field)] = len(self._variables)
+                    self._variables.append(variable)
+
+    # -- sizing -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    @property
+    def actors(self) -> Tuple[str, ...]:
+        return self._actors
+
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        return self._fields
+
+    # -- bit mapping --------------------------------------------------------
+
+    def bit(self, kind: VarKind, actor: str, field: str) -> int:
+        try:
+            return self._bits[(kind, actor, field)]
+        except KeyError:
+            raise ModelError(
+                f"unknown state variable "
+                f"{kind.value}({actor!r}, {field!r}); registry covers "
+                f"actors {list(self._actors)} and fields "
+                f"{list(self._fields)}"
+            ) from None
+
+    def mask_of(self, kind: VarKind, actor: str, field: str) -> int:
+        return 1 << self.bit(kind, actor, field)
+
+    def variable_at(self, bit: int) -> StateVariable:
+        try:
+            return self._variables[bit]
+        except IndexError:
+            raise ModelError(
+                f"bit {bit} out of range 0..{len(self._variables) - 1}"
+            ) from None
+
+    def variables(self) -> Tuple[StateVariable, ...]:
+        return tuple(self._variables)
+
+    def empty_vector(self) -> "PrivacyVector":
+        """The absolute privacy state: every variable false."""
+        return PrivacyVector(self, 0)
+
+
+class PrivacyVector:
+    """An immutable assignment of all state variables (a bit mask)."""
+
+    __slots__ = ("_registry", "_mask")
+
+    def __init__(self, registry: VariableRegistry, mask: int = 0):
+        if mask < 0 or mask >= (1 << len(registry)):
+            raise ModelError(
+                f"mask {mask} does not fit {len(registry)} variables"
+            )
+        self._registry = registry
+        self._mask = mask
+
+    @property
+    def registry(self) -> VariableRegistry:
+        return self._registry
+
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, kind: VarKind, actor: str, field: str) -> bool:
+        return bool(self._mask &
+                    self._registry.mask_of(kind, actor, field))
+
+    def has(self, actor: str, field: str) -> bool:
+        """Whether the actor *has identified* the field."""
+        return self.get(VarKind.HAS, actor, field)
+
+    def could(self, actor: str, field: str) -> bool:
+        """Whether the actor *could identify* the field."""
+        return self.get(VarKind.COULD, actor, field)
+
+    def true_variables(self) -> Tuple[StateVariable, ...]:
+        result = []
+        mask = self._mask
+        bit = 0
+        while mask:
+            if mask & 1:
+                result.append(self._registry.variable_at(bit))
+            mask >>= 1
+            bit += 1
+        return tuple(result)
+
+    def count_true(self) -> int:
+        return bin(self._mask).count("1")
+
+    def fields_known_by(self, actor: str,
+                        include_could: bool = True) -> Tuple[str, ...]:
+        """Fields the actor has identified (or could, when asked) —
+        the per-actor disclosure view used in reports."""
+        known = []
+        for field in self._registry.fields:
+            if self.has(actor, field) or \
+                    (include_could and self.could(actor, field)):
+                known.append(field)
+        return tuple(known)
+
+    # -- derivation ---------------------------------------------------------------
+
+    def with_true(self, kind: VarKind, actor: str,
+                  field: str) -> "PrivacyVector":
+        return PrivacyVector(
+            self._registry,
+            self._mask | self._registry.mask_of(kind, actor, field))
+
+    def with_false(self, kind: VarKind, actor: str,
+                   field: str) -> "PrivacyVector":
+        return PrivacyVector(
+            self._registry,
+            self._mask & ~self._registry.mask_of(kind, actor, field))
+
+    def union(self, other: "PrivacyVector") -> "PrivacyVector":
+        self._check_same_registry(other)
+        return PrivacyVector(self._registry, self._mask | other._mask)
+
+    def newly_true_versus(self, other: "PrivacyVector"
+                          ) -> Tuple[StateVariable, ...]:
+        """Variables true here but false in ``other`` — the per-
+        transition delta the impact measure is built from."""
+        self._check_same_registry(other)
+        delta = PrivacyVector(self._registry,
+                              self._mask & ~other._mask)
+        return delta.true_variables()
+
+    def _check_same_registry(self, other: "PrivacyVector") -> None:
+        if self._registry is not other._registry:
+            raise ModelError(
+                "privacy vectors from different registries are not "
+                "comparable"
+            )
+
+    # -- presentation -----------------------------------------------------------------
+
+    def table(self) -> List[Tuple[str, str, bool, bool]]:
+        """Rows (actor, field, has, could) — the state label table the
+        paper draws next to each state in Fig. 2."""
+        rows = []
+        for actor in self._registry.actors:
+            for field in self._registry.fields:
+                rows.append((actor, field,
+                             self.has(actor, field),
+                             self.could(actor, field)))
+        return rows
+
+    # -- identity -------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PrivacyVector):
+            return NotImplemented
+        return self._registry is other._registry and \
+            self._mask == other._mask
+
+    def __hash__(self) -> int:
+        return hash((id(self._registry), self._mask))
+
+    def __repr__(self) -> str:
+        true_count = self.count_true()
+        return (
+            f"PrivacyVector({true_count}/{len(self._registry)} true)"
+        )

@@ -1,0 +1,35 @@
+"""Runtime datastore substrate: records, queries, policy-enforced stores."""
+
+from .query import (
+    Condition,
+    Query,
+    between,
+    close_to,
+    eq,
+    ge,
+    gt,
+    isin,
+    le,
+    lt,
+    ne,
+)
+from .records import Record, make_records
+from .store import Operation, RuntimeDatastore
+
+__all__ = [
+    "Condition",
+    "Query",
+    "between",
+    "close_to",
+    "eq",
+    "ge",
+    "gt",
+    "isin",
+    "le",
+    "lt",
+    "ne",
+    "Record",
+    "make_records",
+    "Operation",
+    "RuntimeDatastore",
+]

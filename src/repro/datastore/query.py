@@ -1,0 +1,165 @@
+"""Field-level query predicates for runtime datastores.
+
+The paper assumes "datastore interfaces that support querying and
+display of individual fields" (section II.A). A :class:`Query` is a
+conjunction of per-field predicates plus an optional projection and
+limit; stores evaluate it record by record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+Predicate = Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One per-field predicate with a printable description."""
+
+    field: str
+    test: Predicate
+    description: str
+
+    def matches(self, record) -> bool:
+        if self.field not in record:
+            return False
+        return self.test(record[self.field])
+
+    def __str__(self) -> str:
+        return f"{self.field} {self.description}"
+
+
+def eq(field: str, value: Any) -> Condition:
+    return Condition(field, lambda v: v == value, f"== {value!r}")
+
+
+def ne(field: str, value: Any) -> Condition:
+    return Condition(field, lambda v: v != value, f"!= {value!r}")
+
+
+def lt(field: str, value: Any) -> Condition:
+    return Condition(field, lambda v: v < value, f"< {value!r}")
+
+
+def le(field: str, value: Any) -> Condition:
+    return Condition(field, lambda v: v <= value, f"<= {value!r}")
+
+
+def gt(field: str, value: Any) -> Condition:
+    return Condition(field, lambda v: v > value, f"> {value!r}")
+
+
+def ge(field: str, value: Any) -> Condition:
+    return Condition(field, lambda v: v >= value, f">= {value!r}")
+
+
+def between(field: str, low: Any, high: Any) -> Condition:
+    """Inclusive range test."""
+    return Condition(field, lambda v: low <= v <= high,
+                     f"in [{low!r}, {high!r}]")
+
+
+def isin(field: str, values: Iterable[Any]) -> Condition:
+    frozen = frozenset(values)
+    return Condition(field, lambda v: v in frozen,
+                     f"in {sorted(map(repr, frozen))}")
+
+
+def close_to(field: str, value: float, tolerance: float) -> Condition:
+    """|v - value| <= tolerance — the paper's "close enough" matcher
+    (e.g. weight within 5 kg)."""
+    return Condition(
+        field,
+        lambda v: abs(v - value) <= tolerance,
+        f"within {tolerance!r} of {value!r}",
+    )
+
+
+class Query:
+    """A conjunctive query: conditions + projection + limit.
+
+    Built fluently::
+
+        Query().where(eq("name", "Ada")).select("diagnosis").limit(10)
+    """
+
+    def __init__(self, conditions: Iterable[Condition] = (),
+                 projection: Optional[Sequence[str]] = None,
+                 max_results: Optional[int] = None):
+        self._conditions: List[Condition] = list(conditions)
+        self._projection: Optional[Tuple[str, ...]] = (
+            tuple(projection) if projection is not None else None
+        )
+        self._max_results = max_results
+
+    def where(self, *conditions: Condition) -> "Query":
+        clone = self._clone()
+        clone._conditions.extend(conditions)
+        return clone
+
+    def select(self, *fields: str) -> "Query":
+        clone = self._clone()
+        clone._projection = tuple(fields)
+        return clone
+
+    def limit(self, count: int) -> "Query":
+        if count < 0:
+            raise ValueError("limit must be non-negative")
+        clone = self._clone()
+        clone._max_results = count
+        return clone
+
+    def _clone(self) -> "Query":
+        return Query(self._conditions, self._projection, self._max_results)
+
+    @property
+    def conditions(self) -> Tuple[Condition, ...]:
+        return tuple(self._conditions)
+
+    @property
+    def projection(self) -> Optional[Tuple[str, ...]]:
+        return self._projection
+
+    @property
+    def max_results(self) -> Optional[int]:
+        return self._max_results
+
+    def fields_touched(self, record_fields: Iterable[str]) -> Tuple[str, ...]:
+        """Fields this query reveals: the projection if set, else all
+        record fields, plus every condition field (a predicate's result
+        leaks information about its field)."""
+        revealed = list(self._projection) if self._projection is not None \
+            else list(record_fields)
+        for condition in self._conditions:
+            if condition.field not in revealed:
+                revealed.append(condition.field)
+        return tuple(revealed)
+
+    def matches(self, record) -> bool:
+        return all(c.matches(record) for c in self._conditions)
+
+    def run(self, records: Iterable) -> List:
+        """Evaluate against an iterable of records."""
+        results = []
+        for record in records:
+            if not self.matches(record):
+                continue
+            projected = record.project(self._projection) \
+                if self._projection is not None else record
+            results.append(projected)
+            if self._max_results is not None and \
+                    len(results) >= self._max_results:
+                break
+        return results
+
+    def __str__(self) -> str:
+        parts = []
+        if self._conditions:
+            parts.append(" and ".join(str(c) for c in self._conditions))
+        if self._projection is not None:
+            parts.append(f"select {list(self._projection)}")
+        if self._max_results is not None:
+            parts.append(f"limit {self._max_results}")
+        return "Query(" + "; ".join(parts) + ")"

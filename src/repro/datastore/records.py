@@ -1,0 +1,109 @@
+"""Immutable records held by runtime datastores.
+
+A :class:`Record` is a frozen mapping from field names to values with
+a stable identity (`rid`). Immutability matters: the value-risk engine
+(section III.B) partitions and masks records repeatedly, and sharing
+them must be safe.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+_rid_counter = itertools.count(1)
+
+
+class Record(Mapping):
+    """An immutable row of field values.
+
+    Parameters
+    ----------
+    values:
+        Field name to value mapping.
+    rid:
+        Optional explicit record id; auto-assigned when omitted.
+    """
+
+    __slots__ = ("_values", "_rid")
+
+    def __init__(self, values: Mapping[str, Any],
+                 rid: Optional[int] = None):
+        self._values: Dict[str, Any] = dict(values)
+        self._rid = rid if rid is not None else next(_rid_counter)
+
+    @property
+    def rid(self) -> int:
+        return self._rid
+
+    # -- Mapping protocol --------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key) -> bool:
+        return key in self._values
+
+    # -- derivation --------------------------------------------------------
+
+    def project(self, fields: Iterable[str]) -> "Record":
+        """A record containing only ``fields`` (missing ones skipped),
+        keeping the same rid so provenance survives projection."""
+        wanted = [f for f in fields if f in self._values]
+        return Record({f: self._values[f] for f in wanted}, rid=self._rid)
+
+    def mask(self, fields: Iterable[str]) -> "Record":
+        """A record with ``fields`` removed — the masking step of the
+        paper's value-risk computation."""
+        hidden = set(fields)
+        return Record(
+            {k: v for k, v in self._values.items() if k not in hidden},
+            rid=self._rid,
+        )
+
+    def with_values(self, **updates: Any) -> "Record":
+        """A record with some values replaced (same rid)."""
+        merged = dict(self._values)
+        merged.update(updates)
+        return Record(merged, rid=self._rid)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Record":
+        """A record with fields renamed per ``mapping`` (same rid)."""
+        return Record(
+            {mapping.get(k, k): v for k, v in self._values.items()},
+            rid=self._rid,
+        )
+
+    def key_on(self, fields: Iterable[str]) -> Tuple:
+        """Hashable tuple of this record's values on ``fields`` —
+        the equivalence-class key used by anonymisation and risk."""
+        return tuple(self._values.get(f) for f in fields)
+
+    # -- comparison -------------------------------------------------------------
+
+    def same_values(self, other: "Record") -> bool:
+        """Value equality ignoring rid."""
+        return self._values == other._values
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self._rid == other._rid and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((self._rid, tuple(sorted(self._values.items(),
+                                             key=lambda kv: kv[0]))))
+
+    def __repr__(self) -> str:
+        return f"Record(rid={self._rid}, {self._values!r})"
+
+
+def make_records(rows: Iterable[Mapping[str, Any]]) -> Tuple[Record, ...]:
+    """Build records from plain dicts, assigning fresh rids."""
+    return tuple(Record(row) for row in rows)

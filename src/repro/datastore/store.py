@@ -1,0 +1,174 @@
+"""Runtime datastore: schema-checked, policy-enforced record storage.
+
+This is the executable counterpart of the model's datastore nodes.
+Every operation names the acting actor and is checked against the
+system's :class:`~repro.access.AccessPolicy` (default-deny), raising
+:class:`~repro.errors.AccessDenied` on violation. An audit trail of
+operations is kept so runtime monitoring (:mod:`repro.monitor`) can
+replay what actually happened against the generated LTS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..access import AccessPolicy, Permission
+from ..errors import AccessDenied, SchemaError
+from ..schema import DataSchema
+from .query import Query
+from .records import Record
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One audited datastore operation."""
+
+    actor: str
+    permission: Permission
+    store: str
+    fields: Tuple[str, ...]
+    record_count: int
+    description: str = ""
+
+
+class RuntimeDatastore:
+    """An in-memory datastore with field-level access control.
+
+    Parameters
+    ----------
+    name:
+        Store identifier (must match the model's datastore node name
+        for monitoring to correlate events).
+    schema:
+        The store's :class:`~repro.schema.DataSchema`; inserts are
+        checked against it.
+    policy:
+        Optional :class:`~repro.access.AccessPolicy`. Without one the
+        store is unprotected (useful in unit tests); with one, every
+        operation is enforced per actor and field.
+    """
+
+    def __init__(self, name: str, schema: DataSchema,
+                 policy: Optional[AccessPolicy] = None):
+        self.name = name
+        self.schema = schema
+        self.policy = policy
+        self._records: List[Record] = []
+        self._audit: List[Operation] = []
+
+    # -- enforcement helpers ------------------------------------------------
+
+    def _check(self, actor: str, permission: Permission,
+               fields: Iterable[str]) -> None:
+        if self.policy is None:
+            return
+        for field_name in fields:
+            if not self.policy.is_allowed(actor, permission, self.name,
+                                          field_name):
+                raise AccessDenied(actor, permission.value, self.name,
+                                   field_name)
+
+    def _audit_op(self, actor: str, permission: Permission,
+                  fields: Sequence[str], count: int,
+                  description: str = "") -> None:
+        self._audit.append(Operation(
+            actor, permission, self.name, tuple(fields), count, description))
+
+    # -- operations --------------------------------------------------------------
+
+    def insert(self, actor: str, values: Mapping[str, Any]) -> Record:
+        """Insert one record; all fields must be in the schema and the
+        actor needs CREATE on each."""
+        unknown = [f for f in values if f not in self.schema]
+        if unknown:
+            raise SchemaError(
+                f"insert into {self.name!r}: fields {sorted(unknown)} "
+                f"are not in schema {self.schema.name!r}"
+            )
+        self._check(actor, Permission.CREATE, values.keys())
+        record = Record(values)
+        self._records.append(record)
+        self._audit_op(actor, Permission.CREATE, tuple(values), 1, "insert")
+        return record
+
+    def insert_many(self, actor: str,
+                    rows: Iterable[Mapping[str, Any]]) -> List[Record]:
+        return [self.insert(actor, row) for row in rows]
+
+    def query(self, actor: str, query: Optional[Query] = None) -> List[Record]:
+        """Run a query as ``actor``; needs READ on every touched field."""
+        query = query if query is not None else Query()
+        touched = query.fields_touched(self.schema.names())
+        self._check(actor, Permission.READ, touched)
+        results = query.run(self._records)
+        self._audit_op(actor, Permission.READ, touched, len(results),
+                       str(query))
+        return results
+
+    def read_fields(self, actor: str,
+                    fields: Sequence[str]) -> List[Record]:
+        """Project the whole store onto ``fields`` (a display of
+        individual fields, per section II.A)."""
+        return self.query(actor, Query().select(*fields))
+
+    def delete(self, actor: str, query: Optional[Query] = None,
+               show_before_delete: bool = False) -> List[Record]:
+        """Delete matching records; returns them.
+
+        ``show_before_delete`` models the likelihood scenario of
+        section III.A ("the system may first show the data to be
+        deleted"): when set, the actor also needs READ and the audit
+        trail records the exposure.
+        """
+        query = query if query is not None else Query()
+        touched = query.fields_touched(self.schema.names())
+        self._check(actor, Permission.DELETE, touched)
+        doomed = [r for r in self._records if query.matches(r)]
+        if show_before_delete and doomed:
+            self._check(actor, Permission.READ, self.schema.names())
+            self._audit_op(actor, Permission.READ, self.schema.names(),
+                           len(doomed), "shown before delete")
+        doomed_ids = {r.rid for r in doomed}
+        self._records = [r for r in self._records
+                         if r.rid not in doomed_ids]
+        self._audit_op(actor, Permission.DELETE, touched, len(doomed),
+                       str(query))
+        return doomed
+
+    # -- unchecked access (for analysis engines, not actors) ---------------------
+
+    def snapshot(self) -> Tuple[Record, ...]:
+        """All records, without enforcement — analysis engines (risk
+        scoring, anonymisation) operate on data wholesale, they are not
+        actors inside the model."""
+        return tuple(self._records)
+
+    def load(self, records: Iterable[Record]) -> None:
+        """Bulk-load records without enforcement (fixtures, pipelines)."""
+        for record in records:
+            unknown = [f for f in record if f not in self.schema]
+            if unknown:
+                raise SchemaError(
+                    f"load into {self.name!r}: fields {sorted(unknown)} "
+                    f"are not in schema {self.schema.name!r}"
+                )
+            self._records.append(record)
+
+    def clear(self) -> None:
+        self._records = []
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def audit_trail(self) -> Tuple[Operation, ...]:
+        return tuple(self._audit)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"RuntimeDatastore({self.name!r}, schema={self.schema.name!r}, "
+            f"records={len(self._records)})"
+        )

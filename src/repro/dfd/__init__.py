@@ -1,0 +1,59 @@
+"""Data-flow modelling framework (paper II.A): models, builder, DSL, DOT."""
+
+from .builder import SystemBuilder
+from .diff import (
+    GrantKey,
+    ModelDiff,
+    RiskDelta,
+    diff_models,
+    models_equivalent,
+    risk_delta,
+)
+from .dot import dfd_to_dot
+from .model import (
+    Actor,
+    Datastore,
+    Flow,
+    NodeKind,
+    Service,
+    SystemModel,
+    USER,
+)
+from .parser import parse_dsl, parse_file, tokenize
+from .serializer import (
+    from_json,
+    system_from_dict,
+    system_to_dict,
+    to_dsl,
+    to_json,
+)
+from .validation import Issue, Severity, validate_system
+
+__all__ = [
+    "SystemBuilder",
+    "GrantKey",
+    "ModelDiff",
+    "RiskDelta",
+    "diff_models",
+    "models_equivalent",
+    "risk_delta",
+    "dfd_to_dot",
+    "Actor",
+    "Datastore",
+    "Flow",
+    "NodeKind",
+    "Service",
+    "SystemModel",
+    "USER",
+    "parse_dsl",
+    "parse_file",
+    "tokenize",
+    "from_json",
+    "system_from_dict",
+    "system_to_dict",
+    "to_dsl",
+    "to_json",
+    "Issue",
+    "Severity",
+    "validate_system",
+]

@@ -1,0 +1,181 @@
+"""Fluent builder for system models.
+
+The builder is the programmatic front door of the modelling framework:
+it assembles schemas, actors, datastores, services and grants with
+short chained calls, validates the result, and hands back a
+:class:`~repro.dfd.model.SystemModel` ready for LTS generation.
+
+Example
+-------
+>>> from repro.dfd import SystemBuilder
+>>> system = (
+...     SystemBuilder("clinic")
+...     .schema("Visit", [("name", "string", "identifier"),
+...                       ("issue", "string", "sensitive")])
+...     .actor("Doctor", role="clinician")
+...     .datastore("Records", "Visit")
+...     .service("Consult")
+...         .flow(1, "User", "Doctor", ["name", "issue"], purpose="consult")
+...         .flow(2, "Doctor", "Records", ["name", "issue"], purpose="record")
+...     .allow("Doctor", "read", "Records")
+...     .build()
+... )
+>>> sorted(system.actors)
+['Doctor']
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from ..errors import ModelError
+from ..schema import DataSchema, Field, FieldKind, FieldType
+from .model import Actor, Datastore, Flow, Service, SystemModel
+
+FieldSpec = Union[str, Tuple[str, str], Tuple[str, str, str], Field]
+
+
+def _field_from_spec(spec: FieldSpec) -> Field:
+    """Accept ``"name"``, ``("name", type)``, ``("name", type, kind)``
+    or a ready :class:`Field`."""
+    if isinstance(spec, Field):
+        return spec
+    if isinstance(spec, str):
+        return Field(spec)
+    if isinstance(spec, tuple):
+        if len(spec) == 2:
+            name, ftype = spec
+            return Field(name, FieldType.from_name(ftype))
+        if len(spec) == 3:
+            name, ftype, kind = spec
+            return Field(name, FieldType.from_name(ftype),
+                         FieldKind.from_name(kind))
+    raise ValueError(
+        f"cannot build a field from {spec!r}; use a name, a (name, type) "
+        "pair, a (name, type, kind) triple, or a Field"
+    )
+
+
+class SystemBuilder:
+    """Chained construction of a :class:`SystemModel`.
+
+    ``service()`` opens a *current service*; subsequent ``flow()`` calls
+    attach to it until another ``service()`` (or any non-flow call ends
+    nothing — flows simply require an open service).
+    """
+
+    def __init__(self, name: str):
+        self._system = SystemModel(name)
+        self._current_service: Optional[Service] = None
+        self._flow_counter = 0
+
+    # -- schemas ----------------------------------------------------------
+
+    def schema(self, name: str,
+               fields: Sequence[FieldSpec]) -> "SystemBuilder":
+        """Define a data schema from field specs."""
+        self._system.add_schema(
+            DataSchema(name, [_field_from_spec(s) for s in fields])
+        )
+        return self
+
+    def anonymised_schema(self, name: str, source_schema: str,
+                          fields: Optional[Iterable[str]] = None
+                          ) -> "SystemBuilder":
+        """Define a schema of ``*_anon`` variants of another schema."""
+        source = self._schema_named(source_schema)
+        self._system.add_schema(source.anonymised_view(fields, name=name))
+        return self
+
+    def _schema_named(self, name: str) -> DataSchema:
+        try:
+            return self._system.schemas[name]
+        except KeyError:
+            known = ", ".join(self._system.schemas) or "<none>"
+            raise ModelError(
+                f"unknown schema {name!r} (schemas: {known})"
+            ) from None
+
+    # -- nodes ----------------------------------------------------------------
+
+    def actor(self, name: str, role: Optional[str] = None,
+              description: str = "",
+              originates: Sequence[str] = ()) -> "SystemBuilder":
+        self._system.add_actor(
+            Actor(name, role, description, tuple(originates)))
+        return self
+
+    def actors(self, *names: str) -> "SystemBuilder":
+        for name in names:
+            self.actor(name)
+        return self
+
+    def datastore(self, name: str, schema: Union[str, DataSchema],
+                  anonymised: bool = False,
+                  description: str = "") -> "SystemBuilder":
+        resolved = (
+            self._schema_named(schema) if isinstance(schema, str) else schema
+        )
+        self._system.add_datastore(
+            Datastore(name, resolved, anonymised, description)
+        )
+        return self
+
+    # -- roles / grants ------------------------------------------------------
+
+    def role(self, name: str, parents: Iterable[str] = ()) -> "SystemBuilder":
+        self._system.policy.rbac.define_role(name, parents)
+        return self
+
+    def assign_role(self, actor: str, *roles: str) -> "SystemBuilder":
+        self._system.policy.rbac.assign(actor, *roles)
+        return self
+
+    def allow(self, subject: str, permissions, store: str,
+              fields: Iterable[str] = ("*",)) -> "SystemBuilder":
+        """Grant ``subject`` (actor or role) permissions on a store."""
+        self._system.policy.allow(subject, permissions, store, fields)
+        return self
+
+    # -- services / flows -------------------------------------------------------
+
+    def service(self, name: str, description: str = "") -> "SystemBuilder":
+        """Open a new service; following ``flow()`` calls attach to it."""
+        self._current_service = self._system.add_service(
+            Service(name, description=description)
+        )
+        self._flow_counter = 0
+        return self
+
+    def flow(self, order: Optional[int], source: str, target: str,
+             fields: Sequence[str], purpose: str = "") -> "SystemBuilder":
+        """Add a flow to the currently open service.
+
+        ``order=None`` auto-numbers flows 1, 2, 3, ... in call order.
+        """
+        if self._current_service is None:
+            raise ModelError(
+                "flow() requires an open service; call service() first"
+            )
+        if order is None:
+            self._flow_counter += 1
+            order = self._flow_counter
+        else:
+            self._flow_counter = max(self._flow_counter, order)
+        self._current_service.add_flow(
+            Flow(order, source, target, tuple(fields), purpose)
+        )
+        return self
+
+    # -- finish -------------------------------------------------------------------
+
+    def build(self, validate: bool = True,
+              strict: bool = True) -> SystemModel:
+        """Return the built model, validating by default."""
+        if validate:
+            self._system.validate(strict=strict)
+        return self._system
+
+    def peek(self) -> SystemModel:
+        """The model under construction, without validation."""
+        return self._system

@@ -1,0 +1,198 @@
+"""Diffing system models across design iterations.
+
+MDE lives on iteration: analyse, change the model, re-analyse. This
+module makes the change itself a first-class artefact — which actors,
+stores, flows and grants were added or removed between two versions —
+and pairs it with the risk delta (`repro.core.risk` reports before vs
+after), which is exactly the §IV.A loop ("the access policies were
+changed accordingly and the risk level was reduced").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .model import SystemModel
+from .serializer import system_to_dict
+
+
+@dataclass(frozen=True)
+class GrantKey:
+    """Canonical identity of one ACL grant for diffing."""
+
+    subject: str
+    store: str
+    permission: str
+    field: str
+
+    def describe(self) -> str:
+        return (f"{self.subject}: {self.permission} on "
+                f"{self.store}.{self.field}")
+
+
+def _grant_keys(system: SystemModel) -> Set[GrantKey]:
+    """Grants as (subject, store, permission, field) atoms.
+
+    Wildcard entries are expanded against the store's schema so that
+    rewriting ``'*'`` into its explicit field list (as field-scoped
+    revocation does) diffs as a no-op, not as churn.
+    """
+    keys: Set[GrantKey] = set()
+    for entry in system.policy.acl:
+        if entry.grants_all_fields and entry.store in system.datastores:
+            fields = system.datastores[entry.store].field_names()
+        else:
+            fields = entry.fields
+        for permission in entry.permissions:
+            for field_name in fields:
+                keys.add(GrantKey(entry.subject, entry.store,
+                                  permission.value, field_name))
+    return keys
+
+
+def _flow_keys(system: SystemModel) -> Dict[Tuple, str]:
+    flows = {}
+    for flow in system.all_flows():
+        key = (flow.service, flow.order, flow.source, flow.target,
+               flow.fields)
+        flows[key] = flow.describe()
+    return flows
+
+
+@dataclass
+class ModelDiff:
+    """The structural difference between two system models."""
+
+    added_actors: Tuple[str, ...] = ()
+    removed_actors: Tuple[str, ...] = ()
+    added_datastores: Tuple[str, ...] = ()
+    removed_datastores: Tuple[str, ...] = ()
+    added_services: Tuple[str, ...] = ()
+    removed_services: Tuple[str, ...] = ()
+    added_flows: Tuple[str, ...] = ()
+    removed_flows: Tuple[str, ...] = ()
+    added_grants: Tuple[GrantKey, ...] = ()
+    removed_grants: Tuple[GrantKey, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not any((
+            self.added_actors, self.removed_actors,
+            self.added_datastores, self.removed_datastores,
+            self.added_services, self.removed_services,
+            self.added_flows, self.removed_flows,
+            self.added_grants, self.removed_grants,
+        ))
+
+    @property
+    def widens_access(self) -> bool:
+        """Whether the change grants anything it did not before — the
+        reviewer's first question about a model change."""
+        return bool(self.added_grants)
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return "no structural changes"
+        lines: List[str] = []
+
+        def section(title, added, removed, render=str):
+            for item in added:
+                lines.append(f"+ {title}: {render(item)}")
+            for item in removed:
+                lines.append(f"- {title}: {render(item)}")
+
+        section("actor", self.added_actors, self.removed_actors)
+        section("datastore", self.added_datastores,
+                self.removed_datastores)
+        section("service", self.added_services, self.removed_services)
+        section("flow", self.added_flows, self.removed_flows)
+        section("grant", self.added_grants, self.removed_grants,
+                render=lambda g: g.describe())
+        return "\n".join(lines)
+
+
+def diff_models(before: SystemModel, after: SystemModel) -> ModelDiff:
+    """Structural diff of two models (order-insensitive)."""
+    before_flows = _flow_keys(before)
+    after_flows = _flow_keys(after)
+    before_grants = _grant_keys(before)
+    after_grants = _grant_keys(after)
+
+    def added_removed(old, new):
+        return (tuple(sorted(set(new) - set(old))),
+                tuple(sorted(set(old) - set(new))))
+
+    added_actors, removed_actors = added_removed(
+        before.actors, after.actors)
+    added_stores, removed_stores = added_removed(
+        before.datastores, after.datastores)
+    added_services, removed_services = added_removed(
+        before.services, after.services)
+    return ModelDiff(
+        added_actors=added_actors,
+        removed_actors=removed_actors,
+        added_datastores=added_stores,
+        removed_datastores=removed_stores,
+        added_services=added_services,
+        removed_services=removed_services,
+        added_flows=tuple(
+            after_flows[k] for k in sorted(
+                set(after_flows) - set(before_flows),
+                key=lambda key: (key[0], key[1]))),
+        removed_flows=tuple(
+            before_flows[k] for k in sorted(
+                set(before_flows) - set(after_flows),
+                key=lambda key: (key[0], key[1]))),
+        added_grants=tuple(sorted(
+            after_grants - before_grants,
+            key=lambda g: (g.subject, g.store, g.permission, g.field))),
+        removed_grants=tuple(sorted(
+            before_grants - after_grants,
+            key=lambda g: (g.subject, g.store, g.permission, g.field))),
+    )
+
+
+def models_equivalent(left: SystemModel, right: SystemModel) -> bool:
+    """Full structural equality (serialized form), stronger than
+    :func:`diff_models` emptiness (which ignores e.g. descriptions)."""
+    return system_to_dict(left) == system_to_dict(right)
+
+
+@dataclass(frozen=True)
+class RiskDelta:
+    """Before/after risk comparison for one user."""
+
+    user_name: str
+    before_level: object
+    after_level: object
+    before_events: int
+    after_events: int
+
+    @property
+    def improved(self) -> bool:
+        return self.after_level < self.before_level or (
+            self.after_level == self.before_level
+            and self.after_events < self.before_events)
+
+    def describe(self) -> str:
+        return (
+            f"{self.user_name}: {self.before_level.value} "
+            f"({self.before_events} events) -> "
+            f"{self.after_level.value} ({self.after_events} events)"
+        )
+
+
+def risk_delta(before: SystemModel, after: SystemModel,
+               user) -> RiskDelta:
+    """Run the disclosure analysis on both versions and compare."""
+    from ..core.risk.disclosure import analyse_disclosure
+    before_report = analyse_disclosure(before, user)
+    after_report = analyse_disclosure(after, user)
+    return RiskDelta(
+        user_name=user.name,
+        before_level=before_report.max_level,
+        after_level=after_report.max_level,
+        before_events=len(before_report.events),
+        after_events=len(after_report.events),
+    )

@@ -1,0 +1,82 @@
+"""Graphviz (DOT) rendering of data-flow diagrams.
+
+Reproduces the visual conventions of the paper's Fig. 1: actors are
+ovals, datastores are rectangles labelled with their identifier and
+schema name, the user is a bold oval, and each flow arrow carries its
+order, field set and purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .model import NodeKind, SystemModel, USER
+
+
+def _quote(value: str) -> str:
+    return '"' + value.replace('"', '\\"') + '"'
+
+
+def _edge_label(flow) -> str:
+    fields = ", ".join(flow.fields)
+    label = f"{flow.order}: {{{fields}}}"
+    if flow.purpose:
+        label += f"\\n({flow.purpose})"
+    return label
+
+
+def dfd_to_dot(system: SystemModel,
+               services: Optional[Iterable[str]] = None,
+               graph_name: Optional[str] = None) -> str:
+    """Render the system's data-flow diagram(s) as DOT text.
+
+    ``services`` restricts the output to the named services (default:
+    all). Each service is drawn as its own cluster, matching the two
+    side-by-side diagrams of Fig. 1.
+    """
+    selected = list(services) if services is not None else \
+        list(system.services)
+    for name in selected:
+        system.service(name)  # raises on unknown service names
+
+    lines: List[str] = [
+        f"digraph {_quote(graph_name or system.name)} {{",
+        "  rankdir=LR;",
+        "  node [fontsize=11];",
+    ]
+
+    used_nodes = set()
+    for service_name in selected:
+        for flow in system.service(service_name).flows:
+            used_nodes.add(flow.source)
+            used_nodes.add(flow.target)
+
+    for node in sorted(used_nodes):
+        kind = system.node_kind(node)
+        if kind is NodeKind.USER:
+            lines.append(
+                f"  {_quote(node)} [shape=oval, style=bold];")
+        elif kind is NodeKind.ACTOR:
+            lines.append(f"  {_quote(node)} [shape=oval];")
+        else:
+            store = system.datastores[node]
+            label = f"{store.name}\\n[{store.schema.name}]"
+            style = ", style=dashed" if store.anonymised else ""
+            lines.append(
+                f"  {_quote(node)} [shape=box, "
+                f"label={_quote(label)}{style}];"
+            )
+
+    for index, service_name in enumerate(selected):
+        service = system.service(service_name)
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(service.name)};")
+        for flow in service.flows:
+            lines.append(
+                f"    {_quote(flow.source)} -> {_quote(flow.target)} "
+                f"[label={_quote(_edge_label(flow))}];"
+            )
+        lines.append("  }")
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,353 @@
+"""Data-flow model: actors, datastores, services, flows, system model.
+
+This is the developer-facing modelling layer of section II.A. A
+:class:`SystemModel` aggregates everything the paper's "Step 1" curates:
+
+- data schemas (what each datastore holds),
+- actors (ovals in Fig. 1) and datastores (rectangles),
+- services, each being one data-flow diagram: a list of
+  :class:`Flow` arrows labelled with fields, purpose and order,
+- the access policy (ACL + RBAC) of the datastores.
+
+The data subject is the distinguished node :data:`USER` — flows from
+``USER`` to an actor become ``collect`` actions during generation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .._util import freeze_fields
+from ..access import AccessPolicy
+from ..errors import ModelError
+from ..schema import DataSchema
+
+USER = "User"
+"""Reserved node name for the data subject."""
+
+
+class NodeKind(enum.Enum):
+    """What a node name refers to inside a data-flow diagram."""
+
+    USER = "user"
+    ACTOR = "actor"
+    DATASTORE = "datastore"
+
+
+@dataclass(frozen=True)
+class Actor:
+    """An individual or role type that can act on personal data.
+
+    ``originates`` lists personal-data fields this actor *creates*
+    about the user rather than receiving them (a doctor originates the
+    diagnosis, a receptionist the appointment slot). A flow may send an
+    originated field even though nothing delivered it to the actor
+    first; the generator materialises it at that point.
+    """
+
+    name: str
+    role: Optional[str] = None
+    description: str = ""
+    originates: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("actor name must be non-empty")
+        if self.name == USER:
+            raise ValueError(
+                f"{USER!r} is reserved for the data subject node"
+            )
+        object.__setattr__(self, "originates",
+                           freeze_fields(self.originates))
+
+
+@dataclass(frozen=True)
+class Datastore:
+    """A datastore node: an identifier plus the schema of its contents.
+
+    ``anonymised`` marks stores that hold pseudonymised data — flows
+    *into* such a store become ``anon`` actions rather than ``create``
+    (section II.B extraction rules).
+    """
+
+    name: str
+    schema: DataSchema
+    anonymised: bool = False
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("datastore name must be non-empty")
+        if self.name == USER:
+            raise ValueError(f"{USER!r} is reserved for the data subject")
+
+    def field_names(self) -> Tuple[str, ...]:
+        return self.schema.names()
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One directed flow arrow of a data-flow diagram.
+
+    Labelled exactly as the paper requires: the set of data fields that
+    flow, the purpose of the flow, and a numeric order value.
+    """
+
+    order: int
+    source: str
+    target: str
+    fields: Tuple[str, ...]
+    purpose: str = ""
+    service: str = ""
+
+    def __post_init__(self):
+        if self.order < 0:
+            raise ValueError("flow order must be non-negative")
+        if not self.source or not self.target:
+            raise ValueError("flow endpoints must be non-empty")
+        if self.source == self.target:
+            raise ValueError(
+                f"flow from {self.source!r} to itself is meaningless"
+            )
+        if not self.fields:
+            raise ValueError("a flow must carry at least one field")
+        object.__setattr__(self, "fields", freeze_fields(self.fields))
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Stable identifier of a flow within its system model."""
+        return (self.service, self.order)
+
+    def describe(self) -> str:
+        fields = ", ".join(self.fields)
+        suffix = f" for {self.purpose!r}" if self.purpose else ""
+        return (
+            f"[{self.service}#{self.order}] {self.source} -> "
+            f"{self.target}: {{{fields}}}{suffix}"
+        )
+
+
+class Service:
+    """A named service: one purpose-driven data-flow diagram.
+
+    Flows are kept sorted by their order label. Order values must be
+    unique within the service so ``sequence`` generation is well
+    defined.
+    """
+
+    def __init__(self, name: str, flows: Iterable[Flow] = (),
+                 description: str = ""):
+        if not name:
+            raise ModelError("service name must be non-empty")
+        self.name = name
+        self.description = description
+        self._flows: List[Flow] = []
+        for flow in flows:
+            self.add_flow(flow)
+
+    def add_flow(self, flow: Flow) -> "Service":
+        if flow.service and flow.service != self.name:
+            raise ModelError(
+                f"flow {flow.describe()} belongs to service "
+                f"{flow.service!r}, not {self.name!r}"
+            )
+        if any(existing.order == flow.order for existing in self._flows):
+            raise ModelError(
+                f"service {self.name!r} already has a flow with order "
+                f"{flow.order}"
+            )
+        bound = Flow(flow.order, flow.source, flow.target, flow.fields,
+                     flow.purpose, self.name)
+        self._flows.append(bound)
+        self._flows.sort(key=lambda f: f.order)
+        return self
+
+    @property
+    def flows(self) -> Tuple[Flow, ...]:
+        return tuple(self._flows)
+
+    def participants(self) -> Set[str]:
+        """Every node name appearing in this service's flows."""
+        names: Set[str] = set()
+        for flow in self._flows:
+            names.add(flow.source)
+            names.add(flow.target)
+        return names
+
+    def actors_involved(self, system: "SystemModel") -> Set[str]:
+        """Actor names taking part in the service (the paper's
+        'allowed actors' population when a user agrees to it)."""
+        return {
+            name for name in self.participants()
+            if system.node_kind(name) is NodeKind.ACTOR
+        }
+
+    def fields_used(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for flow in self._flows:
+            for field_name in flow.fields:
+                if field_name not in seen:
+                    seen.append(field_name)
+        return tuple(seen)
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self._flows)
+
+    def __repr__(self) -> str:
+        return f"Service({self.name!r}, flows={len(self._flows)})"
+
+
+class SystemModel:
+    """The complete set of design artifacts for one system (Step 1)."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ModelError("system model name must be non-empty")
+        self.name = name
+        self.schemas: Dict[str, DataSchema] = {}
+        self.actors: Dict[str, Actor] = {}
+        self.datastores: Dict[str, Datastore] = {}
+        self.services: Dict[str, Service] = {}
+        self.policy = AccessPolicy()
+
+    # -- construction -----------------------------------------------------
+
+    def add_schema(self, schema: DataSchema) -> DataSchema:
+        if schema.name in self.schemas:
+            raise ModelError(f"schema {schema.name!r} already defined")
+        self.schemas[schema.name] = schema
+        return schema
+
+    def add_actor(self, actor: Actor) -> Actor:
+        self._check_fresh_name(actor.name)
+        self.actors[actor.name] = actor
+        self.policy.register_actor(actor.name)
+        if actor.role is not None:
+            if not self.policy.rbac.is_role(actor.role):
+                self.policy.rbac.define_role(actor.role)
+            self.policy.rbac.assign(actor.name, actor.role)
+        return actor
+
+    def add_datastore(self, store: Datastore) -> Datastore:
+        self._check_fresh_name(store.name)
+        if store.schema.name not in self.schemas:
+            self.add_schema(store.schema)
+        elif self.schemas[store.schema.name] != store.schema:
+            raise ModelError(
+                f"datastore {store.name!r} carries a schema named "
+                f"{store.schema.name!r} that differs from the one already "
+                "registered"
+            )
+        self.datastores[store.name] = store
+        return store
+
+    def add_service(self, service: Service) -> Service:
+        if service.name in self.services:
+            raise ModelError(f"service {service.name!r} already defined")
+        self.services[service.name] = service
+        return service
+
+    def _check_fresh_name(self, name: str) -> None:
+        if name == USER:
+            raise ModelError(f"{USER!r} is reserved for the data subject")
+        if name in self.actors or name in self.datastores:
+            raise ModelError(f"node name {name!r} is already in use")
+
+    # -- queries ---------------------------------------------------------------
+
+    def node_kind(self, name: str) -> NodeKind:
+        if name == USER:
+            return NodeKind.USER
+        if name in self.actors:
+            return NodeKind.ACTOR
+        if name in self.datastores:
+            return NodeKind.DATASTORE
+        raise ModelError(f"unknown node {name!r} in system {self.name!r}")
+
+    def has_node(self, name: str) -> bool:
+        return name == USER or name in self.actors or name in self.datastores
+
+    def service(self, name: str) -> Service:
+        try:
+            return self.services[name]
+        except KeyError:
+            known = ", ".join(self.services) or "<none>"
+            raise ModelError(
+                f"unknown service {name!r} (services: {known})"
+            ) from None
+
+    def datastore(self, name: str) -> Datastore:
+        try:
+            return self.datastores[name]
+        except KeyError:
+            known = ", ".join(self.datastores) or "<none>"
+            raise ModelError(
+                f"unknown datastore {name!r} (datastores: {known})"
+            ) from None
+
+    def actor(self, name: str) -> Actor:
+        try:
+            return self.actors[name]
+        except KeyError:
+            known = ", ".join(self.actors) or "<none>"
+            raise ModelError(
+                f"unknown actor {name!r} (actors: {known})"
+            ) from None
+
+    def all_flows(self) -> Tuple[Flow, ...]:
+        flows: List[Flow] = []
+        for service in self.services.values():
+            flows.extend(service.flows)
+        return tuple(flows)
+
+    def personal_fields(self) -> Tuple[str, ...]:
+        """Every distinct field name flowing through the system or held
+        by a datastore — the field universe of the privacy model."""
+        seen: List[str] = []
+        for service in self.services.values():
+            for field_name in service.fields_used():
+                if field_name not in seen:
+                    seen.append(field_name)
+        for store in self.datastores.values():
+            for field_name in store.field_names():
+                if field_name not in seen:
+                    seen.append(field_name)
+        return tuple(seen)
+
+    def actor_names(self) -> Tuple[str, ...]:
+        return tuple(self.actors)
+
+    def services_of_actor(self, actor_name: str) -> Tuple[str, ...]:
+        """Names of services the actor participates in."""
+        return tuple(
+            service.name for service in self.services.values()
+            if actor_name in service.participants()
+        )
+
+    def allowed_actors(self, agreed_services: Iterable[str]) -> Set[str]:
+        """Actors involved in any of the agreed services (section III.A)."""
+        allowed: Set[str] = set()
+        for service_name in agreed_services:
+            allowed |= self.service(service_name).actors_involved(self)
+        return allowed
+
+    def non_allowed_actors(self, agreed_services: Iterable[str]) -> Set[str]:
+        """Actors *not* involved in any agreed service."""
+        return set(self.actors) - self.allowed_actors(agreed_services)
+
+    def validate(self, strict: bool = True):
+        """Run structural validation; see :mod:`repro.dfd.validation`."""
+        from .validation import validate_system
+        return validate_system(self, strict=strict)
+
+    def __repr__(self) -> str:
+        return (
+            f"SystemModel({self.name!r}, actors={len(self.actors)}, "
+            f"datastores={len(self.datastores)}, "
+            f"services={len(self.services)})"
+        )

@@ -1,0 +1,401 @@
+"""Parser for the model DSL.
+
+The DSL is the textual design artifact of the paper's Step 1: a single
+``system`` block containing schemas, roles, actors, datastores,
+services (with ordered, purposed flows) and an ``acl`` block. Grammar
+(EBNF, ``[]`` = optional, ``{}`` = repetition):
+
+.. code-block:: text
+
+   system      = "system" name "{" {declaration} "}"
+   declaration = schema | role | actor | assign | datastore | service | acl
+   schema      = "schema" name "{" {field} "}"
+   field       = "field" IDENT ":" IDENT ["kind" IDENT]
+                 ["anonymises" IDENT] ["desc" STRING]
+   role        = "role" name ["parents" namelist]
+   actor       = "actor" name ["role" name] ["originates" namelist]
+                 ["desc" STRING]
+   assign      = "assign" name "roles" namelist
+   datastore   = ["anonymised"] "datastore" name "schema" name
+                 ["desc" STRING]
+   service     = "service" name ["desc" STRING] "{" {flow} "}"
+   flow        = "flow" NUMBER name "->" name "fields" namelist
+                 ["purpose" STRING]
+   acl         = "acl" "{" {grant} "}"
+   grant       = "allow" name permlist "on" name ["fields" namelist]
+   permlist    = IDENT {"," IDENT}
+   namelist    = "[" [name {"," name}] "]"
+   name        = IDENT | STRING
+
+Comments run from ``#`` to end of line. Errors raise
+:class:`~repro.errors.ParseError` with 1-based line/column positions.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..access import Permission
+from ..errors import ParseError
+from ..schema import DataSchema, Field, FieldKind, FieldType
+from .model import Actor, Datastore, Flow, Service, SystemModel
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<arrow>->)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<punct>[{}\[\]:,])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset({
+    "system", "schema", "field", "kind", "anonymises", "role", "roles",
+    "actor", "assign", "parents", "datastore", "anonymised", "service",
+    "flow", "fields", "purpose", "acl", "allow", "on", "originates",
+    "desc",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str  # 'ident' | 'string' | 'number' | 'arrow' | 'punct' | 'eof'
+    value: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split DSL text into tokens; raises on unexpected characters."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(
+                f"unexpected character {text[pos]!r}", line, column
+            )
+        kind = match.lastgroup
+        value = match.group()
+        column = pos - line_start + 1
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, value, line, column))
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + value.rindex("\n") + 1
+        pos = match.end()
+    tokens.append(Token("eof", "", line, len(text) - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token primitives -----------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type != "eof":
+            self._index += 1
+        return token
+
+    def _fail(self, message: str, token: Optional[Token] = None) -> None:
+        token = token if token is not None else self._peek()
+        raise ParseError(message, token.line, token.column)
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._next()
+        if token.type != "ident" or token.value != keyword:
+            self._fail(f"expected {keyword!r}, found {token.value!r}", token)
+        return token
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._next()
+        if token.type != "punct" or token.value != symbol:
+            self._fail(f"expected {symbol!r}, found {token.value!r}", token)
+        return token
+
+    def _at_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        return token.type == "ident" and token.value == keyword
+
+    def _name(self) -> str:
+        """An identifier or quoted string."""
+        token = self._next()
+        if token.type == "ident":
+            return token.value
+        if token.type == "string":
+            return json.loads(token.value)
+        self._fail(f"expected a name, found {token.value!r}", token)
+        raise AssertionError("unreachable")
+
+    def _ident(self, what: str) -> str:
+        token = self._next()
+        if token.type != "ident":
+            self._fail(f"expected {what}, found {token.value!r}", token)
+        return token.value
+
+    def _string(self, what: str) -> str:
+        token = self._next()
+        if token.type != "string":
+            self._fail(f"expected quoted {what}, found {token.value!r}",
+                       token)
+        return json.loads(token.value)
+
+    def _number(self, what: str) -> int:
+        token = self._next()
+        if token.type != "number":
+            self._fail(f"expected {what}, found {token.value!r}", token)
+        return int(token.value)
+
+    def _optional_desc(self) -> str:
+        if self._at_keyword("desc"):
+            self._next()
+            return self._string("description")
+        return ""
+
+    def _namelist(self) -> List[str]:
+        self._expect_punct("[")
+        names: List[str] = []
+        if not (self._peek().type == "punct" and self._peek().value == "]"):
+            names.append(self._name())
+            while self._peek().type == "punct" and \
+                    self._peek().value == ",":
+                self._next()
+                names.append(self._name())
+        self._expect_punct("]")
+        return names
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_system(self) -> SystemModel:
+        self._expect_keyword("system")
+        system = SystemModel(self._name())
+        self._expect_punct("{")
+        while not (self._peek().type == "punct" and
+                   self._peek().value == "}"):
+            self._declaration(system)
+        self._expect_punct("}")
+        trailing = self._next()
+        if trailing.type != "eof":
+            self._fail(
+                f"unexpected {trailing.value!r} after closing brace",
+                trailing)
+        return system
+
+    def _declaration(self, system: SystemModel) -> None:
+        token = self._peek()
+        if token.type != "ident":
+            self._fail(
+                f"expected a declaration keyword, found {token.value!r}")
+        handlers = {
+            "schema": self._schema,
+            "role": self._role,
+            "actor": self._actor,
+            "assign": self._assign,
+            "datastore": self._datastore,
+            "anonymised": self._datastore,
+            "service": self._service,
+            "acl": self._acl,
+        }
+        handler = handlers.get(token.value)
+        if handler is None:
+            self._fail(
+                f"unknown declaration {token.value!r}; expected one of "
+                + ", ".join(sorted(set(handlers))), token)
+            raise AssertionError("unreachable")
+        handler(system)
+
+    def _schema(self, system: SystemModel) -> None:
+        self._expect_keyword("schema")
+        name = self._name()
+        self._expect_punct("{")
+        fields: List[Field] = []
+        while self._at_keyword("field"):
+            fields.append(self._field())
+        self._expect_punct("}")
+        schema = DataSchema(name)
+        # Assign directly: anonymises links may point outside the schema.
+        schema._fields = {}
+        for field in fields:
+            if field.name in schema._fields:
+                self._fail(
+                    f"duplicate field {field.name!r} in schema {name!r}")
+            schema._fields[field.name] = field
+        system.add_schema(schema)
+
+    def _field(self) -> Field:
+        self._expect_keyword("field")
+        name = self._ident("field name")
+        self._expect_punct(":")
+        type_token = self._next()
+        if type_token.type != "ident":
+            self._fail("expected field type", type_token)
+        try:
+            ftype = FieldType.from_name(type_token.value)
+        except ValueError as exc:
+            self._fail(str(exc), type_token)
+        kind = FieldKind.REGULAR
+        anonymised_of = None
+        if self._at_keyword("kind"):
+            self._next()
+            kind_token = self._next()
+            try:
+                kind = FieldKind.from_name(kind_token.value)
+            except ValueError as exc:
+                self._fail(str(exc), kind_token)
+        if self._at_keyword("anonymises"):
+            self._next()
+            anonymised_of = self._ident("original field name")
+        description = self._optional_desc()
+        return Field(name, ftype, kind, anonymised_of, description)
+
+    def _role(self, system: SystemModel) -> None:
+        self._expect_keyword("role")
+        name = self._name()
+        parents: List[str] = []
+        if self._at_keyword("parents"):
+            self._next()
+            parents = self._namelist()
+        system.policy.rbac.define_role(name, parents)
+
+    def _actor(self, system: SystemModel) -> None:
+        self._expect_keyword("actor")
+        name = self._name()
+        role = None
+        originates: List[str] = []
+        if self._at_keyword("role"):
+            self._next()
+            role = self._name()
+        if self._at_keyword("originates"):
+            self._next()
+            originates = self._namelist()
+        description = self._optional_desc()
+        system.add_actor(Actor(name, role, description,
+                               tuple(originates)))
+
+    def _assign(self, system: SystemModel) -> None:
+        self._expect_keyword("assign")
+        actor = self._name()
+        self._expect_keyword("roles")
+        roles = self._namelist()
+        if roles:
+            system.policy.rbac.assign(actor, *roles)
+
+    def _datastore(self, system: SystemModel) -> None:
+        anonymised = False
+        if self._at_keyword("anonymised"):
+            self._next()
+            anonymised = True
+        self._expect_keyword("datastore")
+        name = self._name()
+        self._expect_keyword("schema")
+        schema_name = self._name()
+        if schema_name not in system.schemas:
+            self._fail(
+                f"datastore {name!r} references undefined schema "
+                f"{schema_name!r}")
+        description = self._optional_desc()
+        system.add_datastore(Datastore(
+            name, system.schemas[schema_name], anonymised, description))
+
+    def _service(self, system: SystemModel) -> None:
+        self._expect_keyword("service")
+        name = self._name()
+        service = Service(name, description=self._optional_desc())
+        self._expect_punct("{")
+        while self._at_keyword("flow"):
+            service.add_flow(self._flow())
+        self._expect_punct("}")
+        system.add_service(service)
+
+    def _flow(self) -> Flow:
+        self._expect_keyword("flow")
+        order = self._number("flow order")
+        source = self._name()
+        arrow = self._next()
+        if arrow.type != "arrow":
+            self._fail(f"expected '->', found {arrow.value!r}", arrow)
+        target = self._name()
+        self._expect_keyword("fields")
+        fields = self._namelist()
+        if not fields:
+            self._fail("a flow must carry at least one field")
+        purpose = ""
+        if self._at_keyword("purpose"):
+            self._next()
+            purpose = self._string("purpose")
+        return Flow(order, source, target, tuple(fields), purpose)
+
+    def _acl(self, system: SystemModel) -> None:
+        self._expect_keyword("acl")
+        self._expect_punct("{")
+        while self._at_keyword("allow"):
+            self._grant(system)
+        self._expect_punct("}")
+
+    def _grant(self, system: SystemModel) -> None:
+        self._expect_keyword("allow")
+        subject = self._name()
+        permissions = [self._permission()]
+        while self._peek().type == "punct" and self._peek().value == ",":
+            self._next()
+            permissions.append(self._permission())
+        self._expect_keyword("on")
+        store = self._name()
+        fields: Tuple[str, ...] = ("*",)
+        if self._at_keyword("fields"):
+            self._next()
+            listed = self._namelist()
+            if listed:
+                fields = tuple(listed)
+        system.policy.allow(subject, permissions, store, fields)
+
+    def _permission(self) -> Permission:
+        token = self._next()
+        if token.type != "ident":
+            self._fail(f"expected a permission, found {token.value!r}",
+                       token)
+        try:
+            return Permission.from_name(token.value)
+        except ValueError as exc:
+            self._fail(str(exc), token)
+            raise AssertionError("unreachable")
+
+
+def parse_dsl(text: str, validate: bool = True,
+              strict: bool = True) -> SystemModel:
+    """Parse DSL text into a :class:`SystemModel`.
+
+    ``validate`` runs structural validation after parsing (strict mode
+    raises on errors), matching the builder's behaviour.
+    """
+    system = _Parser(tokenize(text)).parse_system()
+    if validate:
+        system.validate(strict=strict)
+    return system
+
+
+def parse_file(path, validate: bool = True,
+               strict: bool = True) -> SystemModel:
+    """Parse a DSL file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_dsl(handle.read(), validate=validate, strict=strict)

@@ -1,0 +1,297 @@
+"""Serialization of system models: dict/JSON and the model DSL.
+
+Two interchange forms are supported:
+
+- **dict/JSON** (:func:`system_to_dict`, :func:`system_from_dict`,
+  :func:`to_json`, :func:`from_json`) for programmatic exchange, and
+- **the model DSL** (:func:`to_dsl`; parsing lives in
+  :mod:`repro.dfd.parser`) — the human-curated design artifact of the
+  paper's Step 1.
+
+Both round-trip: ``system_from_dict(system_to_dict(m))`` and
+``parse_dsl(to_dsl(m))`` reproduce an equivalent model.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..access import Permission
+from ..errors import ModelError
+from ..schema import DataSchema, Field, FieldKind, FieldType
+from .model import Actor, Datastore, Flow, Service, SystemModel
+
+
+# -- dict form ---------------------------------------------------------------
+
+def system_to_dict(system: SystemModel) -> Dict:
+    """Serialize a system model to a JSON-compatible dict."""
+    return {
+        "name": system.name,
+        "schemas": [_schema_to_dict(s) for s in system.schemas.values()],
+        "actors": [
+            {
+                "name": a.name,
+                "role": a.role,
+                "description": a.description,
+                "originates": list(a.originates),
+            }
+            for a in system.actors.values()
+        ],
+        "datastores": [
+            {
+                "name": d.name,
+                "schema": d.schema.name,
+                "anonymised": d.anonymised,
+                "description": d.description,
+            }
+            for d in system.datastores.values()
+        ],
+        "roles": [
+            {"name": name, "parents": list(
+                system.policy.rbac._roles[name].parents)}
+            for name in system.policy.rbac.defined_roles()
+        ],
+        "assignments": {
+            actor: list(roles)
+            for actor, roles in system.policy.rbac.assignments().items()
+        },
+        "services": [
+            {
+                "name": s.name,
+                "description": s.description,
+                "flows": [_flow_to_dict(f) for f in s.flows],
+            }
+            for s in system.services.values()
+        ],
+        "acl": [
+            {
+                "subject": e.subject,
+                "store": e.store,
+                "permissions": [p.value for p in e.permissions],
+                "fields": list(e.fields),
+            }
+            for e in system.policy.acl
+        ],
+    }
+
+
+def _schema_to_dict(schema: DataSchema) -> Dict:
+    return {
+        "name": schema.name,
+        "fields": [
+            {
+                "name": f.name,
+                "type": f.ftype.value,
+                "kind": f.kind.value,
+                "anonymised_of": f.anonymised_of,
+                "description": f.description,
+            }
+            for f in schema
+        ],
+    }
+
+
+def _flow_to_dict(flow: Flow) -> Dict:
+    return {
+        "order": flow.order,
+        "source": flow.source,
+        "target": flow.target,
+        "fields": list(flow.fields),
+        "purpose": flow.purpose,
+    }
+
+
+def system_from_dict(data: Dict) -> SystemModel:
+    """Rebuild a system model from :func:`system_to_dict` output."""
+    try:
+        system = SystemModel(data["name"])
+    except KeyError:
+        raise ModelError("serialized system is missing its name") from None
+
+    for schema_data in data.get("schemas", []):
+        fields = [
+            Field(
+                name=f["name"],
+                ftype=FieldType(f.get("type", "string")),
+                kind=FieldKind(f.get("kind", "regular")),
+                anonymised_of=f.get("anonymised_of"),
+                description=f.get("description", ""),
+            )
+            for f in schema_data.get("fields", [])
+        ]
+        schema = DataSchema(schema_data["name"])
+        # Bypass intra-schema anonymised_of checks: serialized schemas
+        # are trusted to be internally consistent as a set.
+        schema._fields = {f.name: f for f in fields}
+        system.add_schema(schema)
+
+    # Roles before actors, so actor(role=...) reuses definitions.
+    for role_data in data.get("roles", []):
+        system.policy.rbac.define_role(
+            role_data["name"], role_data.get("parents", ()))
+
+    for actor_data in data.get("actors", []):
+        system.add_actor(Actor(
+            actor_data["name"],
+            actor_data.get("role"),
+            actor_data.get("description", ""),
+            tuple(actor_data.get("originates", ())),
+        ))
+
+    for actor, roles in data.get("assignments", {}).items():
+        already = system.policy.rbac.assignments().get(actor, ())
+        extra = [r for r in roles if r not in already]
+        if extra:
+            system.policy.rbac.assign(actor, *extra)
+
+    for store_data in data.get("datastores", []):
+        schema_name = store_data["schema"]
+        if schema_name not in system.schemas:
+            raise ModelError(
+                f"datastore {store_data['name']!r} references missing "
+                f"schema {schema_name!r}"
+            )
+        system.add_datastore(Datastore(
+            store_data["name"],
+            system.schemas[schema_name],
+            store_data.get("anonymised", False),
+            store_data.get("description", ""),
+        ))
+
+    for service_data in data.get("services", []):
+        service = Service(service_data["name"],
+                          description=service_data.get("description", ""))
+        for flow_data in service_data.get("flows", []):
+            service.add_flow(Flow(
+                flow_data["order"],
+                flow_data["source"],
+                flow_data["target"],
+                tuple(flow_data["fields"]),
+                flow_data.get("purpose", ""),
+            ))
+        system.add_service(service)
+
+    for entry_data in data.get("acl", []):
+        system.policy.acl.allow(
+            entry_data["subject"],
+            [Permission(p) for p in entry_data["permissions"]],
+            entry_data["store"],
+            tuple(entry_data.get("fields", ("*",))),
+        )
+    return system
+
+
+def to_json(system: SystemModel, indent: int = 2) -> str:
+    return json.dumps(system_to_dict(system), indent=indent)
+
+
+def from_json(text: str) -> SystemModel:
+    return system_from_dict(json.loads(text))
+
+
+# -- DSL form ------------------------------------------------------------------
+
+def _dsl_name(name: str) -> str:
+    """Quote a name unless it is a plain identifier."""
+    if name.replace("_", "").isalnum() and not name[0].isdigit():
+        return name
+    return json.dumps(name)
+
+
+def _dsl_fields(fields) -> str:
+    return "[" + ", ".join(fields) + "]"
+
+
+def to_dsl(system: SystemModel) -> str:
+    """Render a system model in the model DSL (parseable back)."""
+    lines: List[str] = [f"system {_dsl_name(system.name)} {{", ""]
+
+    for schema in system.schemas.values():
+        lines.append(f"  schema {_dsl_name(schema.name)} {{")
+        for field in schema:
+            parts = [f"    field {field.name}: {field.ftype.value}"]
+            if field.kind is not FieldKind.REGULAR:
+                parts.append(f"kind {field.kind.value}")
+            if field.anonymised_of is not None:
+                parts.append(f"anonymises {field.anonymised_of}")
+            if field.description:
+                parts.append(f"desc {json.dumps(field.description)}")
+            lines.append(" ".join(parts))
+        lines.append("  }")
+        lines.append("")
+
+    for role_name in system.policy.rbac.defined_roles():
+        role = system.policy.rbac._roles[role_name]
+        if role.parents:
+            lines.append(
+                f"  role {_dsl_name(role.name)} parents "
+                f"{_dsl_fields(_dsl_name(p) for p in role.parents)}")
+        else:
+            lines.append(f"  role {_dsl_name(role.name)}")
+    if system.policy.rbac.defined_roles():
+        lines.append("")
+
+    direct_roles = {}
+    for actor in system.actors.values():
+        line = f"  actor {_dsl_name(actor.name)}"
+        if actor.role is not None:
+            line += f" role {_dsl_name(actor.role)}"
+        if actor.originates:
+            line += f" originates {_dsl_fields(actor.originates)}"
+        if actor.description:
+            line += f" desc {json.dumps(actor.description)}"
+        lines.append(line)
+        direct_roles[actor.name] = actor.role
+    lines.append("")
+
+    for actor, roles in system.policy.rbac.assignments().items():
+        extra = [r for r in roles if r != direct_roles.get(actor)]
+        if extra:
+            lines.append(
+                f"  assign {_dsl_name(actor)} roles "
+                f"{_dsl_fields(_dsl_name(r) for r in extra)}")
+
+    for store in system.datastores.values():
+        prefix = "anonymised datastore" if store.anonymised else "datastore"
+        line = (
+            f"  {prefix} {_dsl_name(store.name)} schema "
+            f"{_dsl_name(store.schema.name)}")
+        if store.description:
+            line += f" desc {json.dumps(store.description)}"
+        lines.append(line)
+    lines.append("")
+
+    for service in system.services.values():
+        header = f"  service {_dsl_name(service.name)}"
+        if service.description:
+            header += f" desc {json.dumps(service.description)}"
+        lines.append(header + " {")
+        for flow in service.flows:
+            line = (
+                f"    flow {flow.order} {_dsl_name(flow.source)} -> "
+                f"{_dsl_name(flow.target)} fields "
+                f"{_dsl_fields(flow.fields)}"
+            )
+            if flow.purpose:
+                line += f" purpose {json.dumps(flow.purpose)}"
+            lines.append(line)
+        lines.append("  }")
+        lines.append("")
+
+    if len(system.policy.acl):
+        lines.append("  acl {")
+        for entry in system.policy.acl:
+            perms = ", ".join(p.value for p in entry.permissions)
+            line = (
+                f"    allow {_dsl_name(entry.subject)} {perms} on "
+                f"{_dsl_name(entry.store)}"
+            )
+            if not entry.grants_all_fields:
+                line += f" fields {_dsl_fields(entry.fields)}"
+            lines.append(line)
+        lines.append("  }")
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"

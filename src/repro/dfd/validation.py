@@ -1,0 +1,262 @@
+"""Structural validation of system models.
+
+Validation catches the modelling mistakes the paper's framework must
+reject before generation: flows referencing unknown nodes or fields,
+datastore writes of fields outside the schema, actor-less services,
+unreachable flows (data that can never arrive at the flow's source),
+and grants for fields a store does not hold.
+
+Issues carry a severity; :func:`validate_system` raises
+:class:`~repro.errors.ValidationError` when any ``ERROR`` issue is
+found and ``strict`` is set, otherwise it returns the issue list for
+tooling to render.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Set
+
+from ..access import Permission
+from ..errors import ValidationError
+from ..schema import anon_name
+from .model import Flow, NodeKind, Service, SystemModel, USER
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity.value.upper()} [{self.code}] {self.message}"
+
+
+def _error(code: str, message: str) -> Issue:
+    return Issue(Severity.ERROR, code, message)
+
+
+def _warning(code: str, message: str) -> Issue:
+    return Issue(Severity.WARNING, code, message)
+
+
+def validate_system(system: SystemModel, strict: bool = True) -> List[Issue]:
+    """Validate ``system``; raise on errors when ``strict``."""
+    issues: List[Issue] = []
+    issues.extend(_check_nonempty(system))
+    issues.extend(_check_flow_endpoints(system))
+    issues.extend(_check_store_fields(system))
+    issues.extend(_check_flow_reachability(system))
+    issues.extend(_check_policy(system))
+    issues.extend(_check_store_store_flows(system))
+    if strict:
+        errors = [i for i in issues if i.severity is Severity.ERROR]
+        if errors:
+            summary = "; ".join(str(i) for i in errors[:5])
+            more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+            raise ValidationError(
+                f"system {system.name!r} failed validation: {summary}{more}",
+                issues=issues,
+            )
+    return issues
+
+
+def _check_nonempty(system: SystemModel) -> List[Issue]:
+    issues: List[Issue] = []
+    if not system.services:
+        issues.append(_warning(
+            "empty-model", f"system {system.name!r} defines no services"))
+    for service in system.services.values():
+        if len(service) == 0:
+            issues.append(_error(
+                "empty-service",
+                f"service {service.name!r} has no flows"))
+        # Resolve participants defensively: unknown nodes are reported
+        # by the endpoint check, not by crashing here.
+        elif not any(p in system.actors for p in service.participants()):
+            issues.append(_error(
+                "no-actors",
+                f"service {service.name!r} involves no actors"))
+    return issues
+
+
+def _check_flow_endpoints(system: SystemModel) -> List[Issue]:
+    issues: List[Issue] = []
+    for flow in system.all_flows():
+        for endpoint in (flow.source, flow.target):
+            if not system.has_node(endpoint):
+                issues.append(_error(
+                    "unknown-node",
+                    f"flow {flow.describe()} references unknown node "
+                    f"{endpoint!r}"))
+        if system.has_node(flow.source) and system.has_node(flow.target):
+            if flow.source == USER and \
+                    system.node_kind(flow.target) is NodeKind.DATASTORE:
+                issues.append(_error(
+                    "user-to-store",
+                    f"flow {flow.describe()}: the data subject cannot "
+                    "write a datastore directly; route through an actor"))
+            if flow.target == USER and \
+                    system.node_kind(flow.source) is NodeKind.DATASTORE:
+                issues.append(_error(
+                    "store-to-user",
+                    f"flow {flow.describe()}: a datastore cannot flow "
+                    "directly to the data subject"))
+    return issues
+
+
+def _check_store_fields(system: SystemModel) -> List[Issue]:
+    """Flows touching a datastore must use fields of its schema."""
+    issues: List[Issue] = []
+    for flow in system.all_flows():
+        for endpoint in (flow.source, flow.target):
+            if endpoint not in system.datastores:
+                continue
+            store = system.datastores[endpoint]
+            schema_names = set(store.field_names())
+            if store.anonymised and endpoint == flow.target:
+                # Writes into an anonymised store are expressed in
+                # original field names; the anon action renames them.
+                missing = [
+                    f for f in flow.fields
+                    if f not in schema_names
+                    and anon_name(f) not in schema_names
+                ]
+            else:
+                missing = [f for f in flow.fields if f not in schema_names]
+            if missing:
+                issues.append(_error(
+                    "field-not-in-schema",
+                    f"flow {flow.describe()}: fields "
+                    f"{sorted(missing)} are not in datastore "
+                    f"{store.name!r} schema {store.schema.name!r}"))
+    return issues
+
+
+def _check_flow_reachability(system: SystemModel) -> List[Issue]:
+    """Within each service, every flow's source must be able to hold
+    the fields it sends, given some execution of earlier flows.
+
+    This mirrors the generator's precondition ("provided the start node
+    has the correct data to flow"): a flow that can never be enabled is
+    dead modelling and flagged as a warning.
+    """
+    issues: List[Issue] = []
+    for service in system.services.values():
+        issues.extend(_check_service_reachability(system, service))
+    return issues
+
+
+def _check_service_reachability(system: SystemModel,
+                                service: Service) -> List[Issue]:
+    issues: List[Issue] = []
+    # Fixed-point over "node N can hold field f".
+    holdings: Set[tuple] = set()
+    valid_flows = [
+        f for f in service.flows
+        if system.has_node(f.source) and system.has_node(f.target)
+    ]
+
+    def source_ready(flow: Flow) -> bool:
+        if flow.source == USER:
+            return True
+        if flow.source in system.actors:
+            originated = set(system.actors[flow.source].originates)
+            return all(
+                f in originated or (flow.source, f) in holdings
+                for f in flow.fields
+            )
+        return all((flow.source, f) in holdings for f in flow.fields)
+
+    changed = True
+    fired: Set[tuple] = set()
+    while changed:
+        changed = False
+        for flow in valid_flows:
+            if flow.key in fired or not source_ready(flow):
+                continue
+            fired.add(flow.key)
+            changed = True
+            target_is_anon_store = (
+                flow.target in system.datastores
+                and system.datastores[flow.target].anonymised
+            )
+            for field_name in flow.fields:
+                if target_is_anon_store and \
+                        anon_name(field_name) in \
+                        system.datastores[flow.target].schema:
+                    holdings.add((flow.target, anon_name(field_name)))
+                else:
+                    holdings.add((flow.target, field_name))
+    for flow in valid_flows:
+        if flow.key not in fired:
+            issues.append(_warning(
+                "unreachable-flow",
+                f"flow {flow.describe()} can never execute: its source "
+                "never holds the fields it sends"))
+    return issues
+
+
+def _check_policy(system: SystemModel) -> List[Issue]:
+    issues: List[Issue] = []
+    try:
+        system.policy.validate()
+    except Exception as exc:  # ModelError from policy internals
+        issues.append(_error("policy", str(exc)))
+    for entry in system.policy.acl:
+        if entry.store not in system.datastores:
+            issues.append(_error(
+                "grant-unknown-store",
+                f"ACL grants {entry.subject!r} access to unknown "
+                f"datastore {entry.store!r}"))
+            continue
+        store = system.datastores[entry.store]
+        if not entry.grants_all_fields:
+            schema_names = set(store.field_names())
+            missing = [f for f in entry.fields if f not in schema_names]
+            if missing:
+                issues.append(_error(
+                    "grant-unknown-field",
+                    f"ACL grants {entry.subject!r} access to fields "
+                    f"{sorted(missing)} absent from datastore "
+                    f"{store.name!r}"))
+    # Reads in flows should be backed by grants, else generation will
+    # produce a read the policy forbids.
+    for flow in system.all_flows():
+        if flow.source in system.datastores and \
+                flow.target in system.actors:
+            store = system.datastores[flow.source]
+            for field_name in flow.fields:
+                if not system.policy.is_allowed(
+                        flow.target, Permission.READ, store.name,
+                        field_name):
+                    issues.append(_warning(
+                        "unbacked-read",
+                        f"flow {flow.describe()}: actor "
+                        f"{flow.target!r} reads {field_name!r} from "
+                        f"{store.name!r} without an ACL grant"))
+    return issues
+
+
+def _check_store_store_flows(system: SystemModel) -> List[Issue]:
+    issues: List[Issue] = []
+    for flow in system.all_flows():
+        if flow.source in system.datastores and \
+                flow.target in system.datastores:
+            issues.append(_error(
+                "store-to-store",
+                f"flow {flow.describe()}: datastore-to-datastore flows "
+                "must be mediated by an actor"))
+    return issues

@@ -1,0 +1,116 @@
+"""Exception hierarchy for the repro privacy-modelling framework.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch framework failures with a single handler while still
+being able to discriminate the phase that failed (modelling, parsing,
+generation, analysis, enforcement, monitoring).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class ModelError(ReproError):
+    """A system model is structurally invalid or incomplete."""
+
+
+class ValidationError(ModelError):
+    """Raised when model validation finds blocking issues.
+
+    Carries the list of :class:`repro.dfd.validation.Issue` objects that
+    caused the failure, so tooling can render them individually.
+    """
+
+    def __init__(self, message: str, issues=None):
+        super().__init__(message)
+        self.issues = list(issues) if issues is not None else []
+
+
+class SchemaError(ModelError):
+    """A data schema references unknown fields or is inconsistent."""
+
+
+class ParseError(ReproError):
+    """The model DSL text could not be parsed.
+
+    ``line`` and ``column`` are 1-based positions of the offending token
+    when known, else ``None``.
+    """
+
+    def __init__(self, message: str, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (
+                f", column {column}" if column is not None else ""
+            )
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class GenerationError(ReproError):
+    """LTS generation failed (e.g. the state cap was exceeded)."""
+
+
+class StateLimitExceeded(GenerationError):
+    """The generated state space grew past ``max_states``."""
+
+    def __init__(self, limit: int):
+        super().__init__(
+            f"state space exceeded the configured cap of {limit} states; "
+            "raise max_states or restrict the services being generated"
+        )
+        self.limit = limit
+
+
+class AnalysisError(ReproError):
+    """A risk analysis could not be performed on the model."""
+
+
+class PolicyViolationError(AnalysisError):
+    """A declared policy threshold was breached during analysis.
+
+    Mirrors the paper's design-phase behaviour: "the system would now
+    throw an error if the above data was used" (section IV.B).
+    """
+
+    def __init__(self, message: str, violations=None):
+        super().__init__(message)
+        self.violations = list(violations) if violations is not None else []
+
+
+class AccessDenied(ReproError):
+    """An actor attempted a datastore operation the policy forbids."""
+
+    def __init__(self, actor: str, permission: str, store: str, field=None):
+        target = store if field is None else f"{store}.{field}"
+        super().__init__(
+            f"actor {actor!r} is not granted {permission} on {target}"
+        )
+        self.actor = actor
+        self.permission = permission
+        self.store = store
+        self.field = field
+
+
+class AnonymizationError(ReproError):
+    """A pseudonymisation step could not satisfy its parameters."""
+
+
+class MonitorError(ReproError):
+    """Runtime monitoring received an event the model cannot explain."""
+
+
+class UnknownEventError(MonitorError):
+    """An observed runtime event matches no transition in the LTS."""
+
+    def __init__(self, event, state_id: int):
+        super().__init__(
+            f"event {event!r} does not match any transition from state "
+            f"{state_id}; the running system has diverged from its model"
+        )
+        self.event = event
+        self.state_id = state_id

@@ -1,0 +1,45 @@
+"""Runtime monitoring: events, LTS tracking, alerts, simulated runtime."""
+
+from .alerts import (
+    Alert,
+    AlertSeverity,
+    DivergenceAlert,
+    RiskAlert,
+    divergence_alert,
+    risk_alert,
+)
+from .events import (
+    ObservedEvent,
+    anon_event,
+    collect_event,
+    create_event,
+    delete_event,
+    disclose_event,
+    read_event,
+)
+from .pool import MonitorPool
+from .replay import events_from_audit, merged_audit_events, replay
+from .runtime import ServiceRuntime
+from .tracker import PrivacyMonitor
+
+__all__ = [
+    "Alert",
+    "AlertSeverity",
+    "DivergenceAlert",
+    "RiskAlert",
+    "divergence_alert",
+    "risk_alert",
+    "ObservedEvent",
+    "anon_event",
+    "collect_event",
+    "create_event",
+    "delete_event",
+    "disclose_event",
+    "read_event",
+    "MonitorPool",
+    "events_from_audit",
+    "merged_audit_events",
+    "replay",
+    "ServiceRuntime",
+    "PrivacyMonitor",
+]

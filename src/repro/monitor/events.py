@@ -1,0 +1,102 @@
+"""Runtime privacy events.
+
+The paper's motivation includes "monitor[ing] the privacy risks during
+the lifetime of the service (as the users, data, and behaviour may
+change)". An :class:`ObservedEvent` is one observed action of the
+running system, in the same vocabulary as the model's transitions so
+the tracker can walk the LTS alongside the execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .._util import freeze_fields
+from ..core.actions import ActionType
+from ..dfd.model import USER
+
+
+@dataclass(frozen=True)
+class ObservedEvent:
+    """One observed privacy action in the running system.
+
+    ``source``/``target`` are node names exactly as modelled (actor
+    names, datastore names, or the user node).
+    """
+
+    action: ActionType
+    actor: str
+    fields: Tuple[str, ...]
+    source: str
+    target: str
+    timestamp: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.fields:
+            raise ValueError("an event must touch at least one field")
+        object.__setattr__(self, "fields", freeze_fields(self.fields))
+
+    def matches(self, transition) -> bool:
+        """Whether this event corresponds to an LTS transition.
+
+        Action, acting actor, endpoints and the exact field set must
+        agree; field order does not matter.
+        """
+        label = transition.label
+        return (
+            label.action is self.action
+            and label.actor == self.actor
+            and set(label.fields) == set(self.fields)
+            and label.source == self.source
+            and label.target == self.target
+        )
+
+    def describe(self) -> str:
+        fields = ", ".join(self.fields)
+        return (
+            f"{self.action.value}{{{fields}}} by {self.actor} "
+            f"({self.source} -> {self.target})"
+        )
+
+
+def collect_event(actor: str, fields, timestamp=None) -> ObservedEvent:
+    """The user handed ``fields`` to ``actor``."""
+    return ObservedEvent(ActionType.COLLECT, actor, tuple(fields),
+                         USER, actor, timestamp)
+
+
+def disclose_event(source_actor: str, target_actor: str, fields,
+                   timestamp=None) -> ObservedEvent:
+    """``source_actor`` passed ``fields`` to ``target_actor``."""
+    return ObservedEvent(ActionType.DISCLOSE, source_actor,
+                         tuple(fields), source_actor, target_actor,
+                         timestamp)
+
+
+def create_event(actor: str, store: str, fields,
+                 timestamp=None) -> ObservedEvent:
+    """``actor`` wrote ``fields`` into ``store``."""
+    return ObservedEvent(ActionType.CREATE, actor, tuple(fields),
+                         actor, store, timestamp)
+
+
+def anon_event(actor: str, store: str, fields,
+               timestamp=None) -> ObservedEvent:
+    """``actor`` wrote pseudonymised ``fields`` into ``store``."""
+    return ObservedEvent(ActionType.ANON, actor, tuple(fields),
+                         actor, store, timestamp)
+
+
+def read_event(actor: str, store: str, fields,
+               timestamp=None) -> ObservedEvent:
+    """``actor`` read ``fields`` from ``store``."""
+    return ObservedEvent(ActionType.READ, actor, tuple(fields),
+                         store, actor, timestamp)
+
+
+def delete_event(actor: str, store: str, fields,
+                 timestamp=None) -> ObservedEvent:
+    """``actor`` deleted ``fields`` from ``store``."""
+    return ObservedEvent(ActionType.DELETE, actor, tuple(fields),
+                         actor, store, timestamp)

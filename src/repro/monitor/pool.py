@@ -1,0 +1,166 @@
+"""Monitoring many users at once.
+
+A deployed service has one privacy-state instance *per user* (paper
+§III). The :class:`MonitorPool` manages that fleet: it lazily creates
+one :class:`~repro.monitor.tracker.PrivacyMonitor` per user over a
+shared risk-annotated LTS (one per consent combination, cached), routes
+events by user id, and aggregates alerts — the operational surface of
+"monitor the privacy risks during the lifetime of the service".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.generation import GenerationOptions, ModelGenerator
+from ..core.risk.disclosure import DisclosureRiskAnalyzer
+from ..dfd.model import SystemModel
+from ..errors import MonitorError
+from .alerts import Alert
+from .events import ObservedEvent
+from .tracker import PrivacyMonitor
+
+
+class MonitorPool:
+    """Per-user privacy monitors over shared annotated models.
+
+    Parameters
+    ----------
+    system:
+        The system model.
+    analyzer:
+        Optional pre-configured :class:`DisclosureRiskAnalyzer`
+        (likelihood model / risk matrix); defaults are used otherwise.
+    on_alert:
+        Callback ``(user_name, alert)`` invoked for every alert raised
+        by any user's monitor.
+    """
+
+    def __init__(self, system: SystemModel,
+                 analyzer: Optional[DisclosureRiskAnalyzer] = None,
+                 on_alert: Optional[Callable[[str, Alert], None]] = None):
+        self.system = system
+        self._analyzer = analyzer if analyzer is not None \
+            else DisclosureRiskAnalyzer(system)
+        self._generator = ModelGenerator(system)
+        self._on_alert = on_alert
+        self._monitors: Dict[str, PrivacyMonitor] = {}
+        self._profiles: Dict[str, object] = {}
+        self._lts_cache: Dict[Tuple, object] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, user) -> PrivacyMonitor:
+        """Create (or return) the monitor for ``user``.
+
+        The user's LTS is generated from their agreed services with
+        potential reads for their non-allowed actors, risk-annotated
+        for them, and cached by consent combination.
+        """
+        existing = self._monitors.get(user.name)
+        if existing is not None:
+            return existing
+        if not user.agreed_services:
+            raise MonitorError(
+                f"user {user.name!r} has not agreed to any service; "
+                "there is no behaviour to monitor"
+            )
+        lts = self._annotated_lts(user)
+        monitor = PrivacyMonitor(
+            lts,
+            acceptable_risk=user.acceptable_risk,
+            on_alert=self._make_alert_handler(user.name),
+        )
+        self._monitors[user.name] = monitor
+        self._profiles[user.name] = user
+        return monitor
+
+    def _annotated_lts(self, user):
+        """One annotated LTS per *privacy-equivalent* user group.
+
+        Risk annotations depend on the user's sensitivities, so the
+        cache key includes the sensitivity fingerprint — users with the
+        same consents and sigmas share one annotated LTS; anyone else
+        gets their own generation (annotating a shared LTS for a
+        different user would silently overwrite the first user's risk
+        labels).
+        """
+        non_allowed = frozenset(user.non_allowed_actors(self.system))
+        fingerprint = (
+            tuple(user.agreed_services),
+            non_allowed,
+            tuple(sorted(user.sensitivity.as_dict().items())),
+            user.sensitivity.default,
+            user.acceptable_risk,
+        )
+        lts = self._lts_cache.get(fingerprint)
+        if lts is None:
+            lts = self._generator.generate(GenerationOptions(
+                services=tuple(user.agreed_services),
+                include_potential_reads=True,
+                potential_read_actors=non_allowed,
+            ))
+            self._analyzer.analyse(user, lts=lts)
+            self._lts_cache[fingerprint] = lts
+        return lts
+
+    def _make_alert_handler(self, user_name: str):
+        def handler(alert: Alert) -> None:
+            if self._on_alert is not None:
+                self._on_alert(user_name, alert)
+        return handler
+
+    # -- routing --------------------------------------------------------------
+
+    def observe(self, user_name: str, event: ObservedEvent):
+        """Deliver one event to one user's monitor."""
+        monitor = self._monitors.get(user_name)
+        if monitor is None:
+            raise MonitorError(
+                f"no monitor registered for user {user_name!r}"
+            )
+        return monitor.observe(event)
+
+    def broadcast(self, event: ObservedEvent) -> Dict[str, object]:
+        """Deliver an event affecting every user (e.g. a bulk read of a
+        store holding all users' records). Returns per-user matches."""
+        return {
+            name: monitor.observe(event)
+            for name, monitor in self._monitors.items()
+        }
+
+    # -- aggregation --------------------------------------------------------------
+
+    def monitor_for(self, user_name: str) -> PrivacyMonitor:
+        try:
+            return self._monitors[user_name]
+        except KeyError:
+            raise MonitorError(
+                f"no monitor registered for user {user_name!r}"
+            ) from None
+
+    @property
+    def user_names(self) -> Tuple[str, ...]:
+        return tuple(self._monitors)
+
+    def all_alerts(self) -> List[Tuple[str, Alert]]:
+        """(user, alert) pairs across the fleet, registration order."""
+        pairs: List[Tuple[str, Alert]] = []
+        for name, monitor in self._monitors.items():
+            pairs.extend((name, alert) for alert in monitor.alerts)
+        return pairs
+
+    def users_with_critical_alerts(self) -> Tuple[str, ...]:
+        return tuple(
+            name for name, monitor in self._monitors.items()
+            if monitor.critical_alerts()
+        )
+
+    def __len__(self) -> int:
+        return len(self._monitors)
+
+    def __repr__(self) -> str:
+        return (
+            f"MonitorPool(users={len(self._monitors)}, "
+            f"cached_lts={len(self._lts_cache)})"
+        )

@@ -1,0 +1,179 @@
+"""A simulated distributed data service runtime.
+
+This is the executable counterpart of the whole system model: runtime
+datastores are created from the modelled stores (with the model's
+access policy enforced on every operation), and service sessions
+execute the data-flow diagrams flow by flow — inserting and querying
+real records, emitting :class:`~repro.monitor.events.ObservedEvent`
+objects, and feeding an optional :class:`PrivacyMonitor`.
+
+It is the test bed for "analysis of running systems with real users"
+(section V): what the generator predicts statically, the runtime
+produces dynamically, and the tests assert the two agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..core.actions import ActionType
+from ..datastore import Query, RuntimeDatastore
+from ..dfd.model import Flow, NodeKind, SystemModel
+from ..errors import MonitorError
+from ..schema import anon_name
+from .events import ObservedEvent
+from .tracker import PrivacyMonitor
+
+
+class ServiceRuntime:
+    """Executes modelled services over live datastores."""
+
+    def __init__(self, system: SystemModel,
+                 monitor: Optional[PrivacyMonitor] = None,
+                 enforce_policy: bool = True):
+        self.system = system
+        self.monitor = monitor
+        self.stores: Dict[str, RuntimeDatastore] = {
+            store.name: RuntimeDatastore(
+                store.name, store.schema,
+                system.policy if enforce_policy else None)
+            for store in system.datastores.values()
+        }
+        self._events: List[ObservedEvent] = []
+        self._clock = 0.0
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def events(self) -> List[ObservedEvent]:
+        return list(self._events)
+
+    def store(self, name: str) -> RuntimeDatastore:
+        try:
+            return self.stores[name]
+        except KeyError:
+            known = ", ".join(self.stores) or "<none>"
+            raise MonitorError(
+                f"unknown datastore {name!r} (stores: {known})"
+            ) from None
+
+    def run_service(self, service_name: str,
+                    user_values: Mapping[str, Any],
+                    originated_values: Optional[Mapping[str, Any]] = None
+                    ) -> List[ObservedEvent]:
+        """Execute one session of a service, in flow order.
+
+        ``user_values`` supplies the data subject's field values;
+        ``originated_values`` supplies values for actor-originated
+        fields (defaults to ``"<field by actor>"`` placeholders).
+
+        Returns the events emitted by this session.
+        """
+        service = self.system.service(service_name)
+        # Working values held by each node during this session.
+        held: Dict[str, Dict[str, Any]] = {}
+        session_events: List[ObservedEvent] = []
+        for flow in service.flows:
+            event = self._execute_flow(flow, user_values,
+                                       originated_values or {}, held)
+            session_events.append(event)
+            self._events.append(event)
+            if self.monitor is not None:
+                self.monitor.observe(event)
+        return session_events
+
+    # -- flow execution ----------------------------------------------------------
+
+    def _execute_flow(self, flow: Flow, user_values: Mapping[str, Any],
+                      originated_values: Mapping[str, Any],
+                      held: Dict[str, Dict[str, Any]]) -> ObservedEvent:
+        source_kind = self.system.node_kind(flow.source)
+        target_kind = self.system.node_kind(flow.target)
+        self._clock += 1.0
+
+        if source_kind is NodeKind.USER:
+            values = self._take(user_values, flow,
+                                "user_values")
+            self._deposit(held, flow.target, values)
+            return self._event(ActionType.COLLECT, flow.target, flow)
+
+        if source_kind is NodeKind.ACTOR:
+            values = self._actor_payload(flow, held, originated_values)
+            if target_kind is NodeKind.ACTOR:
+                self._deposit(held, flow.target, values)
+                return self._event(ActionType.DISCLOSE, flow.source, flow)
+            if target_kind is NodeKind.USER:
+                return self._event(ActionType.DISCLOSE, flow.source, flow)
+            # actor -> datastore
+            store = self.system.datastore(flow.target)
+            if store.anonymised:
+                renamed = {
+                    (anon_name(k) if anon_name(k) in store.schema else k):
+                    v for k, v in values.items()
+                }
+                self.store(store.name).insert(flow.source, renamed)
+                return self._event(
+                    ActionType.ANON, flow.source, flow,
+                    fields=tuple(renamed))
+            self.store(store.name).insert(flow.source, values)
+            return self._event(ActionType.CREATE, flow.source, flow)
+
+        # datastore -> actor
+        records = self.store(flow.source).query(
+            flow.target, Query().select(*flow.fields))
+        if records:
+            latest = records[-1]
+            self._deposit(held, flow.target,
+                          {f: latest[f] for f in flow.fields
+                           if f in latest})
+        return self._event(ActionType.READ, flow.target, flow)
+
+    def _actor_payload(self, flow: Flow,
+                       held: Dict[str, Dict[str, Any]],
+                       originated_values: Mapping[str, Any]
+                       ) -> Dict[str, Any]:
+        actor = self.system.actor(flow.source)
+        holding = held.get(flow.source, {})
+        payload: Dict[str, Any] = {}
+        for field_name in flow.fields:
+            if field_name in holding:
+                payload[field_name] = holding[field_name]
+            elif field_name in actor.originates:
+                payload[field_name] = originated_values.get(
+                    field_name, f"<{field_name} by {actor.name}>")
+            else:
+                raise MonitorError(
+                    f"actor {actor.name!r} does not hold field "
+                    f"{field_name!r} required by flow {flow.describe()}; "
+                    "did an earlier flow fail to deliver it?"
+                )
+        # Materialised originated values persist with the actor.
+        self._deposit(held, flow.source, payload)
+        return payload
+
+    @staticmethod
+    def _take(user_values: Mapping[str, Any], flow: Flow,
+              label: str) -> Dict[str, Any]:
+        missing = [f for f in flow.fields if f not in user_values]
+        if missing:
+            raise MonitorError(
+                f"{label} is missing fields {sorted(missing)} required "
+                f"by flow {flow.describe()}"
+            )
+        return {f: user_values[f] for f in flow.fields}
+
+    @staticmethod
+    def _deposit(held: Dict[str, Dict[str, Any]], node: str,
+                 values: Mapping[str, Any]) -> None:
+        held.setdefault(node, {}).update(values)
+
+    def _event(self, action: ActionType, actor: str, flow: Flow,
+               fields=None) -> ObservedEvent:
+        return ObservedEvent(
+            action=action,
+            actor=actor,
+            fields=tuple(fields) if fields is not None else flow.fields,
+            source=flow.source,
+            target=flow.target,
+            timestamp=self._clock,
+        )

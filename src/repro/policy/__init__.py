@@ -1,0 +1,41 @@
+"""Privacy-policy language and LTS compliance checking (paper V)."""
+
+from .compliance import (
+    ComplianceChecker,
+    ComplianceReport,
+    ComplianceViolation,
+    check_compliance,
+)
+from .language import (
+    Forbid,
+    Permit,
+    PrivacyPolicy,
+    RequirePurpose,
+    forbid,
+    permit,
+    require_purpose,
+)
+from .purposes import (
+    FieldPurposes,
+    PurposeViolation,
+    check_purpose_limitation,
+    purpose_flow_report,
+)
+
+__all__ = [
+    "ComplianceChecker",
+    "ComplianceReport",
+    "ComplianceViolation",
+    "check_compliance",
+    "Forbid",
+    "Permit",
+    "PrivacyPolicy",
+    "RequirePurpose",
+    "forbid",
+    "permit",
+    "require_purpose",
+    "FieldPurposes",
+    "PurposeViolation",
+    "check_purpose_limitation",
+    "purpose_flow_report",
+]

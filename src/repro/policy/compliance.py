@@ -1,0 +1,151 @@
+"""Compliance checking: does the generated LTS obey the stated policy?
+
+Three checks, mirroring the policy-analysis literature the paper
+relates to (section V):
+
+- **forbidden behaviour**: a ``Forbid`` statement matching a reachable
+  transition is a violation, reported with a witness path;
+- **uncovered behaviour**: a reachable transition matched by *no*
+  ``Permit`` is flagged — the system does things its policy never
+  told the user about (strict mode only);
+- **purpose coverage**: transitions touching ``RequirePurpose`` fields
+  without a declared purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.lts import LTS, Transition, TransitionKind
+from ..core.reachability import (
+    path_description,
+    reachable_states,
+    shortest_path_to,
+)
+from .language import Forbid, PrivacyPolicy, RequirePurpose
+
+
+@dataclass(frozen=True)
+class ComplianceViolation:
+    """One compliance finding."""
+
+    kind: str  # 'forbidden' | 'uncovered' | 'missing-purpose'
+    transition: Transition
+    statement_text: str
+    witness: Tuple[Transition, ...]
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}: {self.transition.label.describe()} "
+            f"(rule: {self.statement_text})"
+        )
+
+    def witness_text(self) -> str:
+        return path_description(list(self.witness) + [self.transition])
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """Outcome of checking one LTS against one policy."""
+
+    policy_name: str
+    violations: Tuple[ComplianceViolation, ...]
+    transitions_checked: int
+
+    @property
+    def compliant(self) -> bool:
+        return not self.violations
+
+    def by_kind(self, kind: str) -> Tuple[ComplianceViolation, ...]:
+        return tuple(v for v in self.violations if v.kind == kind)
+
+    def summary(self) -> str:
+        if self.compliant:
+            return (
+                f"policy {self.policy_name!r}: compliant "
+                f"({self.transitions_checked} transitions checked)"
+            )
+        lines = [
+            f"policy {self.policy_name!r}: "
+            f"{len(self.violations)} violation(s) in "
+            f"{self.transitions_checked} transitions"
+        ]
+        lines.extend("  - " + v.describe() for v in self.violations)
+        return "\n".join(lines)
+
+
+class ComplianceChecker:
+    """Evaluates a :class:`~repro.policy.language.PrivacyPolicy`."""
+
+    def __init__(self, policy: PrivacyPolicy, strict: bool = False,
+                 check_injected: bool = False):
+        """
+        Parameters
+        ----------
+        policy:
+            The policy to check against.
+        strict:
+            Also flag reachable transitions not covered by any Permit.
+        check_injected:
+            Include analysis-injected transitions (potential reads,
+            risk transitions) in the check. Off by default: those model
+            *possible* abuse, not designed behaviour, and flagging them
+            against the design policy conflates the two analyses.
+        """
+        self.policy = policy
+        self.strict = strict
+        self.check_injected = check_injected
+
+    def check(self, lts: LTS) -> ComplianceReport:
+        reachable = reachable_states(lts)
+        violations: List[ComplianceViolation] = []
+        checked = 0
+        for transition in lts.transitions:
+            if transition.source not in reachable:
+                continue
+            if transition.kind is not TransitionKind.FLOW and \
+                    not self.check_injected:
+                continue
+            checked += 1
+            violations.extend(self._check_transition(lts, transition))
+        return ComplianceReport(
+            policy_name=self.policy.name,
+            violations=tuple(violations),
+            transitions_checked=checked,
+        )
+
+    def _check_transition(self, lts: LTS, transition: Transition
+                          ) -> List[ComplianceViolation]:
+        found: List[ComplianceViolation] = []
+        witness = self._witness(lts, transition)
+        for statement in self.policy.forbids:
+            if statement.matches(transition):
+                found.append(ComplianceViolation(
+                    "forbidden", transition, statement.describe(),
+                    witness))
+        for rule in self.policy.purpose_rules:
+            if rule.applies_to(transition) and \
+                    not rule.satisfied_by(transition):
+                found.append(ComplianceViolation(
+                    "missing-purpose", transition, rule.describe(),
+                    witness))
+        if self.strict and not any(
+                s.matches(transition) for s in self.policy.permits):
+            found.append(ComplianceViolation(
+                "uncovered", transition,
+                "no permit statement covers this behaviour", witness))
+        return found
+
+    @staticmethod
+    def _witness(lts: LTS, transition: Transition
+                 ) -> Tuple[Transition, ...]:
+        path = shortest_path_to(
+            lts, lambda s: s.sid == transition.source)
+        return tuple(path or ())
+
+
+def check_compliance(lts: LTS, policy: PrivacyPolicy,
+                     strict: bool = False) -> ComplianceReport:
+    """One-call compliance check."""
+    return ComplianceChecker(policy, strict=strict).check(lts)

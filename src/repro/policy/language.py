@@ -1,0 +1,182 @@
+"""A small privacy-policy language over the model's vocabulary.
+
+Related work (section V) checks systems against privacy policies
+(P3P/BPEL); the paper notes "our LTS can be similarly analysed" and
+envisions analysis output "form[ing] part of the privacy policy
+explained to users". This module provides the policy side: statements
+about which actors may (or must never) perform which actions on which
+fields, and for what purposes — evaluated against the generated LTS by
+:mod:`repro.policy.compliance`.
+
+Statement forms:
+
+- ``Permit(actor?, action?, fields?, purposes?)`` — a behaviour the
+  policy allows (used to detect *uncovered* behaviour);
+- ``Forbid(actor?, action?, fields?, purposes?)`` — a behaviour that
+  must never occur;
+- ``RequirePurpose(fields)`` — any action on the fields must carry a
+  declared purpose (purpose-driven processing).
+
+``None`` matchers mean "any". Fields match when the statement's field
+set intersects the transition's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..core.actions import ActionType
+from ..core.lts import Transition
+
+
+def _freeze(values: Optional[Iterable[str]]) -> Optional[FrozenSet[str]]:
+    return frozenset(values) if values is not None else None
+
+
+def _resolve_action(action) -> Optional[ActionType]:
+    if action is None:
+        return None
+    if isinstance(action, ActionType):
+        return action
+    return ActionType.from_name(action)
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Shared matcher backbone of policy statements."""
+
+    actor: Optional[str] = None
+    action: Optional[ActionType] = None
+    fields: Optional[FrozenSet[str]] = None
+    purposes: Optional[FrozenSet[str]] = None
+
+    def matches(self, transition: Transition) -> bool:
+        label = transition.label
+        if self.actor is not None and label.actor != self.actor:
+            return False
+        if self.action is not None and label.action is not self.action:
+            return False
+        if self.fields is not None and \
+                not self.fields.intersection(label.fields):
+            return False
+        if self.purposes is not None:
+            if label.purpose is None or \
+                    label.purpose not in self.purposes:
+                return False
+        return True
+
+    def _describe_matchers(self) -> str:
+        parts = []
+        parts.append(self.actor if self.actor is not None else "any actor")
+        parts.append(self.action.value if self.action is not None
+                     else "any action")
+        parts.append("fields " + ", ".join(sorted(self.fields))
+                     if self.fields is not None else "any fields")
+        if self.purposes is not None:
+            parts.append("purposes " + ", ".join(sorted(self.purposes)))
+        return " / ".join(parts)
+
+
+@dataclass(frozen=True)
+class Permit(Statement):
+    """Behaviour the policy explicitly allows."""
+
+    def describe(self) -> str:
+        return f"permit [{self._describe_matchers()}]"
+
+
+@dataclass(frozen=True)
+class Forbid(Statement):
+    """Behaviour that must never occur in any reachable execution."""
+
+    def describe(self) -> str:
+        return f"forbid [{self._describe_matchers()}]"
+
+
+@dataclass(frozen=True)
+class RequirePurpose:
+    """Any action touching the fields must declare a purpose."""
+
+    fields: FrozenSet[str]
+
+    def applies_to(self, transition: Transition) -> bool:
+        return bool(self.fields.intersection(transition.label.fields))
+
+    def satisfied_by(self, transition: Transition) -> bool:
+        return transition.label.purpose is not None
+
+    def describe(self) -> str:
+        return ("require purpose on fields "
+                + ", ".join(sorted(self.fields)))
+
+
+def permit(actor: Optional[str] = None, action=None,
+           fields: Optional[Iterable[str]] = None,
+           purposes: Optional[Iterable[str]] = None) -> Permit:
+    """Build a :class:`Permit` with friendly argument types."""
+    return Permit(actor, _resolve_action(action), _freeze(fields),
+                  _freeze(purposes))
+
+
+def forbid(actor: Optional[str] = None, action=None,
+           fields: Optional[Iterable[str]] = None,
+           purposes: Optional[Iterable[str]] = None) -> Forbid:
+    """Build a :class:`Forbid` with friendly argument types."""
+    return Forbid(actor, _resolve_action(action), _freeze(fields),
+                  _freeze(purposes))
+
+
+def require_purpose(fields: Iterable[str]) -> RequirePurpose:
+    return RequirePurpose(frozenset(fields))
+
+
+class PrivacyPolicy:
+    """A named collection of policy statements."""
+
+    def __init__(self, name: str, statements: Iterable = ()):
+        if not name:
+            raise ValueError("policy name must be non-empty")
+        self.name = name
+        self._permits: Tuple[Permit, ...] = ()
+        self._forbids: Tuple[Forbid, ...] = ()
+        self._purpose_rules: Tuple[RequirePurpose, ...] = ()
+        for statement in statements:
+            self.add(statement)
+
+    def add(self, statement) -> "PrivacyPolicy":
+        if isinstance(statement, Permit):
+            self._permits = self._permits + (statement,)
+        elif isinstance(statement, Forbid):
+            self._forbids = self._forbids + (statement,)
+        elif isinstance(statement, RequirePurpose):
+            self._purpose_rules = self._purpose_rules + (statement,)
+        else:
+            raise TypeError(
+                f"unsupported policy statement type "
+                f"{type(statement).__name__}"
+            )
+        return self
+
+    @property
+    def permits(self) -> Tuple[Permit, ...]:
+        return self._permits
+
+    @property
+    def forbids(self) -> Tuple[Forbid, ...]:
+        return self._forbids
+
+    @property
+    def purpose_rules(self) -> Tuple[RequirePurpose, ...]:
+        return self._purpose_rules
+
+    def __len__(self) -> int:
+        return (len(self._permits) + len(self._forbids)
+                + len(self._purpose_rules))
+
+    def __repr__(self) -> str:
+        return (
+            f"PrivacyPolicy({self.name!r}, permits={len(self._permits)}, "
+            f"forbids={len(self._forbids)}, "
+            f"purpose_rules={len(self._purpose_rules)})"
+        )

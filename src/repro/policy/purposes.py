@@ -1,0 +1,147 @@
+"""Purpose-limitation analysis over the generated LTS.
+
+The paper's flows are *purpose-driven* by construction — every arrow
+carries "the purpose of the flow". Purpose limitation (the GDPR
+principle the OPERANDO project behind the paper targets) requires that
+data collected for a set of purposes is not later used for others.
+With purposes on transitions, the generated LTS makes this checkable:
+
+- :func:`purpose_flow_report` — for every field, the purposes it was
+  collected under and every purpose it is subsequently used for;
+- :func:`check_purpose_limitation` — flag uses whose purpose was never
+  part of the field's collection purposes (or an explicit allowance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.actions import ActionType
+from ..core.lts import LTS, Transition, TransitionKind
+from ..core.reachability import reachable_states
+
+
+@dataclass(frozen=True)
+class FieldPurposes:
+    """How one field's purposes line up."""
+
+    field: str
+    collected_for: Tuple[str, ...]
+    used_for: Tuple[str, ...]
+
+    @property
+    def undeclared_uses(self) -> Tuple[str, ...]:
+        """Purposes the field is used for but was not collected for."""
+        declared = set(self.collected_for)
+        return tuple(sorted(set(self.used_for) - declared))
+
+
+@dataclass(frozen=True)
+class PurposeViolation:
+    """One use of a field beyond its collection purposes."""
+
+    field: str
+    purpose: Optional[str]
+    transition: Transition
+
+    def describe(self) -> str:
+        reason = f"for undeclared purpose {self.purpose!r}" \
+            if self.purpose else "with no declared purpose"
+        return (
+            f"{self.field}: {self.transition.label.describe()} "
+            f"{reason}"
+        )
+
+
+def purpose_flow_report(lts: LTS) -> Dict[str, FieldPurposes]:
+    """Field -> (collection purposes, downstream use purposes).
+
+    Only reachable ``flow`` transitions count: injected potential/risk
+    transitions model abuse, which purpose limitation presumes absent.
+    """
+    reachable = reachable_states(lts)
+    collected: Dict[str, Set[str]] = {}
+    used: Dict[str, Set[str]] = {}
+    for transition in lts.transitions:
+        if transition.kind is not TransitionKind.FLOW:
+            continue
+        if transition.source not in reachable:
+            continue
+        purpose = transition.label.purpose
+        for field in transition.label.fields:
+            if transition.label.action is ActionType.COLLECT:
+                if purpose:
+                    collected.setdefault(field, set()).add(purpose)
+                else:
+                    collected.setdefault(field, set())
+            else:
+                if purpose:
+                    used.setdefault(field, set()).add(purpose)
+                else:
+                    used.setdefault(field, set())
+    fields = sorted(set(collected) | set(used))
+    return {
+        field: FieldPurposes(
+            field=field,
+            collected_for=tuple(sorted(collected.get(field, ()))),
+            used_for=tuple(sorted(used.get(field, ()))),
+        )
+        for field in fields
+    }
+
+
+def check_purpose_limitation(
+        lts: LTS,
+        allowances: Optional[Mapping[str, Sequence[str]]] = None,
+        require_purposes: bool = False) -> List[PurposeViolation]:
+    """Find uses of fields beyond their collection purposes.
+
+    ``allowances`` maps field -> extra purposes that are acceptable
+    even though no collect declared them (e.g. purposes of originated
+    fields, which are never collected). With ``require_purposes``,
+    purpose-less non-collect transitions are violations too.
+
+    Fields that are never collected (originated or store-seeded) are
+    exempt unless an allowance names them — there is no collection
+    promise to hold them to.
+    """
+    allowances = {k: set(v) for k, v in (allowances or {}).items()}
+    report = purpose_flow_report(lts)
+    reachable = reachable_states(lts)
+    violations: List[PurposeViolation] = []
+    for transition in lts.transitions:
+        if transition.kind is not TransitionKind.FLOW:
+            continue
+        if transition.source not in reachable:
+            continue
+        if transition.label.action is ActionType.COLLECT:
+            continue
+        purpose = transition.label.purpose
+        for field in transition.label.fields:
+            field_report = report.get(field)
+            if field_report is None:
+                continue
+            declared = set(field_report.collected_for) | \
+                allowances.get(field, set())
+            never_collected = field not in _collected_fields(lts)
+            if purpose is None:
+                if require_purposes:
+                    violations.append(PurposeViolation(
+                        field, None, transition))
+                continue
+            if never_collected and field not in allowances:
+                continue
+            if purpose not in declared:
+                violations.append(PurposeViolation(
+                    field, purpose, transition))
+    return violations
+
+
+def _collected_fields(lts: LTS) -> Set[str]:
+    fields: Set[str] = set()
+    for transition in lts.transitions:
+        if transition.kind is TransitionKind.FLOW and \
+                transition.label.action is ActionType.COLLECT:
+            fields.update(transition.label.fields)
+    return fields

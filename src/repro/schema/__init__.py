@@ -1,0 +1,24 @@
+"""Data schemas: fields, privacy kinds and schema containers (paper II.A)."""
+
+from .fields import (
+    ANON_SUFFIX,
+    Field,
+    FieldKind,
+    FieldType,
+    anon_name,
+    is_anon_name,
+    original_name,
+)
+from .schema import DataSchema, schema_from_names
+
+__all__ = [
+    "ANON_SUFFIX",
+    "Field",
+    "FieldKind",
+    "FieldType",
+    "anon_name",
+    "is_anon_name",
+    "original_name",
+    "DataSchema",
+    "schema_from_names",
+]

@@ -1,0 +1,161 @@
+"""Field definitions for data schemas.
+
+A :class:`Field` describes one item of personal data handled by the
+system: its value type and its privacy *kind* (direct identifier,
+quasi-identifier, sensitive, or regular). Pseudonymised variants of a
+field (the paper's ``weight_anon``) are first-class fields that point
+back at their original via :attr:`Field.anonymised_of`, so access
+policies and state variables can treat ``weight`` and ``weight_anon``
+independently — exactly as section II.B requires ("an analyst may have
+access permission for the field weight_anon but may not have permission
+to access weight").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+ANON_SUFFIX = "_anon"
+
+
+class FieldType(enum.Enum):
+    """Value type of a data field."""
+
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+    DATE = "date"
+    CATEGORY = "category"
+    BOOL = "bool"
+
+    @classmethod
+    def from_name(cls, name: str) -> "FieldType":
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(member.value for member in cls)
+            raise ValueError(
+                f"unknown field type {name!r}; expected one of: {valid}"
+            ) from None
+
+
+class FieldKind(enum.Enum):
+    """Privacy classification of a field.
+
+    - ``IDENTIFIER``: directly identifies the data subject (name, SSN).
+    - ``QUASI_IDENTIFIER``: identifying in combination (age, height).
+    - ``SENSITIVE``: the value itself is the harm (diagnosis, weight).
+    - ``REGULAR``: neither identifying nor sensitive by default.
+    """
+
+    IDENTIFIER = "identifier"
+    QUASI_IDENTIFIER = "quasi"
+    SENSITIVE = "sensitive"
+    REGULAR = "regular"
+
+    @classmethod
+    def from_name(cls, name: str) -> "FieldKind":
+        normalised = name.lower()
+        aliases = {
+            "id": cls.IDENTIFIER,
+            "identifier": cls.IDENTIFIER,
+            "quasi": cls.QUASI_IDENTIFIER,
+            "quasi_identifier": cls.QUASI_IDENTIFIER,
+            "quasi-identifier": cls.QUASI_IDENTIFIER,
+            "sensitive": cls.SENSITIVE,
+            "regular": cls.REGULAR,
+        }
+        if normalised not in aliases:
+            valid = ", ".join(sorted(set(aliases)))
+            raise ValueError(
+                f"unknown field kind {name!r}; expected one of: {valid}"
+            )
+        return aliases[normalised]
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single named data field within a schema.
+
+    Parameters
+    ----------
+    name:
+        Field identifier, unique within its schema.
+    ftype:
+        The value type (:class:`FieldType`).
+    kind:
+        Privacy classification (:class:`FieldKind`).
+    anonymised_of:
+        When set, this field is the pseudonymised variant of the named
+        original field.
+    description:
+        Optional human-readable note carried through to reports.
+    """
+
+    name: str
+    ftype: FieldType = FieldType.STRING
+    kind: FieldKind = FieldKind.REGULAR
+    anonymised_of: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+        if not self.name.replace("_", "").isalnum():
+            raise ValueError(
+                f"field name {self.name!r} must be alphanumeric/underscore"
+            )
+
+    @property
+    def is_anonymised(self) -> bool:
+        """Whether this field is a pseudonymised variant of another field."""
+        return self.anonymised_of is not None
+
+    @property
+    def is_quasi_identifier(self) -> bool:
+        return self.kind is FieldKind.QUASI_IDENTIFIER
+
+    @property
+    def is_sensitive(self) -> bool:
+        return self.kind is FieldKind.SENSITIVE
+
+    @property
+    def is_identifier(self) -> bool:
+        return self.kind is FieldKind.IDENTIFIER
+
+    def anonymised(self) -> "Field":
+        """Return the pseudonymised variant of this field.
+
+        The variant keeps the original's type and kind and is named
+        ``<name>_anon``, following the paper's ``weight_anon`` notation.
+        """
+        if self.is_anonymised:
+            raise ValueError(
+                f"field {self.name!r} is already an anonymised variant"
+            )
+        return Field(
+            name=anon_name(self.name),
+            ftype=self.ftype,
+            kind=self.kind,
+            anonymised_of=self.name,
+            description=f"pseudonymised variant of {self.name}",
+        )
+
+
+def anon_name(field_name: str) -> str:
+    """The conventional name of the pseudonymised variant of a field."""
+    return field_name + ANON_SUFFIX
+
+
+def is_anon_name(field_name: str) -> bool:
+    """Whether ``field_name`` follows the ``*_anon`` naming convention."""
+    return field_name.endswith(ANON_SUFFIX)
+
+
+def original_name(field_name: str) -> str:
+    """Invert :func:`anon_name`; returns the input unchanged otherwise."""
+    if is_anon_name(field_name):
+        return field_name[: -len(ANON_SUFFIX)]
+    return field_name

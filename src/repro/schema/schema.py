@@ -1,0 +1,150 @@
+"""Data schemas: ordered collections of fields attached to datastores.
+
+A :class:`DataSchema` is the second label on the paper's datastore
+nodes (section II.A, Fig. 1): the description of *what* a datastore
+holds. Schemas are immutable once built; the fluent :meth:`with_field`
+style returns new schemas, which keeps model generation free of
+aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import SchemaError
+from .fields import Field, FieldKind, FieldType, anon_name
+
+
+class DataSchema:
+    """An ordered, named set of :class:`Field` definitions."""
+
+    def __init__(self, name: str, fields: Iterable[Field] = ()):
+        if not name:
+            raise SchemaError("schema name must be non-empty")
+        self.name = name
+        self._fields: Dict[str, Field] = {}
+        for field in fields:
+            self._add(field)
+
+    def _add(self, field: Field) -> None:
+        if field.name in self._fields:
+            raise SchemaError(
+                f"duplicate field {field.name!r} in schema {self.name!r}"
+            )
+        if field.anonymised_of is not None:
+            if field.anonymised_of not in self._fields:
+                raise SchemaError(
+                    f"anonymised field {field.name!r} references unknown "
+                    f"original {field.anonymised_of!r} in schema {self.name!r}"
+                )
+        self._fields[field.name] = field
+
+    # -- construction ---------------------------------------------------
+
+    def with_field(self, field: Field) -> "DataSchema":
+        """Return a new schema with ``field`` appended."""
+        schema = DataSchema(self.name, self._fields.values())
+        schema._add(field)
+        return schema
+
+    def renamed(self, name: str) -> "DataSchema":
+        """Return a copy of this schema under a new name."""
+        return DataSchema(name, self._fields.values())
+
+    def anonymised_view(self, fields: Optional[Iterable[str]] = None,
+                        name: Optional[str] = None) -> "DataSchema":
+        """Build the schema of an anonymised datastore.
+
+        Every requested field (default: all non-anonymised fields) is
+        replaced by its ``*_anon`` variant. The original fields must
+        exist. Used when modelling the paper's "Anonymised EHR" store.
+        """
+        wanted = list(fields) if fields is not None else [
+            f.name for f in self._fields.values() if not f.is_anonymised
+        ]
+        view_name = name if name is not None else self.name + "_anon"
+        anon_fields: List[Field] = []
+        for field_name in wanted:
+            original = self.field(field_name)
+            anon_fields.append(Field(
+                name=anon_name(original.name),
+                ftype=original.ftype,
+                kind=original.kind,
+                anonymised_of=original.name,
+                description=f"pseudonymised variant of {original.name}",
+            ))
+        # The originals live in *this* schema, not the view, so assign
+        # the field table directly rather than via _add's reference check.
+        view = DataSchema(view_name)
+        view._fields = {f.name: f for f in anon_fields}
+        return view
+
+    # -- queries ---------------------------------------------------------
+
+    def field(self, name: str) -> Field:
+        """Return the field called ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._fields[name]
+        except KeyError:
+            known = ", ".join(self._fields) or "<none>"
+            raise SchemaError(
+                f"schema {self.name!r} has no field {name!r} (fields: {known})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields.values())
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def names(self) -> Tuple[str, ...]:
+        """All field names, in declaration order."""
+        return tuple(self._fields)
+
+    def fields_of_kind(self, kind: FieldKind) -> Tuple[Field, ...]:
+        return tuple(f for f in self._fields.values() if f.kind is kind)
+
+    def identifiers(self) -> Tuple[Field, ...]:
+        return self.fields_of_kind(FieldKind.IDENTIFIER)
+
+    def quasi_identifiers(self) -> Tuple[Field, ...]:
+        return self.fields_of_kind(FieldKind.QUASI_IDENTIFIER)
+
+    def sensitive_fields(self) -> Tuple[Field, ...]:
+        return self.fields_of_kind(FieldKind.SENSITIVE)
+
+    def anonymised_fields(self) -> Tuple[Field, ...]:
+        return tuple(f for f in self._fields.values() if f.is_anonymised)
+
+    def validate_fields(self, names: Iterable[str], context: str) -> None:
+        """Raise :class:`SchemaError` if any name is not in this schema."""
+        missing = [n for n in names if n not in self._fields]
+        if missing:
+            listed = ", ".join(sorted(missing))
+            raise SchemaError(
+                f"{context}: fields not in schema {self.name!r}: {listed}"
+            )
+
+    # -- equality / representation ----------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DataSchema):
+            return NotImplemented
+        return self.name == other.name and \
+            list(self._fields.values()) == list(other._fields.values())
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(self._fields.values())))
+
+    def __repr__(self) -> str:
+        return f"DataSchema({self.name!r}, fields={list(self._fields)})"
+
+
+def schema_from_names(name: str, field_names: Iterable[str],
+                      ftype: FieldType = FieldType.STRING,
+                      kind: FieldKind = FieldKind.REGULAR) -> DataSchema:
+    """Convenience constructor: a schema of uniformly-typed fields."""
+    return DataSchema(name, (Field(n, ftype, kind) for n in field_names))

@@ -1,0 +1,22 @@
+"""Visualisation: DOT export and text reports for DFDs and LTSs."""
+
+from ..dfd.dot import dfd_to_dot
+from .dot import lts_to_dot
+from .report import (
+    identification_table,
+    lts_digest,
+    risk_transition_table,
+    state_variable_table,
+)
+from .timeline import exposure_report, timeline_report
+
+__all__ = [
+    "dfd_to_dot",
+    "lts_to_dot",
+    "identification_table",
+    "lts_digest",
+    "risk_transition_table",
+    "state_variable_table",
+    "exposure_report",
+    "timeline_report",
+]

@@ -1,0 +1,67 @@
+"""DOT rendering of privacy LTSs (the paper's Figs. 3 and 4).
+
+States are circles named ``s0, s1, ...`` (the sixty state variables
+are suppressed exactly as the paper does for Fig. 3 — pass
+``show_variables=True`` to include the true variables of each state).
+Risk transitions are drawn dotted, as in Fig. 4, and labelled with
+their violation counts when scored.
+"""
+
+from __future__ import annotations
+
+from ..core.lts import LTS, Transition, TransitionKind
+
+
+def _quote(value: str) -> str:
+    return '"' + value.replace('"', '\\"') + '"'
+
+
+def _transition_attrs(transition: Transition) -> str:
+    label = transition.label.describe()
+    attrs = []
+    if transition.risk is not None:
+        extra = transition.risk.describe()
+        if extra and extra != "<unscored>":
+            label += "\\n" + extra
+    attrs.append(f"label={_quote(label)}")
+    if transition.kind is TransitionKind.RISK:
+        attrs.append("style=dotted")
+        attrs.append("color=red")
+    elif transition.kind is TransitionKind.POTENTIAL:
+        attrs.append("style=dashed")
+    return ", ".join(attrs)
+
+
+def lts_to_dot(lts: LTS, graph_name: str = "privacy_lts",
+               show_variables: bool = False,
+               max_label_variables: int = 8) -> str:
+    """Render the LTS as DOT text."""
+    lines = [
+        f"digraph {_quote(graph_name)} {{",
+        "  rankdir=LR;",
+        "  node [shape=circle, fontsize=10];",
+    ]
+    initial = lts.initial.sid
+    for state in lts.states:
+        attrs = []
+        if show_variables:
+            true_vars = state.vector.true_variables()
+            shown = [v.label() for v in true_vars[:max_label_variables]]
+            if len(true_vars) > max_label_variables:
+                shown.append(f"... +{len(true_vars) - max_label_variables}")
+            label = state.name()
+            if shown:
+                label += "\\n" + "\\n".join(shown)
+            attrs.append(f"label={_quote(label)}")
+        if state.sid == initial:
+            attrs.append("style=bold")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {_quote(state.name())}{suffix};")
+    for transition in lts.transitions:
+        lines.append(
+            f"  {_quote(f's{transition.source}')} -> "
+            f"{_quote(f's{transition.target}')} "
+            f"[{_transition_attrs(transition)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

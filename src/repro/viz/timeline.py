@@ -1,0 +1,75 @@
+"""Rendering a privacy monitor's trace as a timeline report.
+
+Turns a :class:`~repro.monitor.tracker.PrivacyMonitor` history into the
+operator-facing narrative: what happened, in order, with the privacy
+state growth and any alerts inline. This is the "transparency of any
+processing" view the paper wants returned to data subjects (§IV.A).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .._util import ascii_table
+
+
+def timeline_report(monitor, actor_of_interest: str = None) -> str:
+    """Render the monitor's trace as a step-by-step table.
+
+    Each row: step number, the action taken, the acting actor, fields,
+    how many state variables became true, and any alert raised by that
+    point. ``actor_of_interest`` adds a column tracking that actor's
+    cumulative exposure.
+    """
+    headers: List[str] = ["#", "action", "actor", "fields",
+                          "new facts"]
+    if actor_of_interest is not None:
+        headers.append(f"{actor_of_interest} knows")
+    rows = []
+    previous_vector = monitor.lts.initial.vector
+    for index, transition in enumerate(monitor.trace, start=1):
+        current_vector = monitor.lts.state(transition.target).vector
+        newly = len(current_vector.newly_true_versus(previous_vector))
+        row = [
+            index,
+            transition.label.action.value,
+            transition.label.actor,
+            ", ".join(transition.label.fields),
+            newly,
+        ]
+        if actor_of_interest is not None:
+            known = current_vector.fields_known_by(
+                actor_of_interest, include_could=False)
+            row.append(", ".join(known) or "-")
+        rows.append(row)
+        previous_vector = current_vector
+    if not rows:
+        rows = [["-"] * len(headers)]
+    table = ascii_table(headers, rows)
+
+    lines = [table]
+    if monitor.alerts:
+        lines.append("")
+        lines.append("alerts:")
+        lines.extend("  " + alert.describe() for alert in monitor.alerts)
+    lines.append("")
+    lines.append(
+        f"final state: {monitor.current_state.name()} "
+        f"({monitor.current_state.vector.count_true()} variables true)")
+    return "\n".join(lines)
+
+
+def exposure_report(monitor) -> str:
+    """Per-actor exposure in the monitor's *current* state."""
+    vector = monitor.current_state.vector
+    rows = []
+    for actor in monitor.lts.registry.actors:
+        has_fields = vector.fields_known_by(actor, include_could=False)
+        could_fields = tuple(
+            f for f in vector.fields_known_by(actor)
+            if f not in has_fields)
+        rows.append((actor,
+                     ", ".join(has_fields) or "-",
+                     ", ".join(could_fields) or "-"))
+    return ascii_table(("actor", "has identified", "could identify"),
+                       rows)

@@ -1,0 +1,80 @@
+"""Shared fixtures: the paper's case-study systems and datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies import (
+    build_research_system,
+    build_surgery_system,
+    raw_physical_records,
+    surgery_patient,
+    table1_hierarchies,
+    table1_records,
+)
+from repro.core import GenerationOptions, generate_lts
+from repro.core.risk import ValueRiskPolicy
+from repro.dfd import SystemBuilder
+
+
+@pytest.fixture
+def surgery_system():
+    return build_surgery_system()
+
+
+@pytest.fixture
+def research_system():
+    return build_research_system()
+
+
+@pytest.fixture
+def patient():
+    return surgery_patient()
+
+
+@pytest.fixture
+def table1():
+    return table1_records()
+
+
+@pytest.fixture
+def raw_physical():
+    return raw_physical_records()
+
+
+@pytest.fixture
+def physical_hierarchies():
+    return table1_hierarchies()
+
+
+@pytest.fixture
+def weight_policy():
+    return ValueRiskPolicy(sensitive_field="weight", closeness=5.0,
+                           confidence=0.9)
+
+
+@pytest.fixture
+def medical_lts(surgery_system):
+    return generate_lts(
+        surgery_system,
+        GenerationOptions(services=("MedicalService",)))
+
+
+@pytest.fixture
+def tiny_system():
+    """A minimal two-actor system used across unit tests."""
+    return (
+        SystemBuilder("tiny")
+        .schema("S", [("name", "string", "identifier"),
+                      ("secret", "string", "sensitive")])
+        .actor("Alice")
+        .actor("Bob")
+        .datastore("Store", "S")
+        .service("Svc")
+        .flow(1, "User", "Alice", ["name", "secret"], purpose="signup")
+        .flow(2, "Alice", "Store", ["name", "secret"], purpose="persist")
+        .flow(3, "Store", "Bob", ["name"], purpose="lookup")
+        .allow("Alice", ["read", "create"], "Store")
+        .allow("Bob", "read", "Store", ["name"])
+        .build()
+    )

@@ -1,0 +1,248 @@
+"""Unit tests for repro.access: ACL, RBAC and the combined policy."""
+
+import pytest
+
+from repro.access import (
+    ALL_FIELDS,
+    AccessControlList,
+    AccessPolicy,
+    AclEntry,
+    Permission,
+    RbacPolicy,
+)
+from repro.errors import ModelError
+
+
+class TestPermission:
+    def test_aliases(self):
+        assert Permission.from_name("query") is Permission.READ
+        assert Permission.from_name("write") is Permission.CREATE
+        assert Permission.from_name("insert") is Permission.CREATE
+        assert Permission.from_name("DELETE") is Permission.DELETE
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown permission"):
+            Permission.from_name("own")
+
+
+class TestAclEntry:
+    def test_wildcard_covers_any_field(self):
+        entry = AclEntry("a", "s", (Permission.READ,))
+        assert entry.grants_all_fields
+        assert entry.covers("a", Permission.READ, "s", "anything")
+
+    def test_field_scoped(self):
+        entry = AclEntry("a", "s", (Permission.READ,), ("x",))
+        assert entry.covers("a", Permission.READ, "s", "x")
+        assert not entry.covers("a", Permission.READ, "s", "y")
+
+    def test_store_level_check_ignores_field(self):
+        entry = AclEntry("a", "s", (Permission.READ,), ("x",))
+        assert entry.covers("a", Permission.READ, "s", None)
+
+    def test_wrong_subject_or_store_or_permission(self):
+        entry = AclEntry("a", "s", (Permission.READ,))
+        assert not entry.covers("b", Permission.READ, "s")
+        assert not entry.covers("a", Permission.READ, "t")
+        assert not entry.covers("a", Permission.CREATE, "s")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AclEntry("", "s", (Permission.READ,))
+        with pytest.raises(ValueError):
+            AclEntry("a", "", (Permission.READ,))
+        with pytest.raises(ValueError):
+            AclEntry("a", "s", ())
+        with pytest.raises(ValueError):
+            AclEntry("a", "s", (Permission.READ,), ())
+
+    def test_permissions_deduplicated(self):
+        entry = AclEntry("a", "s", (Permission.READ, Permission.READ))
+        assert entry.permissions == (Permission.READ,)
+
+
+class TestAccessControlList:
+    def test_default_deny(self):
+        acl = AccessControlList()
+        assert not acl.is_allowed("a", Permission.READ, "s")
+
+    def test_allow_with_string_permissions(self):
+        acl = AccessControlList().allow("a", "read", "s")
+        assert acl.is_allowed("a", Permission.READ, "s", "x")
+
+    def test_allow_with_mixed_permission_list(self):
+        acl = AccessControlList().allow(
+            "a", [Permission.READ, "create"], "s")
+        assert acl.is_allowed("a", Permission.CREATE, "s")
+
+    def test_subjects_allowed(self):
+        acl = (AccessControlList()
+               .allow("a", "read", "s")
+               .allow("b", "read", "s", ["x"])
+               .allow("c", "create", "s"))
+        assert acl.subjects_allowed(Permission.READ, "s", "x") == \
+            {"a", "b"}
+        assert acl.subjects_allowed(Permission.READ, "s", "y") == {"a"}
+
+    def test_revoke_whole_permission(self):
+        acl = AccessControlList().allow("a", ["read", "create"], "s")
+        changed = acl.revoke("a", Permission.READ, "s")
+        assert changed == 1
+        assert not acl.is_allowed("a", Permission.READ, "s")
+        assert acl.is_allowed("a", Permission.CREATE, "s")
+
+    def test_revoke_specific_fields_narrows_entry(self):
+        acl = AccessControlList().allow("a", "read", "s", ["x", "y"])
+        acl.revoke("a", Permission.READ, "s", fields=["y"])
+        assert acl.is_allowed("a", Permission.READ, "s", "x")
+        assert not acl.is_allowed("a", Permission.READ, "s", "y")
+
+    def test_revoke_fields_from_wildcard_raises(self):
+        acl = AccessControlList().allow("a", "read", "s")
+        with pytest.raises(ValueError, match="wildcard"):
+            acl.revoke("a", Permission.READ, "s", fields=["x"])
+
+    def test_revoke_untouched_entries_preserved(self):
+        acl = (AccessControlList()
+               .allow("a", "read", "s", ["x"])
+               .allow("b", "read", "s", ["x"]))
+        acl.revoke("a", Permission.READ, "s")
+        assert acl.is_allowed("b", Permission.READ, "s", "x")
+
+    def test_entries_for_and_len(self):
+        acl = (AccessControlList()
+               .allow("a", "read", "s")
+               .allow("a", "read", "t"))
+        assert len(acl) == 2
+        assert len(acl.entries_for("s")) == 1
+
+    def test_copy_is_independent(self):
+        acl = AccessControlList().allow("a", "read", "s")
+        copy = acl.copy()
+        copy.revoke("a", Permission.READ, "s")
+        assert acl.is_allowed("a", Permission.READ, "s")
+
+
+class TestRbacPolicy:
+    def test_roles_of_includes_inherited(self):
+        rbac = (RbacPolicy()
+                .define_role("staff")
+                .define_role("doctor", parents=["staff"])
+                .assign("alice", "doctor"))
+        assert rbac.roles_of("alice") == {"doctor", "staff"}
+        assert rbac.has_role("alice", "staff")
+
+    def test_multi_level_inheritance(self):
+        rbac = (RbacPolicy()
+                .define_role("a")
+                .define_role("b", parents=["a"])
+                .define_role("c", parents=["b"])
+                .assign("x", "c"))
+        assert rbac.roles_of("x") == {"a", "b", "c"}
+
+    def test_actors_with_role(self):
+        rbac = (RbacPolicy()
+                .define_role("staff")
+                .define_role("doctor", parents=["staff"])
+                .assign("alice", "doctor")
+                .assign("bob", "staff"))
+        assert rbac.actors_with_role("staff") == {"alice", "bob"}
+        assert rbac.actors_with_role("doctor") == {"alice"}
+
+    def test_duplicate_role_rejected(self):
+        rbac = RbacPolicy().define_role("r")
+        with pytest.raises(ModelError, match="already defined"):
+            rbac.define_role("r")
+
+    def test_validate_rejects_undefined_parent(self):
+        rbac = RbacPolicy().define_role("r", parents=["ghost"])
+        with pytest.raises(ModelError, match="undefined"):
+            rbac.validate()
+
+    def test_validate_rejects_undefined_assignment(self):
+        rbac = RbacPolicy().define_role("r")
+        rbac.assign("a", "ghost")
+        with pytest.raises(ModelError, match="undefined role"):
+            rbac.validate()
+
+    def test_validate_rejects_cycle(self):
+        rbac = RbacPolicy()
+        rbac.define_role("a", parents=["b"])
+        rbac.define_role("b", parents=["a"])
+        with pytest.raises(ModelError, match="cycle"):
+            rbac.validate()
+
+    def test_assign_requires_roles(self):
+        with pytest.raises(ValueError):
+            RbacPolicy().assign("a")
+
+    def test_assignments_view(self):
+        rbac = RbacPolicy().define_role("r").assign("a", "r")
+        assert rbac.assignments() == {"a": ("r",)}
+
+    def test_copy_is_independent(self):
+        rbac = RbacPolicy().define_role("r").assign("a", "r")
+        copy = rbac.copy()
+        copy.assign("a", "r2")  # undefined, but only in the copy
+        assert rbac.assignments() == {"a": ("r",)}
+
+
+class TestAccessPolicy:
+    def _policy(self):
+        policy = AccessPolicy()
+        policy.register_actor("alice").register_actor("bob")
+        policy.rbac.define_role("clinician")
+        policy.rbac.assign("alice", "clinician")
+        policy.allow("clinician", "read", "ehr", ["diagnosis"])
+        policy.allow("bob", "read", "ehr", ["name"])
+        return policy
+
+    def test_role_grant_resolves_to_actor(self):
+        policy = self._policy()
+        assert policy.can_read("alice", "ehr", "diagnosis")
+        assert not policy.can_read("bob", "ehr", "diagnosis")
+
+    def test_readers_resolves_roles_and_actors(self):
+        policy = self._policy()
+        assert policy.readers("ehr", "diagnosis") == {"alice"}
+        assert policy.readers("ehr", "name") == {"bob"}
+
+    def test_readable_fields(self):
+        policy = self._policy()
+        assert policy.readable_fields(
+            "bob", "ehr", ["name", "diagnosis"]) == {"name"}
+
+    def test_validate_rejects_dead_subject(self):
+        policy = AccessPolicy()
+        policy.register_actor("a")
+        policy.allow("ghost", "read", "s")
+        with pytest.raises(ModelError, match="neither"):
+            policy.validate()
+
+    def test_revoke_expands_wildcard_with_store_fields(self):
+        policy = AccessPolicy()
+        policy.register_actor("a")
+        policy.allow("a", "read", "s")
+        policy.revoke("a", Permission.READ, "s", fields=["x"],
+                      store_fields=["x", "y"])
+        assert not policy.can_read("a", "s", "x")
+        assert policy.can_read("a", "s", "y")
+
+    def test_revoke_field_scoped_requires_store_fields_for_wildcard(self):
+        policy = AccessPolicy()
+        policy.register_actor("a")
+        policy.allow("a", "read", "s")
+        with pytest.raises(ModelError, match="store_fields"):
+            policy.revoke("a", Permission.READ, "s", fields=["x"])
+
+    def test_summary_groups_by_store(self):
+        policy = self._policy()
+        summary = policy.summary()
+        assert set(summary) == {"ehr"}
+        assert len(summary["ehr"]) == 2
+
+    def test_copy_is_independent(self):
+        policy = self._policy()
+        copy = policy.copy()
+        copy.allow("bob", "read", "ehr", ["diagnosis"])
+        assert not policy.can_read("bob", "ehr", "diagnosis")

@@ -1,0 +1,148 @@
+"""Unit tests for generalization hierarchies."""
+
+import pytest
+
+from repro.anonymize import (
+    CategoricalHierarchy,
+    HierarchySet,
+    Interval,
+    NumericHierarchy,
+    SUPPRESSED,
+    SuppressionOnly,
+)
+from repro.datastore import Record
+from repro.errors import AnonymizationError
+
+
+class TestInterval:
+    def test_membership_half_open(self):
+        interval = Interval(20, 30)
+        assert interval.contains(20)
+        assert interval.contains(29.9)
+        assert not interval.contains(30)
+
+    def test_render_like_table1(self):
+        assert str(Interval(30, 40)) == "30-40"
+        assert str(Interval(180, 200)) == "180-200"
+        assert str(Interval(1.5, 2.5)) == "1.5-2.5"
+
+    def test_midpoint_width(self):
+        interval = Interval(20, 30)
+        assert interval.midpoint == 25
+        assert interval.width == 10
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(30, 30)
+        with pytest.raises(ValueError):
+            Interval(30, 20)
+
+    def test_equality_hashable(self):
+        assert Interval(20, 30) == Interval(20, 30)
+        assert len({Interval(20, 30), Interval(20, 30)}) == 1
+
+
+class TestNumericHierarchy:
+    def test_levels(self):
+        age = NumericHierarchy("age", widths=[10, 20])
+        assert age.max_level == 3
+        assert age.generalize(34, 0) == 34
+        assert age.generalize(34, 1) == Interval(30, 40)
+        assert age.generalize(34, 2) == Interval(20, 40)
+        assert age.generalize(34, 3) == SUPPRESSED
+
+    def test_origin_shifts_bins(self):
+        hierarchy = NumericHierarchy("x", widths=[10], origin=5)
+        assert hierarchy.generalize(14, 1) == Interval(5, 15)
+
+    def test_level_out_of_range(self):
+        hierarchy = NumericHierarchy("x", widths=[10])
+        with pytest.raises(AnonymizationError, match="out of range"):
+            hierarchy.generalize(1, 5)
+
+    def test_widths_must_nest(self):
+        with pytest.raises(AnonymizationError, match="multiple"):
+            NumericHierarchy("x", widths=[10, 15])
+        with pytest.raises(AnonymizationError, match="non-decreasing"):
+            NumericHierarchy("x", widths=[20, 10])
+        with pytest.raises(AnonymizationError, match="positive"):
+            NumericHierarchy("x", widths=[0])
+        with pytest.raises(AnonymizationError, match="at least one"):
+            NumericHierarchy("x", widths=[])
+
+    def test_boundary_value_goes_to_upper_bin(self):
+        hierarchy = NumericHierarchy("x", widths=[10])
+        assert hierarchy.generalize(30, 1) == Interval(30, 40)
+
+
+class TestCategoricalHierarchy:
+    def _diag(self):
+        return CategoricalHierarchy("diag", {
+            "flu": ["respiratory", "illness"],
+            "asthma": ["respiratory", "illness"],
+            "eczema": ["dermal", "illness"],
+        })
+
+    def test_levels(self):
+        diag = self._diag()
+        assert diag.max_level == 3
+        assert diag.generalize("flu", 0) == "flu"
+        assert diag.generalize("flu", 1) == "respiratory"
+        assert diag.generalize("flu", 2) == "illness"
+        assert diag.generalize("flu", 3) == SUPPRESSED
+
+    def test_unknown_value(self):
+        with pytest.raises(AnonymizationError, match="not in the"):
+            self._diag().generalize("gout", 1)
+
+    def test_chains_must_align(self):
+        with pytest.raises(AnonymizationError, match="equal"):
+            CategoricalHierarchy("d", {"a": ["x"], "b": ["x", "y"]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnonymizationError, match="no values"):
+            CategoricalHierarchy("d", {})
+
+
+class TestSuppressionOnly:
+    def test_two_levels(self):
+        hierarchy = SuppressionOnly("name")
+        assert hierarchy.max_level == 1
+        assert hierarchy.generalize("ada", 0) == "ada"
+        assert hierarchy.generalize("ada", 1) == SUPPRESSED
+
+
+class TestHierarchySet:
+    def test_generalize_record(self):
+        hierarchies = HierarchySet([
+            NumericHierarchy("age", widths=[10]),
+            NumericHierarchy("height", widths=[20]),
+        ])
+        record = Record({"age": 34, "height": 185, "weight": 100})
+        result = hierarchies.generalize_record(
+            record, {"age": 1, "height": 1})
+        assert result["age"] == Interval(30, 40)
+        assert result["height"] == Interval(180, 200)
+        assert result["weight"] == 100  # untouched
+
+    def test_missing_level_defaults_to_raw(self):
+        hierarchies = HierarchySet([NumericHierarchy("age", widths=[10])])
+        record = Record({"age": 34})
+        assert hierarchies.generalize_record(record, {})["age"] == 34
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(AnonymizationError, match="duplicate"):
+            HierarchySet([NumericHierarchy("a", widths=[10]),
+                          NumericHierarchy("a", widths=[5])])
+
+    def test_unknown_field_lookup(self):
+        hierarchies = HierarchySet([NumericHierarchy("a", widths=[10])])
+        with pytest.raises(AnonymizationError, match="no hierarchy"):
+            hierarchies.for_field("zzz")
+
+    def test_max_levels(self):
+        hierarchies = HierarchySet([
+            NumericHierarchy("a", widths=[10]),
+            SuppressionOnly("b"),
+        ])
+        assert hierarchies.max_levels() == {"a": 2, "b": 1}

@@ -1,0 +1,67 @@
+"""Tests for the combined privacy-metrics summary and CLI export."""
+
+import json
+
+import pytest
+
+from repro.anonymize import privacy_metrics
+from repro.casestudies import table1_records
+
+
+class TestPrivacyMetrics:
+    def test_table1_posture(self, table1):
+        metrics = privacy_metrics(table1, ("age", "height"), "weight")
+        assert metrics.records == 6
+        assert metrics.classes == 3
+        assert metrics.k == 2
+        # weights within classes are distinct pairs -> distinct l = 2
+        assert metrics.distinct_l == 2
+        assert 0.0 <= metrics.t <= 1.0
+        assert metrics.prosecutor_max == pytest.approx(0.5)
+        assert metrics.marketer == pytest.approx(0.5)
+
+    def test_satisfies_thresholds(self, table1):
+        metrics = privacy_metrics(table1, ("age", "height"), "weight")
+        assert metrics.satisfies(k=2, l_distinct=2)
+        assert not metrics.satisfies(k=3)
+        assert not metrics.satisfies(l_distinct=3)
+        assert not metrics.satisfies(t=0.0)
+
+    def test_summary_table(self, table1):
+        metrics = privacy_metrics(table1, ("age", "height"), "weight")
+        table = metrics.summary_table()
+        assert "k-anonymity" in table
+        assert "t-closeness" in table
+        assert "prosecutor" in table
+
+    def test_empty_release(self):
+        metrics = privacy_metrics([], ("age",), "weight")
+        assert metrics.k == 0
+        assert metrics.satisfies()  # no thresholds -> trivially true
+
+
+class TestCliExport:
+    @pytest.fixture
+    def model_file(self, tmp_path):
+        from repro.casestudies import build_surgery_system
+        from repro.dfd import to_dsl
+        path = tmp_path / "surgery.dsl"
+        path.write_text(to_dsl(build_surgery_system()))
+        return str(path)
+
+    def test_export_to_stdout(self, model_file, capsys):
+        from repro.cli import main
+        assert main(["export", model_file,
+                     "--services", "MedicalService"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["stats"]["states"] == 10
+        assert data["stats"]["transitions"] == 12
+
+    def test_export_to_file_without_variables(self, model_file,
+                                              tmp_path, capsys):
+        from repro.cli import main
+        out_path = tmp_path / "lts.json"
+        assert main(["export", model_file, "--no-variables",
+                     "-o", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        assert "true_variables" not in data["states"][0]

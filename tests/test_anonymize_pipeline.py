@@ -1,0 +1,101 @@
+"""Unit tests for the pseudonymisation pipeline (store -> anon store)."""
+
+import pytest
+
+from repro.anonymize import Interval, Pseudonymizer
+from repro.casestudies import raw_physical_records, table1_hierarchies
+from repro.datastore import RuntimeDatastore
+from repro.errors import AnonymizationError
+from repro.schema import DataSchema, Field, FieldKind
+
+
+def _source_store():
+    schema = DataSchema("PhysicalSchema", [
+        Field("name", kind=FieldKind.IDENTIFIER),
+        Field("age", kind=FieldKind.QUASI_IDENTIFIER),
+        Field("height", kind=FieldKind.QUASI_IDENTIFIER),
+        Field("weight", kind=FieldKind.SENSITIVE),
+    ])
+    store = RuntimeDatastore("HealthRecords", schema)
+    store.load(raw_physical_records())
+    return store
+
+
+def _target_store():
+    schema = DataSchema("AnonPhysicalSchema", [
+        Field("age_anon"), Field("height_anon"), Field("weight_anon"),
+    ])
+    return RuntimeDatastore("AnonHealthRecords", schema)
+
+
+def _pseudonymizer(**kwargs):
+    defaults = dict(
+        quasi_identifiers=("age", "height"),
+        identifiers=("name",),
+        hierarchies=table1_hierarchies(),
+        method="recoding",
+    )
+    defaults.update(kwargs)
+    return Pseudonymizer(**defaults)
+
+
+class TestPseudonymizer:
+    def test_full_run_reproduces_table1_release(self):
+        run = _pseudonymizer().run(_source_store(), k=2,
+                                   target=_target_store())
+        assert run.k == 2
+        assert run.result.k_achieved >= 2
+        ages = {r["age_anon"] for r in run.released}
+        assert ages == {Interval(20, 30), Interval(30, 40)}
+        weights = sorted(r["weight_anon"] for r in run.released)
+        assert weights == [80, 100, 102, 110, 110, 111]
+
+    def test_identifiers_dropped(self):
+        run = _pseudonymizer().run(_source_store(), k=2)
+        assert all("name" not in r and "name_anon" not in r
+                   for r in run.released)
+
+    def test_target_loaded_and_cleared_first(self):
+        target = _target_store()
+        target.load([])
+        run = _pseudonymizer().run(_source_store(), k=2, target=target)
+        assert len(target) == len(run.released)
+        # run again: target is reloaded, not appended
+        _pseudonymizer().run(_source_store(), k=2, target=target)
+        assert len(target) == len(run.released)
+
+    def test_target_schema_mismatch_rejected(self):
+        bad_target = RuntimeDatastore(
+            "X", DataSchema("X", [Field("age_anon")]))
+        with pytest.raises(AnonymizationError, match="lacks"):
+            _pseudonymizer().run(_source_store(), k=2, target=bad_target)
+
+    def test_empty_source_rejected(self):
+        empty = RuntimeDatastore(
+            "HealthRecords", _source_store().schema)
+        with pytest.raises(AnonymizationError, match="no records"):
+            _pseudonymizer().run(empty, k=2)
+
+    def test_mondrian_method(self):
+        run = _pseudonymizer(method="mondrian", hierarchies=None).run(
+            _source_store(), k=2)
+        assert run.method == "mondrian"
+        assert run.result.k_achieved >= 2
+
+    def test_recoding_requires_hierarchies(self):
+        with pytest.raises(AnonymizationError, match="hierarchies"):
+            Pseudonymizer(["age"], method="recoding")
+
+    def test_recoding_requires_hierarchy_per_qid(self):
+        with pytest.raises(AnonymizationError, match="missing"):
+            Pseudonymizer(["age", "shoe_size"],
+                          hierarchies=table1_hierarchies())
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            Pseudonymizer(["age"], method="magic")
+
+    def test_run_without_target(self):
+        run = _pseudonymizer().run(_source_store(), k=2)
+        assert run.target_store is None
+        assert len(run.released) == 6

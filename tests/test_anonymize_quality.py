@@ -1,0 +1,214 @@
+"""Unit tests for l-diversity, suppression, utility and
+re-identification metrics."""
+
+import math
+
+import pytest
+
+from repro.anonymize import (
+    GlobalRecodingAnonymizer,
+    Interval,
+    acceptable_utility,
+    average_class_size,
+    check_l_diversity,
+    discernibility,
+    diversity_by_class,
+    field_utility,
+    full_report,
+    generalization_precision,
+    is_l_diverse,
+    journalist_risk,
+    marketer_risk,
+    prosecutor_risk,
+    suppress_cells,
+    suppress_small_classes,
+    suppression_cost,
+    utility_report,
+)
+from repro.anonymize.generalize import SUPPRESSED
+from repro.datastore import make_records
+
+
+def _records():
+    return make_records([
+        {"age": 1, "diag": "flu"},
+        {"age": 1, "diag": "flu"},
+        {"age": 2, "diag": "flu"},
+        {"age": 2, "diag": "cold"},
+    ])
+
+
+class TestLDiversity:
+    def test_distinct_l(self):
+        report = check_l_diversity(_records(), ["age"], "diag")
+        # class age=1 has one distinct value; class age=2 has two
+        assert report.distinct_l == 1
+
+    def test_is_l_diverse(self):
+        assert is_l_diverse(_records(), ["age"], "diag", 1)
+        assert not is_l_diverse(_records(), ["age"], "diag", 2)
+        assert is_l_diverse([], ["age"], "diag", 5)
+
+    def test_entropy_l(self):
+        report = check_l_diversity(_records(), ["age"], "diag")
+        # homogeneous class: entropy 0 -> exp(0) = 1
+        assert math.isclose(report.entropy_l, 1.0)
+
+    def test_entropy_uniform_class(self):
+        records = make_records([
+            {"age": 1, "diag": "a"}, {"age": 1, "diag": "b"},
+        ])
+        report = check_l_diversity(records, ["age"], "diag")
+        assert math.isclose(report.entropy_l, 2.0)
+
+    def test_diversity_by_class(self):
+        by_class = diversity_by_class(_records(), ["age"], "diag")
+        assert by_class[(1,)] == 1
+        assert by_class[(2,)] == 2
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            is_l_diverse(_records(), ["age"], "diag", 0)
+
+    def test_kanon_not_sufficient_for_value_protection(self):
+        """The paper's motivating point: 2-anonymous but homogeneous."""
+        records = make_records([
+            {"age": 1, "diag": "flu"}, {"age": 1, "diag": "flu"},
+        ])
+        from repro.anonymize import check_k_anonymity
+        assert check_k_anonymity(records, ["age"]) == 2
+        assert not is_l_diverse(records, ["age"], "diag", 2)
+
+
+class TestSuppression:
+    def test_small_classes_suppressed(self):
+        kept, suppressed = suppress_small_classes(_records(), ["age"], 2)
+        assert len(kept) == 4
+        kept2, suppressed2 = suppress_small_classes(
+            _records()[:3], ["age"], 2)
+        assert len(suppressed2) == 1
+
+    def test_suppress_cells_keeps_columns(self):
+        result = suppress_cells(_records(), ["diag"])
+        assert all(r["diag"] == SUPPRESSED for r in result)
+        assert all(r["age"] != SUPPRESSED for r in result)
+
+    def test_suppression_cost(self):
+        assert suppression_cost(10, 8) == pytest.approx(0.2)
+        assert suppression_cost(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            suppression_cost(5, 6)
+
+
+class TestUtility:
+    def test_mean_preserved_by_midpoints(self):
+        original = make_records([{"w": 10}, {"w": 20}])
+        released = make_records([
+            {"w": Interval(5, 15)}, {"w": Interval(15, 25)},
+        ])
+        utility = field_utility(original, released, "w")
+        assert utility.original_mean == 15
+        assert utility.released_mean == 15
+        assert utility.mean_error == 0
+        assert utility.coverage == 1.0
+
+    def test_suppressed_cells_reduce_coverage(self):
+        original = make_records([{"w": 10}, {"w": 20}])
+        released = make_records([{"w": SUPPRESSED}, {"w": 20}])
+        utility = field_utility(original, released, "w")
+        assert utility.coverage == 0.5
+
+    def test_non_numeric_original_rejected(self):
+        original = make_records([{"w": "heavy"}])
+        with pytest.raises(ValueError, match="no numeric"):
+            field_utility(original, original, "w")
+
+    def test_utility_report_and_acceptance(self):
+        original = make_records([{"w": 10}, {"w": 20}])
+        released = make_records([
+            {"w": Interval(5, 15)}, {"w": Interval(15, 25)},
+        ])
+        report = utility_report(original, released, ["w"])
+        ok, reasons = acceptable_utility(report)
+        assert ok and not reasons
+
+    def test_acceptance_rejects_drifted_mean(self):
+        original = make_records([{"w": 10}, {"w": 20}])
+        released = make_records([{"w": 100}, {"w": 200}])
+        ok, reasons = acceptable_utility(
+            utility_report(original, released, ["w"]))
+        assert not ok
+        assert any("drifted" in reason for reason in reasons)
+
+    def test_precision_metric(self, raw_physical, physical_hierarchies):
+        result = GlobalRecodingAnonymizer(physical_hierarchies).anonymize(
+            [r.mask(["name"]) for r in raw_physical], k=2)
+        precision = generalization_precision(result,
+                                             physical_hierarchies)
+        max_levels = physical_hierarchies.max_levels()
+        expected = 1 - (1 / max_levels["age"] +
+                        1 / max_levels["height"]) / 2
+        assert precision == pytest.approx(expected)
+
+    def test_precision_requires_levels(self):
+        from repro.anonymize import MondrianAnonymizer
+        records = make_records([{"a": 1}, {"a": 2}])
+        result = MondrianAnonymizer(["a"]).anonymize(records, k=2)
+        with pytest.raises(ValueError, match="Mondrian"):
+            generalization_precision(result, None)
+
+    def test_discernibility(self, raw_physical, physical_hierarchies):
+        result = GlobalRecodingAnonymizer(physical_hierarchies).anonymize(
+            [r.mask(["name"]) for r in raw_physical], k=2)
+        # three classes of 2: 3 * 4 = 12, no suppression
+        assert discernibility(result) == 12
+
+    def test_average_class_size(self, raw_physical,
+                                physical_hierarchies):
+        result = GlobalRecodingAnonymizer(physical_hierarchies).anonymize(
+            [r.mask(["name"]) for r in raw_physical], k=2)
+        assert average_class_size(result) == pytest.approx(2.0)
+
+
+class TestReidentification:
+    def test_prosecutor(self):
+        records = make_records([
+            {"a": 1}, {"a": 1}, {"a": 2},
+        ])
+        report = prosecutor_risk(records, ["a"])
+        assert report.highest_risk == 1.0
+        assert report.average_risk == pytest.approx((0.5 + 0.5 + 1) / 3)
+        assert report.records_at_risk == 3  # all >= 0.5
+
+    def test_prosecutor_threshold(self):
+        records = make_records([{"a": 1}] * 4)
+        report = prosecutor_risk(records, ["a"], threshold=0.5)
+        assert report.records_at_risk == 0
+        assert report.highest_risk == 0.25
+
+    def test_journalist_uses_population(self):
+        sample = make_records([{"a": 1}])
+        population = make_records([{"a": 1}] * 10)
+        report = journalist_risk(sample, population, ["a"])
+        assert report.highest_risk == pytest.approx(0.1)
+
+    def test_journalist_missing_population_class(self):
+        sample = make_records([{"a": 99}])
+        population = make_records([{"a": 1}])
+        report = journalist_risk(sample, population, ["a"])
+        assert report.highest_risk == 1.0
+
+    def test_marketer(self):
+        records = make_records([{"a": 1}, {"a": 1}, {"a": 2}])
+        assert marketer_risk(records, ["a"]) == pytest.approx(2 / 3)
+
+    def test_full_report(self):
+        records = make_records([{"a": 1}, {"a": 1}])
+        report = full_report(records, ["a"],
+                             population=make_records([{"a": 1}] * 4))
+        assert set(report) == {"prosecutor", "journalist", "marketer"}
+        assert "prosecutor" in str(report["prosecutor"])
+
+    def test_empty_inputs(self):
+        assert prosecutor_risk([], ["a"]).highest_risk == 0.0
+        assert marketer_risk([], ["a"]) == 0.0

@@ -1,0 +1,103 @@
+"""Unit tests for pseudonymisation recommendation."""
+
+import pytest
+
+from repro.anonymize import (
+    Candidate,
+    evaluate_candidates,
+    recommend,
+)
+from repro.casestudies import synthetic_physical_records
+from repro.core.risk import ValueRiskPolicy
+from repro.errors import AnonymizationError
+
+QIDS = ("age", "height")
+
+
+@pytest.fixture
+def records():
+    return [r.mask(["name"])
+            for r in synthetic_physical_records(200, seed=21)]
+
+
+@pytest.fixture
+def gated_policy():
+    return ValueRiskPolicy("weight", closeness=5.0, confidence=0.9,
+                           max_violation_fraction=0.10)
+
+
+class TestEvaluateCandidates:
+    def test_every_candidate_scored(self, records, gated_policy):
+        candidates = [Candidate("mondrian", 2), Candidate("mondrian", 5)]
+        evaluations = evaluate_candidates(
+            records, QIDS, gated_policy, candidates=candidates)
+        assert [e.candidate.k for e in evaluations] == [2, 5]
+        for evaluation in evaluations:
+            assert 0.0 <= evaluation.violation_fraction <= 1.0
+            assert 0.0 <= evaluation.max_risk <= 1.0
+
+    def test_risk_falls_with_k(self, records, gated_policy):
+        evaluations = evaluate_candidates(
+            records, QIDS, gated_policy,
+            candidates=[Candidate("mondrian", 2),
+                        Candidate("mondrian", 10)])
+        assert evaluations[1].violation_fraction <= \
+            evaluations[0].violation_fraction
+
+    def test_recoding_skipped_without_hierarchies(self, records,
+                                                  gated_policy):
+        evaluations = evaluate_candidates(
+            records, QIDS, gated_policy,
+            candidates=[Candidate("recoding", 2),
+                        Candidate("mondrian", 2)])
+        assert [e.candidate.method for e in evaluations] == ["mondrian"]
+
+    def test_oversized_k_skipped(self, gated_policy):
+        small = [r.mask(["name"])
+                 for r in synthetic_physical_records(3, seed=1)]
+        evaluations = evaluate_candidates(
+            small, QIDS, gated_policy,
+            candidates=[Candidate("mondrian", 10)])
+        assert evaluations == []
+
+    def test_unknown_method_raises(self, records, gated_policy):
+        with pytest.raises(ValueError, match="unknown method"):
+            evaluate_candidates(records, QIDS, gated_policy,
+                                candidates=[Candidate("magic", 2)])
+
+
+class TestRecommend:
+    def test_returns_first_acceptable(self, records, gated_policy):
+        evaluation = recommend(records, QIDS, gated_policy)
+        assert evaluation.acceptable(gated_policy)
+        # prefers the smallest k that passes
+        smaller = [c.k for c in
+                   [e.candidate for e in evaluate_candidates(
+                       records, QIDS, gated_policy)]
+                   if c.k < evaluation.candidate.k]
+        # every smaller-k candidate must have failed
+        for k in set(smaller):
+            for other in evaluate_candidates(
+                    records, QIDS, gated_policy,
+                    candidates=[Candidate("mondrian", k)]):
+                assert not other.acceptable(gated_policy) or \
+                    other.candidate.k == evaluation.candidate.k
+
+    def test_requires_gated_policy(self, records):
+        open_policy = ValueRiskPolicy("weight", closeness=5.0)
+        with pytest.raises(AnonymizationError, match="max_violation"):
+            recommend(records, QIDS, open_policy)
+
+    def test_impossible_policy_raises_with_sweep(self, records):
+        impossible = ValueRiskPolicy(
+            "weight", closeness=100.0,  # everything matches
+            confidence=0.01,            # everything violates
+            max_violation_fraction=0.0)
+        with pytest.raises(AnonymizationError, match="tried:"):
+            recommend(records, QIDS, impossible,
+                      candidates=[Candidate("mondrian", 2)])
+
+    def test_describe(self, records, gated_policy):
+        evaluation = recommend(records, QIDS, gated_policy)
+        text = evaluation.describe()
+        assert "k=" in text and "violations" in text

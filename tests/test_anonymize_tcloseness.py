@@ -1,0 +1,113 @@
+"""Unit tests for t-closeness."""
+
+import math
+
+import pytest
+
+from repro.anonymize.tcloseness import (
+    check_t_closeness,
+    is_t_close,
+    ordered_emd,
+    total_variation,
+)
+from repro.datastore import make_records
+from repro.errors import AnonymizationError
+
+
+class TestDistances:
+    def test_total_variation_bounds(self):
+        assert total_variation([1, 0], [0, 1]) == 1.0
+        assert total_variation([0.5, 0.5], [0.5, 0.5]) == 0.0
+        assert total_variation([0.75, 0.25], [0.25, 0.75]) == \
+            pytest.approx(0.5)
+
+    def test_ordered_emd(self):
+        # moving all mass one step in a 2-point domain = distance 1
+        assert ordered_emd([1, 0], [0, 1]) == pytest.approx(1.0)
+        # 3-point domain: all mass across the full span
+        assert ordered_emd([1, 0, 0], [0, 0, 1]) == pytest.approx(1.0)
+        # half the span
+        assert ordered_emd([1, 0, 0], [0, 1, 0]) == pytest.approx(0.5)
+        assert ordered_emd([0.5], [0.5]) == 0.0
+
+
+class TestCheckTCloseness:
+    def _records(self):
+        return make_records([
+            {"qi": "a", "salary": 30},
+            {"qi": "a", "salary": 40},
+            {"qi": "b", "salary": 50},
+            {"qi": "b", "salary": 60},
+        ])
+
+    def test_numeric_uses_emd(self):
+        report = check_t_closeness(self._records(), ["qi"], "salary")
+        assert report.distance_kind == "ordered-emd"
+        assert 0.0 < report.t_value <= 1.0
+
+    def test_categorical_uses_tv(self):
+        records = make_records([
+            {"qi": "a", "diag": "flu"},
+            {"qi": "a", "diag": "flu"},
+            {"qi": "b", "diag": "flu"},
+            {"qi": "b", "diag": "cold"},
+        ])
+        report = check_t_closeness(records, ["qi"], "diag")
+        assert report.distance_kind == "total-variation"
+        # global: flu 3/4, cold 1/4; class a: flu 1 -> tv = 1/4
+        assert report.t_value == pytest.approx(0.25)
+
+    def test_identical_class_distributions_are_zero_close(self):
+        records = make_records([
+            {"qi": "a", "diag": "flu"}, {"qi": "a", "diag": "cold"},
+            {"qi": "b", "diag": "flu"}, {"qi": "b", "diag": "cold"},
+        ])
+        report = check_t_closeness(records, ["qi"], "diag")
+        assert report.t_value == 0.0
+        assert is_t_close(records, ["qi"], "diag", 0.0)
+
+    def test_skewed_class_detected(self):
+        """The paper's 9-of-10-over-100kg situation: a class whose
+        value distribution diverges from the table's."""
+        rows = [{"qi": "heavy", "weight": 105} for _ in range(9)]
+        rows.append({"qi": "heavy", "weight": 70})
+        rows.extend({"qi": "mixed", "weight": 60 + 5 * i}
+                    for i in range(10))
+        records = make_records(rows)
+        report = check_t_closeness(records, ["qi"], "weight")
+        worst_key, worst_distance = report.worst_class()
+        assert worst_key == ("heavy",)
+        assert worst_distance > 0.15
+        assert not report.satisfies(0.15)
+
+    def test_missing_sensitive_field_rejected(self):
+        records = make_records([{"qi": "a"}])
+        with pytest.raises(AnonymizationError, match="lack"):
+            check_t_closeness(records, ["qi"], "salary")
+
+    def test_empty_records(self):
+        assert is_t_close([], ["qi"], "salary", 0.1)
+        report = check_t_closeness([], ["qi"], "salary")
+        assert report.t_value == 0.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            is_t_close([], ["qi"], "s", 1.5)
+
+    def test_forced_ordered_flag(self):
+        records = make_records([
+            {"qi": "a", "grade": 1}, {"qi": "b", "grade": 3},
+        ])
+        as_categorical = check_t_closeness(records, ["qi"], "grade",
+                                           ordered=False)
+        as_ordered = check_t_closeness(records, ["qi"], "grade",
+                                       ordered=True)
+        assert as_categorical.distance_kind == "total-variation"
+        assert as_ordered.distance_kind == "ordered-emd"
+
+    def test_single_valued_domain(self):
+        records = make_records([
+            {"qi": "a", "weight": 70}, {"qi": "b", "weight": 70},
+        ])
+        report = check_t_closeness(records, ["qi"], "weight")
+        assert report.t_value == 0.0

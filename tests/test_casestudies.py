@@ -1,0 +1,109 @@
+"""Unit tests for the case-study fixtures themselves."""
+
+import pytest
+
+from repro.anonymize import GlobalRecodingAnonymizer, Interval
+from repro.casestudies import (
+    SURGERY_ACTORS,
+    SURGERY_FIELDS,
+    build_research_system,
+    build_surgery_system,
+    raw_physical_records,
+    surgery_patient,
+    synthetic_ehr_rows,
+    synthetic_physical_records,
+    table1_hierarchies,
+    table1_records,
+)
+from repro.core import VariableRegistry
+
+
+class TestSurgerySystem:
+    def test_paper_inventory(self, surgery_system):
+        """Five actors, six fields, three datastores, two services."""
+        assert set(surgery_system.actors) == set(SURGERY_ACTORS)
+        assert set(surgery_system.datastores) == {
+            "Appointments", "EHR", "AnonEHR"}
+        assert set(surgery_system.services) == {
+            "MedicalService", "MedicalResearchService"}
+        original_fields = [f for f in surgery_system.personal_fields()
+                           if not f.endswith("_anon")]
+        assert set(original_fields) == set(SURGERY_FIELDS)
+
+    def test_sixty_state_variables_over_original_fields(self):
+        registry = VariableRegistry(SURGERY_ACTORS, SURGERY_FIELDS)
+        assert len(registry) == 60
+
+    def test_validates_cleanly(self, surgery_system):
+        from repro.dfd.validation import Severity, validate_system
+        issues = validate_system(surgery_system, strict=True)
+        assert all(i.severity is not Severity.ERROR for i in issues)
+
+    def test_anon_store_is_anonymised(self, surgery_system):
+        assert surgery_system.datastore("AnonEHR").anonymised
+        assert not surgery_system.datastore("EHR").anonymised
+
+    def test_patient_profile(self, surgery_system):
+        patient = surgery_patient()
+        assert patient.agreed_services == ("MedicalService",)
+        assert patient.sigma("diagnosis") == pytest.approx(0.9)
+        assert patient.sigma("dob") == pytest.approx(0.2)
+
+
+class TestResearchSystem:
+    def test_structure(self, research_system):
+        assert set(research_system.actors) == {
+            "Clinician", "DataManager", "Researcher"}
+        assert research_system.datastore(
+            "AnonHealthRecords").anonymised
+
+    def test_researcher_has_anon_access_only(self, research_system):
+        policy = research_system.policy
+        assert policy.can_read("Researcher", "AnonHealthRecords",
+                               "weight_anon")
+        assert not policy.can_read("Researcher", "HealthRecords",
+                                   "weight")
+
+
+class TestDatasets:
+    def test_table1_records_verbatim(self, table1):
+        assert len(table1) == 6
+        assert table1[0]["age"] == Interval(30, 40)
+        assert table1[0]["weight"] == 100
+        assert table1[5]["height"] == Interval(160, 180)
+
+    def test_raw_records_anonymise_to_table1(self, raw_physical,
+                                             physical_hierarchies):
+        result = GlobalRecodingAnonymizer(physical_hierarchies).anonymize(
+            [r.mask(["name"]) for r in raw_physical], k=2)
+        released = sorted(
+            ((r["age"], r["height"], r["weight"])
+             for r in result.records),
+            key=lambda t: (t[0].low, t[1].low, t[2]))
+        expected = sorted(
+            ((r["age"], r["height"], r["weight"]) for r in
+             table1_records()),
+            key=lambda t: (t[0].low, t[1].low, t[2]))
+        assert released == expected
+
+    def test_synthetic_physical_deterministic(self):
+        first = synthetic_physical_records(50, seed=3)
+        second = synthetic_physical_records(50, seed=3)
+        assert [dict(r) for r in first] == [dict(r) for r in second]
+
+    def test_synthetic_physical_plausible_ranges(self):
+        records = synthetic_physical_records(200, seed=1)
+        assert all(18 <= r["age"] <= 90 for r in records)
+        assert all(150 <= r["height"] <= 205 for r in records)
+        assert all(40 <= r["weight"] <= 160 for r in records)
+
+    def test_synthetic_ehr_rows(self):
+        rows = synthetic_ehr_rows(10, seed=2)
+        assert len(rows) == 10
+        assert all(set(row) == {"name", "dob", "medical_issues",
+                                "diagnosis", "treatment"}
+                   for row in rows)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_physical_records(-1)

@@ -1,0 +1,155 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.dfd import to_dsl
+
+GOOD_MODEL = """
+system demo {
+  schema S {
+    field name: string kind identifier
+    field issue: string kind sensitive
+  }
+  actor Doctor
+  actor Auditor
+  datastore Records schema S
+  service Consult {
+    flow 1 User -> Doctor fields [name, issue] purpose "consult"
+    flow 2 Doctor -> Records fields [name, issue] purpose "record"
+  }
+  acl {
+    allow Doctor read, create on Records
+    allow Auditor read on Records
+  }
+}
+"""
+
+BROKEN_MODEL = """
+system demo {
+  schema S { field a: string }
+  actor A
+  service svc { flow 1 User -> Ghost fields [a] }
+}
+"""
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    path = tmp_path / "model.dsl"
+    path.write_text(GOOD_MODEL)
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.dsl"
+    path.write_text(BROKEN_MODEL)
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_model_exits_zero(self, model_file, capsys):
+        assert main(["validate", model_file]) == 0
+        assert "structurally valid" in capsys.readouterr().out
+
+    def test_broken_model_exits_one(self, broken_file, capsys):
+        assert main(["validate", broken_file]) == 1
+        out = capsys.readouterr().out
+        assert "unknown-node" in out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["validate", "/nonexistent.dsl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDot:
+    def test_dfd_dot(self, model_file, capsys):
+        assert main(["dot", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out and "subgraph" in out
+
+    def test_lts_dot(self, model_file, capsys):
+        assert main(["dot", model_file, "--lts"]) == 0
+        assert '"s0"' in capsys.readouterr().out
+
+    def test_lts_dot_with_variables(self, model_file, capsys):
+        assert main(["dot", model_file, "--lts", "--variables"]) == 0
+        assert "has(" in capsys.readouterr().out
+
+    def test_output_file(self, model_file, tmp_path, capsys):
+        out_path = tmp_path / "g.dot"
+        assert main(["dot", model_file, "-o", str(out_path)]) == 0
+        assert "digraph" in out_path.read_text()
+        assert capsys.readouterr().out == ""
+
+
+class TestLts:
+    def test_digest_printed(self, model_file, capsys):
+        assert main(["lts", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "states" in out and "collect: 1" in out
+
+    def test_service_restriction(self, model_file, capsys):
+        assert main(["lts", model_file, "--services", "Consult"]) == 0
+
+    def test_unknown_service_exits_two(self, model_file, capsys):
+        assert main(["lts", model_file, "--services", "Ghost"]) == 2
+
+    def test_sequence_ordering(self, model_file, capsys):
+        assert main(["lts", model_file, "--ordering", "sequence"]) == 0
+
+
+class TestIdentify:
+    def test_table_printed(self, model_file, capsys):
+        assert main(["identify", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "Doctor" in out and "could identify" in out
+
+
+class TestAnalyse:
+    def test_report_and_exit_code(self, model_file, capsys):
+        code = main(["analyse", model_file, "--agree", "Consult",
+                     "--sensitivity", "issue=high"])
+        out = capsys.readouterr().out
+        assert "MEDIUM" in out
+        assert code == 0  # default --fail-at high
+
+    def test_fail_at_medium(self, model_file, capsys):
+        code = main(["analyse", model_file, "--agree", "Consult",
+                     "--sensitivity", "issue=high",
+                     "--fail-at", "medium"])
+        assert code == 1
+
+    def test_numeric_sensitivity(self, model_file, capsys):
+        code = main(["analyse", model_file, "--agree", "Consult",
+                     "--sensitivity", "issue=0.95",
+                     "--default-sensitivity", "0.1"])
+        assert code == 0
+        assert "MEDIUM" in capsys.readouterr().out
+
+    def test_bad_sensitivity_syntax(self, model_file, capsys):
+        assert main(["analyse", model_file, "--agree", "Consult",
+                     "--sensitivity", "issue"]) == 2
+        assert "field=value" in capsys.readouterr().err
+
+    def test_unknown_service_exits_two(self, model_file, capsys):
+        assert main(["analyse", model_file, "--agree", "Ghost"]) == 2
+
+
+class TestRealCaseStudy:
+    def test_surgery_model_through_cli(self, tmp_path, capsys):
+        from repro.casestudies import build_surgery_system
+        path = tmp_path / "surgery.dsl"
+        path.write_text(to_dsl(build_surgery_system()))
+        code = main([
+            "analyse", str(path),
+            "--agree", "MedicalService",
+            "--sensitivity", "diagnosis=high",
+            "--default-sensitivity", "0.2",
+            "--fail-at", "high",
+        ])
+        out = capsys.readouterr().out
+        assert "Administrator" in out
+        assert "MEDIUM" in out
+        assert code == 0

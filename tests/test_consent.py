@@ -1,0 +1,158 @@
+"""Unit tests for user profiles, questionnaires and personas."""
+
+import pytest
+
+from repro.consent import (
+    FUNDAMENTALIST,
+    LIKERT_5,
+    PRAGMATIST,
+    Questionnaire,
+    UNCONCERNED,
+    UserProfile,
+    profile_from_persona,
+    simulate_users,
+)
+from repro.core.risk import RiskLevel
+from repro.errors import AnalysisError
+from repro.schema import DataSchema, Field, FieldKind
+
+
+class TestUserProfile:
+    def test_consent_lifecycle(self):
+        user = UserProfile("u")
+        user.agree_to("a", "b").withdraw_from("a")
+        assert user.agreed_services == ("b",)
+        assert user.has_agreed_to("b")
+        assert not user.has_agreed_to("a")
+
+    def test_sensitivities_accept_categories_and_numbers(self):
+        user = UserProfile("u", sensitivities={
+            "diagnosis": "high", "dob": 0.4})
+        assert user.sigma("diagnosis") == pytest.approx(0.9)
+        assert user.sigma("dob") == pytest.approx(0.4)
+
+    def test_default_sensitivity(self):
+        user = UserProfile("u", default_sensitivity=0.2)
+        assert user.sigma("anything") == pytest.approx(0.2)
+
+    def test_anon_field_inherits_original_sigma(self):
+        user = UserProfile("u", sensitivities={"weight": 0.8})
+        assert user.sigma("weight_anon") == pytest.approx(0.8)
+
+    def test_explicit_anon_sigma_wins(self):
+        user = UserProfile("u", sensitivities={
+            "weight": 0.8, "weight_anon": 0.1})
+        assert user.sigma("weight_anon") == pytest.approx(0.1)
+
+    def test_acceptable_risk_parsed(self):
+        assert UserProfile("u", acceptable_risk="medium") \
+            .acceptable_risk is RiskLevel.MEDIUM
+
+    def test_allowed_actors(self, surgery_system):
+        user = UserProfile("u", agreed_services=["MedicalService"])
+        allowed = user.allowed_actors(surgery_system)
+        assert allowed == {"Receptionist", "Doctor", "Nurse"}
+        assert user.non_allowed_actors(surgery_system) == \
+            {"Administrator", "Researcher"}
+
+    def test_unknown_agreed_service_rejected(self, surgery_system):
+        user = UserProfile("u", agreed_services=["Ghost"])
+        with pytest.raises(AnalysisError, match="Ghost"):
+            user.allowed_actors(surgery_system)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            UserProfile("")
+
+
+class TestQuestionnaire:
+    def _questionnaire(self):
+        return (Questionnaire()
+                .ask_consent("MedicalService")
+                .ask_sensitivity("diagnosis"))
+
+    def test_build_profile(self):
+        profile = self._questionnaire().build_profile("u", {
+            "MedicalService": "yes",
+            "diagnosis": "extremely",
+        })
+        assert profile.has_agreed_to("MedicalService")
+        assert profile.sigma("diagnosis") == pytest.approx(1.0)
+
+    def test_declined_consent(self):
+        profile = self._questionnaire().build_profile("u", {
+            "MedicalService": "no",
+            "diagnosis": "not at all",
+        })
+        assert not profile.has_agreed_to("MedicalService")
+        assert profile.sigma("diagnosis") == 0.0
+
+    def test_missing_answer_rejected(self):
+        with pytest.raises(AnalysisError, match="missing"):
+            self._questionnaire().build_profile(
+                "u", {"MedicalService": "yes"})
+
+    def test_unknown_answer_key_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown"):
+            self._questionnaire().build_profile("u", {
+                "MedicalService": "yes", "diagnosis": "very",
+                "shoe_size": "very",
+            })
+
+    def test_off_scale_answer_rejected(self):
+        with pytest.raises(AnalysisError, match="not on the scale"):
+            self._questionnaire().build_profile("u", {
+                "MedicalService": "yes", "diagnosis": "sort of",
+            })
+
+    def test_invalid_consent_answer(self):
+        with pytest.raises(AnalysisError, match="yes/no"):
+            self._questionnaire().build_profile("u", {
+                "MedicalService": "maybe", "diagnosis": "very",
+            })
+
+    def test_custom_scale_validated(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            Questionnaire().ask_sensitivity("x", scale={"hot": 2.0})
+
+    def test_likert_is_monotone(self):
+        values = list(LIKERT_5.values())
+        assert values == sorted(values)
+
+
+class TestPersonas:
+    _schema = DataSchema("S", [
+        Field("name", kind=FieldKind.IDENTIFIER),
+        Field("weight", kind=FieldKind.SENSITIVE),
+        Field("notes"),
+    ])
+
+    def test_fundamentalist_more_sensitive_than_unconcerned(self):
+        import random
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        fund = profile_from_persona("f", FUNDAMENTALIST, self._schema,
+                                    ["svc"], rng_a)
+        calm = profile_from_persona("c", UNCONCERNED, self._schema,
+                                    ["svc"], rng_b)
+        assert fund.sigma("weight") > calm.sigma("weight")
+
+    def test_simulate_users_deterministic(self):
+        first = simulate_users(20, list(self._schema), ["svc"], seed=42)
+        second = simulate_users(20, list(self._schema), ["svc"], seed=42)
+        assert [u.name for u in first] == [u.name for u in second]
+        assert [u.sigma("weight") for u in first] == \
+            [u.sigma("weight") for u in second]
+
+    def test_simulate_users_follow_distribution_roughly(self):
+        users = simulate_users(300, list(self._schema), ["svc"], seed=0)
+        pragmatists = sum("pragmatist" in u.name for u in users)
+        assert 100 < pragmatists < 250  # ~57% of 300
+
+    def test_distribution_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            simulate_users(5, list(self._schema), ["svc"],
+                           distribution=((PRAGMATIST, 0.5),))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_users(-1, list(self._schema), ["svc"])

@@ -1,0 +1,102 @@
+"""Unit tests for reachability queries and identification reports."""
+
+import pytest
+
+from repro.core import GenerationOptions, generate_lts
+from repro.core.reachability import (
+    actors_that_can_identify,
+    first_state_where_identified,
+    identification_report,
+    path_description,
+    reachable_states,
+    shortest_path_to,
+    states_where,
+    terminal_states,
+)
+from repro.core.statevars import VarKind
+from repro.dfd import SystemBuilder
+
+
+@pytest.fixture
+def lts(tiny_system):
+    return generate_lts(tiny_system)
+
+
+class TestReachability:
+    def test_all_generated_states_reachable(self, lts):
+        assert reachable_states(lts) == {s.sid for s in lts.states}
+
+    def test_reachable_from_terminal_is_self(self, lts):
+        final = terminal_states(lts)[0]
+        assert reachable_states(lts, final.sid) == {final.sid}
+
+    def test_terminal_states_have_no_successors(self, lts):
+        for state in terminal_states(lts):
+            assert not lts.transitions_from(state.sid)
+
+    def test_states_where(self, lts):
+        states = states_where(lts,
+                              lambda s: s.vector.has("Alice", "secret"))
+        assert states
+        assert all(s.vector.has("Alice", "secret") for s in states)
+
+
+class TestPaths:
+    def test_shortest_path_to_initial_is_empty(self, lts):
+        path = shortest_path_to(lts, lambda s: s.sid == lts.initial.sid)
+        assert path == []
+
+    def test_path_reaches_target(self, lts):
+        path = shortest_path_to(
+            lts, lambda s: s.vector.has("Bob", "name"))
+        assert path is not None
+        assert path[-1].label.actor == "Bob"
+        # path is connected and starts at the initial state
+        assert path[0].source == lts.initial.sid
+        for first, second in zip(path, path[1:]):
+            assert first.target == second.source
+
+    def test_unreachable_predicate_gives_none(self, lts):
+        assert shortest_path_to(lts, lambda s: False) is None
+
+    def test_path_description(self, lts):
+        path = shortest_path_to(
+            lts, lambda s: s.vector.has("Bob", "name"))
+        text = path_description(path)
+        assert "collect" in text and "read" in text
+        assert path_description([]) == "<initial state>"
+
+
+class TestIdentification:
+    def test_identification_report(self, lts):
+        report = identification_report(lts)
+        assert "secret" in report["Alice"]["has"]
+        assert "secret" not in report["Bob"]["has"]
+        # Alice could re-read what she stored; Bob could read name only
+        assert "name" in report["Bob"]["could"]
+        assert "secret" not in report["Bob"]["could"]
+
+    def test_actors_that_can_identify(self, lts):
+        assert actors_that_can_identify(lts, "secret") == {"Alice"}
+        assert actors_that_can_identify(lts, "name") == {"Alice", "Bob"}
+
+    def test_actors_that_can_identify_has_only(self, lts):
+        # before Bob's read flow fires he only *could*; the report is
+        # over all states, so has-only still includes Bob (flow 3 fires)
+        assert "Bob" in actors_that_can_identify(
+            lts, "name", include_could=False)
+
+    def test_first_state_where_identified(self, lts):
+        path = first_state_where_identified(lts, "Bob", "name")
+        assert path is not None
+        assert path[-1].label.action.value == "read"
+
+    def test_first_state_could(self, lts):
+        path = first_state_where_identified(
+            lts, "Bob", "name", kind=VarKind.COULD)
+        assert path is not None
+        # could(name) arises at the create, before Bob's read
+        assert path[-1].label.action.value == "create"
+
+    def test_never_identified_gives_none(self, lts):
+        assert first_state_where_identified(lts, "Bob", "secret") is None

@@ -1,0 +1,130 @@
+"""Unit tests for privacy state variables and bit vectors."""
+
+import pytest
+
+from repro.core import PrivacyVector, VarKind, VariableRegistry
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def registry():
+    return VariableRegistry(["A", "B"], ["x", "y", "z"])
+
+
+class TestVariableRegistry:
+    def test_size_is_two_per_pair(self, registry):
+        assert len(registry) == 2 * 2 * 3
+
+    def test_paper_example_is_sixty(self):
+        actors = ["Receptionist", "Doctor", "Nurse", "Administrator",
+                  "Researcher"]
+        fields = ["name", "dob", "appointment", "medical_issues",
+                  "diagnosis", "treatment"]
+        assert len(VariableRegistry(actors, fields)) == 60
+
+    def test_bits_are_unique_and_dense(self, registry):
+        bits = {
+            registry.bit(kind, actor, field)
+            for kind in VarKind
+            for actor in registry.actors
+            for field in registry.fields
+        }
+        assert bits == set(range(len(registry)))
+
+    def test_variable_at_inverts_bit(self, registry):
+        bit = registry.bit(VarKind.COULD, "B", "y")
+        variable = registry.variable_at(bit)
+        assert (variable.kind, variable.actor, variable.field) == \
+            (VarKind.COULD, "B", "y")
+
+    def test_unknown_variable_rejected(self, registry):
+        with pytest.raises(ModelError, match="unknown state variable"):
+            registry.bit(VarKind.HAS, "Z", "x")
+
+    def test_variable_at_out_of_range(self, registry):
+        with pytest.raises(ModelError, match="out of range"):
+            registry.variable_at(len(registry))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError):
+            VariableRegistry(["A", "A"], ["x"])
+        with pytest.raises(ModelError):
+            VariableRegistry(["A"], ["x", "x"])
+
+    def test_label_format(self, registry):
+        variable = registry.variable_at(
+            registry.bit(VarKind.HAS, "A", "x"))
+        assert variable.label() == "has(A, x)"
+
+
+class TestPrivacyVector:
+    def test_empty_vector_all_false(self, registry):
+        vector = registry.empty_vector()
+        assert vector.count_true() == 0
+        assert not vector.has("A", "x")
+        assert not vector.could("A", "x")
+
+    def test_with_true_sets_only_that_bit(self, registry):
+        vector = registry.empty_vector().with_true(VarKind.HAS, "A", "x")
+        assert vector.has("A", "x")
+        assert not vector.could("A", "x")
+        assert not vector.has("B", "x")
+        assert vector.count_true() == 1
+
+    def test_with_false_clears(self, registry):
+        vector = (registry.empty_vector()
+                  .with_true(VarKind.HAS, "A", "x")
+                  .with_false(VarKind.HAS, "A", "x"))
+        assert vector.count_true() == 0
+
+    def test_vectors_immutable(self, registry):
+        vector = registry.empty_vector()
+        vector.with_true(VarKind.HAS, "A", "x")
+        assert vector.count_true() == 0
+
+    def test_union(self, registry):
+        left = registry.empty_vector().with_true(VarKind.HAS, "A", "x")
+        right = registry.empty_vector().with_true(VarKind.COULD, "B", "y")
+        union = left.union(right)
+        assert union.has("A", "x") and union.could("B", "y")
+
+    def test_newly_true_versus(self, registry):
+        old = registry.empty_vector().with_true(VarKind.HAS, "A", "x")
+        new = old.with_true(VarKind.COULD, "B", "y")
+        delta = new.newly_true_versus(old)
+        assert [v.label() for v in delta] == ["could(B, y)"]
+
+    def test_true_variables_sorted_by_bit(self, registry):
+        vector = (registry.empty_vector()
+                  .with_true(VarKind.HAS, "B", "z")
+                  .with_true(VarKind.HAS, "A", "x"))
+        labels = [v.label() for v in vector.true_variables()]
+        assert labels == ["has(A, x)", "has(B, z)"]
+
+    def test_fields_known_by(self, registry):
+        vector = (registry.empty_vector()
+                  .with_true(VarKind.HAS, "A", "x")
+                  .with_true(VarKind.COULD, "A", "y"))
+        assert vector.fields_known_by("A") == ("x", "y")
+        assert vector.fields_known_by("A", include_could=False) == ("x",)
+
+    def test_table_has_row_per_pair(self, registry):
+        rows = registry.empty_vector().table()
+        assert len(rows) == 6  # 2 actors x 3 fields
+
+    def test_cross_registry_comparison_rejected(self, registry):
+        other = VariableRegistry(["A", "B"], ["x", "y", "z"])
+        with pytest.raises(ModelError, match="registries"):
+            registry.empty_vector().union(other.empty_vector())
+
+    def test_equality_and_hash(self, registry):
+        first = registry.empty_vector().with_true(VarKind.HAS, "A", "x")
+        second = registry.empty_vector().with_true(VarKind.HAS, "A", "x")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_mask_bounds_checked(self, registry):
+        with pytest.raises(ModelError):
+            PrivacyVector(registry, 1 << len(registry))
+        with pytest.raises(ModelError):
+            PrivacyVector(registry, -1)

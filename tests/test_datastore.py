@@ -1,0 +1,248 @@
+"""Unit tests for repro.datastore: records, queries, runtime stores."""
+
+import pytest
+
+from repro.access import AccessPolicy, Permission
+from repro.datastore import (
+    Query,
+    Record,
+    RuntimeDatastore,
+    between,
+    close_to,
+    eq,
+    ge,
+    gt,
+    isin,
+    le,
+    lt,
+    make_records,
+    ne,
+)
+from repro.errors import AccessDenied, SchemaError
+from repro.schema import DataSchema, Field
+
+
+def _schema():
+    return DataSchema("S", [Field("name"), Field("age", ),
+                            Field("weight")])
+
+
+class TestRecord:
+    def test_mapping_protocol(self):
+        record = Record({"a": 1, "b": 2})
+        assert record["a"] == 1
+        assert set(record) == {"a", "b"}
+        assert len(record) == 2
+        assert "a" in record
+
+    def test_rids_unique_and_explicit(self):
+        first, second = Record({"a": 1}), Record({"a": 1})
+        assert first.rid != second.rid
+        assert Record({"a": 1}, rid=7).rid == 7
+
+    def test_project_keeps_rid(self):
+        record = Record({"a": 1, "b": 2})
+        projected = record.project(["a", "missing"])
+        assert dict(projected) == {"a": 1}
+        assert projected.rid == record.rid
+
+    def test_mask(self):
+        record = Record({"a": 1, "b": 2})
+        assert dict(record.mask(["a"])) == {"b": 2}
+
+    def test_with_values_immutable(self):
+        record = Record({"a": 1})
+        updated = record.with_values(a=5, b=6)
+        assert dict(record) == {"a": 1}
+        assert dict(updated) == {"a": 5, "b": 6}
+        assert updated.rid == record.rid
+
+    def test_renamed(self):
+        record = Record({"a": 1, "b": 2})
+        renamed = record.renamed({"a": "x"})
+        assert dict(renamed) == {"x": 1, "b": 2}
+
+    def test_key_on_uses_missing_as_none(self):
+        record = Record({"a": 1})
+        assert record.key_on(["a", "b"]) == (1, None)
+
+    def test_equality_and_hash(self):
+        record = Record({"a": 1}, rid=3)
+        twin = Record({"a": 1}, rid=3)
+        assert record == twin
+        assert hash(record) == hash(twin)
+        assert record != Record({"a": 1}, rid=4)
+
+    def test_same_values_ignores_rid(self):
+        assert Record({"a": 1}).same_values(Record({"a": 1}))
+
+    def test_make_records(self):
+        records = make_records([{"a": 1}, {"a": 2}])
+        assert [r["a"] for r in records] == [1, 2]
+        assert records[0].rid != records[1].rid
+
+
+class TestConditions:
+    record = Record({"age": 30, "name": "ada"})
+
+    def test_comparisons(self):
+        assert eq("age", 30).matches(self.record)
+        assert ne("age", 31).matches(self.record)
+        assert lt("age", 31).matches(self.record)
+        assert le("age", 30).matches(self.record)
+        assert gt("age", 29).matches(self.record)
+        assert ge("age", 30).matches(self.record)
+
+    def test_between_inclusive(self):
+        assert between("age", 30, 40).matches(self.record)
+        assert between("age", 20, 30).matches(self.record)
+        assert not between("age", 31, 40).matches(self.record)
+
+    def test_isin(self):
+        assert isin("name", ["ada", "bob"]).matches(self.record)
+        assert not isin("name", ["bob"]).matches(self.record)
+
+    def test_close_to(self):
+        assert close_to("age", 33, 5).matches(self.record)
+        assert not close_to("age", 36, 5).matches(self.record)
+
+    def test_missing_field_never_matches(self):
+        assert not eq("ghost", 1).matches(self.record)
+
+
+class TestQuery:
+    records = make_records([
+        {"name": "ada", "age": 30},
+        {"name": "bob", "age": 40},
+        {"name": "cal", "age": 50},
+    ])
+
+    def test_empty_query_returns_everything(self):
+        assert len(Query().run(self.records)) == 3
+
+    def test_where_is_conjunction(self):
+        query = Query().where(gt("age", 29), lt("age", 45))
+        names = [r["name"] for r in query.run(self.records)]
+        assert names == ["ada", "bob"]
+
+    def test_select_projects(self):
+        query = Query().select("name")
+        results = query.run(self.records)
+        assert all(set(r) == {"name"} for r in results)
+
+    def test_limit(self):
+        assert len(Query().limit(2).run(self.records)) == 2
+
+    def test_limit_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Query().limit(-1)
+
+    def test_builders_do_not_mutate(self):
+        base = Query()
+        base.where(eq("age", 30))
+        assert len(base.conditions) == 0
+
+    def test_fields_touched_with_projection(self):
+        query = Query().where(eq("age", 30)).select("name")
+        assert set(query.fields_touched(["name", "age", "x"])) == \
+            {"name", "age"}
+
+    def test_fields_touched_without_projection(self):
+        query = Query().where(eq("age", 30))
+        assert set(query.fields_touched(["name", "age"])) == \
+            {"name", "age"}
+
+    def test_str_mentions_parts(self):
+        text = str(Query().where(eq("a", 1)).select("b").limit(3))
+        assert "a == 1" in text and "select" in text and "limit 3" in text
+
+
+class TestRuntimeDatastore:
+    def _policied_store(self):
+        policy = AccessPolicy()
+        policy.register_actor("writer").register_actor("reader")
+        policy.allow("writer", ["create", "delete"], "S")
+        policy.allow("writer", "read", "S")
+        policy.allow("reader", "read", "S", ["name"])
+        store = RuntimeDatastore("S", _schema(), policy)
+        return store
+
+    def test_insert_and_query_roundtrip(self):
+        store = self._policied_store()
+        store.insert("writer", {"name": "ada", "age": 30})
+        results = store.query("writer")
+        assert len(results) == 1
+        assert results[0]["name"] == "ada"
+
+    def test_insert_unknown_field_rejected(self):
+        store = self._policied_store()
+        with pytest.raises(SchemaError, match="not in schema"):
+            store.insert("writer", {"ghost": 1})
+
+    def test_insert_without_grant_denied(self):
+        store = self._policied_store()
+        with pytest.raises(AccessDenied):
+            store.insert("reader", {"name": "x"})
+
+    def test_field_level_read_enforcement(self):
+        store = self._policied_store()
+        store.insert("writer", {"name": "ada", "age": 30})
+        # reader may only read 'name'
+        results = store.read_fields("reader", ["name"])
+        assert dict(results[0]) == {"name": "ada"}
+        with pytest.raises(AccessDenied) as excinfo:
+            store.read_fields("reader", ["age"])
+        assert excinfo.value.field == "age"
+
+    def test_query_without_projection_touches_all_fields(self):
+        store = self._policied_store()
+        store.insert("writer", {"name": "ada", "age": 30})
+        with pytest.raises(AccessDenied):
+            store.query("reader")  # would reveal age and weight
+
+    def test_delete_returns_removed(self):
+        store = self._policied_store()
+        store.insert("writer", {"name": "ada", "age": 30})
+        store.insert("writer", {"name": "bob", "age": 40})
+        removed = store.delete("writer", Query().where(eq("name", "bob")))
+        assert [r["name"] for r in removed] == ["bob"]
+        assert len(store) == 1
+
+    def test_delete_without_grant_denied(self):
+        store = self._policied_store()
+        store.insert("writer", {"name": "ada"})
+        with pytest.raises(AccessDenied):
+            store.delete("reader")
+
+    def test_show_before_delete_requires_read_and_audits(self):
+        store = self._policied_store()
+        store.insert("writer", {"name": "ada"})
+        store.delete("writer", show_before_delete=True)
+        descriptions = [op.description for op in store.audit_trail]
+        assert "shown before delete" in descriptions
+
+    def test_audit_trail_records_reads(self):
+        store = self._policied_store()
+        store.insert("writer", {"name": "ada"})
+        store.read_fields("reader", ["name"])
+        ops = store.audit_trail
+        assert ops[-1].actor == "reader"
+        assert ops[-1].permission is Permission.READ
+        assert ops[-1].record_count == 1
+
+    def test_unprotected_store_allows_everything(self):
+        store = RuntimeDatastore("S", _schema())
+        store.insert("anyone", {"name": "x"})
+        assert len(store.query("anyone")) == 1
+
+    def test_load_checks_schema(self):
+        store = RuntimeDatastore("S", _schema())
+        with pytest.raises(SchemaError):
+            store.load(make_records([{"ghost": 1}]))
+
+    def test_snapshot_and_clear(self):
+        store = RuntimeDatastore("S", _schema())
+        store.load(make_records([{"name": "a"}]))
+        assert len(store.snapshot()) == 1
+        store.clear()
+        assert len(store) == 0

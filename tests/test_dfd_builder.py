@@ -1,0 +1,111 @@
+"""Unit tests for the fluent SystemBuilder."""
+
+import pytest
+
+from repro.dfd import SystemBuilder
+from repro.errors import ModelError, ValidationError
+from repro.schema import Field, FieldKind, FieldType
+
+
+class TestSchemaSpecs:
+    def test_name_only(self):
+        system = (SystemBuilder("s").schema("S", ["a"])
+                  .actor("A")
+                  .service("svc").flow(1, "User", "A", ["a"])
+                  .build())
+        field = system.schemas["S"].field("a")
+        assert field.ftype is FieldType.STRING
+        assert field.kind is FieldKind.REGULAR
+
+    def test_pair_and_triple(self):
+        builder = SystemBuilder("s").schema("S", [
+            ("a", "int"), ("b", "float", "sensitive")])
+        schema = builder.peek().schemas["S"]
+        assert schema.field("a").ftype is FieldType.INT
+        assert schema.field("b").kind is FieldKind.SENSITIVE
+
+    def test_field_object_passthrough(self):
+        field = Field("x", FieldType.DATE)
+        builder = SystemBuilder("s").schema("S", [field])
+        assert builder.peek().schemas["S"].field("x") is field
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError, match="cannot build a field"):
+            SystemBuilder("s").schema("S", [123])
+
+
+class TestBuilderFlow:
+    def test_flow_requires_open_service(self):
+        with pytest.raises(ModelError, match="service"):
+            SystemBuilder("s").flow(1, "User", "A", ["a"])
+
+    def test_auto_numbering(self):
+        system = (SystemBuilder("s").schema("S", ["a"])
+                  .actor("A").actor("B")
+                  .service("svc")
+                  .flow(None, "User", "A", ["a"])
+                  .flow(None, "A", "B", ["a"])
+                  .build())
+        assert [f.order for f in system.service("svc").flows] == [1, 2]
+
+    def test_auto_numbering_continues_after_explicit(self):
+        system = (SystemBuilder("s").schema("S", ["a"])
+                  .actor("A").actor("B")
+                  .service("svc")
+                  .flow(5, "User", "A", ["a"])
+                  .flow(None, "A", "B", ["a"])
+                  .build())
+        assert [f.order for f in system.service("svc").flows] == [5, 6]
+
+    def test_unknown_schema_reference(self):
+        with pytest.raises(ModelError, match="unknown schema"):
+            SystemBuilder("s").datastore("D", "Ghost")
+
+    def test_anonymised_schema(self):
+        builder = (SystemBuilder("s")
+                   .schema("S", [("w", "float", "sensitive")])
+                   .anonymised_schema("SA", "S"))
+        schema = builder.peek().schemas["SA"]
+        assert schema.names() == ("w_anon",)
+
+    def test_actors_plural(self):
+        builder = SystemBuilder("s").actors("A", "B", "C")
+        assert set(builder.peek().actors) == {"A", "B", "C"}
+
+    def test_roles_and_grants(self):
+        system = (SystemBuilder("s").schema("S", ["a"])
+                  .role("senior", parents=[])
+                  .actor("A", role="junior")
+                  .assign_role("A", "senior")
+                  .datastore("D", "S")
+                  .service("svc").flow(1, "User", "A", ["a"])
+                  .allow("senior", "read", "D")
+                  .build())
+        assert system.policy.can_read("A", "D", "a")
+
+
+class TestBuildValidation:
+    def test_build_validates_by_default(self):
+        builder = (SystemBuilder("s").schema("S", ["a"])
+                   .actor("A")
+                   .datastore("D", "S")
+                   .service("svc")
+                   .flow(1, "User", "Ghost", ["a"]))
+        with pytest.raises(ValidationError):
+            builder.build()
+
+    def test_build_without_validation(self):
+        builder = (SystemBuilder("s").schema("S", ["a"])
+                   .actor("A")
+                   .service("svc")
+                   .flow(1, "User", "Ghost", ["a"]))
+        system = builder.build(validate=False)
+        assert "svc" in system.services
+
+    def test_build_non_strict_returns_model(self):
+        builder = (SystemBuilder("s").schema("S", ["a"])
+                   .actor("A")
+                   .service("svc")
+                   .flow(1, "User", "Ghost", ["a"]))
+        system = builder.build(strict=False)
+        assert system.name == "s"

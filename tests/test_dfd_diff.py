@@ -1,0 +1,104 @@
+"""Unit tests for model diffing and risk deltas."""
+
+import pytest
+
+from repro.casestudies import (
+    build_surgery_system,
+    surgery_patient,
+    tighten_administrator_policy,
+)
+from repro.core.risk import RiskLevel
+from repro.dfd import (
+    SystemBuilder,
+    diff_models,
+    models_equivalent,
+    risk_delta,
+)
+
+
+def _base():
+    return (SystemBuilder("v")
+            .schema("S", ["a", "b"])
+            .actor("A").actor("B")
+            .datastore("D", "S")
+            .service("svc")
+            .flow(1, "User", "A", ["a"])
+            .flow(2, "A", "D", ["a"])
+            .allow("A", ["read", "create"], "D", ["a", "b"])
+            .build())
+
+
+class TestDiffModels:
+    def test_identical_models_empty_diff(self):
+        diff = diff_models(_base(), _base())
+        assert diff.is_empty
+        assert diff.describe() == "no structural changes"
+        assert models_equivalent(_base(), _base())
+
+    def test_added_actor_and_flow(self):
+        after = (SystemBuilder("v")
+                 .schema("S", ["a", "b"])
+                 .actor("A").actor("B").actor("C")
+                 .datastore("D", "S")
+                 .service("svc")
+                 .flow(1, "User", "A", ["a"])
+                 .flow(2, "A", "D", ["a"])
+                 .flow(3, "D", "C", ["a"])
+                 .allow("A", ["read", "create"], "D", ["a", "b"])
+                 .allow("C", "read", "D", ["a"])
+                 .build())
+        diff = diff_models(_base(), after)
+        assert diff.added_actors == ("C",)
+        assert len(diff.added_flows) == 1
+        assert "D -> C" in diff.added_flows[0]
+        assert diff.widens_access
+        grants = [g.describe() for g in diff.added_grants]
+        assert "C: read on D.a" in grants
+
+    def test_removed_grant(self):
+        before = _base()
+        after = _base()
+        from repro.access import Permission
+        after.policy.revoke("A", Permission.READ, "D", fields=["b"],
+                            store_fields=["a", "b"])
+        diff = diff_models(before, after)
+        assert not diff.widens_access
+        assert [g.describe() for g in diff.removed_grants] == \
+            ["A: read on D.b"]
+
+    def test_describe_renders_changes(self):
+        after = _base()
+        after.policy.allow("B", "read", "D", ["a"])
+        text = diff_models(_base(), after).describe()
+        assert text.startswith("+ grant:")
+        assert "B: read on D.a" in text
+
+    def test_paper_remediation_as_diff(self):
+        before = build_surgery_system()
+        after = tighten_administrator_policy(build_surgery_system())
+        diff = diff_models(before, after)
+        assert not diff.widens_access
+        removed = {g.describe() for g in diff.removed_grants}
+        assert "Administrator: read on EHR.diagnosis" in removed
+        # the delete grant and other fields survive
+        assert all(g.permission == "read" for g in diff.removed_grants)
+
+
+class TestRiskDelta:
+    def test_paper_before_after(self):
+        patient = surgery_patient()
+        delta = risk_delta(
+            build_surgery_system(),
+            tighten_administrator_policy(build_surgery_system()),
+            patient)
+        assert delta.before_level is RiskLevel.MEDIUM
+        assert delta.after_level is RiskLevel.LOW
+        assert delta.improved
+        assert "medium" in delta.describe()
+        assert "low" in delta.describe()
+
+    def test_no_change_not_improved(self):
+        patient = surgery_patient()
+        delta = risk_delta(build_surgery_system(),
+                           build_surgery_system(), patient)
+        assert not delta.improved

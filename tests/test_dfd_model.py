@@ -1,0 +1,163 @@
+"""Unit tests for repro.dfd.model: nodes, flows, services, systems."""
+
+import pytest
+
+from repro.dfd import Actor, Datastore, Flow, NodeKind, Service, \
+    SystemModel, USER
+from repro.errors import ModelError
+from repro.schema import DataSchema, Field
+
+
+def _schema(name="S", fields=("a", "b")):
+    return DataSchema(name, [Field(f) for f in fields])
+
+
+class TestActor:
+    def test_reserved_user_name(self):
+        with pytest.raises(ValueError, match="reserved"):
+            Actor(USER)
+
+    def test_originates_deduplicated(self):
+        actor = Actor("Doc", originates=("x", "x", "y"))
+        assert actor.originates == ("x", "y")
+
+
+class TestDatastore:
+    def test_field_names_delegate_to_schema(self):
+        store = Datastore("D", _schema())
+        assert store.field_names() == ("a", "b")
+
+    def test_reserved_user_name(self):
+        with pytest.raises(ValueError, match="reserved"):
+            Datastore(USER, _schema())
+
+
+class TestFlow:
+    def test_self_flow_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Flow(1, "A", "A", ("x",))
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError, match="at least one field"):
+            Flow(1, "A", "B", ())
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Flow(-1, "A", "B", ("x",))
+
+    def test_fields_deduplicated(self):
+        flow = Flow(1, "A", "B", ("x", "x", "y"))
+        assert flow.fields == ("x", "y")
+
+    def test_describe_mentions_everything(self):
+        flow = Flow(2, "A", "B", ("x",), purpose="p", service="svc")
+        text = flow.describe()
+        assert "svc#2" in text and "A -> B" in text and "p" in text
+
+
+class TestService:
+    def test_flows_sorted_by_order(self):
+        service = Service("svc")
+        service.add_flow(Flow(2, "A", "B", ("x",)))
+        service.add_flow(Flow(1, "User", "A", ("x",)))
+        assert [f.order for f in service.flows] == [1, 2]
+
+    def test_duplicate_order_rejected(self):
+        service = Service("svc", [Flow(1, "A", "B", ("x",))])
+        with pytest.raises(ModelError, match="order 1"):
+            service.add_flow(Flow(1, "B", "A", ("y",)))
+
+    def test_flow_bound_to_service_name(self):
+        service = Service("svc", [Flow(1, "A", "B", ("x",))])
+        assert service.flows[0].service == "svc"
+
+    def test_foreign_flow_rejected(self):
+        foreign = Flow(1, "A", "B", ("x",), service="other")
+        with pytest.raises(ModelError, match="belongs"):
+            Service("svc").add_flow(foreign)
+
+    def test_participants_and_fields(self):
+        service = Service("svc", [
+            Flow(1, "User", "A", ("x",)),
+            Flow(2, "A", "D", ("x", "y")),
+        ])
+        assert service.participants() == {"User", "A", "D"}
+        assert service.fields_used() == ("x", "y")
+
+
+class TestSystemModel:
+    def _system(self):
+        system = SystemModel("sys")
+        system.add_schema(_schema())
+        system.add_actor(Actor("A", role="staff"))
+        system.add_actor(Actor("B"))
+        system.add_datastore(Datastore("D", system.schemas["S"]))
+        system.add_service(Service("svc", [
+            Flow(1, "User", "A", ("a",)),
+            Flow(2, "A", "D", ("a",)),
+        ]))
+        system.add_service(Service("svc2", [
+            Flow(1, "D", "B", ("a",)),
+        ]))
+        return system
+
+    def test_node_kinds(self):
+        system = self._system()
+        assert system.node_kind(USER) is NodeKind.USER
+        assert system.node_kind("A") is NodeKind.ACTOR
+        assert system.node_kind("D") is NodeKind.DATASTORE
+        with pytest.raises(ModelError, match="unknown node"):
+            system.node_kind("Z")
+
+    def test_actor_registered_in_policy_with_role(self):
+        system = self._system()
+        assert "A" in system.policy.actors
+        assert system.policy.rbac.has_role("A", "staff")
+
+    def test_name_collision_between_actor_and_store(self):
+        system = self._system()
+        with pytest.raises(ModelError, match="already in use"):
+            system.add_actor(Actor("D"))
+
+    def test_duplicate_schema_rejected(self):
+        system = self._system()
+        with pytest.raises(ModelError, match="already defined"):
+            system.add_schema(_schema())
+
+    def test_datastore_with_conflicting_schema_rejected(self):
+        system = self._system()
+        different = DataSchema("S", [Field("zzz")])
+        with pytest.raises(ModelError, match="differs"):
+            system.add_datastore(Datastore("D2", different))
+
+    def test_datastore_registers_new_schema(self):
+        system = self._system()
+        system.add_datastore(Datastore("D2", _schema("S2")))
+        assert "S2" in system.schemas
+
+    def test_personal_fields_union_of_flows_and_stores(self):
+        system = self._system()
+        assert set(system.personal_fields()) == {"a", "b"}
+
+    def test_allowed_and_non_allowed_actors(self):
+        system = self._system()
+        assert system.allowed_actors(["svc"]) == {"A"}
+        assert system.non_allowed_actors(["svc"]) == {"B"}
+        assert system.allowed_actors(["svc", "svc2"]) == {"A", "B"}
+
+    def test_services_of_actor(self):
+        system = self._system()
+        assert system.services_of_actor("A") == ("svc",)
+        assert system.services_of_actor("B") == ("svc2",)
+
+    def test_lookup_errors_list_alternatives(self):
+        system = self._system()
+        with pytest.raises(ModelError, match="svc"):
+            system.service("nope")
+        with pytest.raises(ModelError, match="D"):
+            system.datastore("nope")
+        with pytest.raises(ModelError, match="A"):
+            system.actor("nope")
+
+    def test_all_flows_spans_services(self):
+        assert len(self._system().all_flows()) == 3

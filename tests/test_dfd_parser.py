@@ -1,0 +1,159 @@
+"""Unit tests for the model DSL tokenizer and parser."""
+
+import pytest
+
+from repro.dfd import parse_dsl, parse_file, tokenize
+from repro.errors import ParseError
+
+VALID = """
+# a complete little system
+system clinic {
+  schema Visit {
+    field name: string kind identifier
+    field issue: string kind sensitive
+    field issue_anon: string kind sensitive anonymises issue
+  }
+
+  role staff
+  role senior parents [staff]
+
+  actor Doctor role senior originates [issue]
+  actor Auditor
+
+  assign Auditor roles [staff]
+
+  datastore Records schema Visit
+  anonymised datastore AnonRecords schema Visit
+
+  service Consult {
+    flow 1 User -> Doctor fields [name] purpose "identify"
+    flow 2 Doctor -> Records fields [name, issue] purpose "persist"
+  }
+
+  acl {
+    allow Doctor read, create on Records
+    allow staff read on Records fields [name]
+  }
+}
+"""
+
+
+class TestTokenizer:
+    def test_token_stream_shape(self):
+        tokens = tokenize('system x { flow 1 A -> B fields [a] }')
+        types = [t.type for t in tokens]
+        assert types[0] == "ident"
+        assert "arrow" in types
+        assert "number" in types
+        assert types[-1] == "eof"
+
+    def test_comments_and_whitespace_skipped(self):
+        tokens = tokenize("# comment\n  ident")
+        assert [t.value for t in tokens[:-1]] == ["ident"]
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        b_token = tokens[1]
+        assert (b_token.line, b_token.column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="line 1"):
+            tokenize("system @")
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize('"a \\"quoted\\" thing"')
+        assert tokens[0].type == "string"
+
+
+class TestParserAcceptance:
+    def test_full_system(self):
+        system = parse_dsl(VALID, strict=False)
+        assert system.name == "clinic"
+        assert set(system.actors) == {"Doctor", "Auditor"}
+        assert system.actors["Doctor"].originates == ("issue",)
+        assert system.datastores["AnonRecords"].anonymised
+        assert len(system.service("Consult")) == 2
+        assert system.policy.rbac.has_role("Doctor", "staff")  # inherited
+        assert system.policy.can_read("Auditor", "Records", "name")
+        assert not system.policy.can_read("Auditor", "Records", "issue")
+
+    def test_schema_fields_parsed(self):
+        system = parse_dsl(VALID, strict=False)
+        schema = system.schemas["Visit"]
+        assert schema.field("issue_anon").anonymised_of == "issue"
+
+    def test_purpose_optional(self):
+        text = """system s { schema S { field a: string }
+        actor A
+        service v { flow 1 User -> A fields [a] } }"""
+        system = parse_dsl(text, validate=False)
+        assert system.service("v").flows[0].purpose == ""
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "model.dsl"
+        path.write_text(VALID)
+        system = parse_file(path, strict=False)
+        assert system.name == "clinic"
+
+
+class TestParserErrors:
+    def _expect(self, text, pattern):
+        with pytest.raises(ParseError, match=pattern):
+            parse_dsl(text, validate=False)
+
+    def test_missing_system_keyword(self):
+        self._expect("model x {}", "expected 'system'")
+
+    def test_unknown_declaration(self):
+        self._expect("system x { gadget y }", "unknown declaration")
+
+    def test_missing_arrow(self):
+        self._expect(
+            "system x { schema S { field a: string } actor A "
+            "service v { flow 1 User A fields [a] } }",
+            "expected '->'")
+
+    def test_bad_field_type(self):
+        self._expect("system x { schema S { field a: blob } }",
+                     "unknown field type")
+
+    def test_bad_permission(self):
+        self._expect(
+            "system x { schema S { field a: string } actor A "
+            "datastore D schema S acl { allow A fly on D } }",
+            "unknown permission")
+
+    def test_undefined_schema_for_store(self):
+        self._expect("system x { datastore D schema Ghost }",
+                     "undefined schema")
+
+    def test_duplicate_field_in_schema(self):
+        self._expect(
+            "system x { schema S { field a: string field a: int } }",
+            "duplicate field")
+
+    def test_empty_flow_fields(self):
+        self._expect(
+            "system x { schema S { field a: string } actor A "
+            "service v { flow 1 User -> A fields [] } }",
+            "at least one field")
+
+    def test_trailing_garbage(self):
+        self._expect("system x { } extra", "after closing brace")
+
+    def test_error_carries_position(self):
+        try:
+            parse_dsl("system x {\n  gadget y }", validate=False)
+        except ParseError as exc:
+            assert exc.line == 2
+            assert exc.column is not None
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_validation_runs_after_parse(self):
+        from repro.errors import ValidationError
+        text = """system s { schema S { field a: string }
+        actor A
+        service v { flow 1 User -> Ghost fields [a] } }"""
+        with pytest.raises(ValidationError):
+            parse_dsl(text)

@@ -1,0 +1,91 @@
+"""Round-trip tests for dict/JSON serialization and the DSL writer."""
+
+import pytest
+
+from repro.casestudies import build_research_system, build_surgery_system
+from repro.dfd import (
+    from_json,
+    parse_dsl,
+    system_from_dict,
+    system_to_dict,
+    to_dsl,
+    to_json,
+)
+from repro.errors import ModelError
+
+
+class TestDictRoundTrip:
+    def test_tiny_system(self, tiny_system):
+        data = system_to_dict(tiny_system)
+        rebuilt = system_from_dict(data)
+        assert system_to_dict(rebuilt) == data
+
+    def test_surgery_system(self):
+        system = build_surgery_system()
+        data = system_to_dict(system)
+        assert system_to_dict(system_from_dict(data)) == data
+
+    def test_research_system(self):
+        system = build_research_system()
+        data = system_to_dict(system)
+        assert system_to_dict(system_from_dict(data)) == data
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ModelError, match="name"):
+            system_from_dict({})
+
+    def test_missing_schema_reference_rejected(self):
+        data = {
+            "name": "x",
+            "datastores": [{"name": "D", "schema": "Ghost"}],
+        }
+        with pytest.raises(ModelError, match="missing"):
+            system_from_dict(data)
+
+    def test_dict_content_shape(self, tiny_system):
+        data = system_to_dict(tiny_system)
+        assert data["name"] == "tiny"
+        assert {s["name"] for s in data["schemas"]} == {"S"}
+        assert {a["name"] for a in data["actors"]} == {"Alice", "Bob"}
+        assert len(data["acl"]) == 2
+        flows = data["services"][0]["flows"]
+        assert flows[0]["purpose"] == "signup"
+
+
+class TestJsonRoundTrip:
+    def test_json_round_trip(self, tiny_system):
+        text = to_json(tiny_system)
+        rebuilt = from_json(text)
+        assert system_to_dict(rebuilt) == system_to_dict(tiny_system)
+
+    def test_json_is_indented(self, tiny_system):
+        assert "\n  " in to_json(tiny_system)
+
+
+class TestDslRoundTrip:
+    def test_tiny_system(self, tiny_system):
+        text = to_dsl(tiny_system)
+        reparsed = parse_dsl(text)
+        assert system_to_dict(reparsed) == system_to_dict(tiny_system)
+
+    def test_surgery_system(self):
+        system = build_surgery_system()
+        reparsed = parse_dsl(to_dsl(system))
+        assert system_to_dict(reparsed) == system_to_dict(system)
+
+    def test_research_system(self):
+        system = build_research_system()
+        reparsed = parse_dsl(to_dsl(system))
+        assert system_to_dict(reparsed) == system_to_dict(system)
+
+    def test_quoted_names_survive(self):
+        from repro.dfd import SystemBuilder
+        system = (SystemBuilder("My System").schema("S", ["a"])
+                  .actor("A")
+                  .service("Svc With Spaces")
+                  .flow(1, "User", "A", ["a"], purpose="with \"quotes\"")
+                  .build())
+        reparsed = parse_dsl(to_dsl(system))
+        assert "Svc With Spaces" in reparsed.services
+        flow = reparsed.service("Svc With Spaces").flows[0]
+        assert flow.purpose == 'with "quotes"'

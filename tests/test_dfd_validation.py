@@ -1,0 +1,156 @@
+"""Unit tests for system-model validation."""
+
+import pytest
+
+from repro.dfd import SystemBuilder
+from repro.dfd.validation import Severity, validate_system
+from repro.errors import ValidationError
+
+
+def _base():
+    return (SystemBuilder("s")
+            .schema("S", [("a", "string"), ("b", "string")])
+            .actor("A")
+            .actor("B")
+            .datastore("D", "S"))
+
+
+def _codes(issues):
+    return {issue.code for issue in issues}
+
+
+class TestEndpointChecks:
+    def test_unknown_node(self):
+        system = (_base().service("svc")
+                  .flow(1, "User", "Ghost", ["a"])
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "unknown-node" in _codes(issues)
+
+    def test_user_to_store_rejected(self):
+        system = (_base().service("svc")
+                  .flow(1, "User", "D", ["a"])
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "user-to-store" in _codes(issues)
+
+    def test_store_to_user_rejected(self):
+        system = (_base().service("svc")
+                  .flow(1, "D", "User", ["a"])
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "store-to-user" in _codes(issues)
+
+    def test_store_to_store_rejected(self):
+        system = (_base().datastore("D2", "S").service("svc")
+                  .flow(1, "D", "D2", ["a"])
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "store-to-store" in _codes(issues)
+
+
+class TestFieldChecks:
+    def test_store_flow_fields_must_be_in_schema(self):
+        system = (_base().service("svc")
+                  .flow(1, "User", "A", ["a"])
+                  .flow(2, "A", "D", ["zzz"])
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "field-not-in-schema" in _codes(issues)
+
+    def test_anon_store_accepts_original_names(self):
+        system = (SystemBuilder("s")
+                  .schema("S", [("w", "float", "sensitive")])
+                  .anonymised_schema("SA", "S")
+                  .actor("A")
+                  .datastore("DA", "SA", anonymised=True)
+                  .service("svc")
+                  .flow(1, "User", "A", ["w"])
+                  .flow(2, "A", "DA", ["w"])
+                  .allow("A", "create", "DA")
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "field-not-in-schema" not in _codes(issues)
+
+    def test_grant_for_unknown_store_flagged(self):
+        system = (_base().service("svc")
+                  .flow(1, "User", "A", ["a"])
+                  .allow("A", "read", "Ghost")
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "grant-unknown-store" in _codes(issues)
+
+    def test_grant_for_unknown_field_flagged(self):
+        system = (_base().service("svc")
+                  .flow(1, "User", "A", ["a"])
+                  .allow("A", "read", "D", ["zzz"])
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "grant-unknown-field" in _codes(issues)
+
+
+class TestBehaviouralChecks:
+    def test_empty_service(self):
+        system = _base().service("svc").build(validate=False)
+        issues = validate_system(system, strict=False)
+        assert "empty-service" in _codes(issues)
+
+    def test_unreachable_flow_warned(self):
+        # A sends 'b' but never receives nor originates it.
+        system = (_base().service("svc")
+                  .flow(1, "User", "A", ["a"])
+                  .flow(2, "A", "B", ["b"])
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "unreachable-flow" in _codes(issues)
+
+    def test_originated_field_is_reachable(self):
+        system = (SystemBuilder("s").schema("S", ["a", "b"])
+                  .actor("A", originates=["b"]).actor("B")
+                  .service("svc")
+                  .flow(1, "User", "A", ["a"])
+                  .flow(2, "A", "B", ["b"])
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "unreachable-flow" not in _codes(issues)
+
+    def test_unbacked_read_warned(self):
+        system = (_base().service("svc")
+                  .flow(1, "User", "A", ["a"])
+                  .flow(2, "A", "D", ["a"])
+                  .flow(3, "D", "B", ["a"])
+                  .allow("A", "create", "D")
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        assert "unbacked-read" in _codes(issues)
+
+    def test_clean_system_has_no_errors(self, tiny_system):
+        issues = validate_system(tiny_system, strict=False)
+        assert all(i.severity is not Severity.ERROR for i in issues)
+
+
+class TestStrictMode:
+    def test_strict_raises_with_issue_list(self):
+        system = (_base().service("svc")
+                  .flow(1, "User", "Ghost", ["a"])
+                  .build(validate=False))
+        with pytest.raises(ValidationError) as excinfo:
+            validate_system(system, strict=True)
+        assert excinfo.value.issues
+
+    def test_warnings_alone_do_not_raise(self):
+        system = (_base().service("svc")
+                  .flow(1, "User", "A", ["a"])
+                  .flow(2, "A", "B", ["b"])
+                  .build(validate=False))
+        issues = validate_system(system, strict=True)
+        assert "unreachable-flow" in _codes(issues)
+
+    def test_issue_str_format(self):
+        system = (_base().service("svc")
+                  .flow(1, "User", "Ghost", ["a"])
+                  .build(validate=False))
+        issues = validate_system(system, strict=False)
+        rendered = str(next(i for i in issues
+                            if i.code == "unknown-node"))
+        assert rendered.startswith("ERROR [unknown-node]")

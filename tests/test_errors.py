@@ -1,0 +1,79 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AccessDenied,
+    AnalysisError,
+    AnonymizationError,
+    GenerationError,
+    ModelError,
+    MonitorError,
+    ParseError,
+    PolicyViolationError,
+    ReproError,
+    SchemaError,
+    StateLimitExceeded,
+    UnknownEventError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (ModelError, ValidationError, SchemaError,
+                         ParseError, GenerationError,
+                         StateLimitExceeded, AnalysisError,
+                         PolicyViolationError, AccessDenied,
+                         AnonymizationError, MonitorError,
+                         UnknownEventError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_specialisations(self):
+        assert issubclass(ValidationError, ModelError)
+        assert issubclass(SchemaError, ModelError)
+        assert issubclass(StateLimitExceeded, GenerationError)
+        assert issubclass(PolicyViolationError, AnalysisError)
+        assert issubclass(UnknownEventError, MonitorError)
+
+    def test_one_handler_catches_all(self):
+        with pytest.raises(ReproError):
+            raise AccessDenied("a", "read", "s")
+
+
+class TestPayloads:
+    def test_validation_error_issues(self):
+        error = ValidationError("bad", issues=["i1", "i2"])
+        assert error.issues == ["i1", "i2"]
+        assert ValidationError("bad").issues == []
+
+    def test_parse_error_position_formatting(self):
+        error = ParseError("oops", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert (error.line, error.column) == (3, 7)
+        bare = ParseError("oops")
+        assert "line" not in str(bare)
+
+    def test_state_limit_message(self):
+        error = StateLimitExceeded(100)
+        assert error.limit == 100
+        assert "100" in str(error)
+        assert "max_states" in str(error)
+
+    def test_access_denied_fields(self):
+        error = AccessDenied("eve", "read", "ehr", "diagnosis")
+        assert error.actor == "eve"
+        assert "ehr.diagnosis" in str(error)
+        store_level = AccessDenied("eve", "read", "ehr")
+        assert "ehr" in str(store_level)
+
+    def test_policy_violation_records(self):
+        error = PolicyViolationError("too risky", violations=[1, 2, 3])
+        assert len(error.violations) == 3
+
+    def test_unknown_event_mentions_state(self):
+        error = UnknownEventError("read by eve", 7)
+        assert error.state_id == 7
+        assert "state 7" in str(error)
+        assert "diverged" in str(error)

@@ -1,0 +1,118 @@
+"""Integration: the extension modules working together on one system.
+
+A loyalty-programme operator's full workflow: measure the release,
+check purpose limitation, monitor a user fleet, evaluate a member's
+consent change, and pick a pseudonymisation configuration — all on the
+same model.
+"""
+
+import pytest
+
+from repro.anonymize import privacy_metrics, recommend
+from repro.casestudies import (
+    ANALYTICS_SERVICE,
+    CHECKOUT_SERVICE,
+    OFFERS_SERVICE,
+    build_loyalty_system,
+    loyalty_member,
+    synthetic_physical_records,
+)
+from repro.core import GenerationOptions, generate_lts
+from repro.core.export import disclosure_report_to_dict
+from repro.core.risk import (
+    RiskLevel,
+    ValueRiskPolicy,
+    analyse_consent_change,
+    analyse_disclosure,
+)
+from repro.dfd import diff_models, parse_dsl, to_dsl
+from repro.monitor import MonitorPool, ServiceRuntime, read_event
+from repro.policy import check_purpose_limitation
+
+PURCHASE = {"customer_id": "c-1", "postcode": "SO17",
+            "age_band": "30-39", "basket": "wine", "spend": 20.0}
+
+
+@pytest.fixture
+def loyalty_system():
+    return build_loyalty_system()
+
+
+class TestOperatorWorkflow:
+    def test_purpose_limitation_on_loyalty(self, loyalty_system):
+        lts = generate_lts(loyalty_system, GenerationOptions(
+            services=(CHECKOUT_SERVICE, OFFERS_SERVICE)))
+        violations = check_purpose_limitation(lts)
+        # offer generation reuses purchase data beyond the checkout
+        # purpose — exactly what the check must surface
+        assert violations
+        assert any(v.purpose == "offer generation"
+                   for v in violations)
+
+    def test_consent_change_preview_then_monitor(self, loyalty_system):
+        member = loyalty_member("m1")
+        sales_fields = loyalty_system.datastore(
+            "SalesDB").field_names()
+        preview = analyse_consent_change(
+            loyalty_system, member, agree=[ANALYTICS_SERVICE],
+            initial_store_contents={"SalesDB": sales_fields})
+        # agreeing to analytics makes DataOfficer/Analyst allowed
+        assert "DataOfficer" in preview.newly_allowed_actors
+        assert not preview.risk_increases
+
+        # the member declines anyway; monitoring must flag the officer
+        pool = MonitorPool(loyalty_system)
+        pool.register(member)
+        runtime = ServiceRuntime(loyalty_system,
+                                 monitor=pool.monitor_for("m1"))
+        runtime.run_service(CHECKOUT_SERVICE, PURCHASE)
+        pool.observe("m1", read_event(
+            "DataOfficer", "SalesDB",
+            ["age_band", "basket", "customer_id", "postcode",
+             "spend"]))
+        assert pool.users_with_critical_alerts() == ("m1",)
+
+    def test_release_metrics_and_recommendation(self):
+        records = [r.mask(["name"])
+                   for r in synthetic_physical_records(150, seed=31)]
+        policy = ValueRiskPolicy("weight", closeness=5.0,
+                                 confidence=0.9,
+                                 max_violation_fraction=0.1)
+        chosen = recommend(records, ("age", "height"), policy)
+        metrics = privacy_metrics(chosen.result.records,
+                                  ("age", "height"), "weight")
+        assert metrics.k >= chosen.candidate.k
+        assert metrics.satisfies(k=chosen.candidate.k)
+
+    def test_model_change_review_loop(self, loyalty_system):
+        """Edit the DSL text, diff against the deployed model, check
+        the new risk — the MDE loop end to end through text."""
+        member = loyalty_member("m1")
+        before_report = analyse_disclosure(loyalty_system, member)
+
+        text = to_dsl(loyalty_system)
+        # the proposed change: marketing gets raw SalesDB access
+        hacked = text.replace(
+            "allow analytics read on TrendsDB",
+            "allow analytics read on TrendsDB\n"
+            "    allow MarketingDirector read on SalesDB")
+        proposed = parse_dsl(hacked)
+        diff = diff_models(loyalty_system, proposed)
+        assert diff.widens_access
+        added = {g.describe() for g in diff.added_grants}
+        assert any("MarketingDirector: read on SalesDB" in g
+                   for g in added)
+
+        after_report = analyse_disclosure(proposed, member)
+        assert after_report.max_level >= before_report.max_level
+        actors = {e.actor for e in after_report.events}
+        assert "MarketingDirector" in actors
+
+    def test_report_export_round_trip(self, loyalty_system):
+        import json
+        member = loyalty_member("m1")
+        report = analyse_disclosure(loyalty_system, member)
+        data = json.loads(json.dumps(
+            disclosure_report_to_dict(report)))
+        assert data["user"] == "m1"
+        assert data["max_level"] == report.max_level.value

@@ -1,0 +1,195 @@
+"""Integration tests: the paper's evaluation, end to end.
+
+Every check here corresponds to a concrete claim in section IV of the
+paper; the benches print the same artefacts, these tests assert them.
+"""
+
+import pytest
+
+from repro.anonymize import Pseudonymizer, check_k_anonymity
+from repro.casestudies import (
+    MEDICAL_SERVICE,
+    RESEARCH_SERVICE,
+    build_research_system,
+    build_surgery_system,
+    surgery_patient,
+    table1_hierarchies,
+    table1_records,
+    tighten_administrator_policy,
+)
+from repro.core import (
+    ActionType,
+    GenerationOptions,
+    TransitionKind,
+    generate_lts,
+)
+from repro.core.reachability import reachable_states, terminal_states
+from repro.core.risk import (
+    DisclosureRiskAnalyzer,
+    PseudonymisationRiskAnalyzer,
+    RiskLevel,
+    ValueRiskPolicy,
+    risk_sweep,
+)
+from repro.dfd import parse_dsl, to_dsl
+from repro.monitor import PrivacyMonitor, ServiceRuntime
+
+
+class TestFig3MedicalServiceLts:
+    """Fig. 3: the Medical Service LTS is a finite DAG of privacy
+    actions generated automatically from the DFD."""
+
+    def test_structure(self, medical_lts):
+        stats = medical_lts.stats()
+        assert stats["states"] == 10
+        assert stats["transitions"] == 12
+        assert stats["actions"] == {"collect": 6, "create": 3, "read": 3}
+
+    def test_is_dag(self, medical_lts):
+        # fired-flow sets grow along every transition -> acyclic
+        for transition in medical_lts.transitions:
+            source_fired = medical_lts.state(transition.source) \
+                .info["fired"]
+            target_fired = medical_lts.state(transition.target) \
+                .info["fired"]
+            assert source_fired < target_fired
+
+    def test_all_states_reachable(self, medical_lts):
+        assert len(reachable_states(medical_lts)) == len(medical_lts)
+
+    def test_single_terminal_state(self, medical_lts):
+        finals = terminal_states(medical_lts)
+        assert len(finals) == 1
+        vector = finals[0].vector
+        # service outcome: doctor knows everything it recorded,
+        # nurse knows name+treatment, admin could read the EHR
+        assert vector.has("Doctor", "diagnosis")
+        assert vector.has("Nurse", "treatment")
+        assert vector.could("Administrator", "diagnosis")
+        assert not vector.has("Administrator", "diagnosis")
+
+
+class TestCaseStudyADisclosure:
+    """IV.A: Administrator read on EHR -> MEDIUM; after ACL fix -> LOW."""
+
+    def test_before_and_after(self):
+        patient = surgery_patient()
+        before = DisclosureRiskAnalyzer(
+            build_surgery_system()).analyse(patient)
+        assert before.max_level is RiskLevel.MEDIUM
+        assert {e.actor for e in before.events} == {"Administrator"}
+
+        fixed = tighten_administrator_policy(build_surgery_system())
+        after = DisclosureRiskAnalyzer(fixed).analyse(patient)
+        assert after.max_level is RiskLevel.LOW
+
+    def test_no_formal_model_drawn_by_hand(self):
+        """"There is no need to explicitly draw a formal state model"
+        — the DSL text alone is enough to run the analysis."""
+        system = build_surgery_system()
+        reparsed = parse_dsl(to_dsl(system))
+        report = DisclosureRiskAnalyzer(reparsed).analyse(
+            surgery_patient())
+        assert report.max_level is RiskLevel.MEDIUM
+
+
+class TestTableI:
+    """IV.B Table I: exact fractions and violation counts."""
+
+    def test_full_pipeline_from_raw_records(self, raw_physical,
+                                            weight_policy):
+        from repro.datastore import RuntimeDatastore
+        from repro.schema import DataSchema, Field
+        schema = DataSchema("P", [Field("name"), Field("age"),
+                                  Field("height"), Field("weight")])
+        store = RuntimeDatastore("HealthRecords", schema)
+        store.load(raw_physical)
+        run = Pseudonymizer(
+            quasi_identifiers=("age", "height"),
+            identifiers=("name",),
+            hierarchies=table1_hierarchies(),
+        ).run(store, k=2)
+        # the release is 2-anonymous
+        released = [r.renamed({"age_anon": "age",
+                               "height_anon": "height",
+                               "weight_anon": "weight"})
+                    for r in run.released]
+        assert check_k_anonymity(released, ["age", "height"]) == 2
+        results = risk_sweep(
+            released, [["height"], ["age"], ["age", "height"]],
+            weight_policy)
+        assert [r.violations for r in results] == [0, 2, 4]
+
+    def test_published_records_directly(self, table1, weight_policy):
+        results = risk_sweep(
+            table1, [["height"], ["age"], ["age", "height"]],
+            weight_policy)
+        assert [r.violations for r in results] == [0, 2, 4]
+        fractions = [[rr.fraction for rr in r.per_record]
+                     for r in results]
+        assert fractions[0] == ["2/4", "2/4", "2/4", "2/4", "1/2", "1/2"]
+        assert fractions[1] == ["2/2", "2/2", "3/4", "3/4", "1/4", "3/4"]
+        assert fractions[2] == ["2/2", "2/2", "2/2", "2/2", "1/2", "1/2"]
+
+
+class TestFig4PseudonymisationLts:
+    """IV.B Fig. 4: dotted risk transitions scored 0 / 2 / 4."""
+
+    def test_risk_transitions(self, research_system, weight_policy,
+                              table1):
+        lts = generate_lts(research_system)
+        analyzer = PseudonymisationRiskAnalyzer(
+            research_system, weight_policy, dataset=table1)
+        risks = analyzer.annotate(lts, actors=["Researcher"])
+        assert sorted(r.violations for r in risks) == [0, 2, 4]
+        assert all(r.transition.kind is TransitionKind.RISK
+                   for r in risks)
+
+    def test_dot_output_has_dotted_lines(self, research_system,
+                                         weight_policy, table1):
+        from repro.viz import lts_to_dot
+        lts = generate_lts(research_system)
+        PseudonymisationRiskAnalyzer(
+            research_system, weight_policy, dataset=table1
+        ).annotate(lts, actors=["Researcher"])
+        assert "style=dotted" in lts_to_dot(lts)
+
+
+class TestRuntimeAgreesWithModel:
+    """The runtime execution of a service lands exactly on the states
+    the generator predicts (design-time model == runtime behaviour)."""
+
+    def test_medical_session_tracks_to_terminal(self):
+        system = build_surgery_system()
+        lts = generate_lts(system, GenerationOptions(
+            services=(MEDICAL_SERVICE,)))
+        monitor = PrivacyMonitor(lts, strict=True)
+        runtime = ServiceRuntime(system, monitor=monitor)
+        runtime.run_service(MEDICAL_SERVICE, {
+            "name": "Ada", "dob": "1980-01-01",
+            "medical_issues": "cough"})
+        finals = terminal_states(lts)
+        assert monitor.current_state.sid == finals[0].sid
+
+    def test_both_services_in_sequence(self):
+        system = build_surgery_system()
+        lts = generate_lts(system)
+        monitor = PrivacyMonitor(lts, strict=True)
+        runtime = ServiceRuntime(system, monitor=monitor)
+        runtime.run_service(MEDICAL_SERVICE, {
+            "name": "Ada", "dob": "1980-01-01",
+            "medical_issues": "cough"})
+        runtime.run_service(RESEARCH_SERVICE, {})
+        vector = monitor.current_state.vector
+        assert vector.has("Researcher", "diagnosis_anon")
+        assert not vector.has("Researcher", "diagnosis")
+
+    def test_runtime_never_diverges_from_dataflow_lts(self):
+        system = build_research_system()
+        lts = generate_lts(system)
+        monitor = PrivacyMonitor(lts, strict=True)
+        runtime = ServiceRuntime(system, monitor=monitor)
+        runtime.run_service("HealthCheckService", {
+            "name": "e", "age": 30, "height": 180, "weight": 80})
+        runtime.run_service("ResearchService", {})
+        assert not monitor.alerts

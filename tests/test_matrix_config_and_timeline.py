@@ -1,0 +1,117 @@
+"""Tests for config-driven risk matrices and timeline rendering."""
+
+import pytest
+
+from repro.core.risk import RiskLevel, RiskMatrix
+from repro.errors import AnalysisError
+from repro.monitor import PrivacyMonitor, ServiceRuntime
+from repro.viz import exposure_report, timeline_report
+
+
+class TestRiskMatrixConfig:
+    def test_round_trip(self):
+        matrix = RiskMatrix.example()
+        rebuilt = RiskMatrix.from_dict(matrix.to_dict())
+        for impact in (RiskLevel.LOW, RiskLevel.MEDIUM, RiskLevel.HIGH):
+            for likelihood in (RiskLevel.LOW, RiskLevel.MEDIUM,
+                               RiskLevel.HIGH):
+                assert rebuilt.level(impact, likelihood) is \
+                    matrix.level(impact, likelihood)
+        assert rebuilt.impact_banding.low_upper == \
+            matrix.impact_banding.low_upper
+
+    def test_from_dict_minimal(self):
+        matrix = RiskMatrix.from_dict({
+            "table": {"high/low": "high"},
+        })
+        assert matrix.level(RiskLevel.HIGH, RiskLevel.LOW) is \
+            RiskLevel.HIGH
+
+    def test_custom_bandings(self):
+        matrix = RiskMatrix.from_dict({
+            "table": {"low/low": "low"},
+            "impact_banding": [0.5, 0.9],
+            "likelihood_banding": [0.2, 0.8],
+        })
+        assert matrix.impact_banding.categorize(0.45) is RiskLevel.LOW
+        assert matrix.likelihood_banding.categorize(0.25) is \
+            RiskLevel.MEDIUM
+
+    def test_missing_table_rejected(self):
+        with pytest.raises(AnalysisError, match="table"):
+            RiskMatrix.from_dict({})
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(AnalysisError, match="impact"):
+            RiskMatrix.from_dict({"table": {"high": "low"}})
+
+    def test_service_specific_matrix_changes_verdict(self,
+                                                     surgery_system,
+                                                     patient):
+        """A stricter, healthcare-grade table turns the IV.A event
+        HIGH — 'specified according to the type of service'."""
+        from repro.core.risk import DisclosureRiskAnalyzer
+        strict = RiskMatrix.from_dict({
+            "table": {
+                "low/low": "low", "low/medium": "medium",
+                "low/high": "medium",
+                "medium/low": "medium", "medium/medium": "medium",
+                "medium/high": "high",
+                "high/low": "high", "high/medium": "high",
+                "high/high": "high",
+            },
+        })
+        report = DisclosureRiskAnalyzer(
+            surgery_system, matrix=strict).analyse(patient)
+        assert report.max_level is RiskLevel.HIGH
+
+
+class TestTimeline:
+    def _run_monitor(self, surgery_system, medical_lts):
+        monitor = PrivacyMonitor(medical_lts)
+        runtime = ServiceRuntime(surgery_system, monitor=monitor)
+        runtime.run_service("MedicalService", {
+            "name": "Ada", "dob": "1980-01-01",
+            "medical_issues": "cough"})
+        return monitor
+
+    def test_timeline_rows_per_event(self, surgery_system, medical_lts):
+        monitor = self._run_monitor(surgery_system, medical_lts)
+        report = timeline_report(monitor)
+        lines = report.splitlines()
+        assert "collect" in report and "create" in report
+        assert "final state" in lines[-1]
+        # 6 flow rows + header + rule + blank + final line
+        assert sum("collect" in line or "create" in line or
+                   "read" in line for line in lines) == 6
+
+    def test_timeline_tracks_actor_of_interest(self, surgery_system,
+                                               medical_lts):
+        monitor = self._run_monitor(surgery_system, medical_lts)
+        report = timeline_report(monitor, actor_of_interest="Nurse")
+        assert "Nurse knows" in report
+        assert "treatment" in report
+
+    def test_empty_timeline(self, medical_lts):
+        monitor = PrivacyMonitor(medical_lts)
+        report = timeline_report(monitor)
+        assert "final state: s0" in report
+
+    def test_timeline_includes_alerts(self, surgery_system,
+                                      medical_lts):
+        from repro.monitor import read_event
+        monitor = self._run_monitor(surgery_system, medical_lts)
+        monitor.observe(read_event("Nurse", "EHR", ["name"]))  # rogue
+        report = timeline_report(monitor)
+        assert "alerts:" in report
+        assert "unmodelled" in report
+
+    def test_exposure_report(self, surgery_system, medical_lts):
+        monitor = self._run_monitor(surgery_system, medical_lts)
+        report = exposure_report(monitor)
+        nurse_row = [line for line in report.splitlines()
+                     if line.startswith("Nurse")][0]
+        assert "treatment" in nurse_row
+        admin_row = [line for line in report.splitlines()
+                     if line.startswith("Administrator")][0]
+        assert "diagnosis" in admin_row  # could, not has

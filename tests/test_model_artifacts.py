@@ -1,0 +1,65 @@
+"""The shipped DSL artifacts must parse and match the Python fixtures."""
+
+import os
+
+import pytest
+
+from repro.casestudies import build_surgery_system, surgery_patient
+from repro.core.risk import DisclosureRiskAnalyzer, RiskLevel
+from repro.dfd import parse_file, system_to_dict
+
+ARTIFACT_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples", "models")
+
+
+@pytest.fixture
+def surgery_dsl_path():
+    path = os.path.join(ARTIFACT_DIR, "surgery.dsl")
+    assert os.path.exists(path), f"missing artifact {path}"
+    return path
+
+
+class TestSurgeryArtifact:
+    def test_parses_and_validates(self, surgery_dsl_path):
+        system = parse_file(surgery_dsl_path)
+        assert system.name == "DoctorsSurgery"
+
+    def test_equivalent_to_python_fixture(self, surgery_dsl_path):
+        """The artifact and the builder fixture describe the same
+        system (modulo description strings, which the artifact's
+        comments replace)."""
+        from_dsl = parse_file(surgery_dsl_path)
+        from_builder = build_surgery_system()
+
+        def strip_descriptions(data):
+            for schema in data["schemas"]:
+                for field in schema["fields"]:
+                    field["description"] = ""
+            for actor in data["actors"]:
+                actor["description"] = ""
+            for store in data["datastores"]:
+                store["description"] = ""
+            for service in data["services"]:
+                service["description"] = ""
+            return data
+
+        assert strip_descriptions(system_to_dict(from_dsl)) == \
+            strip_descriptions(system_to_dict(from_builder))
+
+    def test_case_study_runs_from_artifact(self, surgery_dsl_path):
+        system = parse_file(surgery_dsl_path)
+        report = DisclosureRiskAnalyzer(system).analyse(
+            surgery_patient())
+        assert report.max_level is RiskLevel.MEDIUM
+
+    def test_cli_against_artifact(self, surgery_dsl_path, capsys):
+        from repro.cli import main
+        assert main(["validate", surgery_dsl_path]) == 0
+        code = main(["analyse", surgery_dsl_path,
+                     "--agree", "MedicalService",
+                     "--sensitivity", "diagnosis=high",
+                     "--default-sensitivity", "0.2",
+                     "--fail-at", "medium"])
+        assert code == 1  # MEDIUM reached -> gate trips
+        assert "Administrator" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Unit tests for the privacy-policy language and compliance checker."""
+
+import pytest
+
+from repro.core import generate_lts
+from repro.policy import (
+    ComplianceChecker,
+    PrivacyPolicy,
+    check_compliance,
+    forbid,
+    permit,
+    require_purpose,
+)
+
+
+@pytest.fixture
+def lts(tiny_system):
+    return generate_lts(tiny_system)
+
+
+class TestStatements:
+    def test_forbid_matches_actor_action_fields(self, lts):
+        statement = forbid(actor="Bob", action="read", fields=["name"])
+        read = [t for t in lts.transitions
+                if t.label.actor == "Bob"][0]
+        assert statement.matches(read)
+
+    def test_field_intersection_semantics(self, lts):
+        statement = forbid(fields=["secret", "other"])
+        collect = lts.transitions_from(lts.initial.sid)[0]
+        assert statement.matches(collect)  # carries name AND secret
+
+    def test_purpose_matcher(self, lts):
+        statement = permit(purposes=["signup"])
+        collect = lts.transitions_from(lts.initial.sid)[0]
+        assert statement.matches(collect)
+        assert not permit(purposes=["other"]).matches(collect)
+
+    def test_none_matchers_match_everything(self, lts):
+        statement = permit()
+        assert all(statement.matches(t) for t in lts.transitions)
+
+    def test_describe(self):
+        assert "forbid" in forbid(actor="A").describe()
+        assert "any action" in forbid(actor="A").describe()
+        assert "require purpose" in require_purpose(["x"]).describe()
+
+
+class TestPrivacyPolicy:
+    def test_add_and_classify(self):
+        policy = PrivacyPolicy("p", [
+            permit(actor="A"), forbid(actor="B"), require_purpose(["x"]),
+        ])
+        assert len(policy.permits) == 1
+        assert len(policy.forbids) == 1
+        assert len(policy.purpose_rules) == 1
+        assert len(policy) == 3
+
+    def test_rejects_unknown_statement(self):
+        with pytest.raises(TypeError):
+            PrivacyPolicy("p", ["not a statement"])
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            PrivacyPolicy("")
+
+
+class TestCompliance:
+    def test_compliant_policy(self, lts):
+        policy = PrivacyPolicy("ok", [
+            forbid(actor="Bob", fields=["secret"]),
+        ])
+        report = check_compliance(lts, policy)
+        assert report.compliant
+        assert report.transitions_checked == len(lts.transitions)
+        assert "compliant" in report.summary()
+
+    def test_forbidden_behaviour_found(self, lts):
+        policy = PrivacyPolicy("strict", [
+            forbid(actor="Bob", action="read"),
+        ])
+        report = check_compliance(lts, policy)
+        assert not report.compliant
+        violation = report.by_kind("forbidden")[0]
+        assert violation.transition.label.actor == "Bob"
+        assert "forbidden" in violation.describe()
+        # witness path leads to the violation
+        assert "read" in violation.witness_text()
+
+    def test_missing_purpose_found(self):
+        from repro.dfd import SystemBuilder
+        system = (SystemBuilder("s").schema("S", ["x"])
+                  .actor("A").actor("B")
+                  .service("svc")
+                  .flow(1, "User", "A", ["x"])     # no purpose
+                  .flow(2, "A", "B", ["x"], purpose="share")
+                  .build())
+        lts = generate_lts(system)
+        policy = PrivacyPolicy("p", [require_purpose(["x"])])
+        report = check_compliance(lts, policy)
+        missing = report.by_kind("missing-purpose")
+        assert len(missing) == 1
+        assert missing[0].transition.label.purpose is None
+
+    def test_strict_mode_flags_uncovered(self, lts):
+        policy = PrivacyPolicy("partial", [
+            permit(actor="Alice"),
+        ])
+        report = check_compliance(lts, policy, strict=True)
+        uncovered = report.by_kind("uncovered")
+        assert uncovered
+        assert all(v.transition.label.actor != "Alice"
+                   for v in uncovered)
+
+    def test_non_strict_ignores_uncovered(self, lts):
+        policy = PrivacyPolicy("partial", [permit(actor="Alice")])
+        assert check_compliance(lts, policy).compliant
+
+    def test_injected_transitions_skipped_by_default(self, tiny_system):
+        from repro.core import GenerationOptions
+        lts = generate_lts(tiny_system, GenerationOptions(
+            include_potential_reads=True))
+        policy = PrivacyPolicy("p", [forbid(action="read")])
+        default_report = check_compliance(lts, policy)
+        checker = ComplianceChecker(policy, check_injected=True)
+        full_report = checker.check(lts)
+        assert full_report.transitions_checked > \
+            default_report.transitions_checked
+
+    def test_summary_lists_violations(self, lts):
+        policy = PrivacyPolicy("strict", [forbid(actor="Bob")])
+        summary = check_compliance(lts, policy).summary()
+        assert "violation" in summary
+        assert "Bob" in summary

@@ -1,0 +1,328 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: bit-vector algebra, k-anonymity post-conditions, value-risk
+bounds, interval generalization, parser round-trips and LTS generation
+invariants."""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anonymize import (
+    GlobalRecodingAnonymizer,
+    HierarchySet,
+    MondrianAnonymizer,
+    NumericHierarchy,
+    check_k_anonymity,
+    equivalence_classes,
+)
+from repro.core import VarKind, VariableRegistry, generate_lts
+from repro.core.reachability import reachable_states
+from repro.core.risk import ValueRiskPolicy, value_risk
+from repro.datastore import Record, make_records
+from repro.dfd import SystemBuilder, parse_dsl, system_to_dict, to_dsl
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1,
+                max_size=6)
+
+
+# -- bit-vector algebra -------------------------------------------------------
+
+@st.composite
+def registry_and_vars(draw):
+    actors = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+    fields = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+    registry = VariableRegistry(actors, fields)
+    chosen = draw(st.lists(
+        st.tuples(
+            st.sampled_from([VarKind.HAS, VarKind.COULD]),
+            st.sampled_from(actors),
+            st.sampled_from(fields),
+        ),
+        max_size=8,
+    ))
+    return registry, chosen
+
+
+@given(registry_and_vars())
+def test_vector_set_then_get(data):
+    registry, chosen = data
+    vector = registry.empty_vector()
+    for kind, actor, field in chosen:
+        vector = vector.with_true(kind, actor, field)
+    for kind, actor, field in chosen:
+        assert vector.get(kind, actor, field)
+    assert vector.count_true() == len({
+        (k, a, f) for k, a, f in chosen})
+
+
+@given(registry_and_vars())
+def test_vector_set_clear_roundtrip(data):
+    registry, chosen = data
+    vector = registry.empty_vector()
+    for kind, actor, field in chosen:
+        vector = vector.with_true(kind, actor, field)
+    for kind, actor, field in chosen:
+        vector = vector.with_false(kind, actor, field)
+    assert vector.count_true() == 0
+
+
+@given(registry_and_vars(), registry_and_vars())
+def test_union_is_monotone(left_data, right_data):
+    registry, chosen = left_data
+    vector = registry.empty_vector()
+    other = registry.empty_vector()
+    for kind, actor, field in chosen:
+        vector = vector.with_true(kind, actor, field)
+    union = vector.union(other)
+    assert union == vector  # union with empty is identity
+    assert vector.union(vector) == vector  # idempotent
+
+
+# -- k-anonymity post-conditions ----------------------------------------------
+
+ages = st.integers(min_value=0, max_value=99)
+heights = st.integers(min_value=140, max_value=210)
+
+
+@st.composite
+def physical_rows(draw):
+    count = draw(st.integers(min_value=4, max_value=24))
+    return [
+        {"age": draw(ages), "height": draw(heights)}
+        for _ in range(count)
+    ]
+
+
+@given(physical_rows(), st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_global_recoding_postcondition(rows, k):
+    records = make_records(rows)
+    if k > len(records):
+        return
+    hierarchies = HierarchySet([
+        NumericHierarchy("age", widths=[10, 20, 40, 80, 160]),
+        NumericHierarchy("height", widths=[10, 20, 40, 80, 160]),
+    ])
+    result = GlobalRecodingAnonymizer(hierarchies).anonymize(records, k)
+    # every equivalence class of the release has size >= k
+    if result.records:
+        assert check_k_anonymity(
+            result.records, ("age", "height")) >= k
+    # nothing lost: released + suppressed == input
+    assert len(result.records) + len(result.suppressed) == len(records)
+
+
+@given(physical_rows(), st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_mondrian_postcondition(rows, k):
+    records = make_records(rows)
+    if k > len(records):
+        return
+    result = MondrianAnonymizer(["age", "height"]).anonymize(records, k)
+    assert check_k_anonymity(result.records, ("age", "height")) >= k
+    assert len(result.records) == len(records)  # Mondrian suppresses none
+
+
+# -- value-risk bounds ------------------------------------------------------------
+
+@st.composite
+def released_rows(draw):
+    count = draw(st.integers(min_value=1, max_value=20))
+    bins = ["a", "b", "c"]
+    return [
+        {"qi": draw(st.sampled_from(bins)),
+         "weight": draw(st.integers(min_value=50, max_value=150))}
+        for _ in range(count)
+    ]
+
+
+@given(released_rows(),
+       st.floats(min_value=0, max_value=20),
+       st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_value_risk_bounds(rows, closeness, confidence):
+    records = make_records(rows)
+    policy = ValueRiskPolicy("weight", closeness=closeness,
+                             confidence=confidence)
+    result = value_risk(records, ["qi"], policy)
+    classes = equivalence_classes(records, ["qi"])
+    for record_risk in result.per_record:
+        # a record always matches itself -> risk >= 1/|class| and > 0
+        size = len(classes[record_risk.record.key_on(("qi",))])
+        assert record_risk.set_size == size
+        assert 1 <= record_risk.frequency <= size
+        assert 0 < record_risk.risk <= 1
+        assert record_risk.violated == (record_risk.risk >= confidence)
+    assert 0 <= result.violations <= len(records)
+
+
+@given(released_rows())
+@settings(max_examples=30, deadline=None)
+def test_value_risk_monotone_in_closeness(rows):
+    records = make_records(rows)
+    tight = value_risk(records, ["qi"],
+                       ValueRiskPolicy("weight", closeness=0.0))
+    loose = value_risk(records, ["qi"],
+                       ValueRiskPolicy("weight", closeness=50.0))
+    for narrow, wide in zip(tight.per_record, loose.per_record):
+        assert narrow.frequency <= wide.frequency
+
+
+@given(released_rows())
+@settings(max_examples=30, deadline=None)
+def test_value_risk_more_fields_never_larger_sets(rows):
+    """Reading more quasi-identifiers partitions the data more finely."""
+    for row in rows:
+        row["qi2"] = row["weight"] % 3
+    records = make_records(rows)
+    policy = ValueRiskPolicy("weight", closeness=5.0)
+    coarse = value_risk(records, ["qi"], policy)
+    fine = value_risk(records, ["qi", "qi2"], policy)
+    for one, two in zip(coarse.per_record, fine.per_record):
+        assert two.set_size <= one.set_size
+
+
+# -- interval generalization ----------------------------------------------------
+
+@given(st.integers(min_value=-1000, max_value=1000),
+       st.integers(min_value=1, max_value=50))
+def test_numeric_generalization_contains_value(value, width):
+    hierarchy = NumericHierarchy("x", widths=[width])
+    interval = hierarchy.generalize(value, 1)
+    assert interval.contains(value)
+    assert interval.width == width
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=30),
+       st.integers(min_value=1, max_value=20))
+def test_same_bin_means_equal_intervals(values, width):
+    hierarchy = NumericHierarchy("x", widths=[width])
+    for left in values:
+        for right in values:
+            same_bin = (left // width) == (right // width)
+            equal = hierarchy.generalize(left, 1) == \
+                hierarchy.generalize(right, 1)
+            assert same_bin == equal
+
+
+# -- record algebra ---------------------------------------------------------------
+
+@given(st.dictionaries(names, st.integers(), min_size=1, max_size=6))
+def test_record_mask_project_partition(values):
+    record = Record(values)
+    fields = sorted(values)
+    half = fields[: len(fields) // 2]
+    masked = record.mask(half)
+    projected = record.project(half)
+    assert set(masked) | set(projected) == set(record)
+    assert not set(masked) & set(projected)
+
+
+# -- DSL round-trip over generated models -------------------------------------------
+
+@st.composite
+def small_systems(draw):
+    field_names = draw(st.lists(names, min_size=1, max_size=3,
+                                unique=True))
+    actor_names = draw(st.lists(
+        names.map(lambda n: "Actor_" + n), min_size=2, max_size=3,
+        unique=True))
+    builder = SystemBuilder("gen")
+    builder.schema("S", list(field_names))
+    for actor in actor_names:
+        builder.actor(actor)
+    builder.datastore("D", "S")
+    builder.service("svc")
+    builder.flow(1, "User", actor_names[0], [field_names[0]],
+                 purpose=draw(names))
+    builder.flow(2, actor_names[0], "D", [field_names[0]])
+    builder.flow(3, "D", actor_names[1], [field_names[0]])
+    builder.allow(actor_names[0], ["read", "create"], "D")
+    builder.allow(actor_names[1], "read", "D", [field_names[0]])
+    return builder.build(strict=False)
+
+
+@given(small_systems())
+@settings(max_examples=30, deadline=None)
+def test_dsl_round_trip_property(system):
+    reparsed = parse_dsl(to_dsl(system), validate=False)
+    assert system_to_dict(reparsed) == system_to_dict(system)
+
+
+# -- t-closeness bounds ---------------------------------------------------------------
+
+@given(released_rows())
+@settings(max_examples=40, deadline=None)
+def test_t_closeness_bounds(rows):
+    from repro.anonymize import check_t_closeness
+    records = make_records(rows)
+    report = check_t_closeness(records, ["qi"], "weight")
+    assert 0.0 <= report.t_value <= 1.0
+    for _, distance in report.class_distances:
+        assert 0.0 <= distance <= 1.0 + 1e-9
+
+
+@given(released_rows())
+@settings(max_examples=40, deadline=None)
+def test_single_class_release_is_zero_close(rows):
+    """With no quasi-identifier read, every record is in one class
+    whose distribution IS the global distribution."""
+    from repro.anonymize import check_t_closeness
+    records = make_records(rows)
+    report = check_t_closeness(records, [], "weight")
+    assert report.t_value == 0.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1), min_size=1,
+                max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_emd_identity(weights):
+    from repro.anonymize import ordered_emd, total_variation
+    total = sum(weights) or 1.0
+    distribution = [w / total for w in weights]
+    assert ordered_emd(distribution, distribution) == \
+        pytest.approx(0.0)
+    assert total_variation(distribution, distribution) == \
+        pytest.approx(0.0)
+
+
+# -- consent monotonicity ------------------------------------------------------------
+
+@given(st.lists(st.sampled_from(
+    ["MedicalService", "MedicalResearchService"]),
+    min_size=1, max_size=2, unique=True))
+@settings(max_examples=10, deadline=None)
+def test_more_consent_never_more_non_allowed(agreed):
+    from repro.casestudies import build_surgery_system
+    system = build_surgery_system()
+    fewer = system.non_allowed_actors(agreed)
+    everything = system.non_allowed_actors(
+        ["MedicalService", "MedicalResearchService"])
+    assert everything <= fewer
+
+
+# -- LTS generation invariants ---------------------------------------------------------
+
+@given(small_systems())
+@settings(max_examples=25, deadline=None)
+def test_generation_invariants(system):
+    lts = generate_lts(system)
+    # all states reachable from the initial state
+    assert reachable_states(lts) == {s.sid for s in lts.states}
+    # has-bits are monotone along every transition; fired sets grow
+    for transition in lts.transitions:
+        source = lts.state(transition.source)
+        target = lts.state(transition.target)
+        assert source.key.has_mask & ~target.key.has_mask == 0
+        assert source.key.fired < target.key.fired
+    # vectors match their configurations: could implies store-backed
+    for state in lts.states:
+        for actor in lts.registry.actors:
+            for field in lts.registry.fields:
+                if state.vector.could(actor, field):
+                    stored = any(
+                        entry[1] == field
+                        for entry in state.key.contents)
+                    assert stored

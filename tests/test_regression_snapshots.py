@@ -1,0 +1,110 @@
+"""Regression snapshots: exact artefacts pinned against drift.
+
+These tests freeze the precise outputs the reproduction stands on —
+if a refactor changes any of them, the diff shows up here first,
+before it silently shifts a paper-comparable number.
+"""
+
+import pytest
+
+from repro.casestudies import (
+    build_surgery_system,
+    surgery_patient,
+    table1_records,
+)
+from repro.core import GenerationOptions, generate_lts
+from repro.core.risk import (
+    DisclosureRiskAnalyzer,
+    ValueRiskPolicy,
+    render_risk_table,
+    risk_sweep,
+)
+from repro.dfd import to_dsl
+
+TABLE1_SNAPSHOT = """\
+age         | height  | weight | height risk | age risk | age height risk
+------------+---------+--------+-------------+----------+----------------
+30-40       | 180-200 | 100    | 2/4         | 2/2      | 2/2
+30-40       | 180-200 | 102    | 2/4         | 2/2      | 2/2
+20-30       | 180-200 | 110    | 2/4         | 3/4      | 2/2
+20-30       | 180-200 | 111    | 2/4         | 3/4      | 2/2
+20-30       | 160-180 | 80     | 1/2         | 1/4      | 1/2
+20-30       | 160-180 | 110    | 1/2         | 3/4      | 1/2
+------------+---------+--------+-------------+----------+----------------
+Violations: |         |        | 0           | 2        | 4              """
+
+
+class TestTable1Snapshot:
+    def test_rendered_table_exact(self):
+        records = table1_records()
+        policy = ValueRiskPolicy("weight", closeness=5.0,
+                                 confidence=0.9)
+        results = risk_sweep(records,
+                             [["height"], ["age"], ["age", "height"]],
+                             policy)
+        rendered = render_risk_table(
+            records, ["age", "height", "weight"], results)
+        assert [line.rstrip() for line in rendered.splitlines()] == \
+            [line.rstrip() for line in TABLE1_SNAPSHOT.splitlines()]
+
+
+class TestLtsStatsSnapshots:
+    def test_medical_service_stats(self):
+        lts = generate_lts(build_surgery_system(),
+                           GenerationOptions(
+                               services=("MedicalService",)))
+        assert lts.stats() == {
+            "states": 10,
+            "transitions": 12,
+            "variables": 100,
+            "actions": {"collect": 6, "create": 3, "read": 3},
+            "kinds": {"flow": 12},
+        }
+
+    def test_full_surgery_stats(self):
+        lts = generate_lts(build_surgery_system())
+        stats = lts.stats()
+        assert stats["states"] == 16
+        assert stats["transitions"] == 21
+        assert stats["actions"] == {
+            "collect": 6, "create": 3, "read": 10, "anon": 2}
+
+    def test_case_a_analysis_lts_stats(self):
+        system = build_surgery_system()
+        patient = surgery_patient()
+        from repro.core import ModelGenerator
+        lts = ModelGenerator(system).generate(GenerationOptions(
+            services=("MedicalService",),
+            include_potential_reads=True,
+            potential_read_actors=frozenset(
+                patient.non_allowed_actors(system))))
+        stats = lts.stats()
+        assert stats["states"] == 12
+        assert stats["kinds"] == {"flow": 13, "potential": 2}
+
+
+class TestRiskVerdictSnapshot:
+    def test_case_a_exact_numbers(self):
+        report = DisclosureRiskAnalyzer(
+            build_surgery_system()).analyse(surgery_patient())
+        event = report.events[0]
+        assert event.assessment.impact == pytest.approx(0.9)
+        assert event.assessment.likelihood == pytest.approx(0.09)
+        assert event.fields == ("diagnosis", "dob", "medical_issues",
+                                "name", "treatment")
+
+
+class TestDslSnapshot:
+    def test_surgery_dsl_first_lines(self):
+        text = to_dsl(build_surgery_system())
+        lines = text.splitlines()
+        assert lines[0] == "system DoctorsSurgery {"
+        assert "  schema AppointmentSchema {" in lines
+        assert ("    flow 5 Doctor -> EHR fields [name, dob, "
+                "medical_issues, diagnosis, treatment] "
+                "purpose \"record consultation\"") in lines
+        assert lines[-1] == "}"
+
+    def test_dsl_is_stable_across_builds(self):
+        assert to_dsl(build_surgery_system()) == \
+            to_dsl(build_surgery_system())

@@ -1,0 +1,96 @@
+"""Unit tests for consent-change impact analysis."""
+
+import pytest
+
+from repro.casestudies import (
+    MEDICAL_SERVICE,
+    RESEARCH_SERVICE,
+    surgery_patient,
+)
+from repro.core.risk import RiskLevel, analyse_consent_change
+from repro.errors import AnalysisError
+
+
+class TestConsentChange:
+    def test_agreeing_to_research_clears_admin_risk(self,
+                                                    surgery_system):
+        patient = surgery_patient()
+        report = analyse_consent_change(
+            surgery_system, patient, agree=[RESEARCH_SERVICE])
+        assert set(report.newly_allowed_actors) == {
+            "Administrator", "Researcher"}
+        assert report.newly_non_allowed_actors == ()
+        assert report.before_level is RiskLevel.MEDIUM
+        assert report.after_level is RiskLevel.NONE
+        assert not report.risk_increases
+
+    def test_withdrawing_all_consent(self, surgery_system):
+        patient = surgery_patient()
+        report = analyse_consent_change(
+            surgery_system, patient, withdraw=[MEDICAL_SERVICE])
+        assert report.agreed_after == ()
+        assert report.after is None
+        assert report.after_level is RiskLevel.NONE
+        assert set(report.newly_non_allowed_actors) == {
+            "Doctor", "Nurse", "Receptionist"}
+
+    def test_first_consent(self, surgery_system):
+        from repro.consent import UserProfile
+        newcomer = UserProfile("new", sensitivities={"diagnosis": 0.9},
+                               default_sensitivity=0.2)
+        report = analyse_consent_change(
+            surgery_system, newcomer, agree=[MEDICAL_SERVICE])
+        assert report.before is None
+        assert report.before_level is RiskLevel.NONE
+        assert report.after_level is RiskLevel.MEDIUM
+        assert report.risk_increases
+
+    def test_user_object_not_mutated(self, surgery_system):
+        patient = surgery_patient()
+        analyse_consent_change(surgery_system, patient,
+                               agree=[RESEARCH_SERVICE])
+        assert patient.agreed_services == (MEDICAL_SERVICE,)
+
+    def test_switch_to_research_with_stored_data(self, surgery_system):
+        """Withdraw from medical, agree to research, with the EHR
+        already populated from earlier use: the medical staff become
+        non-allowed and their standing EHR access becomes the risk."""
+        patient = surgery_patient()
+        ehr_fields = surgery_system.datastore("EHR").field_names()
+        report = analyse_consent_change(
+            surgery_system, patient, withdraw=[MEDICAL_SERVICE],
+            agree=[RESEARCH_SERVICE],
+            initial_store_contents={"EHR": ehr_fields})
+        assert report.after is not None
+        assert report.after.events
+        assert report.after_level >= RiskLevel.MEDIUM
+        actors = {e.actor for e in report.after.events}
+        assert "Doctor" in actors  # now a non-allowed reader
+
+    def test_stores_do_not_forget_without_initial_contents(
+            self, surgery_system):
+        """Without pre-populated stores, a research-only consent has
+        nothing to read — no events (the data never existed)."""
+        patient = surgery_patient()
+        report = analyse_consent_change(
+            surgery_system, patient, withdraw=[MEDICAL_SERVICE],
+            agree=[RESEARCH_SERVICE])
+        assert report.after is not None
+        assert not report.after.events
+
+    def test_unknown_service_rejected(self, surgery_system):
+        with pytest.raises(Exception, match="Ghost"):
+            analyse_consent_change(surgery_system, surgery_patient(),
+                                   agree=["Ghost"])
+
+    def test_empty_change_rejected(self, surgery_system):
+        with pytest.raises(AnalysisError, match="at least one"):
+            analyse_consent_change(surgery_system, surgery_patient())
+
+    def test_describe(self, surgery_system):
+        report = analyse_consent_change(
+            surgery_system, surgery_patient(),
+            agree=[RESEARCH_SERVICE])
+        text = report.describe()
+        assert "becoming allowed" in text
+        assert "medium -> none" in text

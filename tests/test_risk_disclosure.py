@@ -1,0 +1,169 @@
+"""Unit tests for the unwanted-disclosure analyzer (paper III.A/IV.A)."""
+
+import pytest
+
+from repro.casestudies import (
+    MEDICAL_SERVICE,
+    build_surgery_system,
+    surgery_patient,
+    tighten_administrator_policy,
+)
+from repro.consent import UserProfile
+from repro.core import ActionType, GenerationOptions, TransitionKind
+from repro.core.risk import (
+    DisclosureRiskAnalyzer,
+    LikelihoodModel,
+    RiskLevel,
+    analyse_disclosure,
+)
+from repro.dfd import SystemBuilder
+from repro.errors import AnalysisError
+
+
+class TestCaseStudyA:
+    """Section IV.A verbatim: MEDIUM before, LOW after the ACL change."""
+
+    def test_non_allowed_actors_identified(self, surgery_system, patient):
+        report = analyse_disclosure(surgery_system, patient)
+        assert report.non_allowed_actors == ("Administrator",
+                                             "Researcher")
+        assert report.allowed_actors == ("Doctor", "Nurse",
+                                         "Receptionist")
+
+    def test_administrator_read_is_medium(self, surgery_system, patient):
+        report = analyse_disclosure(surgery_system, patient)
+        assert report.max_level is RiskLevel.MEDIUM
+        admin_events = report.by_actor()["Administrator"]
+        assert all(e.store == "EHR" for e in admin_events)
+        assert any("diagnosis" in e.fields for e in admin_events)
+
+    def test_policy_change_reduces_to_low(self, patient):
+        system = tighten_administrator_policy(build_surgery_system())
+        report = analyse_disclosure(system, patient)
+        assert report.max_level is RiskLevel.LOW
+        for event in report.events:
+            assert "diagnosis" not in event.fields
+
+    def test_medium_event_is_high_impact_low_likelihood(
+            self, surgery_system, patient):
+        report = analyse_disclosure(surgery_system, patient)
+        event = report.events[0]
+        assert event.assessment.impact_category is RiskLevel.HIGH
+        assert event.assessment.likelihood_category is RiskLevel.LOW
+        assert event.assessment.impact == pytest.approx(0.9)
+
+    def test_researcher_generates_no_events(self, surgery_system,
+                                            patient):
+        # AnonEHR is empty during the Medical Service, so the
+        # Researcher has nothing to read.
+        report = analyse_disclosure(surgery_system, patient)
+        assert "Researcher" not in report.by_actor()
+
+    def test_unacceptable_for_low_tolerance_user(self, surgery_system,
+                                                 patient):
+        report = analyse_disclosure(surgery_system, patient)
+        assert report.unacceptable_for(patient)
+        fixed = tighten_administrator_policy(build_surgery_system())
+        assert not analyse_disclosure(fixed, patient) \
+            .unacceptable_for(patient)
+
+
+class TestAnalyzerMechanics:
+    def test_requires_agreed_services(self, surgery_system):
+        user = UserProfile("u")
+        with pytest.raises(AnalysisError, match="agreed"):
+            analyse_disclosure(surgery_system, user)
+
+    def test_transitions_annotated_with_impact(self, surgery_system,
+                                               patient):
+        analyzer = DisclosureRiskAnalyzer(surgery_system)
+        non_allowed = patient.non_allowed_actors(surgery_system)
+        from repro.core import ModelGenerator
+        lts = ModelGenerator(surgery_system).generate(
+            GenerationOptions(
+                services=(MEDICAL_SERVICE,),
+                include_potential_reads=True,
+                potential_read_actors=frozenset(non_allowed)))
+        analyzer.analyse(patient, lts=lts)
+        assert all(t.risk is not None for t in lts.transitions)
+
+    def test_create_gets_impact_only_annotation(self, surgery_system,
+                                                patient):
+        analyzer = DisclosureRiskAnalyzer(surgery_system)
+        report = analyzer.analyse(patient)
+        # risk events are reads only
+        assert all(
+            e.transition.label.action is ActionType.READ
+            for e in report.events
+        )
+
+    def test_events_only_for_non_allowed_readers(self, surgery_system,
+                                                 patient):
+        report = analyse_disclosure(surgery_system, patient)
+        assert all(e.actor in report.non_allowed_actors
+                   for e in report.events)
+
+    def test_custom_likelihood_model_changes_level(self, surgery_system,
+                                                   patient):
+        paranoid = LikelihoodModel([
+            # everything is likely
+            __import__("repro.core.risk", fromlist=["Scenario"])
+            .Scenario("breach", 0.9)
+        ])
+        report = DisclosureRiskAnalyzer(
+            surgery_system, likelihood=paranoid).analyse(patient)
+        assert report.max_level is RiskLevel.HIGH
+
+    def test_impact_measured_against_absolute_state(self):
+        """A second exposure of an equally-sensitive field still has
+        full impact (not zero marginal impact)."""
+        system = (SystemBuilder("s")
+                  .schema("S", [("x", "string", "sensitive")])
+                  .schema("S2", [("x", "string", "sensitive")])
+                  .actor("A").actor("Spy")
+                  .datastore("D1", "S").datastore("D2", "S2")
+                  .service("svc")
+                  .flow(1, "User", "A", ["x"])
+                  .flow(2, "A", "D1", ["x"])
+                  .flow(3, "A", "D2", ["x"])
+                  .allow("A", ["read", "create"], "D1")
+                  .allow("A", ["read", "create"], "D2")
+                  .allow("Spy", "read", "D1")
+                  .allow("Spy", "read", "D2")
+                  .build())
+        user = UserProfile("u", agreed_services=["svc"],
+                           sensitivities={"x": 0.9})
+        report = analyse_disclosure(system, user)
+        # Spy can read x from either store; every such read is a
+        # full-impact event even after the first.
+        assert report.events
+        assert all(
+            e.assessment.impact == pytest.approx(0.9)
+            for e in report.events
+        )
+
+    def test_report_rendering(self, surgery_system, patient):
+        report = analyse_disclosure(surgery_system, patient)
+        table = report.summary_table()
+        assert "MEDIUM" in table
+        assert "Administrator" in table
+
+    def test_report_scenario_breakdown(self, surgery_system, patient):
+        report = analyse_disclosure(surgery_system, patient)
+        names = [n for n, _ in report.events[0].scenario_breakdown]
+        assert "accidental access" in names
+
+    def test_empty_report_rendering(self):
+        from repro.core.risk.report import DisclosureRiskReport
+        report = DisclosureRiskReport("u", [], [], [])
+        assert report.max_level is RiskLevel.NONE
+        assert "-" in report.summary_table()
+
+    def test_events_sorted_by_level_desc(self, surgery_system):
+        user = UserProfile(
+            "u", agreed_services=[MEDICAL_SERVICE],
+            sensitivities={"diagnosis": 0.9, "name": 0.05},
+            default_sensitivity=0.2)
+        report = analyse_disclosure(surgery_system, user)
+        ranks = [e.level.rank for e in report.events]
+        assert ranks == sorted(ranks, reverse=True)

@@ -1,0 +1,200 @@
+"""Unit tests for sensitivity, banding, risk matrix and likelihood."""
+
+import pytest
+
+from repro.core.risk import (
+    Banding,
+    LikelihoodModel,
+    RiskLevel,
+    RiskMatrix,
+    Scenario,
+    SensitivityCategory,
+    SensitivityProfile,
+    accidental_access,
+    categorize,
+    maintenance_deletion,
+    non_agreed_service,
+)
+from repro.errors import AnalysisError
+
+
+class TestSensitivityProfile:
+    def test_sigma_default(self):
+        profile = SensitivityProfile(default=0.3)
+        assert profile.sigma("anything") == pytest.approx(0.3)
+
+    def test_set_accepts_category_string_number(self):
+        profile = SensitivityProfile()
+        profile.set("a", SensitivityCategory.HIGH)
+        profile.set("b", "medium")
+        profile.set("c", 0.42)
+        assert profile.sigma("a") == pytest.approx(0.9)
+        assert profile.sigma("b") == pytest.approx(0.5)
+        assert profile.sigma("c") == pytest.approx(0.42)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SensitivityProfile().set("a", 1.5)
+        with pytest.raises(ValueError):
+            SensitivityProfile(default=-0.1)
+
+    def test_sigma_for_allowed_actor_is_zero(self):
+        """The paper: sigma(d, a) = 0 if the actor is allowed."""
+        profile = SensitivityProfile({"diagnosis": 0.9})
+        assert profile.sigma_for("diagnosis", "Doctor",
+                                 ["Doctor"]) == 0.0
+        assert profile.sigma_for("diagnosis", "Admin",
+                                 ["Doctor"]) == pytest.approx(0.9)
+
+    def test_max_sigma_collection_rule(self):
+        """"A collection ... is only as sensitive as the most sensitive
+        data field"."""
+        profile = SensitivityProfile({"a": 0.2, "b": 0.8})
+        assert profile.max_sigma(["a", "b"]) == pytest.approx(0.8)
+        assert profile.max_sigma([]) == 0.0
+
+    def test_category_roundtrip(self):
+        profile = SensitivityProfile({"a": 0.9})
+        assert profile.category("a") is SensitivityCategory.HIGH
+
+    def test_categorize_bands(self):
+        assert categorize(0.1) is SensitivityCategory.LOW
+        assert categorize(0.5) is SensitivityCategory.MEDIUM
+        assert categorize(0.9) is SensitivityCategory.HIGH
+        with pytest.raises(ValueError):
+            categorize(1.5)
+
+
+class TestRiskLevel:
+    def test_ordering(self):
+        assert RiskLevel.NONE < RiskLevel.LOW < RiskLevel.MEDIUM < \
+            RiskLevel.HIGH
+        assert max([RiskLevel.LOW, RiskLevel.HIGH]) is RiskLevel.HIGH
+
+    def test_from_name(self):
+        assert RiskLevel.from_name("Medium") is RiskLevel.MEDIUM
+        assert RiskLevel.from_name(RiskLevel.LOW) is RiskLevel.LOW
+        with pytest.raises(ValueError):
+            RiskLevel.from_name("severe")
+
+
+class TestBanding:
+    def test_boundaries_inclusive(self):
+        banding = Banding(0.1, 0.5)
+        assert banding.categorize(0.0) is RiskLevel.NONE
+        assert banding.categorize(0.1) is RiskLevel.LOW
+        assert banding.categorize(0.5) is RiskLevel.MEDIUM
+        assert banding.categorize(0.51) is RiskLevel.HIGH
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            Banding(0.5, 0.5)
+        with pytest.raises(ValueError):
+            Banding(0.0, 0.5)
+
+    def test_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            Banding(0.1, 0.5).categorize(2.0)
+
+
+class TestRiskMatrix:
+    def test_example_matrix_paper_cells(self):
+        matrix = RiskMatrix.example()
+        assert matrix.level(RiskLevel.HIGH, RiskLevel.LOW) is \
+            RiskLevel.MEDIUM  # the IV.A Administrator event
+        assert matrix.level(RiskLevel.LOW, RiskLevel.LOW) is \
+            RiskLevel.LOW   # after the policy fix
+        assert matrix.level(RiskLevel.HIGH, RiskLevel.HIGH) is \
+            RiskLevel.HIGH
+
+    def test_none_axis_short_circuits(self):
+        matrix = RiskMatrix.example()
+        assert matrix.level(RiskLevel.NONE, RiskLevel.HIGH) is \
+            RiskLevel.NONE
+        assert matrix.level(RiskLevel.HIGH, RiskLevel.NONE) is \
+            RiskLevel.NONE
+
+    def test_assess_bands_and_looks_up(self):
+        assessment = RiskMatrix.example().assess(0.9, 0.09)
+        assert assessment.impact_category is RiskLevel.HIGH
+        assert assessment.likelihood_category is RiskLevel.LOW
+        assert assessment.level is RiskLevel.MEDIUM
+
+    def test_missing_cell_raises(self):
+        matrix = RiskMatrix({(RiskLevel.LOW, RiskLevel.LOW):
+                             RiskLevel.LOW})
+        with pytest.raises(AnalysisError, match="no entry"):
+            matrix.level(RiskLevel.HIGH, RiskLevel.HIGH)
+
+    def test_table_accepts_names(self):
+        matrix = RiskMatrix({("low", "low"): "medium"})
+        assert matrix.level(RiskLevel.LOW, RiskLevel.LOW) is \
+            RiskLevel.MEDIUM
+
+
+class TestScenario:
+    def test_matchers(self):
+        scenario = Scenario("s", 0.1, actors=frozenset({"A"}),
+                            stores=frozenset({"D"}),
+                            fields=frozenset({"x"}))
+        assert scenario.applies("A", "D", ["x", "y"])
+        assert not scenario.applies("B", "D", ["x"])
+        assert not scenario.applies("A", "E", ["x"])
+        assert not scenario.applies("A", "D", ["y"])
+        assert not scenario.applies("A", None, ["x"])
+
+    def test_none_matchers_match_everything(self):
+        scenario = Scenario("s", 0.1)
+        assert scenario.applies("anyone", None, ["whatever"])
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError):
+            Scenario("s", 1.5)
+
+
+class TestLikelihoodModel:
+    def test_paper_sum_combination(self):
+        """"The resulting probability will be the sum"."""
+        model = LikelihoodModel([
+            accidental_access(0.04),
+            maintenance_deletion(0.02),
+            non_agreed_service(0.03),
+        ])
+        assert model.probability("A", "D", ["x"]) == pytest.approx(0.09)
+
+    def test_sum_capped_at_one(self):
+        model = LikelihoodModel([Scenario("a", 0.7), Scenario("b", 0.7)])
+        assert model.probability("A", "D", ["x"]) == 1.0
+
+    def test_noisy_or(self):
+        model = LikelihoodModel(
+            [Scenario("a", 0.5), Scenario("b", 0.5)], combine="noisy-or")
+        assert model.probability("A", "D", ["x"]) == pytest.approx(0.75)
+
+    def test_no_applicable_scenario_gives_zero(self):
+        model = LikelihoodModel([
+            Scenario("a", 0.5, actors=frozenset({"OnlyHer"}))])
+        assert model.probability("A", "D", ["x"]) == 0.0
+
+    def test_breakdown(self):
+        model = LikelihoodModel.example()
+        names = [name for name, _ in model.breakdown("A", "D", ["x"])]
+        assert "accidental access" in names
+        assert len(names) == 3
+
+    def test_example_lands_in_low_band(self):
+        """Keeps the IV.A reproduction honest: example likelihood must
+        band LOW under the default banding."""
+        from repro.core.risk import DEFAULT_LIKELIHOOD_BANDING
+        probability = LikelihoodModel.example().probability(
+            "Administrator", "EHR", ["diagnosis"])
+        assert DEFAULT_LIKELIHOOD_BANDING.categorize(probability) is \
+            RiskLevel.LOW
+
+    def test_invalid_combine(self):
+        with pytest.raises(ValueError):
+            LikelihoodModel(combine="average")
+
+    def test_add_fluent(self):
+        model = LikelihoodModel().add(Scenario("s", 0.1))
+        assert len(model.scenarios) == 1

@@ -1,0 +1,143 @@
+"""Unit tests for the value-risk engine (paper III.B, Table I)."""
+
+import pytest
+
+from repro.casestudies import table1_records
+from repro.core.risk import (
+    ValueRiskPolicy,
+    render_risk_table,
+    risk_sweep,
+    value_risk,
+)
+from repro.datastore import make_records
+from repro.errors import PolicyViolationError
+
+
+@pytest.fixture
+def policy():
+    return ValueRiskPolicy(sensitive_field="weight", closeness=5.0,
+                           confidence=0.9)
+
+
+class TestPolicy:
+    def test_values_match_numeric_closeness(self, policy):
+        assert policy.values_match(100, 102)
+        assert policy.values_match(100, 105)
+        assert not policy.values_match(100, 106)
+
+    def test_values_match_non_numeric_equality(self, policy):
+        assert policy.values_match("flu", "flu")
+        assert not policy.values_match("flu", "cold")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ValueRiskPolicy("w", closeness=-1)
+        with pytest.raises(ValueError):
+            ValueRiskPolicy("w", confidence=0.0)
+        with pytest.raises(ValueError):
+            ValueRiskPolicy("w", max_violation_fraction=2.0)
+
+
+class TestTable1Exact:
+    """The six records and three columns of the paper's Table I."""
+
+    def test_height_column(self, table1, policy):
+        result = value_risk(table1, ["height"], policy)
+        assert [r.fraction for r in result.per_record] == \
+            ["2/4", "2/4", "2/4", "2/4", "1/2", "1/2"]
+        assert result.violations == 0
+
+    def test_age_column(self, table1, policy):
+        result = value_risk(table1, ["age"], policy)
+        assert [r.fraction for r in result.per_record] == \
+            ["2/2", "2/2", "3/4", "3/4", "1/4", "3/4"]
+        assert result.violations == 2
+
+    def test_age_height_column(self, table1, policy):
+        result = value_risk(table1, ["age", "height"], policy)
+        assert [r.fraction for r in result.per_record] == \
+            ["2/2", "2/2", "2/2", "2/2", "1/2", "1/2"]
+        assert result.violations == 4
+
+    def test_violations_monotone_in_fields_read(self, table1, policy):
+        results = risk_sweep(table1, [["height"], ["age"],
+                                      ["age", "height"]], policy)
+        assert [r.violations for r in results] == [0, 2, 4]
+
+    def test_render_matches_table_layout(self, table1, policy):
+        results = risk_sweep(table1, [["height"], ["age"],
+                                      ["age", "height"]], policy)
+        text = render_risk_table(table1, ["age", "height", "weight"],
+                                 results)
+        assert "30-40" in text and "180-200" in text
+        assert "2/4" in text and "3/4" in text
+        assert "Violations:" in text
+        last_line = text.splitlines()[-1]
+        assert "0" in last_line and "2" in last_line and "4" in last_line
+
+
+class TestScoringSemantics:
+    def test_empty_fields_read_uses_whole_set(self, policy):
+        records = make_records([
+            {"weight": 100}, {"weight": 102}, {"weight": 150},
+        ])
+        result = value_risk(records, [], policy)
+        assert [r.fraction for r in result.per_record] == \
+            ["2/3", "2/3", "1/3"]
+
+    def test_risk_bounds(self, table1, policy):
+        for result in risk_sweep(table1, [["age"], ["height"]], policy):
+            for record_risk in result.per_record:
+                assert 0 < record_risk.risk <= 1
+                assert record_risk.frequency >= 1  # self always matches
+
+    def test_violation_threshold_is_inclusive(self):
+        policy = ValueRiskPolicy("w", closeness=0, confidence=0.5)
+        records = make_records([
+            {"q": 1, "w": 7}, {"q": 1, "w": 7},
+            {"q": 1, "w": 8}, {"q": 1, "w": 9},
+        ])
+        result = value_risk(records, ["q"], policy)
+        # w=7 risk = 2/4 = 0.5 -> violated at confidence 0.5
+        violated = [r for r in result.per_record if r.violated]
+        assert len(violated) == 2
+
+    def test_violation_fraction_and_max_risk(self, table1, policy):
+        result = value_risk(table1, ["age"], policy)
+        assert result.violation_fraction == pytest.approx(2 / 6)
+        assert result.max_risk == 1.0
+
+    def test_empty_records(self, policy):
+        result = value_risk([], ["age"], policy)
+        assert result.violations == 0
+        assert result.violation_fraction == 0.0
+        assert result.max_risk == 0.0
+
+
+class TestEnforcement:
+    def test_paper_design_gate(self, table1):
+        """IV.B: "a system designer could declare that a number of
+        violations above 50% is unacceptable. The system would now
+        throw an error if the above data was used"."""
+        policy = ValueRiskPolicy("weight", closeness=5.0, confidence=0.9,
+                                 max_violation_fraction=0.5)
+        result = value_risk(table1, ["age", "height"], policy)
+        assert result.violation_fraction > 0.5
+        with pytest.raises(PolicyViolationError, match="another form"):
+            result.enforce()
+
+    def test_under_threshold_passes(self, table1):
+        policy = ValueRiskPolicy("weight", closeness=5.0, confidence=0.9,
+                                 max_violation_fraction=0.5)
+        value_risk(table1, ["height"], policy).enforce()
+
+    def test_no_threshold_never_raises(self, table1, policy):
+        value_risk(table1, ["age", "height"], policy).enforce()
+
+    def test_error_carries_violated_records(self, table1):
+        policy = ValueRiskPolicy("weight", closeness=5.0, confidence=0.9,
+                                 max_violation_fraction=0.1)
+        result = value_risk(table1, ["age"], policy)
+        with pytest.raises(PolicyViolationError) as excinfo:
+            result.enforce()
+        assert len(excinfo.value.violations) == 2

@@ -1,0 +1,177 @@
+"""Unit tests for repro.schema: fields, kinds and schema containers."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    DataSchema,
+    Field,
+    FieldKind,
+    FieldType,
+    anon_name,
+    is_anon_name,
+    original_name,
+    schema_from_names,
+)
+
+
+class TestFieldType:
+    def test_from_name_accepts_all_members(self):
+        for member in FieldType:
+            assert FieldType.from_name(member.value) is member
+
+    def test_from_name_is_case_insensitive(self):
+        assert FieldType.from_name("STRING") is FieldType.STRING
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown field type"):
+            FieldType.from_name("blob")
+
+
+class TestFieldKind:
+    def test_aliases(self):
+        assert FieldKind.from_name("id") is FieldKind.IDENTIFIER
+        assert FieldKind.from_name("quasi") is FieldKind.QUASI_IDENTIFIER
+        assert FieldKind.from_name("quasi-identifier") is \
+            FieldKind.QUASI_IDENTIFIER
+        assert FieldKind.from_name("sensitive") is FieldKind.SENSITIVE
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown field kind"):
+            FieldKind.from_name("secretive")
+
+
+class TestField:
+    def test_defaults(self):
+        field = Field("age")
+        assert field.ftype is FieldType.STRING
+        assert field.kind is FieldKind.REGULAR
+        assert not field.is_anonymised
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Field("")
+
+    def test_rejects_bad_characters(self):
+        with pytest.raises(ValueError, match="alphanumeric"):
+            Field("a b")
+
+    def test_kind_predicates(self):
+        assert Field("w", kind=FieldKind.SENSITIVE).is_sensitive
+        assert Field("a", kind=FieldKind.QUASI_IDENTIFIER).is_quasi_identifier
+        assert Field("n", kind=FieldKind.IDENTIFIER).is_identifier
+
+    def test_anonymised_variant(self):
+        weight = Field("weight", FieldType.FLOAT, FieldKind.SENSITIVE)
+        variant = weight.anonymised()
+        assert variant.name == "weight_anon"
+        assert variant.anonymised_of == "weight"
+        assert variant.kind is FieldKind.SENSITIVE
+        assert variant.is_anonymised
+
+    def test_anonymised_variant_of_variant_rejected(self):
+        variant = Field("weight").anonymised()
+        with pytest.raises(ValueError, match="already"):
+            variant.anonymised()
+
+
+class TestNameHelpers:
+    def test_anon_name_roundtrip(self):
+        assert anon_name("weight") == "weight_anon"
+        assert is_anon_name("weight_anon")
+        assert not is_anon_name("weight")
+        assert original_name("weight_anon") == "weight"
+        assert original_name("weight") == "weight"
+
+
+class TestDataSchema:
+    def test_iteration_order_is_declaration_order(self):
+        schema = DataSchema("S", [Field("b"), Field("a")])
+        assert schema.names() == ("b", "a")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            DataSchema("S", [Field("a"), Field("a")])
+
+    def test_anonymised_of_must_reference_existing(self):
+        with pytest.raises(SchemaError, match="unknown original"):
+            DataSchema("S", [Field("a_anon", anonymised_of="a")])
+
+    def test_anonymised_of_after_original_ok(self):
+        schema = DataSchema("S", [Field("a"),
+                                  Field("a_anon", anonymised_of="a")])
+        assert schema.anonymised_fields()[0].name == "a_anon"
+
+    def test_field_lookup_error_lists_fields(self):
+        schema = DataSchema("S", [Field("a")])
+        with pytest.raises(SchemaError, match="fields: a"):
+            schema.field("b")
+
+    def test_contains_and_len(self):
+        schema = DataSchema("S", [Field("a"), Field("b")])
+        assert "a" in schema
+        assert "z" not in schema
+        assert len(schema) == 2
+
+    def test_with_field_returns_new_schema(self):
+        original = DataSchema("S", [Field("a")])
+        extended = original.with_field(Field("b"))
+        assert "b" in extended
+        assert "b" not in original
+
+    def test_renamed(self):
+        schema = DataSchema("S", [Field("a")]).renamed("T")
+        assert schema.name == "T"
+        assert "a" in schema
+
+    def test_kind_queries(self):
+        schema = DataSchema("S", [
+            Field("n", kind=FieldKind.IDENTIFIER),
+            Field("a", kind=FieldKind.QUASI_IDENTIFIER),
+            Field("w", kind=FieldKind.SENSITIVE),
+            Field("x"),
+        ])
+        assert [f.name for f in schema.identifiers()] == ["n"]
+        assert [f.name for f in schema.quasi_identifiers()] == ["a"]
+        assert [f.name for f in schema.sensitive_fields()] == ["w"]
+
+    def test_anonymised_view_default_all_fields(self):
+        schema = DataSchema("S", [Field("a"), Field("b")])
+        view = schema.anonymised_view()
+        assert view.name == "S_anon"
+        assert view.names() == ("a_anon", "b_anon")
+        assert view.field("a_anon").anonymised_of == "a"
+
+    def test_anonymised_view_subset_and_name(self):
+        schema = DataSchema("S", [Field("a"), Field("b")])
+        view = schema.anonymised_view(["b"], name="V")
+        assert view.names() == ("b_anon",)
+        assert view.name == "V"
+
+    def test_anonymised_view_keeps_kind(self):
+        schema = DataSchema("S", [Field("w", kind=FieldKind.SENSITIVE)])
+        view = schema.anonymised_view()
+        assert view.field("w_anon").kind is FieldKind.SENSITIVE
+
+    def test_validate_fields(self):
+        schema = DataSchema("S", [Field("a")])
+        schema.validate_fields(["a"], "ctx")
+        with pytest.raises(SchemaError, match="ctx"):
+            schema.validate_fields(["a", "z"], "ctx")
+
+    def test_equality_and_hash(self):
+        first = DataSchema("S", [Field("a")])
+        second = DataSchema("S", [Field("a")])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != DataSchema("S", [Field("b")])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            DataSchema("")
+
+    def test_schema_from_names(self):
+        schema = schema_from_names("S", ["a", "b"],
+                                   kind=FieldKind.QUASI_IDENTIFIER)
+        assert schema.names() == ("a", "b")
+        assert all(f.kind is FieldKind.QUASI_IDENTIFIER for f in schema)

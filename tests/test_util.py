@@ -1,0 +1,70 @@
+"""Unit tests for the shared helpers in repro._util."""
+
+import pytest
+
+from repro._util import (
+    ascii_table,
+    check_mapping_keys,
+    fmt_fields,
+    fmt_fraction,
+    freeze_fields,
+    unique_ordered,
+)
+
+
+class TestUniqueOrdered:
+    def test_preserves_first_seen_order(self):
+        assert unique_ordered([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_empty(self):
+        assert unique_ordered([]) == []
+
+    def test_strings(self):
+        assert unique_ordered(["b", "a", "b"]) == ["b", "a"]
+
+
+class TestFreezeFields:
+    def test_returns_tuple(self):
+        assert freeze_fields(["a", "b", "a"]) == ("a", "b")
+
+    def test_accepts_generator(self):
+        assert freeze_fields(c for c in "aba") == ("a", "b")
+
+
+class TestFormatting:
+    def test_fraction(self):
+        assert fmt_fraction(2, 4) == "2/4"
+
+    def test_fields(self):
+        assert fmt_fields(("a", "b")) == "{a, b}"
+
+    def test_fields_empty(self):
+        assert fmt_fields(()) == "{}"
+
+
+class TestAsciiTable:
+    def test_basic_shape(self):
+        text = ascii_table(("x", "y"), [(1, 2), (30, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "x" in lines[0] and "y" in lines[0]
+        assert "30" in lines[3]
+
+    def test_footer_separated_by_rule(self):
+        text = ascii_table(("x",), [(1,)], footer=("total",))
+        lines = text.splitlines()
+        assert lines[-2].startswith("-")
+        assert "total" in lines[-1]
+
+    def test_column_width_accommodates_header(self):
+        text = ascii_table(("long_header",), [("x",)])
+        assert "long_header" in text.splitlines()[0]
+
+
+class TestCheckMappingKeys:
+    def test_accepts_subset(self):
+        check_mapping_keys({"a": 1}, ["a", "b"], "ctx")
+
+    def test_rejects_extra(self):
+        with pytest.raises(ValueError, match="ctx"):
+            check_mapping_keys({"z": 1}, ["a"], "ctx")
