@@ -1,0 +1,125 @@
+"""Batch engine — cold vs. cached fleet assessment throughput.
+
+Not a paper table: this bench quantifies the engine layer the ROADMAP
+asks for. A fleet of generated scenarios is assessed three ways — cold
+(every LTS generated), memo-warm (LTSs reused across users of a model)
+and result-warm (everything served from the result cache) — and the
+cached runs must beat the cold one by a wide margin (the acceptance
+bar is 2x; in practice result-cache hits are orders of magnitude
+cheaper than analysis).
+
+Run under pytest-benchmark for timings, or standalone for the CI smoke
+check::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.engine import (
+    BatchEngine,
+    FleetReport,
+    ScenarioGenerator,
+    scenario_jobs,
+)
+
+FLEET_SCENARIOS = 16
+
+
+def _fleet_jobs(count=FLEET_SCENARIOS, seed=11):
+    return scenario_jobs(ScenarioGenerator(seed=seed).generate(count))
+
+
+def _cold_run(jobs):
+    """A fresh engine: nothing memoised, nothing cached."""
+    return BatchEngine(backend="serial").run(jobs)
+
+
+def test_cold_fleet_assessment(benchmark):
+    jobs = _fleet_jobs()
+    batch = benchmark(_cold_run, jobs)
+    assert batch.stats.executed == len(jobs)
+    assert batch.stats.lts_generations > 0
+    benchmark.extra_info["jobs"] = len(jobs)
+    benchmark.extra_info["lts_generations"] = batch.stats.lts_generations
+
+
+def test_result_cached_fleet_assessment(benchmark):
+    jobs = _fleet_jobs()
+    engine = BatchEngine(backend="serial")
+    engine.run(jobs)                      # warm the result cache
+    batch = benchmark(engine.run, jobs)
+    assert batch.stats.result_hits == len(jobs)
+    assert batch.stats.lts_generations == 0
+    benchmark.extra_info["hit_rate"] = \
+        engine.result_cache.stats.hit_rate
+
+
+def test_thread_backend_fleet_assessment(benchmark):
+    jobs = _fleet_jobs()
+    batch = benchmark(
+        lambda: BatchEngine(backend="thread", workers=4).run(jobs))
+    assert batch.stats.executed == len(jobs)
+
+
+def test_cached_run_at_least_2x_faster():
+    """The acceptance bar: warm disk cache >= 2x over cold, zero LTS
+    generations."""
+    ratio, cold_batch, warm_batch = _measure_speedup(FLEET_SCENARIOS)
+    assert warm_batch.stats.lts_generations == 0
+    assert [r.signature() for r in cold_batch.results] == \
+        [r.signature() for r in warm_batch.results]
+    assert ratio >= 2.0, (
+        f"cached run only {ratio:.1f}x faster than cold")
+
+
+def _measure_speedup(count, seed=11):
+    """(cold / warm) wall-time ratio through a shared disk cache."""
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_engine = BatchEngine(backend="serial", cache_dir=cache_dir)
+        started = time.perf_counter()
+        cold_batch = cold_engine.run(_fleet_jobs(count, seed))
+        cold_time = time.perf_counter() - started
+
+        warm_engine = BatchEngine(backend="serial", cache_dir=cache_dir)
+        started = time.perf_counter()
+        warm_batch = warm_engine.run(_fleet_jobs(count, seed))
+        warm_time = time.perf_counter() - started
+    return cold_time / max(warm_time, 1e-9), cold_batch, warm_batch
+
+
+def _quick_smoke() -> int:
+    """Standalone CI smoke: sweep, re-sweep warm, check the bar."""
+    count = 30
+    ratio, cold_batch, warm_batch = _measure_speedup(count)
+    report = FleetReport(cold_batch.results, cold_batch.stats)
+    print(report.summary_table())
+    print(f"cold: {cold_batch.stats.describe()}")
+    print(f"warm: {warm_batch.stats.describe()}")
+    print(f"cached speedup: {ratio:.1f}x")
+    failures = []
+    if warm_batch.stats.lts_generations != 0:
+        failures.append("warm run regenerated LTSs")
+    if warm_batch.stats.result_hits != len(warm_batch.results):
+        failures.append("warm run missed the result cache")
+    if ratio < 2.0:
+        failures.append(f"speedup {ratio:.1f}x below the 2x bar")
+    if [r.signature() for r in cold_batch.results] != \
+            [r.signature() for r in warm_batch.results]:
+        failures.append("cold and warm results disagree")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("engine bench smoke:", "FAIL" if failures else "OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv:
+        sys.exit(_quick_smoke())
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,75 @@
+# The Fig. 1 doctors'-surgery model (Grace et al., ICDCS 2018, IV.A).
+#
+# Five actors handle six personal data fields across two services:
+# the Medical Service books appointments and records consultations in
+# the EHR; the Medical Research Service pseudonymises EHR records into
+# AnonEHR for the researcher. The Administrator's broad EHR read grant
+# is what surfaces as the MEDIUM unwanted-disclosure risk of IV.A.
+#
+# Shipped artifact: parses with `repro validate` and round-trips equal
+# (modulo descriptions, which these comments replace) to
+# repro.casestudies.build_surgery_system().
+
+system DoctorsSurgery {
+
+  schema AppointmentSchema {
+    field name: string kind identifier
+    field dob: date kind quasi
+    field appointment: string
+  }
+
+  schema EHRSchema {
+    field name: string kind identifier
+    field dob: date kind quasi
+    field medical_issues: string kind sensitive
+    field diagnosis: string kind sensitive
+    field treatment: string kind sensitive
+  }
+
+  schema AnonEHRSchema {
+    field dob_anon: date kind quasi anonymises dob desc "pseudonymised variant of dob"
+    field medical_issues_anon: string kind sensitive anonymises medical_issues desc "pseudonymised variant of medical_issues"
+    field diagnosis_anon: string kind sensitive anonymises diagnosis desc "pseudonymised variant of diagnosis"
+    field treatment_anon: string kind sensitive anonymises treatment desc "pseudonymised variant of treatment"
+  }
+
+  role admin_staff
+  role clinician
+  role it_staff
+  role research_staff
+
+  actor Receptionist role admin_staff originates [appointment]
+  actor Doctor role clinician originates [diagnosis, treatment]
+  actor Nurse role clinician
+  actor Administrator role it_staff
+  actor Researcher role research_staff
+
+  datastore Appointments schema AppointmentSchema
+  datastore EHR schema EHRSchema
+  anonymised datastore AnonEHR schema AnonEHRSchema
+
+  service MedicalService desc "book an appointment, consult, treat" {
+    flow 1 User -> Receptionist fields [name, dob] purpose "book appointment"
+    flow 2 Receptionist -> Appointments fields [name, dob, appointment] purpose "store appointment"
+    flow 3 Appointments -> Doctor fields [name, dob, appointment] purpose "consultation schedule"
+    flow 4 User -> Doctor fields [medical_issues] purpose "consultation"
+    flow 5 Doctor -> EHR fields [name, dob, medical_issues, diagnosis, treatment] purpose "record consultation"
+    flow 6 EHR -> Nurse fields [name, treatment] purpose "administer treatment"
+  }
+
+  service MedicalResearchService desc "anonymise records for medical research" {
+    flow 1 EHR -> Administrator fields [dob, medical_issues, diagnosis, treatment] purpose "prepare research dataset"
+    flow 2 Administrator -> AnonEHR fields [dob, medical_issues, diagnosis, treatment] purpose "pseudonymise records"
+    flow 3 AnonEHR -> Researcher fields [dob_anon, medical_issues_anon, diagnosis_anon, treatment_anon] purpose "research analysis"
+  }
+
+  acl {
+    allow Receptionist create, read on Appointments
+    allow Doctor read on Appointments
+    allow Doctor create, read on EHR
+    allow Nurse read on EHR fields [name, treatment]
+    allow Administrator delete, read on EHR
+    allow Administrator create on AnonEHR
+    allow Researcher read on AnonEHR
+  }
+}

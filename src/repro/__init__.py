@@ -15,7 +15,18 @@ Services: A Model-Driven Approach"* (Grace et al., ICDCS 2018):
    substrate (:mod:`repro.anonymize`);
 4. keep analysing at **runtime**: execute services over policy-enforced
    datastores and track the LTS live (:mod:`repro.monitor`,
-   :mod:`repro.datastore`).
+   :mod:`repro.datastore`);
+5. assess **fleets of models at scale** with the batch engine
+   (:mod:`repro.engine`): content-fingerprinted jobs, memoised LTSs
+   and reports in pluggable caches (in-memory LRU over an on-disk
+   store), serial/thread/process worker pools with deterministic
+   ordering, a seed-deterministic scenario generator and fleet-level
+   aggregation. Entry points:
+   :class:`~repro.engine.runner.BatchEngine` (``run(jobs)``),
+   :class:`~repro.engine.scenarios.ScenarioGenerator`
+   (``generate(count)`` + :func:`~repro.engine.scenarios.scenario_jobs`),
+   :class:`~repro.engine.aggregate.FleetReport`, and the CLI
+   ``repro engine run|sweep``.
 
 Quickstart::
 

@@ -18,6 +18,13 @@ from .loyalty import (
     build_loyalty_system,
     loyalty_member,
 )
+from .synthetic import (
+    INTAKE_SERVICE,
+    PROCESSING_SERVICE,
+    RELEASE_SERVICE,
+    build_scaled_system,
+    scaled_field_names,
+)
 from .healthcare import (
     MEDICAL_SERVICE,
     RESEARCH_SERVICE,
@@ -44,6 +51,11 @@ __all__ = [
     "OFFERS_SERVICE",
     "build_loyalty_system",
     "loyalty_member",
+    "INTAKE_SERVICE",
+    "PROCESSING_SERVICE",
+    "RELEASE_SERVICE",
+    "build_scaled_system",
+    "scaled_field_names",
     "MEDICAL_SERVICE",
     "RESEARCH_SERVICE",
     "SURGERY_ACTORS",

@@ -1,0 +1,140 @@
+"""Parametrically scaled system models for engine workloads.
+
+The paper's two case studies are fixed-size; the batch engine needs
+*fleets* of structurally varied models. :func:`build_scaled_system`
+produces a clinic-shaped system whose actor, field and store counts are
+dials, with optional pseudonymised release — the same archetype as
+Fig. 1 (collect -> store -> staff reads -> pseudonymised research
+release) at any size. Construction is purely parameter-driven and
+deterministic, so a (actors, fields, stores, pseudonymise) tuple always
+yields the identical model — a requirement for content-addressed
+caching of analysis results.
+
+An ``Auditor`` actor always carries a policy-only read grant on the
+primary store (no flow prescribes it), so unwanted-disclosure analysis
+finds potential-read risk events at every size, mirroring the
+Administrator of IV.A.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..dfd import SystemBuilder, SystemModel
+
+INTAKE_SERVICE = "Intake"
+PROCESSING_SERVICE = "Processing"
+RELEASE_SERVICE = "Release"
+
+_KIND_CYCLE = ("quasi", "sensitive", "regular")
+
+
+def scaled_field_names(fields: int) -> Tuple[str, ...]:
+    """The field names of a :func:`build_scaled_system` model."""
+    return ("subject_id",) + tuple(f"attr{i}" for i in range(1, fields))
+
+
+def build_scaled_system(actors: int = 3, fields: int = 4,
+                        stores: int = 1, pseudonymise: bool = False,
+                        name: Optional[str] = None) -> SystemModel:
+    """Build a clinic-shaped model of the requested size.
+
+    Parameters
+    ----------
+    actors:
+        Staff actors (>= 2): a collecting ``Clerk`` plus readers
+        ``Staff1``..; an out-of-flow ``Auditor`` (and, when
+        pseudonymising, ``Officer`` and ``Researcher``) come on top.
+    fields:
+        Personal data fields (>= 2): an identifying ``subject_id``
+        plus ``attr1``.. cycling quasi / sensitive / regular kinds.
+    stores:
+        Datastores (>= 1); collected fields are partitioned across
+        them round-robin (the identifier goes to every store).
+    pseudonymise:
+        Add an anonymised release store, an ``Officer`` who
+        pseudonymises the primary store's sensitive content and a
+        ``Researcher`` reading the release.
+    """
+    if actors < 2:
+        raise ValueError(f"actors must be >= 2, got {actors}")
+    if fields < 2:
+        raise ValueError(f"fields must be >= 2, got {fields}")
+    if stores < 1:
+        raise ValueError(f"stores must be >= 1, got {stores}")
+    if name is None:
+        name = (f"Scaled-a{actors}-f{fields}-s{stores}"
+                f"{'-anon' if pseudonymise else ''}")
+
+    field_names = scaled_field_names(fields)
+    specs = [("subject_id", "string", "identifier")]
+    for index, field_name in enumerate(field_names[1:]):
+        specs.append((field_name, "string",
+                      _KIND_CYCLE[index % len(_KIND_CYCLE)]))
+
+    # Round-robin partition of the non-identifier fields; every store
+    # also keeps the identifier so its records stay linkable.
+    partitions: List[List[str]] = [["subject_id"] for _ in range(stores)]
+    for index, field_name in enumerate(field_names[1:]):
+        partitions[index % stores].append(field_name)
+
+    builder = (
+        SystemBuilder(name)
+        .schema("RecordSchema", specs)
+        .actor("Clerk", role="admin_staff")
+        .actor("Auditor", role="it_staff")
+    )
+    staff = [f"Staff{i}" for i in range(1, actors)]
+    for staff_name in staff:
+        builder.actor(staff_name, role="clinician")
+    for index in range(stores):
+        builder.datastore(f"Store{index}", "RecordSchema")
+
+    builder.service(INTAKE_SERVICE,
+                    description="collect and shard the record")
+    builder.flow(1, "User", "Clerk", list(field_names),
+                 purpose="register subject")
+    for index, partition in enumerate(partitions):
+        builder.flow(index + 2, "Clerk", f"Store{index}", partition,
+                     purpose="persist shard")
+
+    builder.service(PROCESSING_SERVICE,
+                    description="staff work over the shards")
+    for order, staff_name in enumerate(staff, start=1):
+        store_index = (order - 1) % stores
+        builder.flow(order, f"Store{store_index}", staff_name,
+                     partitions[store_index], purpose="process shard")
+
+    for index, partition in enumerate(partitions):
+        builder.allow("Clerk", ["create", "read"], f"Store{index}")
+    for order, staff_name in enumerate(staff, start=1):
+        store_index = (order - 1) % stores
+        builder.allow(staff_name, "read", f"Store{store_index}",
+                      partitions[store_index])
+    # The IV.A-style exposure: a grant no agreed flow ever exercises.
+    builder.allow("Auditor", "read", "Store0")
+
+    if pseudonymise:
+        release_fields = [f for f in partitions[0] if f != "subject_id"]
+        if not release_fields:
+            release_fields = list(field_names[1:2])
+        builder.anonymised_schema("AnonRecordSchema", "RecordSchema",
+                                  release_fields)
+        builder.actor("Officer", role="it_staff")
+        builder.actor("Researcher", role="research_staff")
+        builder.datastore("AnonStore", "AnonRecordSchema",
+                          anonymised=True)
+        builder.service(RELEASE_SERVICE,
+                        description="pseudonymised research release")
+        builder.flow(1, "Store0", "Officer", release_fields,
+                     purpose="prepare release")
+        builder.flow(2, "Officer", "AnonStore", release_fields,
+                     purpose="pseudonymise")
+        builder.flow(3, "AnonStore", "Researcher",
+                     [f"{f}_anon" for f in release_fields],
+                     purpose="research analysis")
+        builder.allow("Officer", "read", "Store0", release_fields)
+        builder.allow("Officer", "create", "AnonStore")
+        builder.allow("Researcher", "read", "AnonStore")
+
+    return builder.build()

@@ -10,7 +10,11 @@ Subcommands mirror the method's steps over a DSL model file:
 - ``repro analyse model.dsl --agree Svc --sensitivity f=high`` —
   per-user unwanted-disclosure analysis (Step 3, §III.A);
 - ``repro identify model.dsl`` — who can identify what;
-- ``repro export model.dsl -o lts.json`` — the generated LTS as JSON.
+- ``repro export model.dsl -o lts.json`` — the generated LTS as JSON;
+- ``repro engine run m1.dsl m2.dsl --agree Svc`` — batch-analyse many
+  models through the cache-aware engine;
+- ``repro engine sweep --count 50`` — generate a scenario fleet and
+  roll the results into a fleet report.
 
 Exit codes: 0 success, 1 findings (validation errors / risk at or
 above ``--fail-at``), 2 usage or input errors.
@@ -144,6 +148,57 @@ def _cmd_analyse(args) -> int:
     return 0
 
 
+def _cmd_engine_run(args) -> int:
+    from .engine import AnalysisJob, BatchEngine, FleetReport
+    user = UserProfile(
+        args.user,
+        agreed_services=args.agree,
+        sensitivities=_parse_sensitivities(args.sensitivity),
+        default_sensitivity=args.default_sensitivity,
+        acceptable_risk=args.acceptable,
+    )
+    jobs = [
+        AnalysisJob(system=_load_model(path), user=user,
+                    scenario=path, family="cli", variant="run")
+        for path in args.models
+    ]
+    engine = BatchEngine(backend=args.backend, workers=args.workers,
+                         cache_dir=args.cache_dir)
+    batch = engine.run(jobs)
+    for result in batch.results:
+        cached = " (cached)" if result.from_cache else ""
+        print(f"{result.scenario}: max risk "
+              f"{result.max_level}{cached} — "
+              f"{len(result.events)} event(s), {result.states} states")
+    print(batch.stats.describe())
+    print(f"result cache: {engine.result_cache.stats.describe()}")
+    threshold = RiskLevel.from_name(args.fail_at)
+    worst = FleetReport(batch.results).max_level()
+    if worst >= threshold and worst is not RiskLevel.NONE:
+        return 1
+    return 0
+
+
+def _cmd_engine_sweep(args) -> int:
+    import json as json_module
+    from .engine import (BatchEngine, FleetReport, ScenarioGenerator,
+                         scenario_jobs)
+    generator = ScenarioGenerator(seed=args.seed,
+                                  personas_per_scenario=args.personas)
+    jobs = scenario_jobs(generator.generate(args.count))
+    engine = BatchEngine(backend=args.backend, workers=args.workers,
+                         cache_dir=args.cache_dir)
+    batch = engine.run(jobs)
+    report = FleetReport(batch.results, batch.stats)
+    if args.json:
+        _write_output(json_module.dumps(report.to_dict(), indent=2),
+                      args.output)
+    else:
+        _write_output(report.describe(), args.output)
+    print(f"result cache: {engine.result_cache.stats.describe()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,6 +269,58 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit 1 when max risk reaches this level")
     analyse.set_defaults(func=_cmd_analyse)
 
+    engine = subparsers.add_parser(
+        "engine", help="batch risk assessment over model fleets")
+    engine_subs = engine.add_subparsers(dest="engine_command",
+                                        required=True)
+
+    def add_engine_common(sub):
+        sub.add_argument("--backend", default="thread",
+                         choices=["serial", "thread", "process"],
+                         help="worker pool backend")
+        sub.add_argument("--workers", type=int, default=None,
+                         help="pool width (default: CPU count, max 8)")
+        sub.add_argument("--cache-dir", default=None,
+                         help="persist LTSs and results under this "
+                              "directory")
+
+    engine_run = engine_subs.add_parser(
+        "run", help="analyse one user across many model files")
+    engine_run.add_argument("models", nargs="+",
+                            help="DSL model files")
+    engine_run.add_argument("--user", default="user")
+    engine_run.add_argument("--agree", nargs="+", required=True,
+                            metavar="SERVICE",
+                            help="services the user agreed to")
+    engine_run.add_argument("--sensitivity", nargs="*", default=[],
+                            metavar="FIELD=VALUE")
+    engine_run.add_argument("--default-sensitivity", type=float,
+                            default=0.0)
+    engine_run.add_argument("--acceptable", default="low",
+                            choices=["none", "low", "medium", "high"])
+    engine_run.add_argument("--fail-at", default="high",
+                            choices=["low", "medium", "high"],
+                            help="exit 1 when any model reaches this "
+                                 "risk level")
+    add_engine_common(engine_run)
+    engine_run.set_defaults(func=_cmd_engine_run)
+
+    engine_sweep = engine_subs.add_parser(
+        "sweep", help="generate a scenario fleet and aggregate the "
+                      "results")
+    engine_sweep.add_argument("--count", type=int, default=20,
+                              help="number of scenarios to generate")
+    engine_sweep.add_argument("--seed", type=int, default=0,
+                              help="scenario stream seed")
+    engine_sweep.add_argument("--personas", type=int, default=2,
+                              help="simulated users per scenario")
+    engine_sweep.add_argument("--json", action="store_true",
+                              help="emit the aggregate as JSON")
+    engine_sweep.add_argument("-o", "--output", default=None,
+                              help="write the report to a file")
+    add_engine_common(engine_sweep)
+    engine_sweep.set_defaults(func=_cmd_engine_sweep)
+
     return parser
 
 
@@ -222,7 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except FileNotFoundError as error:
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except (ReproError, ValueError) as error:

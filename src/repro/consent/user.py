@@ -81,6 +81,21 @@ class UserProfile:
     def sigma(self, field: str) -> float:
         return self.sensitivity.sigma(field)
 
+    def cache_key(self) -> tuple:
+        """Stable, hashable identity of the profile's analysis-relevant
+        state: consents, sensitivities and risk appetite. Equal keys
+        guarantee equal analysis outcomes on the same model."""
+        return (
+            self.name,
+            self.agreed_services,
+            self.sensitivity.default,
+            tuple(sorted(
+                (field, self.sensitivity.sigma(field))
+                for field in self.sensitivity.fields()
+            )),
+            self.acceptable_risk.value,
+        )
+
     def set_sensitivity(self, field: str, value) -> "UserProfile":
         self.sensitivity.set(field, value)
         return self

@@ -107,6 +107,29 @@ class GenerationOptions:
         if self.max_states < 1:
             raise ValueError("max_states must be positive")
 
+    def cache_key(self) -> tuple:
+        """A stable, hashable identity for memoising generated LTSs.
+
+        Two option objects with the same key generate identical LTSs
+        from the same model, regardless of the iteration order of the
+        sets and mappings they were built from.
+        """
+        return (
+            tuple(self.services) if self.services is not None else None,
+            self.ordering,
+            self.max_states,
+            self.include_potential_reads,
+            tuple(sorted(self.potential_read_actors))
+            if self.potential_read_actors is not None else None,
+            self.include_deletes,
+            tuple(sorted(self.delete_actors))
+            if self.delete_actors is not None else None,
+            tuple(sorted(
+                (store, tuple(sorted(fields)))
+                for store, fields in self.initial_store_contents.items()
+            )),
+        )
+
 
 class ModelGenerator:
     """Generates the privacy LTS of a system model (Step 2)."""

@@ -44,6 +44,32 @@ class DisclosureRiskAnalyzer:
 
     # -- public API -------------------------------------------------------
 
+    @staticmethod
+    def configuration_key(likelihood: LikelihoodModel,
+                          matrix: RiskMatrix) -> tuple:
+        """Identity of an analyzer *configuration* (likelihood model
+        and risk matrix). Combined with the model and user fingerprints
+        it keys memoised disclosure reports — the batch engine's
+        contract for "same inputs, reusable result"."""
+        return (likelihood.cache_key(), matrix.cache_key())
+
+    def cache_key(self) -> tuple:
+        """This analyzer's :meth:`configuration_key`."""
+        return self.configuration_key(self.likelihood, self.matrix)
+
+    @staticmethod
+    def default_options(system: SystemModel, user) -> GenerationOptions:
+        """The generation the paper's method prescribes for ``user``:
+        the agreed services, with potential reads for every non-allowed
+        actor. Single source of truth for both direct analysis and the
+        batch engine."""
+        return GenerationOptions(
+            services=tuple(user.agreed_services),
+            include_potential_reads=True,
+            potential_read_actors=frozenset(
+                user.non_allowed_actors(system)),
+        )
+
     def analyse(self, user, lts: Optional[LTS] = None,
                 options: Optional[GenerationOptions] = None
                 ) -> DisclosureRiskReport:
@@ -62,7 +88,7 @@ class DisclosureRiskAnalyzer:
         allowed = user.allowed_actors(self.system)
         non_allowed = user.non_allowed_actors(self.system)
         if lts is None:
-            lts = self._generate(user, non_allowed, options)
+            lts = self._generate(user, options)
 
         events = []
         for transition in lts.transitions:
@@ -105,14 +131,10 @@ class DisclosureRiskAnalyzer:
 
     # -- steps -------------------------------------------------------------------
 
-    def _generate(self, user, non_allowed, options):
+    def _generate(self, user, options):
         generator = ModelGenerator(self.system)
         if options is None:
-            options = GenerationOptions(
-                services=tuple(user.agreed_services),
-                include_potential_reads=True,
-                potential_read_actors=frozenset(non_allowed),
-            )
+            options = self.default_options(self.system, user)
         return generator.generate(options)
 
     def _impact(self, lts: LTS, transition: Transition, user,

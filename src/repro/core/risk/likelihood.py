@@ -153,6 +153,19 @@ class LikelihoodModel:
             for s in self.applicable(actor, store, fields)
         ]
 
+    def cache_key(self) -> tuple:
+        """Stable, hashable identity for memoising analysis results."""
+        def matcher(values):
+            return tuple(sorted(values)) if values is not None else None
+        return (
+            self._combine,
+            tuple(
+                (s.name, s.probability, matcher(s.actors),
+                 matcher(s.stores), matcher(s.fields))
+                for s in self._scenarios
+            ),
+        )
+
     def __repr__(self) -> str:
         names = [s.name for s in self._scenarios]
         return f"LikelihoodModel({names}, combine={self._combine!r})"

@@ -135,6 +135,19 @@ class RiskMatrix:
             level=self.level(impact_category, likelihood_category),
         )
 
+    def cache_key(self) -> tuple:
+        """Stable, hashable identity for memoising analysis results."""
+        return (
+            tuple(sorted(
+                (impact.value, likelihood.value, level.value)
+                for (impact, likelihood), level in self._table.items()
+            )),
+            (self.impact_banding.low_upper,
+             self.impact_banding.medium_upper),
+            (self.likelihood_banding.low_upper,
+             self.likelihood_banding.medium_upper),
+        )
+
     def to_dict(self) -> dict:
         """Serialize to a JSON-compatible dict (see :meth:`from_dict`)."""
         return {

@@ -21,6 +21,7 @@ from .model import (
 )
 from .parser import parse_dsl, parse_file, tokenize
 from .serializer import (
+    canonical_system_dict,
     from_json,
     system_from_dict,
     system_to_dict,
@@ -48,6 +49,7 @@ __all__ = [
     "parse_dsl",
     "parse_file",
     "tokenize",
+    "canonical_system_dict",
     "from_json",
     "system_from_dict",
     "system_to_dict",

@@ -183,6 +183,49 @@ def system_from_dict(data: Dict) -> SystemModel:
     return system
 
 
+def canonical_system_dict(system: SystemModel) -> Dict:
+    """A canonical form of :func:`system_to_dict` for fingerprinting.
+
+    Two models that differ only in *construction order* — schemas,
+    actors, stores, grants or role assignments added in a different
+    sequence — canonicalise identically: every list whose order carries
+    no meaning is sorted, and descriptions (pure documentation) are
+    dropped. Flow order within a service is semantic (it drives the
+    ``sequence`` generation ordering) and is preserved; services
+    themselves are sorted by name.
+    """
+    data = system_to_dict(system)
+    for schema in data["schemas"]:
+        schema["fields"].sort(key=lambda f: f["name"])
+        for field in schema["fields"]:
+            del field["description"]
+    data["schemas"].sort(key=lambda s: s["name"])
+    for actor in data["actors"]:
+        del actor["description"]
+        actor["originates"] = sorted(actor["originates"])
+    data["actors"].sort(key=lambda a: a["name"])
+    for store in data["datastores"]:
+        del store["description"]
+    data["datastores"].sort(key=lambda d: d["name"])
+    for role in data["roles"]:
+        role["parents"] = sorted(role["parents"])
+    data["roles"].sort(key=lambda r: r["name"])
+    data["assignments"] = {
+        actor: sorted(roles)
+        for actor, roles in sorted(data["assignments"].items())
+    }
+    for service in data["services"]:
+        del service["description"]
+        service["flows"].sort(key=lambda f: f["order"])
+    data["services"].sort(key=lambda s: s["name"])
+    for entry in data["acl"]:
+        entry["permissions"] = sorted(entry["permissions"])
+        entry["fields"] = sorted(entry["fields"])
+    data["acl"].sort(key=lambda e: (e["subject"], e["store"],
+                                    e["permissions"], e["fields"]))
+    return data
+
+
 def to_json(system: SystemModel, indent: int = 2) -> str:
     return json.dumps(system_to_dict(system), indent=indent)
 

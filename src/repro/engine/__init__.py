@@ -1,0 +1,82 @@
+"""Batch risk-assessment engine: fleets of models, analysed at scale.
+
+The paper's method is one model, one user, one report. This package is
+the production layer over it:
+
+- **content fingerprints** (:mod:`~repro.engine.fingerprint`) give
+  every model / options / user / analyzer combination a stable identity;
+- **pluggable caches** (:mod:`~repro.engine.cache`) memoise generated
+  LTSs and finished reports — in-memory LRU tiered over an on-disk
+  store that survives restarts and is shared across worker processes;
+- the :class:`~repro.engine.runner.BatchEngine` executes job fleets
+  through serial, thread or process backends with deterministic result
+  ordering and per-batch deduplication;
+- the :class:`~repro.engine.scenarios.ScenarioGenerator` manufactures
+  seed-deterministic workloads across healthcare, loyalty and scaled
+  synthetic templates with Westin-persona user populations;
+- the :class:`~repro.engine.aggregate.FleetReport` rolls per-job
+  reports into fleet-level summaries: worst-case disclosure paths,
+  risk-matrix histograms, per-variant deltas.
+
+Quickstart::
+
+    from repro.engine import (BatchEngine, FleetReport,
+                              ScenarioGenerator, scenario_jobs)
+
+    scenarios = ScenarioGenerator(seed=7).generate(50)
+    engine = BatchEngine(backend="process", cache_dir=".repro-cache")
+    batch = engine.run(scenario_jobs(scenarios))
+    print(FleetReport(batch.results, batch.stats).describe())
+"""
+
+from .aggregate import FleetReport
+from .cache import (
+    CacheStats,
+    DiskCache,
+    LRUCache,
+    TieredCache,
+    build_cache,
+)
+from .fingerprint import (
+    job_fingerprint,
+    lts_cache_key,
+    model_fingerprint,
+    options_fingerprint,
+    stable_hash,
+    user_fingerprint,
+)
+from .jobs import AnalysisJob, JobResult, RiskEventSummary
+from .runner import (
+    BACKENDS,
+    BatchEngine,
+    BatchResult,
+    EngineStats,
+    resolve_options,
+)
+from .scenarios import ModelScenario, ScenarioGenerator, scenario_jobs
+
+__all__ = [
+    "FleetReport",
+    "CacheStats",
+    "DiskCache",
+    "LRUCache",
+    "TieredCache",
+    "build_cache",
+    "job_fingerprint",
+    "lts_cache_key",
+    "model_fingerprint",
+    "options_fingerprint",
+    "stable_hash",
+    "user_fingerprint",
+    "AnalysisJob",
+    "JobResult",
+    "RiskEventSummary",
+    "BACKENDS",
+    "BatchEngine",
+    "BatchResult",
+    "EngineStats",
+    "resolve_options",
+    "ModelScenario",
+    "ScenarioGenerator",
+    "scenario_jobs",
+]

@@ -1,0 +1,197 @@
+"""Fleet-level aggregation of batch results.
+
+A single :class:`~repro.engine.jobs.JobResult` answers "how risky is
+this model for this user"; a :class:`FleetReport` answers the
+service-operator questions over a whole sweep: where are the worst
+exposures, how does risk distribute over the impact x likelihood
+matrix, and what did a design variant (pseudonymisation on, policy
+tightened) buy relative to its family baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._util import ascii_table
+from ..core.risk import RiskLevel
+from .jobs import JobResult, RiskEventSummary
+from .runner import EngineStats
+
+_LEVELS = (RiskLevel.NONE, RiskLevel.LOW, RiskLevel.MEDIUM,
+           RiskLevel.HIGH)
+
+
+class FleetReport:
+    """Aggregated view over the results of one (or more) batch runs."""
+
+    def __init__(self, results: Sequence[JobResult],
+                 stats: Optional[EngineStats] = None):
+        self.results: Tuple[JobResult, ...] = tuple(results)
+        self.stats = stats
+
+    # -- distributions ----------------------------------------------------
+
+    def level_histogram(self) -> Dict[str, int]:
+        """Job count per maximum risk level, every level present."""
+        histogram = {level.value: 0 for level in _LEVELS}
+        for result in self.results:
+            histogram[result.max_level] += 1
+        return histogram
+
+    def matrix_histogram(self) -> Dict[str, int]:
+        """Risk-event count per impact/likelihood matrix cell."""
+        histogram: Dict[str, int] = {}
+        for result in self.results:
+            for event in result.events:
+                cell = (f"{event.impact_category}/"
+                        f"{event.likelihood_category}")
+                histogram[cell] = histogram.get(cell, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    # -- worst cases ---------------------------------------------------------
+
+    def worst(self, count: int = 5) -> Tuple[JobResult, ...]:
+        """The riskiest jobs: level first, then event count."""
+        ranked = sorted(
+            self.results,
+            key=lambda r: (-r.level.rank, -len(r.events), r.job_id))
+        return tuple(ranked[:count])
+
+    def worst_events(self, count: int = 5
+                     ) -> Tuple[Tuple[str, RiskEventSummary], ...]:
+        """The riskiest individual disclosure paths across the fleet,
+        as (scenario, event) pairs ranked by level then impact."""
+        # The same read can occur in many LTS states; one mention of a
+        # (scenario, event) path is enough at fleet level.
+        paths: List[Tuple[str, RiskEventSummary]] = list({
+            (result.scenario, event)
+            for result in self.results
+            for event in result.events
+        })
+        # Full tie-break: sets iterate in arbitrary order, and equal
+        # (level, impact, likelihood) ties must still render stably.
+        paths.sort(key=lambda pair: (
+            -RiskLevel.from_name(pair[1].level).rank,
+            -pair[1].impact, -pair[1].likelihood, pair[0],
+            pair[1].actor, pair[1].fields, pair[1].store or ""))
+        return tuple(paths[:count])
+
+    # -- grouping / deltas ----------------------------------------------------
+
+    def by_family(self) -> Dict[str, Tuple[JobResult, ...]]:
+        grouped: Dict[str, List[JobResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.family or "<none>",
+                               []).append(result)
+        return {family: tuple(results)
+                for family, results in sorted(grouped.items())}
+
+    def scenario_deltas(self) -> Dict[str, Dict[str, object]]:
+        """Per-family risk deltas across design variants.
+
+        For each family, the maximum risk level per variant and each
+        variant's rank delta against the family's ``baseline`` variant
+        (or, absent one, the variant with the lowest risk). Positive
+        delta: riskier than baseline; negative: the variant removed
+        risk.
+        """
+        deltas: Dict[str, Dict[str, object]] = {}
+        for family, results in self.by_family().items():
+            per_variant: Dict[str, RiskLevel] = {}
+            for result in results:
+                variant = result.variant or "<none>"
+                level = result.level
+                if variant not in per_variant or \
+                        level > per_variant[variant]:
+                    per_variant[variant] = level
+            if "baseline" in per_variant:
+                reference = per_variant["baseline"]
+            else:
+                reference = min(per_variant.values())
+            deltas[family] = {
+                "baseline_level": reference.value,
+                "variants": {
+                    variant: {
+                        "max_level": level.value,
+                        "delta": level.rank - reference.rank,
+                    }
+                    for variant, level in sorted(per_variant.items())
+                },
+            }
+        return deltas
+
+    # -- rendering --------------------------------------------------------------
+
+    def summary_table(self) -> str:
+        """Fleet overview: one row per family, plus a totals footer."""
+        rows = []
+        total_events = 0
+        for family, results in self.by_family().items():
+            events = sum(len(r.events) for r in results)
+            total_events += events
+            worst = max((r.level for r in results),
+                        default=RiskLevel.NONE)
+            rows.append((
+                family,
+                len(results),
+                len({r.scenario for r in results}),
+                events,
+                worst.value.upper(),
+            ))
+        footer = ("TOTAL", len(self.results),
+                  len({r.scenario for r in self.results}),
+                  total_events, self.max_level().value.upper())
+        return ascii_table(
+            ("family", "jobs", "scenarios", "events", "worst"),
+            rows, footer=footer)
+
+    def max_level(self) -> RiskLevel:
+        if not self.results:
+            return RiskLevel.NONE
+        return max(result.level for result in self.results)
+
+    def describe(self) -> str:
+        """The operator's one-screen fleet summary."""
+        lines = [self.summary_table(), ""]
+        histogram = self.level_histogram()
+        lines.append("risk levels: " + ", ".join(
+            f"{name}={histogram[name]}"
+            for name in (level.value for level in _LEVELS)))
+        matrix = self.matrix_histogram()
+        if matrix:
+            lines.append("matrix cells (impact/likelihood): " + ", ".join(
+                f"{cell}={count}" for cell, count in matrix.items()))
+        worst_events = self.worst_events(3)
+        if worst_events:
+            lines.append("worst disclosure paths:")
+            for scenario, event in worst_events:
+                store = f" from {event.store}" if event.store else ""
+                lines.append(
+                    f"  [{event.level.upper()}] {scenario}: "
+                    f"{event.actor} reads "
+                    f"{{{', '.join(event.fields)}}}{store} "
+                    f"(impact={event.impact:.2f}, "
+                    f"likelihood={event.likelihood:.2f})")
+        if self.stats is not None:
+            lines.append(self.stats.describe())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible aggregate (for export / dashboards)."""
+        return {
+            "jobs": len(self.results),
+            "max_level": self.max_level().value,
+            "level_histogram": self.level_histogram(),
+            "matrix_histogram": self.matrix_histogram(),
+            "scenario_deltas": self.scenario_deltas(),
+            "worst": [
+                {
+                    "job_id": result.job_id,
+                    "scenario": result.scenario,
+                    "user": result.user,
+                    "max_level": result.max_level,
+                    "events": len(result.events),
+                }
+                for result in self.worst()
+            ],
+        }

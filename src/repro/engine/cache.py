@@ -1,0 +1,188 @@
+"""Pluggable result caches: in-memory LRU, on-disk store, tiering.
+
+Anything with ``get(key) -> value | None``, ``put(key, value)`` and a
+``stats`` attribute is a cache to the engine; the three shipped
+implementations cover the deployment spectrum:
+
+- :class:`LRUCache` — bounded in-process memory, thread-safe;
+- :class:`DiskCache` — pickle files under a directory, surviving
+  process restarts and shared between worker processes;
+- :class:`TieredCache` — layers caches (memory over disk), promoting
+  lower-tier hits upward.
+
+Keys are hex fingerprints (see :mod:`repro.engine.fingerprint`), which
+double as safe file names.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/put accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (f"{self.hits} hits / {self.lookups} lookups "
+                f"({self.hit_rate:.0%}), {self.puts} puts, "
+                f"{self.evictions} evictions")
+
+
+class LRUCache:
+    """A bounded, thread-safe, least-recently-used in-memory cache."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[Any]:
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self.stats.puts += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class DiskCache:
+    """Pickle-per-entry persistence under a directory.
+
+    Writes go through a temp file + ``os.replace`` so concurrent
+    writers (the process backend's workers) never expose a partially
+    written entry; unreadable or corrupt entries read as misses.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def get(self, key: str) -> Optional[Any]:
+        try:
+            with open(self._path(key), "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(value, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".pkl"))
+
+    def clear(self) -> None:
+        for name in os.listdir(self.directory):
+            if name.endswith(".pkl"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+
+class TieredCache:
+    """Layered caches, fastest first; lower-tier hits promote upward.
+
+    ``stats`` aggregates at the tier level: a hit in *any* layer is one
+    tier hit. Per-layer accounting stays on each layer's own ``stats``.
+    """
+
+    def __init__(self, *layers):
+        if not layers:
+            raise ValueError("TieredCache needs at least one layer")
+        self.layers: List[Any] = list(layers)
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> Optional[Any]:
+        for index, layer in enumerate(self.layers):
+            value = layer.get(key)
+            if value is not None:
+                for upper in self.layers[:index]:
+                    upper.put(key, value)
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        for layer in self.layers:
+            layer.put(key, value)
+        self.stats.puts += 1
+
+    def clear(self) -> None:
+        for layer in self.layers:
+            layer.clear()
+
+
+def build_cache(memory_entries: int = 256,
+                directory: Optional[str] = None):
+    """The engine's default cache shape: LRU, tiered over disk when a
+    directory is given."""
+    memory = LRUCache(memory_entries)
+    if directory is None:
+        return memory
+    return TieredCache(memory, DiskCache(directory))

@@ -1,0 +1,87 @@
+"""Content fingerprints for models, options and analysis jobs.
+
+The batch engine is content-addressed: a job's cache identity is a
+stable hash over everything that determines its outcome — the canonical
+model serialization, the generation options, the user profile and the
+analyzer configuration. Equal fingerprints mean equal results, so a
+fingerprint hit can short-circuit LTS generation and analysis entirely.
+
+Hashes are sha256 over a canonical JSON encoding (sorted keys, no
+whitespace), making them insensitive to dict/set iteration order and
+stable across processes and runs — unlike :func:`hash`, which Python
+salts per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from ..consent import UserProfile
+from ..core import GenerationOptions
+from ..dfd import SystemModel, canonical_system_dict
+
+
+def stable_hash(data) -> str:
+    """sha256 hex digest of a canonical JSON encoding of ``data``.
+
+    ``data`` must be JSON-encodable (tuples encode as arrays; None,
+    numbers, strings, bools nest freely).
+    """
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def model_fingerprint(system: SystemModel) -> str:
+    """The content hash of a system model.
+
+    Invariant under construction order and description strings (see
+    :func:`repro.dfd.canonical_system_dict`); any semantic change —
+    a field, a flow, a grant — changes the fingerprint.
+    """
+    return stable_hash(canonical_system_dict(system))
+
+
+def options_fingerprint(options: Optional[GenerationOptions]) -> str:
+    """The content hash of generation options (None hashes too)."""
+    if options is None:
+        return stable_hash(None)
+    return stable_hash(options.cache_key())
+
+
+def user_fingerprint(user: UserProfile) -> str:
+    """The content hash of a user profile's analysis-relevant state."""
+    return stable_hash(user.cache_key())
+
+
+def lts_cache_key(system: SystemModel,
+                  options: Optional[GenerationOptions],
+                  model_fp: Optional[str] = None) -> str:
+    """The memoisation key of a generated LTS: model x options."""
+    if model_fp is None:
+        model_fp = model_fingerprint(system)
+    return stable_hash(["lts", model_fp,
+                        options.cache_key() if options else None])
+
+
+def job_fingerprint(system: SystemModel,
+                    options: Optional[GenerationOptions],
+                    user: UserProfile,
+                    analyzer_key,
+                    model_fp: Optional[str] = None) -> str:
+    """The result-cache key of one analysis job.
+
+    The single definition of the key recipe — the engine and any
+    external cache tooling must agree on it. ``model_fp`` lets callers
+    reuse an already-computed model fingerprint.
+    """
+    if model_fp is None:
+        model_fp = model_fingerprint(system)
+    return stable_hash([
+        "disclosure",
+        model_fp,
+        options.cache_key() if options else None,
+        user.cache_key(),
+        analyzer_key,
+    ])

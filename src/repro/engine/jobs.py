@@ -1,0 +1,128 @@
+"""Job and result types of the batch engine.
+
+An :class:`AnalysisJob` is one unit of work — a system model, the user
+to analyse it for, and optional explicit generation options. A
+:class:`JobResult` is its flat, picklable outcome: risk events reduced
+to value tuples so results travel across process boundaries and in/out
+of caches without dragging LTS objects along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import NamedTuple, Optional, Tuple
+
+from ..consent import UserProfile
+from ..core import GenerationOptions
+from ..core.risk import RiskLevel
+from ..core.risk.report import DisclosureRiskReport
+from ..dfd import SystemModel
+
+
+@dataclass
+class AnalysisJob:
+    """One model x user x options analysis request.
+
+    ``scenario``/``family``/``variant`` are display/grouping labels
+    (no effect on the cache identity); ``job_id`` is assigned by the
+    engine when left empty.
+    """
+
+    system: SystemModel
+    user: UserProfile
+    options: Optional[GenerationOptions] = None
+    scenario: str = ""
+    family: str = ""
+    variant: str = ""
+    job_id: str = ""
+
+
+class RiskEventSummary(NamedTuple):
+    """One risk event, flattened to plain values."""
+
+    level: str
+    actor: str
+    fields: Tuple[str, ...]
+    store: Optional[str]
+    impact: float
+    likelihood: float
+    impact_category: str
+    likelihood_category: str
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The picklable outcome of one job.
+
+    ``signature()`` is the semantic content — what must be identical
+    between a serial and a parallel run, or between a computed and a
+    cached result. ``from_cache``/``lts_generated``/``duration`` are
+    execution metadata and excluded from it.
+    """
+
+    job_id: str
+    scenario: str
+    family: str
+    variant: str
+    fingerprint: str
+    user: str
+    states: int
+    transitions: int
+    max_level: str
+    events: Tuple[RiskEventSummary, ...]
+    non_allowed_actors: Tuple[str, ...]
+    lts_generated: bool = True
+    from_cache: bool = False
+    duration: float = 0.0
+
+    def signature(self) -> tuple:
+        return (self.fingerprint, self.user, self.states,
+                self.transitions, self.max_level, self.events,
+                self.non_allowed_actors)
+
+    @property
+    def level(self) -> RiskLevel:
+        return RiskLevel.from_name(self.max_level)
+
+    def relabel(self, job: AnalysisJob) -> "JobResult":
+        """A cached result re-badged for the job that requested it."""
+        return replace(
+            self, job_id=job.job_id, scenario=job.scenario,
+            family=job.family, variant=job.variant,
+            from_cache=True, lts_generated=False, duration=0.0)
+
+
+def summarize_report(job: AnalysisJob, fingerprint: str,
+                     report: DisclosureRiskReport,
+                     states: int, transitions: int,
+                     lts_generated: bool,
+                     duration: float) -> JobResult:
+    """Flatten a disclosure report into a :class:`JobResult`."""
+    events = tuple(
+        RiskEventSummary(
+            level=event.level.value,
+            actor=event.actor,
+            fields=tuple(event.fields),
+            store=event.store,
+            impact=event.assessment.impact,
+            likelihood=event.assessment.likelihood,
+            impact_category=event.assessment.impact_category.value,
+            likelihood_category=event.assessment.likelihood_category.value,
+        )
+        for event in report.events
+    )
+    return JobResult(
+        job_id=job.job_id,
+        scenario=job.scenario,
+        family=job.family,
+        variant=job.variant,
+        fingerprint=fingerprint,
+        user=job.user.name,
+        states=states,
+        transitions=transitions,
+        max_level=report.max_level.value,
+        events=events,
+        non_allowed_actors=report.non_allowed_actors,
+        lts_generated=lts_generated,
+        duration=duration,
+    )

@@ -1,0 +1,295 @@
+"""The batch engine: cache-aware parallel execution of analysis jobs.
+
+Execution pipeline, per :meth:`BatchEngine.run` call:
+
+1. **Fingerprint** every job (model x options x user x analyzer).
+2. **Result cache** — hits are returned without any work; duplicate
+   fingerprints inside one batch are computed once and fanned out.
+3. **Dispatch** the misses to the selected backend: ``serial`` (in
+   line), ``thread`` (:class:`~concurrent.futures.ThreadPoolExecutor`)
+   or ``process`` (:class:`~concurrent.futures.ProcessPoolExecutor`).
+4. Inside each worker, **LTS memoisation**: the generated LTS of a
+   (model, options) pair is cached — in-memory LRU in front of the
+   shared on-disk store, so thread workers share objects and process
+   workers share the disk tier.
+5. Results return **in submission order**, regardless of backend or
+   completion order, and are written back to the result cache.
+
+A warm result cache therefore re-runs *zero* LTS generations: every
+job short-circuits at step 2.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import GenerationOptions, ModelGenerator
+from ..core.risk import DisclosureRiskAnalyzer, LikelihoodModel, RiskMatrix
+from .cache import build_cache
+from .fingerprint import job_fingerprint, lts_cache_key, model_fingerprint
+from .jobs import AnalysisJob, JobResult, summarize_report
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass
+class EngineStats:
+    """Execution accounting for one :meth:`BatchEngine.run` call."""
+
+    backend: str = "serial"
+    jobs: int = 0
+    result_hits: int = 0
+    executed: int = 0
+    deduplicated: int = 0
+    lts_generations: int = 0
+    lts_reuses: int = 0
+    wall_time: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.jobs} jobs on {self.backend} backend in "
+            f"{self.wall_time:.2f}s: {self.result_hits} result-cache "
+            f"hits, {self.deduplicated} deduplicated, "
+            f"{self.executed} executed ({self.lts_generations} LTS "
+            f"generations, {self.lts_reuses} memo reuses)"
+        )
+
+
+class BatchResult:
+    """Ordered results of one batch plus its execution stats."""
+
+    def __init__(self, results: Sequence[JobResult], stats: EngineStats):
+        self.results: Tuple[JobResult, ...] = tuple(results)
+        self.stats = stats
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+
+def resolve_options(job: AnalysisJob) -> GenerationOptions:
+    """The effective generation options of a job.
+
+    Explicit options win; otherwise the disclosure-analysis default:
+    the user's agreed services with potential reads for every
+    non-allowed actor (mirrors
+    :meth:`~repro.core.risk.disclosure.DisclosureRiskAnalyzer.analyse`).
+    """
+    if job.options is not None:
+        return job.options
+    return DisclosureRiskAnalyzer.default_options(job.system, job.user)
+
+
+def _run_analysis(job: AnalysisJob, fingerprint: str,
+                  options: GenerationOptions,
+                  likelihood: LikelihoodModel, matrix: RiskMatrix,
+                  lts_cache, model_fp: str) -> JobResult:
+    """Generate (or recall) the LTS, analyse, flatten the report."""
+    start = time.perf_counter()
+    key = lts_cache_key(job.system, options, model_fp=model_fp)
+    # The memo stores pickled blobs, not live objects: analysis writes
+    # risk annotations onto the LTS it is handed, so every job must get
+    # a private instance (and thread workers must never share one).
+    blob = lts_cache.get(key) if lts_cache is not None else None
+    generated = blob is None
+    if generated:
+        lts = ModelGenerator(job.system).generate(options)
+        if lts_cache is not None:
+            lts_cache.put(key, pickle.dumps(
+                lts, protocol=pickle.HIGHEST_PROTOCOL))
+    else:
+        lts = pickle.loads(blob)
+    analyzer = DisclosureRiskAnalyzer(job.system, likelihood, matrix)
+    report = analyzer.analyse(job.user, lts=lts)
+    return summarize_report(
+        job, fingerprint, report,
+        states=len(lts), transitions=len(lts.transitions),
+        lts_generated=generated,
+        duration=time.perf_counter() - start,
+    )
+
+
+# -- process backend plumbing ------------------------------------------------
+#
+# Workers rebuild their own LTS cache (per-process LRU over the shared
+# disk tier) from plain configuration, because live cache objects carry
+# locks and cannot cross the pickle boundary.
+
+_WORKER_LTS_CACHE = None
+
+
+def _process_initializer(lts_dir: Optional[str],
+                         memory_entries: int) -> None:
+    global _WORKER_LTS_CACHE
+    _WORKER_LTS_CACHE = build_cache(memory_entries, lts_dir)
+
+
+def _process_worker(payload) -> JobResult:
+    job, fingerprint, options, likelihood, matrix, model_fp = payload
+    return _run_analysis(job, fingerprint, options, likelihood, matrix,
+                         _WORKER_LTS_CACHE, model_fp)
+
+
+class BatchEngine:
+    """Runs fleets of analysis jobs with caching and a worker pool.
+
+    Parameters
+    ----------
+    backend:
+        ``'serial'``, ``'thread'`` or ``'process'``.
+    workers:
+        Pool width for the parallel backends (default: CPU count,
+        capped at 8).
+    cache_dir:
+        Root of the on-disk store. When given, both the result cache
+        and the LTS memo gain a disk tier (``results/`` and ``lts/``
+        subdirectories), so later runs — and sibling processes — reuse
+        everything already computed.
+    memory_entries:
+        Capacity of each in-memory LRU tier.
+    likelihood / matrix:
+        Analyzer configuration shared by every job (defaults: the
+        paper's example models). Part of every job fingerprint.
+    result_cache / lts_cache:
+        Override the shipped cache stack with any object exposing
+        ``get``/``put``/``stats`` (pass a custom store, or ``None``
+        to use the defaults).
+    """
+
+    def __init__(self, backend: str = "serial",
+                 workers: Optional[int] = None,
+                 cache_dir: Optional[str] = None,
+                 memory_entries: int = 512,
+                 likelihood: Optional[LikelihoodModel] = None,
+                 matrix: Optional[RiskMatrix] = None,
+                 result_cache=None, lts_cache=None):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.backend = backend
+        self.workers = workers if workers is not None \
+            else min(8, os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.cache_dir = cache_dir
+        self._memory_entries = memory_entries
+        self._lts_dir = os.path.join(cache_dir, "lts") \
+            if cache_dir is not None else None
+        self.result_cache = result_cache if result_cache is not None \
+            else build_cache(
+                memory_entries,
+                os.path.join(cache_dir, "results")
+                if cache_dir is not None else None)
+        self.lts_cache = lts_cache if lts_cache is not None \
+            else build_cache(memory_entries, self._lts_dir)
+        self.likelihood = likelihood if likelihood is not None \
+            else LikelihoodModel.example()
+        self.matrix = matrix if matrix is not None else RiskMatrix.example()
+        self._analyzer_key = DisclosureRiskAnalyzer.configuration_key(
+            self.likelihood, self.matrix)
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(self, job: AnalysisJob,
+                    model_fp: Optional[str] = None,
+                    options: Optional[GenerationOptions] = None) -> str:
+        """The result-cache key of ``job`` under this engine's
+        analyzer configuration."""
+        if options is None:
+            options = resolve_options(job)
+        return job_fingerprint(job.system, options, job.user,
+                               self._analyzer_key, model_fp=model_fp)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, jobs: Sequence[AnalysisJob]) -> BatchResult:
+        """Execute ``jobs``; results come back in submission order."""
+        jobs = list(jobs)
+        started = time.perf_counter()
+        stats = EngineStats(backend=self.backend, jobs=len(jobs))
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+
+        # Fingerprint each job, hashing every distinct model once.
+        model_fps: Dict[int, str] = {}
+        pending: Dict[str, List[int]] = {}
+        prepared: List[Tuple[str, AnalysisJob, GenerationOptions, str]] = []
+        for index, job in enumerate(jobs):
+            if not job.job_id:
+                job.job_id = f"job-{index:04d}"
+            model_fp = model_fps.get(id(job.system))
+            if model_fp is None:
+                model_fp = model_fingerprint(job.system)
+                model_fps[id(job.system)] = model_fp
+            options = resolve_options(job)
+            fingerprint = self.fingerprint(job, model_fp=model_fp,
+                                           options=options)
+            cached = self.result_cache.get(fingerprint)
+            if cached is not None:
+                results[index] = cached.relabel(job)
+                stats.result_hits += 1
+                continue
+            if fingerprint in pending:
+                # Same content already queued in this batch: compute
+                # once, fan out below.
+                pending[fingerprint].append(index)
+                stats.deduplicated += 1
+                continue
+            pending[fingerprint] = [index]
+            prepared.append((fingerprint, job, options, model_fp))
+
+        for fingerprint, result in self._execute(prepared):
+            self.result_cache.put(fingerprint, result)
+            stats.executed += 1
+            if result.lts_generated:
+                stats.lts_generations += 1
+            else:
+                stats.lts_reuses += 1
+            first, *rest = pending[fingerprint]
+            results[first] = result
+            for index in rest:
+                results[index] = result.relabel(jobs[index])
+
+        stats.wall_time = time.perf_counter() - started
+        return BatchResult([r for r in results if r is not None], stats)
+
+    def _execute(self, prepared):
+        """Yield (fingerprint, JobResult) for each prepared miss."""
+        if self.backend == "serial" or len(prepared) <= 1:
+            for fingerprint, job, options, model_fp in prepared:
+                yield fingerprint, _run_analysis(
+                    job, fingerprint, options, self.likelihood,
+                    self.matrix, self.lts_cache, model_fp)
+        elif self.backend == "thread":
+            with futures.ThreadPoolExecutor(self.workers) as pool:
+                tasks = [
+                    pool.submit(_run_analysis, job, fingerprint, options,
+                                self.likelihood, self.matrix,
+                                self.lts_cache, model_fp)
+                    for fingerprint, job, options, model_fp in prepared
+                ]
+                for (fingerprint, *_), task in zip(prepared, tasks):
+                    yield fingerprint, task.result()
+        else:
+            with futures.ProcessPoolExecutor(
+                    self.workers,
+                    initializer=_process_initializer,
+                    initargs=(self._lts_dir, self._memory_entries),
+            ) as pool:
+                tasks = [
+                    pool.submit(_process_worker,
+                                (job, fingerprint, options,
+                                 self.likelihood, self.matrix, model_fp))
+                    for fingerprint, job, options, model_fp in prepared
+                ]
+                for (fingerprint, *_), task in zip(prepared, tasks):
+                    yield fingerprint, task.result()

@@ -153,3 +153,68 @@ class TestRealCaseStudy:
         assert "Administrator" in out
         assert "MEDIUM" in out
         assert code == 0
+
+
+class TestEngineCommands:
+    def test_engine_run_over_models(self, model_file, tmp_path, capsys):
+        # A design variant of the same service: the Auditor grant
+        # dropped, so the engine reports both models side by side.
+        second = tmp_path / "model2.dsl"
+        second.write_text(GOOD_MODEL.replace(
+            "    allow Auditor read on Records\n", ""))
+        code = main([
+            "engine", "run", model_file, str(second),
+            "--agree", "Consult",
+            "--sensitivity", "issue=high",
+            "--backend", "serial",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "max risk" in out
+        assert "result cache:" in out
+        # Submission order is preserved in the per-model lines.
+        assert out.index(model_file) < out.index(str(second))
+
+    def test_engine_run_fail_at_gate(self, model_file, capsys):
+        code = main([
+            "engine", "run", model_file,
+            "--agree", "Consult",
+            "--sensitivity", "issue=high",
+            "--backend", "serial",
+            "--fail-at", "medium",
+        ])
+        assert code == 1
+
+    def test_engine_run_cache_dir_warm_second_call(self, model_file,
+                                                   tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["engine", "run", model_file, "--agree", "Consult",
+                "--backend", "serial", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_engine_sweep_reports_fleet(self, capsys):
+        code = main(["engine", "sweep", "--count", "4",
+                     "--backend", "serial", "--personas", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TOTAL" in out
+        assert "risk levels:" in out
+        assert "result cache:" in out
+
+    def test_engine_sweep_json_output(self, tmp_path, capsys):
+        import json
+        target = tmp_path / "fleet.json"
+        code = main(["engine", "sweep", "--count", "4",
+                     "--backend", "serial", "--personas", "1",
+                     "--json", "-o", str(target)])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["jobs"] == 4
+        assert "level_histogram" in payload
+
+    def test_engine_run_missing_model_exits_two(self, capsys):
+        assert main(["engine", "run", "no-such-file.dsl",
+                     "--agree", "Consult"]) == 2

@@ -1,0 +1,125 @@
+"""The engine's cache stack: LRU, disk, tiering, accounting."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.engine import DiskCache, LRUCache, TieredCache, build_cache
+
+
+class TestLRUCache:
+    def test_get_put_and_stats(self):
+        cache = LRUCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b is now the oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_does_not_grow(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_entries=0)
+
+
+class TestDiskCache:
+    def test_persists_across_instances(self, tmp_path):
+        directory = str(tmp_path / "store")
+        DiskCache(directory).put("k", {"x": (1, 2)})
+        reopened = DiskCache(directory)
+        assert reopened.get("k") == {"x": (1, 2)}
+        assert reopened.stats.hits == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        directory = str(tmp_path / "store")
+        cache = DiskCache(directory)
+        cache.put("k", 42)
+        with open(os.path.join(directory, "k.pkl"), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get("k") is None
+        assert cache.stats.misses == 1
+
+    def test_len_and_clear(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "store"))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_no_partial_files_left_behind(self, tmp_path):
+        directory = str(tmp_path / "store")
+        cache = DiskCache(directory)
+        cache.put("k", list(range(100)))
+        leftovers = [n for n in os.listdir(directory)
+                     if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestTieredCache:
+    def test_lower_tier_hit_promotes(self, tmp_path):
+        memory = LRUCache(8)
+        disk = DiskCache(str(tmp_path / "store"))
+        disk.put("k", "v")
+        tiered = TieredCache(memory, disk)
+        assert tiered.get("k") == "v"
+        # Promoted: the next lookup hits the memory layer.
+        assert memory.get("k") == "v"
+        assert tiered.stats.hits == 1
+
+    def test_put_writes_all_layers(self, tmp_path):
+        memory = LRUCache(8)
+        disk = DiskCache(str(tmp_path / "store"))
+        TieredCache(memory, disk).put("k", "v")
+        assert memory.get("k") == "v"
+        assert disk.get("k") == "v"
+
+    def test_miss_counts_once_at_tier_level(self, tmp_path):
+        tiered = TieredCache(LRUCache(8),
+                             DiskCache(str(tmp_path / "store")))
+        assert tiered.get("absent") is None
+        assert tiered.stats.misses == 1
+
+    def test_requires_a_layer(self):
+        with pytest.raises(ValueError):
+            TieredCache()
+
+
+class TestBuildCache:
+    def test_memory_only_without_directory(self):
+        assert isinstance(build_cache(16), LRUCache)
+
+    def test_tiered_with_directory(self, tmp_path):
+        cache = build_cache(16, str(tmp_path / "store"))
+        assert isinstance(cache, TieredCache)
+        assert isinstance(cache.layers[0], LRUCache)
+        assert isinstance(cache.layers[1], DiskCache)
+
+    def test_stats_describe_renders(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        text = cache.stats.describe()
+        assert "1 hits / 2 lookups" in text

@@ -1,0 +1,146 @@
+"""Content fingerprints: stability across ordering, sensitivity to
+semantic change."""
+
+import pytest
+
+from repro.casestudies import build_surgery_system
+from repro.consent import UserProfile
+from repro.core import GenerationOptions
+from repro.dfd import (
+    SystemBuilder,
+    canonical_system_dict,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.engine import (
+    model_fingerprint,
+    options_fingerprint,
+    stable_hash,
+    user_fingerprint,
+)
+
+
+def _clinic(order="forward"):
+    """The same model, with nodes and grants added in different
+    orders."""
+    builder = SystemBuilder("clinic")
+    builder.schema("Visit", [("name", "string", "identifier"),
+                             ("issue", "string", "sensitive")])
+    if order == "forward":
+        builder.actor("Doctor").actor("Auditor")
+    else:
+        builder.actor("Auditor").actor("Doctor")
+    builder.datastore("Records", "Visit")
+    builder.service("Consult")
+    builder.flow(1, "User", "Doctor", ["name", "issue"])
+    builder.flow(2, "Doctor", "Records", ["name", "issue"])
+    if order == "forward":
+        builder.allow("Doctor", ["read", "create"], "Records")
+        builder.allow("Auditor", "read", "Records")
+    else:
+        builder.allow("Auditor", "read", "Records")
+        builder.allow("Doctor", ["create", "read"], "Records")
+    return builder.build()
+
+
+class TestModelFingerprint:
+    def test_stable_across_construction_order(self):
+        assert model_fingerprint(_clinic("forward")) == \
+            model_fingerprint(_clinic("reversed"))
+
+    def test_stable_across_dict_round_trip_and_key_order(self):
+        """Serialize, shuffle every mapping's key order, rebuild: the
+        fingerprint must not move."""
+        system = build_surgery_system()
+        data = system_to_dict(system)
+
+        def reorder(value):
+            if isinstance(value, dict):
+                keys = sorted(value, reverse=True)
+                return {k: reorder(value[k]) for k in keys}
+            if isinstance(value, list):
+                return [reorder(v) for v in value]
+            return value
+
+        rebuilt = system_from_dict(reorder(data))
+        assert model_fingerprint(rebuilt) == model_fingerprint(system)
+
+    def test_descriptions_do_not_affect_fingerprint(self):
+        plain = _clinic()
+        described = (
+            SystemBuilder("clinic")
+            .schema("Visit", [("name", "string", "identifier"),
+                              ("issue", "string", "sensitive")])
+            .actor("Doctor", description="the attending")
+            .actor("Auditor", description="compliance team")
+            .datastore("Records", "Visit",
+                       description="visit notes")
+            .service("Consult", description="a consultation")
+            .flow(1, "User", "Doctor", ["name", "issue"])
+            .flow(2, "Doctor", "Records", ["name", "issue"])
+            .allow("Doctor", ["read", "create"], "Records")
+            .allow("Auditor", "read", "Records")
+            .build()
+        )
+        assert model_fingerprint(plain) == model_fingerprint(described)
+
+    def test_semantic_change_changes_fingerprint(self):
+        baseline = build_surgery_system()
+        tightened = build_surgery_system()
+        from repro.casestudies import tighten_administrator_policy
+        tighten_administrator_policy(tightened)
+        assert model_fingerprint(baseline) != model_fingerprint(tightened)
+
+    def test_canonical_dict_is_sorted(self):
+        data = canonical_system_dict(_clinic("reversed"))
+        actor_names = [a["name"] for a in data["actors"]]
+        assert actor_names == sorted(actor_names)
+        assert "description" not in data["actors"][0]
+
+
+class TestOptionsAndUserFingerprints:
+    def test_options_key_order_insensitive(self):
+        first = GenerationOptions(
+            potential_read_actors=frozenset(["B", "A"]),
+            include_potential_reads=True,
+            initial_store_contents={"S1": ("a", "b"), "S2": ("c",)})
+        second = GenerationOptions(
+            potential_read_actors=frozenset(["A", "B"]),
+            include_potential_reads=True,
+            initial_store_contents={"S2": ("c",), "S1": ("b", "a")})
+        assert options_fingerprint(first) == options_fingerprint(second)
+
+    def test_options_changes_are_visible(self):
+        assert options_fingerprint(GenerationOptions()) != \
+            options_fingerprint(GenerationOptions(ordering="sequence"))
+        assert options_fingerprint(None) != \
+            options_fingerprint(GenerationOptions())
+
+    def test_user_fingerprint_insensitive_to_insertion_order(self):
+        first = UserProfile("u", agreed_services=["B", "A"],
+                            sensitivities={"x": 0.5, "y": 0.9})
+        second = UserProfile("u", agreed_services=["A", "B"],
+                             sensitivities={"y": 0.9, "x": 0.5})
+        assert user_fingerprint(first) == user_fingerprint(second)
+
+    def test_user_fingerprint_sees_sensitivity_change(self):
+        first = UserProfile("u", agreed_services=["A"],
+                            sensitivities={"x": 0.5})
+        second = UserProfile("u", agreed_services=["A"],
+                             sensitivities={"x": 0.6})
+        assert user_fingerprint(first) != user_fingerprint(second)
+
+
+class TestStableHash:
+    def test_dict_key_order_is_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == \
+            stable_hash({"b": 2, "a": 1})
+
+    def test_is_a_hex_digest(self):
+        digest = stable_hash(["x", 1, None])
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_rejects_unencodable_payloads(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())
