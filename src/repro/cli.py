@@ -11,10 +11,17 @@ Subcommands mirror the method's steps over a DSL model file:
   per-user unwanted-disclosure analysis (Step 3, §III.A);
 - ``repro identify model.dsl`` — who can identify what;
 - ``repro export model.dsl -o lts.json`` — the generated LTS as JSON;
-- ``repro engine run m1.dsl m2.dsl --agree Svc`` — batch-analyse many
-  models through the cache-aware engine;
-- ``repro engine sweep --count 50`` — generate a scenario fleet and
-  roll the results into a fleet report.
+- ``repro engine run m1.dsl m2.dsl --agree Svc --kind pseudonym`` —
+  batch-analyse many models through the cache-aware engine, under any
+  registered analysis kind;
+- ``repro engine sweep --count 50 --kinds disclosure consent_change``
+  — generate a (mixed-kind) scenario fleet and roll the results into
+  a fleet report;
+- ``repro engine reanalyze old.dsl new.dsl --agree Svc`` — diff-driven
+  incremental re-analysis: analyse the old model, classify what the
+  edit invalidates, re-run only that;
+- ``repro engine cache stats|prune --cache-dir DIR`` — inspect and
+  age/size-prune the on-disk store.
 
 Exit codes: 0 success, 1 findings (validation errors / risk at or
 above ``--fail-at``), 2 usage or input errors.
@@ -148,17 +155,43 @@ def _cmd_analyse(args) -> int:
     return 0
 
 
-def _cmd_engine_run(args) -> int:
-    from .engine import AnalysisJob, BatchEngine, FleetReport
-    user = UserProfile(
+def _cli_user(args) -> UserProfile:
+    return UserProfile(
         args.user,
         agreed_services=args.agree,
         sensitivities=_parse_sensitivities(args.sensitivity),
         default_sensitivity=args.default_sensitivity,
         acceptable_risk=args.acceptable,
     )
+
+
+def _consent_params(args) -> Optional[dict]:
+    """The consent_change job params, or None for every other kind.
+
+    Only consent_change reads them, and params enter the cache
+    identity — attaching them to other kinds would silently fork the
+    cache; naming them there is a usage error instead.
+    """
+    change = {}
+    if getattr(args, "change_agree", None):
+        change["agree"] = list(args.change_agree)
+    if getattr(args, "change_withdraw", None):
+        change["withdraw"] = list(args.change_withdraw)
+    if not change:
+        return None
+    if args.kind != "consent_change":
+        raise ValueError(
+            "--change-agree/--change-withdraw only apply to "
+            f"--kind consent_change (got --kind {args.kind})")
+    return change
+
+
+def _cmd_engine_run(args) -> int:
+    from .engine import AnalysisJob, BatchEngine, FleetReport
+    user = _cli_user(args)
     jobs = [
         AnalysisJob(system=_load_model(path), user=user,
+                    kind=args.kind, params=_consent_params(args),
                     scenario=path, family="cli", variant="run")
         for path in args.models
     ]
@@ -167,7 +200,7 @@ def _cmd_engine_run(args) -> int:
     batch = engine.run(jobs)
     for result in batch.results:
         cached = " (cached)" if result.from_cache else ""
-        print(f"{result.scenario}: max risk "
+        print(f"{result.scenario} [{result.kind}]: max risk "
               f"{result.max_level}{cached} — "
               f"{len(result.events)} event(s), {result.states} states")
     print(batch.stats.describe())
@@ -185,7 +218,8 @@ def _cmd_engine_sweep(args) -> int:
                          scenario_jobs)
     generator = ScenarioGenerator(seed=args.seed,
                                   personas_per_scenario=args.personas)
-    jobs = scenario_jobs(generator.generate(args.count))
+    jobs = scenario_jobs(generator.generate(args.count),
+                         kinds=args.kinds)
     engine = BatchEngine(backend=args.backend, workers=args.workers,
                          cache_dir=args.cache_dir)
     batch = engine.run(jobs)
@@ -196,6 +230,58 @@ def _cmd_engine_sweep(args) -> int:
     else:
         _write_output(report.describe(), args.output)
     print(f"result cache: {engine.result_cache.stats.describe()}")
+    return 0
+
+
+def _cmd_engine_reanalyze(args) -> int:
+    from .engine import AnalysisJob, BatchEngine, reanalyze
+    before = _load_model(args.before)
+    after = _load_model(args.after)
+    user = _cli_user(args)
+    jobs = [AnalysisJob(system=before, user=user, kind=args.kind,
+                        params=_consent_params(args),
+                        scenario=args.before, family="cli",
+                        variant="reanalyze")]
+    engine = BatchEngine(backend=args.backend, workers=args.workers,
+                         cache_dir=args.cache_dir)
+    baseline = engine.run(jobs)
+    print(f"baseline: {baseline.stats.describe()}")
+    outcome = reanalyze(engine, before, after, jobs)
+    print(outcome.describe())
+    for result in outcome.batch.results:
+        print(f"{args.after} [{result.kind}]: max risk "
+              f"{result.max_level} — {len(result.events)} event(s), "
+              f"{result.states} states")
+    threshold = RiskLevel.from_name(args.fail_at)
+    worst = max((r.level for r in outcome.batch.results),
+                default=RiskLevel.NONE)
+    if worst >= threshold and worst is not RiskLevel.NONE:
+        return 1
+    return 0
+
+
+def _cmd_engine_cache(args) -> int:
+    from .engine import prune_stores, store_report
+    if args.cache_command == "stats":
+        report = store_report(args.cache_dir)
+        if not report:
+            print(f"no engine stores under {args.cache_dir}")
+            return 0
+        for store_name, info in report.items():
+            print(f"{store_name}: {info['entries']} entries, "
+                  f"{info['bytes']} bytes, oldest "
+                  f"{info['oldest_age']:.0f}s, newest "
+                  f"{info['newest_age']:.0f}s")
+        return 0
+    max_age = args.max_age_days * 86400.0 \
+        if args.max_age_days is not None else None
+    reports = prune_stores(args.cache_dir, max_age=max_age,
+                           max_bytes=args.max_bytes)
+    if not reports:
+        print(f"no engine stores under {args.cache_dir}")
+        return 0
+    for store_name, report in reports.items():
+        print(f"{store_name}: {report.describe()}")
     return 0
 
 
@@ -274,6 +360,11 @@ def build_parser() -> argparse.ArgumentParser:
     engine_subs = engine.add_subparsers(dest="engine_command",
                                         required=True)
 
+    # The shipped kinds, spelled out so building the parser never
+    # imports the engine package (commands import it lazily); the
+    # registry re-validates the name at execution time.
+    kinds = ["consent_change", "disclosure", "pseudonym", "reidentify"]
+
     def add_engine_common(sub):
         sub.add_argument("--backend", default="thread",
                          choices=["serial", "thread", "process"],
@@ -284,24 +375,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist LTSs and results under this "
                               "directory")
 
+    def add_engine_user(sub):
+        sub.add_argument("--user", default="user")
+        sub.add_argument("--agree", nargs="+", required=True,
+                         metavar="SERVICE",
+                         help="services the user agreed to")
+        sub.add_argument("--sensitivity", nargs="*", default=[],
+                         metavar="FIELD=VALUE")
+        sub.add_argument("--default-sensitivity", type=float,
+                         default=0.0)
+        sub.add_argument("--acceptable", default="low",
+                         choices=["none", "low", "medium", "high"])
+        sub.add_argument("--kind", default="disclosure",
+                         choices=kinds,
+                         help="analysis kind to run")
+        sub.add_argument("--change-agree", nargs="*", default=[],
+                         metavar="SERVICE",
+                         help="consent_change kind: services the "
+                              "what-if agrees to")
+        sub.add_argument("--change-withdraw", nargs="*", default=[],
+                         metavar="SERVICE",
+                         help="consent_change kind: services the "
+                              "what-if withdraws from (default: the "
+                              "first agreed service)")
+        sub.add_argument("--fail-at", default="high",
+                         choices=["low", "medium", "high"],
+                         help="exit 1 when any result reaches this "
+                              "risk level")
+
     engine_run = engine_subs.add_parser(
         "run", help="analyse one user across many model files")
     engine_run.add_argument("models", nargs="+",
                             help="DSL model files")
-    engine_run.add_argument("--user", default="user")
-    engine_run.add_argument("--agree", nargs="+", required=True,
-                            metavar="SERVICE",
-                            help="services the user agreed to")
-    engine_run.add_argument("--sensitivity", nargs="*", default=[],
-                            metavar="FIELD=VALUE")
-    engine_run.add_argument("--default-sensitivity", type=float,
-                            default=0.0)
-    engine_run.add_argument("--acceptable", default="low",
-                            choices=["none", "low", "medium", "high"])
-    engine_run.add_argument("--fail-at", default="high",
-                            choices=["low", "medium", "high"],
-                            help="exit 1 when any model reaches this "
-                                 "risk level")
+    add_engine_user(engine_run)
     add_engine_common(engine_run)
     engine_run.set_defaults(func=_cmd_engine_run)
 
@@ -314,12 +420,46 @@ def build_parser() -> argparse.ArgumentParser:
                               help="scenario stream seed")
     engine_sweep.add_argument("--personas", type=int, default=2,
                               help="simulated users per scenario")
+    engine_sweep.add_argument("--kinds", nargs="+",
+                              default=["disclosure"], choices=kinds,
+                              help="analysis kinds to cycle across "
+                                   "the fleet")
     engine_sweep.add_argument("--json", action="store_true",
                               help="emit the aggregate as JSON")
     engine_sweep.add_argument("-o", "--output", default=None,
                               help="write the report to a file")
     add_engine_common(engine_sweep)
     engine_sweep.set_defaults(func=_cmd_engine_sweep)
+
+    engine_reanalyze = engine_subs.add_parser(
+        "reanalyze",
+        help="incremental re-analysis of an edited model: analyse the "
+             "old version, classify what the edit invalidates, re-run "
+             "only that")
+    engine_reanalyze.add_argument("before",
+                                  help="the previously analysed model")
+    engine_reanalyze.add_argument("after", help="the edited model")
+    add_engine_user(engine_reanalyze)
+    add_engine_common(engine_reanalyze)
+    engine_reanalyze.set_defaults(func=_cmd_engine_reanalyze)
+
+    engine_cache = engine_subs.add_parser(
+        "cache", help="inspect and prune the on-disk engine store")
+    cache_subs = engine_cache.add_subparsers(dest="cache_command",
+                                             required=True)
+    cache_stats = cache_subs.add_parser(
+        "stats", help="per-store entry counts, bytes and entry ages")
+    cache_stats.add_argument("--cache-dir", required=True)
+    cache_stats.set_defaults(func=_cmd_engine_cache)
+    cache_prune = cache_subs.add_parser(
+        "prune", help="evict entries by age and/or size budget")
+    cache_prune.add_argument("--cache-dir", required=True)
+    cache_prune.add_argument("--max-age-days", type=float, default=None,
+                             help="evict entries older than this")
+    cache_prune.add_argument("--max-bytes", type=int, default=None,
+                             help="per-store size budget; evicts "
+                                  "least-recently-used entries first")
+    cache_prune.set_defaults(func=_cmd_engine_cache)
 
     return parser
 

@@ -48,6 +48,18 @@ class ConsentChangeReport:
     def risk_increases(self) -> bool:
         return self.after_level > self.before_level
 
+    def summary_tuple(self) -> tuple:
+        """Flatten to plain values (batch-engine result payload)."""
+        return (
+            self.agreed_before,
+            self.agreed_after,
+            self.newly_allowed_actors,
+            self.newly_non_allowed_actors,
+            self.before_level.value,
+            self.after_level.value,
+            self.risk_increases,
+        )
+
     def describe(self) -> str:
         lines = [
             f"consent change for {self.user_name!r}: "

@@ -44,6 +44,18 @@ class PseudonymisationRisk:
     def violations(self) -> Optional[int]:
         return self.result.violations if self.result is not None else None
 
+    def summary_tuple(self) -> tuple:
+        """Flatten to plain values (batch-engine result payload)."""
+        scored = self.result is not None
+        return (
+            self.actor,
+            self.sensitive_field,
+            self.fields_read,
+            self.result.violations if scored else None,
+            len(self.result.per_record) if scored else None,
+            round(self.result.violation_fraction, 6) if scored else None,
+        )
+
     def describe(self) -> str:
         score = "unscored (no data)" if self.result is None else \
             f"violations={self.result.violations}" \
@@ -81,6 +93,16 @@ class PseudonymisationRiskAnalyzer:
         self.dataset = tuple(dataset) if dataset is not None else None
         self._field_map = dict(record_field_map) \
             if record_field_map is not None else None
+
+    def cache_key(self) -> tuple:
+        """Identity of this analyzer's *configuration* (policy and
+        field map; the dataset is keyed separately by the engine).
+        Part of the batch engine's analyzer-stage fingerprint."""
+        return (
+            self.policy.cache_key(),
+            tuple(sorted(self._field_map.items()))
+            if self._field_map is not None else None,
+        )
 
     # -- helpers ------------------------------------------------------------
 
@@ -203,3 +225,33 @@ class PseudonymisationRiskAnalyzer:
         for risk in risks:
             if risk.result is not None:
                 risk.result.enforce()
+
+
+def default_policy_for(system: SystemModel
+                       ) -> Optional[ValueRiskPolicy]:
+    """A deterministic :class:`ValueRiskPolicy` derived from the model.
+
+    Picks the pseudonymised field whose original is classified
+    ``sensitive`` (falling back to any pseudonymised field, sorted
+    order breaking ties) — the field the model itself says must not be
+    inferable. Returns None when the model pseudonymises nothing, i.e.
+    the analysis is not applicable. Used by the batch engine when no
+    explicit policy is configured for a ``pseudonym`` job.
+    """
+    from ...schema import FieldKind
+    originals = sorted({
+        field.anonymised_of
+        for schema in system.schemas.values()
+        for field in schema
+        if field.anonymised_of is not None
+    })
+    if not originals:
+        return None
+    kinds: Dict[str, object] = {}
+    for schema in system.schemas.values():
+        for field in schema:
+            kinds.setdefault(field.name, field.kind)
+    sensitive = [f for f in originals
+                 if kinds.get(f) is FieldKind.SENSITIVE]
+    chosen = sensitive[0] if sensitive else originals[0]
+    return ValueRiskPolicy(sensitive_field=chosen)

@@ -53,12 +53,28 @@ class ReidentificationFinding:
                          f"{self.journalist.highest_risk:.2f}")
         return " ".join(parts)
 
-    def exceeds(self, threshold: float) -> bool:
-        """Whether any attacker model reaches the threshold."""
-        worst = self.prosecutor.highest_risk
+    @property
+    def worst_risk(self) -> float:
+        """The highest risk across the enabled attacker models."""
+        worst = max(self.prosecutor.highest_risk, self.marketer)
         if self.journalist is not None:
             worst = max(worst, self.journalist.highest_risk)
-        return max(worst, self.marketer) >= threshold
+        return worst
+
+    def exceeds(self, threshold: float) -> bool:
+        """Whether any attacker model reaches the threshold."""
+        return self.worst_risk >= threshold
+
+    def summary_tuple(self) -> tuple:
+        """Flatten to plain values (batch-engine result payload)."""
+        return (
+            self.actor,
+            self.quasi_identifiers,
+            round(self.prosecutor.highest_risk, 6),
+            round(self.journalist.highest_risk, 6)
+            if self.journalist is not None else None,
+            round(self.marketer, 6),
+        )
 
 
 class ReidentificationAnnotator:
@@ -91,6 +107,16 @@ class ReidentificationAnnotator:
         self._field_map = dict(record_field_map) \
             if record_field_map is not None else None
         self.threshold = threshold
+
+    def cache_key(self) -> tuple:
+        """Identity of this annotator's *configuration* (field map and
+        threshold; the dataset/population are keyed separately by the
+        engine). Part of the batch engine's analyzer-stage key."""
+        return (
+            tuple(sorted(self._field_map.items()))
+            if self._field_map is not None else None,
+            self.threshold,
+        )
 
     def _map_field(self, lts_field: str) -> str:
         if self._field_map is not None:

@@ -70,6 +70,12 @@ class ValueRiskPolicy:
                 f"{self.max_violation_fraction}"
             )
 
+    def cache_key(self) -> tuple:
+        """Stable, hashable identity for memoising analysis results
+        computed under this policy (batch-engine contract)."""
+        return (self.sensitive_field, self.closeness, self.confidence,
+                self.max_violation_fraction)
+
     def values_match(self, left, right) -> bool:
         if isinstance(left, (int, float)) and \
                 isinstance(right, (int, float)):

@@ -91,6 +91,38 @@ class ModelDiff:
         reviewer's first question about a model change."""
         return bool(self.added_grants)
 
+    @property
+    def structural_change(self) -> bool:
+        """Whether any node or flow changed (everything except ACL
+        grants). Structural changes always invalidate generated LTSs;
+        grant-only changes may not (see
+        :mod:`repro.engine.incremental`)."""
+        return any((
+            self.added_actors, self.removed_actors,
+            self.added_datastores, self.removed_datastores,
+            self.added_services, self.removed_services,
+            self.added_flows, self.removed_flows,
+        ))
+
+    @property
+    def acl_only(self) -> bool:
+        """Whether the change touches grants and nothing else."""
+        return not self.structural_change and bool(
+            self.added_grants or self.removed_grants)
+
+    @property
+    def changed_grants(self) -> Tuple[GrantKey, ...]:
+        """Every grant atom the change added or removed."""
+        return self.added_grants + self.removed_grants
+
+    def touches_permission(self, *permissions: str) -> bool:
+        """Whether any added/removed grant carries one of the
+        permissions (e.g. ``touches_permission('read')`` asks if the
+        change moves anyone's read surface)."""
+        wanted = set(permissions)
+        return any(grant.permission in wanted
+                   for grant in self.changed_grants)
+
     def describe(self) -> str:
         if self.is_empty:
             return "no structural changes"

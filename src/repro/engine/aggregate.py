@@ -6,6 +6,12 @@ service-operator questions over a whole sweep: where are the worst
 exposures, how does risk distribute over the impact x likelihood
 matrix, and what did a design variant (pseudonymisation on, policy
 tightened) buy relative to its family baseline.
+
+Fleets may mix analysis kinds; the shared rollups (level histogram,
+worst cases, variant deltas) treat every kind's ``max_level``
+uniformly, while each kind contributes its own aggregation (total
+pseudonymisation violations, consent changes that raised risk, ...)
+through its registry hook — see ``kind_rollups``.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .._util import ascii_table
 from ..core.risk import RiskLevel
 from .jobs import JobResult, RiskEventSummary
+from .kinds import get_kind
 from .runner import EngineStats
 
 _LEVELS = (RiskLevel.NONE, RiskLevel.LOW, RiskLevel.MEDIUM,
@@ -77,6 +84,26 @@ class FleetReport:
         return tuple(paths[:count])
 
     # -- grouping / deltas ----------------------------------------------------
+
+    def by_kind(self) -> Dict[str, Tuple[JobResult, ...]]:
+        """Results grouped by analysis kind, sorted by kind name."""
+        grouped: Dict[str, List[JobResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.kind, []).append(result)
+        return {kind: tuple(results)
+                for kind, results in sorted(grouped.items())}
+
+    def kind_histogram(self) -> Dict[str, int]:
+        """Job count per analysis kind."""
+        return {kind: len(results)
+                for kind, results in self.by_kind().items()}
+
+    def kind_rollups(self) -> Dict[str, Dict[str, object]]:
+        """Each kind's own fleet aggregation (registry hook)."""
+        return {
+            kind: get_kind(kind).aggregate(results)
+            for kind, results in self.by_kind().items()
+        }
 
     def by_family(self) -> Dict[str, Tuple[JobResult, ...]]:
         grouped: Dict[str, List[JobResult]] = {}
@@ -153,6 +180,10 @@ class FleetReport:
     def describe(self) -> str:
         """The operator's one-screen fleet summary."""
         lines = [self.summary_table(), ""]
+        kinds = self.kind_histogram()
+        if len(kinds) > 1 or (kinds and "disclosure" not in kinds):
+            lines.append("analysis kinds: " + ", ".join(
+                f"{kind}={count}" for kind, count in kinds.items()))
         histogram = self.level_histogram()
         lines.append("risk levels: " + ", ".join(
             f"{name}={histogram[name]}"
@@ -182,12 +213,15 @@ class FleetReport:
             "jobs": len(self.results),
             "max_level": self.max_level().value,
             "level_histogram": self.level_histogram(),
+            "kind_histogram": self.kind_histogram(),
+            "kinds": self.kind_rollups(),
             "matrix_histogram": self.matrix_histogram(),
             "scenario_deltas": self.scenario_deltas(),
             "worst": [
                 {
                     "job_id": result.job_id,
                     "scenario": result.scenario,
+                    "kind": result.kind,
                     "user": result.user,
                     "max_level": result.max_level,
                     "events": len(result.events),

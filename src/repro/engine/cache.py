@@ -10,6 +10,12 @@ implementations cover the deployment spectrum:
 - :class:`TieredCache` — layers caches (memory over disk), promoting
   lower-tier hits upward.
 
+The disk tier has a lifecycle: :meth:`DiskCache.prune` evicts by age
+and/or total size budget (oldest entries first, LRU-approximated by
+file mtime — reads touch their entry), :meth:`DiskCache.entries`
+inspects the store, and :func:`store_report` summarises a whole engine
+cache directory for the ``repro engine cache`` CLI.
+
 Keys are hex fingerprints (see :mod:`repro.engine.fingerprint`), which
 double as safe file names.
 """
@@ -20,9 +26,10 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, NamedTuple, Optional
 
 
 @dataclass
@@ -88,16 +95,53 @@ class LRUCache:
             self._entries.clear()
 
 
+class CacheEntry(NamedTuple):
+    """One on-disk entry as :meth:`DiskCache.entries` reports it."""
+
+    key: str
+    size: int
+    mtime: float
+
+    @property
+    def age(self) -> float:
+        return max(0.0, time.time() - self.mtime)
+
+
+class PruneReport(NamedTuple):
+    """What one :meth:`DiskCache.prune` call did."""
+
+    removed: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
+
+    def describe(self) -> str:
+        return (f"pruned {self.removed} entries "
+                f"({self.freed_bytes} bytes), kept {self.kept} "
+                f"({self.kept_bytes} bytes)")
+
+
 class DiskCache:
     """Pickle-per-entry persistence under a directory.
 
     Writes go through a temp file + ``os.replace`` so concurrent
     writers (the process backend's workers) never expose a partially
-    written entry; unreadable or corrupt entries read as misses.
+    written entry; unreadable or corrupt entries read as misses. Hits
+    touch their file's mtime, so :meth:`prune`'s oldest-first eviction
+    approximates LRU rather than FIFO.
+
+    ``max_age``/``max_bytes`` are this store's *default budgets*: they
+    are applied by :meth:`prune` when it is called without arguments
+    (the engine never prunes implicitly — lifecycle is an explicit,
+    operator-driven action via ``repro engine cache prune``).
     """
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str,
+                 max_age: Optional[float] = None,
+                 max_bytes: Optional[int] = None):
         self.directory = directory
+        self.max_age = max_age
+        self.max_bytes = max_bytes
         os.makedirs(directory, exist_ok=True)
         self.stats = CacheStats()
 
@@ -105,13 +149,21 @@ class DiskCache:
         return os.path.join(self.directory, f"{key}.pkl")
 
     def get(self, key: str) -> Optional[Any]:
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 value = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
+                AttributeError, ImportError, ValueError, KeyError,
+                IndexError, TypeError):
+            # Corrupt bytes surface through whatever opcode they spell
+            # out; any of these reads as a miss, never a crash.
             self.stats.misses += 1
             return None
+        try:
+            os.utime(path)          # LRU touch for prune ordering
+        except OSError:
+            pass
         self.stats.hits += 1
         return value
 
@@ -134,6 +186,80 @@ class DiskCache:
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory)
                    if name.endswith(".pkl"))
+
+    def entries(self) -> List[CacheEntry]:
+        """Every entry with its size and mtime, oldest first.
+
+        Entries that vanish mid-listing (a concurrent prune or clear)
+        are skipped rather than raised.
+        """
+        found: List[CacheEntry] = []
+        for name in os.listdir(self.directory):
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            found.append(CacheEntry(name[:-len(".pkl")],
+                                    info.st_size, info.st_mtime))
+        found.sort(key=lambda e: (e.mtime, e.key))
+        return found
+
+    def size_bytes(self) -> int:
+        """Total bytes held by the store's entries."""
+        return sum(entry.size for entry in self.entries())
+
+    def prune(self, max_age: Optional[float] = None,
+              max_bytes: Optional[int] = None) -> PruneReport:
+        """Evict entries by age and/or total-size budget.
+
+        Entries older than ``max_age`` seconds go first; then, while
+        the store exceeds ``max_bytes``, the least-recently-used
+        remaining entries go. Arguments default to the store's
+        configured budgets; with neither set this is a no-op report.
+        """
+        max_age = max_age if max_age is not None else self.max_age
+        max_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        kept = self.entries()
+        removed = 0
+        freed = 0
+
+        def evict(entry: CacheEntry) -> bool:
+            try:
+                os.unlink(self._path(entry.key))
+            except OSError:
+                return False
+            self.stats.evictions += 1
+            return True
+
+        if max_age is not None:
+            survivors = []
+            for entry in kept:
+                if entry.age > max_age and evict(entry):
+                    removed += 1
+                    freed += entry.size
+                else:
+                    survivors.append(entry)
+            kept = survivors
+        if max_bytes is not None:
+            total = sum(entry.size for entry in kept)
+            survivors = []
+            for index, entry in enumerate(kept):
+                if total <= max_bytes:
+                    survivors.extend(kept[index:])
+                    break
+                if evict(entry):
+                    removed += 1
+                    freed += entry.size
+                    total -= entry.size
+                else:
+                    survivors.append(entry)
+            kept = survivors
+        return PruneReport(removed=removed, freed_bytes=freed,
+                           kept=len(kept),
+                           kept_bytes=sum(e.size for e in kept))
 
     def clear(self) -> None:
         for name in os.listdir(self.directory):
@@ -173,6 +299,21 @@ class TieredCache:
             layer.put(key, value)
         self.stats.puts += 1
 
+    def prune(self, max_age: Optional[float] = None,
+              max_bytes: Optional[int] = None) -> PruneReport:
+        """Prune every layer that supports pruning; merged report."""
+        removed = freed = kept = kept_bytes = 0
+        for layer in self.layers:
+            prune = getattr(layer, "prune", None)
+            if prune is None:
+                continue
+            report = prune(max_age=max_age, max_bytes=max_bytes)
+            removed += report.removed
+            freed += report.freed_bytes
+            kept += report.kept
+            kept_bytes += report.kept_bytes
+        return PruneReport(removed, freed, kept, kept_bytes)
+
     def clear(self) -> None:
         for layer in self.layers:
             layer.clear()
@@ -186,3 +327,52 @@ def build_cache(memory_entries: int = 256,
     if directory is None:
         return memory
     return TieredCache(memory, DiskCache(directory))
+
+
+#: The subdirectories a :class:`~repro.engine.runner.BatchEngine`
+#: cache_dir holds, by store role.
+ENGINE_STORES = ("results", "lts")
+
+
+def store_report(cache_dir: str) -> Dict[str, Dict[str, Any]]:
+    """Summarise an engine cache directory's on-disk stores.
+
+    One summary per existing store (``results``/``lts``): entry count,
+    total bytes, and the oldest/newest entry age in seconds. Missing
+    stores are skipped (a never-used tier is not an error).
+    """
+    report: Dict[str, Dict[str, Any]] = {}
+    for store_name in ENGINE_STORES:
+        directory = os.path.join(cache_dir, store_name)
+        if not os.path.isdir(directory):
+            continue
+        entries = DiskCache(directory).entries()
+        report[store_name] = {
+            "entries": len(entries),
+            "bytes": sum(e.size for e in entries),
+            "oldest_age": round(max((e.age for e in entries),
+                                    default=0.0), 3),
+            "newest_age": round(min((e.age for e in entries),
+                                    default=0.0), 3),
+        }
+    return report
+
+
+def prune_stores(cache_dir: str,
+                 max_age: Optional[float] = None,
+                 max_bytes: Optional[int] = None
+                 ) -> Dict[str, PruneReport]:
+    """Prune every on-disk store under ``cache_dir``.
+
+    ``max_bytes`` is a *per-store* budget (the stores have
+    independent churn profiles; a byte of LTS blob and a byte of
+    result are not interchangeable).
+    """
+    reports: Dict[str, PruneReport] = {}
+    for store_name in ENGINE_STORES:
+        directory = os.path.join(cache_dir, store_name)
+        if not os.path.isdir(directory):
+            continue
+        reports[store_name] = DiskCache(directory).prune(
+            max_age=max_age, max_bytes=max_bytes)
+    return reports

@@ -1,0 +1,205 @@
+"""Diff-driven incremental re-analysis of model fleets.
+
+MDE lives on iteration: analyse, change the model, re-analyse. A cold
+re-run recomputes everything; this module recomputes only what a
+change actually invalidates, by mapping a structural
+:class:`~repro.dfd.diff.ModelDiff` onto the engine's staged
+fingerprints:
+
+- **nothing** — the canonical fingerprints agree (e.g. only
+  descriptions changed): every job short-circuits at the result cache.
+- **analyzers** — the LTS stage provably survives: grant-only changes
+  that touch no permission the generator consumes. The generator reads
+  the access policy in exactly two places — read grants (the derived
+  ``could`` variables and potential-read transitions) and delete
+  grants (policy-delete transitions, only when generation enables
+  them). A change confined to other permissions (create/update) can
+  therefore re-seed every cached LTS under its new stage-2 key and
+  re-run only the cheap analyzer stage.
+- **everything** — structural changes (nodes, flows, schemas, roles)
+  or grant changes the generator can see: the model's jobs re-run from
+  LTS generation.
+
+The classification is deliberately *sound over eager*: anything the
+diff cannot prove unchanged (schema edits and role reassignments are
+invisible to :func:`~repro.dfd.diff.diff_models`) falls back to
+``everything``. Unchanged sibling models in the fleet always
+short-circuit at the result cache, so a one-model edit re-runs
+strictly fewer jobs than a cold sweep either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..dfd import SystemModel, canonical_system_dict
+from ..dfd.diff import ModelDiff, diff_models
+from .fingerprint import lts_stage_key, model_fingerprint, stable_hash
+from .jobs import AnalysisJob
+from .kinds import get_kind
+from .runner import BatchEngine, BatchResult, resolve_options
+
+#: Stage-invalidation verdicts, least to most expensive.
+INVALIDATES_NOTHING = "nothing"
+INVALIDATES_ANALYZERS = "analyzers"
+INVALIDATES_EVERYTHING = "everything"
+
+#: ACL permissions the LTS generator consumes unconditionally (the
+#: ``could`` mask and potential reads) or conditionally (policy
+#: deletes, when the generation options enable them).
+_GENERATOR_PERMISSIONS = ("read",)
+_GENERATOR_DELETE_PERMISSIONS = ("delete",)
+
+
+@dataclass(frozen=True)
+class InvalidationPlan:
+    """Which fingerprint stages a model change invalidates."""
+
+    before_fp: str
+    after_fp: str
+    diff: ModelDiff
+    level: str
+    reason: str
+    #: False when the change moves delete grants, which invalidate the
+    #: LTS only for generations with ``include_deletes`` enabled.
+    delete_safe: bool = True
+
+    @property
+    def reuses_lts(self) -> bool:
+        return self.level == INVALIDATES_ANALYZERS
+
+    def level_for(self, options) -> str:
+        """The verdict under concrete generation options (delete-grant
+        changes only bite generations that enable policy deletes)."""
+        if self.level == INVALIDATES_ANALYZERS and not self.delete_safe \
+                and options is not None and options.include_deletes:
+            return INVALIDATES_EVERYTHING
+        return self.level
+
+    def describe(self) -> str:
+        lines = [f"change invalidates: {self.level} ({self.reason})"]
+        if self.diff.is_empty:
+            lines.append("  structural diff: none")
+        else:
+            lines.extend("  " + line
+                         for line in self.diff.describe().splitlines())
+        return "\n".join(lines)
+
+
+def _non_acl_parts(system: SystemModel) -> str:
+    """Fingerprint of everything the ACL-blind diff cannot see."""
+    data = canonical_system_dict(system)
+    data.pop("acl", None)
+    return stable_hash(data)
+
+
+def classify_invalidation(before: SystemModel,
+                          after: SystemModel) -> InvalidationPlan:
+    """Map the before -> after change onto the staged fingerprints."""
+    before_fp = model_fingerprint(before)
+    after_fp = model_fingerprint(after)
+    diff = diff_models(before, after)
+    if before_fp == after_fp:
+        return InvalidationPlan(
+            before_fp, after_fp, diff, INVALIDATES_NOTHING,
+            "model fingerprints are identical; cached results serve")
+    if diff.structural_change:
+        return InvalidationPlan(
+            before_fp, after_fp, diff, INVALIDATES_EVERYTHING,
+            "nodes or flows changed; generated LTSs are stale")
+    if _non_acl_parts(before) != _non_acl_parts(after):
+        # Schema, role or assignment changes are invisible to the
+        # structural diff but move the fingerprint: be conservative.
+        return InvalidationPlan(
+            before_fp, after_fp, diff, INVALIDATES_EVERYTHING,
+            "non-ACL model content changed outside the diff's view")
+    if diff.touches_permission(*_GENERATOR_PERMISSIONS):
+        return InvalidationPlan(
+            before_fp, after_fp, diff, INVALIDATES_EVERYTHING,
+            "read grants changed; the generator's could/potential-read "
+            "view of the policy moved")
+    return InvalidationPlan(
+        before_fp, after_fp, diff, INVALIDATES_ANALYZERS,
+        "grant-only change outside the generator's policy view; "
+        "LTSs re-seed, analyzers re-run",
+        delete_safe=not diff.touches_permission(
+            *_GENERATOR_DELETE_PERMISSIONS))
+
+
+@dataclass
+class ReanalysisOutcome:
+    """One incremental re-analysis: its batch, plan and accounting."""
+
+    batch: BatchResult
+    plan: InvalidationPlan
+    jobs: int
+    retargeted: int
+    lts_seeded: int
+
+    def describe(self) -> str:
+        stats = self.batch.stats
+        return "\n".join([
+            self.plan.describe(),
+            f"{self.jobs} jobs: {self.retargeted} retargeted to the "
+            f"edited model, {self.lts_seeded} LTS cache entries "
+            f"re-seeded",
+            stats.describe(),
+        ])
+
+
+def reanalyze(engine: BatchEngine, before: SystemModel,
+              after: SystemModel,
+              jobs: Sequence[AnalysisJob]) -> ReanalysisOutcome:
+    """Re-run a fleet after editing ``before`` into ``after``.
+
+    ``jobs`` is the fleet's job list as originally analysed (its jobs
+    referencing ``before`` — by content, not object identity — are
+    retargeted to ``after``; jobs over other models pass through and
+    short-circuit at the warm result cache). When the change provably
+    leaves generated LTSs intact, their cache entries are re-seeded
+    under the new stage-2 keys before execution, so the re-run skips
+    LTS generation as well as every unchanged job.
+
+    The engine should be the one that ran the original batch (or share
+    its ``cache_dir``); with a cold engine this degrades gracefully to
+    a plain run. Results carry the *new* model's fingerprints — they
+    are byte-identical to what a cold run over the edited fleet
+    produces.
+    """
+    plan = classify_invalidation(before, after)
+    model_fps: Dict[int, str] = {}
+    seeded_keys = set()
+    new_jobs: List[AnalysisJob] = []
+    retargeted = 0
+    lts_seeded = 0
+    for job in jobs:
+        fp = model_fps.get(id(job.system))
+        if fp is None:
+            fp = model_fingerprint(job.system)
+            model_fps[id(job.system)] = fp
+        if fp != plan.before_fp:
+            new_jobs.append(job)
+            continue
+        retargeted += 1
+        # Labels (and params) survive; only the model moves.
+        new_job = replace(job, system=after)
+        new_jobs.append(new_job)
+        if not plan.reuses_lts or not get_kind(new_job.kind).uses_lts:
+            continue
+        options = resolve_options(new_job)
+        if plan.level_for(options) != INVALIDATES_ANALYZERS:
+            continue
+        old_key = lts_stage_key(plan.before_fp, options)
+        new_key = lts_stage_key(plan.after_fp, options)
+        if new_key in seeded_keys:
+            continue
+        seeded_keys.add(new_key)
+        blob = engine.lts_cache.get(old_key)
+        if blob is not None:
+            engine.lts_cache.put(new_key, blob)
+            lts_seeded += 1
+    batch = engine.run(new_jobs)
+    return ReanalysisOutcome(
+        batch=batch, plan=plan, jobs=len(new_jobs),
+        retargeted=retargeted, lts_seeded=lts_seeded)

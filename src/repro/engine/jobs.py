@@ -1,16 +1,18 @@
 """Job and result types of the batch engine.
 
 An :class:`AnalysisJob` is one unit of work — a system model, the user
-to analyse it for, and optional explicit generation options. A
-:class:`JobResult` is its flat, picklable outcome: risk events reduced
-to value tuples so results travel across process boundaries and in/out
-of caches without dragging LTS objects along.
+to analyse it for, the analysis *kind* to run (disclosure by default),
+optional explicit generation options and optional per-kind parameters.
+A :class:`JobResult` is its flat, picklable outcome: risk events and
+kind-specific findings reduced to value tuples so results travel
+across process boundaries and in/out of caches without dragging LTS
+objects along.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import NamedTuple, Optional, Tuple
+from typing import Any, Mapping, NamedTuple, Optional, Tuple
 
 from ..consent import UserProfile
 from ..core import GenerationOptions
@@ -21,16 +23,23 @@ from ..dfd import SystemModel
 
 @dataclass
 class AnalysisJob:
-    """One model x user x options analysis request.
+    """One model x user x kind x options analysis request.
+
+    ``kind`` names an entry of the analysis-kind registry
+    (:mod:`repro.engine.kinds`); ``params`` carries kind-specific
+    inputs (e.g. ``{"withdraw": ["MedicalService"]}`` for a consent
+    change) and participates in the cache identity.
 
     ``scenario``/``family``/``variant`` are display/grouping labels
-    (no effect on the cache identity); ``job_id`` is assigned by the
-    engine when left empty.
+    (no effect on the cache identity — the engine asserts this);
+    ``job_id`` is assigned by the engine when left empty.
     """
 
     system: SystemModel
     user: UserProfile
     options: Optional[GenerationOptions] = None
+    kind: str = "disclosure"
+    params: Optional[Mapping[str, Any]] = None
     scenario: str = ""
     family: str = ""
     variant: str = ""
@@ -58,6 +67,11 @@ class JobResult:
     between a serial and a parallel run, or between a computed and a
     cached result. ``from_cache``/``lts_generated``/``duration`` are
     execution metadata and excluded from it.
+
+    ``events`` holds disclosure-style risk events (kinds that produce
+    none leave it empty); ``details`` is the kind's own flattened
+    payload as ``(key, value)`` pairs — see each kind's ``analyse``
+    for its schema.
     """
 
     job_id: str
@@ -71,18 +85,27 @@ class JobResult:
     max_level: str
     events: Tuple[RiskEventSummary, ...]
     non_allowed_actors: Tuple[str, ...]
+    kind: str = "disclosure"
+    details: Tuple[Tuple[str, Any], ...] = ()
     lts_generated: bool = True
     from_cache: bool = False
     duration: float = 0.0
 
     def signature(self) -> tuple:
-        return (self.fingerprint, self.user, self.states,
+        return (self.kind, self.fingerprint, self.user, self.states,
                 self.transitions, self.max_level, self.events,
-                self.non_allowed_actors)
+                self.non_allowed_actors, self.details)
 
     @property
     def level(self) -> RiskLevel:
         return RiskLevel.from_name(self.max_level)
+
+    def detail(self, key: str, default=None):
+        """The kind-payload entry named ``key`` (first match)."""
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
 
     def relabel(self, job: AnalysisJob) -> "JobResult":
         """A cached result re-badged for the job that requested it."""
@@ -92,13 +115,10 @@ class JobResult:
             from_cache=True, lts_generated=False, duration=0.0)
 
 
-def summarize_report(job: AnalysisJob, fingerprint: str,
-                     report: DisclosureRiskReport,
-                     states: int, transitions: int,
-                     lts_generated: bool,
-                     duration: float) -> JobResult:
-    """Flatten a disclosure report into a :class:`JobResult`."""
-    events = tuple(
+def summarize_events(report: DisclosureRiskReport
+                     ) -> Tuple[RiskEventSummary, ...]:
+    """Flatten a disclosure report's events to plain value tuples."""
+    return tuple(
         RiskEventSummary(
             level=event.level.value,
             actor=event.actor,
@@ -110,19 +130,4 @@ def summarize_report(job: AnalysisJob, fingerprint: str,
             likelihood_category=event.assessment.likelihood_category.value,
         )
         for event in report.events
-    )
-    return JobResult(
-        job_id=job.job_id,
-        scenario=job.scenario,
-        family=job.family,
-        variant=job.variant,
-        fingerprint=fingerprint,
-        user=job.user.name,
-        states=states,
-        transitions=transitions,
-        max_level=report.max_level.value,
-        events=events,
-        non_allowed_actors=report.non_allowed_actors,
-        lts_generated=lts_generated,
-        duration=duration,
     )

@@ -1,0 +1,444 @@
+"""The analysis-kind registry: the engine's typed job taxonomy.
+
+The paper's method is more than disclosure detection — it prescribes
+pseudonymisation checks (III.B), consent-change what-ifs and
+re-identification exposure (V). Each of those is an
+:class:`AnalysisKind` here: a stateless strategy object declaring
+
+- its **analyzer-stage cache key** (which parts of the engine
+  configuration its outcome depends on),
+- its **default generation options** (what LTS it wants, if any),
+- how to **analyse** one job into a flat, picklable outcome, and
+- how to **aggregate** its results at fleet level.
+
+Kinds are module-level singletons registered by name, so they pickle
+by reference and cross the process-backend boundary for free. The
+shared engine configuration travels as one :class:`AnalyzerConfig`
+value object; each kind pulls only the slice it declared in its
+``analyzer_key`` — which is precisely why a likelihood-model tweak
+re-keys disclosure jobs but leaves cached pseudonymisation results
+valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Any, ClassVar, Dict, Mapping, NamedTuple,
+                    Optional, Sequence, Tuple)
+
+from ..core import GenerationOptions
+from ..core.lts import LTS
+from ..core.risk import (
+    DisclosureRiskAnalyzer,
+    LikelihoodModel,
+    PseudonymisationRiskAnalyzer,
+    ReidentificationAnnotator,
+    RiskLevel,
+    RiskMatrix,
+    analyse_consent_change,
+)
+from ..core.risk.pseudonym import default_policy_for
+from ..core.risk.valuerisk import ValueRiskPolicy
+from ..datastore import Record
+from ..errors import AnalysisError
+from ..schema import anon_name
+from .jobs import AnalysisJob, RiskEventSummary, summarize_events
+
+
+def dataset_key(records: Optional[Sequence[Record]]
+                ) -> Optional[Tuple[tuple, ...]]:
+    """A stable, JSON-encodable identity for a released dataset.
+
+    Record values may be rich objects (e.g. generalisation intervals),
+    so values key by ``repr``; records sort by their canonical form so
+    load order is irrelevant.
+    """
+    if records is None:
+        return None
+    return tuple(sorted(
+        tuple(sorted((name, repr(record[name])) for name in record))
+        for record in records
+    ))
+
+
+@dataclass(frozen=True)
+class AnalyzerConfig:
+    """The engine-level analyzer configuration shared by every job.
+
+    One picklable value object covering all kinds; each kind's
+    ``analyzer_key`` names the slice it actually reads, so unrelated
+    settings never invalidate a kind's cached results.
+
+    ``likelihood``/``matrix`` drive disclosure and consent-change
+    assessment; ``value_policy`` the pseudonymisation inference check
+    (derived per-model when None); ``dataset``/``population``/
+    ``record_field_map``/``reid_threshold`` the data-backed scoring of
+    the pseudonym and reidentify kinds (both stay useful without data:
+    unscored risk transitions, empty findings).
+    """
+
+    likelihood: LikelihoodModel
+    matrix: RiskMatrix
+    value_policy: Optional[ValueRiskPolicy] = None
+    dataset: Optional[Tuple[Record, ...]] = None
+    population: Optional[Tuple[Record, ...]] = None
+    record_field_map: Optional[Tuple[Tuple[str, str], ...]] = None
+    reid_threshold: float = 0.5
+
+    @classmethod
+    def build(cls, likelihood: Optional[LikelihoodModel] = None,
+              matrix: Optional[RiskMatrix] = None,
+              value_policy: Optional[ValueRiskPolicy] = None,
+              dataset: Optional[Sequence[Record]] = None,
+              population: Optional[Sequence[Record]] = None,
+              record_field_map: Optional[Mapping[str, str]] = None,
+              reid_threshold: float = 0.5) -> "AnalyzerConfig":
+        """Normalise user-facing inputs (example defaults, tuples)."""
+        return cls(
+            likelihood=likelihood if likelihood is not None
+            else LikelihoodModel.example(),
+            matrix=matrix if matrix is not None else RiskMatrix.example(),
+            value_policy=value_policy,
+            dataset=tuple(dataset) if dataset is not None else None,
+            population=tuple(population)
+            if population is not None else None,
+            record_field_map=tuple(sorted(record_field_map.items()))
+            if record_field_map is not None else None,
+            reid_threshold=reid_threshold,
+        )
+
+    def field_map(self) -> Optional[Dict[str, str]]:
+        return dict(self.record_field_map) \
+            if self.record_field_map is not None else None
+
+
+class KindOutcome(NamedTuple):
+    """What one kind's ``analyse`` produces for one job."""
+
+    max_level: str
+    events: Tuple[RiskEventSummary, ...]
+    non_allowed_actors: Tuple[str, ...]
+    details: Tuple[Tuple[str, Any], ...]
+
+
+class AnalysisKind:
+    """One entry of the analysis-kind registry.
+
+    Subclasses are stateless: all configuration arrives through the
+    :class:`AnalyzerConfig` and the job's ``params``.
+    """
+
+    #: Registry name; the value of :attr:`AnalysisJob.kind`.
+    name: ClassVar[str] = ""
+    #: Whether ``analyse`` consumes a generated LTS (and therefore
+    #: participates in the LTS-stage cache). Kinds that orchestrate
+    #: their own generations (consent what-ifs) opt out.
+    uses_lts: ClassVar[bool] = True
+
+    def analyzer_key(self, config: AnalyzerConfig) -> tuple:
+        """The slice of ``config`` this kind's outcome depends on —
+        the kind's contribution to the analyzer-stage fingerprint."""
+        raise NotImplementedError
+
+    def default_options(self, job: AnalysisJob
+                        ) -> Optional[GenerationOptions]:
+        """The generation this kind wants when the job names none
+        (None for kinds that generate internally)."""
+        raise NotImplementedError
+
+    def analyse(self, job: AnalysisJob, lts: Optional[LTS],
+                config: AnalyzerConfig) -> KindOutcome:
+        """Run the analysis; ``lts`` is a private instance (kinds may
+        mutate it) and None when :attr:`uses_lts` is False."""
+        raise NotImplementedError
+
+    def aggregate(self, results: Sequence) -> Dict[str, Any]:
+        """Fleet-level rollup of this kind's results (hook for
+        :class:`~repro.engine.aggregate.FleetReport`)."""
+        worst = max((r.level for r in results), default=RiskLevel.NONE)
+        return {"jobs": len(results), "max_level": worst.value}
+
+
+class DisclosureKind(AnalysisKind):
+    """Unwanted-disclosure analysis (paper III.A) — the original job."""
+
+    name = "disclosure"
+
+    def analyzer_key(self, config: AnalyzerConfig) -> tuple:
+        return ("disclosure",
+                DisclosureRiskAnalyzer.configuration_key(
+                    config.likelihood, config.matrix))
+
+    def default_options(self, job: AnalysisJob) -> GenerationOptions:
+        return DisclosureRiskAnalyzer.default_options(job.system,
+                                                      job.user)
+
+    def analyse(self, job: AnalysisJob, lts: Optional[LTS],
+                config: AnalyzerConfig) -> KindOutcome:
+        analyzer = DisclosureRiskAnalyzer(
+            job.system, config.likelihood, config.matrix)
+        report = analyzer.analyse(job.user, lts=lts)
+        return KindOutcome(
+            max_level=report.max_level.value,
+            events=summarize_events(report),
+            non_allowed_actors=report.non_allowed_actors,
+            details=(),
+        )
+
+    def aggregate(self, results: Sequence) -> Dict[str, Any]:
+        rollup = super().aggregate(results)
+        rollup["events"] = sum(len(r.events) for r in results)
+        return rollup
+
+
+class PseudonymKind(AnalysisKind):
+    """Pseudonymisation value-inference risk (paper III.B, Fig. 4).
+
+    Injects the dotted risk transitions into the job's LTS and scores
+    them against the configured dataset (unscored without one). On
+    models that pseudonymise nothing the outcome is a no-op marked
+    ``applicable=False`` rather than an error, so mixed fleets roll up
+    cleanly.
+
+    Triage mapping (engine-level, not paper semantics): ``high`` when
+    any scored risk violates for at least half its records, ``medium``
+    on any violation, ``low`` when risk transitions exist, ``none``
+    otherwise.
+    """
+
+    name = "pseudonym"
+
+    def analyzer_key(self, config: AnalyzerConfig) -> tuple:
+        return ("pseudonym",
+                config.value_policy.cache_key()
+                if config.value_policy is not None else None,
+                dataset_key(config.dataset),
+                config.record_field_map)
+
+    def default_options(self, job: AnalysisJob) -> GenerationOptions:
+        # All services: the release flows that move pseudonymised data
+        # are usually outside the user's agreed set.
+        return GenerationOptions()
+
+    def _policy(self, job: AnalysisJob,
+                config: AnalyzerConfig) -> Optional[ValueRiskPolicy]:
+        if config.value_policy is not None:
+            return config.value_policy
+        return default_policy_for(job.system)
+
+    def analyse(self, job: AnalysisJob, lts: Optional[LTS],
+                config: AnalyzerConfig) -> KindOutcome:
+        policy = self._policy(job, config)
+        applicable = (
+            policy is not None
+            and anon_name(policy.sensitive_field) in lts.registry.fields
+        )
+        if not applicable:
+            return KindOutcome(
+                max_level=RiskLevel.NONE.value, events=(),
+                non_allowed_actors=(),
+                details=(("applicable", False),))
+        analyzer = PseudonymisationRiskAnalyzer(
+            job.system, policy, dataset=config.dataset,
+            record_field_map=config.field_map())
+        risks = analyzer.annotate(lts)
+        scored = [r for r in risks if r.result is not None]
+        violations = sum(r.result.violations for r in scored)
+        worst_fraction = max(
+            (r.result.violation_fraction for r in scored), default=0.0)
+        if not risks:
+            level = RiskLevel.NONE
+        elif worst_fraction >= 0.5:
+            level = RiskLevel.HIGH
+        elif violations:
+            level = RiskLevel.MEDIUM
+        else:
+            level = RiskLevel.LOW
+        return KindOutcome(
+            max_level=level.value, events=(), non_allowed_actors=(),
+            details=(
+                ("applicable", True),
+                ("sensitive_field", policy.sensitive_field),
+                ("risks", len(risks)),
+                ("scored", len(scored)),
+                ("violations", violations),
+                ("worst_fraction", round(worst_fraction, 6)),
+                ("paths", tuple(r.summary_tuple() for r in risks)),
+            ))
+
+    def aggregate(self, results: Sequence) -> Dict[str, Any]:
+        rollup = super().aggregate(results)
+        rollup["applicable"] = sum(
+            1 for r in results if r.detail("applicable"))
+        rollup["risks"] = sum(r.detail("risks", 0) for r in results)
+        rollup["violations"] = sum(
+            r.detail("violations", 0) for r in results)
+        return rollup
+
+
+class ConsentChangeKind(AnalysisKind):
+    """Consent-change what-if (the lifetime-monitoring motivation).
+
+    ``params`` carry ``agree``/``withdraw`` service lists; absent
+    both, the default what-if withdraws the user's first agreed
+    service — the most common real change. The outcome's ``max_level``
+    is the *post-change* risk (the answer the what-if asks for);
+    before/after levels travel in the details.
+    """
+
+    name = "consent_change"
+    uses_lts = False
+
+    def analyzer_key(self, config: AnalyzerConfig) -> tuple:
+        return ("consent_change",
+                DisclosureRiskAnalyzer.configuration_key(
+                    config.likelihood, config.matrix))
+
+    def default_options(self, job: AnalysisJob) -> None:
+        return None
+
+    @staticmethod
+    def change_of(job: AnalysisJob) -> Tuple[Tuple[str, ...],
+                                             Tuple[str, ...]]:
+        """The (agree, withdraw) service lists of a job."""
+        params = job.params or {}
+        agree = tuple(params.get("agree", ()))
+        withdraw = tuple(params.get("withdraw", ()))
+        if not agree and not withdraw:
+            if not job.user.agreed_services:
+                raise AnalysisError(
+                    f"user {job.user.name!r} has no agreed services "
+                    "and the job names no consent change to analyse")
+            withdraw = (job.user.agreed_services[0],)
+        return agree, withdraw
+
+    def analyse(self, job: AnalysisJob, lts: Optional[LTS],
+                config: AnalyzerConfig) -> KindOutcome:
+        agree, withdraw = self.change_of(job)
+        report = analyse_consent_change(
+            job.system, job.user, agree=agree, withdraw=withdraw,
+            likelihood=config.likelihood, matrix=config.matrix)
+        after_events = summarize_events(report.after) \
+            if report.after is not None else ()
+        return KindOutcome(
+            max_level=report.after_level.value,
+            events=after_events,
+            non_allowed_actors=report.after.non_allowed_actors
+            if report.after is not None else (),
+            details=(
+                ("agree", agree),
+                ("withdraw", withdraw),
+                ("before_level", report.before_level.value),
+                ("after_level", report.after_level.value),
+                ("risk_increases", report.risk_increases),
+                ("newly_allowed", report.newly_allowed_actors),
+                ("newly_non_allowed",
+                 report.newly_non_allowed_actors),
+            ))
+
+    def aggregate(self, results: Sequence) -> Dict[str, Any]:
+        rollup = super().aggregate(results)
+        rollup["risk_increases"] = sum(
+            1 for r in results if r.detail("risk_increases"))
+        return rollup
+
+
+class ReidentifyKind(AnalysisKind):
+    """Re-identification exposure of pseudonymised reads (paper V).
+
+    Scores every anon-field read in the LTS under the prosecutor /
+    journalist / marketer attacker models against the configured
+    released dataset. Without a dataset the kind degrades to an empty,
+    explicitly-unscored outcome. Triage mapping: worst attacker risk
+    at or above the configured threshold is ``high``, at or above half
+    of it ``medium``, any finding ``low``.
+    """
+
+    name = "reidentify"
+
+    def analyzer_key(self, config: AnalyzerConfig) -> tuple:
+        return ("reidentify",
+                dataset_key(config.dataset),
+                dataset_key(config.population),
+                config.record_field_map,
+                config.reid_threshold)
+
+    def default_options(self, job: AnalysisJob) -> GenerationOptions:
+        return GenerationOptions()
+
+    def analyse(self, job: AnalysisJob, lts: Optional[LTS],
+                config: AnalyzerConfig) -> KindOutcome:
+        if config.dataset is None:
+            return KindOutcome(
+                max_level=RiskLevel.NONE.value, events=(),
+                non_allowed_actors=(),
+                details=(("scored", False), ("findings", 0)))
+        annotator = ReidentificationAnnotator(
+            config.dataset, population=config.population,
+            record_field_map=config.field_map(),
+            threshold=config.reid_threshold)
+        findings = annotator.annotate(lts)
+        worst = max((f.worst_risk for f in findings), default=0.0)
+        if not findings:
+            level = RiskLevel.NONE
+        elif worst >= config.reid_threshold:
+            level = RiskLevel.HIGH
+        elif worst >= config.reid_threshold / 2:
+            level = RiskLevel.MEDIUM
+        else:
+            level = RiskLevel.LOW
+        return KindOutcome(
+            max_level=level.value, events=(), non_allowed_actors=(),
+            details=(
+                ("scored", True),
+                ("findings", len(findings)),
+                ("worst_risk", round(worst, 6)),
+                ("paths", tuple(f.summary_tuple() for f in findings)),
+            ))
+
+    def aggregate(self, results: Sequence) -> Dict[str, Any]:
+        rollup = super().aggregate(results)
+        rollup["findings"] = sum(
+            r.detail("findings", 0) for r in results)
+        rollup["worst_risk"] = max(
+            (r.detail("worst_risk", 0.0) for r in results),
+            default=0.0)
+        return rollup
+
+
+# -- the registry -------------------------------------------------------------
+
+_REGISTRY: Dict[str, AnalysisKind] = {}
+
+
+def register_kind(kind: AnalysisKind) -> AnalysisKind:
+    """Add a kind to the registry (last registration wins)."""
+    if not kind.name:
+        raise ValueError("analysis kinds must declare a name")
+    _REGISTRY[kind.name] = kind
+    return kind
+
+
+def get_kind(name: str) -> AnalysisKind:
+    """The registered kind called ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown analysis kind {name!r}; registered kinds: "
+            f"{sorted(_REGISTRY)}") from None
+
+
+def kind_names() -> Tuple[str, ...]:
+    """The registered kind names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+DISCLOSURE = register_kind(DisclosureKind())
+PSEUDONYM = register_kind(PseudonymKind())
+CONSENT_CHANGE = register_kind(ConsentChangeKind())
+REIDENTIFY = register_kind(ReidentifyKind())
+
+#: The shipped first-class kinds, in registration order.
+KINDS: Tuple[str, ...] = (DISCLOSURE.name, PSEUDONYM.name,
+                          CONSENT_CHANGE.name, REIDENTIFY.name)

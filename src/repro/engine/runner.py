@@ -2,16 +2,20 @@
 
 Execution pipeline, per :meth:`BatchEngine.run` call:
 
-1. **Fingerprint** every job (model x options x user x analyzer).
+1. **Fingerprint** every job through the staged key recipe
+   (model stage -> LTS stage -> analyzer stage; see
+   :mod:`repro.engine.fingerprint`).
 2. **Result cache** — hits are returned without any work; duplicate
    fingerprints inside one batch are computed once and fanned out.
 3. **Dispatch** the misses to the selected backend: ``serial`` (in
    line), ``thread`` (:class:`~concurrent.futures.ThreadPoolExecutor`)
    or ``process`` (:class:`~concurrent.futures.ProcessPoolExecutor`).
-4. Inside each worker, **LTS memoisation**: the generated LTS of a
-   (model, options) pair is cached — in-memory LRU in front of the
-   shared on-disk store, so thread workers share objects and process
-   workers share the disk tier.
+4. Inside each worker, the job's :class:`~repro.engine.kinds
+   .AnalysisKind` runs. LTS-consuming kinds go through the **LTS
+   memo**: the generated LTS of a (model, options) pair is cached —
+   in-memory LRU in front of the shared on-disk store, so thread
+   workers share blobs and process workers share the disk tier.
+   Mixed-kind batches share LTSs whenever their stage-2 keys agree.
 5. Results return **in submission order**, regardless of backend or
    completion order, and are written back to the result cache.
 
@@ -24,15 +28,16 @@ from __future__ import annotations
 import os
 import pickle
 import time
+from dataclasses import dataclass, field, replace
 from concurrent import futures
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import GenerationOptions, ModelGenerator
-from ..core.risk import DisclosureRiskAnalyzer, LikelihoodModel, RiskMatrix
+from ..core.risk import LikelihoodModel, RiskMatrix
 from .cache import build_cache
 from .fingerprint import job_fingerprint, lts_cache_key, model_fingerprint
-from .jobs import AnalysisJob, JobResult, summarize_report
+from .jobs import AnalysisJob, JobResult
+from .kinds import AnalyzerConfig, get_kind
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -49,15 +54,21 @@ class EngineStats:
     lts_generations: int = 0
     lts_reuses: int = 0
     wall_time: float = 0.0
+    by_kind: Dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.jobs} jobs on {self.backend} backend in "
             f"{self.wall_time:.2f}s: {self.result_hits} result-cache "
             f"hits, {self.deduplicated} deduplicated, "
             f"{self.executed} executed ({self.lts_generations} LTS "
             f"generations, {self.lts_reuses} memo reuses)"
         )
+        if len(self.by_kind) > 1:
+            text += " [" + ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.by_kind.items())) + "]"
+        return text
 
 
 class BatchResult:
@@ -77,43 +88,61 @@ class BatchResult:
         return self.results[index]
 
 
-def resolve_options(job: AnalysisJob) -> GenerationOptions:
+def resolve_options(job: AnalysisJob) -> Optional[GenerationOptions]:
     """The effective generation options of a job.
 
-    Explicit options win; otherwise the disclosure-analysis default:
-    the user's agreed services with potential reads for every
-    non-allowed actor (mirrors
+    Explicit options win; otherwise the job's kind decides (for
+    disclosure: the user's agreed services with potential reads for
+    every non-allowed actor, mirroring
     :meth:`~repro.core.risk.disclosure.DisclosureRiskAnalyzer.analyse`).
+    Kinds that run their own generations resolve to None.
     """
     if job.options is not None:
         return job.options
-    return DisclosureRiskAnalyzer.default_options(job.system, job.user)
+    return get_kind(job.kind).default_options(job)
 
 
 def _run_analysis(job: AnalysisJob, fingerprint: str,
-                  options: GenerationOptions,
-                  likelihood: LikelihoodModel, matrix: RiskMatrix,
+                  options: Optional[GenerationOptions],
+                  config: AnalyzerConfig,
                   lts_cache, model_fp: str) -> JobResult:
-    """Generate (or recall) the LTS, analyse, flatten the report."""
+    """Recall (or generate) the LTS, run the job's kind, flatten."""
     start = time.perf_counter()
-    key = lts_cache_key(job.system, options, model_fp=model_fp)
-    # The memo stores pickled blobs, not live objects: analysis writes
-    # risk annotations onto the LTS it is handed, so every job must get
-    # a private instance (and thread workers must never share one).
-    blob = lts_cache.get(key) if lts_cache is not None else None
-    generated = blob is None
-    if generated:
-        lts = ModelGenerator(job.system).generate(options)
-        if lts_cache is not None:
-            lts_cache.put(key, pickle.dumps(
-                lts, protocol=pickle.HIGHEST_PROTOCOL))
-    else:
-        lts = pickle.loads(blob)
-    analyzer = DisclosureRiskAnalyzer(job.system, likelihood, matrix)
-    report = analyzer.analyse(job.user, lts=lts)
-    return summarize_report(
-        job, fingerprint, report,
-        states=len(lts), transitions=len(lts.transitions),
+    kind = get_kind(job.kind)
+    lts = None
+    generated = False
+    if kind.uses_lts:
+        key = lts_cache_key(job.system, options, model_fp=model_fp)
+        # The memo stores pickled blobs, not live objects: analysis
+        # writes risk annotations (and pseudonym jobs inject
+        # transitions) onto the LTS it is handed, so every job must get
+        # a private instance (and thread workers must never share one).
+        blob = lts_cache.get(key) if lts_cache is not None else None
+        if blob is not None and not isinstance(blob, bytes):
+            blob = None          # foreign/legacy entry: treat as miss
+        generated = blob is None
+        if generated:
+            lts = ModelGenerator(job.system).generate(options)
+            if lts_cache is not None:
+                lts_cache.put(key, pickle.dumps(
+                    lts, protocol=pickle.HIGHEST_PROTOCOL))
+        else:
+            lts = pickle.loads(blob)
+    outcome = kind.analyse(job, lts, config)
+    return JobResult(
+        job_id=job.job_id,
+        scenario=job.scenario,
+        family=job.family,
+        variant=job.variant,
+        fingerprint=fingerprint,
+        user=job.user.name,
+        states=len(lts) if lts is not None else 0,
+        transitions=len(lts.transitions) if lts is not None else 0,
+        max_level=outcome.max_level,
+        events=outcome.events,
+        non_allowed_actors=outcome.non_allowed_actors,
+        kind=job.kind,
+        details=outcome.details,
         lts_generated=generated,
         duration=time.perf_counter() - start,
     )
@@ -135,8 +164,8 @@ def _process_initializer(lts_dir: Optional[str],
 
 
 def _process_worker(payload) -> JobResult:
-    job, fingerprint, options, likelihood, matrix, model_fp = payload
-    return _run_analysis(job, fingerprint, options, likelihood, matrix,
+    job, fingerprint, options, config, model_fp = payload
+    return _run_analysis(job, fingerprint, options, config,
                          _WORKER_LTS_CACHE, model_fp)
 
 
@@ -158,8 +187,13 @@ class BatchEngine:
     memory_entries:
         Capacity of each in-memory LRU tier.
     likelihood / matrix:
-        Analyzer configuration shared by every job (defaults: the
-        paper's example models). Part of every job fingerprint.
+        Analyzer configuration for the disclosure-shaped kinds
+        (defaults: the paper's example models).
+    value_policy / dataset / population / record_field_map /
+    reid_threshold:
+        Configuration for the pseudonym and reidentify kinds; see
+        :class:`~repro.engine.kinds.AnalyzerConfig`. Every setting
+        enters only the analyzer-stage keys of the kinds that read it.
     result_cache / lts_cache:
         Override the shipped cache stack with any object exposing
         ``get``/``put``/``stats`` (pass a custom store, or ``None``
@@ -172,6 +206,8 @@ class BatchEngine:
                  memory_entries: int = 512,
                  likelihood: Optional[LikelihoodModel] = None,
                  matrix: Optional[RiskMatrix] = None,
+                 value_policy=None, dataset=None, population=None,
+                 record_field_map=None, reid_threshold: float = 0.5,
                  result_cache=None, lts_cache=None):
         if backend not in BACKENDS:
             raise ValueError(
@@ -192,13 +228,25 @@ class BatchEngine:
                 if cache_dir is not None else None)
         self.lts_cache = lts_cache if lts_cache is not None \
             else build_cache(memory_entries, self._lts_dir)
-        self.likelihood = likelihood if likelihood is not None \
-            else LikelihoodModel.example()
-        self.matrix = matrix if matrix is not None else RiskMatrix.example()
-        self._analyzer_key = DisclosureRiskAnalyzer.configuration_key(
-            self.likelihood, self.matrix)
+        self.config = AnalyzerConfig.build(
+            likelihood=likelihood, matrix=matrix,
+            value_policy=value_policy, dataset=dataset,
+            population=population, record_field_map=record_field_map,
+            reid_threshold=reid_threshold)
+        self.likelihood = self.config.likelihood
+        self.matrix = self.config.matrix
+        self._kind_keys: Dict[str, tuple] = {}
 
     # -- identity ----------------------------------------------------------
+
+    def analyzer_key(self, kind: str) -> tuple:
+        """The analyzer-stage configuration key of ``kind`` under this
+        engine's configuration (computed once per kind)."""
+        key = self._kind_keys.get(kind)
+        if key is None:
+            key = get_kind(kind).analyzer_key(self.config)
+            self._kind_keys[kind] = key
+        return key
 
     def fingerprint(self, job: AnalysisJob,
                     model_fp: Optional[str] = None,
@@ -207,8 +255,26 @@ class BatchEngine:
         analyzer configuration."""
         if options is None:
             options = resolve_options(job)
-        return job_fingerprint(job.system, options, job.user,
-                               self._analyzer_key, model_fp=model_fp)
+        fingerprint = self._fingerprint(job, model_fp, options)
+        if __debug__:
+            # The labels contract: scenario/family/variant/job_id are
+            # display-only and must never influence cache identity —
+            # otherwise renaming a scenario would silently fork the
+            # cache and relabelled cache hits would be wrong.
+            scrubbed = replace(job, scenario="", family="",
+                               variant="", job_id="")
+            assert self._fingerprint(scrubbed, model_fp, options) == \
+                fingerprint, (
+                    "job labels leaked into the cache identity of "
+                    f"kind {job.kind!r}")
+        return fingerprint
+
+    def _fingerprint(self, job: AnalysisJob,
+                     model_fp: Optional[str],
+                     options: Optional[GenerationOptions]) -> str:
+        return job_fingerprint(
+            job.system, options, job.user, self.analyzer_key(job.kind),
+            model_fp=model_fp, kind=job.kind, params=job.params)
 
     # -- execution -------------------------------------------------------------
 
@@ -222,10 +288,12 @@ class BatchEngine:
         # Fingerprint each job, hashing every distinct model once.
         model_fps: Dict[int, str] = {}
         pending: Dict[str, List[int]] = {}
-        prepared: List[Tuple[str, AnalysisJob, GenerationOptions, str]] = []
+        prepared: List[Tuple[str, AnalysisJob,
+                             Optional[GenerationOptions], str]] = []
         for index, job in enumerate(jobs):
             if not job.job_id:
                 job.job_id = f"job-{index:04d}"
+            stats.by_kind[job.kind] = stats.by_kind.get(job.kind, 0) + 1
             model_fp = model_fps.get(id(job.system))
             if model_fp is None:
                 model_fp = model_fingerprint(job.system)
@@ -252,7 +320,7 @@ class BatchEngine:
             stats.executed += 1
             if result.lts_generated:
                 stats.lts_generations += 1
-            else:
+            elif get_kind(result.kind).uses_lts:
                 stats.lts_reuses += 1
             first, *rest = pending[fingerprint]
             results[first] = result
@@ -267,14 +335,13 @@ class BatchEngine:
         if self.backend == "serial" or len(prepared) <= 1:
             for fingerprint, job, options, model_fp in prepared:
                 yield fingerprint, _run_analysis(
-                    job, fingerprint, options, self.likelihood,
-                    self.matrix, self.lts_cache, model_fp)
+                    job, fingerprint, options, self.config,
+                    self.lts_cache, model_fp)
         elif self.backend == "thread":
             with futures.ThreadPoolExecutor(self.workers) as pool:
                 tasks = [
                     pool.submit(_run_analysis, job, fingerprint, options,
-                                self.likelihood, self.matrix,
-                                self.lts_cache, model_fp)
+                                self.config, self.lts_cache, model_fp)
                     for fingerprint, job, options, model_fp in prepared
                 ]
                 for (fingerprint, *_), task in zip(prepared, tasks):
@@ -288,7 +355,7 @@ class BatchEngine:
                 tasks = [
                     pool.submit(_process_worker,
                                 (job, fingerprint, options,
-                                 self.likelihood, self.matrix, model_fp))
+                                 self.config, model_fp))
                     for fingerprint, job, options, model_fp in prepared
                 ]
                 for (fingerprint, *_), task in zip(prepared, tasks):

@@ -64,13 +64,14 @@ class ModelScenario:
     users: Tuple[UserProfile, ...]
     options: Optional[GenerationOptions] = None
 
-    def jobs(self) -> List[AnalysisJob]:
-        """One analysis job per user of the scenario."""
+    def jobs(self, kind: str = "disclosure") -> List[AnalysisJob]:
+        """One ``kind`` analysis job per user of the scenario."""
         return [
             AnalysisJob(
                 system=self.system,
                 user=user,
                 options=self.options,
+                kind=kind,
                 scenario=self.name,
                 family=self.family,
                 variant=self.variant,
@@ -79,11 +80,20 @@ class ModelScenario:
         ]
 
 
-def scenario_jobs(scenarios: Sequence[ModelScenario]) -> List[AnalysisJob]:
-    """Flatten scenarios into the engine's job list."""
+def scenario_jobs(scenarios: Sequence[ModelScenario],
+                  kinds: Sequence[str] = ("disclosure",)
+                  ) -> List[AnalysisJob]:
+    """Flatten scenarios into the engine's job list.
+
+    With several ``kinds``, scenarios cycle through them — the fleet
+    mixes analysis lenses across its models rather than multiplying
+    every scenario by every kind (pass the same scenario list once per
+    kind for the cross product).
+    """
+    kinds = tuple(kinds) or ("disclosure",)
     jobs: List[AnalysisJob] = []
-    for scenario in scenarios:
-        jobs.extend(scenario.jobs())
+    for index, scenario in enumerate(scenarios):
+        jobs.extend(scenario.jobs(kind=kinds[index % len(kinds)]))
     return jobs
 
 

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import main
@@ -218,3 +220,132 @@ class TestEngineCommands:
     def test_engine_run_missing_model_exits_two(self, capsys):
         assert main(["engine", "run", "no-such-file.dsl",
                      "--agree", "Consult"]) == 2
+
+    @pytest.mark.parametrize("kind", [
+        "pseudonym", "consent_change", "reidentify"])
+    def test_engine_run_accepts_every_kind(self, model_file, kind,
+                                           capsys):
+        code = main(["engine", "run", model_file,
+                     "--agree", "Consult", "--kind", kind,
+                     "--backend", "serial"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"[{kind}]" in out
+
+    def test_engine_run_consent_change_params(self, model_file,
+                                              capsys):
+        code = main(["engine", "run", model_file,
+                     "--agree", "Consult",
+                     "--kind", "consent_change",
+                     "--change-withdraw", "Consult",
+                     "--backend", "serial"])
+        assert code == 0
+        assert "max risk none" in capsys.readouterr().out
+
+    def test_engine_sweep_mixed_kinds(self, capsys):
+        code = main(["engine", "sweep", "--count", "4",
+                     "--backend", "serial", "--personas", "1",
+                     "--kinds", "disclosure", "consent_change"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "analysis kinds:" in out
+        assert "consent_change=2" in out
+
+    def test_engine_reanalyze_reports_plan(self, model_file, tmp_path,
+                                           capsys):
+        # A create-only grant edit: the LTS provably survives.
+        second = tmp_path / "model2.dsl"
+        second.write_text(GOOD_MODEL.replace(
+            "    allow Auditor read on Records\n",
+            "    allow Auditor read on Records\n"
+            "    allow Auditor create on Records\n"))
+        code = main(["engine", "reanalyze", model_file, str(second),
+                     "--agree", "Consult", "--backend", "serial"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline:" in out
+        assert "change invalidates: analyzers" in out
+        assert "re-seeded" in out
+        assert "0 LTS generations" in out
+
+    def test_engine_reanalyze_identical_models(self, model_file,
+                                               capsys):
+        code = main(["engine", "reanalyze", model_file, model_file,
+                     "--agree", "Consult", "--backend", "serial"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "change invalidates: nothing" in out
+        assert "1 result-cache hits" in out
+
+    def test_engine_cache_stats_and_prune(self, model_file, tmp_path,
+                                          capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["engine", "run", model_file, "--agree", "Consult",
+                     "--backend", "serial",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["engine", "cache", "stats",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "results:" in out
+        assert "lts:" in out
+        assert main(["engine", "cache", "prune",
+                     "--cache-dir", cache_dir,
+                     "--max-bytes", "0"]) == 0
+        assert "pruned" in capsys.readouterr().out
+        assert main(["engine", "cache", "stats",
+                     "--cache-dir", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_engine_cache_stats_empty_dir(self, tmp_path, capsys):
+        assert main(["engine", "cache", "stats", "--cache-dir",
+                     str(tmp_path / "nowhere")]) == 0
+        assert "no engine stores" in capsys.readouterr().out
+
+    def test_change_flags_rejected_outside_consent_change(
+            self, model_file, capsys):
+        """--change-* params enter cache identity but only the
+        consent_change kind reads them: misuse is a usage error, not a
+        silent cache fork."""
+        code = main(["engine", "run", model_file,
+                     "--agree", "Consult",
+                     "--change-withdraw", "Consult",
+                     "--backend", "serial"])
+        assert code == 2
+        assert "consent_change" in capsys.readouterr().err
+
+    def test_parser_kind_choices_match_the_registry(self):
+        """The parser spells the kinds out (to stay import-lazy); this
+        pins the list to the registry so a new kind cannot be
+        forgotten."""
+        from repro.cli import build_parser
+        from repro.engine import kind_names
+        parser = build_parser()
+        text = parser.format_help()  # forces subparser construction
+        assert text is not None
+        engine_parser = next(
+            a for a in parser._subparsers._group_actions
+        ).choices["engine"]
+        run_parser = next(
+            a for a in engine_parser._subparsers._group_actions
+        ).choices["run"]
+        kind_action = next(a for a in run_parser._actions
+                           if a.dest == "kind")
+        assert tuple(kind_action.choices) == kind_names()
+
+    def test_non_engine_commands_do_not_import_the_engine(
+            self, model_file):
+        """`repro validate` must not pay the engine package's import
+        cost (the commands import it lazily)."""
+        import subprocess
+        import sys
+        code = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main; "
+             f"main(['validate', {model_file!r}]); "
+             "sys.exit('repro.engine' in sys.modules)"],
+            env={"PYTHONPATH": "src", "PATH": os.environ["PATH"]},
+            cwd=os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__))),
+            capture_output=True)
+        assert code.returncode == 0, code.stderr.decode()

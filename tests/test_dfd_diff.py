@@ -84,6 +84,116 @@ class TestDiffModels:
         assert all(g.permission == "read" for g in diff.removed_grants)
 
 
+class TestDiffEdgeCases:
+    """Edge cases the incremental-reanalysis layer depends on."""
+
+    def test_empty_diff_has_no_classification_surface(self):
+        diff = diff_models(_base(), _base())
+        assert diff.is_empty
+        assert not diff.structural_change
+        assert not diff.acl_only
+        assert diff.changed_grants == ()
+        assert not diff.touches_permission("read", "create", "delete")
+
+    def test_removed_then_readded_grant_is_a_noop(self):
+        """Revoking a grant and granting it back must not read as
+        widened access — the atoms cancel."""
+        from repro.access import Permission
+        after = _base()
+        after.policy.revoke("A", Permission.READ, "D",
+                            fields=["a", "b"],
+                            store_fields=["a", "b"])
+        after.policy.allow("A", "read", "D", ["a", "b"])
+        diff = diff_models(_base(), after)
+        assert not diff.widens_access
+        assert diff.added_grants == ()
+        assert diff.removed_grants == ()
+        assert not diff.acl_only
+
+    def test_partial_readd_still_surfaces_the_lost_atom(self):
+        from repro.access import Permission
+        after = _base()
+        after.policy.revoke("A", Permission.READ, "D",
+                            fields=["a", "b"],
+                            store_fields=["a", "b"])
+        after.policy.allow("A", "read", "D", ["a"])
+        diff = diff_models(_base(), after)
+        assert not diff.widens_access
+        assert [g.describe() for g in diff.removed_grants] == \
+            ["A: read on D.b"]
+        assert diff.acl_only
+        assert diff.touches_permission("read")
+        assert not diff.touches_permission("create")
+
+    def test_flow_purpose_rename_is_not_structural(self):
+        """A flow's purpose is documentation; renaming it must not
+        churn the diff (flows key on service/order/endpoints/fields)."""
+        after = (SystemBuilder("v")
+                 .schema("S", ["a", "b"])
+                 .actor("A").actor("B")
+                 .datastore("D", "S")
+                 .service("svc")
+                 .flow(1, "User", "A", ["a"], purpose="renamed intent")
+                 .flow(2, "A", "D", ["a"])
+                 .allow("A", ["read", "create"], "D", ["a", "b"])
+                 .build())
+        diff = diff_models(_base(), after)
+        assert diff.is_empty
+
+    def test_service_rename_is_a_remove_plus_add(self):
+        """Renaming a service renames every flow key under it: the
+        diff must report the full move, not silently match flows."""
+        after = (SystemBuilder("v")
+                 .schema("S", ["a", "b"])
+                 .actor("A").actor("B")
+                 .datastore("D", "S")
+                 .service("svc2")
+                 .flow(1, "User", "A", ["a"])
+                 .flow(2, "A", "D", ["a"])
+                 .allow("A", ["read", "create"], "D", ["a", "b"])
+                 .build())
+        diff = diff_models(_base(), after)
+        assert diff.added_services == ("svc2",)
+        assert diff.removed_services == ("svc",)
+        assert len(diff.added_flows) == 2
+        assert len(diff.removed_flows) == 2
+        assert diff.structural_change
+        assert not diff.acl_only
+
+    def test_reordered_flow_is_a_real_change(self):
+        """Flow order drives 'sequence' generation; moving a flow to a
+        different order must surface."""
+        after = (SystemBuilder("v")
+                 .schema("S", ["a", "b"])
+                 .actor("A").actor("B")
+                 .datastore("D", "S")
+                 .service("svc")
+                 .flow(1, "User", "A", ["a"])
+                 .flow(3, "A", "D", ["a"])
+                 .allow("A", ["read", "create"], "D", ["a", "b"])
+                 .build())
+        diff = diff_models(_base(), after)
+        assert len(diff.added_flows) == 1
+        assert len(diff.removed_flows) == 1
+        assert diff.structural_change
+
+    def test_acl_only_is_false_under_mixed_changes(self):
+        after = _base()
+        after.policy.allow("B", "read", "D", ["a"])
+        mixed = (SystemBuilder("v")
+                 .schema("S", ["a", "b"])
+                 .actor("A").actor("B").actor("C")
+                 .datastore("D", "S")
+                 .service("svc")
+                 .flow(1, "User", "A", ["a"])
+                 .flow(2, "A", "D", ["a"])
+                 .allow("A", ["read", "create"], "D", ["a", "b"])
+                 .allow("B", "read", "D", ["a"])
+                 .build())
+        assert diff_models(_base(), after).acl_only
+        assert not diff_models(_base(), mixed).acl_only
+
+
 class TestRiskDelta:
     def test_paper_before_after(self):
         patient = surgery_patient()

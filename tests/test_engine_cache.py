@@ -1,11 +1,19 @@
-"""The engine's cache stack: LRU, disk, tiering, accounting."""
+"""The engine's cache stack: LRU, disk, tiering, lifecycle,
+accounting."""
 
 import os
 import pickle
 
 import pytest
 
-from repro.engine import DiskCache, LRUCache, TieredCache, build_cache
+from repro.engine import (
+    DiskCache,
+    LRUCache,
+    TieredCache,
+    build_cache,
+    prune_stores,
+    store_report,
+)
 
 
 class TestLRUCache:
@@ -75,6 +83,97 @@ class TestDiskCache:
         leftovers = [n for n in os.listdir(directory)
                      if n.endswith(".tmp")]
         assert leftovers == []
+
+
+class TestDiskCacheLifecycle:
+    def _aged_cache(self, tmp_path, ages):
+        """A cache whose entries' mtimes are backdated by ``ages``
+        seconds (entry keys are e0, e1, ...)."""
+        import time
+        cache = DiskCache(str(tmp_path / "store"))
+        now = time.time()
+        for index, age in enumerate(ages):
+            key = f"e{index}"
+            cache.put(key, "x" * 100)
+            path = os.path.join(cache.directory, f"{key}.pkl")
+            os.utime(path, (now - age, now - age))
+        return cache
+
+    def test_entries_report_size_and_age_oldest_first(self, tmp_path):
+        cache = self._aged_cache(tmp_path, [10.0, 500.0])
+        entries = cache.entries()
+        assert [e.key for e in entries] == ["e1", "e0"]
+        assert all(e.size > 0 for e in entries)
+        assert entries[0].age > entries[1].age
+        assert cache.size_bytes() == sum(e.size for e in entries)
+
+    def test_prune_by_age(self, tmp_path):
+        cache = self._aged_cache(tmp_path, [10.0, 500.0, 1000.0])
+        report = cache.prune(max_age=60.0)
+        assert report.removed == 2
+        assert report.kept == 1
+        assert cache.get("e0") is not None
+        assert cache.get("e1") is None
+        assert cache.stats.evictions == 2
+
+    def test_prune_by_size_budget_evicts_lru_first(self, tmp_path):
+        cache = self._aged_cache(tmp_path, [10.0, 500.0, 1000.0])
+        entry_size = cache.entries()[0].size
+        report = cache.prune(max_bytes=entry_size)
+        assert report.removed == 2
+        assert report.kept_bytes <= entry_size
+        # The most recently used entry survives.
+        assert cache.get("e0") is not None
+
+    def test_hit_refreshes_lru_order(self, tmp_path):
+        cache = self._aged_cache(tmp_path, [500.0, 1000.0])
+        assert cache.get("e1") is not None     # touch the older entry
+        entry_size = cache.entries()[0].size
+        cache.prune(max_bytes=entry_size)
+        assert cache.get("e1") is not None
+        assert cache.get("e0") is None
+
+    def test_constructor_budgets_default_prune(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "store"), max_bytes=0)
+        cache.put("a", 1)
+        report = cache.prune()
+        assert report.removed == 1
+        assert len(cache) == 0
+
+    def test_prune_without_budgets_is_a_noop(self, tmp_path):
+        cache = self._aged_cache(tmp_path, [500.0])
+        report = cache.prune()
+        assert report.removed == 0
+        assert report.kept == 1
+
+    def test_tiered_prune_delegates_to_disk(self, tmp_path):
+        tiered = build_cache(8, str(tmp_path / "store"))
+        tiered.put("k", "v")
+        report = tiered.prune(max_bytes=0)
+        assert report.removed == 1
+        # The memory layer is untouched (bounded by the LRU itself).
+        assert tiered.get("k") == "v"
+
+    def test_store_report_and_prune_stores(self, tmp_path):
+        from repro.casestudies import build_surgery_system, \
+            surgery_patient
+        from repro.engine import AnalysisJob, BatchEngine
+        cache_dir = str(tmp_path / "cache")
+        engine = BatchEngine(cache_dir=cache_dir)
+        engine.run([AnalysisJob(system=build_surgery_system(),
+                                user=surgery_patient())])
+        report = store_report(cache_dir)
+        assert set(report) == {"results", "lts"}
+        assert report["results"]["entries"] == 1
+        assert report["lts"]["bytes"] > 0
+        pruned = prune_stores(cache_dir, max_bytes=0)
+        assert pruned["results"].removed == 1
+        assert pruned["lts"].removed == 1
+        assert store_report(cache_dir)["lts"]["entries"] == 0
+
+    def test_store_report_skips_missing_dir(self, tmp_path):
+        assert store_report(str(tmp_path / "nowhere")) == {}
+        assert prune_stores(str(tmp_path / "nowhere")) == {}
 
 
 class TestTieredCache:

@@ -13,7 +13,12 @@ from repro.dfd import (
     system_to_dict,
 )
 from repro.engine import (
+    analyzer_stage_key,
+    canonical_params,
+    job_fingerprint,
+    lts_stage_key,
     model_fingerprint,
+    model_stage_key,
     options_fingerprint,
     stable_hash,
     user_fingerprint,
@@ -129,6 +134,61 @@ class TestOptionsAndUserFingerprints:
         second = UserProfile("u", agreed_services=["A"],
                              sensitivities={"x": 0.6})
         assert user_fingerprint(first) != user_fingerprint(second)
+
+
+class TestStagedKeys:
+    """The three-stage identity layering: model -> LTS -> analyzer."""
+
+    def test_model_stage_is_the_model_fingerprint(self):
+        system = build_surgery_system()
+        assert model_stage_key(system) == model_fingerprint(system)
+
+    def test_lts_stage_ignores_analyzer_concerns(self):
+        """Stage 2 depends on model and options only — analyzer
+        config, kind and user never move it."""
+        model_fp = model_fingerprint(build_surgery_system())
+        options = GenerationOptions()
+        assert lts_stage_key(model_fp, options) == \
+            lts_stage_key(model_fp, GenerationOptions())
+        assert lts_stage_key(model_fp, options) != \
+            lts_stage_key(model_fp, None)
+        assert lts_stage_key(model_fp, options) != \
+            lts_stage_key(model_fp,
+                          GenerationOptions(ordering="sequence"))
+
+    def test_analyzer_stage_extends_the_lts_stage(self):
+        user = UserProfile("u", agreed_services=["A"])
+        lts_key = lts_stage_key("modelfp", GenerationOptions())
+        base = analyzer_stage_key(lts_key, "disclosure", user,
+                                  ("cfg",))
+        assert base == analyzer_stage_key(lts_key, "disclosure", user,
+                                          ("cfg",))
+        assert base != analyzer_stage_key(lts_key, "pseudonym", user,
+                                          ("cfg",))
+        assert base != analyzer_stage_key(lts_key, "disclosure", user,
+                                          ("other-cfg",))
+        assert base != analyzer_stage_key("other-lts", "disclosure",
+                                          user, ("cfg",))
+        assert base != analyzer_stage_key(lts_key, "disclosure", user,
+                                          ("cfg",),
+                                          params={"withdraw": ["A"]})
+
+    def test_job_fingerprint_composes_the_stages(self):
+        system = build_surgery_system()
+        user = UserProfile("u", agreed_services=["MedicalService"])
+        options = GenerationOptions()
+        direct = job_fingerprint(system, options, user, ("cfg",),
+                                 kind="pseudonym")
+        composed = analyzer_stage_key(
+            lts_stage_key(model_fingerprint(system), options),
+            "pseudonym", user, ("cfg",))
+        assert direct == composed
+
+    def test_canonical_params_order_insensitive(self):
+        assert canonical_params({"a": [1, 2], "b": {"x", "y"}}) == \
+            canonical_params({"b": {"y", "x"}, "a": (1, 2)})
+        assert canonical_params(None) is None
+        assert canonical_params({"a": 1}) != canonical_params({"a": 2})
 
 
 class TestStableHash:

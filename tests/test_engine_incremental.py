@@ -1,0 +1,237 @@
+"""Diff-driven incremental re-analysis: stage classification,
+LTS re-seeding, and the cold-vs-incremental acceptance contract."""
+
+import pytest
+
+from repro.casestudies import (
+    build_loyalty_system,
+    build_surgery_system,
+    loyalty_member,
+    surgery_patient,
+    tighten_administrator_policy,
+)
+from repro.core import GenerationOptions
+from repro.engine import (
+    INVALIDATES_ANALYZERS,
+    INVALIDATES_EVERYTHING,
+    INVALIDATES_NOTHING,
+    AnalysisJob,
+    BatchEngine,
+    classify_invalidation,
+    reanalyze,
+)
+
+
+def _create_grant_edit():
+    """An ACL-only edit outside the generator's policy view: a create
+    grant (generation never consults can_create)."""
+    after = build_surgery_system()
+    after.policy.allow("Nurse", "create", "AnonEHR")
+    return after
+
+
+class TestClassification:
+    def test_identical_models_invalidate_nothing(self):
+        plan = classify_invalidation(build_surgery_system(),
+                                     build_surgery_system())
+        assert plan.level == INVALIDATES_NOTHING
+        assert plan.before_fp == plan.after_fp
+
+    def test_description_only_change_invalidates_nothing(self):
+        from repro.dfd import system_from_dict, system_to_dict
+        data = system_to_dict(build_surgery_system())
+        data["actors"][0]["description"] = "now with a biography"
+        after = system_from_dict(data)
+        plan = classify_invalidation(build_surgery_system(), after)
+        assert plan.level == INVALIDATES_NOTHING
+
+    def test_create_grant_edit_reuses_the_lts(self):
+        plan = classify_invalidation(build_surgery_system(),
+                                     _create_grant_edit())
+        assert plan.level == INVALIDATES_ANALYZERS
+        assert plan.reuses_lts
+        assert plan.delete_safe
+        assert plan.diff.acl_only
+
+    def test_read_grant_edit_invalidates_the_lts(self):
+        """The generator derives could() and potential reads from read
+        grants — the IV.A remediation must regenerate."""
+        plan = classify_invalidation(
+            build_surgery_system(),
+            tighten_administrator_policy(build_surgery_system()))
+        assert plan.level == INVALIDATES_EVERYTHING
+        assert "read grants" in plan.reason
+
+    def test_structural_change_invalidates_everything(self):
+        after = build_surgery_system()
+        after.policy.allow("Nurse", "create", "Appointments")
+        before = build_surgery_system()
+        before_plus_actor = build_surgery_system()
+        from repro.dfd.model import Actor
+        before_plus_actor.actors["Contractor"] = Actor("Contractor")
+        plan = classify_invalidation(build_surgery_system(),
+                                     before_plus_actor)
+        assert plan.level == INVALIDATES_EVERYTHING
+
+    def test_schema_change_is_conservatively_full(self):
+        """Schema edits are invisible to the structural diff; the
+        classifier must not claim the LTS survives them."""
+        from repro.dfd import system_to_dict, system_from_dict
+        data = system_to_dict(build_surgery_system())
+        for schema in data["schemas"]:
+            for field in schema["fields"]:
+                if field["name"] == "dob":
+                    field["kind"] = "sensitive"
+        after = system_from_dict(data)
+        plan = classify_invalidation(build_surgery_system(), after)
+        assert plan.diff.is_empty
+        assert plan.level == INVALIDATES_EVERYTHING
+        assert "outside the diff's view" in plan.reason
+
+    def test_delete_grant_edit_bites_only_delete_generations(self):
+        after = build_surgery_system()
+        after.policy.allow("Receptionist", "delete", "Appointments")
+        plan = classify_invalidation(build_surgery_system(), after)
+        assert plan.level == INVALIDATES_ANALYZERS
+        assert not plan.delete_safe
+        plain = GenerationOptions()
+        deleting = GenerationOptions(include_deletes=True)
+        assert plan.level_for(plain) == INVALIDATES_ANALYZERS
+        assert plan.level_for(deleting) == INVALIDATES_EVERYTHING
+
+    def test_describe_names_level_and_diff(self):
+        plan = classify_invalidation(build_surgery_system(),
+                                     _create_grant_edit())
+        text = plan.describe()
+        assert "analyzers" in text
+        assert "+ grant:" in text
+
+
+class TestReanalyze:
+    def _fleet(self, before):
+        loyalty = build_loyalty_system()
+        jobs = [AnalysisJob(system=before,
+                            user=surgery_patient(f"p{i}"),
+                            scenario=f"surgery#{i}", family="surgery")
+                for i in range(3)]
+        jobs.append(AnalysisJob(system=loyalty, user=loyalty_member(),
+                                scenario="loyalty#0",
+                                family="loyalty"))
+        return jobs
+
+    def test_acceptance_one_acl_edit_rerun(self):
+        """The PR's acceptance bar: a one-ACL-edit re-analysis re-runs
+        strictly fewer jobs than a cold run and produces byte-identical
+        result signatures."""
+        before = build_surgery_system()
+        after = _create_grant_edit()
+        engine = BatchEngine()
+        jobs = self._fleet(before)
+        engine.run(jobs)
+
+        outcome = reanalyze(engine, before, after, jobs)
+        cold = BatchEngine().run(self._fleet(after))
+
+        assert cold.stats.executed == len(jobs)
+        assert outcome.batch.stats.executed < cold.stats.executed
+        incremental_sigs = [repr(r.signature()).encode()
+                            for r in outcome.batch.results]
+        cold_sigs = [repr(r.signature()).encode()
+                     for r in cold.results]
+        assert incremental_sigs == cold_sigs
+
+    def test_lts_reuse_on_analyzer_level_edit(self):
+        before = build_surgery_system()
+        engine = BatchEngine()
+        jobs = self._fleet(before)
+        engine.run(jobs)
+        outcome = reanalyze(engine, before, _create_grant_edit(), jobs)
+        assert outcome.plan.reuses_lts
+        assert outcome.lts_seeded >= 1
+        assert outcome.batch.stats.lts_generations == 0
+        # The unchanged loyalty job served straight from the cache.
+        assert outcome.batch.stats.result_hits == 1
+        assert outcome.retargeted == 3
+
+    def test_read_edit_still_skips_unchanged_models(self):
+        before = build_surgery_system()
+        after = tighten_administrator_policy(build_surgery_system())
+        engine = BatchEngine()
+        jobs = self._fleet(before)
+        engine.run(jobs)
+        outcome = reanalyze(engine, before, after, jobs)
+        assert not outcome.plan.reuses_lts
+        assert outcome.lts_seeded == 0
+        assert outcome.batch.stats.result_hits == 1
+        assert outcome.batch.stats.lts_generations >= 1
+        assert outcome.batch.stats.executed < len(jobs)
+
+    def test_noop_edit_serves_everything_from_cache(self):
+        before = build_surgery_system()
+        after = build_surgery_system()
+        after.services["MedicalService"].description = "reworded"
+        engine = BatchEngine()
+        jobs = self._fleet(before)
+        engine.run(jobs)
+        outcome = reanalyze(engine, before, after, jobs)
+        assert outcome.batch.stats.executed == 0
+        assert outcome.batch.stats.result_hits == len(jobs)
+
+    def test_matches_by_content_not_object_identity(self):
+        """Jobs referencing a *different object* with the same content
+        as `before` still retarget."""
+        engine = BatchEngine()
+        jobs = self._fleet(build_surgery_system())
+        engine.run(jobs)
+        outcome = reanalyze(engine, build_surgery_system(),
+                            _create_grant_edit(), jobs)
+        assert outcome.retargeted == 3
+
+    def test_cold_engine_degrades_to_plain_run(self):
+        before = build_surgery_system()
+        jobs = self._fleet(before)
+        engine = BatchEngine()         # nothing cached
+        outcome = reanalyze(engine, before, _create_grant_edit(), jobs)
+        assert outcome.lts_seeded == 0
+        assert outcome.batch.stats.executed == len(jobs)
+        assert len(outcome.batch.results) == len(jobs)
+
+    def test_reanalyze_through_disk_cache(self, tmp_path):
+        """A fresh engine over the same cache_dir (a new process,
+        operationally) still reuses the prior run's stages."""
+        cache_dir = str(tmp_path / "cache")
+        before = build_surgery_system()
+        jobs = self._fleet(before)
+        BatchEngine(cache_dir=cache_dir).run(jobs)
+        engine = BatchEngine(cache_dir=cache_dir)
+        outcome = reanalyze(engine, before, _create_grant_edit(), jobs)
+        assert outcome.batch.stats.lts_generations == 0
+        assert outcome.batch.stats.result_hits == 1
+
+    def test_mixed_kind_fleet_reanalyzes(self):
+        before = build_surgery_system()
+        jobs = [
+            AnalysisJob(system=before, user=surgery_patient(),
+                        kind=kind)
+            for kind in ("disclosure", "pseudonym", "consent_change")
+        ]
+        engine = BatchEngine()
+        engine.run(jobs)
+        outcome = reanalyze(engine, before, _create_grant_edit(), jobs)
+        assert outcome.retargeted == 3
+        # Both LTS-consuming kinds re-seeded (distinct options =>
+        # distinct stage-2 keys); consent_change never touches the memo.
+        assert outcome.lts_seeded == 2
+        assert outcome.batch.stats.lts_generations == 0
+        assert [r.kind for r in outcome.batch.results] == \
+            ["disclosure", "pseudonym", "consent_change"]
+
+    def test_describe_summarises_the_run(self):
+        before = build_surgery_system()
+        engine = BatchEngine()
+        jobs = self._fleet(before)
+        engine.run(jobs)
+        outcome = reanalyze(engine, before, _create_grant_edit(), jobs)
+        text = outcome.describe()
+        assert "retargeted" in text
+        assert "re-seeded" in text

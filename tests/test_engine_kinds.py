@@ -1,0 +1,338 @@
+"""The analysis-kind registry: per-kind semantics, cache keys,
+mixed-kind execution and fleet aggregation."""
+
+import pytest
+
+from repro.casestudies import (
+    RESEARCH_SERVICE,
+    TABLE1_CLOSENESS_KG,
+    build_research_system,
+    build_scaled_system,
+    build_surgery_system,
+    surgery_patient,
+    table1_records,
+)
+from repro.consent import UserProfile
+from repro.core.risk import (
+    DisclosureRiskAnalyzer,
+    LikelihoodModel,
+    RiskMatrix,
+    ValueRiskPolicy,
+    analyse_consent_change,
+)
+from repro.core.risk.pseudonym import default_policy_for
+from repro.engine import (
+    KINDS,
+    AnalysisJob,
+    AnalyzerConfig,
+    BatchEngine,
+    FleetReport,
+    get_kind,
+    kind_names,
+    register_kind,
+    resolve_options,
+)
+from repro.engine.kinds import AnalysisKind, dataset_key
+
+TABLE1_FIELD_MAP = {"age_anon": "age", "height_anon": "height",
+                    "weight_anon": "weight"}
+
+
+def _researcher_policy():
+    return ValueRiskPolicy("weight", closeness=TABLE1_CLOSENESS_KG,
+                           confidence=0.9)
+
+
+class TestRegistry:
+    def test_four_first_class_kinds(self):
+        assert KINDS == ("disclosure", "pseudonym", "consent_change",
+                         "reidentify")
+        assert set(kind_names()) == set(KINDS)
+
+    def test_get_kind_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown analysis kind"):
+            get_kind("taint")
+
+    def test_register_requires_name(self):
+        with pytest.raises(ValueError):
+            register_kind(AnalysisKind())
+
+    def test_analyzer_keys_are_kind_scoped(self):
+        """Each key leads with the kind name, so two kinds can never
+        collide in the result cache even for equal configs."""
+        config = AnalyzerConfig.build()
+        keys = {name: get_kind(name).analyzer_key(config)
+                for name in KINDS}
+        assert len({key[0] for key in keys.values()}) == len(KINDS)
+
+    def test_disclosure_config_does_not_rekey_pseudonym(self):
+        """The analyzer-stage key slices the config per kind: a
+        likelihood tweak must not invalidate pseudonym results."""
+        base = AnalyzerConfig.build()
+        tweaked = AnalyzerConfig.build(
+            likelihood=LikelihoodModel([]))
+        assert get_kind("disclosure").analyzer_key(base) != \
+            get_kind("disclosure").analyzer_key(tweaked)
+        assert get_kind("pseudonym").analyzer_key(base) == \
+            get_kind("pseudonym").analyzer_key(tweaked)
+
+    def test_dataset_enters_scoring_kind_keys(self):
+        with_data = AnalyzerConfig.build(dataset=table1_records())
+        without = AnalyzerConfig.build()
+        assert get_kind("reidentify").analyzer_key(with_data) != \
+            get_kind("reidentify").analyzer_key(without)
+        assert get_kind("pseudonym").analyzer_key(with_data) != \
+            get_kind("pseudonym").analyzer_key(without)
+
+    def test_dataset_key_is_order_insensitive(self):
+        records = table1_records()
+        assert dataset_key(records) == \
+            dataset_key(tuple(reversed(records)))
+        assert dataset_key(None) is None
+
+
+class TestPseudonymKind:
+    def test_matches_direct_analyzer_on_table1(self):
+        system = build_research_system()
+        engine = BatchEngine(
+            value_policy=_researcher_policy(),
+            dataset=table1_records(),
+            record_field_map=TABLE1_FIELD_MAP)
+        job = AnalysisJob(system=system, user=surgery_patient(),
+                          kind="pseudonym")
+        result = engine.run([job]).results[0]
+        assert result.kind == "pseudonym"
+        assert result.detail("applicable") is True
+        assert result.detail("sensitive_field") == "weight"
+        assert result.detail("risks") > 0
+        assert result.detail("scored") == result.detail("risks")
+        # Table I: reading more quasi-identifiers raises violations;
+        # the LTS reaches {height}, {age} and {age, height}, so some
+        # scored path must violate.
+        assert result.detail("violations") > 0
+        assert result.max_level in ("medium", "high")
+
+    def test_unscored_without_dataset(self):
+        job = AnalysisJob(system=build_research_system(),
+                          user=surgery_patient(), kind="pseudonym")
+        result = BatchEngine().run([job]).results[0]
+        assert result.detail("applicable") is True
+        assert result.detail("scored") == 0
+        assert result.max_level == "low"
+
+    def test_inapplicable_on_plain_model(self):
+        """A model that pseudonymises nothing rolls up as a no-op,
+        not an error — mixed fleets must survive it."""
+        system = build_scaled_system(actors=3, fields=4, stores=1,
+                                     pseudonymise=False)
+        job = AnalysisJob(
+            system=system,
+            user=UserProfile("u", agreed_services=["Intake"]),
+            kind="pseudonym")
+        result = BatchEngine().run([job]).results[0]
+        assert result.detail("applicable") is False
+        assert result.max_level == "none"
+
+    def test_default_policy_prefers_sensitive_field(self):
+        policy = default_policy_for(build_research_system())
+        assert policy.sensitive_field == "weight"
+        assert default_policy_for(build_scaled_system(
+            pseudonymise=False)) is None
+
+
+class TestConsentChangeKind:
+    def test_default_whatif_withdraws_first_agreed_service(self):
+        system = build_surgery_system()
+        user = surgery_patient()
+        job = AnalysisJob(system=system, user=user,
+                          kind="consent_change")
+        result = BatchEngine().run([job]).results[0]
+        assert result.detail("withdraw") == ("MedicalService",)
+        report = analyse_consent_change(system, user,
+                                        withdraw=["MedicalService"])
+        assert result.detail("before_level") == \
+            report.before_level.value
+        assert result.max_level == report.after_level.value
+
+    def test_explicit_params_drive_the_change(self):
+        system = build_surgery_system()
+        job = AnalysisJob(system=system, user=surgery_patient(),
+                          kind="consent_change",
+                          params={"agree": [RESEARCH_SERVICE]})
+        result = BatchEngine().run([job]).results[0]
+        assert result.detail("agree") == (RESEARCH_SERVICE,)
+        assert result.detail("withdraw") == ()
+        report = analyse_consent_change(system, surgery_patient(),
+                                        agree=[RESEARCH_SERVICE])
+        assert result.max_level == report.after_level.value
+        assert result.detail("risk_increases") == \
+            report.risk_increases
+
+    def test_params_enter_cache_identity(self):
+        engine = BatchEngine()
+        base = AnalysisJob(system=build_surgery_system(),
+                           user=surgery_patient(),
+                           kind="consent_change")
+        other = AnalysisJob(system=base.system, user=base.user,
+                            kind="consent_change",
+                            params={"agree": [RESEARCH_SERVICE]})
+        assert engine.fingerprint(base) != engine.fingerprint(other)
+
+    def test_params_order_does_not_fork_cache(self):
+        engine = BatchEngine()
+        system = build_surgery_system()
+        first = AnalysisJob(
+            system=system, user=surgery_patient(),
+            kind="consent_change",
+            params={"agree": [RESEARCH_SERVICE],
+                    "withdraw": ["MedicalService"]})
+        second = AnalysisJob(
+            system=system, user=surgery_patient(),
+            kind="consent_change",
+            params={"withdraw": ["MedicalService"],
+                    "agree": [RESEARCH_SERVICE]})
+        assert engine.fingerprint(first) == engine.fingerprint(second)
+
+    def test_runs_without_an_lts(self):
+        job = AnalysisJob(system=build_surgery_system(),
+                          user=surgery_patient(),
+                          kind="consent_change")
+        batch = BatchEngine().run([job])
+        assert batch.stats.lts_generations == 0
+        assert batch.results[0].states == 0
+
+
+class TestReidentifyKind:
+    def test_scores_table1_release(self):
+        engine = BatchEngine(dataset=table1_records(),
+                             record_field_map=TABLE1_FIELD_MAP)
+        job = AnalysisJob(system=build_research_system(),
+                          user=surgery_patient(), kind="reidentify")
+        result = engine.run([job]).results[0]
+        assert result.detail("scored") is True
+        assert result.detail("findings") > 0
+        # The release flows expose the sensitive value alongside the
+        # quasi-identifiers, so the worst equivalence class is unique.
+        assert result.detail("worst_risk") == pytest.approx(1.0)
+        assert result.max_level == "high"
+
+    def test_degrades_without_dataset(self):
+        job = AnalysisJob(system=build_research_system(),
+                          user=surgery_patient(), kind="reidentify")
+        result = BatchEngine().run([job]).results[0]
+        assert result.detail("scored") is False
+        assert result.max_level == "none"
+
+
+class TestMixedFleets:
+    def _jobs(self):
+        system = build_surgery_system()
+        user = surgery_patient()
+        return [AnalysisJob(system=system, user=user, kind=kind,
+                            scenario=f"s-{kind}", family="surgery")
+                for kind in KINDS]
+
+    def test_mixed_batch_executes_every_kind(self):
+        batch = BatchEngine().run(self._jobs())
+        assert [r.kind for r in batch.results] == list(KINDS)
+        assert batch.stats.by_kind == {kind: 1 for kind in KINDS}
+
+    def test_kinds_share_the_lts_memo_when_options_agree(self):
+        """pseudonym and reidentify both generate over all services:
+        one generation, one stage-2 reuse."""
+        system = build_research_system()
+        user = surgery_patient()
+        jobs = [AnalysisJob(system=system, user=user, kind=kind)
+                for kind in ("pseudonym", "reidentify")]
+        batch = BatchEngine().run(jobs)
+        assert batch.stats.lts_generations == 1
+        assert batch.stats.lts_reuses == 1
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("thread", 4),
+        ("process", 2),
+    ])
+    def test_parallel_mixed_batch_matches_serial(self, backend,
+                                                 workers):
+        serial = BatchEngine(backend="serial").run(self._jobs())
+        parallel = BatchEngine(backend=backend,
+                               workers=workers).run(self._jobs())
+        assert [r.signature() for r in serial.results] == \
+            [r.signature() for r in parallel.results]
+
+    def test_mixed_results_are_cacheable(self):
+        engine = BatchEngine()
+        engine.run(self._jobs())
+        warm = engine.run(self._jobs())
+        assert warm.stats.result_hits == len(KINDS)
+        assert warm.stats.executed == 0
+
+    def test_fleet_report_rolls_up_by_kind(self):
+        batch = BatchEngine().run(self._jobs())
+        report = FleetReport(batch.results, batch.stats)
+        assert report.kind_histogram() == {kind: 1 for kind in KINDS}
+        rollups = report.kind_rollups()
+        assert set(rollups) == set(KINDS)
+        assert rollups["disclosure"]["events"] > 0
+        assert "risk_increases" in rollups["consent_change"]
+        assert "violations" in rollups["pseudonym"]
+        assert "findings" in rollups["reidentify"]
+        data = report.to_dict()
+        assert data["kind_histogram"] == report.kind_histogram()
+        assert "analysis kinds:" in report.describe()
+
+
+class TestResolveOptions:
+    def test_disclosure_default_mirrors_direct_analysis(self):
+        job = AnalysisJob(system=build_surgery_system(),
+                          user=surgery_patient())
+        options = resolve_options(job)
+        assert options == DisclosureRiskAnalyzer.default_options(
+            job.system, job.user)
+
+    def test_lts_kinds_default_to_full_generation(self):
+        for kind in ("pseudonym", "reidentify"):
+            job = AnalysisJob(system=build_research_system(),
+                              user=surgery_patient(), kind=kind)
+            options = resolve_options(job)
+            assert options.services is None
+            assert not options.include_potential_reads
+
+    def test_consent_change_needs_no_generation(self):
+        job = AnalysisJob(system=build_surgery_system(),
+                          user=surgery_patient(),
+                          kind="consent_change")
+        assert resolve_options(job) is None
+
+
+class TestLabelLeakGuard:
+    """scenario/family/variant/job_id must never influence cache
+    identity — asserted inside BatchEngine.fingerprint()."""
+
+    def test_labels_do_not_move_fingerprints_across_kinds(self):
+        engine = BatchEngine()
+        system = build_surgery_system()
+        user = surgery_patient()
+        for kind in KINDS:
+            plain = AnalysisJob(system=system, user=user, kind=kind)
+            labelled = AnalysisJob(
+                system=system, user=user, kind=kind,
+                scenario="prod-run", family="surgery",
+                variant="baseline", job_id="job-9999")
+            assert engine.fingerprint(plain) == \
+                engine.fingerprint(labelled)
+
+    def test_guard_trips_on_a_leaking_recipe(self, monkeypatch):
+        """If the key recipe ever starts reading labels, the engine
+        refuses to run rather than silently forking the cache."""
+        engine = BatchEngine()
+        original = BatchEngine._fingerprint
+
+        def leaking(self, job, model_fp, options):
+            return original(self, job, model_fp, options) + job.scenario
+
+        monkeypatch.setattr(BatchEngine, "_fingerprint", leaking)
+        job = AnalysisJob(system=build_surgery_system(),
+                          user=surgery_patient(), scenario="leaky")
+        with pytest.raises(AssertionError, match="labels leaked"):
+            engine.fingerprint(job)
