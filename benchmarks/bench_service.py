@@ -1,0 +1,195 @@
+"""HTTP service front-end — requests/sec, cold vs. cache-hit.
+
+Not a paper table: this bench smoke-tests the PR-3 service layer. A
+threaded server (the body of ``repro serve``) is driven over real
+HTTP: one model upload, then a stream of analyze requests — first a
+*cold* pass where every request carries a distinct user (distinct
+fingerprints, full analysis each), then a *warm* pass replaying the
+identical requests, which must all short-circuit at the shared result
+cache. The smoke bars are correctness-shaped, not timing-shaped (CI
+machines are noisy): warm responses must be served from cache with
+signatures byte-identical to the cold pass, and an in-process facade
+call must agree with the wire.
+
+Run under pytest for assertions, or standalone for the CI smoke check
+(which also emits ``BENCH_service.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.casestudies import build_surgery_system
+from repro.dfd import to_dsl
+from repro.service import (
+    AnalysisRequest,
+    AnalysisResponse,
+    AnalysisService,
+    ModelRef,
+    UserSpec,
+    make_server,
+)
+
+REQUESTS = 20
+BENCH_JSON = "BENCH_service.json"
+
+
+class ServiceFixture:
+    """A live threaded server plus the facade behind it."""
+
+    def __init__(self):
+        self.service = AnalysisService(backend="thread")
+        self.server = make_server(self.service, port=0)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True)
+        self.thread.start()
+        host, port = self.server.server_address[:2]
+        self.base = f"http://{host}:{port}"
+        self.model_hash = self.call("/v1/models", {
+            "text": to_dsl(build_surgery_system())})["model_hash"]
+
+    def call(self, path, payload=None):
+        data = json.dumps(payload).encode() \
+            if payload is not None else None
+        request = urllib.request.Request(
+            self.base + path, data=data,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=60) as reply:
+            return json.loads(reply.read())
+
+    def analyze_payload(self, index: int) -> dict:
+        """Request ``index``: a distinct user, hence a distinct
+        fingerprint — cold passes execute, replays hit the cache."""
+        return {
+            "models": [{"hash": self.model_hash,
+                        "label": f"req-{index:03d}"}],
+            "user": {
+                "name": f"user-{index:03d}",
+                "agree": ["MedicalService"],
+                "sensitivities": {"diagnosis": "high"},
+                "default_sensitivity": round(0.01 * index, 4),
+            },
+        }
+
+    def run_pass(self, count: int):
+        """(seconds, responses) for one sequential request stream."""
+        started = time.perf_counter()
+        responses = [self.call("/v1/analyze",
+                               self.analyze_payload(index))
+                     for index in range(count)]
+        return time.perf_counter() - started, responses
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.close()
+        self.thread.join(timeout=5)
+
+
+def _signatures(responses):
+    return [repr(AnalysisResponse.from_dict(r).signatures()).encode()
+            for r in responses]
+
+
+@pytest.fixture
+def fixture():
+    fx = ServiceFixture()
+    yield fx
+    fx.close()
+
+
+def test_cold_request_stream(fixture, benchmark):
+    seconds, responses = benchmark.pedantic(
+        fixture.run_pass, args=(REQUESTS,), rounds=1, iterations=1)
+    assert len(responses) == REQUESTS
+    benchmark.extra_info["requests"] = REQUESTS
+    benchmark.extra_info["rps"] = round(REQUESTS / seconds, 1)
+
+
+def test_warm_replay_hits_the_cache(fixture):
+    cold_seconds, cold = fixture.run_pass(REQUESTS)
+    warm_seconds, warm = fixture.run_pass(REQUESTS)
+    assert _signatures(cold) == _signatures(warm)
+    for response in warm:
+        assert all(r["from_cache"] for r in response["results"])
+    assert fixture.service.engine.result_cache.stats.hits >= REQUESTS
+
+
+def test_wire_agrees_with_inprocess_facade(fixture):
+    payload = fixture.analyze_payload(0)
+    wire = AnalysisResponse.from_dict(
+        fixture.call("/v1/analyze", payload))
+    local = fixture.service.analyze(AnalysisRequest(
+        models=(ModelRef(hash=fixture.model_hash),),
+        user=UserSpec.from_dict(payload["user"])))
+    assert wire.signatures() == local.signatures()
+
+
+def _quick_smoke() -> int:
+    """Standalone CI smoke: cold stream, warm replay, facade
+    cross-check; emit BENCH_service.json."""
+    fixture = ServiceFixture()
+    failures = []
+    try:
+        cold_seconds, cold = fixture.run_pass(REQUESTS)
+        warm_seconds, warm = fixture.run_pass(REQUESTS)
+        cold_rps = REQUESTS / max(cold_seconds, 1e-9)
+        warm_rps = REQUESTS / max(warm_seconds, 1e-9)
+        print(f"cold: {REQUESTS} requests in {cold_seconds:.2f}s "
+              f"({cold_rps:.1f} req/s)")
+        print(f"warm: {REQUESTS} requests in {warm_seconds:.2f}s "
+              f"({warm_rps:.1f} req/s, "
+              f"{warm_rps / max(cold_rps, 1e-9):.1f}x)")
+
+        if _signatures(cold) != _signatures(warm):
+            failures.append("warm replay changed result signatures")
+        if not all(r["from_cache"]
+                   for response in warm
+                   for r in response["results"]):
+            failures.append("warm replay missed the result cache")
+
+        payload = fixture.analyze_payload(0)
+        wire = AnalysisResponse.from_dict(
+            fixture.call("/v1/analyze", payload))
+        local = fixture.service.analyze(AnalysisRequest(
+            models=(ModelRef(hash=fixture.model_hash),),
+            user=UserSpec.from_dict(payload["user"])))
+        if wire.signatures() != local.signatures():
+            failures.append("wire and in-process signatures disagree")
+
+        record = {
+            "requests": REQUESTS,
+            "cold": {"seconds": round(cold_seconds, 4),
+                     "rps": round(cold_rps, 1)},
+            "warm": {"seconds": round(warm_seconds, 4),
+                     "rps": round(warm_rps, 1)},
+            "warm_speedup": round(warm_rps / max(cold_rps, 1e-9), 2),
+            "cache": {
+                "result_hits":
+                    fixture.service.engine.result_cache.stats.hits,
+            },
+        }
+        with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"wrote {BENCH_JSON}")
+    finally:
+        fixture.close()
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("service bench smoke:", "FAIL" if failures else "OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv:
+        sys.exit(_quick_smoke())
+    sys.exit(pytest.main([__file__, "-q"]))

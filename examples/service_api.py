@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""The analysis service over HTTP: start it, drive it, shut it down.
+
+PR 1 made the method an engine; this example shows it as a *service*.
+An :class:`~repro.service.facade.AnalysisService` is wrapped in the
+stdlib threaded HTTP server (the body of ``repro serve``) and driven
+purely through ``urllib`` — the same requests any non-Python client
+would send:
+
+1. upload the surgery model's DSL text, getting back its content hash;
+2. run a synchronous disclosure analysis for one patient;
+3. submit an asynchronous mixed-kind sweep and poll its job id;
+4. read the cache accounting, then re-run step 2 to watch the result
+   come back from the shared tiered cache.
+
+Run with ``python examples/service_api.py``. In a second terminal the
+same server could be driven with ``curl`` — everything is plain JSON.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro.casestudies import build_surgery_system
+from repro.dfd import to_dsl
+from repro.service import AnalysisService, make_server
+
+
+def call(base, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base + path, data=data,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=60) as reply:
+        return json.loads(reply.read())
+
+
+def main() -> None:
+    # -- 1. the server: one facade, one ephemeral port ----------------
+    service = AnalysisService(backend="thread")
+    server = make_server(service, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    print(f"service listening on {base}")
+    print(f"health: {call(base, '/v1/health')['kinds']}\n")
+
+    try:
+        # -- 2. upload the model by content hash -----------------------
+        uploaded = call(base, "/v1/models",
+                        {"text": to_dsl(build_surgery_system())})
+        model_hash = uploaded["model_hash"]
+        print(f"uploaded surgery model: {model_hash[:16]}…")
+
+        # -- 3. a synchronous disclosure analysis ----------------------
+        request = {
+            "models": [{"hash": model_hash, "label": "surgery"}],
+            "user": {
+                "name": "patient",
+                "agree": ["MedicalService"],
+                "sensitivities": {"diagnosis": "high"},
+                "default_sensitivity": 0.2,
+            },
+        }
+        response = call(base, "/v1/analyze", request)
+        result = response["results"][0]
+        print(f"analyze: max risk {response['max_level']} — "
+              f"{len(result['events'])} event(s), "
+              f"{result['states']} states\n")
+
+        # -- 4. an async sweep: submit, poll, fetch --------------------
+        submitted = call(base, "/v1/jobs", {
+            "op": "sweep",
+            "request": {"count": 8, "personas": 1,
+                        "kinds": ["disclosure", "population"]},
+        })
+        job_id = submitted["job_id"]
+        print(f"sweep job {job_id[:16]}… submitted "
+              f"({submitted['status']})")
+        deadline = time.time() + 120
+        while True:
+            polled = call(base, f"/v1/jobs/{job_id}")
+            if polled["status"] in ("done", "error"):
+                break
+            if time.time() > deadline:
+                raise SystemExit(f"sweep job {job_id} timed out")
+            time.sleep(0.1)
+        if polled["status"] == "error":
+            raise SystemExit(f"sweep job failed: {polled['error']}")
+        report = polled["result"]["report"]
+        print(f"sweep done: {report['jobs']} jobs, "
+              f"levels {report['level_histogram']}")
+        print(f"population rollup: "
+              f"{report['kinds'].get('population')}\n")
+
+        # -- 5. the shared cache at work -------------------------------
+        warm = call(base, "/v1/analyze", request)
+        print(f"re-analyze from cache: "
+              f"from_cache={warm['results'][0]['from_cache']}")
+        stats = call(base, "/v1/cache/stats")
+        print(f"live cache accounting: {stats.get('live')}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    print("\nserver stopped.")
+
+
+if __name__ == "__main__":
+    main()

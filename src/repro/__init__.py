@@ -26,7 +26,13 @@ Services: A Model-Driven Approach"* (Grace et al., ICDCS 2018):
    :class:`~repro.engine.scenarios.ScenarioGenerator`
    (``generate(count)`` + :func:`~repro.engine.scenarios.scenario_jobs`),
    :class:`~repro.engine.aggregate.FleetReport`, and the CLI
-   ``repro engine run|sweep``.
+   ``repro engine run|sweep``;
+6. serve it all as a **typed service** (:mod:`repro.service`): the
+   :class:`~repro.service.facade.AnalysisService` facade owns engine,
+   caches, kinds and scenarios behind JSON-round-trip request/response
+   objects, with content-addressed model upload and async job
+   submission — exposed over HTTP by ``repro serve`` and consumed by
+   every ``repro engine`` subcommand.
 
 Quickstart::
 

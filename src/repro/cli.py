@@ -21,10 +21,21 @@ Subcommands mirror the method's steps over a DSL model file:
   incremental re-analysis: analyse the old model, classify what the
   edit invalidates, re-run only that;
 - ``repro engine cache stats|prune --cache-dir DIR`` — inspect and
-  age/size-prune the on-disk store.
+  age/size-prune the on-disk store;
+- ``repro serve --port 8787 --cache-dir DIR`` — run the HTTP/JSON
+  analysis service (see :mod:`repro.service.http`).
+
+Every ``engine`` subcommand is a thin client of the
+:class:`~repro.service.facade.AnalysisService` facade — the same API
+the HTTP server exposes — so CLI and service invocations produce
+byte-identical result signatures. ``engine run|sweep|reanalyze`` and
+``engine cache stats|prune`` take ``--json`` for the machine-readable
+response payload instead of the human rendering.
 
 Exit codes: 0 success, 1 findings (validation errors / risk at or
-above ``--fail-at``), 2 usage or input errors.
+above ``--fail-at``), 2 usage or input errors (malformed models,
+unknown kinds and bad requests are structured errors on stderr, never
+tracebacks).
 """
 
 from __future__ import annotations
@@ -155,14 +166,24 @@ def _cmd_analyse(args) -> int:
     return 0
 
 
-def _cli_user(args) -> UserProfile:
-    return UserProfile(
-        args.user,
-        agreed_services=args.agree,
-        sensitivities=_parse_sensitivities(args.sensitivity),
+def _user_spec(args):
+    """The user's wire-level spec for service-backed commands."""
+    from .service import UserSpec
+    return UserSpec(
+        name=args.user,
+        agree=tuple(args.agree),
+        sensitivities=tuple(sorted(
+            _parse_sensitivities(args.sensitivity).items())),
         default_sensitivity=args.default_sensitivity,
-        acceptable_risk=args.acceptable,
+        acceptable=args.acceptable,
     )
+
+
+def _service(args):
+    """The facade every engine subcommand delegates to."""
+    from .service import AnalysisService
+    return AnalysisService(backend=args.backend, workers=args.workers,
+                           cache_dir=args.cache_dir)
 
 
 def _consent_params(args) -> Optional[dict]:
@@ -186,88 +207,98 @@ def _consent_params(args) -> Optional[dict]:
     return change
 
 
-def _cmd_engine_run(args) -> int:
-    from .engine import AnalysisJob, BatchEngine, FleetReport
-    user = _cli_user(args)
-    jobs = [
-        AnalysisJob(system=_load_model(path), user=user,
-                    kind=args.kind, params=_consent_params(args),
-                    scenario=path, family="cli", variant="run")
-        for path in args.models
-    ]
-    engine = BatchEngine(backend=args.backend, workers=args.workers,
-                         cache_dir=args.cache_dir)
-    batch = engine.run(jobs)
-    for result in batch.results:
-        cached = " (cached)" if result.from_cache else ""
-        print(f"{result.scenario} [{result.kind}]: max risk "
-              f"{result.max_level}{cached} — "
-              f"{len(result.events)} event(s), {result.states} states")
-    print(batch.stats.describe())
-    print(f"result cache: {engine.result_cache.stats.describe()}")
-    threshold = RiskLevel.from_name(args.fail_at)
-    worst = FleetReport(batch.results).max_level()
+def _print_json(payload) -> None:
+    import json as json_module
+    print(json_module.dumps(payload, indent=2))
+
+
+def _gate(max_level: str, fail_at: str) -> int:
+    """Exit 1 when the worst risk reaches the ``--fail-at`` level."""
+    worst = RiskLevel.from_name(max_level)
+    threshold = RiskLevel.from_name(fail_at)
     if worst >= threshold and worst is not RiskLevel.NONE:
         return 1
     return 0
+
+
+def _cmd_engine_run(args) -> int:
+    from .service import AnalysisRequest, ModelRef
+    request = AnalysisRequest(
+        models=tuple(ModelRef(path=path, label=path)
+                     for path in args.models),
+        user=_user_spec(args), kind=args.kind,
+        params=_consent_params(args))
+    response = _service(args).analyze(request)
+    if args.json:
+        _print_json(response.to_dict())
+    else:
+        for result in response.results:
+            cached = " (cached)" if result.from_cache else ""
+            print(f"{result.scenario} [{result.kind}]: max risk "
+                  f"{result.max_level}{cached} — "
+                  f"{len(result.events)} event(s), "
+                  f"{result.states} states")
+        print(response.stats.describe())
+        print(f"result cache: {response.result_cache.describe()}")
+    return _gate(response.max_level, args.fail_at)
 
 
 def _cmd_engine_sweep(args) -> int:
     import json as json_module
-    from .engine import (BatchEngine, FleetReport, ScenarioGenerator,
-                         scenario_jobs)
-    generator = ScenarioGenerator(seed=args.seed,
-                                  personas_per_scenario=args.personas)
-    jobs = scenario_jobs(generator.generate(args.count),
-                         kinds=args.kinds)
-    engine = BatchEngine(backend=args.backend, workers=args.workers,
-                         cache_dir=args.cache_dir)
-    batch = engine.run(jobs)
-    report = FleetReport(batch.results, batch.stats)
+    from .engine import FleetReport
+    from .service import SweepRequest
+    request = SweepRequest(count=args.count, seed=args.seed,
+                           personas=args.personas,
+                           kinds=tuple(args.kinds))
+    response = _service(args).sweep(request,
+                                    include_report=args.json)
+    cache_line = f"result cache: {response.result_cache.describe()}"
     if args.json:
-        _write_output(json_module.dumps(report.to_dict(), indent=2),
+        _write_output(json_module.dumps(response.report, indent=2),
                       args.output)
+        # stdout may be the JSON sink: keep it parseable, the
+        # accounting line is operator chatter.
+        print(cache_line, file=sys.stderr)
     else:
-        _write_output(report.describe(), args.output)
-    print(f"result cache: {engine.result_cache.stats.describe()}")
+        _write_output(
+            FleetReport(response.results, response.stats).describe(),
+            args.output)
+        print(cache_line)
     return 0
 
 
 def _cmd_engine_reanalyze(args) -> int:
-    from .engine import AnalysisJob, BatchEngine, reanalyze
-    before = _load_model(args.before)
-    after = _load_model(args.after)
-    user = _cli_user(args)
-    jobs = [AnalysisJob(system=before, user=user, kind=args.kind,
-                        params=_consent_params(args),
-                        scenario=args.before, family="cli",
-                        variant="reanalyze")]
-    engine = BatchEngine(backend=args.backend, workers=args.workers,
-                         cache_dir=args.cache_dir)
-    baseline = engine.run(jobs)
-    print(f"baseline: {baseline.stats.describe()}")
-    outcome = reanalyze(engine, before, after, jobs)
-    print(outcome.describe())
-    for result in outcome.batch.results:
-        print(f"{args.after} [{result.kind}]: max risk "
-              f"{result.max_level} — {len(result.events)} event(s), "
-              f"{result.states} states")
-    threshold = RiskLevel.from_name(args.fail_at)
-    worst = max((r.level for r in outcome.batch.results),
-                default=RiskLevel.NONE)
-    if worst >= threshold and worst is not RiskLevel.NONE:
-        return 1
-    return 0
+    from .service import ModelRef, ReanalyzeRequest
+    request = ReanalyzeRequest(
+        before=ModelRef(path=args.before, label=args.before),
+        after=ModelRef(path=args.after, label=args.after),
+        user=_user_spec(args), kind=args.kind,
+        params=_consent_params(args))
+    response = _service(args).reanalyze(request)
+    if args.json:
+        _print_json(response.to_dict())
+    else:
+        print(f"baseline: {response.baseline.stats.describe()}")
+        print(response.describe())
+        for result in response.outcome.results:
+            print(f"{args.after} [{result.kind}]: max risk "
+                  f"{result.max_level} — {len(result.events)} "
+                  f"event(s), {result.states} states")
+    return _gate(response.max_level, args.fail_at)
 
 
 def _cmd_engine_cache(args) -> int:
-    from .engine import prune_stores, store_report
+    from .service import AnalysisService
+    service = AnalysisService(cache_dir=args.cache_dir)
     if args.cache_command == "stats":
-        report = store_report(args.cache_dir)
-        if not report:
+        response = service.cache_stats()
+        if args.json:
+            _print_json(response.to_dict())
+            return 0
+        if not response.stores:
             print(f"no engine stores under {args.cache_dir}")
             return 0
-        for store_name, info in report.items():
+        for store_name, info in response.stores:
             print(f"{store_name}: {info['entries']} entries, "
                   f"{info['bytes']} bytes, oldest "
                   f"{info['oldest_age']:.0f}s, newest "
@@ -275,14 +306,26 @@ def _cmd_engine_cache(args) -> int:
         return 0
     max_age = args.max_age_days * 86400.0 \
         if args.max_age_days is not None else None
-    reports = prune_stores(args.cache_dir, max_age=max_age,
-                           max_bytes=args.max_bytes)
-    if not reports:
+    response = service.prune_cache(max_age=max_age,
+                                   max_bytes=args.max_bytes)
+    if args.json:
+        _print_json(response.to_dict())
+        return 0
+    if not response.stores:
         print(f"no engine stores under {args.cache_dir}")
         return 0
-    for store_name, report in reports.items():
+    for store_name, report in response.stores:
         print(f"{store_name}: {report.describe()}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import AnalysisService, serve
+    service = AnalysisService(backend=args.backend,
+                              workers=args.workers,
+                              cache_dir=args.cache_dir)
+    return serve(service, host=args.host, port=args.port,
+                 verbose=args.verbose)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -363,7 +406,8 @@ def build_parser() -> argparse.ArgumentParser:
     # The shipped kinds, spelled out so building the parser never
     # imports the engine package (commands import it lazily); the
     # registry re-validates the name at execution time.
-    kinds = ["consent_change", "disclosure", "pseudonym", "reidentify"]
+    kinds = ["consent_change", "disclosure", "population",
+             "pseudonym", "reidentify"]
 
     def add_engine_common(sub):
         sub.add_argument("--backend", default="thread",
@@ -409,6 +453,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="DSL model files")
     add_engine_user(engine_run)
     add_engine_common(engine_run)
+    engine_run.add_argument("--json", action="store_true",
+                            help="emit the service response as JSON")
     engine_run.set_defaults(func=_cmd_engine_run)
 
     engine_sweep = engine_subs.add_parser(
@@ -441,6 +487,9 @@ def build_parser() -> argparse.ArgumentParser:
     engine_reanalyze.add_argument("after", help="the edited model")
     add_engine_user(engine_reanalyze)
     add_engine_common(engine_reanalyze)
+    engine_reanalyze.add_argument(
+        "--json", action="store_true",
+        help="emit the service response as JSON")
     engine_reanalyze.set_defaults(func=_cmd_engine_reanalyze)
 
     engine_cache = engine_subs.add_parser(
@@ -450,6 +499,8 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats = cache_subs.add_parser(
         "stats", help="per-store entry counts, bytes and entry ages")
     cache_stats.add_argument("--cache-dir", required=True)
+    cache_stats.add_argument("--json", action="store_true",
+                             help="emit the store report as JSON")
     cache_stats.set_defaults(func=_cmd_engine_cache)
     cache_prune = cache_subs.add_parser(
         "prune", help="evict entries by age and/or size budget")
@@ -459,7 +510,27 @@ def build_parser() -> argparse.ArgumentParser:
     cache_prune.add_argument("--max-bytes", type=int, default=None,
                              help="per-store size budget; evicts "
                                   "least-recently-used entries first")
+    cache_prune.add_argument("--json", action="store_true",
+                             help="emit the prune report as JSON")
     cache_prune.set_defaults(func=_cmd_engine_cache)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP/JSON analysis service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port (0 for an ephemeral port)")
+    serve.add_argument("--backend", default="thread",
+                       choices=["serial", "thread", "process"],
+                       help="engine worker pool backend")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="pool width (default: CPU count, max 8)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persist LTSs and results under this "
+                            "directory")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every request to stderr")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 
@@ -473,8 +544,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except (ReproError, ValueError) as error:
+        # Structured failure: service-layer errors carry their own
+        # exit code; everything else is a usage/input error (2).
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return getattr(error, "exit_code", 2)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -127,6 +127,24 @@ def classify_invalidation(before: SystemModel,
             *_GENERATOR_DELETE_PERMISSIONS))
 
 
+def reanalysis_summary(plan_description: str, jobs: int,
+                       retargeted: int, lts_seeded: int,
+                       stats_description: str) -> str:
+    """The incremental run's three-line summary.
+
+    The single source of the wording: both
+    :meth:`ReanalysisOutcome.describe` and the service layer's
+    :meth:`~repro.service.messages.ReanalyzeResponse.describe` render
+    through it, keeping engine and wire output byte-identical.
+    """
+    return "\n".join([
+        plan_description,
+        f"{jobs} jobs: {retargeted} retargeted to the edited model, "
+        f"{lts_seeded} LTS cache entries re-seeded",
+        stats_description,
+    ])
+
+
 @dataclass
 class ReanalysisOutcome:
     """One incremental re-analysis: its batch, plan and accounting."""
@@ -138,14 +156,9 @@ class ReanalysisOutcome:
     lts_seeded: int
 
     def describe(self) -> str:
-        stats = self.batch.stats
-        return "\n".join([
-            self.plan.describe(),
-            f"{self.jobs} jobs: {self.retargeted} retargeted to the "
-            f"edited model, {self.lts_seeded} LTS cache entries "
-            f"re-seeded",
-            stats.describe(),
-        ])
+        return reanalysis_summary(self.plan.describe(), self.jobs,
+                                  self.retargeted, self.lts_seeded,
+                                  self.batch.stats.describe())
 
 
 def reanalyze(engine: BatchEngine, before: SystemModel,

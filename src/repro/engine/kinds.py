@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import (Any, ClassVar, Dict, Mapping, NamedTuple,
                     Optional, Sequence, Tuple)
 
+from ..consent.personas import simulate_users
 from ..core import GenerationOptions
 from ..core.lts import LTS
 from ..core.risk import (
@@ -37,6 +38,7 @@ from ..core.risk import (
     RiskMatrix,
     analyse_consent_change,
 )
+from ..core.risk.population import PopulationAnalyzer
 from ..core.risk.pseudonym import default_policy_for
 from ..core.risk.valuerisk import ValueRiskPolicy
 from ..datastore import Record
@@ -406,6 +408,110 @@ class ReidentifyKind(AnalysisKind):
         return rollup
 
 
+class PopulationKind(AnalysisKind):
+    """Population-level disclosure outcomes (paper III).
+
+    The paper's analysis "can be executed with running users of the
+    system, or with simulated users in the development phase"; this
+    kind runs :class:`~repro.core.risk.population.PopulationAnalyzer`
+    over a seed-deterministic Westin-persona population drawn against
+    the model's own schemas and services. ``params`` take ``count``
+    (population size, default 24) and ``seed`` (persona stream,
+    default 0); the job's user joins the population when it has agreed
+    to at least one service, so one request answers both "how exposed
+    am I" and "how exposed is everyone like me".
+
+    The kind orchestrates its own per-consent-set generations (the
+    population analyzer memoises them internally), so it opts out of
+    the engine's LTS memo. Outcome ``max_level`` is the worst user's
+    maximum risk; the details carry the histogram, the unacceptable
+    fraction and the hot-spot grants whose removal would help the most
+    users.
+    """
+
+    name = "population"
+    uses_lts = False
+
+    #: Default simulated population size per job.
+    DEFAULT_COUNT = 24
+    #: Upper bound on one job's population — params are wire-reachable
+    #: through the service, and a single request must not be able to
+    #: wedge a server with an arbitrarily large simulation.
+    MAX_COUNT = 10_000
+    #: Hot-spot grants reported per job.
+    HOT_SPOT_LIMIT = 5
+
+    def analyzer_key(self, config: AnalyzerConfig) -> tuple:
+        return ("population",
+                DisclosureRiskAnalyzer.configuration_key(
+                    config.likelihood, config.matrix))
+
+    def default_options(self, job: AnalysisJob) -> None:
+        return None
+
+    @classmethod
+    def population_of(cls, job: AnalysisJob) -> list:
+        """The job's user population: params-drawn simulated users,
+        led by the requesting profile when it holds any consent."""
+        params = job.params or {}
+        count = params.get("count", cls.DEFAULT_COUNT)
+        seed = params.get("seed", 0)
+        if not isinstance(count, int) or isinstance(count, bool) \
+                or count < 0 or count > cls.MAX_COUNT:
+            raise AnalysisError(
+                f"population count must be an integer in "
+                f"[0, {cls.MAX_COUNT}], got {count!r}")
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise AnalysisError(
+                f"population seed must be an integer, got {seed!r}")
+        fields = [field
+                  for _, schema in sorted(job.system.schemas.items())
+                  for field in schema]
+        services = sorted(job.system.services)
+        users = simulate_users(count, fields, services, seed=seed)
+        if job.user.agreed_services:
+            users.insert(0, job.user)
+        return users
+
+    def analyse(self, job: AnalysisJob, lts: Optional[LTS],
+                config: AnalyzerConfig) -> KindOutcome:
+        analyzer = PopulationAnalyzer(job.system, config.likelihood,
+                                      config.matrix)
+        report = analyzer.analyse(self.population_of(job))
+        worst = max((o.max_level for o in report.outcomes),
+                    default=RiskLevel.NONE)
+        histogram = tuple(
+            (level.value, count)
+            for level, count in report.level_histogram().items())
+        hot_spots = tuple(sorted(
+            report.hot_spots().items(),
+            key=lambda item: (-item[1], item[0]),
+        ))[:self.HOT_SPOT_LIMIT]
+        return KindOutcome(
+            max_level=worst.value, events=(), non_allowed_actors=(),
+            details=(
+                ("analysed", report.analysed_count),
+                ("skipped", len(report.skipped)),
+                ("unacceptable_fraction",
+                 round(report.unacceptable_fraction, 6)),
+                ("histogram", histogram),
+                ("hot_spots", tuple(
+                    (actor, field, count)
+                    for (actor, field), count in hot_spots)),
+            ))
+
+    def aggregate(self, results: Sequence) -> Dict[str, Any]:
+        rollup = super().aggregate(results)
+        rollup["users"] = sum(
+            r.detail("analysed", 0) for r in results)
+        rollup["skipped"] = sum(
+            r.detail("skipped", 0) for r in results)
+        rollup["worst_unacceptable_fraction"] = max(
+            (r.detail("unacceptable_fraction", 0.0) for r in results),
+            default=0.0)
+        return rollup
+
+
 # -- the registry -------------------------------------------------------------
 
 _REGISTRY: Dict[str, AnalysisKind] = {}
@@ -438,7 +544,9 @@ DISCLOSURE = register_kind(DisclosureKind())
 PSEUDONYM = register_kind(PseudonymKind())
 CONSENT_CHANGE = register_kind(ConsentChangeKind())
 REIDENTIFY = register_kind(ReidentifyKind())
+POPULATION = register_kind(PopulationKind())
 
 #: The shipped first-class kinds, in registration order.
 KINDS: Tuple[str, ...] = (DISCLOSURE.name, PSEUDONYM.name,
-                          CONSENT_CHANGE.name, REIDENTIFY.name)
+                          CONSENT_CHANGE.name, REIDENTIFY.name,
+                          POPULATION.name)

@@ -1,0 +1,95 @@
+"""Unified analysis service: one facade, one wire contract, two fronts.
+
+The paper's method became an engine (PRs 1-2); this package makes it a
+*service*. :class:`~repro.service.facade.AnalysisService` owns the
+batch engine, its tiered caches, the analysis-kind registry, scenario
+generation and incremental re-analysis behind a typed
+request/response API (:mod:`~repro.service.messages`), and
+:mod:`~repro.service.http` exposes that same API as a threaded
+HTTP/JSON server (``repro serve``). The CLI's ``repro engine *``
+subcommands are thin clients of the facade, so a request produces
+byte-identical result signatures whether it arrived from the command
+line, Python code or the network.
+
+Quickstart — in process::
+
+    from repro.service import (AnalysisService, AnalysisRequest,
+                               ModelRef, UserSpec)
+
+    service = AnalysisService(backend="thread",
+                              cache_dir=".repro-cache")
+    model_hash = service.upload_model(open("model.dsl").read())
+    response = service.analyze(AnalysisRequest(
+        models=(ModelRef(hash=model_hash),),
+        user=UserSpec(agree=("MedicalService",),
+                      sensitivities=(("diagnosis", "high"),))))
+    print(response.max_level, response.stats.describe())
+
+Quickstart — over HTTP (see ``examples/service_api.py`` for the full
+client-side walkthrough)::
+
+    from repro.service import AnalysisService, make_server
+    import threading
+
+    server = make_server(AnalysisService(), port=8787)
+    threading.Thread(target=server.serve_forever,
+                     daemon=True).start()
+    # POST /v1/models, /v1/analyze, /v1/jobs ... then:
+    server.shutdown()
+
+Async submissions (``service.submit("sweep", SweepRequest(count=50))``)
+return a job id — the stable hash of the canonical request, the same
+identity discipline the result cache uses — polled via
+``service.job_status(job_id)`` or ``GET /v1/jobs/<id>``.
+"""
+
+from .facade import OPS, AnalysisService
+from .http import ServiceHTTPRequestHandler, make_server, serve
+from .messages import (
+    AnalysisRequest,
+    AnalysisResponse,
+    CachePruneResponse,
+    CacheStatsResponse,
+    InvalidModelError,
+    JobStatus,
+    ModelRef,
+    NotFoundError,
+    ReanalyzeRequest,
+    ReanalyzeResponse,
+    RequestError,
+    ServiceError,
+    SweepRequest,
+    UserSpec,
+    check_payload,
+    result_from_dict,
+    result_to_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
+
+__all__ = [
+    "OPS",
+    "AnalysisService",
+    "ServiceHTTPRequestHandler",
+    "make_server",
+    "serve",
+    "AnalysisRequest",
+    "AnalysisResponse",
+    "CachePruneResponse",
+    "CacheStatsResponse",
+    "InvalidModelError",
+    "JobStatus",
+    "ModelRef",
+    "NotFoundError",
+    "ReanalyzeRequest",
+    "ReanalyzeResponse",
+    "RequestError",
+    "ServiceError",
+    "SweepRequest",
+    "UserSpec",
+    "check_payload",
+    "result_from_dict",
+    "result_to_dict",
+    "stats_from_dict",
+    "stats_to_dict",
+]

@@ -1,0 +1,482 @@
+"""The :class:`AnalysisService` facade: one object, the whole method.
+
+Engine, caches, kind registry, scenario generation and incremental
+re-analysis used to be wired by hand at every entrypoint; the facade
+owns them behind a typed request/response API (see
+:mod:`~repro.service.messages`). The CLI's ``repro engine *``
+subcommands and the HTTP front-end (:mod:`~repro.service.http`) are
+both thin clients of this one object, so a request produces the same
+result signatures no matter which surface submitted it.
+
+Models are content-addressed: :meth:`AnalysisService.upload_model`
+parses DSL text, validates it structurally and registers it under its
+:func:`~repro.engine.fingerprint.model_fingerprint`; requests then
+reference models by hash (or inline text / CLI file path). Async
+submissions reuse the same identity discipline — a job id is the
+stable hash of the operation and its canonical request payload, so
+resubmitting identical work returns the existing job instead of
+queueing a duplicate.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent import futures
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..dfd import SystemModel, parse_dsl
+from ..dfd.validation import Severity, validate_system
+from ..engine import (
+    AnalysisJob,
+    BatchEngine,
+    BatchResult,
+    FleetReport,
+    ScenarioGenerator,
+    kind_names,
+    model_fingerprint,
+    prune_stores,
+    reanalyze,
+    scenario_jobs,
+    stable_hash,
+    store_report,
+)
+from ..errors import ParseError, ReproError
+from .messages import (
+    AnalysisRequest,
+    AnalysisResponse,
+    CachePruneResponse,
+    CacheStatsResponse,
+    InvalidModelError,
+    JobStatus,
+    ModelRef,
+    NotFoundError,
+    ReanalyzeRequest,
+    ReanalyzeResponse,
+    RequestError,
+    ServiceError,
+    SweepRequest,
+    cache_stats_to_dict,
+)
+
+#: Operations an async submission may name.
+OPS = ("analyze", "sweep", "reanalyze")
+
+
+class _JobRecord:
+    """Mutable backing state of one async submission."""
+
+    __slots__ = ("job_id", "op", "status", "response", "payload",
+                 "error")
+
+    def __init__(self, job_id: str, op: str):
+        self.job_id = job_id
+        self.op = op
+        self.status = "queued"
+        self.response = None
+        #: The response serialized once at completion — polling a
+        #: finished job must not re-flatten a fleet-sized result.
+        self.payload: Optional[dict] = None
+        self.error: Optional[dict] = None
+
+    def snapshot(self) -> JobStatus:
+        return JobStatus(job_id=self.job_id, op=self.op,
+                         status=self.status, error=self.error,
+                         result=self.payload
+                         if self.status == "done" else None)
+
+
+class AnalysisService:
+    """The unified programmatic API over the batch engine.
+
+    Parameters mirror :class:`~repro.engine.runner.BatchEngine` (which
+    is built lazily — constructing a service for ``cache_stats`` never
+    touches the disk); ``job_workers`` sizes the async submission
+    pool.
+
+    Thread safety: the underlying caches are lock-protected and the
+    engine keeps no per-run state, so one service instance serves
+    concurrent callers — which is exactly how the threaded HTTP
+    front-end uses it.
+    """
+
+    def __init__(self, backend: str = "thread",
+                 workers: Optional[int] = None,
+                 cache_dir: Optional[str] = None,
+                 memory_entries: int = 512,
+                 likelihood=None, matrix=None, value_policy=None,
+                 dataset=None, population=None, record_field_map=None,
+                 reid_threshold: float = 0.5,
+                 job_workers: int = 2):
+        if job_workers < 1:
+            raise ValueError(
+                f"job_workers must be >= 1, got {job_workers}")
+        self.cache_dir = cache_dir
+        self._engine_config = dict(
+            backend=backend, workers=workers, cache_dir=cache_dir,
+            memory_entries=memory_entries, likelihood=likelihood,
+            matrix=matrix, value_policy=value_policy, dataset=dataset,
+            population=population, record_field_map=record_field_map,
+            reid_threshold=reid_threshold)
+        self._engine: Optional[BatchEngine] = None
+        self._lock = threading.Lock()
+        self._models: Dict[str, SystemModel] = {}
+        self._job_workers = job_workers
+        self._jobs: Dict[str, _JobRecord] = {}
+        self._executor: Optional[futures.ThreadPoolExecutor] = None
+        self._closed = False
+
+    # -- engine ------------------------------------------------------------
+
+    @property
+    def engine(self) -> BatchEngine:
+        """The owned batch engine (created on first use)."""
+        with self._lock:
+            if self._engine is None:
+                self._engine = BatchEngine(**self._engine_config)
+            return self._engine
+
+    def close(self) -> None:
+        """Stop accepting async work and release the worker pool.
+
+        Synchronous operations keep working; further :meth:`submit`
+        calls raise. Idempotent."""
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # -- the model store ---------------------------------------------------
+
+    def register_model(self, system: SystemModel) -> str:
+        """Register a parsed model; returns its content hash."""
+        model_hash = model_fingerprint(system)
+        with self._lock:
+            self._models[model_hash] = system
+        return model_hash
+
+    def upload_model(self, text: str) -> str:
+        """Parse, validate and register DSL text; returns the hash.
+
+        Uploading the same text (or any text canonicalising to the
+        same model) is idempotent: the hash is the model fingerprint.
+        """
+        return self.register_model(self._parse(text, "uploaded model"))
+
+    def model_hashes(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._models))
+
+    def _parse(self, text: str, where: str) -> SystemModel:
+        try:
+            system = parse_dsl(text, validate=False)
+        except ParseError as error:
+            raise InvalidModelError(
+                f"{where} does not parse: {error}") from error
+        errors = [issue for issue in validate_system(system,
+                                                     strict=False)
+                  if issue.severity is Severity.ERROR]
+        if errors:
+            raise InvalidModelError(
+                f"{where} is structurally invalid "
+                f"({len(errors)} error(s))", issues=errors)
+        return system
+
+    def resolve_model(self, ref: ModelRef,
+                      where: str = "model"
+                      ) -> Tuple[SystemModel, str]:
+        """A reference's live model and display label.
+
+        Text and path references register the model as a side effect,
+        so a follow-up request can use the returned label-independent
+        hash; unknown hashes are a :class:`NotFoundError`.
+        """
+        if ref.hash is not None:
+            with self._lock:
+                system = self._models.get(ref.hash)
+            if system is None:
+                raise NotFoundError(
+                    f"{where}: unknown model hash {ref.hash!r}; "
+                    "upload the model first")
+            return system, ref.label or ref.hash[:12]
+        if ref.text is not None:
+            system = self._parse(ref.text, where)
+            self.register_model(system)
+            return system, ref.label or system.name
+        try:
+            with open(ref.path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise RequestError(f"{where}: {error}") from error
+        system = self._parse(text, f"{where} {ref.path!r}")
+        self.register_model(system)
+        return system, ref.label or ref.path
+
+    # -- operations --------------------------------------------------------
+
+    def _check_kind(self, kind: str) -> None:
+        if kind not in kind_names():
+            raise RequestError(
+                f"unknown analysis kind {kind!r}; registered kinds: "
+                f"{sorted(kind_names())}")
+
+    def _response(self, batch: BatchResult,
+                  report: Optional[dict] = None) -> AnalysisResponse:
+        return AnalysisResponse(
+            results=batch.results,
+            stats=batch.stats,
+            # Snapshot: the live stats object keeps counting (later
+            # requests, the incremental leg of a reanalyze), and a
+            # response must report the accounting at *its* moment.
+            result_cache=replace(self.engine.result_cache.stats),
+            max_level=FleetReport(batch.results).max_level().value,
+            report=report)
+
+    def analyze(self, request: AnalysisRequest) -> AnalysisResponse:
+        """Run one user x kind across the request's models."""
+        self._check_kind(request.kind)
+        user = request.user.to_profile()
+        jobs = []
+        for index, ref in enumerate(request.models):
+            system, label = self.resolve_model(
+                ref, where=f"models[{index}]")
+            jobs.append(AnalysisJob(
+                system=system, user=user, kind=request.kind,
+                params=request.params, scenario=label,
+                family="service", variant="analyze"))
+        return self._response(self._run(jobs))
+
+    def sweep(self, request: SweepRequest,
+              include_report: bool = True) -> AnalysisResponse:
+        """Generate a scenario fleet, analyse it, aggregate it.
+
+        ``include_report`` skips materialising the aggregate dict for
+        callers that will build their own :class:`FleetReport` from
+        the results (the CLI's human rendering) — aggregation is
+        linear in fleet size and should not run twice.
+        """
+        for kind in request.kinds:
+            self._check_kind(kind)
+        generator = ScenarioGenerator(
+            seed=request.seed,
+            personas_per_scenario=request.personas)
+        jobs = scenario_jobs(generator.generate(request.count),
+                             kinds=request.kinds)
+        batch = self._run(jobs)
+        report = FleetReport(batch.results, batch.stats).to_dict() \
+            if include_report else None
+        return self._response(batch, report=report)
+
+    def reanalyze(self, request: ReanalyzeRequest
+                  ) -> ReanalyzeResponse:
+        """Baseline the old model, classify the edit, re-run only
+        what it invalidated."""
+        self._check_kind(request.kind)
+        before, before_label = self.resolve_model(request.before,
+                                                  where="before")
+        after, _ = self.resolve_model(request.after, where="after")
+        user = request.user.to_profile()
+        jobs = [AnalysisJob(system=before, user=user,
+                            kind=request.kind, params=request.params,
+                            scenario=before_label, family="service",
+                            variant="reanalyze")]
+        # Snapshot the baseline response *before* the incremental leg
+        # runs, so its cache accounting reflects the baseline moment.
+        baseline = self._response(self._run(jobs))
+        outcome = self._guard(reanalyze, self.engine, before, after,
+                              jobs)
+        return ReanalyzeResponse(
+            baseline=baseline,
+            outcome=self._response(outcome.batch),
+            plan_level=outcome.plan.level,
+            plan_reason=outcome.plan.reason,
+            plan_description=outcome.plan.describe(),
+            jobs=outcome.jobs,
+            retargeted=outcome.retargeted,
+            lts_seeded=outcome.lts_seeded)
+
+    def _run(self, jobs: List[AnalysisJob]) -> BatchResult:
+        return self._guard(self.engine.run, jobs)
+
+    @staticmethod
+    def _guard(operation, *args):
+        """Run an engine operation, typing its failures.
+
+        Engine-level :class:`ReproError` subclasses (unknown agreed
+        services, impossible consent changes, ...) pass through as the
+        structured errors they already are; anything else would
+        surface as a traceback, so it becomes a :class:`ServiceError`
+        preserving the original message.
+        """
+        try:
+            return operation(*args)
+        except (ServiceError, ReproError):
+            raise
+        except ValueError as error:
+            raise RequestError(str(error)) from error
+
+    # -- cache lifecycle ---------------------------------------------------
+
+    def cache_stats(self) -> CacheStatsResponse:
+        """On-disk store report plus live cache accounting.
+
+        Reads the disk directly (no engine construction), so pointing
+        a fresh service at a cache directory never creates stores as
+        a side effect of *inspecting* them.
+        """
+        stores: Tuple[Tuple[str, dict], ...] = ()
+        if self.cache_dir is not None:
+            stores = tuple(store_report(self.cache_dir).items())
+        live = None
+        with self._lock:
+            engine = self._engine
+        if engine is not None:
+            live = {
+                "results": cache_stats_to_dict(
+                    engine.result_cache.stats),
+                "lts": cache_stats_to_dict(engine.lts_cache.stats),
+            }
+        return CacheStatsResponse(cache_dir=self.cache_dir,
+                                  stores=stores, live=live)
+
+    def prune_cache(self, max_age: Optional[float] = None,
+                    max_bytes: Optional[int] = None
+                    ) -> CachePruneResponse:
+        """Age/size-prune every on-disk store of the cache dir."""
+        if self.cache_dir is None:
+            raise RequestError(
+                "cache prune needs a service with a cache_dir")
+        reports = prune_stores(self.cache_dir, max_age=max_age,
+                               max_bytes=max_bytes)
+        return CachePruneResponse(cache_dir=self.cache_dir,
+                                  stores=tuple(reports.items()))
+
+    # -- async submissions -------------------------------------------------
+
+    def _as_hash_ref(self, ref: ModelRef, where: str) -> ModelRef:
+        """A content-addressed equivalent of any model reference."""
+        if ref.hash is not None:
+            return ref
+        system, label = self.resolve_model(ref, where)
+        return ModelRef(hash=self.register_model(system), label=label)
+
+    def _materialize(self, request):
+        """Pin a request's model references to content hashes.
+
+        Job identity must be content-addressed: a path-based reference
+        resubmitted after the file changed names different work and
+        must get a different job id, not a stale coalesced record.
+        Resolution errors (missing file, invalid model) therefore
+        surface synchronously at submit time.
+        """
+        if isinstance(request, AnalysisRequest):
+            return replace(request, models=tuple(
+                self._as_hash_ref(ref, f"models[{index}]")
+                for index, ref in enumerate(request.models)))
+        if isinstance(request, ReanalyzeRequest):
+            return replace(
+                request,
+                before=self._as_hash_ref(request.before, "before"),
+                after=self._as_hash_ref(request.after, "after"))
+        return request
+
+    def submit(self, op: str, request) -> str:
+        """Queue an operation; returns its job id immediately.
+
+        The id is the stable hash of ``(op, canonical request)`` with
+        model references pinned to content hashes — the same identity
+        discipline the result cache uses — so identical submissions
+        coalesce onto one record, re-polling a finished job is free,
+        and an edited model file is new work, never a stale hit.
+        """
+        if op not in OPS:
+            raise RequestError(
+                f"unknown operation {op!r}; one of {OPS}")
+        request = self._materialize(request)
+        job_id = stable_hash(["service-job", op, request.to_dict()])
+        with self._lock:
+            if self._closed:
+                raise ServiceError(
+                    "service is closed; no further submissions "
+                    "accepted")
+            record = self._jobs.get(job_id)
+            # Coalesce onto live or successful work; a *failed* record
+            # must not poison the identity forever (the failure may
+            # have been transient, e.g. a hash uploaded since).
+            if record is not None and record.status != "error":
+                return job_id
+            record = _JobRecord(job_id, op)
+            self._jobs[job_id] = record
+            if self._executor is None:
+                self._executor = futures.ThreadPoolExecutor(
+                    self._job_workers,
+                    thread_name_prefix="repro-service-job")
+            try:
+                # Submit under the lock so a concurrent close() cannot
+                # shut the pool down between the check and the call.
+                self._executor.submit(self._run_job, record, request)
+            except RuntimeError as error:
+                del self._jobs[job_id]
+                raise ServiceError(
+                    "service is shutting down; submission "
+                    "refused") from error
+        return job_id
+
+    def _run_job(self, record: _JobRecord, request) -> None:
+        record.status = "running"
+        try:
+            record.response = getattr(self, record.op)(request)
+            # Serialize before flipping the status: a poll observing
+            # "done" must always see the payload.
+            record.payload = record.response.to_dict()
+            record.status = "done"
+        except ServiceError as error:
+            record.error = error.to_dict()["error"]
+            record.status = "error"
+        except ReproError as error:
+            # Engine-level input problems are the caller's to fix,
+            # not a service fault.
+            record.error = {"code": "analysis_error",
+                            "message": str(error)}
+            record.status = "error"
+        except Exception as error:  # noqa: BLE001 — job boundary
+            record.error = {"code": "internal", "message": str(error)}
+            record.status = "error"
+
+    def job_status(self, job_id: str) -> JobStatus:
+        """The submission's current state (result included once done)."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+        if record is None:
+            raise NotFoundError(f"unknown job id {job_id!r}")
+        return record.snapshot()
+
+    def job_ids(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._jobs)
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> dict:
+        """Service health/topology snapshot (the HTTP health body)."""
+        with self._lock:
+            engine_built = self._engine is not None
+            models = len(self._models)
+            jobs = len(self._jobs)
+        payload = {
+            "status": "ok",
+            "backend": self._engine_config["backend"],
+            "cache_dir": self.cache_dir,
+            "kinds": list(kind_names()),
+            "models": models,
+            "jobs": jobs,
+            "engine": None,
+        }
+        if engine_built:
+            payload["engine"] = {
+                "workers": self.engine.workers,
+                "result_cache":
+                    self.engine.result_cache.stats.describe(),
+            }
+        return payload

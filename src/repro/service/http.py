@@ -1,0 +1,250 @@
+"""The stdlib HTTP/JSON front-end over :class:`AnalysisService`.
+
+``repro serve`` runs a :class:`http.server.ThreadingHTTPServer` whose
+handler routes a small REST surface onto the facade — every endpoint
+speaks the typed wire contract of :mod:`~repro.service.messages`:
+
+===========  =============================  ================================
+method       path                           operation
+===========  =============================  ================================
+``GET``      ``/v1/health``                 service/topology snapshot
+``GET``      ``/v1/kinds``                  registered analysis kinds
+``POST``     ``/v1/models``                 upload DSL text -> content hash
+``POST``     ``/v1/analyze``                :class:`AnalysisRequest`
+``POST``     ``/v1/sweep``                  :class:`SweepRequest`
+``POST``     ``/v1/reanalyze``              :class:`ReanalyzeRequest`
+``POST``     ``/v1/jobs``                   async submit -> job id (202)
+``GET``      ``/v1/jobs/<id>``              poll status / fetch result
+``GET``      ``/v1/cache/stats``            store + live cache accounting
+``POST``     ``/v1/cache/prune``            age/size-budget eviction
+===========  =============================  ================================
+
+Failures are structured: a :class:`~repro.service.messages.ServiceError`
+maps onto its declared HTTP status with an ``{"error": {code, message}}``
+body; malformed JSON and unknown routes are 400/404 with the same
+shape. Handlers run on the server's per-connection threads, so
+concurrent requests genuinely share the facade's tiered caches.
+
+Model references over the wire may not use server-side file paths
+(requests parse with ``allow_paths=False``); upload text and reference
+it by hash instead.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from ..errors import ReproError
+from .facade import OPS, AnalysisService
+from .messages import (
+    AnalysisRequest,
+    NotFoundError,
+    ReanalyzeRequest,
+    RequestError,
+    ServiceError,
+    SweepRequest,
+    check_payload,
+)
+
+#: Request parsers by async-operation name.
+_REQUEST_TYPES = {
+    "analyze": AnalysisRequest,
+    "sweep": SweepRequest,
+    "reanalyze": ReanalyzeRequest,
+}
+
+#: Upload body cap — a DSL model is text, not a blob store.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
+    """Routes the REST surface onto one shared facade instance."""
+
+    #: Injected by :func:`make_server`.
+    service: AnalysisService = None
+    #: Suppress per-request stderr logging unless asked for.
+    verbose = False
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+    #: Socket timeout: a stalled client must not pin a handler thread.
+    timeout = 60
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib name
+        if self.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell the client, don't just hang up (set when a body
+            # was refused unread and keep-alive would desync).
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        if self.headers.get("Transfer-Encoding") is not None:
+            # No chunked decoding here: silently reading length 0
+            # would both drop the caller's body and desync keep-alive
+            # with the unread chunks.
+            self.close_connection = True
+            raise RequestError(
+                "chunked request bodies are not supported; send a "
+                "Content-Length")
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            # The body stays unread (and a negative/garbage length
+            # must never reach rfile.read, which would block until
+            # EOF): drop the connection after the error response, or
+            # the next keep-alive request would parse leftover body
+            # bytes as its request line.
+            self.close_connection = True
+            raise RequestError(
+                "request body needs a Content-Length between 0 and "
+                f"{MAX_BODY_BYTES} bytes")
+        try:
+            raw = self.rfile.read(length) if length else b""
+        except OSError as error:
+            # Stalled or broken client mid-body: the socket is no
+            # longer usable for keep-alive, and the failure is the
+            # caller's, not a 500.
+            self.close_connection = True
+            raise RequestError(
+                f"request body could not be read: {error}") from error
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(
+                f"request body is not valid JSON: {error}") from error
+
+    def _dispatch(self, route) -> None:
+        try:
+            status, payload = route()
+        except ServiceError as error:
+            status, payload = error.http_status, error.to_dict()
+        except ReproError as error:
+            # Engine-level input problems (bad kind params, unknown
+            # agreed services, ...) are the caller's fault: 400, not
+            # a server error.
+            status, payload = 400, {"error": {
+                "code": "analysis_error", "message": str(error)}}
+        except Exception as error:  # noqa: BLE001 — server boundary
+            status, payload = 500, {"error": {
+                "code": "internal", "message": str(error)}}
+        try:
+            self._send_json(status, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            # pragma: no cover — the client went away mid-response;
+            # nothing to answer, just give the connection up.
+            self.close_connection = True
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib name
+        self._dispatch(lambda: self._route_get(self.path))
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib name
+        self._dispatch(lambda: self._route_post(self.path))
+
+    def _route_get(self, path: str) -> Tuple[int, dict]:
+        service = self.service
+        if path == "/v1/health":
+            return 200, service.describe()
+        if path == "/v1/kinds":
+            return 200, {"kinds": service.describe()["kinds"]}
+        if path == "/v1/models":
+            return 200, {"models": list(service.model_hashes())}
+        if path == "/v1/cache/stats":
+            return 200, service.cache_stats().to_dict()
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            return 200, service.job_status(job_id).to_dict()
+        raise NotFoundError(f"no such endpoint: GET {path}")
+
+    def _route_post(self, path: str) -> Tuple[int, dict]:
+        service = self.service
+        payload = self._read_json()
+        if path == "/v1/models":
+            checked = check_payload(
+                payload, {"text": ((str,), True, None)},
+                "model upload")
+            model_hash = service.upload_model(checked["text"])
+            return 201, {"model_hash": model_hash}
+        if path in ("/v1/analyze", "/v1/sweep", "/v1/reanalyze"):
+            op = path[len("/v1/"):]
+            request = _REQUEST_TYPES[op].from_dict(payload,
+                                                   allow_paths=False)
+            return 200, getattr(service, op)(request).to_dict()
+        if path == "/v1/jobs":
+            checked = check_payload(payload, {
+                "op": ((str,), True, None),
+                "request": ((dict,), True, None),
+            }, "job submission")
+            op = checked["op"]
+            if op not in OPS:
+                raise RequestError(
+                    f"unknown operation {op!r}; one of {OPS}")
+            request = _REQUEST_TYPES[op].from_dict(
+                checked["request"], allow_paths=False)
+            job_id = service.submit(op, request)
+            return 202, service.job_status(job_id).to_dict()
+        if path == "/v1/cache/prune":
+            checked = check_payload(payload, {
+                "max_age_days": ((int, float), False, None),
+                "max_bytes": ((int,), False, None),
+            }, "cache prune")
+            max_age = checked["max_age_days"] * 86400.0 \
+                if checked["max_age_days"] is not None else None
+            return 200, service.prune_cache(
+                max_age=max_age,
+                max_bytes=checked["max_bytes"]).to_dict()
+        raise NotFoundError(f"no such endpoint: POST {path}")
+
+
+def make_server(service: AnalysisService, host: str = "127.0.0.1",
+                port: int = 0,
+                verbose: bool = False) -> ThreadingHTTPServer:
+    """A ready-to-run threaded server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``) — the shape the tests and benchmarks
+    use. The caller owns the lifecycle: ``serve_forever()`` /
+    ``shutdown()`` / ``server_close()``.
+    """
+    handler = type("BoundServiceHandler",
+                   (ServiceHTTPRequestHandler,),
+                   {"service": service, "verbose": verbose})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(service: AnalysisService, host: str = "127.0.0.1",
+          port: int = 8787, verbose: bool = False,
+          ready_message: Optional[bool] = True) -> int:
+    """Run the front-end until interrupted (the ``repro serve`` body)."""
+    server = make_server(service, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    if ready_message:
+        print(f"repro service listening on "
+              f"http://{bound_host}:{bound_port} "
+              f"(backend={service.describe()['backend']}, "
+              f"cache_dir={service.cache_dir})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0

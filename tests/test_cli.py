@@ -333,6 +333,144 @@ class TestEngineCommands:
                            if a.dest == "kind")
         assert tuple(kind_action.choices) == kind_names()
 
+    def test_engine_sweep_json_stdout_is_pure_json(self, capsys):
+        """With --json and no -o, stdout must be parseable JSON; the
+        cache accounting line moves to stderr."""
+        import json
+        code = main(["engine", "sweep", "--count", "2",
+                     "--backend", "serial", "--personas", "1",
+                     "--json"])
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["jobs"] == 2
+        assert "result cache:" in captured.err
+
+    def test_engine_run_json_output(self, model_file, capsys):
+        import json
+        code = main(["engine", "run", model_file,
+                     "--agree", "Consult", "--backend", "serial",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["max_level"] in ("none", "low", "medium",
+                                        "high")
+        assert payload["results"][0]["scenario"] == model_file
+        assert payload["stats"]["jobs"] == 1
+
+    def test_engine_run_population_kind(self, model_file, capsys):
+        code = main(["engine", "run", model_file,
+                     "--agree", "Consult", "--kind", "population",
+                     "--backend", "serial"])
+        assert code == 0
+        assert "[population]" in capsys.readouterr().out
+
+    def test_engine_reanalyze_json_output(self, model_file, capsys):
+        import json
+        code = main(["engine", "reanalyze", model_file, model_file,
+                     "--agree", "Consult", "--backend", "serial",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["level"] == "nothing"
+        assert payload["baseline"]["stats"]["jobs"] == 1
+
+    def test_engine_cache_stats_json(self, model_file, tmp_path,
+                                     capsys):
+        import json
+        cache_dir = str(tmp_path / "cache")
+        assert main(["engine", "run", model_file, "--agree", "Consult",
+                     "--backend", "serial",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["engine", "cache", "stats",
+                     "--cache-dir", cache_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stores"]["results"]["entries"] == 1
+        assert main(["engine", "cache", "prune",
+                     "--cache-dir", cache_dir, "--max-bytes", "0",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stores"]["results"]["removed"] == 1
+
+    def test_engine_run_invalid_model_structured_error(
+            self, broken_file, capsys):
+        """Malformed models exit 2 with a structured message, never a
+        traceback."""
+        code = main(["engine", "run", broken_file,
+                     "--agree", "svc", "--backend", "serial"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "structurally invalid" in err
+
+    def test_engine_run_unparsable_model_structured_error(
+            self, tmp_path, capsys):
+        path = tmp_path / "bad.dsl"
+        path.write_text("system { nope")
+        code = main(["engine", "run", str(path),
+                     "--agree", "Consult", "--backend", "serial"])
+        assert code == 2
+        assert "does not parse" in capsys.readouterr().err
+
+    def test_cli_and_service_signatures_agree(self, model_file,
+                                              capsys):
+        """Acceptance: the CLI's --json results carry the same
+        signatures the facade (and therefore the HTTP server)
+        produces for the equivalent request."""
+        import json
+        from repro.service import (AnalysisRequest, AnalysisService,
+                                   ModelRef, UserSpec,
+                                   result_from_dict)
+        assert main(["engine", "run", model_file, "--agree", "Consult",
+                     "--sensitivity", "issue=high",
+                     "--backend", "serial", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cli_signatures = [result_from_dict(r).signature()
+                          for r in payload["results"]]
+        service = AnalysisService(backend="serial")
+        response = service.analyze(AnalysisRequest(
+            models=(ModelRef(path=model_file),),
+            user=UserSpec(agree=("Consult",),
+                          sensitivities=(("issue", "high"),))))
+        assert cli_signatures == list(response.signatures())
+
+
+class TestServeCommand:
+    def test_serve_starts_and_answers_health(self, tmp_path):
+        """`repro serve` end to end: bind an ephemeral port, drive it
+        over HTTP, shut it down."""
+        import json
+        import threading
+        import urllib.request
+        from repro.service import AnalysisService, make_server
+
+        service = AnalysisService(backend="serial",
+                                  cache_dir=str(tmp_path / "c"))
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/v1/health",
+                    timeout=10) as reply:
+                payload = json.loads(reply.read())
+            assert payload["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_serve_is_wired_into_the_parser(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0",
+                                  "--backend", "serial"])
+        assert args.port == 0
+        assert args.func.__name__ == "_cmd_serve"
+
     def test_non_engine_commands_do_not_import_the_engine(
             self, model_file):
         """`repro validate` must not pay the engine package's import

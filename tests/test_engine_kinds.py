@@ -44,9 +44,9 @@ def _researcher_policy():
 
 
 class TestRegistry:
-    def test_four_first_class_kinds(self):
+    def test_five_first_class_kinds(self):
         assert KINDS == ("disclosure", "pseudonym", "consent_change",
-                         "reidentify")
+                         "reidentify", "population")
         assert set(kind_names()) == set(KINDS)
 
     def test_get_kind_rejects_unknown(self):
@@ -224,6 +224,78 @@ class TestReidentifyKind:
         assert result.max_level == "none"
 
 
+class TestPopulationKind:
+    def test_population_outcome_shape(self):
+        job = AnalysisJob(system=build_surgery_system(),
+                          user=surgery_patient(), kind="population",
+                          params={"count": 8, "seed": 3})
+        result = BatchEngine().run([job]).results[0]
+        # The requesting patient joins the 8 simulated users; some
+        # simulated personas may consent to nothing and be skipped.
+        assert result.detail("analysed") + result.detail("skipped") == 9
+        assert 0.0 <= result.detail("unacceptable_fraction") <= 1.0
+        histogram = dict(result.detail("histogram"))
+        assert sum(histogram.values()) == result.detail("analysed")
+        assert result.max_level in ("none", "low", "medium", "high")
+
+    def test_population_is_seed_deterministic(self):
+        def run_once():
+            job = AnalysisJob(system=build_surgery_system(),
+                              user=surgery_patient(),
+                              kind="population",
+                              params={"count": 6, "seed": 7})
+            return BatchEngine().run([job]).results[0].signature()
+        assert run_once() == run_once()
+
+    def test_population_params_enter_cache_identity(self):
+        engine = BatchEngine()
+        system = build_surgery_system()
+        user = surgery_patient()
+        fingerprints = {
+            engine.fingerprint(AnalysisJob(
+                system=system, user=user, kind="population",
+                params=params))
+            for params in ({"count": 4, "seed": 0},
+                           {"count": 4, "seed": 1},
+                           {"count": 5, "seed": 0})
+        }
+        assert len(fingerprints) == 3
+
+    def test_hot_spots_name_actor_field_grants(self):
+        job = AnalysisJob(system=build_surgery_system(),
+                          user=surgery_patient(), kind="population",
+                          params={"count": 10, "seed": 1})
+        result = BatchEngine().run([job]).results[0]
+        spots = result.detail("hot_spots")
+        assert spots, "surgery population should expose hot spots"
+        for actor, field, count in spots:
+            assert isinstance(actor, str) and isinstance(field, str)
+            assert count >= 1
+        counts = [count for _, _, count in spots]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_bad_params_are_analysis_errors(self):
+        from repro.errors import AnalysisError
+        kind = get_kind("population")
+        with pytest.raises(AnalysisError, match="population count"):
+            kind.population_of(AnalysisJob(
+                system=build_surgery_system(),
+                user=surgery_patient(), kind="population",
+                params={"count": -1}))
+        with pytest.raises(AnalysisError, match="population count"):
+            # Params are wire-reachable: one request must not buy an
+            # unbounded simulation.
+            kind.population_of(AnalysisJob(
+                system=build_surgery_system(),
+                user=surgery_patient(), kind="population",
+                params={"count": kind.MAX_COUNT + 1}))
+        with pytest.raises(AnalysisError, match="population seed"):
+            kind.population_of(AnalysisJob(
+                system=build_surgery_system(),
+                user=surgery_patient(), kind="population",
+                params={"seed": "xyz"}))
+
+
 class TestMixedFleets:
     def _jobs(self):
         system = build_surgery_system()
@@ -277,6 +349,7 @@ class TestMixedFleets:
         assert "risk_increases" in rollups["consent_change"]
         assert "violations" in rollups["pseudonym"]
         assert "findings" in rollups["reidentify"]
+        assert rollups["population"]["users"] > 0
         data = report.to_dict()
         assert data["kind_histogram"] == report.kind_histogram()
         assert "analysis kinds:" in report.describe()
