@@ -1,0 +1,220 @@
+"""Cold LTS-generation throughput — the engine's hottest path.
+
+Not a paper table: every engine job, service request and fleet sweep
+bottoms out in ``ModelGenerator.generate()`` (see
+``bench_scalability.py`` for the state-space shapes). This bench
+records cold-generation throughput in states/sec on three workloads —
+the width-12 interleaving blow-up, a deep linear pipeline, and the
+surgery case study with policy-derived transitions — and compares them
+against ``BASELINE_generation.json``, the throughput of the pre-bitmask
+pure-Python generator captured before the mask-compiled core landed.
+
+The quick mode is the CI smoke: the width-12 interleaving workload
+must run at >= 3x the recorded baseline, and a mixed-kind fleet over
+the surgery case study must reproduce the golden
+``JobResult.signature()`` digests byte-for-byte (the speedup must not
+move a single observable result). Emits ``BENCH_generation.json``.
+
+Run under pytest-benchmark for timings, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_generation.py --quick
+
+Re-capturing the baseline (only meaningful from the pre-rewrite
+generator, or to re-anchor on new hardware)::
+
+    PYTHONPATH=src python benchmarks/bench_generation.py --capture-baseline
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+import pytest
+
+from repro.casestudies import (
+    build_interleaving_system,
+    build_pipeline_system,
+    build_surgery_system,
+)
+from repro.core import GenerationOptions, ModelGenerator
+
+BENCH_JSON = "BENCH_generation.json"
+BASELINE_JSON = os.path.join(os.path.dirname(__file__),
+                             "BASELINE_generation.json")
+GOLDEN_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "tests", "data", "golden_generation.json")
+
+#: The acceptance bar on the width-12 interleaving workload. The
+#: committed baseline throughput was measured on one specific machine,
+#: so wall-clock ratios on *other* hardware are only indicative —
+#: CI runs with a reduced bar (see BENCH_GENERATION_TARGET in the
+#: workflow) that still catches order-of-magnitude regressions without
+#: going red on a slow shared runner.
+TARGET_SPEEDUP = float(os.environ.get("BENCH_GENERATION_TARGET",
+                                      "3.0"))
+
+
+def workloads():
+    """name -> (system, options); the bench's three shapes."""
+    return {
+        "interleaving-w12": (build_interleaving_system(12), None),
+        "pipeline-d64": (build_pipeline_system(64), None),
+        "surgery-full": (
+            build_surgery_system(),
+            GenerationOptions(include_potential_reads=True,
+                              include_deletes=True),
+        ),
+    }
+
+
+def _cold_generate(system, options):
+    """One cold generation, generator construction included — the
+    exact work an engine cache miss performs."""
+    return ModelGenerator(system).generate(options)
+
+
+def measure(system, options, repeats: int = 3):
+    """Best-of-``repeats`` cold generation; returns (states/sec, lts)."""
+    best = float("inf")
+    lts = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        lts = _cold_generate(system, options)
+        best = min(best, time.perf_counter() - started)
+    return len(lts) / max(best, 1e-9), lts
+
+
+def _measure_all(repeats: int) -> dict:
+    record = {}
+    for name, (system, options) in workloads().items():
+        rate, lts = measure(system, options, repeats)
+        record[name] = {
+            "states": len(lts),
+            "transitions": len(lts.transitions),
+            "states_per_sec": round(rate, 1),
+        }
+    return record
+
+
+def _signature_digests():
+    """Mixed-kind fleet signatures over the scenario templates (the
+    surgery case study and its variants) — must match the goldens.
+
+    Computed by the same function the golden capture used, so the
+    digest recipe cannot drift between the capture and this check."""
+    tests_dir = os.path.normpath(os.path.join(
+        os.path.dirname(__file__), os.pardir, "tests"))
+    if tests_dir not in sys.path:
+        sys.path.insert(0, tests_dir)
+    from capture_golden_generation import fleet_signature_digests
+    return fleet_signature_digests()
+
+
+def _capture_baseline() -> int:
+    record = {
+        "note": "cold-generation throughput of the pure-Python "
+                "frozenset generator, captured before the "
+                "mask-compiled core",
+        "python": platform.python_version(),
+        "workloads": _measure_all(repeats=5),
+    }
+    with open(BASELINE_JSON, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {BASELINE_JSON}")
+    for name, entry in record["workloads"].items():
+        print(f"  {name}: {entry['states_per_sec']:.0f} states/sec "
+              f"({entry['states']} states)")
+    return 0
+
+
+def _quick_smoke() -> int:
+    with open(BASELINE_JSON, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    current = _measure_all(repeats=3)
+    failures = []
+    record = {"baseline": baseline, "current": current,
+              "speedups": {}, "target_speedup": TARGET_SPEEDUP}
+    for name, entry in current.items():
+        base = baseline["workloads"].get(name)
+        if base is None:
+            failures.append(f"no baseline recorded for {name}")
+            continue
+        if entry["states"] != base["states"]:
+            failures.append(
+                f"{name}: state count moved "
+                f"({base['states']} -> {entry['states']})")
+        if entry["transitions"] != base["transitions"]:
+            failures.append(
+                f"{name}: transition count moved "
+                f"({base['transitions']} -> {entry['transitions']})")
+        speedup = entry["states_per_sec"] / \
+            max(base["states_per_sec"], 1e-9)
+        record["speedups"][name] = round(speedup, 2)
+        print(f"{name}: {entry['states_per_sec']:.0f} states/sec "
+              f"(baseline {base['states_per_sec']:.0f}, "
+              f"{speedup:.2f}x)")
+    key_speedup = record["speedups"].get("interleaving-w12", 0.0)
+    if key_speedup < TARGET_SPEEDUP:
+        failures.append(
+            f"interleaving-w12 speedup {key_speedup:.2f}x below the "
+            f"{TARGET_SPEEDUP}x bar")
+
+    golden_path = os.path.normpath(GOLDEN_JSON)
+    with open(golden_path, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    digests = _signature_digests()
+    expected = golden["signatures"]["fleet-seed11-allkinds"]
+    matches = digests == expected
+    record["signatures_match_golden"] = matches
+    if not matches:
+        failures.append(
+            "fleet result signatures diverged from the golden "
+            "snapshots — the fast path changed observable output")
+    print(f"surgery fleet signatures: "
+          f"{'byte-identical' if matches else 'DIVERGED'} "
+          f"({len(digests)} results)")
+
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+    print(f"wrote {BENCH_JSON}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("generation bench smoke:", "FAIL" if failures else "OK")
+    return 1 if failures else 0
+
+
+# -- pytest-benchmark leg ------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["interleaving-w12", "pipeline-d64",
+                                  "surgery-full"])
+def test_cold_generation_throughput(benchmark, name):
+    system, options = workloads()[name]
+    lts = benchmark(_cold_generate, system, options)
+    benchmark.extra_info["states"] = len(lts)
+    benchmark.extra_info["transitions"] = len(lts.transitions)
+
+
+def test_workload_shapes_are_stable():
+    """The workloads keep their documented state-space shapes, so
+    states/sec numbers stay comparable across runs."""
+    shapes = {name: len(_cold_generate(system, options))
+              for name, (system, options) in workloads().items()}
+    assert shapes["interleaving-w12"] == 2 ** 12
+    assert shapes["pipeline-d64"] == 65
+    with open(BASELINE_JSON, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    for name, count in shapes.items():
+        assert baseline["workloads"][name]["states"] == count
+
+
+if __name__ == "__main__":
+    if "--capture-baseline" in sys.argv:
+        sys.exit(_capture_baseline())
+    if "--quick" in sys.argv:
+        sys.exit(_quick_smoke())
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -13,35 +13,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.casestudies import (
+    build_interleaving_system as _parallel_collect_system,
+    build_pipeline_system as _pipeline_system,
+)
 from repro.core import GenerationOptions, generate_lts
 from repro.dfd import SystemBuilder
-
-
-def _parallel_collect_system(width: int):
-    """``width`` independent user->actor collects (worst-case
-    interleaving: 2^width reachable states)."""
-    builder = SystemBuilder(f"par{width}")
-    fields = [f"f{i}" for i in range(width)]
-    builder.schema("S", fields)
-    for index in range(width):
-        builder.actor(f"A{index}")
-    builder.service("svc")
-    for index in range(width):
-        builder.flow(index + 1, "User", f"A{index}", [fields[index]])
-    return builder.build()
-
-
-def _pipeline_system(depth: int):
-    """A depth-long disclose chain (linear state space)."""
-    builder = SystemBuilder(f"chain{depth}")
-    builder.schema("S", ["x"])
-    for index in range(depth):
-        builder.actor(f"A{index}")
-    builder.service("svc")
-    builder.flow(1, "User", "A0", ["x"])
-    for index in range(depth - 1):
-        builder.flow(index + 2, f"A{index}", f"A{index + 1}", ["x"])
-    return builder.build()
 
 
 @pytest.mark.parametrize("width", [4, 8, 12])

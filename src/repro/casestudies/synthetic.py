@@ -138,3 +138,33 @@ def build_scaled_system(actors: int = 3, fields: int = 4,
         builder.allow("Researcher", "read", "AnonStore")
 
     return builder.build()
+
+
+def build_interleaving_system(width: int) -> SystemModel:
+    """``width`` independent user->actor collects — the worst-case
+    interleaving archetype (2^width reachable states). The scalability
+    and generation benchmarks and the golden-snapshot capture all
+    measure this exact model, so it lives here rather than being
+    re-declared per bench."""
+    builder = SystemBuilder(f"par{width}")
+    fields = [f"f{i}" for i in range(width)]
+    builder.schema("S", fields)
+    for index in range(width):
+        builder.actor(f"A{index}")
+    builder.service("svc")
+    for index in range(width):
+        builder.flow(index + 1, "User", f"A{index}", [fields[index]])
+    return builder.build()
+
+
+def build_pipeline_system(depth: int) -> SystemModel:
+    """A depth-long disclose chain (linear state space)."""
+    builder = SystemBuilder(f"chain{depth}")
+    builder.schema("S", ["x"])
+    for index in range(depth):
+        builder.actor(f"A{index}")
+    builder.service("svc")
+    builder.flow(1, "User", "A0", ["x"])
+    for index in range(depth - 1):
+        builder.flow(index + 2, f"A{index}", f"A{index + 1}", ["x"])
+    return builder.build()

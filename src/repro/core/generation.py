@@ -12,7 +12,7 @@ Implements the extraction rules of section II.B:
 The *generation state* (the dedup key of LTS states) is the full
 system configuration:
 
-- ``has``: bit mask of has(actor, field) variables (sticky),
+- ``has``: which actor has identified which field (sticky),
 - ``holdings``: which actor currently holds which fields,
 - ``contents``: which datastore currently stores which fields,
 - ``fired``: which flows have already executed (each flow fires at
@@ -27,34 +27,224 @@ models) a direct function of the configuration.
 Because ``fired`` and ``has`` only grow and ``contents`` only shrinks
 outside flow execution, the generated LTS is always a finite DAG; a
 ``max_states`` cap still guards against combinatorial interleavings.
+
+Representation
+--------------
+Generation is the engine's hottest path, so the whole configuration is
+compiled to **one integer**: a :class:`StateCodec` interns every
+has/could variable, ``(actor, field)`` holding, ``(store, field)``
+content and flow key into a fixed bit position, and every per-flow
+effect is precomputed at compile time as OR/AND-NOT masks. Applying a
+flow is a single ``|``; readiness is one masked compare; state dedup
+is an int-keyed dictionary probe. :class:`Configuration` wraps the
+packed integer and decodes the frozenset views (``holdings``,
+``contents``, ``fired``) lazily for analyzers, reports and tests — the
+observable LTS (states, vectors, transitions, ordering) is identical
+to the historical frozenset implementation.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..dfd.model import Flow, NodeKind, SystemModel, USER
-from ..errors import GenerationError, StateLimitExceeded
+from ..errors import GenerationError, ModelError, StateLimitExceeded
 from ..schema import anon_name
 from .actions import ActionType, TransitionLabel
 from .lts import LTS, TransitionKind
-from .statevars import PrivacyVector, VarKind, VariableRegistry
+from .statevars import PrivacyVector, VariableRegistry
 
 Holding = Tuple[str, str]           # (actor, field)
 StoredField = Tuple[str, str]       # (store, field)
 FlowKey = Tuple[str, int]           # (service, order)
 
 
-@dataclass(frozen=True)
-class Configuration:
-    """The hashable generation state."""
+class StateCodec:
+    """Bit layout of the packed generation state.
 
-    has_mask: int
-    holdings: FrozenSet[Holding]
-    contents: FrozenSet[StoredField]
-    fired: FrozenSet[FlowKey]
+    One integer holds four segments, low to high:
+
+    1. the registry's has/could variables (``could`` positions stay
+       zero in configurations — ``could`` is derived),
+    2. one bit per ``(actor, field)`` holding,
+    3. one bit per ``(store, field)`` content — schema fields plus any
+       extra field an inbound flow writes, in sorted-field order
+       within each sorted store so decoded field lists come out
+       sorted,
+    4. one bit per flow key.
+
+    Built once per :class:`ModelGenerator` from the model structure;
+    every configuration of that generator's LTSs shares it.
+    """
+
+    __slots__ = ("registry", "var_mask", "hold_off", "cont_off",
+                 "cont_mask", "fired_off", "content_pairs",
+                 "content_bit", "sorted_stores", "flow_keys",
+                 "flow_bit", "holding_bit")
+
+    def __init__(self, system: SystemModel, registry: VariableRegistry):
+        self.registry = registry
+        var_bits = len(registry)
+        self.var_mask = (1 << var_bits) - 1
+        self.hold_off = var_bits
+        self.holding_bit: Dict[Holding, int] = {}
+        for actor in registry.actors:
+            for field_name in registry.fields:
+                self.holding_bit[(actor, field_name)] = 1 << (
+                    var_bits + registry.pair_index(actor, field_name))
+        self.cont_off = var_bits + registry.pair_count
+
+        # Content universe: per store, its schema fields plus whatever
+        # inbound flows write (validation normally forbids non-schema
+        # writes, but generation never required it).
+        extra: Dict[str, set] = {}
+        for flow in system.all_flows():
+            if flow.target in system.datastores and \
+                    flow.source in system.actors:
+                store = system.datastores[flow.target]
+                for field_name in flow.fields:
+                    if store.anonymised and \
+                            anon_name(field_name) in store.schema:
+                        field_name = anon_name(field_name)
+                    extra.setdefault(flow.target, set()).add(field_name)
+        self.content_pairs: List[StoredField] = []
+        self.content_bit: Dict[StoredField, int] = {}
+        self.sorted_stores: List[Tuple[str, int]] = []
+        for store_name in sorted(system.datastores):
+            names = set(system.datastores[store_name].field_names())
+            names |= extra.get(store_name, set())
+            store_mask = 0
+            for field_name in sorted(names):
+                bit = 1 << (self.cont_off + len(self.content_pairs))
+                self.content_bit[(store_name, field_name)] = bit
+                self.content_pairs.append((store_name, field_name))
+                store_mask |= bit
+            self.sorted_stores.append((store_name, store_mask))
+        self.cont_mask = ((1 << len(self.content_pairs)) - 1) \
+            << self.cont_off
+
+        self.fired_off = self.cont_off + len(self.content_pairs)
+        self.flow_keys: List[FlowKey] = []
+        self.flow_bit: Dict[FlowKey, int] = {}
+        for flow in system.all_flows():
+            self.flow_bit[flow.key] = 1 << (
+                self.fired_off + len(self.flow_keys))
+            self.flow_keys.append(flow.key)
+
+    # -- decoding ----------------------------------------------------------
+
+    def _decode(self, bits: int, offset: int, table) -> frozenset:
+        decoded = []
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            decoded.append(table[low.bit_length() - 1 - offset])
+        return frozenset(decoded)
+
+    def decode_holdings(self, packed: int) -> FrozenSet[Holding]:
+        bits = (packed >> self.hold_off) & \
+            ((1 << self.registry.pair_count) - 1)
+        return self._decode(bits, 0, self.registry.pairs)
+
+    def decode_contents(self, packed: int) -> FrozenSet[StoredField]:
+        return self._decode(packed & self.cont_mask, self.cont_off,
+                            self.content_pairs)
+
+    def decode_fired(self, packed: int) -> FrozenSet[FlowKey]:
+        return self._decode(packed >> self.fired_off, 0, self.flow_keys)
+
+
+class Configuration:
+    """The hashable generation state: one packed integer plus the
+    codec that gives its bits meaning.
+
+    Equality and hashing are single-int operations (the generation
+    dedup hot path); ``holdings``/``contents``/``fired`` decode the
+    historical frozenset views on demand.
+    """
+
+    __slots__ = ("packed", "codec")
+
+    def __init__(self, codec: StateCodec, packed: int = 0):
+        self.packed = packed
+        self.codec = codec
+
+    # -- segment views -----------------------------------------------------
+
+    @property
+    def has_mask(self) -> int:
+        """Bits of the registry's state variables (has positions)."""
+        return self.packed & self.codec.var_mask
+
+    @property
+    def holdings(self) -> FrozenSet[Holding]:
+        return self.codec.decode_holdings(self.packed)
+
+    @property
+    def contents(self) -> FrozenSet[StoredField]:
+        return self.codec.decode_contents(self.packed)
+
+    @property
+    def fired(self) -> FrozenSet[FlowKey]:
+        return self.codec.decode_fired(self.packed)
+
+    # -- derivation --------------------------------------------------------
+
+    def with_has_bits(self, mask: int) -> "Configuration":
+        """A configuration with extra registry (has) bits set —
+        holdings/contents/fired untouched. Used by analyses that
+        inject hypothetical identification states (Fig. 4)."""
+        return Configuration(self.codec,
+                             self.packed | (mask & self.codec.var_mask))
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self.packed == other.packed
+
+    def __hash__(self) -> int:
+        return hash(self.packed)
+
+    def __repr__(self) -> str:
+        return (
+            f"Configuration(holdings={sorted(self.holdings)}, "
+            f"contents={sorted(self.contents)}, "
+            f"fired={sorted(self.fired)})"
+        )
+
+
+class ConfigurationInfo(MappingABC):
+    """Lazy ``State.info`` view over a configuration.
+
+    Looks like the dict the generator used to build eagerly
+    (``holdings``/``contents``/``fired`` frozensets) but decodes each
+    entry from the packed state only when actually read.
+    """
+
+    __slots__ = ("configuration",)
+    _KEYS = ("holdings", "contents", "fired")
+
+    def __init__(self, configuration: Configuration):
+        self.configuration = configuration
+
+    def __getitem__(self, key):
+        if key not in self._KEYS:
+            raise KeyError(key)
+        return getattr(self.configuration, key)
+
+    def __iter__(self):
+        return iter(self._KEYS)
+
+    def __len__(self) -> int:
+        return len(self._KEYS)
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
 
 
 @dataclass(frozen=True)
@@ -131,63 +321,136 @@ class GenerationOptions:
         )
 
 
+class _FlowRecord:
+    """One flow compiled against the codec.
+
+    ``need`` is the readiness mask (holdings or contents bits the
+    source must have), ``effect`` the OR-delta of applying the flow
+    (has + holdings + contents + fired bits in one integer), ``label``
+    the — entirely state-independent — transition label. ``error``
+    carries a deferred endpoint problem, raised exactly where the
+    frozenset implementation used to raise it: ``on_ready_check``
+    whenever the unfired flow is even *considered*, otherwise only
+    once the flow is ready to fire. ``never_ready`` marks flows whose
+    required contents can never exist (a read of a field no store
+    holds)."""
+
+    __slots__ = ("flow", "fired_bit", "need", "effect",
+                 "label", "error", "on_ready_check", "never_ready")
+
+    def __init__(self, flow: Flow):
+        self.flow = flow
+        self.fired_bit = 0
+        self.need = 0
+        self.effect = 0
+        self.label: Optional[TransitionLabel] = None
+        self.error: Optional[Exception] = None
+        self.on_ready_check = False
+        self.never_ready = False
+
+
 class ModelGenerator:
-    """Generates the privacy LTS of a system model (Step 2)."""
+    """Generates the privacy LTS of a system model (Step 2).
+
+    All structural interning (the :class:`StateCodec`) happens at
+    construction; policy-derived mask tables and per-service flow
+    plans compile lazily on first use and are cached for the
+    generator's lifetime, so repeated :meth:`generate` calls (and
+    repeated option sets) pay the compile cost once.
+    """
 
     def __init__(self, system: SystemModel):
         self.system = system
         self.registry = VariableRegistry(
             system.actor_names(), system.personal_fields())
-        self._could_cache: Dict[FrozenSet[StoredField], int] = {}
+        self.codec = StateCodec(system, self.registry)
+        self._sorted_actors = tuple(sorted(system.actors))
+        self._could_cache: Dict[int, int] = {}
+        self._could_by_cbit: Optional[List[int]] = None
+        self._flow_plans: Dict[Optional[Tuple[str, ...]], tuple] = {}
+        self._actor_tables: Dict[str, tuple] = {}
+        self._read_labels: Dict[Tuple[str, int], tuple] = {}
+        self._delete_labels: Dict[Tuple[str, int], tuple] = {}
 
     # -- public entry point --------------------------------------------------
 
     def generate(self, options: Optional[GenerationOptions] = None) -> LTS:
         options = options if options is not None else GenerationOptions()
-        flows = self._selected_flows(options)
+        records, by_service = self._compiled_flows(options)
+        sequence = options.ordering == "sequence"
+        potential_actors = deletion_actors = ()
+        if options.include_potential_reads:
+            potential_actors = self._restricted_actors(
+                options.potential_read_actors)
+        if options.include_deletes:
+            deletion_actors = self._restricted_actors(
+                options.delete_actors)
+
+        max_states = options.max_states
         lts = LTS(self.registry)
-        initial = self._initial_configuration(options)
-        initial_sid, _ = lts.add_state(
-            initial, self._vector_of(initial),
-            info=self._state_info(initial))
+        add_state = lts.add_state
+        add_transition = lts.add_transition
+
+        initial = self._initial_packed(options)
+        initial_sid, _ = add_state(*self._materialize(initial))
         lts.set_initial(initial_sid)
+        seen: Dict[int, int] = {initial: initial_sid}
 
         queue = deque([initial_sid])
+        packed_of: List[int] = [initial]
         while queue:
             sid = queue.popleft()
-            configuration = lts.state(sid).key
-            for label, kind, successor in self._successors(
-                    configuration, flows, options):
-                target_sid, created = lts.add_state(
-                    successor, self._vector_of(successor),
-                    info=self._state_info(successor))
-                if len(lts) > options.max_states:
-                    raise StateLimitExceeded(options.max_states)
-                lts.add_transition(sid, target_sid, label, kind)
-                if created:
+            packed = packed_of[sid]
+            if sequence:
+                enabled = self._sequence_enabled(packed, by_service)
+            else:
+                enabled = self._dataflow_enabled(packed, records)
+            for record in enabled:
+                successor = packed | record.effect
+                target_sid = seen.get(successor)
+                if target_sid is None:
+                    target_sid, _ = add_state(
+                        *self._materialize(successor))
+                    seen[successor] = target_sid
+                    packed_of.append(successor)
+                    if len(lts) > max_states:
+                        raise StateLimitExceeded(max_states)
                     queue.append(target_sid)
+                add_transition(sid, target_sid, record.label,
+                               TransitionKind.FLOW)
+            for label, kind, successor in self._policy_successors(
+                    packed, potential_actors, deletion_actors):
+                target_sid = seen.get(successor)
+                if target_sid is None:
+                    target_sid, _ = add_state(
+                        *self._materialize(successor))
+                    seen[successor] = target_sid
+                    packed_of.append(successor)
+                    if len(lts) > max_states:
+                        raise StateLimitExceeded(max_states)
+                    queue.append(target_sid)
+                add_transition(sid, target_sid, label, kind)
         return lts
+
+    def _materialize(self, packed: int):
+        """(key, vector, info) of a packed state — built once per
+        *distinct* state; duplicates never reach this."""
+        configuration = Configuration(self.codec, packed)
+        vector = PrivacyVector(
+            self.registry,
+            (packed & self.codec.var_mask) | self._could_mask(packed))
+        return configuration, vector, ConfigurationInfo(configuration)
 
     # -- setup ------------------------------------------------------------------
 
-    def _selected_flows(self, options: GenerationOptions) -> Tuple[Flow, ...]:
-        if options.services is None:
-            names = tuple(self.system.services)
-        else:
-            names = options.services
-        flows: List[Flow] = []
-        for name in names:
-            flows.extend(self.system.service(name).flows)
-        if not flows:
-            raise GenerationError(
-                "no flows selected for generation; check the services "
-                f"option (selected: {list(names)})"
-            )
-        return tuple(flows)
+    def _restricted_actors(self, restriction: Optional[FrozenSet[str]]
+                           ) -> Tuple[str, ...]:
+        if restriction is None:
+            return self._sorted_actors
+        return tuple(sorted(restriction))
 
-    def _initial_configuration(self, options: GenerationOptions
-                               ) -> Configuration:
-        contents: List[StoredField] = []
+    def _initial_packed(self, options: GenerationOptions) -> int:
+        packed = 0
         for store_name, fields in options.initial_store_contents.items():
             store = self.system.datastore(store_name)
             for field_name in fields:
@@ -196,306 +459,348 @@ class ModelGenerator:
                         f"initial contents: field {field_name!r} is not "
                         f"in datastore {store_name!r}"
                     )
-                contents.append((store_name, field_name))
-        return Configuration(
-            has_mask=0,
-            holdings=frozenset(),
-            contents=frozenset(contents),
-            fired=frozenset(),
-        )
+                packed |= self.codec.content_bit[(store_name, field_name)]
+        return packed
 
-    # -- privacy vector derivation ---------------------------------------------------
+    # -- flow compilation --------------------------------------------------------
 
-    def _could_mask(self, contents: FrozenSet[StoredField]) -> int:
-        cached = self._could_cache.get(contents)
-        if cached is not None:
-            return cached
-        mask = 0
-        for store_name, field_name in contents:
-            for actor in self.system.policy.readers(store_name, field_name):
-                if actor in self.system.actors:
-                    mask |= self.registry.mask_of(
-                        VarKind.COULD, actor, field_name)
-        self._could_cache[contents] = mask
-        return mask
+    def _compiled_flows(self, options: GenerationOptions):
+        """(records, per-selection record groups) for the selected
+        services, compiled once per distinct selection.
 
-    def _vector_of(self, configuration: Configuration) -> PrivacyVector:
-        return PrivacyVector(
-            self.registry,
-            configuration.has_mask | self._could_mask(
-                configuration.contents))
+        One group per *selection entry* — not per distinct service
+        name — so a service selected twice contributes its flows (and,
+        in sequence mode, its next-order emission) twice, exactly as
+        the historical flat flow list did."""
+        key = options.services
+        plan = self._flow_plans.get(key)
+        if plan is None:
+            if options.services is None:
+                names = tuple(self.system.services)
+            else:
+                names = options.services
+            groups: List[Tuple[_FlowRecord, ...]] = []
+            records: List[_FlowRecord] = []
+            for name in names:
+                group = tuple(self._compile_flow(flow)
+                              for flow in self.system.service(name).flows)
+                records.extend(group)
+                if group:
+                    groups.append(group)
+            if not records:
+                raise GenerationError(
+                    "no flows selected for generation; check the "
+                    f"services option (selected: {list(names)})"
+                )
+            plan = (tuple(records), tuple(groups))
+            self._flow_plans[key] = plan
+        return plan
 
-    def _state_info(self, configuration: Configuration) -> dict:
-        return {
-            "holdings": configuration.holdings,
-            "contents": configuration.contents,
-            "fired": configuration.fired,
-        }
+    def _compile_flow(self, flow: Flow) -> _FlowRecord:
+        record = _FlowRecord(flow)
+        record.fired_bit = self.codec.flow_bit[flow.key]
+        try:
+            source_kind = self.system.node_kind(flow.source)
+        except ModelError as error:
+            record.error = error
+            record.on_ready_check = True
+            return record
+        self._compile_need(record, source_kind)
+        try:
+            target_kind = self.system.node_kind(flow.target)
+        except ModelError as error:
+            record.error = error
+            return record
+        self._compile_effect(record, source_kind, target_kind)
+        return record
+
+    def _compile_need(self, record: _FlowRecord,
+                      source_kind: NodeKind) -> None:
+        flow = record.flow
+        if source_kind is NodeKind.ACTOR:
+            originated = set(self.system.actors[flow.source].originates)
+            for field_name in flow.fields:
+                if field_name not in originated:
+                    record.need |= self.codec.holding_bit[
+                        (flow.source, field_name)]
+        elif source_kind is NodeKind.DATASTORE:
+            for field_name in flow.fields:
+                bit = self.codec.content_bit.get(
+                    (flow.source, field_name))
+                if bit is None:
+                    record.never_ready = True
+                    return
+                record.need |= bit
+
+    def _actor_gain(self, actor: str, field_name: str) -> int:
+        """The has+holdings delta of ``actor`` receiving ``field``."""
+        return self.registry.has_mask_of(actor, field_name) | \
+            self.codec.holding_bit[(actor, field_name)]
+
+    def _originated_gain(self, actor: str,
+                         fields: Tuple[str, ...]) -> int:
+        """Sending originated fields materialises them: the actor now
+        holds — and has identified — the data it created about the
+        user. An OR-delta, so 'only fresh fields' needs no check."""
+        originated = set(self.system.actors[actor].originates)
+        gain = 0
+        for field_name in fields:
+            if field_name in originated:
+                gain |= self._actor_gain(actor, field_name)
+        return gain
+
+    def _compile_effect(self, record: _FlowRecord,
+                        source_kind: NodeKind,
+                        target_kind: NodeKind) -> None:
+        flow = record.flow
+        effect = record.fired_bit
+        if source_kind is NodeKind.USER and \
+                target_kind is NodeKind.ACTOR:
+            for field_name in flow.fields:
+                effect |= self._actor_gain(flow.target, field_name)
+            record.label = TransitionLabel(
+                action=ActionType.COLLECT, fields=flow.fields,
+                actor=flow.target, source=flow.source,
+                target=flow.target, purpose=flow.purpose or None,
+                flow_key=flow.key)
+        elif source_kind is NodeKind.ACTOR and \
+                target_kind is NodeKind.ACTOR:
+            effect |= self._originated_gain(flow.source, flow.fields)
+            for field_name in flow.fields:
+                effect |= self._actor_gain(flow.target, field_name)
+            record.label = TransitionLabel(
+                action=ActionType.DISCLOSE, fields=flow.fields,
+                actor=flow.source, source=flow.source,
+                target=flow.target, purpose=flow.purpose or None,
+                flow_key=flow.key)
+        elif source_kind is NodeKind.ACTOR and \
+                target_kind is NodeKind.USER:
+            # Returning data to the subject does not change their
+            # privacy, but sending originated fields materialises them.
+            effect |= self._originated_gain(flow.source, flow.fields)
+            record.label = TransitionLabel(
+                action=ActionType.DISCLOSE, fields=flow.fields,
+                actor=flow.source, source=flow.source,
+                target=flow.target, purpose=flow.purpose or None,
+                flow_key=flow.key)
+        elif source_kind is NodeKind.ACTOR and \
+                target_kind is NodeKind.DATASTORE:
+            store = self.system.datastore(flow.target)
+            effect |= self._originated_gain(flow.source, flow.fields)
+            stored_fields = []
+            for field_name in flow.fields:
+                if store.anonymised and \
+                        anon_name(field_name) in store.schema:
+                    stored_fields.append(anon_name(field_name))
+                else:
+                    stored_fields.append(field_name)
+            for field_name in stored_fields:
+                effect |= self.codec.content_bit[
+                    (store.name, field_name)]
+            action = ActionType.ANON if store.anonymised \
+                else ActionType.CREATE
+            record.label = TransitionLabel(
+                action=action, fields=tuple(stored_fields),
+                actor=flow.source, source=flow.source,
+                target=flow.target, schema=store.schema.name,
+                purpose=flow.purpose or None, flow_key=flow.key)
+        elif source_kind is NodeKind.DATASTORE and \
+                target_kind is NodeKind.ACTOR:
+            store = self.system.datastore(flow.source)
+            for field_name in flow.fields:
+                effect |= self._actor_gain(flow.target, field_name)
+            record.label = TransitionLabel(
+                action=ActionType.READ, fields=flow.fields,
+                actor=flow.target, source=flow.source,
+                target=flow.target, schema=store.schema.name,
+                purpose=flow.purpose or None, flow_key=flow.key)
+        else:
+            record.error = GenerationError(
+                f"flow {flow.describe()} has an unsupported endpoint "
+                f"combination ({source_kind.value} -> "
+                f"{target_kind.value})"
+            )
+            return
+        record.effect = effect
 
     # -- successor computation ----------------------------------------------------------
 
-    def _successors(self, configuration: Configuration,
-                    flows: Tuple[Flow, ...],
-                    options: GenerationOptions):
-        for flow in self._enabled_flows(configuration, flows, options):
-            yield self._apply_flow(configuration, flow)
-        if options.include_potential_reads:
-            yield from self._potential_reads(configuration, options)
-        if options.include_deletes:
-            yield from self._policy_deletes(configuration, options)
-
-    def _enabled_flows(self, configuration: Configuration,
-                       flows: Tuple[Flow, ...],
-                       options: GenerationOptions) -> List[Flow]:
+    def _dataflow_enabled(self, packed: int,
+                          records) -> List[_FlowRecord]:
         enabled = []
-        if options.ordering == "sequence":
-            next_order: Dict[str, int] = {}
-            for flow in flows:
-                if flow.key in configuration.fired:
-                    continue
-                current = next_order.get(flow.service)
-                if current is None or flow.order < current:
-                    next_order[flow.service] = flow.order
-        for flow in flows:
-            if flow.key in configuration.fired:
+        for record in records:
+            if packed & record.fired_bit:
                 continue
-            if options.ordering == "sequence" and \
-                    flow.order != next_order[flow.service]:
+            if record.on_ready_check:
+                raise record.error
+            if record.never_ready:
                 continue
-            if self._flow_ready(configuration, flow):
-                enabled.append(flow)
+            need = record.need
+            if packed & need == need:
+                if record.error is not None:
+                    raise record.error
+                enabled.append(record)
         return enabled
 
-    def _flow_ready(self, configuration: Configuration,
-                    flow: Flow) -> bool:
-        """"Provided the start node has the correct data to flow".
+    def _sequence_enabled(self, packed: int,
+                          by_service) -> List[_FlowRecord]:
+        """Per selection group (one per selected service entry), only
+        the lowest-order unfired flow may fire."""
+        enabled = []
+        for group in by_service:
+            for record in group:
+                if packed & record.fired_bit:
+                    continue
+                if record.on_ready_check:
+                    raise record.error
+                if not record.never_ready:
+                    need = record.need
+                    if packed & need == need:
+                        if record.error is not None:
+                            raise record.error
+                        enabled.append(record)
+                break
+        return enabled
 
-        An actor source may also send fields it *originates* (creates
-        about the user) without having received them first.
-        """
-        kind = self.system.node_kind(flow.source)
-        if kind is NodeKind.USER:
-            return True
-        if kind is NodeKind.ACTOR:
-            originated = set(self.system.actors[flow.source].originates)
-            return all(
-                f in originated or (flow.source, f) in
-                configuration.holdings
-                for f in flow.fields
-            )
-        return all((flow.source, f) in configuration.contents
-                   for f in flow.fields)
+    # -- privacy vector derivation ---------------------------------------------------
 
-    # -- flow application ------------------------------------------------------------------
+    def _could_table(self) -> List[int]:
+        """could-variable delta of each content bit: every registered
+        actor the policy lets read that (store, field)."""
+        table = self._could_by_cbit
+        if table is None:
+            registry = self.registry
+            actors = self.system.actors
+            readers = self.system.policy.readers
+            table = []
+            for store_name, field_name in self.codec.content_pairs:
+                mask = 0
+                for actor in readers(store_name, field_name):
+                    if actor in actors:
+                        mask |= registry.could_mask_of(actor, field_name)
+                table.append(mask)
+            self._could_by_cbit = table
+        return table
 
-    def _apply_flow(self, configuration: Configuration, flow: Flow):
-        source_kind = self.system.node_kind(flow.source)
-        target_kind = self.system.node_kind(flow.target)
-        fired = configuration.fired | {flow.key}
-
-        if source_kind is NodeKind.USER and target_kind is NodeKind.ACTOR:
-            return self._apply_collect(configuration, flow, fired)
-        if source_kind is NodeKind.ACTOR and target_kind is NodeKind.ACTOR:
-            return self._apply_disclose(configuration, flow, fired)
-        if source_kind is NodeKind.ACTOR and target_kind is NodeKind.USER:
-            return self._apply_disclose_to_user(configuration, flow, fired)
-        if source_kind is NodeKind.ACTOR and \
-                target_kind is NodeKind.DATASTORE:
-            return self._apply_store_write(configuration, flow, fired)
-        if source_kind is NodeKind.DATASTORE and \
-                target_kind is NodeKind.ACTOR:
-            return self._apply_read(configuration, flow, fired)
-        raise GenerationError(
-            f"flow {flow.describe()} has an unsupported endpoint "
-            f"combination ({source_kind.value} -> {target_kind.value})"
-        )
-
-    def _apply_collect(self, configuration: Configuration, flow: Flow,
-                       fired: FrozenSet[FlowKey]):
-        actor = flow.target
-        has_mask = configuration.has_mask
-        for field_name in flow.fields:
-            has_mask |= self.registry.mask_of(VarKind.HAS, actor,
-                                              field_name)
-        holdings = configuration.holdings | {
-            (actor, f) for f in flow.fields
-        }
-        label = TransitionLabel(
-            action=ActionType.COLLECT, fields=flow.fields, actor=actor,
-            source=flow.source, target=flow.target,
-            purpose=flow.purpose or None, flow_key=flow.key)
-        return label, TransitionKind.FLOW, Configuration(
-            has_mask, holdings, configuration.contents, fired)
-
-    def _materialize_originated(self, configuration: Configuration,
-                                flow: Flow):
-        """Give an actor source its originated fields as it first sends
-        them: the actor now holds — and has identified — the data it
-        created about the user."""
-        actor = flow.source
-        originated = set(self.system.actors[actor].originates)
-        has_mask = configuration.has_mask
-        holdings = configuration.holdings
-        fresh = [
-            f for f in flow.fields
-            if f in originated and (actor, f) not in holdings
-        ]
-        if fresh:
-            holdings = holdings | {(actor, f) for f in fresh}
-            for field_name in fresh:
-                has_mask |= self.registry.mask_of(VarKind.HAS, actor,
-                                                  field_name)
-        return has_mask, holdings
-
-    def _apply_disclose(self, configuration: Configuration, flow: Flow,
-                        fired: FrozenSet[FlowKey]):
-        recipient = flow.target
-        has_mask, holdings = self._materialize_originated(
-            configuration, flow)
-        for field_name in flow.fields:
-            has_mask |= self.registry.mask_of(VarKind.HAS, recipient,
-                                              field_name)
-        holdings = holdings | {
-            (recipient, f) for f in flow.fields
-        }
-        label = TransitionLabel(
-            action=ActionType.DISCLOSE, fields=flow.fields,
-            actor=flow.source, source=flow.source, target=flow.target,
-            purpose=flow.purpose or None, flow_key=flow.key)
-        return label, TransitionKind.FLOW, Configuration(
-            has_mask, holdings, configuration.contents, fired)
-
-    def _apply_disclose_to_user(self, configuration: Configuration,
-                                flow: Flow, fired: FrozenSet[FlowKey]):
-        # Returning data to the subject does not change their privacy,
-        # but sending originated fields still materialises them.
-        has_mask, holdings = self._materialize_originated(
-            configuration, flow)
-        label = TransitionLabel(
-            action=ActionType.DISCLOSE, fields=flow.fields,
-            actor=flow.source, source=flow.source, target=flow.target,
-            purpose=flow.purpose or None, flow_key=flow.key)
-        return label, TransitionKind.FLOW, Configuration(
-            has_mask, holdings, configuration.contents, fired)
-
-    def _apply_store_write(self, configuration: Configuration, flow: Flow,
-                           fired: FrozenSet[FlowKey]):
-        store = self.system.datastore(flow.target)
-        has_mask, holdings = self._materialize_originated(
-            configuration, flow)
-        stored_fields = []
-        for field_name in flow.fields:
-            if store.anonymised and anon_name(field_name) in store.schema:
-                stored_fields.append(anon_name(field_name))
-            else:
-                stored_fields.append(field_name)
-        contents = configuration.contents | {
-            (store.name, f) for f in stored_fields
-        }
-        action = ActionType.ANON if store.anonymised else ActionType.CREATE
-        label = TransitionLabel(
-            action=action, fields=tuple(stored_fields), actor=flow.source,
-            source=flow.source, target=flow.target,
-            schema=store.schema.name,
-            purpose=flow.purpose or None, flow_key=flow.key)
-        return label, TransitionKind.FLOW, Configuration(
-            has_mask, holdings, contents, fired)
-
-    def _apply_read(self, configuration: Configuration, flow: Flow,
-                    fired: FrozenSet[FlowKey]):
-        store = self.system.datastore(flow.source)
-        reader = flow.target
-        has_mask = configuration.has_mask
-        for field_name in flow.fields:
-            has_mask |= self.registry.mask_of(VarKind.HAS, reader,
-                                              field_name)
-        holdings = configuration.holdings | {
-            (reader, f) for f in flow.fields
-        }
-        label = TransitionLabel(
-            action=ActionType.READ, fields=flow.fields, actor=reader,
-            source=flow.source, target=flow.target,
-            schema=store.schema.name,
-            purpose=flow.purpose or None, flow_key=flow.key)
-        return label, TransitionKind.FLOW, Configuration(
-            has_mask, holdings, configuration.contents, fired)
+    def _could_mask(self, packed: int) -> int:
+        contents_bits = packed & self.codec.cont_mask
+        cached = self._could_cache.get(contents_bits)
+        if cached is not None:
+            return cached
+        table = self._could_table()
+        offset = self.codec.cont_off
+        mask = 0
+        bits = contents_bits
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            mask |= table[low.bit_length() - 1 - offset]
+        self._could_cache[contents_bits] = mask
+        return mask
 
     # -- policy-derived transitions ------------------------------------------------------
 
-    def _potential_reads(self, configuration: Configuration,
-                         options: GenerationOptions):
-        """Reads permitted by the access policy but not in any flow.
+    def _actor_table(self, actor: str) -> tuple:
+        """(readable, deletable) content masks per sorted store for
+        one actor, computed once per generator."""
+        table = self._actor_tables.get(actor)
+        if table is None:
+            can_read = self.system.policy.can_read
+            can_delete = self.system.policy.can_delete
+            readable: List[int] = []
+            deletable: List[int] = []
+            index = 0
+            for store_name, store_mask in self.codec.sorted_stores:
+                read_mask = 0
+                delete_mask = 0
+                while (1 << (index + self.codec.cont_off)) & store_mask:
+                    store, field_name = self.codec.content_pairs[index]
+                    bit = 1 << (index + self.codec.cont_off)
+                    if can_read(actor, store, field_name):
+                        read_mask |= bit
+                    if can_delete(actor, store, field_name):
+                        delete_mask |= bit
+                    index += 1
+                readable.append(read_mask)
+                deletable.append(delete_mask)
+            table = (tuple(readable), tuple(deletable))
+            self._actor_tables[actor] = table
+        return table
 
-        One transition per (actor, store) pair revealing everything the
-        actor may read of the store's current contents; emitted only
-        when it actually changes the state.
+    def _decode_store_fields(self, bits: int) -> Tuple[str, ...]:
+        """Field names of content ``bits`` (single store), sorted —
+        content bits are assigned in sorted-field order."""
+        pairs = self.codec.content_pairs
+        offset = self.codec.cont_off
+        fields = []
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            fields.append(pairs[low.bit_length() - 1 - offset][1])
+        return tuple(fields)
+
+    def _policy_successors(self, packed: int,
+                           potential_actors: Tuple[str, ...],
+                           deletion_actors: Tuple[str, ...]):
+        """Reads permitted by the access policy but not in any flow,
+        then policy-permitted deletes of stored fields.
+
+        One transition per (actor, store) pair revealing everything
+        the actor may read (or delete) of the store's current
+        contents; reads are emitted only when they change the state.
         """
-        actors = options.potential_read_actors \
-            if options.potential_read_actors is not None \
-            else frozenset(self.system.actors)
-        by_store: Dict[str, List[str]] = {}
-        for store_name, field_name in configuration.contents:
-            by_store.setdefault(store_name, []).append(field_name)
-        for actor in sorted(actors):
-            for store_name in sorted(by_store):
-                stored = by_store[store_name]
-                readable = sorted(
-                    f for f in stored
-                    if self.system.policy.can_read(actor, store_name, f)
-                )
+        if not packed & self.codec.cont_mask:
+            return
+        sorted_stores = self.codec.sorted_stores
+        for actor in potential_actors:
+            readable_by_store = self._actor_table(actor)[0]
+            for index, (store_name, store_mask) in \
+                    enumerate(sorted_stores):
+                if not packed & store_mask:
+                    continue
+                readable = packed & readable_by_store[index]
                 if not readable:
                     continue
-                has_mask = configuration.has_mask
-                holdings = set(configuration.holdings)
-                for field_name in readable:
-                    has_mask |= self.registry.mask_of(
-                        VarKind.HAS, actor, field_name)
-                    holdings.add((actor, field_name))
-                successor = Configuration(
-                    has_mask, frozenset(holdings),
-                    configuration.contents, configuration.fired)
-                if successor == configuration:
+                cached = self._read_labels.get((actor, readable))
+                if cached is None:
+                    fields = self._decode_store_fields(readable)
+                    gain = 0
+                    for field_name in fields:
+                        gain |= self._actor_gain(actor, field_name)
+                    label = TransitionLabel(
+                        action=ActionType.READ, fields=fields,
+                        actor=actor, source=store_name, target=actor,
+                        schema=self.system.datastore(
+                            store_name).schema.name)
+                    cached = (gain, label)
+                    self._read_labels[(actor, readable)] = cached
+                gain, label = cached
+                successor = packed | gain
+                if successor == packed:
                     continue
-                store = self.system.datastore(store_name)
-                label = TransitionLabel(
-                    action=ActionType.READ, fields=tuple(readable),
-                    actor=actor, source=store_name, target=actor,
-                    schema=store.schema.name)
                 yield label, TransitionKind.POTENTIAL, successor
-
-    def _policy_deletes(self, configuration: Configuration,
-                        options: GenerationOptions):
-        """Deletes permitted by the access policy on stored fields."""
-        actors = options.delete_actors \
-            if options.delete_actors is not None \
-            else frozenset(self.system.actors)
-        by_store: Dict[str, List[str]] = {}
-        for store_name, field_name in configuration.contents:
-            by_store.setdefault(store_name, []).append(field_name)
-        for actor in sorted(actors):
-            for store_name in sorted(by_store):
-                deletable = sorted(
-                    f for f in by_store[store_name]
-                    if self.system.policy.can_delete(actor, store_name, f)
-                )
+        for actor in deletion_actors:
+            deletable_by_store = self._actor_table(actor)[1]
+            for index, (store_name, store_mask) in \
+                    enumerate(sorted_stores):
+                if not packed & store_mask:
+                    continue
+                deletable = packed & deletable_by_store[index]
                 if not deletable:
                     continue
-                contents = frozenset(
-                    entry for entry in configuration.contents
-                    if not (entry[0] == store_name and
-                            entry[1] in deletable)
-                )
-                successor = Configuration(
-                    configuration.has_mask, configuration.holdings,
-                    contents, configuration.fired)
-                if successor == configuration:
-                    continue
-                store = self.system.datastore(store_name)
-                label = TransitionLabel(
-                    action=ActionType.DELETE, fields=tuple(deletable),
-                    actor=actor, source=actor, target=store_name,
-                    schema=store.schema.name)
-                yield label, TransitionKind.POTENTIAL, successor
+                cached = self._delete_labels.get((actor, deletable))
+                if cached is None:
+                    label = TransitionLabel(
+                        action=ActionType.DELETE,
+                        fields=self._decode_store_fields(deletable),
+                        actor=actor, source=actor, target=store_name,
+                        schema=self.system.datastore(
+                            store_name).schema.name)
+                    self._delete_labels[(actor, deletable)] = (label,)
+                else:
+                    label = cached[0]
+                yield label, TransitionKind.POTENTIAL, \
+                    packed & ~deletable
 
 
 def generate_lts(system: SystemModel,

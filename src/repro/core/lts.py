@@ -94,6 +94,15 @@ class LTS:
         self._outgoing: Dict[int, List[int]] = {}
         self._incoming: Dict[int, List[int]] = {}
         self._initial: Optional[int] = None
+        # Materialised views, invalidated on append: analyzers iterate
+        # states/transitions/adjacency in loops, and rebuilding a
+        # fresh tuple per access dominated their cost.
+        self._states_view: Optional[Tuple[State, ...]] = None
+        self._transitions_view: Optional[Tuple[Transition, ...]] = None
+        self._out_views: Dict[int, Tuple[Transition, ...]] = {}
+        self._in_views: Dict[int, Tuple[Transition, ...]] = {}
+        self._succ_views: Dict[int, Tuple[int, ...]] = {}
+        self._pred_views: Dict[int, Tuple[int, ...]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -113,6 +122,7 @@ class LTS:
         sid = len(self._states)
         state = State(sid, key, vector, info)
         self._states.append(state)
+        self._states_view = None
         self._by_key[key] = sid
         self._outgoing[sid] = []
         self._incoming[sid] = []
@@ -133,8 +143,13 @@ class LTS:
         transition = Transition(len(self._transitions), source, target,
                                 label, kind)
         self._transitions.append(transition)
+        self._transitions_view = None
         self._outgoing[source].append(transition.tid)
         self._incoming[target].append(transition.tid)
+        self._out_views.pop(source, None)
+        self._succ_views.pop(source, None)
+        self._in_views.pop(target, None)
+        self._pred_views.pop(target, None)
         return transition
 
     def _check_sid(self, sid: int) -> None:
@@ -159,11 +174,17 @@ class LTS:
 
     @property
     def states(self) -> Tuple[State, ...]:
-        return tuple(self._states)
+        view = self._states_view
+        if view is None:
+            view = self._states_view = tuple(self._states)
+        return view
 
     @property
     def transitions(self) -> Tuple[Transition, ...]:
-        return tuple(self._transitions)
+        view = self._transitions_view
+        if view is None:
+            view = self._transitions_view = tuple(self._transitions)
+        return view
 
     def transition(self, tid: int) -> Transition:
         if not 0 <= tid < len(self._transitions):
@@ -171,18 +192,36 @@ class LTS:
         return self._transitions[tid]
 
     def transitions_from(self, sid: int) -> Tuple[Transition, ...]:
-        self._check_sid(sid)
-        return tuple(self._transitions[t] for t in self._outgoing[sid])
+        view = self._out_views.get(sid)
+        if view is None:
+            self._check_sid(sid)
+            view = tuple(self._transitions[t]
+                         for t in self._outgoing[sid])
+            self._out_views[sid] = view
+        return view
 
     def transitions_to(self, sid: int) -> Tuple[Transition, ...]:
-        self._check_sid(sid)
-        return tuple(self._transitions[t] for t in self._incoming[sid])
+        view = self._in_views.get(sid)
+        if view is None:
+            self._check_sid(sid)
+            view = tuple(self._transitions[t]
+                         for t in self._incoming[sid])
+            self._in_views[sid] = view
+        return view
 
     def successors(self, sid: int) -> Tuple[int, ...]:
-        return tuple(t.target for t in self.transitions_from(sid))
+        view = self._succ_views.get(sid)
+        if view is None:
+            view = tuple(t.target for t in self.transitions_from(sid))
+            self._succ_views[sid] = view
+        return view
 
     def predecessors(self, sid: int) -> Tuple[int, ...]:
-        return tuple(t.source for t in self.transitions_to(sid))
+        view = self._pred_views.get(sid)
+        if view is None:
+            view = tuple(t.source for t in self.transitions_to(sid))
+            self._pred_views[sid] = view
+        return view
 
     # -- filtered views ----------------------------------------------------------------
 

@@ -99,20 +99,25 @@ def path_description(path: Sequence[Transition]) -> str:
 
 def identification_report(lts: LTS) -> Dict[str, Dict[str, Set[str]]]:
     """actor -> {'has': fields, 'could': fields} over all reachable
-    states — who can identify what, anywhere in the service's course."""
+    states — who can identify what, anywhere in the service's course.
+
+    The union over states commutes with the per-actor union, so the
+    reachable vectors are OR-folded into one mask and decoded once —
+    not one has/could probe per (state, actor, field).
+    """
     registry = lts.registry
     report: Dict[str, Dict[str, Set[str]]] = {
         actor: {"has": set(), "could": set()}
         for actor in registry.actors
     }
+    combined = 0
     for sid in reachable_states(lts):
-        vector = lts.state(sid).vector
-        for actor in registry.actors:
-            for field in registry.fields:
-                if vector.has(actor, field):
-                    report[actor]["has"].add(field)
-                if vector.could(actor, field):
-                    report[actor]["could"].add(field)
+        combined |= lts.state(sid).vector.mask
+    while combined:
+        low = combined & -combined
+        combined ^= low
+        variable = registry.variable_at(low.bit_length() - 1)
+        report[variable.actor][variable.kind.value].add(variable.field)
     return report
 
 

@@ -211,9 +211,8 @@ class PseudonymisationRiskAnalyzer:
         vector = state.vector.with_true(VarKind.HAS, actor, sensitive)
         key = state.key
         if isinstance(key, Configuration):
-            bit = lts.registry.mask_of(VarKind.HAS, actor, sensitive)
-            key = dataclasses.replace(
-                key, has_mask=key.has_mask | bit)
+            key = key.with_has_bits(
+                lts.registry.mask_of(VarKind.HAS, actor, sensitive))
         else:  # non-generated LTS (hand-built in tests)
             key = ("risk", key, actor, sensitive)
         sid, _ = lts.add_state(key, vector, dict(state.info))

@@ -60,12 +60,27 @@ class VariableRegistry:
         self._fields = tuple(fields)
         self._bits: Dict[Tuple[VarKind, str, str], int] = {}
         self._variables: List[StateVariable] = []
+        # Direct mask tables for the generation hot path: no tuple
+        # construction, no shift per lookup.
+        self._has_masks: Dict[Tuple[str, str], int] = {}
+        self._could_masks: Dict[Tuple[str, str], int] = {}
+        self._pairs: Tuple[Tuple[str, str], ...] = tuple(
+            (actor, field) for actor in self._actors
+            for field in self._fields)
+        self._pair_indices: Dict[Tuple[str, str], int] = {
+            pair: index for index, pair in enumerate(self._pairs)}
         for actor in self._actors:
             for field in self._fields:
                 for kind in (VarKind.HAS, VarKind.COULD):
                     variable = StateVariable(kind, actor, field)
-                    self._bits[(kind, actor, field)] = len(self._variables)
+                    bit = len(self._variables)
+                    self._bits[(kind, actor, field)] = bit
+                    if kind is VarKind.HAS:
+                        self._has_masks[(actor, field)] = 1 << bit
+                    else:
+                        self._could_masks[(actor, field)] = 1 << bit
                     self._variables.append(variable)
+        self._bound = 1 << len(self._variables)
 
     # -- sizing -----------------------------------------------------------
 
@@ -96,6 +111,43 @@ class VariableRegistry:
     def mask_of(self, kind: VarKind, actor: str, field: str) -> int:
         return 1 << self.bit(kind, actor, field)
 
+    def has_mask_of(self, actor: str, field: str) -> int:
+        """``mask_of(HAS, actor, field)`` via the direct table."""
+        try:
+            return self._has_masks[(actor, field)]
+        except KeyError:
+            return self.mask_of(VarKind.HAS, actor, field)
+
+    def could_mask_of(self, actor: str, field: str) -> int:
+        """``mask_of(COULD, actor, field)`` via the direct table."""
+        try:
+            return self._could_masks[(actor, field)]
+        except KeyError:
+            return self.mask_of(VarKind.COULD, actor, field)
+
+    # -- (actor, field) pair interning --------------------------------------
+
+    @property
+    def pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """Every (actor, field) pair, in registry order — the index
+        space generation uses for holdings bits."""
+        return self._pairs
+
+    @property
+    def pair_count(self) -> int:
+        return len(self._pairs)
+
+    def pair_index(self, actor: str, field: str) -> int:
+        """Dense index of the (actor, field) pair."""
+        try:
+            return self._pair_indices[(actor, field)]
+        except KeyError:
+            raise ModelError(
+                f"unknown (actor, field) pair ({actor!r}, {field!r}); "
+                f"registry covers actors {list(self._actors)} and "
+                f"fields {list(self._fields)}"
+            ) from None
+
     def variable_at(self, bit: int) -> StateVariable:
         try:
             return self._variables[bit]
@@ -118,7 +170,7 @@ class PrivacyVector:
     __slots__ = ("_registry", "_mask")
 
     def __init__(self, registry: VariableRegistry, mask: int = 0):
-        if mask < 0 or mask >= (1 << len(registry)):
+        if mask < 0 or mask >= registry._bound:
             raise ModelError(
                 f"mask {mask} does not fit {len(registry)} variables"
             )

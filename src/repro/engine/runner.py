@@ -120,14 +120,21 @@ def _run_analysis(job: AnalysisJob, fingerprint: str,
         blob = lts_cache.get(key) if lts_cache is not None else None
         if blob is not None and not isinstance(blob, bytes):
             blob = None          # foreign/legacy entry: treat as miss
-        generated = blob is None
+        lts = None
+        if blob is not None:
+            try:
+                lts = pickle.loads(blob)
+            except Exception:    # noqa: BLE001 — cache boundary
+                # A blob written by an incompatible Configuration
+                # layout (pre-bitmask pickles share our stage-2 keys);
+                # regenerate and overwrite rather than fail the job.
+                lts = None
+        generated = lts is None
         if generated:
             lts = ModelGenerator(job.system).generate(options)
             if lts_cache is not None:
                 lts_cache.put(key, pickle.dumps(
                     lts, protocol=pickle.HIGHEST_PROTOCOL))
-        else:
-            lts = pickle.loads(blob)
     outcome = kind.analyse(job, lts, config)
     return JobResult(
         job_id=job.job_id,

@@ -92,7 +92,9 @@ class AnalysisService:
     Parameters mirror :class:`~repro.engine.runner.BatchEngine` (which
     is built lazily — constructing a service for ``cache_stats`` never
     touches the disk); ``job_workers`` sizes the async submission
-    pool.
+    pool and ``max_jobs`` caps the async job table (LRU over finished
+    records — a long-lived server must not grow per submission
+    forever).
 
     Thread safety: the underlying caches are lock-protected and the
     engine keeps no per-run state, so one service instance serves
@@ -107,10 +109,14 @@ class AnalysisService:
                  likelihood=None, matrix=None, value_policy=None,
                  dataset=None, population=None, record_field_map=None,
                  reid_threshold: float = 0.5,
-                 job_workers: int = 2):
+                 job_workers: int = 2,
+                 max_jobs: int = 256):
         if job_workers < 1:
             raise ValueError(
                 f"job_workers must be >= 1, got {job_workers}")
+        if max_jobs < 1:
+            raise ValueError(
+                f"max_jobs must be >= 1, got {max_jobs}")
         self.cache_dir = cache_dir
         self._engine_config = dict(
             backend=backend, workers=workers, cache_dir=cache_dir,
@@ -122,6 +128,7 @@ class AnalysisService:
         self._lock = threading.Lock()
         self._models: Dict[str, SystemModel] = {}
         self._job_workers = job_workers
+        self._max_jobs = max_jobs
         self._jobs: Dict[str, _JobRecord] = {}
         self._executor: Optional[futures.ThreadPoolExecutor] = None
         self._closed = False
@@ -408,6 +415,7 @@ class AnalysisService:
                 return job_id
             record = _JobRecord(job_id, op)
             self._jobs[job_id] = record
+            self._evict_jobs_locked()
             if self._executor is None:
                 self._executor = futures.ThreadPoolExecutor(
                     self._job_workers,
@@ -422,6 +430,25 @@ class AnalysisService:
                     "service is shutting down; submission "
                     "refused") from error
         return job_id
+
+    def _evict_jobs_locked(self) -> None:
+        """Cap the job table by evicting the oldest *finished* records
+        (the dict is insertion-ordered, so iteration order is age).
+
+        Queued/running records are never evicted — the table may
+        transiently exceed ``max_jobs`` while that many submissions
+        are genuinely in flight. Polling an evicted id is a
+        :class:`NotFoundError`; resubmitting the identical request is
+        cheap because its results stay in the result cache.
+        """
+        if len(self._jobs) <= self._max_jobs:
+            return
+        finished = [job_id for job_id, record in self._jobs.items()
+                    if record.status in ("done", "error")]
+        for job_id in finished:
+            if len(self._jobs) <= self._max_jobs:
+                break
+            del self._jobs[job_id]
 
     def _run_job(self, record: _JobRecord, request) -> None:
         record.status = "running"
@@ -471,6 +498,7 @@ class AnalysisService:
             "kinds": list(kind_names()),
             "models": models,
             "jobs": jobs,
+            "max_jobs": self._max_jobs,
             "engine": None,
         }
         if engine_built:

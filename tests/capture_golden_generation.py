@@ -1,0 +1,165 @@
+"""Capture golden LTS-generation snapshots into
+``tests/data/golden_generation.json``.
+
+The equivalence guard in ``test_property_based.py`` (and the
+generation benchmark) compare the live generator against these
+snapshots: state/transition/vector digests over a spread of systems
+and option combinations, plus engine ``JobResult.signature()`` digests
+over a mixed-kind fleet. The file in the repository was captured from
+the pre-bitmask pure-Python generator; regenerating it against a
+changed generator is only legitimate when the observable LTS contract
+is *intended* to move (it then needs a fresh review of every digest).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/capture_golden_generation.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+from repro.casestudies import (
+    build_interleaving_system,
+    build_loyalty_system,
+    build_pipeline_system,
+    build_scaled_system,
+    build_surgery_system,
+)
+from repro.core import GenerationOptions, TransitionKind, generate_lts
+from repro.engine import BatchEngine, ScenarioGenerator, scenario_jobs
+from repro.engine.kinds import kind_names
+
+DATA_PATH = os.path.join(os.path.dirname(__file__), "data",
+                         "golden_generation.json")
+
+#: The golden fleet: scenario seed/size of the signature digests. The
+#: capture, the equivalence test and the generation bench must all
+#: compute the digest stream the same way — hence one function here.
+FLEET_SEED = 11
+FLEET_COUNT = 8
+
+
+def fleet_signature_digests():
+    """sha256 digests of ``JobResult.signature()`` over the mixed-kind
+    golden fleet, in result order."""
+    jobs = scenario_jobs(
+        ScenarioGenerator(seed=FLEET_SEED).generate(FLEET_COUNT),
+        kinds=kind_names())
+    batch = BatchEngine(backend="serial").run(jobs)
+    return [
+        hashlib.sha256(repr(result.signature()).encode()).hexdigest()
+        for result in batch.results
+    ]
+
+
+def lts_snapshot(lts) -> dict:
+    """The full observable content of a generated LTS, as plain JSON.
+
+    Includes state ids and transition order, so the digest also pins
+    the BFS discovery order the generator has always produced.
+    """
+    states = []
+    for state in lts.states:
+        key = state.key
+        states.append([
+            state.sid,
+            state.vector.mask,
+            sorted(list(pair) for pair in key.holdings),
+            sorted(list(pair) for pair in key.contents),
+            sorted(list(pair) for pair in key.fired),
+        ])
+    transitions = []
+    for t in lts.transitions:
+        label = t.label
+        transitions.append([
+            t.tid, t.source, t.target, t.kind.value,
+            label.action.value, list(label.fields), label.actor,
+            label.source, label.target, label.schema, label.purpose,
+            list(label.flow_key) if label.flow_key else None,
+        ])
+    return {
+        "initial": lts.initial.sid,
+        "states": states,
+        "transitions": transitions,
+    }
+
+
+def digest(payload) -> str:
+    encoded = json.dumps(payload, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def workloads():
+    surgery = build_surgery_system()
+    first_store = sorted(surgery.datastores)[0]
+    seeded_fields = surgery.datastores[first_store].field_names()[:2]
+    return [
+        ("surgery/default", surgery, None),
+        ("surgery/sequence", surgery,
+         GenerationOptions(ordering="sequence")),
+        ("surgery/medical-only", surgery,
+         GenerationOptions(services=("MedicalService",))),
+        ("surgery/potential-reads", surgery,
+         GenerationOptions(include_potential_reads=True)),
+        ("surgery/potential-reads-restricted", surgery,
+         GenerationOptions(
+             include_potential_reads=True,
+             potential_read_actors=frozenset(["Administrator"]))),
+        ("surgery/deletes", surgery,
+         GenerationOptions(include_deletes=True,
+                           include_potential_reads=True)),
+        ("surgery/seeded-stores", surgery,
+         GenerationOptions(
+             include_potential_reads=True,
+             initial_store_contents={first_store: seeded_fields})),
+        ("loyalty/default", build_loyalty_system(), None),
+        ("loyalty/potential-reads", build_loyalty_system(),
+         GenerationOptions(include_potential_reads=True)),
+        ("scaled/pseudonymised",
+         build_scaled_system(actors=4, fields=5, stores=2,
+                             pseudonymise=True), None),
+        ("interleaving/width8", build_interleaving_system(8), None),
+        ("interleaving/width8-sequence", build_interleaving_system(8),
+         GenerationOptions(ordering="sequence")),
+        ("pipeline/depth16", build_pipeline_system(16), None),
+    ]
+
+
+def capture() -> dict:
+    record = {"lts": {}, "signatures": {}}
+    for name, system, options in workloads():
+        lts = generate_lts(system, options)
+        record["lts"][name] = {
+            "states": len(lts),
+            "transitions": len(lts.transitions),
+            "flow_transitions": len(
+                lts.transitions_of_kind(TransitionKind.FLOW)),
+            "digest": digest(lts_snapshot(lts)),
+        }
+    record["signatures"]["fleet-seed11-allkinds"] = \
+        fleet_signature_digests()
+    return record
+
+
+def main() -> int:
+    record = capture()
+    os.makedirs(os.path.dirname(DATA_PATH), exist_ok=True)
+    with open(DATA_PATH, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {DATA_PATH}")
+    for name, entry in record["lts"].items():
+        print(f"  {name}: {entry['states']} states, "
+              f"{entry['transitions']} transitions")
+    print(f"  {len(record['signatures']['fleet-seed11-allkinds'])} "
+          "fleet signatures")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,3 +130,46 @@ class TestLTS:
             a, b, _label(), TransitionKind.RISK)
         assert "s0" in transition.describe()
         assert "[risk]" in transition.describe()
+
+
+class TestMaterializedViews:
+    """states/transitions/adjacency return cached tuples — analyzers
+    iterate them in loops, so a fresh copy per access is a real cost —
+    and the caches invalidate on append."""
+
+    def _chain(self, registry):
+        lts = LTS(registry)
+        a, _ = lts.add_state("a", registry.empty_vector())
+        b, _ = lts.add_state("b", registry.empty_vector())
+        lts.add_transition(a, b, _label())
+        return lts, a, b
+
+    def test_views_are_not_recopied_per_access(self, registry):
+        lts, a, b = self._chain(registry)
+        assert lts.states is lts.states
+        assert lts.transitions is lts.transitions
+        assert lts.transitions_from(a) is lts.transitions_from(a)
+        assert lts.transitions_to(b) is lts.transitions_to(b)
+        assert lts.successors(a) is lts.successors(a)
+        assert lts.predecessors(b) is lts.predecessors(b)
+
+    def test_views_invalidate_on_append(self, registry):
+        lts, a, b = self._chain(registry)
+        stale_states = lts.states
+        stale_transitions = lts.transitions
+        stale_out = lts.transitions_from(a)
+        c, _ = lts.add_state("c", registry.empty_vector())
+        lts.add_transition(a, c, _label())
+        assert len(lts.states) == len(stale_states) + 1
+        assert len(lts.transitions) == len(stale_transitions) + 1
+        assert len(lts.transitions_from(a)) == len(stale_out) + 1
+        assert lts.successors(a) == (b, c)
+        assert lts.predecessors(c) == (a,)
+        assert lts.transitions_to(c)[-1] is lts.transitions[-1]
+
+    def test_unknown_sid_still_rejected(self, registry):
+        lts, _, _ = self._chain(registry)
+        with pytest.raises(ModelError):
+            lts.transitions_from(99)
+        with pytest.raises(ModelError):
+            lts.transitions_to(-1)

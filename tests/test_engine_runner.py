@@ -158,3 +158,34 @@ class TestResolveOptions:
         job = AnalysisJob(system=build_surgery_system(),
                           user=_patient(), options=explicit)
         assert resolve_options(job) is explicit
+
+
+class TestStaleLtsBlobs:
+    """Entries written under our stage-2 keys by an incompatible
+    pickle layout (e.g. pre-bitmask ``Configuration`` blobs) must be
+    treated as misses and overwritten, not fail the job."""
+
+    def test_unpicklable_blob_regenerates(self):
+        from repro.engine.fingerprint import lts_cache_key
+        engine = BatchEngine(backend="serial")
+        jobs = [AnalysisJob(system=build_surgery_system(),
+                            user=_patient())]
+        key = lts_cache_key(jobs[0].system, resolve_options(jobs[0]))
+        engine.lts_cache.put(key, b"\x80\x04not a pickle")
+        batch = engine.run(jobs)
+        assert batch.stats.lts_generations == 1
+        assert batch.results[0].states > 0
+        # The poisoned entry was replaced with a loadable one.
+        import pickle
+        assert pickle.loads(engine.lts_cache.get(key)) is not None
+
+    def test_results_unchanged_after_blob_recovery(self):
+        from repro.engine.fingerprint import lts_cache_key
+        clean = BatchEngine(backend="serial").run(_jobs(2))
+        engine = BatchEngine(backend="serial")
+        job = _jobs(1)[0]
+        key = lts_cache_key(job.system, resolve_options(job))
+        engine.lts_cache.put(key, b"junk")
+        recovered = engine.run(_jobs(2))
+        assert [r.signature() for r in recovered.results] == \
+            [r.signature() for r in clean.results]

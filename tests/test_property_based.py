@@ -1,8 +1,11 @@
 """Property-based tests (hypothesis) on core data structures and
 invariants: bit-vector algebra, k-anonymity post-conditions, value-risk
-bounds, interval generalization, parser round-trips and LTS generation
-invariants."""
+bounds, interval generalization, parser round-trips, LTS generation
+invariants, and the bitmask-generator equivalence guard (random
+systems against a frozenset reference implementation, fixed systems
+against golden snapshots captured before the rewrite)."""
 
+import json
 import string
 
 import pytest
@@ -301,6 +304,360 @@ def test_more_consent_never_more_non_allowed(agreed):
     everything = system.non_allowed_actors(
         ["MedicalService", "MedicalResearchService"])
     assert everything <= fewer
+
+
+# -- bitmask generator vs. the frozenset reference ----------------------------
+#
+# The generation core compiles configurations to packed integers; this
+# oracle is a literal port of the historical frozenset implementation
+# (PR-5's "before" state). The compiled generator must reproduce its
+# states, vectors, transitions *and discovery order* exactly, on
+# arbitrary systems and option combinations.
+
+from repro.core import GenerationOptions, VariableRegistry as _Registry
+from repro.core.actions import ActionType as _Action
+from repro.core.statevars import VarKind as _Kind
+from repro.dfd.model import NodeKind as _Node
+from repro.schema import anon_name as _anon_name
+
+
+def _reference_lts(system, options):
+    """(states, transitions) of the pre-bitmask generator: states as
+    ``(vector_mask, holdings, contents, fired)`` in discovery order,
+    transitions as ``(source, target, kind, label...)`` in add order."""
+    from collections import deque
+    registry = _Registry(system.actor_names(), system.personal_fields())
+
+    def could_mask(contents):
+        mask = 0
+        for store_name, field_name in contents:
+            for actor in system.policy.readers(store_name, field_name):
+                if actor in system.actors:
+                    mask |= registry.mask_of(_Kind.COULD, actor,
+                                             field_name)
+        return mask
+
+    def label_row(action, fields, actor, source, target, schema=None,
+                  purpose=None, flow_key=None):
+        return (action.value, tuple(fields), actor, source, target,
+                schema, purpose, flow_key)
+
+    def flow_ready(cfg, flow):
+        _, holdings, contents, _ = cfg
+        kind = system.node_kind(flow.source)
+        if kind is _Node.USER:
+            return True
+        if kind is _Node.ACTOR:
+            originated = set(system.actors[flow.source].originates)
+            return all(f in originated or (flow.source, f) in holdings
+                       for f in flow.fields)
+        return all((flow.source, f) in contents for f in flow.fields)
+
+    def materialize_originated(has_mask, holdings, flow):
+        originated = set(system.actors[flow.source].originates)
+        fresh = [f for f in flow.fields
+                 if f in originated and (flow.source, f) not in holdings]
+        if fresh:
+            holdings = holdings | {(flow.source, f) for f in fresh}
+            for f in fresh:
+                has_mask |= registry.mask_of(_Kind.HAS, flow.source, f)
+        return has_mask, holdings
+
+    def apply_flow(cfg, flow):
+        has_mask, holdings, contents, fired = cfg
+        fired = fired | {flow.key}
+        source_kind = system.node_kind(flow.source)
+        target_kind = system.node_kind(flow.target)
+        purpose = flow.purpose or None
+        if source_kind is _Node.USER and target_kind is _Node.ACTOR:
+            for f in flow.fields:
+                has_mask |= registry.mask_of(_Kind.HAS, flow.target, f)
+            holdings = holdings | {(flow.target, f)
+                                   for f in flow.fields}
+            label = label_row(_Action.COLLECT, flow.fields, flow.target,
+                              flow.source, flow.target,
+                              purpose=purpose, flow_key=flow.key)
+        elif source_kind is _Node.ACTOR and target_kind is _Node.ACTOR:
+            has_mask, holdings = materialize_originated(
+                has_mask, holdings, flow)
+            for f in flow.fields:
+                has_mask |= registry.mask_of(_Kind.HAS, flow.target, f)
+            holdings = holdings | {(flow.target, f)
+                                   for f in flow.fields}
+            label = label_row(_Action.DISCLOSE, flow.fields,
+                              flow.source, flow.source, flow.target,
+                              purpose=purpose, flow_key=flow.key)
+        elif source_kind is _Node.ACTOR and target_kind is _Node.USER:
+            has_mask, holdings = materialize_originated(
+                has_mask, holdings, flow)
+            label = label_row(_Action.DISCLOSE, flow.fields,
+                              flow.source, flow.source, flow.target,
+                              purpose=purpose, flow_key=flow.key)
+        elif source_kind is _Node.ACTOR and \
+                target_kind is _Node.DATASTORE:
+            store = system.datastore(flow.target)
+            has_mask, holdings = materialize_originated(
+                has_mask, holdings, flow)
+            stored = [
+                _anon_name(f) if store.anonymised and
+                _anon_name(f) in store.schema else f
+                for f in flow.fields
+            ]
+            contents = contents | {(store.name, f) for f in stored}
+            action = _Action.ANON if store.anonymised \
+                else _Action.CREATE
+            label = label_row(action, stored, flow.source, flow.source,
+                              flow.target, schema=store.schema.name,
+                              purpose=purpose, flow_key=flow.key)
+        else:  # datastore -> actor
+            store = system.datastore(flow.source)
+            for f in flow.fields:
+                has_mask |= registry.mask_of(_Kind.HAS, flow.target, f)
+            holdings = holdings | {(flow.target, f)
+                                   for f in flow.fields}
+            label = label_row(_Action.READ, flow.fields, flow.target,
+                              flow.source, flow.target,
+                              schema=store.schema.name,
+                              purpose=purpose, flow_key=flow.key)
+        return label, "flow", (has_mask, holdings, contents, fired)
+
+    def successors(cfg, flows):
+        has_mask, holdings, contents, fired = cfg
+        enabled = []
+        next_order = {}
+        if options.ordering == "sequence":
+            for flow in flows:
+                if flow.key in fired:
+                    continue
+                current = next_order.get(flow.service)
+                if current is None or flow.order < current:
+                    next_order[flow.service] = flow.order
+        for flow in flows:
+            if flow.key in fired:
+                continue
+            if options.ordering == "sequence" and \
+                    flow.order != next_order[flow.service]:
+                continue
+            if flow_ready(cfg, flow):
+                enabled.append(flow)
+        for flow in enabled:
+            yield apply_flow(cfg, flow)
+        by_store = {}
+        for store_name, field_name in contents:
+            by_store.setdefault(store_name, []).append(field_name)
+        if options.include_potential_reads:
+            actors = options.potential_read_actors \
+                if options.potential_read_actors is not None \
+                else frozenset(system.actors)
+            for actor in sorted(actors):
+                for store_name in sorted(by_store):
+                    readable = sorted(
+                        f for f in by_store[store_name]
+                        if system.policy.can_read(actor, store_name, f))
+                    if not readable:
+                        continue
+                    new_has = has_mask
+                    new_holdings = set(holdings)
+                    for f in readable:
+                        new_has |= registry.mask_of(_Kind.HAS, actor, f)
+                        new_holdings.add((actor, f))
+                    successor = (new_has, frozenset(new_holdings),
+                                 contents, fired)
+                    if successor == cfg:
+                        continue
+                    store = system.datastore(store_name)
+                    yield (label_row(_Action.READ, readable, actor,
+                                     store_name, actor,
+                                     schema=store.schema.name),
+                           "potential", successor)
+        if options.include_deletes:
+            actors = options.delete_actors \
+                if options.delete_actors is not None \
+                else frozenset(system.actors)
+            for actor in sorted(actors):
+                for store_name in sorted(by_store):
+                    deletable = sorted(
+                        f for f in by_store[store_name]
+                        if system.policy.can_delete(actor, store_name,
+                                                    f))
+                    if not deletable:
+                        continue
+                    new_contents = frozenset(
+                        entry for entry in contents
+                        if not (entry[0] == store_name and
+                                entry[1] in deletable))
+                    successor = (has_mask, holdings, new_contents,
+                                 fired)
+                    if successor == cfg:
+                        continue
+                    store = system.datastore(store_name)
+                    yield (label_row(_Action.DELETE, deletable, actor,
+                                     actor, store_name,
+                                     schema=store.schema.name),
+                           "potential", successor)
+
+    names = options.services if options.services is not None \
+        else tuple(system.services)
+    flows = tuple(f for name in names
+                  for f in system.service(name).flows)
+    contents = []
+    for store_name, fields in options.initial_store_contents.items():
+        for field_name in fields:
+            contents.append((store_name, field_name))
+    initial = (0, frozenset(), frozenset(contents), frozenset())
+    sids = {initial: 0}
+    state_rows = [initial]
+    transitions = []
+    queue = deque([initial])
+    while queue:
+        cfg = queue.popleft()
+        sid = sids[cfg]
+        for label, kind, successor in successors(cfg, flows):
+            target = sids.get(successor)
+            if target is None:
+                target = len(state_rows)
+                sids[successor] = target
+                state_rows.append(successor)
+                queue.append(successor)
+            transitions.append((sid, target, kind) + label)
+    states = [
+        (has_mask | could_mask(contents), holdings, contents, fired)
+        for has_mask, holdings, contents, fired in state_rows
+    ]
+    return states, transitions
+
+
+def _compiled_rows(lts):
+    states = [
+        (state.vector.mask, state.key.holdings, state.key.contents,
+         state.key.fired)
+        for state in lts.states
+    ]
+    transitions = [
+        (t.source, t.target, t.kind.value, t.label.action.value,
+         tuple(t.label.fields), t.label.actor, t.label.source,
+         t.label.target, t.label.schema, t.label.purpose,
+         t.label.flow_key)
+        for t in lts.transitions
+    ]
+    return states, transitions
+
+
+@st.composite
+def generation_systems(draw):
+    """Richer systems than ``small_systems``: originated fields,
+    delete grants and an extra disclose leg."""
+    field_names = draw(st.lists(names, min_size=2, max_size=4,
+                                unique=True))
+    actor_names = draw(st.lists(
+        names.map(lambda n: "Actor_" + n), min_size=2, max_size=3,
+        unique=True))
+    builder = SystemBuilder("gen")
+    builder.schema("S", list(field_names))
+    originates = draw(st.booleans())
+    for index, actor in enumerate(actor_names):
+        if index == 0 and originates:
+            builder.actor(actor, originates=[field_names[1]])
+        else:
+            builder.actor(actor)
+    builder.datastore("D", "S")
+    builder.service("svc")
+    builder.flow(1, "User", actor_names[0], [field_names[0]],
+                 purpose=draw(names))
+    builder.flow(2, actor_names[0], "D",
+                 [field_names[0]] +
+                 ([field_names[1]] if originates else []))
+    builder.flow(3, "D", actor_names[1], [field_names[0]])
+    builder.flow(4, actor_names[0], actor_names[1], [field_names[0]])
+    builder.allow(actor_names[0], ["read", "create"], "D")
+    builder.allow(actor_names[1], "read", "D", [field_names[0]])
+    if draw(st.booleans()):
+        builder.allow(actor_names[1], "delete", "D")
+    if draw(st.booleans()):
+        builder.allow(actor_names[-1], "read", "D")
+    return builder.build(strict=False)
+
+
+_OPTION_VARIANTS = (
+    GenerationOptions(),
+    GenerationOptions(ordering="sequence"),
+    GenerationOptions(include_potential_reads=True),
+    GenerationOptions(include_potential_reads=True,
+                      include_deletes=True),
+)
+
+
+@given(generation_systems(), st.sampled_from(_OPTION_VARIANTS))
+@settings(max_examples=40, deadline=None)
+def test_compiled_generator_matches_reference(system, options):
+    lts = generate_lts(system, options)
+    assert _compiled_rows(lts) == _reference_lts(system, options)
+
+
+@given(generation_systems())
+@settings(max_examples=15, deadline=None)
+def test_compiled_generator_restricted_policy_actors(system):
+    some_actor = sorted(system.actors)[0]
+    options = GenerationOptions(
+        include_potential_reads=True,
+        potential_read_actors=frozenset([some_actor]),
+        include_deletes=True,
+        delete_actors=frozenset([some_actor]))
+    lts = generate_lts(system, options)
+    assert _compiled_rows(lts) == _reference_lts(system, options)
+
+
+@pytest.mark.parametrize("ordering", ["dataflow", "sequence"])
+def test_duplicated_service_selection_matches_reference(ordering):
+    """A service selected twice fires its flows once per selection
+    entry (the historical flat-flow-list semantics) — in sequence mode
+    each selection emits its own next-order transition."""
+    builder = SystemBuilder("dup")
+    builder.schema("S", ["x", "y"])
+    builder.actor("A")
+    builder.actor("B")
+    builder.service("svc")
+    builder.flow(1, "User", "A", ["x"])
+    builder.flow(2, "A", "B", ["x"])
+    system = builder.build(strict=False)
+    options = GenerationOptions(services=("svc", "svc"),
+                                ordering=ordering)
+    lts = generate_lts(system, options)
+    assert _compiled_rows(lts) == _reference_lts(system, options)
+
+
+# -- golden snapshots of the pre-rewrite generator -----------------------------
+
+def _golden():
+    from capture_golden_generation import DATA_PATH
+    with open(DATA_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_generation_matches_golden_snapshots():
+    """Fixed systems x options against digests captured from the
+    frozenset generator before the bitmask rewrite: states, vectors,
+    transitions and ordering are all pinned."""
+    from capture_golden_generation import (
+        digest,
+        lts_snapshot,
+        workloads,
+    )
+    golden = _golden()["lts"]
+    for name, system, options in workloads():
+        lts = generate_lts(system, options)
+        entry = golden[name]
+        assert len(lts) == entry["states"], name
+        assert len(lts.transitions) == entry["transitions"], name
+        assert digest(lts_snapshot(lts)) == entry["digest"], name
+
+
+def test_fleet_signatures_match_golden():
+    """A mixed-kind engine fleet reproduces the pre-rewrite
+    ``JobResult.signature()`` stream byte-for-byte."""
+    from capture_golden_generation import fleet_signature_digests
+    assert fleet_signature_digests() == \
+        _golden()["signatures"]["fleet-seed11-allkinds"]
 
 
 # -- LTS generation invariants ---------------------------------------------------------

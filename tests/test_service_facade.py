@@ -346,3 +346,72 @@ class TestDescribe:
         model_hash = service.register_model(system)
         text_hash = service.upload_model(to_dsl(system))
         assert model_hash == text_hash
+
+
+class TestBoundedJobTable:
+    """The async job table is capped: finished records are evicted
+    oldest-first once the table exceeds ``max_jobs`` (ROADMAP "Service
+    hardening" — a long-lived server must not grow per submission)."""
+
+    def _wait(self, service, job_id, timeout=30.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            status = service.job_status(job_id)
+            if status.finished:
+                return status
+            time.sleep(0.01)
+        raise AssertionError(f"job {job_id} never finished")
+
+    def _requests(self, service, count):
+        model_hash = service.upload_model(MODEL)
+        return [
+            AnalysisRequest(
+                models=(ModelRef(hash=model_hash),),
+                user=UserSpec(agree=("Consult",),
+                              sensitivities=(("issue", level),)))
+            for level in ("high", "medium", "low")[:count]
+        ]
+
+    def test_max_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_jobs"):
+            AnalysisService(max_jobs=0)
+
+    def test_oldest_finished_jobs_are_evicted(self):
+        service = AnalysisService(backend="serial", max_jobs=2)
+        try:
+            ids = []
+            for request in self._requests(service, 3):
+                job_id = service.submit("analyze", request)
+                assert self._wait(service, job_id).status == "done"
+                ids.append(job_id)
+            assert len(set(ids)) == 3          # distinct submissions
+            assert len(service.job_ids()) == 2
+            with pytest.raises(NotFoundError, match="unknown job id"):
+                service.job_status(ids[0])      # oldest evicted
+            assert service.job_status(ids[1]).status == "done"
+            assert service.job_status(ids[2]).status == "done"
+            assert service.describe()["max_jobs"] == 2
+        finally:
+            service.close()
+
+    def test_evicted_job_can_be_resubmitted(self):
+        """Eviction never loses results: the identical request gets a
+        fresh record and is served from the result cache."""
+        service = AnalysisService(backend="serial", max_jobs=1)
+        try:
+            requests = self._requests(service, 2)
+            first = service.submit("analyze", requests[0])
+            assert self._wait(service, first).status == "done"
+            second = service.submit("analyze", requests[1])
+            assert self._wait(service, second).status == "done"
+            assert first not in service.job_ids()
+            again = service.submit("analyze", requests[0])
+            assert again == first               # same canonical identity
+            assert self._wait(service, again).status == "done"
+        finally:
+            service.close()
+
+    def test_default_cap_leaves_small_tables_alone(self, service):
+        for request in self._requests(service, 3):
+            self._wait(service, service.submit("analyze", request))
+        assert len(service.job_ids()) == 3
