@@ -1,0 +1,173 @@
+"""Fleet dispatcher — merged sweep vs. single-node, loss-tolerant.
+
+Not a paper table: this bench smoke-tests the fleet subsystem. A
+scenario sweep is run three ways:
+
+- *single-node*: one :class:`BatchEngine`, the reference signatures;
+- *fleet*: the same sweep sharded across two loopback workers by the
+  :class:`FleetDispatcher`;
+- *lossy fleet*: the same again with one worker killed mid-sweep, so
+  the run exercises the retry/rebalance path.
+
+The smoke bars are correctness-shaped, not timing-shaped (CI machines
+are noisy): both fleet runs must produce ``signature()`` sequences
+byte-identical to the single-node run, and the lossy run must report
+the injected loss. Timing (and the fleet-vs-single speedup) is
+reported informationally into ``BENCH_fleet.json``.
+
+Run under pytest for assertions, or standalone for the CI smoke
+check::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.engine import BatchEngine, ScenarioGenerator, scenario_jobs
+from repro.fleet import FleetDispatcher, LoopbackTransport
+from repro.service import AnalysisService
+
+COUNT = 8
+PERSONAS = 2
+SEED = 23
+BENCH_JSON = "BENCH_fleet.json"
+
+
+def make_jobs():
+    scenarios = ScenarioGenerator(
+        seed=SEED, personas_per_scenario=PERSONAS).generate(COUNT)
+    return scenario_jobs(scenarios)
+
+
+class FleetFixture:
+    """Two loopback workers plus a single-node reference engine."""
+
+    def __init__(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="bench-fleet-")
+        root = self._tmp.name
+        self.engine = BatchEngine(cache_dir=f"{root}/single")
+        self.services = {
+            name: AnalysisService(backend="serial",
+                                  cache_dir=f"{root}/{name}")
+            for name in ("alpha", "beta")
+        }
+
+    def dispatcher(self, transport, **kwargs):
+        kwargs.setdefault("poll_interval", 0.001)
+        return FleetDispatcher(list(self.services), transport,
+                               **kwargs)
+
+    def run_single(self):
+        started = time.perf_counter()
+        batch = self.engine.run(make_jobs())
+        seconds = time.perf_counter() - started
+        return seconds, [r.signature() for r in batch.results]
+
+    def run_fleet(self, lossy: bool = False):
+        transport = LoopbackTransport(self.services)
+        if lossy:
+            # Healthy through its probe plus a few exchanges, then
+            # gone for good — the dispatcher must rebalance.
+            transport.fail_after("beta", 4)
+        dispatcher = self.dispatcher(
+            transport, max_attempts=6, backoff_base=0.0)
+        started = time.perf_counter()
+        outcome = dispatcher.run(make_jobs())
+        seconds = time.perf_counter() - started
+        return seconds, outcome
+
+    def close(self):
+        for service in self.services.values():
+            service.close()
+        self._tmp.cleanup()
+
+
+@pytest.fixture
+def fixture():
+    fx = FleetFixture()
+    yield fx
+    fx.close()
+
+
+def test_fleet_matches_single_node(fixture):
+    _, expected = fixture.run_single()
+    _, outcome = fixture.run_fleet()
+    assert list(outcome.signatures()) == expected
+    assert outcome.stats.lost_workers == ()
+    dispatched = {report.worker: report.dispatched
+                  for report in outcome.stats.workers}
+    assert sum(dispatched.values()) == len(expected)
+
+
+def test_lossy_fleet_still_matches_single_node(fixture):
+    _, expected = fixture.run_single()
+    _, outcome = fixture.run_fleet(lossy=True)
+    assert list(outcome.signatures()) == expected
+    assert "beta" in outcome.stats.lost_workers
+    assert outcome.stats.rebalances >= 1
+
+
+def _quick_smoke() -> int:
+    """Standalone CI smoke: signature equality for the clean and
+    lossy fleet runs; emit BENCH_fleet.json."""
+    fixture = FleetFixture()
+    failures = []
+    try:
+        single_seconds, expected = fixture.run_single()
+        fleet_seconds, outcome = fixture.run_fleet()
+        lossy_seconds, lossy = fixture.run_fleet(lossy=True)
+
+        jobs = len(expected)
+        print(f"single-node: {jobs} jobs in {single_seconds:.2f}s")
+        print(f"fleet:       {outcome.stats.describe()}")
+        print(f"lossy fleet: {lossy.stats.describe()}")
+
+        if list(outcome.signatures()) != expected:
+            failures.append(
+                "fleet signatures diverge from single-node")
+        if list(lossy.signatures()) != expected:
+            failures.append(
+                "lossy-fleet signatures diverge from single-node")
+        if "beta" not in lossy.stats.lost_workers:
+            failures.append("injected worker loss went undetected")
+        if lossy.stats.rebalances < 1:
+            failures.append("worker loss triggered no rebalancing")
+
+        record = {
+            "jobs": jobs,
+            "workers": len(fixture.services),
+            "single_node": {"seconds": round(single_seconds, 4)},
+            "fleet": {
+                "seconds": round(fleet_seconds, 4),
+                "speedup": round(
+                    single_seconds / max(fleet_seconds, 1e-9), 2),
+                "stats": outcome.stats.to_dict(),
+            },
+            "lossy_fleet": {
+                "seconds": round(lossy_seconds, 4),
+                "stats": lossy.stats.to_dict(),
+            },
+        }
+        with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"wrote {BENCH_JSON}")
+    finally:
+        fixture.close()
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("fleet bench smoke:", "FAIL" if failures else "OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv:
+        sys.exit(_quick_smoke())
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -11,10 +11,15 @@ machines are noisy): warm responses must be served from cache with
 signatures byte-identical to the cold pass, and an in-process facade
 call must agree with the wire.
 
+A third pass drives the same stream through ``--clients N``
+concurrent threads and reports requests/sec plus p50/p95 latency —
+the signatures must still match the sequential stream positionally.
+
 Run under pytest for assertions, or standalone for the CI smoke check
 (which also emits ``BENCH_service.json``)::
 
     PYTHONPATH=src python benchmarks/bench_service.py --quick
+    PYTHONPATH=src python benchmarks/bench_service.py --clients 8
 """
 
 from __future__ import annotations
@@ -87,6 +92,38 @@ class ServiceFixture:
                      for index in range(count)]
         return time.perf_counter() - started, responses
 
+    def run_concurrent(self, count: int, clients: int):
+        """(seconds, responses, latencies) for ``count`` requests
+        issued by ``clients`` concurrent threads.
+
+        Responses and per-request latencies are indexed by request
+        number regardless of which client carried them, so the result
+        stream compares positionally against a sequential pass."""
+        responses = [None] * count
+        latencies = [0.0] * count
+        indices = iter(range(count))
+        lock = threading.Lock()
+
+        def client():
+            while True:
+                with lock:
+                    index = next(indices, None)
+                if index is None:
+                    return
+                begun = time.perf_counter()
+                responses[index] = self.call(
+                    "/v1/analyze", self.analyze_payload(index))
+                latencies[index] = time.perf_counter() - begun
+
+        threads = [threading.Thread(target=client)
+                   for _ in range(clients)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - started, responses, latencies
+
     def close(self):
         self.server.shutdown()
         self.server.server_close()
@@ -97,6 +134,14 @@ class ServiceFixture:
 def _signatures(responses):
     return [repr(AnalysisResponse.from_dict(r).signatures()).encode()
             for r in responses]
+
+
+def _percentile(latencies, fraction: float) -> float:
+    """The ``fraction`` percentile (0..1) of ``latencies``, seconds."""
+    ordered = sorted(latencies)
+    index = max(0, min(len(ordered) - 1,
+                       int(round(fraction * len(ordered))) - 1))
+    return ordered[index]
 
 
 @pytest.fixture
@@ -123,6 +168,19 @@ def test_warm_replay_hits_the_cache(fixture):
     assert fixture.service.engine.result_cache.stats.hits >= REQUESTS
 
 
+def test_concurrent_clients_match_sequential(fixture):
+    """N concurrent clients produce positionally identical
+    signatures to a sequential stream — the threaded server's shared
+    caches are safe under real socket concurrency."""
+    _, sequential = fixture.run_pass(REQUESTS)
+    _, concurrent, latencies = fixture.run_concurrent(REQUESTS,
+                                                      clients=4)
+    assert _signatures(sequential) == _signatures(concurrent)
+    assert len(latencies) == REQUESTS
+    assert all(latency > 0 for latency in latencies)
+    assert _percentile(latencies, 0.95) >= _percentile(latencies, 0.5)
+
+
 def test_wire_agrees_with_inprocess_facade(fixture):
     payload = fixture.analyze_payload(0)
     wire = AnalysisResponse.from_dict(
@@ -133,9 +191,9 @@ def test_wire_agrees_with_inprocess_facade(fixture):
     assert wire.signatures() == local.signatures()
 
 
-def _quick_smoke() -> int:
-    """Standalone CI smoke: cold stream, warm replay, facade
-    cross-check; emit BENCH_service.json."""
+def _quick_smoke(clients: int = 4) -> int:
+    """Standalone CI smoke: cold stream, warm replay, concurrent
+    load, facade cross-check; emit BENCH_service.json."""
     fixture = ServiceFixture()
     failures = []
     try:
@@ -156,6 +214,18 @@ def _quick_smoke() -> int:
                    for r in response["results"]):
             failures.append("warm replay missed the result cache")
 
+        loaded_seconds, loaded, latencies = fixture.run_concurrent(
+            REQUESTS, clients=clients)
+        loaded_rps = REQUESTS / max(loaded_seconds, 1e-9)
+        p50 = _percentile(latencies, 0.5)
+        p95 = _percentile(latencies, 0.95)
+        print(f"load: {REQUESTS} requests x {clients} clients in "
+              f"{loaded_seconds:.2f}s ({loaded_rps:.1f} req/s, "
+              f"p50 {p50 * 1000:.1f}ms, p95 {p95 * 1000:.1f}ms)")
+        if _signatures(cold) != _signatures(loaded):
+            failures.append(
+                "concurrent clients changed result signatures")
+
         payload = fixture.analyze_payload(0)
         wire = AnalysisResponse.from_dict(
             fixture.call("/v1/analyze", payload))
@@ -172,6 +242,13 @@ def _quick_smoke() -> int:
             "warm": {"seconds": round(warm_seconds, 4),
                      "rps": round(warm_rps, 1)},
             "warm_speedup": round(warm_rps / max(cold_rps, 1e-9), 2),
+            "concurrent": {
+                "clients": clients,
+                "seconds": round(loaded_seconds, 4),
+                "rps": round(loaded_rps, 1),
+                "p50_ms": round(p50 * 1000, 2),
+                "p95_ms": round(p95 * 1000, 2),
+            },
             "cache": {
                 "result_hits":
                     fixture.service.engine.result_cache.stats.hits,
@@ -190,6 +267,15 @@ def _quick_smoke() -> int:
 
 
 if __name__ == "__main__":
-    if "--quick" in sys.argv:
-        sys.exit(_quick_smoke())
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="service front-end benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="standalone CI smoke (writes "
+                             f"{BENCH_JSON})")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent clients for the load pass")
+    parsed = parser.parse_args()
+    if parsed.quick or parsed.clients != 4:
+        sys.exit(_quick_smoke(clients=parsed.clients))
     sys.exit(pytest.main([__file__, "-q"]))

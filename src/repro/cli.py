@@ -23,7 +23,10 @@ Subcommands mirror the method's steps over a DSL model file:
 - ``repro engine cache stats|prune --cache-dir DIR`` — inspect and
   age/size-prune the on-disk store;
 - ``repro serve --port 8787 --cache-dir DIR`` — run the HTTP/JSON
-  analysis service (see :mod:`repro.service.http`).
+  analysis service (see :mod:`repro.service.http`);
+- ``repro fleet sweep --workers host:port,host:port --count 50`` —
+  shard a scenario sweep across running ``repro serve`` workers and
+  merge the answers into one fleet report (see :mod:`repro.fleet`).
 
 Every ``engine`` subcommand is a thin client of the
 :class:`~repro.service.facade.AnalysisService` facade — the same API
@@ -328,6 +331,36 @@ def _cmd_serve(args) -> int:
                  verbose=args.verbose)
 
 
+def _cmd_fleet_sweep(args) -> int:
+    import json as json_module
+    from .fleet import FleetDispatcher, HttpTransport
+    from .service import SweepRequest
+    workers = [name.strip() for name in args.workers.split(",")
+               if name.strip()]
+    request = SweepRequest(count=args.count, seed=args.seed,
+                           personas=args.personas,
+                           kinds=tuple(args.kinds))
+    transport = HttpTransport()
+    dispatcher = FleetDispatcher(workers, transport,
+                                 timeout=args.timeout,
+                                 max_attempts=args.max_attempts)
+    try:
+        outcome = dispatcher.sweep(request)
+    finally:
+        transport.close()
+    stats_line = outcome.stats.describe()
+    if args.json:
+        _write_output(json_module.dumps(outcome.to_dict(), indent=2),
+                      args.output)
+        # stdout may be the JSON sink: keep it parseable, the
+        # accounting line is operator chatter.
+        print(stats_line, file=sys.stderr)
+    else:
+        _write_output(outcome.report().describe(), args.output)
+        print(stats_line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -531,6 +564,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log every request to stderr")
     serve.set_defaults(func=_cmd_serve)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="dispatch sweeps across worker service nodes")
+    fleet_subs = fleet.add_subparsers(dest="fleet_command",
+                                      required=True)
+    fleet_sweep = fleet_subs.add_parser(
+        "sweep", help="shard a scenario sweep across running "
+                      "`repro serve` workers and merge the reports")
+    fleet_sweep.add_argument(
+        "--workers", required=True, metavar="HOST:PORT,HOST:PORT",
+        help="comma-separated worker addresses")
+    fleet_sweep.add_argument("--count", type=int, default=20,
+                             help="number of scenarios to generate")
+    fleet_sweep.add_argument("--seed", type=int, default=0,
+                             help="scenario stream seed")
+    fleet_sweep.add_argument("--personas", type=int, default=2,
+                             help="simulated users per scenario")
+    fleet_sweep.add_argument("--kinds", nargs="+",
+                             default=["disclosure"], choices=kinds,
+                             help="analysis kinds to cycle across "
+                                  "the fleet")
+    fleet_sweep.add_argument("--timeout", type=float, default=60.0,
+                             help="per-shard dispatch-to-result "
+                                  "budget in seconds")
+    fleet_sweep.add_argument("--max-attempts", type=int, default=4,
+                             help="dispatch attempts per shard before "
+                                  "the run fails")
+    fleet_sweep.add_argument("--json", action="store_true",
+                             help="emit the merged outcome as JSON")
+    fleet_sweep.add_argument("-o", "--output", default=None,
+                             help="write the report to a file")
+    fleet_sweep.set_defaults(func=_cmd_fleet_sweep)
 
     return parser
 

@@ -143,7 +143,7 @@ class _Parser:
         if token.type == "ident":
             return token.value
         if token.type == "string":
-            return json.loads(token.value)
+            return self._decode_string(token)
         self._fail(f"expected a name, found {token.value!r}", token)
         raise AssertionError("unreachable")
 
@@ -158,7 +158,17 @@ class _Parser:
         if token.type != "string":
             self._fail(f"expected quoted {what}, found {token.value!r}",
                        token)
-        return json.loads(token.value)
+        return self._decode_string(token)
+
+    def _decode_string(self, token: Token) -> str:
+        # The tokenizer matches quote-to-quote without validating the
+        # contents, so raw control characters (invalid JSON) can reach
+        # this point; they are a parse error, not a traceback.
+        try:
+            return json.loads(token.value)
+        except json.JSONDecodeError:
+            self._fail(f"invalid string literal {token.value!r}", token)
+            raise AssertionError("unreachable")
 
     def _number(self, what: str) -> int:
         token = self._next()

@@ -84,12 +84,28 @@ from .kinds import (
     register_kind,
 )
 from .runner import (
-    BACKENDS,
+    Backend,
     BatchEngine,
     BatchResult,
     EngineStats,
+    PreparedJob,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    backend_names,
+    get_backend,
+    register_backend,
     resolve_options,
 )
+
+
+def __getattr__(name: str):
+    # BACKENDS derives from the live backend registry; resolving it
+    # lazily keeps later register_backend() calls visible here too.
+    if name == "BACKENDS":
+        return backend_names()
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 from .scenarios import ModelScenario, ScenarioGenerator, scenario_jobs
 
 __all__ = [
@@ -131,8 +147,16 @@ __all__ = [
     "kind_names",
     "register_kind",
     "BACKENDS",
+    "Backend",
     "BatchEngine",
     "BatchResult",
+    "PreparedJob",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "EngineStats",
     "resolve_options",
     "ModelScenario",

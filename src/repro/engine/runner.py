@@ -30,7 +30,16 @@ import pickle
 import time
 from dataclasses import dataclass, field, replace
 from concurrent import futures
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core import GenerationOptions, ModelGenerator
 from ..core.risk import LikelihoodModel, RiskMatrix
@@ -39,7 +48,9 @@ from .fingerprint import job_fingerprint, lts_cache_key, model_fingerprint
 from .jobs import AnalysisJob, JobResult
 from .kinds import AnalyzerConfig, get_kind
 
-BACKENDS = ("serial", "thread", "process")
+#: One fingerprinted cache miss awaiting execution:
+#: ``(fingerprint, job, options, model_fp)``.
+PreparedJob = Tuple[str, AnalysisJob, Optional[GenerationOptions], str]
 
 
 @dataclass
@@ -155,6 +166,97 @@ def _run_analysis(job: AnalysisJob, fingerprint: str,
     )
 
 
+# -- execution backends ------------------------------------------------------
+#
+# A backend is *how* prepared cache misses turn into results: in line,
+# on a pool, or (see repro.fleet) on remote worker nodes. The protocol
+# is transport-agnostic — ``execute`` receives the engine itself for
+# its configuration and caches and yields ``(fingerprint, JobResult)``
+# pairs in submission order, which is all ``BatchEngine.run`` relies
+# on. Implementations register under a name; ``BACKENDS`` derives from
+# the registry, so a new backend (in-tree or external) plugs in with
+# one ``register_backend`` call.
+
+
+class Backend:
+    """Protocol of an execution backend (structural; subclassing is
+    optional). ``name`` labels :attr:`EngineStats.backend`.
+
+    ``inline_single`` lets the engine run a zero/one-miss batch on the
+    calling thread instead of spinning the backend up; backends whose
+    placement matters (remote dispatch) set it False."""
+
+    name = "backend"
+    inline_single = True
+
+    def execute(self, prepared: Sequence[PreparedJob],
+                engine: "BatchEngine"
+                ) -> Iterator[Tuple[str, JobResult]]:
+        """Yield ``(fingerprint, result)`` per prepared job, in
+        submission order."""
+        raise NotImplementedError
+
+
+_BACKEND_REGISTRY: Dict[str, Callable[[], "Backend"]] = {}
+
+
+def register_backend(name: str,
+                     factory: Callable[[], "Backend"]) -> None:
+    """Register (or replace) the backend constructed for ``name``."""
+    _BACKEND_REGISTRY[name] = factory
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_BACKEND_REGISTRY)
+
+
+def get_backend(name: str) -> "Backend":
+    """Construct the backend registered under ``name``."""
+    factory = _BACKEND_REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"backend must be one of {backend_names()}, got {name!r}")
+    return factory()
+
+
+def __getattr__(name: str):
+    # BACKENDS predates the registry; keep it importable (and live).
+    if name == "BACKENDS":
+        return backend_names()
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+class SerialBackend(Backend):
+    """In-line execution on the calling thread."""
+
+    name = "serial"
+
+    def execute(self, prepared, engine):
+        for fingerprint, job, options, model_fp in prepared:
+            yield fingerprint, _run_analysis(
+                job, fingerprint, options, engine.config,
+                engine.lts_cache, model_fp)
+
+
+class ThreadBackend(Backend):
+    """A :class:`~concurrent.futures.ThreadPoolExecutor` pool sharing
+    the engine's live caches."""
+
+    name = "thread"
+
+    def execute(self, prepared, engine):
+        with futures.ThreadPoolExecutor(engine.workers) as pool:
+            tasks = [
+                pool.submit(_run_analysis, job, fingerprint, options,
+                            engine.config, engine.lts_cache, model_fp)
+                for fingerprint, job, options, model_fp in prepared
+            ]
+            for (fingerprint, *_), task in zip(prepared, tasks):
+                yield fingerprint, task.result()
+
+
 # -- process backend plumbing ------------------------------------------------
 #
 # Workers rebuild their own LTS cache (per-process LRU over the shared
@@ -176,13 +278,42 @@ def _process_worker(payload) -> JobResult:
                          _WORKER_LTS_CACHE, model_fp)
 
 
+class ProcessBackend(Backend):
+    """A :class:`~concurrent.futures.ProcessPoolExecutor` pool; worker
+    processes share only the disk cache tier."""
+
+    name = "process"
+
+    def execute(self, prepared, engine):
+        with futures.ProcessPoolExecutor(
+                engine.workers,
+                initializer=_process_initializer,
+                initargs=(engine._lts_dir, engine._memory_entries),
+        ) as pool:
+            tasks = [
+                pool.submit(_process_worker,
+                            (job, fingerprint, options,
+                             engine.config, model_fp))
+                for fingerprint, job, options, model_fp in prepared
+            ]
+            for (fingerprint, *_), task in zip(prepared, tasks):
+                yield fingerprint, task.result()
+
+
+register_backend("serial", SerialBackend)
+register_backend("thread", ThreadBackend)
+register_backend("process", ProcessBackend)
+
+
 class BatchEngine:
     """Runs fleets of analysis jobs with caching and a worker pool.
 
     Parameters
     ----------
     backend:
-        ``'serial'``, ``'thread'`` or ``'process'``.
+        A registered backend name (``'serial'``, ``'thread'``,
+        ``'process'``, plus anything added via
+        :func:`register_backend`) or a live :class:`Backend` instance.
     workers:
         Pool width for the parallel backends (default: CPU count,
         capped at 8).
@@ -207,7 +338,7 @@ class BatchEngine:
         to use the defaults).
     """
 
-    def __init__(self, backend: str = "serial",
+    def __init__(self, backend: Union[str, Backend] = "serial",
                  workers: Optional[int] = None,
                  cache_dir: Optional[str] = None,
                  memory_entries: int = 512,
@@ -216,10 +347,14 @@ class BatchEngine:
                  value_policy=None, dataset=None, population=None,
                  record_field_map=None, reid_threshold: float = 0.5,
                  result_cache=None, lts_cache=None):
-        if backend not in BACKENDS:
-            raise ValueError(
-                f"backend must be one of {BACKENDS}, got {backend!r}")
-        self.backend = backend
+        if isinstance(backend, str):
+            self._backend_impl = get_backend(backend)
+            self.backend = backend
+        else:
+            # A live Backend instance (e.g. a remote-queue backend
+            # carrying its own transport) plugs in directly.
+            self._backend_impl = backend
+            self.backend = backend.name
         self.workers = workers if workers is not None \
             else min(8, os.cpu_count() or 1)
         if self.workers < 1:
@@ -339,31 +474,10 @@ class BatchEngine:
 
     def _execute(self, prepared):
         """Yield (fingerprint, JobResult) for each prepared miss."""
-        if self.backend == "serial" or len(prepared) <= 1:
-            for fingerprint, job, options, model_fp in prepared:
-                yield fingerprint, _run_analysis(
-                    job, fingerprint, options, self.config,
-                    self.lts_cache, model_fp)
-        elif self.backend == "thread":
-            with futures.ThreadPoolExecutor(self.workers) as pool:
-                tasks = [
-                    pool.submit(_run_analysis, job, fingerprint, options,
-                                self.config, self.lts_cache, model_fp)
-                    for fingerprint, job, options, model_fp in prepared
-                ]
-                for (fingerprint, *_), task in zip(prepared, tasks):
-                    yield fingerprint, task.result()
+        if len(prepared) <= 1 and self._backend_impl.inline_single \
+                and not isinstance(self._backend_impl, SerialBackend):
+            # Zero or one miss: pool setup would cost more than it
+            # buys — run in line.
+            yield from SerialBackend().execute(prepared, self)
         else:
-            with futures.ProcessPoolExecutor(
-                    self.workers,
-                    initializer=_process_initializer,
-                    initargs=(self._lts_dir, self._memory_entries),
-            ) as pool:
-                tasks = [
-                    pool.submit(_process_worker,
-                                (job, fingerprint, options,
-                                 self.config, model_fp))
-                    for fingerprint, job, options, model_fp in prepared
-                ]
-                for (fingerprint, *_), task in zip(prepared, tasks):
-                    yield fingerprint, task.result()
+            yield from self._backend_impl.execute(prepared, self)

@@ -1,0 +1,85 @@
+"""Distributed fleet dispatch: one sweep, many worker nodes.
+
+This package turns the single-node analysis service into a multi-node
+system. A coordinator (:class:`FleetDispatcher`) shards a batch of
+analysis jobs — or a whole :class:`~repro.service.messages.SweepRequest`
+— across worker ``repro serve`` instances, drives them over a pluggable
+:class:`Transport`, and merges the per-worker answers into one ordered
+result list and :class:`~repro.engine.aggregate.FleetReport` whose
+:meth:`~repro.engine.jobs.JobResult.signature` sequence is
+byte-identical to running the same sweep on a single node.
+
+**Wire contract.** The coordinator speaks only the existing service
+surface (:mod:`repro.service.messages` / :mod:`repro.service.http`):
+``GET /v1/health`` to probe (and read
+:class:`~repro.service.messages.WorkerLoad`), ``POST /v1/models`` to
+ship DSL text (content-addressed — the worker's hash must equal the
+coordinator's :func:`~repro.engine.fingerprint.model_fingerprint`, or
+the run aborts on version skew), ``POST /v1/jobs`` to submit one
+``analyze`` operation per shard, ``GET /v1/jobs/<id>`` to poll.
+Worker-side job ids are content hashes of the canonical request, so a
+shard dispatched twice (timeout, rebalance, job-table eviction)
+*coalesces* instead of recomputing — cross-node idempotency.
+
+**Sharding rule.** Consistent hashing (:class:`HashRing`) of the
+shard's **model fingerprint** over worker ids: all jobs on one model
+land on one worker (per-node LTS/result caches see maximal reuse), and
+removing a worker moves only that worker's shards.
+
+**Retry policy.** On transport failure or poll timeout the coordinator
+re-probes the worker: answers → *retry* on the same worker under
+capped exponential backoff; silent → the worker is *lost*, leaves the
+ring, and every unfinished shard it held *rebalances* onto survivors.
+``max_attempts`` failures on one shard, or an empty ring, abort with
+:class:`FleetError`. Structured worker errors fail fast — a bad
+request is not cured by resending it elsewhere.
+
+**Cache coherence.** Caches stay strictly per-node; the coordinator
+neither gossips results between workers nor maintains its own result
+store. A rebalanced shard whose previous worker already computed the
+result simply recomputes on the new worker (or re-dispatches on a
+job-table miss) — duplicated work, never inconsistency. Content
+fingerprints make every cache entry self-identifying, so no
+invalidation protocol is needed; the deliberate price is redundant
+computation after a loss, bounded by one shard per rebalance.
+
+Two transports ship: :class:`HttpTransport` (real sockets) and
+:class:`LoopbackTransport` (in-memory
+:class:`~repro.service.facade.AnalysisService` workers behind the same
+routing table, with fault injection for tests).
+:class:`RemoteQueueBackend` plugs a dispatcher into
+:class:`~repro.engine.runner.BatchEngine` as a fourth execution
+backend next to serial/thread/process.
+"""
+
+from .backend import RemoteQueueBackend
+from .dispatcher import (
+    FleetDispatcher,
+    FleetError,
+    FleetOutcome,
+    FleetStats,
+    HashRing,
+    WorkerReport,
+)
+from .transport import (
+    HttpTransport,
+    LoopbackTransport,
+    Transport,
+    TransportError,
+    WireError,
+)
+
+__all__ = [
+    "FleetDispatcher",
+    "FleetError",
+    "FleetOutcome",
+    "FleetStats",
+    "HashRing",
+    "HttpTransport",
+    "LoopbackTransport",
+    "RemoteQueueBackend",
+    "Transport",
+    "TransportError",
+    "WireError",
+    "WorkerReport",
+]

@@ -1,0 +1,57 @@
+"""The remote-queue engine backend: a fleet behind ``BatchEngine``.
+
+:class:`RemoteQueueBackend` plugs a :class:`FleetDispatcher` into the
+:class:`~repro.engine.runner.BatchEngine` backend slot, so the full
+local pipeline — staged fingerprints, result-cache lookup, duplicate
+fan-out, :class:`~repro.engine.runner.EngineStats` — stays in charge
+while the cache *misses* execute on remote workers::
+
+    engine = BatchEngine(
+        backend=RemoteQueueBackend(dispatcher), cache_dir=...)
+    batch = engine.run(jobs)   # misses run on the fleet
+
+The coordinator-side engine fingerprint of every prepared job must
+equal the fingerprint the worker computed for its result; a mismatch
+means coordinator and worker disagree about analyzer configuration
+(version skew) and raises :class:`~repro.fleet.dispatcher.FleetError`
+instead of silently caching a foreign result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from ..engine import Backend, JobResult, PreparedJob
+from .dispatcher import FleetDispatcher, FleetError
+
+
+class RemoteQueueBackend(Backend):
+    """Executes an engine's cache misses on a worker fleet."""
+
+    name = "fleet"
+    #: Never inline a single-job batch locally — placement is the
+    #: point of a remote backend, not an optimisation detail.
+    inline_single = False
+
+    def __init__(self, dispatcher: FleetDispatcher):
+        self.dispatcher = dispatcher
+        #: Accounting of the most recent dispatch, for callers that
+        #: want fleet-level detail beyond EngineStats.
+        self.last_outcome = None
+
+    def execute(self, prepared: Sequence[PreparedJob],
+                engine) -> Iterator[Tuple[str, JobResult]]:
+        if not prepared:
+            return
+        jobs = [job for _, job, _, _ in prepared]
+        outcome = self.dispatcher.run(jobs)
+        self.last_outcome = outcome
+        for (fingerprint, job, _, _), result in zip(prepared,
+                                                    outcome.results):
+            if result.fingerprint != fingerprint:
+                raise FleetError(
+                    f"worker result fingerprint {result.fingerprint!r}"
+                    f" does not match the coordinator's {fingerprint!r}"
+                    f" for job {job.job_id!r} — analyzer version skew "
+                    "between coordinator and worker")
+            yield fingerprint, result

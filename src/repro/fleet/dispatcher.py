@@ -1,0 +1,554 @@
+"""The fleet coordinator: shard, dispatch, retry, rebalance, merge.
+
+:class:`FleetDispatcher` turns a batch of analysis jobs (or a whole
+:class:`~repro.service.messages.SweepRequest`) into wire traffic
+against a set of worker ``repro serve`` instances and merges the
+per-worker :class:`~repro.service.messages.AnalysisResponse`\\ s back
+into one ordered result list plus a
+:class:`~repro.engine.aggregate.FleetReport`.
+
+Placement is consistent hashing over worker ids keyed by **model
+fingerprint** (:class:`HashRing`): every job on the same model lands
+on the same worker, so per-node LTS/result caches see maximal reuse,
+and losing a worker only moves that worker's shards. Dispatch rides
+the existing async-submission wire (``POST /v1/jobs`` with an
+``analyze`` operation): job ids are the stable hash of the canonical
+request, so a shard re-dispatched after a timeout *coalesces* on a
+worker that already has it — cross-node idempotency for free.
+
+Retry policy (capped exponential backoff): a transport failure or
+poll timeout marks the worker suspect; the coordinator re-probes its
+health, then either **retries** the shard on the same worker (probe
+answered — a transient drop) or declares the worker **lost**, removes
+it from the ring and **rebalances** every unfinished shard it held
+onto the survivors. A shard failing ``max_attempts`` times, or the
+ring emptying, raises :class:`FleetError`. Structured worker errors
+(invalid request, analysis error) fail fast — re-sending a bad
+request elsewhere cannot fix it.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..dfd import to_dsl
+from ..engine import (
+    AnalysisJob,
+    EngineStats,
+    FleetReport,
+    JobResult,
+    ScenarioGenerator,
+    kind_names,
+    model_fingerprint,
+    scenario_jobs,
+    stable_hash,
+)
+from ..errors import ReproError
+from ..service.messages import (
+    AnalysisRequest,
+    AnalysisResponse,
+    ModelRef,
+    SweepRequest,
+    UserSpec,
+    WorkerLoad,
+)
+from .transport import Transport, TransportError, WireError
+
+
+class FleetError(ReproError):
+    """A fleet run could not complete (workers lost, shard failed)."""
+
+
+# -- placement ----------------------------------------------------------------
+
+class HashRing:
+    """Consistent hashing of shard keys onto worker ids.
+
+    Each worker owns ``replicas`` pseudo-random points on a ring;
+    a key maps to the worker owning the next point clockwise. Removing
+    a worker moves only the keys that worker owned — every other
+    assignment is untouched, which is what makes mid-sweep rebalancing
+    cheap and deterministic.
+    """
+
+    def __init__(self, workers: Sequence[str], replicas: int = 64):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._workers = tuple(sorted(set(workers)))
+        self._points: List[Tuple[int, str]] = sorted(
+            (self._point(f"{worker}#{index}"), worker)
+            for worker in self._workers
+            for index in range(replicas))
+        self._keys = [point for point, _ in self._points]
+
+    @staticmethod
+    def _point(label: str) -> int:
+        return int(stable_hash(label)[:16], 16)
+
+    @property
+    def workers(self) -> Tuple[str, ...]:
+        return self._workers
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def assign(self, key: str) -> str:
+        """The worker owning ``key``."""
+        if not self._workers:
+            raise FleetError("no live workers to assign shards to")
+        index = bisect_right(self._keys, self._point(key))
+        if index == len(self._keys):
+            index = 0
+        return self._points[index][1]
+
+    def without(self, worker: str) -> "HashRing":
+        """The ring with ``worker`` removed."""
+        return HashRing(
+            [name for name in self._workers if name != worker],
+            replicas=self.replicas)
+
+
+# -- accounting ---------------------------------------------------------------
+
+@dataclass
+class WorkerReport:
+    """One worker's dispatch accounting over a fleet run."""
+
+    worker: str
+    dispatched: int = 0
+    completed: int = 0
+    failures: int = 0
+    lost: bool = False
+    load: Optional[WorkerLoad] = None
+
+    def to_dict(self) -> dict:
+        payload = {"worker": self.worker,
+                   "dispatched": self.dispatched,
+                   "completed": self.completed,
+                   "failures": self.failures,
+                   "lost": self.lost}
+        if self.load is not None:
+            payload["load"] = self.load.to_dict()
+        return payload
+
+
+@dataclass
+class FleetStats:
+    """Coordinator-level accounting of one fleet run."""
+
+    jobs: int = 0
+    shards: int = 0
+    deduplicated: int = 0
+    retries: int = 0
+    rebalances: int = 0
+    lost_workers: Tuple[str, ...] = ()
+    wall_time: float = 0.0
+    engine: EngineStats = field(default_factory=EngineStats)
+    workers: Tuple[WorkerReport, ...] = ()
+
+    def describe(self) -> str:
+        live = sum(1 for report in self.workers if not report.lost)
+        text = (f"{self.jobs} jobs as {self.shards} shards over "
+                f"{live}/{len(self.workers)} workers in "
+                f"{self.wall_time:.2f}s: {self.retries} retries, "
+                f"{self.rebalances} rebalanced")
+        if self.lost_workers:
+            text += f", lost {', '.join(self.lost_workers)}"
+        return text + f" [{self.engine.describe()}]"
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "shards": self.shards,
+            "deduplicated": self.deduplicated,
+            "retries": self.retries,
+            "rebalances": self.rebalances,
+            "lost_workers": list(self.lost_workers),
+            "wall_time": self.wall_time,
+            "workers": [report.to_dict() for report in self.workers],
+        }
+
+
+@dataclass
+class FleetOutcome:
+    """Ordered merged results of one fleet run plus its accounting."""
+
+    results: Tuple[JobResult, ...]
+    stats: FleetStats
+
+    def report(self) -> FleetReport:
+        """The merged fleet aggregation (same class, same rollups as
+        a single-node :meth:`BatchEngine.run`)."""
+        return FleetReport(self.results, self.stats.engine)
+
+    def signatures(self) -> Tuple[tuple, ...]:
+        return tuple(result.signature() for result in self.results)
+
+    @property
+    def max_level(self) -> str:
+        return self.report().max_level().value
+
+    def to_dict(self) -> dict:
+        return {"fleet": self.stats.to_dict(),
+                "report": self.report().to_dict()}
+
+
+# -- the coordinator ----------------------------------------------------------
+
+class _Shard:
+    """One unique dispatchable request and the job indices it serves."""
+
+    __slots__ = ("key", "request_payload", "model_fp", "system",
+                 "indices", "worker", "attempts", "not_before",
+                 "job_id", "deadline", "result")
+
+    def __init__(self, key: str, request_payload: dict, model_fp: str,
+                 system, index: int):
+        self.key = key
+        self.request_payload = request_payload
+        self.model_fp = model_fp
+        self.system = system
+        self.indices: List[int] = [index]
+        self.worker: Optional[str] = None
+        self.attempts = 0
+        self.not_before = 0.0
+        self.job_id: Optional[str] = None
+        self.deadline = 0.0
+        self.result: Optional[JobResult] = None
+
+
+class FleetDispatcher:
+    """Runs analysis batches across worker nodes over a transport.
+
+    Parameters
+    ----------
+    workers:
+        Worker ids the transport understands (``host:port`` for
+        :class:`~repro.fleet.transport.HttpTransport`).
+    transport:
+        The :class:`~repro.fleet.transport.Transport` to speak over.
+    timeout:
+        Per-shard wall-clock budget between dispatch and completion;
+        exceeding it triggers the retry/rebalance path.
+    probe_timeout:
+        Budget for the health probes that decide retry vs. rebalance.
+    max_attempts:
+        Dispatch attempts per shard before the run fails.
+    backoff_base / backoff_cap:
+        Capped exponential backoff between a shard's attempts
+        (``min(cap, base * 2**(attempt-1))`` seconds).
+    poll_interval:
+        Coordinator sleep between poll rounds.
+    replicas:
+        Virtual nodes per worker on the placement ring.
+    """
+
+    def __init__(self, workers: Sequence[str], transport: Transport,
+                 timeout: float = 60.0,
+                 probe_timeout: float = 5.0,
+                 max_attempts: int = 4,
+                 backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 poll_interval: float = 0.02,
+                 replicas: int = 64,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
+        workers = tuple(dict.fromkeys(workers))
+        if not workers:
+            raise FleetError("a fleet needs at least one worker")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.workers = workers
+        self.transport = transport
+        self.timeout = timeout
+        self.probe_timeout = probe_timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.poll_interval = poll_interval
+        self.replicas = replicas
+        self._clock = clock
+        self._sleep = sleep
+
+    # -- entry points ------------------------------------------------------
+
+    def sweep(self, request: SweepRequest) -> FleetOutcome:
+        """Shard one sweep request across the fleet.
+
+        The scenario fleet is generated coordinator-side (it is a pure
+        function of the request's seed), then dispatched job-by-job —
+        workers never need the generator, only the wire contract.
+        """
+        unknown = [kind for kind in request.kinds
+                   if kind not in kind_names()]
+        if unknown:
+            raise FleetError(
+                f"unknown analysis kind(s) {unknown}; registered: "
+                f"{sorted(kind_names())}")
+        generator = ScenarioGenerator(
+            seed=request.seed,
+            personas_per_scenario=request.personas)
+        jobs = scenario_jobs(generator.generate(request.count),
+                             kinds=request.kinds)
+        return self.run(jobs)
+
+    def run(self, jobs: Sequence[AnalysisJob]) -> FleetOutcome:
+        """Dispatch ``jobs``; results merge back in submission order
+        with worker-computed signatures intact."""
+        jobs = list(jobs)
+        started = self._clock()
+        stats = FleetStats(jobs=len(jobs))
+        reports = {worker: WorkerReport(worker)
+                   for worker in self.workers}
+
+        ring = self._probe_workers(reports, stats)
+        shards = self._prepare(jobs, stats)
+        for shard in shards:
+            shard.worker = ring.assign(shard.model_fp)
+        stats.shards = len(shards)
+
+        ring = self._drive(shards, ring, reports, stats)
+
+        results = self._merge(jobs, shards, stats)
+        stats.wall_time = self._clock() - started
+        stats.engine.wall_time = stats.wall_time
+        stats.workers = tuple(reports[worker]
+                              for worker in self.workers)
+        stats.lost_workers = tuple(
+            report.worker for report in stats.workers if report.lost)
+        return FleetOutcome(results=tuple(results), stats=stats)
+
+    # -- phases ------------------------------------------------------------
+
+    def _probe_workers(self, reports: Dict[str, WorkerReport],
+                       stats: FleetStats) -> HashRing:
+        """Health-probe every worker; the ring holds the live ones."""
+        live = []
+        for worker in self.workers:
+            try:
+                health = self.transport.request(
+                    worker, "GET", "/v1/health",
+                    timeout=self.probe_timeout)
+            except (TransportError, WireError):
+                reports[worker].lost = True
+                continue
+            reports[worker].load = WorkerLoad.from_health(health)
+            live.append(worker)
+        if not live:
+            raise FleetError(
+                f"no live workers among {list(self.workers)}")
+        return HashRing(live, replicas=self.replicas)
+
+    def _prepare(self, jobs: Sequence[AnalysisJob],
+                 stats: FleetStats) -> List[_Shard]:
+        """Jobs to deduplicated, content-addressed shards.
+
+        The shard key is the stable hash of the canonical wire request
+        — the same identity a worker derives for its async job id, so
+        coordinator-side dedup and worker-side coalescing agree by
+        construction.
+        """
+        shards: Dict[str, _Shard] = {}
+        model_fps: Dict[int, str] = {}
+        for index, job in enumerate(jobs):
+            if not job.job_id:
+                job.job_id = f"job-{index:04d}"
+            if job.options is not None:
+                raise FleetError(
+                    f"job {job.job_id!r} carries explicit generation "
+                    "options, which the wire contract does not ship; "
+                    "dispatch it locally or drop the override")
+            model_fp = model_fps.get(id(job.system))
+            if model_fp is None:
+                model_fp = model_fingerprint(job.system)
+                model_fps[id(job.system)] = model_fp
+            request = AnalysisRequest(
+                models=(ModelRef(hash=model_fp),),
+                user=UserSpec.from_profile(job.user),
+                kind=job.kind, params=job.params)
+            payload = request.to_dict()
+            key = stable_hash(["fleet-shard", payload])
+            shard = shards.get(key)
+            if shard is not None:
+                shard.indices.append(index)
+                stats.deduplicated += 1
+                continue
+            shards[key] = _Shard(key, payload, model_fp, job.system,
+                                 index)
+        return list(shards.values())
+
+    def _drive(self, shards: List[_Shard], ring: HashRing,
+               reports: Dict[str, WorkerReport],
+               stats: FleetStats) -> HashRing:
+        """The dispatch/poll loop, until every shard holds a result."""
+        uploaded: set = set()
+        dsl_texts: Dict[str, str] = {}
+        while True:
+            open_shards = [shard for shard in shards
+                           if shard.result is None]
+            if not open_shards:
+                return ring
+            now = self._clock()
+            for shard in open_shards:
+                try:
+                    if shard.job_id is None:
+                        if now >= shard.not_before:
+                            self._dispatch(shard, uploaded, dsl_texts,
+                                           reports)
+                    else:
+                        self._poll(shard, reports, stats)
+                except TransportError:
+                    ring = self._shard_failure(shard, shards, ring,
+                                               reports, stats)
+            if any(shard.result is None for shard in shards):
+                self._sleep(self.poll_interval)
+
+    def _dispatch(self, shard: _Shard, uploaded: set,
+                  dsl_texts: Dict[str, str],
+                  reports: Dict[str, WorkerReport]) -> None:
+        """Upload the shard's model (once per worker) and submit it."""
+        worker = shard.worker
+        if (worker, shard.model_fp) not in uploaded:
+            text = dsl_texts.get(shard.model_fp)
+            if text is None:
+                text = to_dsl(shard.system)
+                dsl_texts[shard.model_fp] = text
+            reply = self.transport.request(
+                worker, "POST", "/v1/models", {"text": text},
+                timeout=self.timeout)
+            if reply.get("model_hash") != shard.model_fp:
+                raise FleetError(
+                    f"worker {worker} hashed the model to "
+                    f"{reply.get('model_hash')!r}, expected "
+                    f"{shard.model_fp!r} — version skew between "
+                    "coordinator and worker")
+            uploaded.add((worker, shard.model_fp))
+        reply = self.transport.request(
+            worker, "POST", "/v1/jobs",
+            {"op": "analyze", "request": shard.request_payload},
+            timeout=self.timeout)
+        shard.job_id = reply["job_id"]
+        shard.deadline = self._clock() + self.timeout
+        reports[worker].dispatched += 1
+
+    def _poll(self, shard: _Shard, reports: Dict[str, WorkerReport],
+              stats: FleetStats) -> None:
+        """One status check of an in-flight shard."""
+        worker = shard.worker
+        try:
+            status = self.transport.request(
+                worker, "GET", f"/v1/jobs/{shard.job_id}",
+                timeout=self.probe_timeout)
+        except WireError as error:
+            if error.code == "not_found":
+                # The worker's bounded job table evicted the record;
+                # identical resubmission is cheap (its result cache
+                # still holds the work).
+                shard.job_id = None
+                return
+            raise
+        if status["status"] == "error":
+            detail = status.get("error") or {}
+            raise FleetError(
+                f"shard {shard.key[:12]} failed on worker {worker}: "
+                f"{detail.get('code', 'error')}: "
+                f"{detail.get('message', '')}")
+        if status["status"] != "done":
+            if self._clock() > shard.deadline:
+                raise TransportError(
+                    worker, f"shard {shard.key[:12]} exceeded its "
+                    f"{self.timeout}s budget")
+            return
+        response = AnalysisResponse.from_dict(status["result"])
+        if len(response.results) != 1:
+            raise FleetError(
+                f"worker {worker} answered {len(response.results)} "
+                "results for a single-job shard")
+        shard.result = response.results[0]
+        reports[worker].completed += 1
+        self._absorb_stats(stats.engine, response)
+
+    @staticmethod
+    def _absorb_stats(merged: EngineStats,
+                      response: AnalysisResponse) -> None:
+        worker_stats = response.stats
+        merged.result_hits += worker_stats.result_hits
+        merged.executed += worker_stats.executed
+        merged.lts_generations += worker_stats.lts_generations
+        merged.lts_reuses += worker_stats.lts_reuses
+
+    def _shard_failure(self, shard: _Shard, shards: List[_Shard],
+                       ring: HashRing,
+                       reports: Dict[str, WorkerReport],
+                       stats: FleetStats) -> HashRing:
+        """Decide retry vs. rebalance after a failed interaction."""
+        worker = shard.worker
+        reports[worker].failures += 1
+        shard.attempts += 1
+        shard.job_id = None
+        if shard.attempts >= self.max_attempts:
+            raise FleetError(
+                f"shard {shard.key[:12]} failed {shard.attempts} "
+                f"dispatch attempts (last worker: {worker})")
+        shard.not_before = self._clock() + min(
+            self.backoff_cap,
+            self.backoff_base * 2 ** (shard.attempts - 1))
+        if self._alive(worker):
+            # Transient: the worker answers health probes, so keep the
+            # placement (its caches already hold this shard's model)
+            # and retry after the backoff.
+            stats.retries += 1
+            return ring
+        reports[worker].lost = True
+        ring = ring.without(worker)
+        if not len(ring):
+            raise FleetError(
+                f"worker {worker} lost and no live workers remain")
+        # Rebalance everything the dead worker held — not just the
+        # shard whose failure exposed it.
+        moved = 0
+        for other in shards:
+            if other.result is None and other.worker == worker:
+                other.worker = ring.assign(other.model_fp)
+                other.job_id = None
+                moved += 1
+        stats.rebalances += moved
+        return ring
+
+    def _alive(self, worker: str) -> bool:
+        try:
+            self.transport.request(worker, "GET", "/v1/health",
+                                   timeout=self.probe_timeout)
+        except (TransportError, WireError):
+            return False
+        return True
+
+    def _merge(self, jobs: Sequence[AnalysisJob],
+               shards: List[_Shard],
+               stats: FleetStats) -> List[JobResult]:
+        """Fan shard results back out to job order, relabelled with
+        the coordinator's display labels (signatures untouched)."""
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        for shard in shards:
+            first, *rest = shard.indices
+            job = jobs[first]
+            assert shard.result is not None
+            results[first] = replace(
+                shard.result, job_id=job.job_id,
+                scenario=job.scenario, family=job.family,
+                variant=job.variant)
+            for index in rest:
+                results[index] = shard.result.relabel(jobs[index])
+        merged = stats.engine
+        merged.backend = "fleet"
+        merged.jobs = len(jobs)
+        merged.deduplicated = stats.deduplicated
+        for job in jobs:
+            merged.by_kind[job.kind] = \
+                merged.by_kind.get(job.kind, 0) + 1
+        return [result for result in results if result is not None]

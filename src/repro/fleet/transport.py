@@ -1,0 +1,231 @@
+"""Transports: how the fleet coordinator reaches a worker.
+
+A :class:`Transport` carries one request/reply exchange of the service
+wire contract (:mod:`repro.service.messages`) to a named worker and
+returns the decoded JSON body. Two implementations:
+
+- :class:`HttpTransport` — real sockets against ``repro serve``
+  instances, workers named ``host:port``;
+- :class:`LoopbackTransport` — in-memory workers
+  (:class:`~repro.service.facade.AnalysisService` instances) routed
+  through the *same* routing table as the HTTP server
+  (:func:`repro.service.http.route_get` / ``route_post``), with every
+  payload round-tripped through ``json`` so anything that would not
+  survive the wire fails here too. Fault injection (:meth:`kill`,
+  :meth:`fail_next`, :meth:`delay`) makes the dispatcher's retry,
+  rebalance and merge logic fully unit-testable without sockets.
+
+Failure taxonomy — the distinction the dispatcher's retry policy is
+built on:
+
+- :class:`TransportError` — the worker could not be reached or did not
+  answer usably (connection refused, timeout, truncated/invalid reply).
+  Retryable: the coordinator re-probes the worker and either retries
+  or rebalances the shard.
+- :class:`WireError` — the worker answered with a structured error
+  payload (HTTP status >= 400). The request itself is at fault; not
+  retryable (except a poll hitting ``not_found`` after job-table
+  eviction, which the dispatcher re-dispatches).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ReproError
+
+
+class TransportError(ReproError):
+    """A worker was unreachable or its reply was unusable."""
+
+    def __init__(self, worker: str, message: str):
+        super().__init__(f"worker {worker}: {message}")
+        self.worker = worker
+
+
+class WireError(ReproError):
+    """A worker answered with a structured error payload."""
+
+    def __init__(self, worker: str, status: int, error: Mapping):
+        code = error.get("code", "error")
+        message = error.get("message", "")
+        super().__init__(
+            f"worker {worker} answered {status} {code}: {message}")
+        self.worker = worker
+        self.status = status
+        self.code = code
+        self.error = dict(error)
+
+
+class Transport:
+    """Protocol of a coordinator-to-worker transport (structural)."""
+
+    def request(self, worker: str, method: str, path: str,
+                payload: Optional[dict] = None,
+                timeout: float = 30.0) -> dict:
+        """One exchange; the decoded JSON reply body.
+
+        Raises :class:`TransportError` when the worker cannot be
+        reached and :class:`WireError` when it answers an error
+        payload.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held connections (optional)."""
+
+
+class HttpTransport(Transport):
+    """Real HTTP against ``repro serve`` workers named ``host:port``."""
+
+    def __init__(self, scheme: str = "http"):
+        self.scheme = scheme
+
+    def request(self, worker: str, method: str, path: str,
+                payload: Optional[dict] = None,
+                timeout: float = 30.0) -> dict:
+        data = json.dumps(payload).encode("utf-8") \
+            if payload is not None else None
+        http_request = urllib.request.Request(
+            f"{self.scheme}://{worker}{path}", data=data,
+            headers={"Content-Type": "application/json"},
+            method=method)
+        try:
+            with urllib.request.urlopen(http_request,
+                                        timeout=timeout) as reply:
+                body = reply.read()
+        except urllib.error.HTTPError as error:
+            # The worker answered; surface its structured error.
+            try:
+                decoded = json.loads(error.read().decode("utf-8"))
+                detail = decoded["error"]
+            except Exception:  # noqa: BLE001 — error-path decode
+                detail = {"code": "http_error", "message": str(error)}
+            raise WireError(worker, error.code, detail) from error
+        except (urllib.error.URLError, socket.timeout,
+                ConnectionError, OSError) as error:
+            raise TransportError(worker, str(error)) from error
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise TransportError(
+                worker, f"reply is not valid JSON: {error}") from error
+
+
+class LoopbackTransport(Transport):
+    """In-memory workers behind the HTTP server's routing table.
+
+    ``workers`` maps worker id to a live
+    :class:`~repro.service.facade.AnalysisService`. Requests JSON
+    round-trip both ways and parse with the wire's path policy, so the
+    dispatcher exercises byte-for-byte the code path a socket would —
+    minus the socket.
+
+    Fault injection, per worker:
+
+    - :meth:`kill` — permanently unreachable (until :meth:`revive`);
+    - :meth:`fail_next` — the next *n* requests raise
+      :class:`TransportError`, then the worker recovers (a transient
+      network drop);
+    - :meth:`fail_after` — healthy for *n* more requests, then
+      permanently dead (a worker lost mid-sweep);
+    - :meth:`delay` — sleep before serving each request (a slow
+      worker; pair with a small dispatcher timeout).
+
+    ``calls`` records every attempted exchange as
+    ``(worker, method, path)`` for test assertions, including ones
+    that failed by injection.
+    """
+
+    def __init__(self, workers: Mapping[str, object]):
+        self.workers = dict(workers)
+        self.calls: List[Tuple[str, str, str]] = []
+        self._dead: Dict[str, bool] = {}
+        self._fail_next: Dict[str, int] = {}
+        self._fail_after: Dict[str, int] = {}
+        self._delay: Dict[str, float] = {}
+        self._sleep: Callable[[float], None] = time.sleep
+
+    # -- fault injection ---------------------------------------------------
+
+    def kill(self, worker: str) -> None:
+        self._dead[worker] = True
+
+    def revive(self, worker: str) -> None:
+        self._dead.pop(worker, None)
+        self._fail_after.pop(worker, None)
+
+    def fail_next(self, worker: str, count: int = 1) -> None:
+        self._fail_next[worker] = count
+
+    def fail_after(self, worker: str, count: int) -> None:
+        self._fail_after[worker] = count
+
+    def delay(self, worker: str, seconds: float) -> None:
+        self._delay[worker] = seconds
+
+    # -- the exchange ------------------------------------------------------
+
+    def request(self, worker: str, method: str, path: str,
+                payload: Optional[dict] = None,
+                timeout: float = 30.0) -> dict:
+        self.calls.append((worker, method, path))
+        service = self.workers.get(worker)
+        if service is None:
+            raise TransportError(worker, "unknown worker")
+        if self._dead.get(worker):
+            raise TransportError(worker, "connection refused (killed)")
+        remaining = self._fail_after.get(worker)
+        if remaining is not None:
+            if remaining <= 0:
+                raise TransportError(
+                    worker, "connection refused (lost mid-sweep)")
+            self._fail_after[worker] = remaining - 1
+        pending = self._fail_next.get(worker, 0)
+        if pending > 0:
+            self._fail_next[worker] = pending - 1
+            raise TransportError(worker, "transient network drop")
+        lag = self._delay.get(worker, 0.0)
+        if lag:
+            self._sleep(lag)
+            if lag > timeout:
+                # The caller's clock ran out first; behave like a
+                # socket timeout (the worker-side effect, if any,
+                # already happened — exactly the at-least-once window
+                # coalescing job ids exist for).
+                raise TransportError(
+                    worker, f"timed out after {timeout}s")
+
+        from ..service.http import route_get, route_post
+        from ..service.messages import ServiceError
+
+        # The wire discipline: only JSON-encodable payloads travel.
+        payload = json.loads(json.dumps(payload)) \
+            if payload is not None else {}
+        try:
+            if method == "GET":
+                status, body = route_get(service, path)
+            elif method == "POST":
+                status, body = route_post(service, path, payload)
+            else:
+                raise TransportError(
+                    worker, f"unsupported method {method!r}")
+        except ServiceError as error:
+            raise WireError(worker, error.http_status,
+                            error.to_dict()["error"]) from error
+        except ReproError as error:
+            # Mirror the HTTP front-end: engine-level input problems
+            # are a structured 400, not a transport fault.
+            raise WireError(worker, 400, {
+                "code": "analysis_error",
+                "message": str(error)}) from error
+        body = json.loads(json.dumps(body))
+        if status >= 400:
+            raise WireError(worker, status,
+                            body.get("error", {"code": "error"}))
+        return body

@@ -60,6 +60,7 @@ from .messages import (
     ServiceError,
     SweepRequest,
     UserSpec,
+    WorkerLoad,
     check_payload,
     result_from_dict,
     result_to_dict,
@@ -87,6 +88,7 @@ __all__ = [
     "ServiceError",
     "SweepRequest",
     "UserSpec",
+    "WorkerLoad",
     "check_payload",
     "result_from_dict",
     "result_to_dict",

@@ -486,11 +486,20 @@ class AnalysisService:
     # -- introspection -----------------------------------------------------
 
     def describe(self) -> dict:
-        """Service health/topology snapshot (the HTTP health body)."""
+        """Service health/topology snapshot (the HTTP health body).
+
+        The ``load`` block is the worker-side half of fleet placement:
+        a dispatcher (:mod:`repro.fleet`) reads in-flight job counts,
+        bounded job-table occupancy and cache hit totals to pick and
+        monitor workers. Every pre-fleet field keeps its exact shape.
+        """
         with self._lock:
-            engine_built = self._engine is not None
+            engine = self._engine
             models = len(self._models)
             jobs = len(self._jobs)
+            in_flight = sum(
+                1 for record in self._jobs.values()
+                if record.status in ("queued", "running"))
         payload = {
             "status": "ok",
             "backend": self._engine_config["backend"],
@@ -500,11 +509,20 @@ class AnalysisService:
             "jobs": jobs,
             "max_jobs": self._max_jobs,
             "engine": None,
+            "load": {
+                "in_flight": in_flight,
+                "job_table": jobs,
+                "max_jobs": self._max_jobs,
+                "occupancy": round(jobs / self._max_jobs, 4),
+                "result_cache_hits":
+                    engine.result_cache.stats.hits if engine else 0,
+                "lts_cache_hits":
+                    engine.lts_cache.stats.hits if engine else 0,
+            },
         }
-        if engine_built:
+        if engine is not None:
             payload["engine"] = {
-                "workers": self.engine.workers,
-                "result_cache":
-                    self.engine.result_cache.stats.describe(),
+                "workers": engine.workers,
+                "result_cache": engine.result_cache.stats.describe(),
             }
         return payload

@@ -59,6 +59,74 @@ _REQUEST_TYPES = {
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
+# -- routing -----------------------------------------------------------------
+#
+# Pure (service, path[, payload]) -> (status, body) functions, shared
+# by the socket handler below and by in-process fronts that must
+# behave exactly like the wire (repro.fleet's LoopbackTransport) —
+# one routing table, no drift.
+
+def route_get(service: AnalysisService,
+              path: str) -> Tuple[int, dict]:
+    """Route one GET; returns ``(status, body)`` or raises a
+    :class:`~repro.service.messages.ServiceError`."""
+    if path == "/v1/health":
+        return 200, service.describe()
+    if path == "/v1/kinds":
+        return 200, {"kinds": service.describe()["kinds"]}
+    if path == "/v1/models":
+        return 200, {"models": list(service.model_hashes())}
+    if path == "/v1/cache/stats":
+        return 200, service.cache_stats().to_dict()
+    if path.startswith("/v1/jobs/"):
+        job_id = path[len("/v1/jobs/"):]
+        return 200, service.job_status(job_id).to_dict()
+    raise NotFoundError(f"no such endpoint: GET {path}")
+
+
+def route_post(service: AnalysisService, path: str,
+               payload: dict) -> Tuple[int, dict]:
+    """Route one POST (body already JSON-decoded); returns
+    ``(status, body)`` or raises a
+    :class:`~repro.service.messages.ServiceError`. Model references
+    parse with ``allow_paths=False`` — this is the wire surface."""
+    if path == "/v1/models":
+        checked = check_payload(
+            payload, {"text": ((str,), True, None)},
+            "model upload")
+        model_hash = service.upload_model(checked["text"])
+        return 201, {"model_hash": model_hash}
+    if path in ("/v1/analyze", "/v1/sweep", "/v1/reanalyze"):
+        op = path[len("/v1/"):]
+        request = _REQUEST_TYPES[op].from_dict(payload,
+                                               allow_paths=False)
+        return 200, getattr(service, op)(request).to_dict()
+    if path == "/v1/jobs":
+        checked = check_payload(payload, {
+            "op": ((str,), True, None),
+            "request": ((dict,), True, None),
+        }, "job submission")
+        op = checked["op"]
+        if op not in OPS:
+            raise RequestError(
+                f"unknown operation {op!r}; one of {OPS}")
+        request = _REQUEST_TYPES[op].from_dict(
+            checked["request"], allow_paths=False)
+        job_id = service.submit(op, request)
+        return 202, service.job_status(job_id).to_dict()
+    if path == "/v1/cache/prune":
+        checked = check_payload(payload, {
+            "max_age_days": ((int, float), False, None),
+            "max_bytes": ((int,), False, None),
+        }, "cache prune")
+        max_age = checked["max_age_days"] * 86400.0 \
+            if checked["max_age_days"] is not None else None
+        return 200, service.prune_cache(
+            max_age=max_age,
+            max_bytes=checked["max_bytes"]).to_dict()
+    raise NotFoundError(f"no such endpoint: POST {path}")
+
+
 class ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
     """Routes the REST surface onto one shared facade instance."""
 
@@ -159,58 +227,10 @@ class ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
         self._dispatch(lambda: self._route_post(self.path))
 
     def _route_get(self, path: str) -> Tuple[int, dict]:
-        service = self.service
-        if path == "/v1/health":
-            return 200, service.describe()
-        if path == "/v1/kinds":
-            return 200, {"kinds": service.describe()["kinds"]}
-        if path == "/v1/models":
-            return 200, {"models": list(service.model_hashes())}
-        if path == "/v1/cache/stats":
-            return 200, service.cache_stats().to_dict()
-        if path.startswith("/v1/jobs/"):
-            job_id = path[len("/v1/jobs/"):]
-            return 200, service.job_status(job_id).to_dict()
-        raise NotFoundError(f"no such endpoint: GET {path}")
+        return route_get(self.service, path)
 
     def _route_post(self, path: str) -> Tuple[int, dict]:
-        service = self.service
-        payload = self._read_json()
-        if path == "/v1/models":
-            checked = check_payload(
-                payload, {"text": ((str,), True, None)},
-                "model upload")
-            model_hash = service.upload_model(checked["text"])
-            return 201, {"model_hash": model_hash}
-        if path in ("/v1/analyze", "/v1/sweep", "/v1/reanalyze"):
-            op = path[len("/v1/"):]
-            request = _REQUEST_TYPES[op].from_dict(payload,
-                                                   allow_paths=False)
-            return 200, getattr(service, op)(request).to_dict()
-        if path == "/v1/jobs":
-            checked = check_payload(payload, {
-                "op": ((str,), True, None),
-                "request": ((dict,), True, None),
-            }, "job submission")
-            op = checked["op"]
-            if op not in OPS:
-                raise RequestError(
-                    f"unknown operation {op!r}; one of {OPS}")
-            request = _REQUEST_TYPES[op].from_dict(
-                checked["request"], allow_paths=False)
-            job_id = service.submit(op, request)
-            return 202, service.job_status(job_id).to_dict()
-        if path == "/v1/cache/prune":
-            checked = check_payload(payload, {
-                "max_age_days": ((int, float), False, None),
-                "max_bytes": ((int,), False, None),
-            }, "cache prune")
-            max_age = checked["max_age_days"] * 86400.0 \
-                if checked["max_age_days"] is not None else None
-            return 200, service.prune_cache(
-                max_age=max_age,
-                max_bytes=checked["max_bytes"]).to_dict()
-        raise NotFoundError(f"no such endpoint: POST {path}")
+        return route_post(self.service, path, self._read_json())
 
 
 def make_server(service: AnalysisService, host: str = "127.0.0.1",

@@ -271,6 +271,27 @@ class UserSpec:
         }
 
     @classmethod
+    def from_profile(cls, profile: UserProfile) -> "UserSpec":
+        """The wire spec of a live profile.
+
+        Exact inverse of :meth:`to_profile` at the analysis level:
+        the rebuilt profile reproduces ``UserProfile.cache_key()``
+        byte-identically (sensitivities flatten to their resolved
+        numeric sigmas), which is what lets a fleet dispatcher ship a
+        locally generated scenario user to a remote worker without
+        forking the job's cache identity.
+        """
+        return cls(
+            name=profile.name,
+            agree=profile.agreed_services,
+            sensitivities=tuple(sorted(
+                (field, profile.sensitivity.sigma(field))
+                for field in profile.sensitivity.fields())),
+            default_sensitivity=profile.sensitivity.default,
+            acceptable=profile.acceptable_risk.value,
+        )
+
+    @classmethod
     def from_dict(cls, payload, where: str = "user") -> "UserSpec":
         checked = check_payload(payload, cls.FIELDS, where)
         sensitivities = []
@@ -687,6 +708,57 @@ class CachePruneResponse:
                            (name, PruneReport(**info))
                            for name, info
                            in checked["stores"].items()))))
+
+
+@dataclass(frozen=True)
+class WorkerLoad:
+    """The placement-relevant slice of a worker's health snapshot.
+
+    Decoded from the ``load`` block of ``GET /v1/health`` (see
+    :meth:`repro.service.facade.AnalysisService.describe`); a fleet
+    dispatcher ranks candidate workers by ``in_flight`` and watches
+    ``occupancy`` for saturation. Absent fields default to zero so a
+    coordinator can still drive a pre-fleet worker.
+    """
+
+    in_flight: int = 0
+    job_table: int = 0
+    max_jobs: int = 0
+    occupancy: float = 0.0
+    result_cache_hits: int = 0
+    lts_cache_hits: int = 0
+
+    FIELDS = {
+        "in_flight": ((int,), False, 0),
+        "job_table": ((int,), False, 0),
+        "max_jobs": ((int,), False, 0),
+        "occupancy": ((int, float), False, 0.0),
+        "result_cache_hits": ((int,), False, 0),
+        "lts_cache_hits": ((int,), False, 0),
+    }
+
+    def to_dict(self) -> dict:
+        return {"in_flight": self.in_flight,
+                "job_table": self.job_table,
+                "max_jobs": self.max_jobs,
+                "occupancy": self.occupancy,
+                "result_cache_hits": self.result_cache_hits,
+                "lts_cache_hits": self.lts_cache_hits}
+
+    @classmethod
+    def from_health(cls, payload) -> "WorkerLoad":
+        """Decode a health body's ``load`` block (tolerating workers
+        that predate it)."""
+        if not isinstance(payload, Mapping):
+            raise RequestError(
+                "health payload: expected a JSON object, got "
+                f"{type(payload).__name__}")
+        load = payload.get("load")
+        if load is None:
+            return cls()
+        checked = check_payload(load, cls.FIELDS, "health load")
+        checked["occupancy"] = float(checked["occupancy"])
+        return cls(**checked)
 
 
 #: Async job lifecycle states, in order.

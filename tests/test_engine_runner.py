@@ -189,3 +189,76 @@ class TestStaleLtsBlobs:
         recovered = engine.run(_jobs(2))
         assert [r.signature() for r in recovered.results] == \
             [r.signature() for r in clean.results]
+
+
+class TestBackendRegistry:
+    """The pluggable backend protocol behind BatchEngine."""
+
+    def test_builtins_are_registered(self):
+        from repro.engine import backend_names
+        assert set(backend_names()) >= {"serial", "thread", "process"}
+
+    def test_backends_constant_tracks_registry(self):
+        import repro.engine as engine_module
+        from repro.engine import backend_names, register_backend
+        assert tuple(engine_module.BACKENDS) == backend_names()
+        from repro.engine.runner import SerialBackend
+        register_backend("registry-probe", SerialBackend)
+        try:
+            assert "registry-probe" in engine_module.BACKENDS
+        finally:
+            from repro.engine.runner import _BACKEND_REGISTRY
+            del _BACKEND_REGISTRY["registry-probe"]
+
+    def test_get_backend_rejects_unknown(self):
+        from repro.engine import get_backend
+        with pytest.raises(ValueError, match="backend must be one"):
+            get_backend("celery")
+
+    def test_engine_accepts_backend_instance(self):
+        from repro.engine import Backend
+
+        class CountingBackend(Backend):
+            """Delegates to serial, counting what it executed."""
+            name = "counting"
+            # Exercise every miss through this backend, even
+            # single-job batches.
+            inline_single = False
+
+            def __init__(self):
+                from repro.engine.runner import SerialBackend
+                self.inner = SerialBackend()
+                self.executed = 0
+
+            def execute(self, prepared, engine):
+                self.executed += len(prepared)
+                yield from self.inner.execute(prepared, engine)
+
+        backend = CountingBackend()
+        engine = BatchEngine(backend=backend)
+        batch = engine.run(_jobs(4))
+        assert batch.stats.backend == "counting"
+        assert backend.executed == 4
+        serial = BatchEngine(backend="serial").run(_jobs(4))
+        assert [r.signature() for r in batch.results] == \
+            [r.signature() for r in serial.results]
+
+    def test_single_job_inlines_unless_opted_out(self):
+        from repro.engine.runner import ThreadBackend
+
+        class RecordingThreadBackend(ThreadBackend):
+            def __init__(self):
+                self.calls = 0
+
+            def execute(self, prepared, engine):
+                self.calls += 1
+                yield from super().execute(prepared, engine)
+
+        backend = RecordingThreadBackend()
+        BatchEngine(backend=backend).run(_jobs(1))
+        # One miss inlines onto the calling thread: pool setup would
+        # cost more than it buys.
+        assert backend.calls == 0
+        backend.inline_single = False
+        BatchEngine(backend=backend).run(_jobs(1))
+        assert backend.calls == 1

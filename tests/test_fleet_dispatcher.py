@@ -1,0 +1,372 @@
+"""Fleet dispatcher: placement, retry, rebalance, merge equivalence.
+
+The acceptance bar throughout: a sweep dispatched across workers —
+including under injected worker loss — produces results whose
+``signature()`` sequence is byte-identical to the same sweep run on a
+single-node :class:`BatchEngine`.
+"""
+
+import json
+
+import pytest
+
+from repro.core import GenerationOptions
+from repro.engine import (
+    AnalysisJob,
+    BatchEngine,
+    ScenarioGenerator,
+    model_fingerprint,
+    scenario_jobs,
+)
+from repro.fleet import (
+    FleetDispatcher,
+    FleetError,
+    HashRing,
+    LoopbackTransport,
+    RemoteQueueBackend,
+    TransportError,
+)
+from repro.service import AnalysisService
+
+
+def make_jobs(count=6, personas=2, seed=7, kinds=("disclosure",)):
+    scenarios = ScenarioGenerator(
+        seed=seed, personas_per_scenario=personas).generate(count)
+    return scenario_jobs(scenarios, kinds=kinds)
+
+
+def single_node_signatures(tmp_path, **kwargs):
+    engine = BatchEngine(cache_dir=str(tmp_path / "single-node"))
+    batch = engine.run(make_jobs(**kwargs))
+    return [result.signature() for result in batch.results]
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    services = {
+        name: AnalysisService(backend="serial",
+                              cache_dir=str(tmp_path / name))
+        for name in ("alpha", "beta", "gamma")
+    }
+    transport = LoopbackTransport(services)
+    yield services, transport
+    for service in services.values():
+        service.close()
+
+
+def make_dispatcher(transport, workers=("alpha", "beta", "gamma"),
+                    **kwargs):
+    kwargs.setdefault("poll_interval", 0.0)
+    kwargs.setdefault("backoff_base", 0.0)
+    kwargs.setdefault("timeout", 30.0)
+    return FleetDispatcher(list(workers), transport, **kwargs)
+
+
+class TestHashRing:
+    def test_assignment_is_deterministic(self):
+        one = HashRing(["a", "b", "c"])
+        two = HashRing(["c", "b", "a"])
+        keys = [f"key-{i}" for i in range(40)]
+        assert [one.assign(k) for k in keys] == \
+            [two.assign(k) for k in keys]
+
+    def test_every_worker_owns_some_keys(self):
+        ring = HashRing(["a", "b", "c"])
+        owners = {ring.assign(f"key-{i}") for i in range(200)}
+        assert owners == {"a", "b", "c"}
+
+    def test_removal_moves_only_the_lost_workers_keys(self):
+        ring = HashRing(["a", "b", "c"])
+        keys = [f"key-{i}" for i in range(200)]
+        before = {k: ring.assign(k) for k in keys}
+        smaller = ring.without("b")
+        assert smaller.workers == ("a", "c")
+        for key in keys:
+            if before[key] != "b":
+                assert smaller.assign(key) == before[key]
+            else:
+                assert smaller.assign(key) in ("a", "c")
+
+    def test_empty_ring_refuses_assignment(self):
+        with pytest.raises(FleetError, match="no live workers"):
+            HashRing([]).assign("key")
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(["a"], replicas=0)
+
+
+class TestDispatchEquivalence:
+    def test_fleet_signatures_match_single_node(self, fleet, tmp_path):
+        services, transport = fleet
+        outcome = make_dispatcher(transport).run(make_jobs())
+        assert list(outcome.signatures()) == \
+            single_node_signatures(tmp_path)
+
+    def test_sweep_entry_point_matches_run(self, fleet, tmp_path):
+        from repro.service.messages import SweepRequest
+        _, transport = fleet
+        request = SweepRequest(count=6, seed=7, personas=2,
+                               kinds=("disclosure",))
+        outcome = make_dispatcher(transport).sweep(request)
+        assert list(outcome.signatures()) == \
+            single_node_signatures(tmp_path)
+
+    def test_mixed_kinds_match_single_node(self, fleet, tmp_path):
+        _, transport = fleet
+        kinds = ("disclosure", "pseudonym")
+        outcome = make_dispatcher(transport).run(
+            make_jobs(kinds=kinds))
+        assert list(outcome.signatures()) == \
+            single_node_signatures(tmp_path, kinds=kinds)
+        assert set(outcome.stats.engine.by_kind) == set(kinds)
+
+    def test_labels_and_order_mirror_the_jobs(self, fleet):
+        _, transport = fleet
+        jobs = make_jobs()
+        outcome = make_dispatcher(transport).run(jobs)
+        assert len(outcome.results) == len(jobs)
+        for job, result in zip(jobs, outcome.results):
+            assert result.job_id == job.job_id
+            assert result.scenario == job.scenario
+            assert result.family == job.family
+            assert result.variant == job.variant
+
+    def test_work_spreads_across_workers(self, fleet):
+        _, transport = fleet
+        outcome = make_dispatcher(transport).run(
+            make_jobs(count=24, personas=1))
+        dispatched = {report.worker: report.dispatched
+                      for report in outcome.stats.workers}
+        assert sum(dispatched.values()) == 24
+        assert sum(1 for n in dispatched.values() if n) >= 2
+
+    def test_duplicate_jobs_dedupe_into_one_shard(self, fleet):
+        _, transport = fleet
+        jobs = make_jobs(count=2, personas=1)
+        clones = list(jobs) + [
+            AnalysisJob(system=job.system, user=job.user,
+                        kind=job.kind, params=job.params,
+                        scenario="clone", family="clone",
+                        variant="clone")
+            for job in jobs
+        ]
+        outcome = make_dispatcher(transport).run(clones)
+        assert outcome.stats.shards == len(jobs)
+        assert outcome.stats.deduplicated == len(jobs)
+        assert outcome.stats.engine.deduplicated == len(jobs)
+        originals = outcome.results[:len(jobs)]
+        duplicates = outcome.results[len(jobs):]
+        for original, duplicate in zip(originals, duplicates):
+            assert duplicate.signature() == original.signature()
+            assert duplicate.from_cache
+            assert duplicate.scenario == "clone"
+
+    def test_outcome_serializes_to_json(self, fleet):
+        _, transport = fleet
+        outcome = make_dispatcher(transport).run(
+            make_jobs(count=2, personas=1))
+        payload = json.loads(json.dumps(outcome.to_dict()))
+        assert payload["fleet"]["jobs"] == 2
+        assert {entry["worker"] for entry in
+                payload["fleet"]["workers"]} == \
+            {"alpha", "beta", "gamma"}
+        assert "describe" not in payload["report"]
+        assert "jobs" in outcome.stats.describe()
+
+    def test_probe_snapshots_worker_load(self, fleet):
+        _, transport = fleet
+        outcome = make_dispatcher(transport).run(
+            make_jobs(count=2, personas=1))
+        for report in outcome.stats.workers:
+            assert report.load is not None
+            assert report.load.max_jobs > 0
+            assert report.load.in_flight == 0
+
+
+class TestFailureHandling:
+    def test_transient_drop_retries_same_worker(self, fleet,
+                                                tmp_path):
+        _, transport = fleet
+        # Fail exactly one job submission, leaving health probes (and
+        # every later exchange) intact — the shard must retry on the
+        # same worker, not rebalance.
+        original = transport.request
+        dropped = []
+
+        def flaky(worker, method, path, payload=None, timeout=30.0):
+            if path == "/v1/jobs" and method == "POST" \
+                    and not dropped:
+                dropped.append(worker)
+                raise TransportError(worker, "transient drop")
+            return original(worker, method, path, payload, timeout)
+
+        transport.request = flaky
+        outcome = make_dispatcher(transport).run(make_jobs())
+        assert dropped
+        assert outcome.stats.retries >= 1
+        assert outcome.stats.rebalances == 0
+        assert outcome.stats.lost_workers == ()
+        assert list(outcome.signatures()) == \
+            single_node_signatures(tmp_path)
+
+    def test_worker_lost_mid_sweep_rebalances(self, fleet, tmp_path):
+        _, transport = fleet
+        # Pick a worker that will certainly own shards (the ring is
+        # deterministic), keep it healthy through its probe plus a
+        # few exchanges, then kill it for good: the dispatcher must
+        # declare it lost, rebalance its shards onto the survivors
+        # and still merge a full report.
+        jobs = make_jobs()
+        ring = HashRing(["alpha", "beta", "gamma"])
+        owners = {ring.assign(model_fingerprint(job.system))
+                  for job in jobs}
+        victim = sorted(owners)[0]
+        transport.fail_after(victim, 5)
+        outcome = make_dispatcher(transport, max_attempts=6).run(jobs)
+        assert victim in outcome.stats.lost_workers
+        lost = next(report for report in outcome.stats.workers
+                    if report.worker == victim)
+        assert lost.lost
+        assert outcome.stats.rebalances >= 1
+        assert list(outcome.signatures()) == \
+            single_node_signatures(tmp_path)
+
+    def test_worker_dead_at_probe_is_excluded(self, fleet, tmp_path):
+        _, transport = fleet
+        transport.kill("gamma")
+        outcome = make_dispatcher(transport).run(make_jobs())
+        assert "gamma" in outcome.stats.lost_workers
+        gamma = next(report for report in outcome.stats.workers
+                     if report.worker == "gamma")
+        assert gamma.dispatched == 0
+        assert list(outcome.signatures()) == \
+            single_node_signatures(tmp_path)
+
+    def test_all_workers_dead_raises(self, fleet):
+        _, transport = fleet
+        for worker in ("alpha", "beta", "gamma"):
+            transport.kill(worker)
+        with pytest.raises(FleetError, match="no live workers"):
+            make_dispatcher(transport).run(make_jobs(count=1,
+                                                     personas=1))
+
+    def test_every_worker_lost_mid_sweep_raises(self, fleet):
+        _, transport = fleet
+        transport.fail_after("alpha", 2)
+        transport.fail_after("beta", 2)
+        transport.fail_after("gamma", 2)
+        with pytest.raises(FleetError):
+            make_dispatcher(transport, max_attempts=10).run(
+                make_jobs())
+
+    def test_shard_attempts_are_capped(self, fleet):
+        _, transport = fleet
+        dispatcher = make_dispatcher(
+            transport, workers=("alpha",), max_attempts=2)
+        # Probe passes, every dispatch fails, health re-probes pass:
+        # the shard burns its attempts on one live-but-flaky worker.
+        jobs = make_jobs(count=1, personas=1)
+        original = transport.request
+
+        def flaky(worker, method, path, payload=None, timeout=30.0):
+            if path in ("/v1/models", "/v1/jobs"):
+                raise TransportError(worker, "flaky dispatch")
+            return original(worker, method, path, payload, timeout)
+
+        transport.request = flaky
+        with pytest.raises(FleetError, match="dispatch attempts"):
+            dispatcher.run(jobs)
+
+    def test_analysis_error_fails_fast(self, fleet):
+        _, transport = fleet
+        jobs = make_jobs(count=1, personas=1)
+        bad = AnalysisJob(system=jobs[0].system, user=jobs[0].user,
+                          kind="consent_change",
+                          params={"withdraw": ["NoSuchService"]})
+        with pytest.raises(FleetError, match="failed on worker"):
+            make_dispatcher(transport).run([bad])
+
+    def test_explicit_generation_options_are_refused(self, fleet):
+        _, transport = fleet
+        job = make_jobs(count=1, personas=1)[0]
+        wired = AnalysisJob(system=job.system, user=job.user,
+                            options=GenerationOptions(),
+                            kind=job.kind)
+        with pytest.raises(FleetError, match="generation options"):
+            make_dispatcher(transport).run([wired])
+
+    def test_evicted_job_is_redispatched(self, fleet, tmp_path):
+        # A worker with a one-slot job table evicts finished records
+        # almost immediately; the dispatcher's not_found handling must
+        # resubmit (cheap — the worker's result cache is warm) rather
+        # than fail the shard.
+        service = AnalysisService(backend="serial",
+                                  cache_dir=str(tmp_path / "tiny"),
+                                  max_jobs=1)
+        transport = LoopbackTransport({"tiny": service})
+        try:
+            outcome = make_dispatcher(
+                transport, workers=("tiny",)).run(make_jobs())
+            assert list(outcome.signatures()) == \
+                single_node_signatures(tmp_path)
+        finally:
+            service.close()
+
+
+class TestRemoteQueueBackend:
+    def test_engine_runs_misses_on_the_fleet(self, fleet, tmp_path):
+        _, transport = fleet
+        backend = RemoteQueueBackend(make_dispatcher(transport))
+        engine = BatchEngine(backend=backend,
+                             cache_dir=str(tmp_path / "coord"))
+        batch = engine.run(make_jobs())
+        assert batch.stats.backend == "fleet"
+        assert batch.stats.executed == len(batch.results)
+        assert [r.signature() for r in batch.results] == \
+            single_node_signatures(tmp_path)
+        assert backend.last_outcome is not None
+
+    def test_second_run_is_all_coordinator_cache_hits(self, fleet,
+                                                      tmp_path):
+        _, transport = fleet
+        backend = RemoteQueueBackend(make_dispatcher(transport))
+        engine = BatchEngine(backend=backend,
+                             cache_dir=str(tmp_path / "coord"))
+        engine.run(make_jobs())
+        calls_after_first = len(transport.calls)
+        again = engine.run(make_jobs())
+        assert again.stats.result_hits == len(again.results)
+        assert again.stats.executed == 0
+        assert len(transport.calls) == calls_after_first
+
+    def test_single_miss_still_dispatches_remotely(self, fleet,
+                                                   tmp_path):
+        _, transport = fleet
+        backend = RemoteQueueBackend(make_dispatcher(transport))
+        engine = BatchEngine(backend=backend,
+                             cache_dir=str(tmp_path / "coord"))
+        batch = engine.run(make_jobs(count=1, personas=1))
+        assert batch.stats.executed == 1
+        assert any(path == "/v1/jobs" for _, _, path
+                   in transport.calls)
+
+    def test_fingerprint_skew_is_detected(self, fleet, tmp_path):
+        from dataclasses import replace
+
+        _, transport = fleet
+
+        class SkewedDispatcher(FleetDispatcher):
+            def run(self, jobs):
+                outcome = super().run(jobs)
+                poisoned = tuple(
+                    replace(result, fingerprint="f" * 64)
+                    for result in outcome.results)
+                return replace(outcome, results=poisoned)
+
+        backend = RemoteQueueBackend(SkewedDispatcher(
+            ["alpha"], transport, poll_interval=0.0))
+        engine = BatchEngine(backend=backend,
+                             cache_dir=str(tmp_path / "coord"))
+        with pytest.raises(FleetError, match="version skew"):
+            engine.run(make_jobs(count=1, personas=1))

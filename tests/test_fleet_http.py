@@ -1,0 +1,106 @@
+"""Fleet dispatch over real sockets: HttpTransport against live
+``repro serve`` servers must merge byte-identically to a single-node
+run — the same bar the loopback tests hold."""
+
+import threading
+
+import pytest
+
+from repro.engine import BatchEngine, ScenarioGenerator, scenario_jobs
+from repro.fleet import (
+    FleetDispatcher,
+    HttpTransport,
+    TransportError,
+    WireError,
+)
+from repro.service import AnalysisService, make_server
+
+
+@pytest.fixture
+def http_fleet(tmp_path):
+    """Two live threaded servers; yields their worker addresses."""
+    services, servers, threads = [], [], []
+    for index in range(2):
+        service = AnalysisService(
+            backend="serial",
+            cache_dir=str(tmp_path / f"worker{index}"))
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        services.append(service)
+        servers.append(httpd)
+        threads.append(thread)
+    workers = [f"127.0.0.1:{httpd.server_address[1]}"
+               for httpd in servers]
+    yield workers
+    for httpd in servers:
+        httpd.shutdown()
+        httpd.server_close()
+    for service in services:
+        service.close()
+    for thread in threads:
+        thread.join(timeout=5)
+
+
+def make_jobs():
+    scenarios = ScenarioGenerator(
+        seed=11, personas_per_scenario=2).generate(4)
+    return scenario_jobs(scenarios)
+
+
+def test_http_fleet_matches_single_node(http_fleet, tmp_path):
+    engine = BatchEngine(cache_dir=str(tmp_path / "single-node"))
+    expected = [result.signature()
+                for result in engine.run(make_jobs()).results]
+
+    transport = HttpTransport()
+    dispatcher = FleetDispatcher(http_fleet, transport,
+                                 poll_interval=0.005)
+    outcome = dispatcher.run(make_jobs())
+    assert list(outcome.signatures()) == expected
+    assert outcome.stats.lost_workers == ()
+    assert sum(report.dispatched
+               for report in outcome.stats.workers) == len(expected)
+
+
+def test_http_probe_reads_worker_load(http_fleet):
+    transport = HttpTransport()
+    dispatcher = FleetDispatcher(http_fleet, transport)
+    outcome = dispatcher.run(make_jobs()[:2])
+    for report in outcome.stats.workers:
+        assert report.load is not None
+        assert report.load.max_jobs == 256
+        assert report.load.occupancy >= 0.0
+
+
+def test_http_dead_worker_at_probe_is_excluded(http_fleet, tmp_path):
+    engine = BatchEngine(cache_dir=str(tmp_path / "single-node"))
+    expected = [result.signature()
+                for result in engine.run(make_jobs()).results]
+
+    # One live worker plus one address nothing listens on: the dead
+    # one is excluded at probe time and the sweep still completes.
+    workers = [http_fleet[0], "127.0.0.1:1"]
+    dispatcher = FleetDispatcher(workers, HttpTransport(),
+                                 probe_timeout=2.0,
+                                 poll_interval=0.005)
+    outcome = dispatcher.run(make_jobs())
+    assert list(outcome.signatures()) == expected
+    assert "127.0.0.1:1" in outcome.stats.lost_workers
+
+
+def test_http_transport_maps_failures():
+    transport = HttpTransport()
+    # Nothing listens here: a transport-level failure.
+    with pytest.raises(TransportError):
+        transport.request("127.0.0.1:1", "GET", "/v1/health",
+                          timeout=2.0)
+
+
+def test_http_transport_surfaces_wire_errors(http_fleet):
+    transport = HttpTransport()
+    with pytest.raises(WireError) as excinfo:
+        transport.request(http_fleet[0], "GET", "/v1/nonsense")
+    assert excinfo.value.status == 404
+    assert excinfo.value.code == "not_found"

@@ -304,3 +304,49 @@ class TestIntrospection:
         status, listed = call(base, "/v1/models", method="GET")
         assert status == 200
         assert listed["models"] == [body["model_hash"]]
+
+    def test_health_reports_worker_load(self, server):
+        base, service = server
+        status, health = call(base, "/v1/health")
+        assert status == 200
+        load = health["load"]
+        assert load["in_flight"] == 0
+        assert load["job_table"] == 0
+        assert load["max_jobs"] == 256
+        assert load["occupancy"] == 0.0
+        assert load["result_cache_hits"] == 0
+        assert load["lts_cache_hits"] == 0
+        # A decoded WorkerLoad mirrors the wire payload.
+        from repro.service import WorkerLoad
+        decoded = WorkerLoad.from_health(health)
+        assert decoded.to_dict() == load
+
+    def test_health_load_counts_jobs_and_hits(self, server):
+        base, _ = server
+        _, body = call(base, "/v1/models", {"text": MODEL})
+        request = {"models": [{"hash": body["model_hash"]}],
+                   "user": USER}
+        call(base, "/v1/analyze", request)
+        call(base, "/v1/analyze", request)  # result-cache hit
+        status, submitted = call(
+            base, "/v1/jobs", {"op": "analyze", "request": request})
+        assert status == 202
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            _, job = call(base,
+                          f"/v1/jobs/{submitted['job_id']}")
+            if job["status"] in ("done", "error"):
+                break
+            time.sleep(0.02)
+        _, health = call(base, "/v1/health")
+        load = health["load"]
+        assert load["job_table"] == 1
+        assert load["occupancy"] == pytest.approx(1 / 256, abs=1e-4)
+        assert load["result_cache_hits"] >= 1
+
+    def test_worker_load_tolerates_legacy_health(self):
+        # A pre-load-block health payload decodes to idle defaults.
+        from repro.service import WorkerLoad
+        legacy = WorkerLoad.from_health({"status": "ok"})
+        assert legacy.in_flight == 0
+        assert legacy.max_jobs == 0
