@@ -12,13 +12,23 @@ scenario sweep is run three ways:
 The smoke bars are correctness-shaped, not timing-shaped (CI machines
 are noisy): both fleet runs must produce ``signature()`` sequences
 byte-identical to the single-node run, and the lossy run must report
-the injected loss. Timing (and the fleet-vs-single speedup) is
-reported informationally into ``BENCH_fleet.json``.
+the injected loss. Timing goes informationally into
+``BENCH_fleet.json`` as a **dispatch overhead** ratio
+(fleet wall-clock / single-node wall-clock), not a "speedup": the
+loopback workers are threads of one GIL-bound process, so wall-clock
+parity is this harness's ceiling by construction — a sub-1x "speedup"
+said nothing about fleet scaling, only about the harness. Real
+scaling needs the HTTP transport with workers in separate processes.
+The old 16-job default made even the overhead number misleading
+(per-job cost was mostly dispatch); the CI smoke now runs a larger
+sweep (``--jobs``, default 48) where per-job overhead amortises, and
+the record carries ``overhead_ms_per_job`` so runs are comparable
+across sweep sizes.
 
 Run under pytest for assertions, or standalone for the CI smoke
 check::
 
-    PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick --jobs 48
 """
 
 from __future__ import annotations
@@ -37,19 +47,24 @@ from repro.service import AnalysisService
 COUNT = 8
 PERSONAS = 2
 SEED = 23
+#: Default sweep size of the --quick smoke (``--jobs`` overrides).
+#: Large enough that worker parallelism beats dispatch overhead.
+QUICK_JOBS = 48
 BENCH_JSON = "BENCH_fleet.json"
 
 
-def make_jobs():
+def make_jobs(jobs: int = COUNT * PERSONAS):
     scenarios = ScenarioGenerator(
-        seed=SEED, personas_per_scenario=PERSONAS).generate(COUNT)
+        seed=SEED, personas_per_scenario=PERSONAS).generate(
+            max(1, jobs // PERSONAS))
     return scenario_jobs(scenarios)
 
 
 class FleetFixture:
     """Two loopback workers plus a single-node reference engine."""
 
-    def __init__(self):
+    def __init__(self, jobs: int = COUNT * PERSONAS):
+        self.jobs = jobs
         self._tmp = tempfile.TemporaryDirectory(prefix="bench-fleet-")
         root = self._tmp.name
         self.engine = BatchEngine(cache_dir=f"{root}/single")
@@ -66,7 +81,7 @@ class FleetFixture:
 
     def run_single(self):
         started = time.perf_counter()
-        batch = self.engine.run(make_jobs())
+        batch = self.engine.run(make_jobs(self.jobs))
         seconds = time.perf_counter() - started
         return seconds, [r.signature() for r in batch.results]
 
@@ -79,7 +94,7 @@ class FleetFixture:
         dispatcher = self.dispatcher(
             transport, max_attempts=6, backoff_base=0.0)
         started = time.perf_counter()
-        outcome = dispatcher.run(make_jobs())
+        outcome = dispatcher.run(make_jobs(self.jobs))
         seconds = time.perf_counter() - started
         return seconds, outcome
 
@@ -114,10 +129,10 @@ def test_lossy_fleet_still_matches_single_node(fixture):
     assert outcome.stats.rebalances >= 1
 
 
-def _quick_smoke() -> int:
+def _quick_smoke(jobs: int = QUICK_JOBS) -> int:
     """Standalone CI smoke: signature equality for the clean and
     lossy fleet runs; emit BENCH_fleet.json."""
-    fixture = FleetFixture()
+    fixture = FleetFixture(jobs=jobs)
     failures = []
     try:
         single_seconds, expected = fixture.run_single()
@@ -146,8 +161,14 @@ def _quick_smoke() -> int:
             "single_node": {"seconds": round(single_seconds, 4)},
             "fleet": {
                 "seconds": round(fleet_seconds, 4),
-                "speedup": round(
-                    single_seconds / max(fleet_seconds, 1e-9), 2),
+                # Loopback workers share one GIL-bound process, so the
+                # honest timing metric is coordination overhead, not a
+                # speedup (parity is the ceiling here by construction).
+                "dispatch_overhead": round(
+                    fleet_seconds / max(single_seconds, 1e-9), 2),
+                "overhead_ms_per_job": round(
+                    (fleet_seconds - single_seconds) * 1000.0
+                    / max(jobs, 1), 3),
                 "stats": outcome.stats.to_dict(),
             },
             "lossy_fleet": {
@@ -169,5 +190,8 @@ def _quick_smoke() -> int:
 
 if __name__ == "__main__":
     if "--quick" in sys.argv:
-        sys.exit(_quick_smoke())
+        jobs = QUICK_JOBS
+        if "--jobs" in sys.argv:
+            jobs = int(sys.argv[sys.argv.index("--jobs") + 1])
+        sys.exit(_quick_smoke(jobs=jobs))
     sys.exit(pytest.main([__file__, "-q"]))

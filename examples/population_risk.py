@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Population risk at scale: a 100k-user sweep with decomposable
+privacy-score breakdowns.
+
+The paper means the analysis to run "with running users of the system,
+or with simulated users in the development phase". This example runs
+the development-phase version at production scale: 100,000 simulated
+Westin-persona users swept through the vectorized batch evaluator in
+one pass, then the same model scored per-field (semantic sensitivity,
+uniqueness, linkability) under two different weight policies.
+
+Run with ``PYTHONPATH=src python examples/population_risk.py``.
+"""
+
+import time
+
+from repro.casestudies import build_surgery_system
+from repro.consent import simulate_users
+from repro.core.risk import (
+    RiskLevel,
+    ScoreWeights,
+    analyse_population,
+)
+
+POPULATION = 100_000
+
+
+def main():
+    system = build_surgery_system()
+    schema = system.schemas["EHRSchema"]
+    users = simulate_users(POPULATION, list(schema),
+                           list(system.services), seed=41)
+
+    # -- One batch pass over 100k users --------------------------------
+    started = time.perf_counter()
+    report = analyse_population(system, users)
+    seconds = time.perf_counter() - started
+
+    print(f"=== {POPULATION:,} users in one vectorized pass ===")
+    print(f"analysed {report.analysed_count:,}, "
+          f"skipped (no consent) {len(report.skipped):,} "
+          f"in {seconds:.2f}s "
+          f"({POPULATION / seconds:,.0f} users/s)")
+    print(report.summary_table())
+    print(f"users facing unacceptable risk: "
+          f"{report.unacceptable_fraction:.1%}")
+    at_risk = report.users_at_or_above(RiskLevel.MEDIUM)
+    print(f"users at MEDIUM or above: {len(at_risk):,}")
+    print()
+
+    print("hot spots (actor, field) -> affected users:")
+    spots = sorted(report.hot_spots().items(),
+                   key=lambda item: (-item[1], item[0]))
+    for (actor, field), count in spots[:5]:
+        print(f"  {actor:15s} {field:18s} {count:,}")
+    print()
+
+    # -- The decomposable privacy score ---------------------------------
+    # Every population report carries per-field sub-scores; the default
+    # policy privileges what a field *is* (semantic 0.5) over how
+    # unusual its values are (uniqueness 0.3) and how far the access
+    # policy lets it travel (linkability 0.2).
+    print("=== per-field privacy scores (default weights) ===")
+    print(report.score_table())
+    print(f"model composite: {report.composite_score:.3f}")
+    print()
+
+    # -- A different deployment, a different policy ---------------------
+    # A regulator auditing data-sharing agreements cares about reach,
+    # not semantics: weight linkability up and re-run. Outcomes and
+    # histograms are identical (weights only touch the score); the
+    # ranking of fields changes.
+    audit = ScoreWeights(semantic=0.1, uniqueness=0.2,
+                        linkability=0.7)
+    audited = analyse_population(system, users, weights=audit)
+    assert audited.level_histogram() == report.level_histogram()
+
+    print("=== same population, linkability-weighted audit policy ===")
+    ranked = sorted(audited.field_scores,
+                    key=lambda score: -score.composite)
+    for score in ranked[:3]:
+        print(f"  {score.field:18s} composite {score.composite:.3f} "
+              f"(linkability {score.linkability:.2f})")
+    print(f"model composite under audit weights: "
+          f"{audited.composite_score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

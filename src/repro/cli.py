@@ -189,25 +189,81 @@ def _service(args):
                            cache_dir=args.cache_dir)
 
 
-def _consent_params(args) -> Optional[dict]:
-    """The consent_change job params, or None for every other kind.
+def _parse_score_weights(pairs: List[str]) -> dict:
+    weights = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise ValueError(
+                f"--score-weight expects name=value, got {pair!r}")
+        try:
+            weights[name] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"--score-weight value for {name!r} must be a "
+                f"number, got {value!r}") from None
+    return weights
 
-    Only consent_change reads them, and params enter the cache
-    identity — attaching them to other kinds would silently fork the
-    cache; naming them there is a usage error instead.
+
+def _kind_params(args) -> Optional[dict]:
+    """The job params of the requested kind, or None without any.
+
+    Params enter the cache identity, and each kind reads only its
+    own — attaching consent-change or population params to another
+    kind would silently fork the cache; naming them there is a usage
+    error instead.
     """
     change = {}
     if getattr(args, "change_agree", None):
         change["agree"] = list(args.change_agree)
     if getattr(args, "change_withdraw", None):
         change["withdraw"] = list(args.change_withdraw)
-    if not change:
-        return None
-    if args.kind != "consent_change":
+    if change and args.kind != "consent_change":
         raise ValueError(
             "--change-agree/--change-withdraw only apply to "
             f"--kind consent_change (got --kind {args.kind})")
-    return change
+
+    population = {}
+    if getattr(args, "population_count", None) is not None:
+        population["count"] = args.population_count
+    if getattr(args, "population_seed", None) is not None:
+        population["seed"] = args.population_seed
+    if getattr(args, "score_weight", None):
+        population["weights"] = _parse_score_weights(
+            args.score_weight)
+    if population and args.kind != "population":
+        raise ValueError(
+            "--population-count/--population-seed/--score-weight "
+            f"only apply to --kind population (got --kind "
+            f"{args.kind})")
+
+    return change or population or None
+
+
+def _print_population_breakdown(result) -> None:
+    """Human-readable population verdict + privacy-score breakdown."""
+    from .service import population_breakdown
+    breakdown = population_breakdown(result)
+    histogram = ", ".join(
+        f"{level}={count}"
+        for level, count in breakdown["histogram"].items() if count)
+    print(f"  population: {breakdown['analysed']} analysed, "
+          f"{breakdown['skipped']} skipped; "
+          f"unacceptable {breakdown['unacceptable_fraction']:.1%}; "
+          f"{histogram or 'no analysed users'}")
+    weights = ", ".join(f"{name}={weight:g}" for name, weight
+                        in breakdown["score_weights"].items())
+    print(f"  privacy score: {breakdown['privacy_score']:.3f} "
+          f"(weights: {weights})")
+    for score in breakdown["field_scores"]:
+        print(f"    {score['field']}: composite "
+              f"{score['composite']:.3f} "
+              f"(semantic {score['semantic']:.2f}, "
+              f"uniqueness {score['uniqueness']:.2f}, "
+              f"linkability {score['linkability']:.2f})")
+    for spot in breakdown["hot_spots"]:
+        print(f"    hot spot: {spot['actor']} -> {spot['field']} "
+              f"({spot['users']} users)")
 
 
 def _print_json(payload) -> None:
@@ -230,7 +286,7 @@ def _cmd_engine_run(args) -> int:
         models=tuple(ModelRef(path=path, label=path)
                      for path in args.models),
         user=_user_spec(args), kind=args.kind,
-        params=_consent_params(args))
+        params=_kind_params(args))
     response = _service(args).analyze(request)
     if args.json:
         _print_json(response.to_dict())
@@ -241,6 +297,8 @@ def _cmd_engine_run(args) -> int:
                   f"{result.max_level}{cached} — "
                   f"{len(result.events)} event(s), "
                   f"{result.states} states")
+            if result.kind == "population":
+                _print_population_breakdown(result)
         print(response.stats.describe())
         print(f"result cache: {response.result_cache.describe()}")
     return _gate(response.max_level, args.fail_at)
@@ -276,7 +334,7 @@ def _cmd_engine_reanalyze(args) -> int:
         before=ModelRef(path=args.before, label=args.before),
         after=ModelRef(path=args.after, label=args.after),
         user=_user_spec(args), kind=args.kind,
-        params=_consent_params(args))
+        params=_kind_params(args))
     response = _service(args).reanalyze(request)
     if args.json:
         _print_json(response.to_dict())
@@ -475,6 +533,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="consent_change kind: services the "
                               "what-if withdraws from (default: the "
                               "first agreed service)")
+        sub.add_argument("--population-count", type=int, default=None,
+                         metavar="N",
+                         help="population kind: simulated population "
+                              "size (default 24)")
+        sub.add_argument("--population-seed", type=int, default=None,
+                         metavar="SEED",
+                         help="population kind: persona stream seed "
+                              "(default 0)")
+        sub.add_argument("--score-weight", nargs="*", default=[],
+                         metavar="NAME=VALUE",
+                         help="population kind: composite "
+                              "privacy-score weights (names: "
+                              "semantic, uniqueness, linkability)")
         sub.add_argument("--fail-at", default="high",
                          choices=["low", "medium", "high"],
                          help="exit 1 when any result reaches this "

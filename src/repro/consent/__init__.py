@@ -1,6 +1,7 @@
 """User model: consents, sensitivities, questionnaires, Westin personas."""
 
 from .personas import (
+    ConsentMaskCompiler,
     FUNDAMENTALIST,
     PRAGMATIST,
     Persona,
@@ -18,6 +19,7 @@ from .questionnaire import (
 from .user import UserProfile
 
 __all__ = [
+    "ConsentMaskCompiler",
     "FUNDAMENTALIST",
     "PRAGMATIST",
     "Persona",

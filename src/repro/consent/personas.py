@@ -11,14 +11,16 @@ into three groups, which we encode as sensitivity-generating personas:
 - **unconcerned** (~18%): low sensitivity everywhere.
 
 :func:`simulate_users` draws a deterministic population (seeded PRNG)
-for design-phase sweeps.
+for design-phase sweeps, and :class:`ConsentMaskCompiler` compiles the
+drawn consents into the packed-integer pair masks the vectorized
+population evaluator batches over.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from ..schema import DataSchema, FieldKind
 from .user import UserProfile
@@ -139,3 +141,61 @@ def simulate_users(count: int, schema_fields: Sequence,
             f"user-{index:04d}[{chosen.name}]", chosen,
             schema_fields, services, rng))
     return users
+
+
+class ConsentMaskCompiler:
+    """Bulk consent → packed (actor, field) pair-bit masks.
+
+    The vectorized population evaluator represents each user's consent
+    state as one big integer over the registry's dense (actor, field)
+    pair index space (actor-major, the same index space the generator's
+    ``StateCodec`` packs holdings into): bit ``actor_idx * n_fields +
+    field_idx`` is set when the actor is **non-allowed** for that
+    consent set — i.e. when sigma(d, a) counts. AND-ing a transition's
+    disclosure pair mask against a consent mask therefore leaves
+    exactly the pairs whose sensitivities drive that user's impact.
+
+    Masks are memoised per agreed-service tuple, so a Westin population
+    with a handful of distinct consent combinations compiles a handful
+    of masks, not one per user.
+    """
+
+    def __init__(self, system, registry):
+        self.system = system
+        self.registry = registry
+        self._n_fields = len(registry.fields)
+        self._block = (1 << self._n_fields) - 1
+        self._cache: Dict[Tuple[str, ...], int] = {}
+
+    def non_allowed_mask(self, agreed_services: Sequence[str]) -> int:
+        """The pair mask of actors outside every agreed service.
+
+        Whole actor blocks are set at once: an actor is allowed or not
+        uniformly across fields (section III.A's actor classification).
+        """
+        key = tuple(agreed_services)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        allowed = self.system.allowed_actors(key)
+        mask = 0
+        for index, actor in enumerate(self.registry.actors):
+            if actor not in allowed:
+                mask |= self._block << (index * self._n_fields)
+        self._cache[key] = mask
+        return mask
+
+    def compile(self, users: Iterable[UserProfile]) -> List[int]:
+        """One consent mask row per user, in input order."""
+        return [self.non_allowed_mask(user.agreed_services)
+                for user in users]
+
+    def project_fields(self, pair_mask: int) -> int:
+        """Collapse a pair mask to its field mask (OR of actor blocks)."""
+        fields = 0
+        block = self._block
+        shift = self._n_fields
+        while pair_mask:
+            fields |= pair_mask & block
+            pair_mask >>= shift
+        return fields

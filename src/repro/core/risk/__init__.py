@@ -22,6 +22,7 @@ from .population import (
     PopulationAnalyzer,
     PopulationReport,
     UserOutcome,
+    VectorizedPopulationAnalyzer,
     analyse_population,
 )
 from .pseudonym import PseudonymisationRisk, PseudonymisationRiskAnalyzer
@@ -31,6 +32,12 @@ from .reidentify import (
     annotate_reidentification,
 )
 from .report import DisclosureRiskReport, RiskAnnotation, RiskEvent
+from .scores import (
+    FieldScore,
+    ScoreWeights,
+    composite_score,
+    score_fields,
+)
 from .sensitivity import (
     SensitivityCategory,
     SensitivityProfile,
@@ -64,7 +71,12 @@ __all__ = [
     "PopulationAnalyzer",
     "PopulationReport",
     "UserOutcome",
+    "VectorizedPopulationAnalyzer",
     "analyse_population",
+    "FieldScore",
+    "ScoreWeights",
+    "composite_score",
+    "score_fields",
     "PseudonymisationRisk",
     "PseudonymisationRiskAnalyzer",
     "ReidentificationAnnotator",

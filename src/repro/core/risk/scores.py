@@ -1,0 +1,245 @@
+"""Decomposable per-field privacy scores (the LPS-style composite).
+
+Wagner & Boiten's survey ("Privacy Risk Assessment: From Art to
+Science, By Metrics") argues a privacy score is only auditable when it
+decomposes into named sub-metrics with explicit weights. This module
+scores every personal field of a :class:`~repro.dfd.model.SystemModel`
+along three such sub-metrics, each normalised to [0, 1]:
+
+- **semantic** sensitivity — how intrinsically revealing the field is,
+  derived from its :class:`~repro.schema.FieldKind` taxonomy entry
+  (identifiers score highest, regular payload lowest); pseudonymised
+  variants are dampened because the direct identifier link is severed.
+- **uniqueness** (rarity) — how re-identifying the field's *values*
+  are. With a population of released records configured, this is the
+  ``1/k`` proxy over the field's k-anonymity (``k`` = the smallest
+  equivalence-class size from :mod:`repro.anonymize.kanonymity`);
+  without records it falls back to kind-based priors.
+- **linkability** — how widely the access policy lets the field
+  travel: the fraction of system actors with read permission on some
+  datastore holding it.
+
+The composite is the weight-normalised sum under a policy-controlled
+:class:`ScoreWeights`, so two deployments can rank the same model
+differently — and the per-sub-score breakdown always travels with the
+composite (see ``PopulationReport.field_scores``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Mapping, NamedTuple, Optional, Sequence,
+                    Tuple)
+
+from ...errors import AnalysisError
+from ...schema import Field, FieldKind, is_anon_name
+
+#: Semantic sensitivity prior per field kind: what disclosure of the
+#: field *means*, independent of any concrete population.
+SEMANTIC_BY_KIND = {
+    FieldKind.IDENTIFIER: 1.0,
+    FieldKind.SENSITIVE: 0.9,
+    FieldKind.QUASI_IDENTIFIER: 0.7,
+    FieldKind.REGULAR: 0.2,
+}
+
+#: Uniqueness prior per field kind, used when no record population is
+#: configured to measure the 1/k proxy against.
+UNIQUENESS_BY_KIND = {
+    FieldKind.IDENTIFIER: 1.0,
+    FieldKind.QUASI_IDENTIFIER: 0.6,
+    FieldKind.SENSITIVE: 0.4,
+    FieldKind.REGULAR: 0.1,
+}
+
+#: Pseudonymised variants keep their original's kind but sever the
+#: direct identity link, so their semantic/uniqueness scores halve.
+ANON_DAMPING = 0.5
+
+_WEIGHT_NAMES = ("linkability", "semantic", "uniqueness")
+
+
+@dataclass(frozen=True)
+class ScoreWeights:
+    """Policy-controlled weights of the composite privacy score.
+
+    Weights are non-negative with a positive sum; the composite
+    normalises by the sum, so ``(1, 0, 0)`` and ``(2, 0, 0)`` are the
+    same policy. The defaults privilege what the field *is* over how
+    it spreads: semantic 0.5, uniqueness 0.3, linkability 0.2.
+    """
+
+    semantic: float = 0.5
+    uniqueness: float = 0.3
+    linkability: float = 0.2
+
+    def __post_init__(self):
+        for name in _WEIGHT_NAMES:
+            value = getattr(self, name)
+            if isinstance(value, bool) or \
+                    not isinstance(value, (int, float)):
+                raise AnalysisError(
+                    f"score weight {name!r} must be a number, "
+                    f"got {value!r}")
+            if not value >= 0.0:
+                raise AnalysisError(
+                    f"score weight {name!r} must be non-negative, "
+                    f"got {value!r}")
+        if self.total == 0.0:
+            raise AnalysisError(
+                "score weights must not all be zero")
+
+    @property
+    def total(self) -> float:
+        return float(self.semantic + self.uniqueness + self.linkability)
+
+    def items(self) -> Tuple[Tuple[str, float], ...]:
+        """Sorted (name, weight) pairs — the wire/report encoding."""
+        return tuple(
+            (name, float(getattr(self, name)))
+            for name in _WEIGHT_NAMES)
+
+    def cache_key(self) -> tuple:
+        """Stable identity for fingerprints and memo keys."""
+        return self.items()
+
+    def combine(self, semantic: float, uniqueness: float,
+                linkability: float) -> float:
+        """The weight-normalised composite of one field's sub-scores."""
+        return (self.semantic * semantic
+                + self.uniqueness * uniqueness
+                + self.linkability * linkability) / self.total
+
+    @classmethod
+    def from_params(cls, value) -> "ScoreWeights":
+        """Build weights from wire-reachable job params.
+
+        ``None`` means the default policy; otherwise a mapping with
+        keys among ``semantic``/``uniqueness``/``linkability``.
+        Raises :class:`~repro.errors.AnalysisError` on anything else —
+        params arrive over the service boundary, so malformed input
+        must be a typed, reportable failure.
+        """
+        if value is None:
+            return cls()
+        if not isinstance(value, Mapping):
+            raise AnalysisError(
+                f"score weights must be a mapping of sub-score name "
+                f"to weight, got {value!r}")
+        unknown = sorted(set(value) - set(_WEIGHT_NAMES))
+        if unknown:
+            raise AnalysisError(
+                f"unknown score weight names {unknown}; expected "
+                f"names among {sorted(_WEIGHT_NAMES)}")
+        merged = {name: value.get(name, default) for name, default in
+                  (("semantic", cls.semantic),
+                   ("uniqueness", cls.uniqueness),
+                   ("linkability", cls.linkability))}
+        return cls(**merged)
+
+
+class FieldScore(NamedTuple):
+    """One field's sub-scores and their weighted composite."""
+
+    field: str
+    semantic: float
+    uniqueness: float
+    linkability: float
+    composite: float
+
+    def summary_tuple(self) -> Tuple[str, float, float, float, float]:
+        """Rounded, JSON-encodable form for job details / the wire."""
+        return (self.field, round(self.semantic, 6),
+                round(self.uniqueness, 6),
+                round(self.linkability, 6),
+                round(self.composite, 6))
+
+
+def _field_declaration(system, name: str) -> Optional[Field]:
+    """The first declaration of ``name`` across the model's schemas
+    (service schemas in sorted order, then datastore schemas)."""
+    for _, schema in sorted(system.schemas.items()):
+        if name in schema:
+            return schema.field(name)
+    for _, store in sorted(system.datastores.items()):
+        if name in store.schema:
+            return store.schema.field(name)
+    return None
+
+
+def _semantic_score(declaration: Optional[Field], name: str) -> float:
+    if declaration is None:
+        base = SEMANTIC_BY_KIND[FieldKind.REGULAR]
+        return base * ANON_DAMPING if is_anon_name(name) else base
+    base = SEMANTIC_BY_KIND[declaration.kind]
+    if declaration.is_anonymised or is_anon_name(name):
+        base *= ANON_DAMPING
+    return base
+
+
+def _uniqueness_score(declaration: Optional[Field], name: str,
+                      records) -> float:
+    if records:
+        holders = [record for record in records if name in record]
+        if holders:
+            from ...anonymize.kanonymity import check_k_anonymity
+            k = check_k_anonymity(holders, [name])
+            return 1.0 / k
+    kind = declaration.kind if declaration is not None \
+        else FieldKind.REGULAR
+    base = UNIQUENESS_BY_KIND[kind]
+    anonymised = (declaration.is_anonymised
+                  if declaration is not None else is_anon_name(name))
+    return base * ANON_DAMPING if anonymised else base
+
+
+def _linkability_score(system, name: str) -> float:
+    actors = system.actor_names()
+    if not actors:
+        return 0.0
+    readers = set()
+    for store_name, store in sorted(system.datastores.items()):
+        if name in store.field_names():
+            readers |= {
+                actor
+                for actor in system.policy.readers(store_name, name)
+                if actor in actors
+            }
+    return len(readers) / len(actors)
+
+
+def score_fields(system, weights: Optional[ScoreWeights] = None,
+                 records: Optional[Sequence] = None
+                 ) -> Tuple[FieldScore, ...]:
+    """Score every personal field of ``system``, sorted by field name.
+
+    ``records`` is an optional released-record population (e.g.
+    ``AnalyzerConfig.population``) that upgrades the uniqueness
+    sub-score from kind priors to the measured ``1/k`` proxy.
+    Deterministic: depends only on the model, the weights and the
+    records.
+    """
+    weights = weights if weights is not None else ScoreWeights()
+    scores = []
+    for name in sorted(system.personal_fields()):
+        declaration = _field_declaration(system, name)
+        semantic = _semantic_score(declaration, name)
+        uniqueness = _uniqueness_score(declaration, name, records)
+        linkability = _linkability_score(system, name)
+        scores.append(FieldScore(
+            field=name,
+            semantic=semantic,
+            uniqueness=uniqueness,
+            linkability=linkability,
+            composite=weights.combine(semantic, uniqueness,
+                                      linkability),
+        ))
+    return tuple(scores)
+
+
+def composite_score(scores: Sequence[FieldScore]) -> float:
+    """The model-level composite: the mean of per-field composites
+    (0.0 for a model with no personal fields)."""
+    if not scores:
+        return 0.0
+    return sum(score.composite for score in scores) / len(scores)

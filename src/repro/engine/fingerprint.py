@@ -58,7 +58,10 @@ def canonical_params(params: Optional[Mapping]) -> Optional[tuple]:
 
     Mapping iteration order must not influence cache identity, so the
     mapping becomes sorted ``(key, value)`` pairs; list/tuple values
-    canonicalise to tuples.
+    canonicalise to tuples. Numeric values with no fractional part
+    canonicalise to ints: params cross JSON boundaries where ``1`` and
+    ``1.0`` are one writer's choice, not two analysis inputs (e.g. a
+    score-weight mapping must key the same cache entry either way).
     """
     if params is None:
         return None
@@ -72,6 +75,8 @@ def canonical_params(params: Optional[Mapping]) -> Optional[tuple]:
             if isinstance(value, (set, frozenset)):
                 items.sort()
             return tuple(items)
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
         return value
 
     return canon(params)

@@ -38,8 +38,10 @@ from ..core.risk import (
     RiskMatrix,
     analyse_consent_change,
 )
-from ..core.risk.population import PopulationAnalyzer
+from ..core.risk.population import (PopulationAnalyzer,
+                                    VectorizedPopulationAnalyzer)
 from ..core.risk.pseudonym import default_policy_for
+from ..core.risk.scores import ScoreWeights
 from ..core.risk.valuerisk import ValueRiskPolicy
 from ..datastore import Record
 from ..errors import AnalysisError
@@ -413,38 +415,58 @@ class PopulationKind(AnalysisKind):
 
     The paper's analysis "can be executed with running users of the
     system, or with simulated users in the development phase"; this
-    kind runs :class:`~repro.core.risk.population.PopulationAnalyzer`
-    over a seed-deterministic Westin-persona population drawn against
-    the model's own schemas and services. ``params`` take ``count``
-    (population size, default 24) and ``seed`` (persona stream,
-    default 0); the job's user joins the population when it has agreed
-    to at least one service, so one request answers both "how exposed
-    am I" and "how exposed is everyone like me".
+    kind evaluates a seed-deterministic Westin-persona population
+    drawn against the model's own schemas and services through
+    :class:`~repro.core.risk.population.VectorizedPopulationAnalyzer`
+    — the batch mask pass whose outcomes are byte-identical to the
+    per-user :class:`~repro.core.risk.population.PopulationAnalyzer`
+    loop (the retained reference oracle; flip :attr:`implementation`
+    to ``"looped"`` to run it). ``params`` take ``count`` (population
+    size, default 24), ``seed`` (persona stream, default 0) and
+    ``weights`` (composite privacy-score weight mapping with keys
+    among ``semantic``/``uniqueness``/``linkability``); the job's user
+    joins the population when it has agreed to at least one service,
+    so one request answers both "how exposed am I" and "how exposed is
+    everyone like me".
 
     The kind orchestrates its own per-consent-set generations (the
-    population analyzer memoises them internally), so it opts out of
+    population analyzers memoise them internally), so it opts out of
     the engine's LTS memo. Outcome ``max_level`` is the worst user's
     maximum risk; the details carry the histogram, the unacceptable
-    fraction and the hot-spot grants whose removal would help the most
-    users.
+    fraction, the hot-spot grants whose removal would help the most
+    users, and the decomposable privacy-score breakdown (per-field
+    semantic/uniqueness/linkability sub-scores and their weighted
+    composite — see :mod:`repro.core.risk.scores`).
     """
 
     name = "population"
     uses_lts = False
+
+    #: Which evaluator runs the population: ``"vectorized"`` (the
+    #: batch mask pass) or ``"looped"`` (the per-user reference
+    #: oracle). A class attribute, deliberately *not* a job param:
+    #: both paths are pinned byte-identical, so the choice must not
+    #: fork cache identities or signatures.
+    implementation: ClassVar[str] = "vectorized"
 
     #: Default simulated population size per job.
     DEFAULT_COUNT = 24
     #: Upper bound on one job's population — params are wire-reachable
     #: through the service, and a single request must not be able to
     #: wedge a server with an arbitrarily large simulation.
-    MAX_COUNT = 10_000
+    MAX_COUNT = 100_000
     #: Hot-spot grants reported per job.
     HOT_SPOT_LIMIT = 5
 
     def analyzer_key(self, config: AnalyzerConfig) -> tuple:
-        return ("population",
+        # The trailing 2 versions this kind's result payload: score
+        # details were added to population outcomes, so pre-score disk
+        # cache entries must not satisfy post-score lookups. The
+        # record population feeds the uniqueness sub-score.
+        return ("population", 2,
                 DisclosureRiskAnalyzer.configuration_key(
-                    config.likelihood, config.matrix))
+                    config.likelihood, config.matrix),
+                dataset_key(config.population))
 
     def default_options(self, job: AnalysisJob) -> None:
         return None
@@ -473,10 +495,27 @@ class PopulationKind(AnalysisKind):
             users.insert(0, job.user)
         return users
 
+    @staticmethod
+    def weights_of(job: AnalysisJob) -> ScoreWeights:
+        """The job's composite-score weight policy (validated; the
+        default policy when the params name none)."""
+        params = job.params or {}
+        return ScoreWeights.from_params(params.get("weights"))
+
     def analyse(self, job: AnalysisJob, lts: Optional[LTS],
                 config: AnalyzerConfig) -> KindOutcome:
-        analyzer = PopulationAnalyzer(job.system, config.likelihood,
-                                      config.matrix)
+        weights = self.weights_of(job)
+        if self.implementation == "vectorized":
+            analyzer_cls = VectorizedPopulationAnalyzer
+        elif self.implementation == "looped":
+            analyzer_cls = PopulationAnalyzer
+        else:
+            raise AnalysisError(
+                f"unknown population implementation "
+                f"{self.implementation!r}")
+        analyzer = analyzer_cls(
+            job.system, config.likelihood, config.matrix,
+            weights=weights, records=config.population)
         report = analyzer.analyse(self.population_of(job))
         worst = max((o.max_level for o in report.outcomes),
                     default=RiskLevel.NONE)
@@ -498,6 +537,11 @@ class PopulationKind(AnalysisKind):
                 ("hot_spots", tuple(
                     (actor, field, count)
                     for (actor, field), count in hot_spots)),
+                ("privacy_score", round(report.composite_score, 6)),
+                ("score_weights", weights.items()),
+                ("field_scores", tuple(
+                    score.summary_tuple()
+                    for score in report.field_scores)),
             ))
 
     def aggregate(self, results: Sequence) -> Dict[str, Any]:
@@ -509,6 +553,10 @@ class PopulationKind(AnalysisKind):
         rollup["worst_unacceptable_fraction"] = max(
             (r.detail("unacceptable_fraction", 0.0) for r in results),
             default=0.0)
+        scores = [r.detail("privacy_score") for r in results
+                  if r.detail("privacy_score") is not None]
+        rollup["mean_privacy_score"] = round(
+            sum(scores) / len(scores), 6) if scores else 0.0
         return rollup
 
 

@@ -62,6 +62,7 @@ from .messages import (
     UserSpec,
     WorkerLoad,
     check_payload,
+    population_breakdown,
     result_from_dict,
     result_to_dict,
     stats_from_dict,
@@ -90,6 +91,7 @@ __all__ = [
     "UserSpec",
     "WorkerLoad",
     "check_payload",
+    "population_breakdown",
     "result_from_dict",
     "result_to_dict",
     "stats_from_dict",

@@ -514,6 +514,43 @@ def result_from_dict(payload: Mapping) -> JobResult:
     return _decoded("job result", build)
 
 
+def population_breakdown(result: JobResult) -> dict:
+    """The population kind's outcome details as a typed mapping.
+
+    Population results carry their aggregate verdict and the
+    decomposable privacy-score breakdown flattened into the generic
+    ``details`` tuples (which round-trip the wire byte-identically);
+    this helper lifts them back into named structures for clients —
+    histogram and score weights as dicts, per-field sub-scores as one
+    mapping per field. Works on live and wire-decoded results alike.
+    """
+    if result.kind != "population":
+        raise RequestError(
+            f"population breakdown requested for a "
+            f"{result.kind!r} result")
+    return {
+        "analysed": result.detail("analysed", 0),
+        "skipped": result.detail("skipped", 0),
+        "unacceptable_fraction": result.detail(
+            "unacceptable_fraction", 0.0),
+        "histogram": {level: count for level, count
+                      in result.detail("histogram", ())},
+        "hot_spots": [
+            {"actor": actor, "field": field, "users": count}
+            for actor, field, count in result.detail("hot_spots", ())
+        ],
+        "privacy_score": result.detail("privacy_score", 0.0),
+        "score_weights": {name: weight for name, weight
+                          in result.detail("score_weights", ())},
+        "field_scores": [
+            {"field": row[0], "semantic": row[1],
+             "uniqueness": row[2], "linkability": row[3],
+             "composite": row[4]}
+            for row in result.detail("field_scores", ())
+        ],
+    }
+
+
 def stats_to_dict(stats: EngineStats) -> dict:
     return {
         "backend": stats.backend, "jobs": stats.jobs,

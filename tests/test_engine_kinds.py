@@ -295,6 +295,63 @@ class TestPopulationKind:
                 user=surgery_patient(), kind="population",
                 params={"seed": "xyz"}))
 
+    def test_results_carry_score_breakdowns(self):
+        job = AnalysisJob(system=build_surgery_system(),
+                          user=surgery_patient(), kind="population",
+                          params={"count": 6, "seed": 2})
+        result = BatchEngine().run([job]).results[0]
+        assert 0.0 <= result.detail("privacy_score") <= 1.0
+        assert dict(result.detail("score_weights")) == {
+            "semantic": 0.5, "uniqueness": 0.3, "linkability": 0.2}
+        fields = result.detail("field_scores")
+        assert [name for name, *_ in fields] == \
+            sorted(build_surgery_system().personal_fields())
+        for _, semantic, uniqueness, linkability, composite in fields:
+            for sub in (semantic, uniqueness, linkability, composite):
+                assert 0.0 <= sub <= 1.0
+
+    def test_weight_params_change_score_not_outcomes(self):
+        def run(params):
+            job = AnalysisJob(system=build_surgery_system(),
+                              user=surgery_patient(),
+                              kind="population", params=params)
+            return BatchEngine().run([job]).results[0]
+        base = run({"count": 6, "seed": 2})
+        tilted = run({"count": 6, "seed": 2,
+                      "weights": {"linkability": 1.0,
+                                  "semantic": 0.0,
+                                  "uniqueness": 0.0}})
+        assert tilted.detail("histogram") == base.detail("histogram")
+        assert tilted.detail("privacy_score") != \
+            base.detail("privacy_score")
+        assert tilted.fingerprint != base.fingerprint
+
+    def test_bad_weight_params_are_analysis_errors(self):
+        from repro.errors import AnalysisError
+        job = AnalysisJob(system=build_surgery_system(),
+                          user=surgery_patient(), kind="population",
+                          params={"count": 2,
+                                  "weights": {"semantic": -1}})
+        with pytest.raises(AnalysisError, match="non-negative"):
+            get_kind("population").analyse(
+                job, None, AnalyzerConfig.build())
+
+    def test_fleet_rollup_surfaces_skipped_and_mean_score(self):
+        jobs = [AnalysisJob(system=build_surgery_system(),
+                            user=surgery_patient(), kind="population",
+                            params={"count": 12, "seed": seed},
+                            scenario=f"s{seed}")
+                for seed in (0, 1)]
+        batch = BatchEngine().run(jobs)
+        rollup = FleetReport(batch.results,
+                             batch.stats).kind_rollups()["population"]
+        assert rollup["skipped"] == sum(
+            r.detail("skipped") for r in batch.results)
+        assert rollup["users"] + rollup["skipped"] == 2 * (12 + 1)
+        assert rollup["mean_privacy_score"] == pytest.approx(sum(
+            r.detail("privacy_score")
+            for r in batch.results) / 2, abs=1e-6)
+
 
 class TestMixedFleets:
     def _jobs(self):

@@ -1,0 +1,174 @@
+"""Property tests: the vectorized population path is byte-identical
+to the per-user reference loop.
+
+The batch evaluator's whole contract is "same observable output,
+different cost model" — outcomes, histograms, hot spots, fractions
+and engine-level ``JobResult.signature()``s must match the looped
+oracle exactly on arbitrary populations and weight policies.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.casestudies import build_loyalty_system, build_surgery_system
+from repro.consent import UserProfile, simulate_users
+from repro.core.risk import (
+    PopulationAnalyzer,
+    ScoreWeights,
+    VectorizedPopulationAnalyzer,
+)
+from repro.engine import AnalysisJob, BatchEngine
+from repro.engine.kinds import PopulationKind
+
+
+def _surgery_patient():
+    return UserProfile(
+        "patient", agreed_services=["MedicalService"],
+        sensitivities={"diagnosis": "high"}, acceptable_risk="low")
+
+
+def _systems():
+    return {"surgery": build_surgery_system(),
+            "loyalty": build_loyalty_system()}
+
+
+def _assert_reports_match(looped, vectorized):
+    assert looped.outcomes == vectorized.outcomes
+    assert looped.skipped == vectorized.skipped
+    assert looped.level_histogram() == vectorized.level_histogram()
+    assert looped.hot_spots() == vectorized.hot_spots()
+    assert looped.unacceptable_fraction == \
+        vectorized.unacceptable_fraction
+    assert looped.field_scores == vectorized.field_scores
+    assert looped.composite_score == vectorized.composite_score
+
+
+def _weights_strategy():
+    weight = st.floats(min_value=0.0, max_value=5.0,
+                       allow_nan=False, allow_infinity=False)
+    return st.tuples(weight, weight, weight).filter(
+        lambda w: sum(w) > 0
+    ).map(lambda w: ScoreWeights(semantic=w[0], uniqueness=w[1],
+                                 linkability=w[2]))
+
+
+def _users_strategy(system):
+    fields = sorted(system.personal_fields())
+    services = sorted(system.services)
+    sigma = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+
+    def build_user(index, agreed, sigmas, acceptable):
+        user = UserProfile(f"u{index}", agreed_services=agreed,
+                           acceptable_risk=acceptable)
+        for field, value in zip(fields, sigmas):
+            user.set_sensitivity(field, value)
+        return user
+
+    one_user = st.builds(
+        build_user,
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.sets(st.sampled_from(services)),
+        st.lists(sigma, min_size=len(fields), max_size=len(fields)),
+        st.sampled_from(["none", "low", "medium", "high"]),
+    )
+    return st.lists(one_user, max_size=12)
+
+
+class TestRandomizedPopulations:
+    @pytest.mark.parametrize("name", ["surgery", "loyalty"])
+    @given(count=st.integers(min_value=0, max_value=40),
+           seed=st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_westin_population_matches_oracle(self, name, count,
+                                              seed):
+        system = _systems()[name]
+        schema = next(iter(sorted(system.schemas.items())))[1]
+        users = simulate_users(count, list(schema),
+                               sorted(system.services), seed=seed)
+        _assert_reports_match(
+            PopulationAnalyzer(system).analyse(users),
+            VectorizedPopulationAnalyzer(system).analyse(users))
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_arbitrary_profiles_and_weights_match_oracle(self, data):
+        system = build_surgery_system()
+        users = data.draw(_users_strategy(system))
+        weights = data.draw(_weights_strategy())
+        _assert_reports_match(
+            PopulationAnalyzer(system, weights=weights).analyse(users),
+            VectorizedPopulationAnalyzer(
+                system, weights=weights).analyse(users))
+
+
+class TestEngineSignatureEquality:
+    """The two implementations must be indistinguishable through the
+    engine: same fingerprints (the switch is not a job param) and
+    byte-identical ``JobResult.signature()`` streams."""
+
+    def _run(self, monkeypatch, implementation, params):
+        monkeypatch.setattr(PopulationKind, "implementation",
+                            implementation)
+        jobs = [AnalysisJob(
+            system=system,
+            user=UserProfile(
+                "probe",
+                agreed_services=[sorted(system.services)[0]],
+                default_sensitivity=0.3, acceptable_risk="low"),
+            kind="population", params=params, scenario=name)
+            for name, system in sorted(_systems().items())]
+        # A fresh engine per run: a shared result cache would let the
+        # second run answer from the first and prove nothing.
+        batch = BatchEngine(backend="serial").run(jobs)
+        return [result.signature() for result in batch.results]
+
+    @pytest.mark.parametrize("params", [
+        {"count": 17, "seed": 3},
+        {"count": 9, "seed": 1,
+         "weights": {"semantic": 2, "uniqueness": 0.5,
+                     "linkability": 1.0}},
+    ])
+    def test_signatures_identical_across_implementations(
+            self, monkeypatch, params):
+        vectorized = self._run(monkeypatch, "vectorized", params)
+        looped = self._run(monkeypatch, "looped", params)
+        assert vectorized == looped
+
+    @given(seed=st.integers(min_value=0, max_value=10 ** 4))
+    @settings(max_examples=8, deadline=None)
+    def test_signatures_identical_on_random_seeds(self, seed):
+        # An explicit MonkeyPatch context instead of the fixture:
+        # hypothesis reuses one fixture instance across examples.
+        params = {"count": 12, "seed": seed}
+        with pytest.MonkeyPatch.context() as patcher:
+            vectorized = self._run(patcher, "vectorized", params)
+            looped = self._run(patcher, "looped", params)
+        assert vectorized == looped
+
+
+class TestVectorizedReportSurface:
+    def test_hot_spots_precomputed_without_reports(self):
+        system = build_surgery_system()
+        users = simulate_users(
+            30, list(system.schemas["EHRSchema"]),
+            sorted(system.services), seed=2)
+        report = VectorizedPopulationAnalyzer(system).analyse(users)
+        assert report.reports == ()
+        looped = PopulationAnalyzer(system).analyse(users)
+        assert report.hot_spots() == looped.hot_spots()
+
+    def test_unknown_implementation_is_analysis_error(self,
+                                                      monkeypatch):
+        from repro.errors import AnalysisError
+        monkeypatch.setattr(PopulationKind, "implementation", "gpu")
+        job = AnalysisJob(system=build_surgery_system(),
+                          user=_surgery_patient(), kind="population",
+                          params={"count": 2})
+        from repro.engine.kinds import get_kind
+        from repro.engine.kinds import AnalyzerConfig
+        config = AnalyzerConfig.build()
+        with pytest.raises(AnalysisError,
+                           match="population implementation"):
+            get_kind("population").analyse(job, None, config)

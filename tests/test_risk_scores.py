@@ -1,0 +1,133 @@
+"""Unit tests for the decomposable privacy-score module."""
+
+import pytest
+
+from repro.core.risk import (
+    FieldScore,
+    ScoreWeights,
+    composite_score,
+    score_fields,
+)
+from repro.errors import AnalysisError
+
+
+class TestScoreWeights:
+    def test_defaults_privilege_semantic(self):
+        weights = ScoreWeights()
+        assert weights.items() == (("linkability", 0.2),
+                                   ("semantic", 0.5),
+                                   ("uniqueness", 0.3))
+        assert weights.total == pytest.approx(1.0)
+
+    def test_combine_normalises_by_total(self):
+        # (1, 0, 0) and (2, 0, 0) are the same policy
+        single = ScoreWeights(semantic=1, uniqueness=0, linkability=0)
+        double = ScoreWeights(semantic=2, uniqueness=0, linkability=0)
+        assert single.combine(0.8, 0.1, 0.9) == \
+            double.combine(0.8, 0.1, 0.9) == pytest.approx(0.8)
+
+    @pytest.mark.parametrize("bad", [
+        {"semantic": -1},
+        {"uniqueness": "heavy"},
+        {"linkability": True},
+        {"semantic": 0, "uniqueness": 0, "linkability": 0},
+    ])
+    def test_invalid_weights_are_analysis_errors(self, bad):
+        merged = {"semantic": 0.5, "uniqueness": 0.3,
+                  "linkability": 0.2, **bad}
+        with pytest.raises(AnalysisError, match="score weight"):
+            ScoreWeights(**merged)
+
+    def test_from_params_none_is_default_policy(self):
+        assert ScoreWeights.from_params(None) == ScoreWeights()
+
+    def test_from_params_merges_partial_mapping(self):
+        weights = ScoreWeights.from_params({"semantic": 2})
+        assert weights == ScoreWeights(semantic=2, uniqueness=0.3,
+                                       linkability=0.2)
+
+    @pytest.mark.parametrize("bad,pattern", [
+        (["semantic", 1.0], "must be a mapping"),
+        ({"semntic": 1.0}, "unknown score weight names"),
+        ({"semantic": -0.5}, "non-negative"),
+    ])
+    def test_from_params_rejects_malformed_input(self, bad, pattern):
+        with pytest.raises(AnalysisError, match=pattern):
+            ScoreWeights.from_params(bad)
+
+    def test_cache_key_is_order_stable(self):
+        weights = ScoreWeights(semantic=1, uniqueness=2, linkability=3)
+        assert weights.cache_key() == (("linkability", 3.0),
+                                       ("semantic", 1.0),
+                                       ("uniqueness", 2.0))
+
+
+class TestScoreFields:
+    def test_semantic_follows_kind_taxonomy(self, surgery_system):
+        by_field = {score.field: score
+                    for score in score_fields(surgery_system)}
+        assert by_field["name"].semantic == 1.0          # IDENTIFIER
+        assert by_field["diagnosis"].semantic == 0.9     # SENSITIVE
+        assert by_field["dob"].semantic == 0.7           # QUASI
+        assert by_field["appointment"].semantic == 0.2   # REGULAR
+
+    def test_anonymised_variants_are_dampened(self, surgery_system):
+        by_field = {score.field: score
+                    for score in score_fields(surgery_system)}
+        for original in ("diagnosis", "dob", "treatment"):
+            anon = by_field[original + "_anon"]
+            assert anon.semantic == \
+                pytest.approx(by_field[original].semantic / 2)
+            assert anon.uniqueness == \
+                pytest.approx(by_field[original].uniqueness / 2)
+
+    def test_uniqueness_uses_one_over_k_with_records(self,
+                                                     surgery_system):
+        # 'dob' pairs share values -> k=2 -> 1/2; one is unique -> the
+        # priors are replaced by the measured proxy either way.
+        from repro.datastore import Record
+        records = [Record({"dob": "1980"}), Record({"dob": "1980"}),
+                   Record({"dob": "1990"}), Record({"dob": "1990"})]
+        by_field = {score.field: score for score in
+                    score_fields(surgery_system, records=records)}
+        assert by_field["dob"].uniqueness == pytest.approx(0.5)
+        # fields absent from every record keep their kind prior
+        assert by_field["name"].uniqueness == 1.0
+
+    def test_linkability_is_reader_fraction(self, surgery_system):
+        by_field = {score.field: score
+                    for score in score_fields(surgery_system)}
+        # 4 of 5 actors can read some store holding 'name'
+        assert by_field["name"].linkability == pytest.approx(0.8)
+        # anonymised view is readable by the researcher only
+        assert by_field["diagnosis_anon"].linkability == \
+            pytest.approx(0.2)
+
+    def test_composite_is_weighted_sum(self, surgery_system):
+        weights = ScoreWeights(semantic=2, uniqueness=1, linkability=1)
+        for score in score_fields(surgery_system, weights=weights):
+            assert score.composite == pytest.approx(
+                (2 * score.semantic + score.uniqueness
+                 + score.linkability) / 4)
+
+    def test_deterministic_and_sorted(self, surgery_system):
+        first = score_fields(surgery_system)
+        second = score_fields(surgery_system)
+        assert first == second
+        assert [s.field for s in first] == \
+            sorted(surgery_system.personal_fields())
+
+    def test_summary_tuple_rounds_for_the_wire(self):
+        score = FieldScore("f", 1 / 3, 2 / 3, 0.1, 0.123456789)
+        assert score.summary_tuple() == \
+            ("f", 0.333333, 0.666667, 0.1, 0.123457)
+
+
+class TestCompositeScore:
+    def test_mean_of_field_composites(self, surgery_system):
+        scores = score_fields(surgery_system)
+        assert composite_score(scores) == pytest.approx(
+            sum(s.composite for s in scores) / len(scores))
+
+    def test_empty_model_scores_zero(self):
+        assert composite_score(()) == 0.0

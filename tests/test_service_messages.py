@@ -18,6 +18,7 @@ from repro.service import (
     SweepRequest,
     UserSpec,
     check_payload,
+    population_breakdown,
     result_from_dict,
     result_to_dict,
     stats_from_dict,
@@ -201,6 +202,29 @@ class TestResultSerialization:
         payload["result_cache"]["bogus"] = 1
         with pytest.raises(RequestError, match="result cache stats"):
             AnalysisResponse.from_dict(payload)
+
+    def test_population_breakdown_works_on_decoded_results(self):
+        job = AnalysisJob(system=build_surgery_system(),
+                          user=surgery_patient(), kind="population",
+                          params={"count": 8, "seed": 3})
+        result = BatchEngine().run([job]).results[0]
+        decoded = result_from_dict(
+            json_roundtrip(result_to_dict(result)))
+        assert decoded.signature() == result.signature()
+        breakdown = population_breakdown(decoded)
+        assert breakdown == population_breakdown(result)
+        assert breakdown["analysed"] + breakdown["skipped"] == 9
+        assert set(breakdown["score_weights"]) == \
+            {"semantic", "uniqueness", "linkability"}
+        assert breakdown["field_scores"], "expected per-field scores"
+        for row in breakdown["field_scores"]:
+            assert set(row) == {"field", "semantic", "uniqueness",
+                                "linkability", "composite"}
+
+    def test_population_breakdown_rejects_other_kinds(self):
+        result = _real_results().results[0]
+        with pytest.raises(RequestError, match="population breakdown"):
+            population_breakdown(result)
 
     def test_stats_roundtrip_preserves_describe(self):
         stats = EngineStats(backend="thread", jobs=4, result_hits=1,
