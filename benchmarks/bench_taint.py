@@ -1,0 +1,223 @@
+"""Taint pre-screen — certificate throughput and sweep speedup.
+
+Not a paper table: this bench quantifies the PR-8 screen stage. A
+majority-clean fleet (roughly 70% of variants grant nothing to the
+eavesdropper, 30% do) is swept twice — exact, and with ``screen=True``
+— and the screen must skip at least half of the exact LTS generations
+while every non-skipped job keeps a byte-identical result signature.
+The certificate builder itself is timed as a throughput figure
+(models/second): triage must stay orders of magnitude cheaper than
+the state-space search it avoids.
+
+Run under pytest-benchmark for timings, or standalone for the CI smoke
+check (which also emits ``BENCH_taint.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_taint.py --quick
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import pytest
+
+from repro.consent import UserProfile
+from repro.core.risk import DisclosureRiskAnalyzer
+from repro.dfd import SystemBuilder
+from repro.engine import AnalysisJob, BatchEngine
+from repro.taint import build_certificate
+
+FLEET_VARIANTS = 40
+#: 3 variants in every block of 10 leak to the eavesdropper.
+FLAGGED_SLOTS = (0, 4, 7)
+BENCH_JSON = "BENCH_taint.json"
+
+
+def _variant(index: int):
+    """One fleet member: a user -> clerk -> store -> auditor pipeline.
+
+    Every variant carries an Eavesdropper actor; only the flagged
+    slots grant it a read on the store, so the rest are provably
+    disclosure-free for a user who agreed to the one service.
+    """
+    fields = [f"f{j}" for j in range(2 + index % 3)]
+    builder = (SystemBuilder(f"fleet-{index:03d}")
+               .schema("S", fields)
+               .actor("Clerk").actor("Auditor").actor("Eavesdropper")
+               .datastore("Store", "S")
+               .service("svc")
+               .flow(1, "User", "Clerk", fields)
+               .flow(2, "Clerk", "Store", fields)
+               .flow(3, "Store", "Auditor", fields[:1])
+               .allow("Clerk", "create", "Store")
+               .allow("Auditor", "read", "Store", fields[:1]))
+    if index % 10 in FLAGGED_SLOTS:
+        builder.allow("Eavesdropper", "read", "Store", fields)
+    return builder.build()
+
+
+def _fleet_jobs(count=FLEET_VARIANTS):
+    jobs = []
+    for index in range(count):
+        system = _variant(index)
+        jobs.append(AnalysisJob(
+            system=system,
+            user=UserProfile(f"u{index}", agreed_services=["svc"]),
+            scenario=f"fleet#{index:03d}", family="fleet",
+            variant="flagged" if index % 10 in FLAGGED_SLOTS
+            else "clean"))
+    return jobs
+
+
+def _signatures(batch):
+    return [repr(r.signature()).encode() for r in batch.results]
+
+
+def _default_options(system):
+    """The engine's options for a disclosure job over this variant."""
+    return DisclosureRiskAnalyzer.default_options(
+        system, UserProfile("u", agreed_services=["svc"]))
+
+
+def _measure_throughput(count=FLEET_VARIANTS):
+    """Certificates per second over freshly built models."""
+    systems = [_variant(index) for index in range(count)]
+    started = time.perf_counter()
+    certificates = [
+        build_certificate(system, _default_options(system))
+        for system in systems]
+    elapsed = time.perf_counter() - started
+    return count / max(elapsed, 1e-9), certificates
+
+
+def _measure_screened_sweep(count=FLEET_VARIANTS):
+    """Cold exact sweep vs. cold screened sweep of the same fleet."""
+    started = time.perf_counter()
+    plain = BatchEngine(backend="serial").run(_fleet_jobs(count))
+    plain_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    screened = BatchEngine(backend="serial").run(
+        _fleet_jobs(count), screen=True)
+    screened_time = time.perf_counter() - started
+
+    record = {
+        "jobs": count,
+        "plain": {
+            "seconds": round(plain_time, 4),
+            "executed": plain.stats.executed,
+            "lts_generations": plain.stats.lts_generations,
+        },
+        "screened": {
+            "seconds": round(screened_time, 4),
+            "executed": screened.stats.executed,
+            "lts_generations": screened.stats.lts_generations,
+            "skipped": screened.stats.screened,
+            "flagged": screened.stats.screen_flagged,
+        },
+        "skip_ratio": round(screened.stats.screened / count, 3),
+        "sweep_speedup": round(
+            plain_time / max(screened_time, 1e-9), 2),
+    }
+    return record, plain, screened
+
+
+def _check_contract(record, plain, screened):
+    """The acceptance bars; returns failure strings (empty = pass)."""
+    failures = []
+    if record["skip_ratio"] < 0.5:
+        failures.append(
+            f"skip ratio {record['skip_ratio']} below the 0.5 bar on "
+            "a majority-clean fleet")
+    saved = plain.stats.lts_generations - \
+        screened.stats.lts_generations
+    if saved * 2 < plain.stats.lts_generations:
+        failures.append(
+            f"screen saved only {saved}/"
+            f"{plain.stats.lts_generations} LTS generations")
+    exact = {r.fingerprint: r for r in plain.results}
+    for result in screened.results:
+        twin = exact[result.fingerprint]
+        if result.detail("screened"):
+            if twin.max_level != "none" or twin.events:
+                failures.append(
+                    f"unsound skip: {result.scenario} has exact "
+                    f"events")
+                break
+        elif repr(result.signature()) != repr(twin.signature()):
+            failures.append(
+                f"non-skipped signature drift on {result.scenario}")
+            break
+    return failures
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_certificate_throughput(benchmark):
+    systems = [_variant(index) for index in range(FLEET_VARIANTS)]
+    certificates = benchmark(
+        lambda: [build_certificate(system, _default_options(system))
+                 for system in systems])
+    clean = sum(1 for c in certificates
+                if c.clean_for(("Eavesdropper",)))
+    assert clean == sum(1 for i in range(FLEET_VARIANTS)
+                        if i % 10 not in FLAGGED_SLOTS)
+
+
+def test_screened_sweep(benchmark):
+    batch = benchmark(
+        lambda: BatchEngine(backend="serial").run(
+            _fleet_jobs(), screen=True))
+    assert batch.stats.screened >= FLEET_VARIANTS // 2
+
+
+def test_screen_contract_holds():
+    record, plain, screened = _measure_screened_sweep()
+    assert _check_contract(record, plain, screened) == []
+
+
+# -- standalone CI smoke -----------------------------------------------------
+
+def _quick_smoke() -> int:
+    """Standalone CI smoke: throughput, screened sweep, the contract
+    bars; emit BENCH_taint.json."""
+    throughput, certificates = _measure_throughput()
+    clean = sum(1 for c in certificates
+                if c.clean_for(("Eavesdropper",)))
+    print(f"certificate throughput: {throughput:,.0f} models/s "
+          f"({clean}/{len(certificates)} clean)")
+
+    record, plain, screened = _measure_screened_sweep()
+    print(f"exact sweep:    {plain.stats.describe()}")
+    print(f"screened sweep: {screened.stats.describe()}")
+    print(f"skip ratio {record['skip_ratio']:.0%}, sweep speedup "
+          f"{record['sweep_speedup']}x")
+
+    failures = _check_contract(record, plain, screened)
+    if clean != sum(1 for i in range(FLEET_VARIANTS)
+                    if i % 10 not in FLAGGED_SLOTS):
+        failures.append("certificate verdicts disagree with the "
+                        "fleet's construction")
+
+    record["certificate_throughput_models_per_s"] = round(
+        throughput, 1)
+    record["signatures_identical"] = not any(
+        "signature" in failure for failure in failures)
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+    print(f"wrote {BENCH_JSON}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("taint bench smoke:", "FAIL" if failures else "OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv:
+        sys.exit(_quick_smoke())
+    print("run under pytest-benchmark, or pass --quick for the "
+          "CI smoke check", file=sys.stderr)
+    sys.exit(2)

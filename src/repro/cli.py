@@ -10,13 +10,18 @@ Subcommands mirror the method's steps over a DSL model file:
 - ``repro analyse model.dsl --agree Svc --sensitivity f=high`` —
   per-user unwanted-disclosure analysis (Step 3, §III.A);
 - ``repro identify model.dsl`` — who can identify what;
+- ``repro taint model.dsl --agree Svc`` — static taint pre-screen:
+  transitive data-flow closure over the DFD, a sound
+  can-this-actor-ever-reach-this-field triage that needs no
+  state-space search (exit 0 clean, 1 flagged);
 - ``repro export model.dsl -o lts.json`` — the generated LTS as JSON;
 - ``repro engine run m1.dsl m2.dsl --agree Svc --kind pseudonym`` —
   batch-analyse many models through the cache-aware engine, under any
   registered analysis kind;
 - ``repro engine sweep --count 50 --kinds disclosure consent_change``
   — generate a (mixed-kind) scenario fleet and roll the results into
-  a fleet report;
+  a fleet report; ``--screen`` taint-pre-screens each job and skips
+  exact LTS generation where a clean certificate proves the answer;
 - ``repro engine reanalyze old.dsl new.dsl --agree Svc`` — diff-driven
   incremental re-analysis: analyse the old model, classify what the
   edit invalidates, re-run only that;
@@ -169,6 +174,50 @@ def _cmd_analyse(args) -> int:
     return 0
 
 
+def _cmd_taint(args) -> int:
+    from .taint import certificate_from_report, compute_taint
+    system = _load_model(args.model)
+    user = UserProfile(args.user, agreed_services=args.agree)
+    options = DisclosureRiskAnalyzer.default_options(system, user)
+    report = compute_taint(system, options)
+    non_allowed = tuple(sorted(user.non_allowed_actors(system)))
+    print(f"user {user.name!r} | agreed: "
+          f"{', '.join(user.agreed_services)}")
+    print(f"non-allowed actors: "
+          f"{', '.join(non_allowed) or '<none>'}")
+    for blocker in report.blockers:
+        print(f"blocker: {blocker}")
+    clean = report.clean_for(non_allowed)
+    reachable = [] if report.blockers else sorted({
+        (field, actor)
+        for actor in non_allowed
+        for source in (report.potential_read_fields,
+                       report.flow_read_fields)
+        for field in source.get(actor, ())})
+    for field, actor in reachable:
+        print(f"flagged: {actor} can read {field!r}")
+        if args.witness:
+            path = report.witness_path(field, actor)
+            if path:
+                print("  " + " -> ".join(path))
+    certificate = certificate_from_report(report, system)
+    print(f"certificate: {certificate.fingerprint()[:16]} "
+          f"({len(certificate.tracked_atoms)} tracked atom(s), "
+          f"{len(certificate.blockers)} blocker(s))")
+    if clean:
+        print("verdict: clean — no non-allowed actor can reach any "
+              "field; exact disclosure analysis is provably "
+              "event-free")
+        return 0
+    if report.blockers:
+        print("verdict: flagged — the closure could not model this "
+              "system soundly; run exact analysis")
+    else:
+        print(f"verdict: flagged — {len(reachable)} reachable "
+              f"(field, actor) pair(s); run exact analysis")
+    return 1
+
+
 def _user_spec(args):
     """The user's wire-level spec for service-backed commands."""
     from .service import UserSpec
@@ -310,7 +359,8 @@ def _cmd_engine_sweep(args) -> int:
     from .service import SweepRequest
     request = SweepRequest(count=args.count, seed=args.seed,
                            personas=args.personas,
-                           kinds=tuple(args.kinds))
+                           kinds=tuple(args.kinds),
+                           screen=args.screen)
     response = _service(args).sweep(request,
                                     include_report=args.json)
     cache_line = f"result cache: {response.result_cache.describe()}"
@@ -397,7 +447,8 @@ def _cmd_fleet_sweep(args) -> int:
                if name.strip()]
     request = SweepRequest(count=args.count, seed=args.seed,
                            personas=args.personas,
-                           kinds=tuple(args.kinds))
+                           kinds=tuple(args.kinds),
+                           screen=args.screen)
     transport = HttpTransport()
     dispatcher = FleetDispatcher(workers, transport,
                                  timeout=args.timeout,
@@ -489,6 +540,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit 1 when max risk reaches this level")
     analyse.set_defaults(func=_cmd_analyse)
 
+    taint = subparsers.add_parser(
+        "taint", help="static taint pre-screen: sound reachability "
+                      "triage without state-space search")
+    taint.add_argument("model")
+    taint.add_argument("--user", default="user")
+    taint.add_argument("--agree", nargs="+", required=True,
+                       metavar="SERVICE",
+                       help="services the user agreed to")
+    taint.add_argument("--witness", action="store_true",
+                       help="print a witness flow path per flagged "
+                            "(field, actor) pair")
+    taint.set_defaults(func=_cmd_taint)
+
     engine = subparsers.add_parser(
         "engine", help="batch risk assessment over model fleets")
     engine_subs = engine.add_subparsers(dest="engine_command",
@@ -498,7 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
     # imports the engine package (commands import it lazily); the
     # registry re-validates the name at execution time.
     kinds = ["consent_change", "disclosure", "population",
-             "pseudonym", "reidentify"]
+             "pseudonym", "reidentify", "taint"]
 
     def add_engine_common(sub):
         sub.add_argument("--backend", default="thread",
@@ -574,6 +638,10 @@ def build_parser() -> argparse.ArgumentParser:
                               default=["disclosure"], choices=kinds,
                               help="analysis kinds to cycle across "
                                    "the fleet")
+    engine_sweep.add_argument("--screen", action="store_true",
+                              help="taint pre-screen: skip exact LTS "
+                                   "generation for jobs a clean "
+                                   "certificate proves disclosure-free")
     engine_sweep.add_argument("--json", action="store_true",
                               help="emit the aggregate as JSON")
     engine_sweep.add_argument("-o", "--output", default=None,
@@ -656,6 +724,11 @@ def build_parser() -> argparse.ArgumentParser:
                              default=["disclosure"], choices=kinds,
                              help="analysis kinds to cycle across "
                                   "the fleet")
+    fleet_sweep.add_argument("--screen", action="store_true",
+                             help="taint pre-screen on the "
+                                  "coordinator: dispatch only the "
+                                  "jobs a clean certificate cannot "
+                                  "prove disclosure-free")
     fleet_sweep.add_argument("--timeout", type=float, default=60.0,
                              help="per-shard dispatch-to-result "
                                   "budget in seconds")

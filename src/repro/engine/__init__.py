@@ -62,6 +62,7 @@ from .fingerprint import (
     model_stage_key,
     options_fingerprint,
     stable_hash,
+    taint_stage_key,
     user_fingerprint,
 )
 from .incremental import (
@@ -70,6 +71,7 @@ from .incremental import (
     INVALIDATES_NOTHING,
     InvalidationPlan,
     ReanalysisOutcome,
+    certificate_survives,
     classify_invalidation,
     reanalyze,
 )
@@ -128,12 +130,14 @@ __all__ = [
     "model_stage_key",
     "options_fingerprint",
     "stable_hash",
+    "taint_stage_key",
     "user_fingerprint",
     "INVALIDATES_ANALYZERS",
     "INVALIDATES_EVERYTHING",
     "INVALIDATES_NOTHING",
     "InvalidationPlan",
     "ReanalysisOutcome",
+    "certificate_survives",
     "classify_invalidation",
     "reanalyze",
     "AnalysisJob",

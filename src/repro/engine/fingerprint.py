@@ -133,6 +133,23 @@ def lts_cache_key(system: SystemModel,
     return lts_stage_key(model_fp, options)
 
 
+def taint_stage_key(model_fp: str,
+                    options: Optional[GenerationOptions]) -> str:
+    """The taint-screen stage key: model stage x generation options.
+
+    The cache key of a :class:`repro.taint.TaintCertificate` — the
+    sibling of :func:`lts_stage_key` at the same layer (both depend on
+    exactly model + options), but keyed separately because the two
+    stages invalidate differently: a read-grant edit on atoms the
+    certificate never tracks moves the LTS key's *contents* (could-read
+    display vectors) yet provably leaves the certificate intact, and
+    :func:`repro.engine.incremental.reanalyze` re-seeds it.
+    """
+    from ..taint import CERT_FORMAT
+    return stable_hash(["taint", CERT_FORMAT, CACHE_FORMAT, model_fp,
+                        options.cache_key() if options else None])
+
+
 # -- stage 3: the analysis ----------------------------------------------------
 
 def analyzer_stage_key(lts_key: str, kind: str, user: UserProfile,

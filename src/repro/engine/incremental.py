@@ -35,7 +35,9 @@ from typing import Dict, List, Sequence
 
 from ..dfd import SystemModel, canonical_system_dict
 from ..dfd.diff import ModelDiff, diff_models
-from .fingerprint import lts_stage_key, model_fingerprint, stable_hash
+from ..taint import TaintCertificate
+from .fingerprint import (lts_stage_key, model_fingerprint, stable_hash,
+                          taint_stage_key)
 from .jobs import AnalysisJob
 from .kinds import get_kind
 from .runner import BatchEngine, BatchResult, resolve_options
@@ -64,6 +66,11 @@ class InvalidationPlan:
     #: False when the change moves delete grants, which invalidate the
     #: LTS only for generations with ``include_deletes`` enabled.
     delete_safe: bool = True
+    #: True when the change is confined to ACL grants (no structural
+    #: or non-ACL content movement) — the precondition for the
+    #: taint-certificate survival check, which can then decide from
+    #: the grant diff alone.
+    acl_only: bool = False
 
     @property
     def reuses_lts(self) -> bool:
@@ -118,13 +125,35 @@ def classify_invalidation(before: SystemModel,
         return InvalidationPlan(
             before_fp, after_fp, diff, INVALIDATES_EVERYTHING,
             "read grants changed; the generator's could/potential-read "
-            "view of the policy moved")
+            "view of the policy moved",
+            acl_only=True)
     return InvalidationPlan(
         before_fp, after_fp, diff, INVALIDATES_ANALYZERS,
         "grant-only change outside the generator's policy view; "
         "LTSs re-seed, analyzers re-run",
         delete_safe=not diff.touches_permission(
-            *_GENERATOR_DELETE_PERMISSIONS))
+            *_GENERATOR_DELETE_PERMISSIONS),
+        acl_only=True)
+
+
+def certificate_survives(plan: InvalidationPlan,
+                         certificate: TaintCertificate) -> bool:
+    """Does a cached taint certificate survive the planned change?
+
+    The taint stage invalidates on *reachability*, not on the LTS's
+    could-read display vectors — so it is strictly more precise than
+    the LTS stage for ACL edits: a read-grant addition confined to
+    (store, field) atoms the certificate never tracks provably cannot
+    create a new READ event, and the certificate survives even though
+    the plan says ``everything`` for the LTS. Grant removals and
+    create/update/delete-grant changes never feed the closure, so they
+    always survive an ACL-only plan.
+    """
+    if plan.level == INVALIDATES_NOTHING:
+        return True
+    if not plan.acl_only:
+        return False
+    return certificate.survives_acl_change(plan.diff)
 
 
 def reanalysis_summary(plan_description: str, jobs: int,
@@ -154,16 +183,22 @@ class ReanalysisOutcome:
     jobs: int
     retargeted: int
     lts_seeded: int
+    taint_seeded: int = 0
 
     def describe(self) -> str:
-        return reanalysis_summary(self.plan.describe(), self.jobs,
+        text = reanalysis_summary(self.plan.describe(), self.jobs,
                                   self.retargeted, self.lts_seeded,
                                   self.batch.stats.describe())
+        if self.taint_seeded:
+            text += (f"\n{self.taint_seeded} taint certificates "
+                     "survived the edit and were re-seeded")
+        return text
 
 
 def reanalyze(engine: BatchEngine, before: SystemModel,
               after: SystemModel,
-              jobs: Sequence[AnalysisJob]) -> ReanalysisOutcome:
+              jobs: Sequence[AnalysisJob],
+              screen: bool = False) -> ReanalysisOutcome:
     """Re-run a fleet after editing ``before`` into ``after``.
 
     ``jobs`` is the fleet's job list as originally analysed (its jobs
@@ -183,9 +218,11 @@ def reanalyze(engine: BatchEngine, before: SystemModel,
     plan = classify_invalidation(before, after)
     model_fps: Dict[int, str] = {}
     seeded_keys = set()
+    taint_keys = set()
     new_jobs: List[AnalysisJob] = []
     retargeted = 0
     lts_seeded = 0
+    taint_seeded = 0
     for job in jobs:
         fp = model_fps.get(id(job.system))
         if fp is None:
@@ -198,9 +235,26 @@ def reanalyze(engine: BatchEngine, before: SystemModel,
         # Labels (and params) survive; only the model moves.
         new_job = replace(job, system=after)
         new_jobs.append(new_job)
-        if not plan.reuses_lts or not get_kind(new_job.kind).uses_lts:
-            continue
         options = resolve_options(new_job)
+        kind = get_kind(new_job.kind)
+        if (kind.screenable or new_job.kind == "taint") and \
+                plan.level != INVALIDATES_NOTHING:
+            # The taint stage is more precise than the LTS stage: an
+            # ACL edit on untracked atoms re-seeds the certificate
+            # even when the plan invalidates everything else.
+            new_taint_key = taint_stage_key(plan.after_fp, options)
+            if new_taint_key not in taint_keys:
+                taint_keys.add(new_taint_key)
+                certificate = engine.taint_cache.get(
+                    taint_stage_key(plan.before_fp, options))
+                if isinstance(certificate, TaintCertificate) and \
+                        certificate_survives(plan, certificate):
+                    engine.taint_cache.put(
+                        new_taint_key,
+                        certificate.rebind(plan.after_fp))
+                    taint_seeded += 1
+        if not plan.reuses_lts or not kind.uses_lts:
+            continue
         if plan.level_for(options) != INVALIDATES_ANALYZERS:
             continue
         old_key = lts_stage_key(plan.before_fp, options)
@@ -212,7 +266,8 @@ def reanalyze(engine: BatchEngine, before: SystemModel,
         if blob is not None:
             engine.lts_cache.put(new_key, blob)
             lts_seeded += 1
-    batch = engine.run(new_jobs)
+    batch = engine.run(new_jobs, screen=screen)
     return ReanalysisOutcome(
         batch=batch, plan=plan, jobs=len(new_jobs),
-        retargeted=retargeted, lts_seeded=lts_seeded)
+        retargeted=retargeted, lts_seeded=lts_seeded,
+        taint_seeded=taint_seeded)

@@ -138,6 +138,11 @@ class AnalysisKind:
     #: participates in the LTS-stage cache). Kinds that orchestrate
     #: their own generations (consent what-ifs) opt out.
     uses_lts: ClassVar[bool] = True
+    #: Whether a clean taint certificate proves this kind's outcome is
+    #: zero-event, letting ``BatchEngine.run(screen=True)`` skip exact
+    #: generation. Only sound for kinds whose events are exactly the
+    #: READ-by-non-allowed-actor transitions the closure bounds.
+    screenable: ClassVar[bool] = False
 
     def analyzer_key(self, config: AnalyzerConfig) -> tuple:
         """The slice of ``config`` this kind's outcome depends on —
@@ -167,6 +172,7 @@ class DisclosureKind(AnalysisKind):
     """Unwanted-disclosure analysis (paper III.A) — the original job."""
 
     name = "disclosure"
+    screenable = True
 
     def analyzer_key(self, config: AnalyzerConfig) -> tuple:
         return ("disclosure",
@@ -192,6 +198,83 @@ class DisclosureKind(AnalysisKind):
     def aggregate(self, results: Sequence) -> Dict[str, Any]:
         rollup = super().aggregate(results)
         rollup["events"] = sum(len(r.events) for r in results)
+        screened = sum(1 for r in results if r.detail("screened"))
+        if screened:
+            rollup["screened"] = screened
+        return rollup
+
+
+class TaintKind(AnalysisKind):
+    """Static taint pre-screen (ROADMAP item 4) — triage before
+    state-space search.
+
+    A sound over-approximation on the DFD graph: no LTS, no state
+    explosion, an instant answer to "can field F ever reach actor A".
+    ``max_level`` is a triage verdict, not an exact assessment:
+    ``none`` when the closure *proves* the disclosure analyzer would
+    report zero events for this user, ``low`` when the model is
+    flagged for exact analysis. Shares its default generation options
+    with the disclosure kind so the certificate it caches is exactly
+    the one ``BatchEngine.run(screen=True)`` consults.
+    """
+
+    name = "taint"
+    uses_lts = False
+
+    #: How many flagged pairs / witness steps the job details carry.
+    DETAIL_LIMIT = 8
+
+    def analyzer_key(self, config: AnalyzerConfig) -> tuple:
+        from ..taint import CERT_FORMAT
+        return ("taint", CERT_FORMAT)
+
+    def default_options(self, job: AnalysisJob) -> GenerationOptions:
+        return DisclosureRiskAnalyzer.default_options(job.system,
+                                                      job.user)
+
+    def analyse(self, job: AnalysisJob, lts: Optional[LTS],
+                config: AnalyzerConfig) -> KindOutcome:
+        from ..taint import certificate_from_report, compute_taint
+        from .fingerprint import model_fingerprint
+        options = job.options if job.options is not None \
+            else self.default_options(job)
+        report = compute_taint(job.system, options)
+        certificate = certificate_from_report(
+            report, job.system, model_fingerprint(job.system))
+        non_allowed = tuple(sorted(
+            job.user.non_allowed_actors(job.system)))
+        clean = certificate.clean_for(non_allowed)
+        flagged = tuple(
+            (actor,
+             tuple(sorted(report.potential_read_fields.get(
+                 actor, frozenset()) |
+                 report.flow_read_fields.get(actor, frozenset()))))
+            for actor in report.flagged_actors()
+            if actor in non_allowed)[:self.DETAIL_LIMIT]
+        witnesses = tuple(
+            (field_name, actor,
+             report.witness_path(field_name, actor))
+            for actor, fields in flagged for field_name in fields[:1]
+        )[:self.DETAIL_LIMIT]
+        level = RiskLevel.NONE if clean else RiskLevel.LOW
+        return KindOutcome(
+            max_level=level.value, events=(),
+            non_allowed_actors=non_allowed,
+            details=(
+                ("clean", clean),
+                ("tracked_atoms", len(certificate.tracked_atoms)),
+                ("blockers", certificate.blockers),
+                ("flagged", flagged),
+                ("witnesses", witnesses),
+                ("certificate", certificate.fingerprint()),
+            ))
+
+    def aggregate(self, results: Sequence) -> Dict[str, Any]:
+        rollup = super().aggregate(results)
+        rollup["clean"] = sum(
+            1 for r in results if r.detail("clean"))
+        rollup["flagged"] = sum(
+            1 for r in results if not r.detail("clean"))
         return rollup
 
 
@@ -593,8 +676,9 @@ PSEUDONYM = register_kind(PseudonymKind())
 CONSENT_CHANGE = register_kind(ConsentChangeKind())
 REIDENTIFY = register_kind(ReidentifyKind())
 POPULATION = register_kind(PopulationKind())
+TAINT = register_kind(TaintKind())
 
 #: The shipped first-class kinds, in registration order.
 KINDS: Tuple[str, ...] = (DISCLOSURE.name, PSEUDONYM.name,
                           CONSENT_CHANGE.name, REIDENTIFY.name,
-                          POPULATION.name)
+                          POPULATION.name, TAINT.name)

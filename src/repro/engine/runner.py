@@ -42,9 +42,11 @@ from typing import (
 )
 
 from ..core import GenerationOptions, ModelGenerator
-from ..core.risk import LikelihoodModel, RiskMatrix
+from ..core.risk import LikelihoodModel, RiskLevel, RiskMatrix
+from ..taint import TaintCertificate, build_certificate
 from .cache import build_cache
-from .fingerprint import job_fingerprint, lts_cache_key, model_fingerprint
+from .fingerprint import (job_fingerprint, lts_cache_key,
+                          model_fingerprint, taint_stage_key)
 from .jobs import AnalysisJob, JobResult
 from .kinds import AnalyzerConfig, get_kind
 
@@ -66,6 +68,11 @@ class EngineStats:
     lts_reuses: int = 0
     wall_time: float = 0.0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Jobs answered by a clean taint certificate (exact generation
+    #: skipped) / jobs the screen flagged for exact analysis. Both stay
+    #: zero unless ``run(screen=True)``.
+    screened: int = 0
+    screen_flagged: int = 0
 
     def describe(self) -> str:
         text = (
@@ -75,6 +82,9 @@ class EngineStats:
             f"{self.executed} executed ({self.lts_generations} LTS "
             f"generations, {self.lts_reuses} memo reuses)"
         )
+        if self.screened or self.screen_flagged:
+            text += (f"; taint screen: {self.screened} skipped, "
+                     f"{self.screen_flagged} flagged")
         if len(self.by_kind) > 1:
             text += " [" + ", ".join(
                 f"{kind}={count}"
@@ -370,6 +380,10 @@ class BatchEngine:
                 if cache_dir is not None else None)
         self.lts_cache = lts_cache if lts_cache is not None \
             else build_cache(memory_entries, self._lts_dir)
+        self.taint_cache = build_cache(
+            memory_entries,
+            os.path.join(cache_dir, "taint")
+            if cache_dir is not None else None)
         self.config = AnalyzerConfig.build(
             likelihood=likelihood, matrix=matrix,
             value_policy=value_policy, dataset=dataset,
@@ -418,10 +432,71 @@ class BatchEngine:
             job.system, options, job.user, self.analyzer_key(job.kind),
             model_fp=model_fp, kind=job.kind, params=job.params)
 
+    # -- the taint screen --------------------------------------------------------
+
+    def screen_certificate(self, job: AnalysisJob,
+                           model_fp: Optional[str] = None,
+                           options: Optional[GenerationOptions] = None
+                           ) -> TaintCertificate:
+        """The taint certificate of ``job``'s (model, options) pair,
+        cached in the engine's taint-stage store."""
+        if model_fp is None:
+            model_fp = model_fingerprint(job.system)
+        if options is None:
+            options = resolve_options(job)
+        key = taint_stage_key(model_fp, options)
+        certificate = self.taint_cache.get(key)
+        if not isinstance(certificate, TaintCertificate):
+            certificate = build_certificate(job.system, options,
+                                            model_fp=model_fp)
+            self.taint_cache.put(key, certificate)
+        return certificate
+
+    def _screened_result(self, job: AnalysisJob, fingerprint: str,
+                         certificate: TaintCertificate,
+                         non_allowed: Tuple[str, ...]) -> JobResult:
+        """A zero-event result asserted by a clean certificate.
+
+        ``signature()``-identical to what exact analysis would produce
+        except for ``states``/``transitions`` (no state space was
+        built) and the ``screened`` detail marking the provenance.
+        Never written to the result cache: an unscreened run must not
+        be served a screened stand-in.
+        """
+        return JobResult(
+            job_id=job.job_id,
+            scenario=job.scenario,
+            family=job.family,
+            variant=job.variant,
+            fingerprint=fingerprint,
+            user=job.user.name,
+            states=0,
+            transitions=0,
+            max_level=RiskLevel.NONE.value,
+            events=(),
+            non_allowed_actors=non_allowed,
+            kind=job.kind,
+            details=(("screened", True),
+                     ("certificate", certificate.fingerprint())),
+            lts_generated=False,
+            duration=0.0,
+        )
+
     # -- execution -------------------------------------------------------------
 
-    def run(self, jobs: Sequence[AnalysisJob]) -> BatchResult:
-        """Execute ``jobs``; results come back in submission order."""
+    def run(self, jobs: Sequence[AnalysisJob],
+            screen: bool = False) -> BatchResult:
+        """Execute ``jobs``; results come back in submission order.
+
+        With ``screen=True``, screenable kinds (disclosure) first
+        consult the model's taint certificate: a clean one *proves*
+        the exact analyzer reports zero events, so the job is answered
+        without generating its LTS (``stats.screened``); flagged
+        models run exactly as usual (``stats.screen_flagged``). Warm
+        result-cache hits still win over the screen — they are exact.
+        The only observable divergence of a screened answer is
+        resource limits: a clean model never hits ``max_states``.
+        """
         jobs = list(jobs)
         started = time.perf_counter()
         stats = EngineStats(backend=self.backend, jobs=len(jobs))
@@ -448,6 +523,22 @@ class BatchEngine:
                 results[index] = cached.relabel(job)
                 stats.result_hits += 1
                 continue
+            if screen and get_kind(job.kind).screenable:
+                if not job.user.agreed_services:
+                    # Exact analysis raises for such users; the screen
+                    # must preserve that, so never skip them.
+                    stats.screen_flagged += 1
+                else:
+                    certificate = self.screen_certificate(
+                        job, model_fp=model_fp, options=options)
+                    non_allowed = tuple(sorted(
+                        job.user.non_allowed_actors(job.system)))
+                    if certificate.clean_for(non_allowed):
+                        results[index] = self._screened_result(
+                            job, fingerprint, certificate, non_allowed)
+                        stats.screened += 1
+                        continue
+                    stats.screen_flagged += 1
             if fingerprint in pending:
                 # Same content already queued in this batch: compute
                 # once, fan out below.

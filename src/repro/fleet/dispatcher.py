@@ -37,16 +37,21 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..dfd import to_dsl
 from ..engine import (
     AnalysisJob,
+    AnalyzerConfig,
     EngineStats,
     FleetReport,
     JobResult,
     ScenarioGenerator,
+    get_kind,
+    job_fingerprint,
     kind_names,
     model_fingerprint,
+    resolve_options,
     scenario_jobs,
     stable_hash,
 )
 from ..errors import ReproError
+from ..taint import build_certificate
 from ..service.messages import (
     AnalysisRequest,
     AnalysisResponse,
@@ -295,26 +300,38 @@ class FleetDispatcher:
             personas_per_scenario=request.personas)
         jobs = scenario_jobs(generator.generate(request.count),
                              kinds=request.kinds)
-        return self.run(jobs)
+        return self.run(jobs, screen=request.screen)
 
-    def run(self, jobs: Sequence[AnalysisJob]) -> FleetOutcome:
+    def run(self, jobs: Sequence[AnalysisJob],
+            screen: bool = False) -> FleetOutcome:
         """Dispatch ``jobs``; results merge back in submission order
-        with worker-computed signatures intact."""
+        with worker-computed signatures intact.
+
+        With ``screen=True`` the coordinator runs the taint pre-screen
+        locally — a pure function of each (model, user) pair, no
+        engine or transport — and dispatches only the flagged jobs;
+        clean models never cross the wire at all. Screen accounting
+        lands on ``stats.engine`` so :class:`FleetReport` rollups see
+        it exactly as in a single-node screened run.
+        """
         jobs = list(jobs)
         started = self._clock()
         stats = FleetStats(jobs=len(jobs))
         reports = {worker: WorkerReport(worker)
                    for worker in self.workers}
 
+        screened: Dict[int, JobResult] = \
+            self._screen(jobs, stats) if screen else {}
+
         ring = self._probe_workers(reports, stats)
-        shards = self._prepare(jobs, stats)
+        shards = self._prepare(jobs, stats, skip=screened.keys())
         for shard in shards:
             shard.worker = ring.assign(shard.model_fp)
         stats.shards = len(shards)
 
         ring = self._drive(shards, ring, reports, stats)
 
-        results = self._merge(jobs, shards, stats)
+        results = self._merge(jobs, shards, stats, screened=screened)
         stats.wall_time = self._clock() - started
         stats.engine.wall_time = stats.wall_time
         stats.workers = tuple(reports[worker]
@@ -344,8 +361,79 @@ class FleetDispatcher:
                 f"no live workers among {list(self.workers)}")
         return HashRing(live, replicas=self.replicas)
 
+    def _screen(self, jobs: Sequence[AnalysisJob],
+                stats: FleetStats) -> Dict[int, JobResult]:
+        """Taint pre-screen every screenable job coordinator-side.
+
+        Returns synthesized zero-event results by job index for the
+        jobs a clean certificate clears. Fingerprints are computed
+        under the default :class:`AnalyzerConfig` — the configuration
+        default workers run — so a clean job's synthesized fingerprint
+        matches what the worker would have answered.
+        """
+        screened: Dict[int, JobResult] = {}
+        config = AnalyzerConfig.build()
+        analyzer_keys: Dict[str, tuple] = {}
+        certificates: Dict[tuple, object] = {}
+        model_fps: Dict[int, str] = {}
+        for index, job in enumerate(jobs):
+            if not job.job_id:
+                job.job_id = f"job-{index:04d}"
+            if not get_kind(job.kind).screenable or \
+                    job.options is not None:
+                continue
+            if not job.user.agreed_services:
+                # Workers raise for such users, exactly like a local
+                # exact run; never screen them out.
+                stats.engine.screen_flagged += 1
+                continue
+            model_fp = model_fps.get(id(job.system))
+            if model_fp is None:
+                model_fp = model_fingerprint(job.system)
+                model_fps[id(job.system)] = model_fp
+            options = resolve_options(job)
+            cert_key = (model_fp, options.cache_key()
+                        if options is not None else None)
+            certificate = certificates.get(cert_key)
+            if certificate is None:
+                certificate = build_certificate(job.system, options,
+                                                model_fp=model_fp)
+                certificates[cert_key] = certificate
+            non_allowed = tuple(sorted(
+                job.user.non_allowed_actors(job.system)))
+            if not certificate.clean_for(non_allowed):
+                stats.engine.screen_flagged += 1
+                continue
+            analyzer_key = analyzer_keys.get(job.kind)
+            if analyzer_key is None:
+                analyzer_key = get_kind(job.kind).analyzer_key(config)
+                analyzer_keys[job.kind] = analyzer_key
+            screened[index] = JobResult(
+                job_id=job.job_id,
+                scenario=job.scenario,
+                family=job.family,
+                variant=job.variant,
+                fingerprint=job_fingerprint(
+                    job.system, options, job.user, analyzer_key,
+                    model_fp=model_fp, kind=job.kind,
+                    params=job.params),
+                user=job.user.name,
+                states=0,
+                transitions=0,
+                max_level="none",
+                events=(),
+                non_allowed_actors=non_allowed,
+                kind=job.kind,
+                details=(("screened", True),
+                         ("certificate", certificate.fingerprint())),
+                lts_generated=False,
+                duration=0.0,
+            )
+            stats.engine.screened += 1
+        return screened
+
     def _prepare(self, jobs: Sequence[AnalysisJob],
-                 stats: FleetStats) -> List[_Shard]:
+                 stats: FleetStats, skip=()) -> List[_Shard]:
         """Jobs to deduplicated, content-addressed shards.
 
         The shard key is the stable hash of the canonical wire request
@@ -355,9 +443,12 @@ class FleetDispatcher:
         """
         shards: Dict[str, _Shard] = {}
         model_fps: Dict[int, str] = {}
+        skip = frozenset(skip)
         for index, job in enumerate(jobs):
             if not job.job_id:
                 job.job_id = f"job-{index:04d}"
+            if index in skip:
+                continue
             if job.options is not None:
                 raise FleetError(
                     f"job {job.job_id!r} carries explicit generation "
@@ -481,6 +572,8 @@ class FleetDispatcher:
         merged.executed += worker_stats.executed
         merged.lts_generations += worker_stats.lts_generations
         merged.lts_reuses += worker_stats.lts_reuses
+        merged.screened += worker_stats.screened
+        merged.screen_flagged += worker_stats.screen_flagged
 
     def _shard_failure(self, shard: _Shard, shards: List[_Shard],
                        ring: HashRing,
@@ -530,10 +623,14 @@ class FleetDispatcher:
 
     def _merge(self, jobs: Sequence[AnalysisJob],
                shards: List[_Shard],
-               stats: FleetStats) -> List[JobResult]:
+               stats: FleetStats,
+               screened: Optional[Dict[int, JobResult]] = None
+               ) -> List[JobResult]:
         """Fan shard results back out to job order, relabelled with
         the coordinator's display labels (signatures untouched)."""
         results: List[Optional[JobResult]] = [None] * len(jobs)
+        for index, result in (screened or {}).items():
+            results[index] = result
         for shard in shards:
             first, *rest = shard.indices
             job = jobs[first]

@@ -270,7 +270,7 @@ class AnalysisService:
             personas_per_scenario=request.personas)
         jobs = scenario_jobs(generator.generate(request.count),
                              kinds=request.kinds)
-        batch = self._run(jobs)
+        batch = self._run(jobs, screen=request.screen)
         report = FleetReport(batch.results, batch.stats).to_dict() \
             if include_report else None
         return self._response(batch, report=report)
@@ -303,8 +303,9 @@ class AnalysisService:
             retargeted=outcome.retargeted,
             lts_seeded=outcome.lts_seeded)
 
-    def _run(self, jobs: List[AnalysisJob]) -> BatchResult:
-        return self._guard(self.engine.run, jobs)
+    def _run(self, jobs: List[AnalysisJob],
+             screen: bool = False) -> BatchResult:
+        return self._guard(self.engine.run, jobs, screen)
 
     @staticmethod
     def _guard(operation, *args):
@@ -343,6 +344,8 @@ class AnalysisService:
                 "results": cache_stats_to_dict(
                     engine.result_cache.stats),
                 "lts": cache_stats_to_dict(engine.lts_cache.stats),
+                "taint": cache_stats_to_dict(
+                    engine.taint_cache.stats),
             }
         return CacheStatsResponse(cache_dir=self.cache_dir,
                                   stores=stores, live=live)

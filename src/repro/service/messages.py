@@ -391,12 +391,16 @@ class SweepRequest:
     seed: int = 0
     personas: int = 2
     kinds: Tuple[str, ...] = ("disclosure",)
+    #: Taint pre-screen: skip exact generation for models a clean
+    #: certificate clears (screenable kinds only).
+    screen: bool = False
 
     FIELDS = {
         "count": ((int,), False, 20),
         "seed": ((int,), False, 0),
         "personas": ((int,), False, 2),
         "kinds": ((list, tuple), False, ["disclosure"]),
+        "screen": ((bool,), False, False),
     }
 
     def __post_init__(self):
@@ -411,7 +415,8 @@ class SweepRequest:
 
     def to_dict(self) -> dict:
         return {"count": self.count, "seed": self.seed,
-                "personas": self.personas, "kinds": list(self.kinds)}
+                "personas": self.personas, "kinds": list(self.kinds),
+                "screen": self.screen}
 
     @classmethod
     def from_dict(cls, payload, allow_paths: bool = True
@@ -421,7 +426,8 @@ class SweepRequest:
                    personas=checked["personas"],
                    kinds=_string_tuple(checked["kinds"],
                                        "sweep request", "kinds")
-                   or ("disclosure",))
+                   or ("disclosure",),
+                   screen=bool(checked["screen"]))
 
 
 @dataclass(frozen=True)
@@ -560,6 +566,8 @@ def stats_to_dict(stats: EngineStats) -> dict:
         "lts_reuses": stats.lts_reuses,
         "wall_time": stats.wall_time,
         "by_kind": dict(stats.by_kind),
+        "screened": stats.screened,
+        "screen_flagged": stats.screen_flagged,
     }
 
 

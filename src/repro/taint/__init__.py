@@ -1,0 +1,28 @@
+"""Static taint pre-screen: sound disclosure triage on the DFD graph.
+
+A transitive data-flow closure over flows + grants + pseudonymisation
+edges (:mod:`repro.taint.closure`), distilled into cacheable
+:class:`TaintCertificate` artifacts (:mod:`repro.taint.certificate`)
+that the engine uses to skip exact LTS generation for models the
+over-approximation already clears. Deliberately engine-free: this
+package imports only the model layers, so the engine can import *it*
+for cache keys and screening without a cycle.
+"""
+
+from .certificate import (
+    CERT_FORMAT,
+    TaintCertificate,
+    build_certificate,
+    certificate_from_report,
+)
+from .closure import TaintReport, compute_taint, content_universe
+
+__all__ = [
+    "CERT_FORMAT",
+    "TaintCertificate",
+    "TaintReport",
+    "build_certificate",
+    "certificate_from_report",
+    "compute_taint",
+    "content_universe",
+]

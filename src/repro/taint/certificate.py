@@ -1,0 +1,203 @@
+"""Taint certificates: cacheable impossibility assertions.
+
+A :class:`TaintCertificate` is the durable distillation of a
+:class:`~repro.taint.closure.TaintReport`: a content-fingerprinted
+artifact asserting which (field, actor) disclosures are *impossible*
+for one (model, generation options) pair. The engine caches it under
+a taint-stage key (see :func:`repro.engine.fingerprint.taint_stage_key`)
+and uses :meth:`TaintCertificate.clean_for` to skip exact LTS
+generation for disclosure jobs the closure already clears.
+
+Unlike the report, the certificate carries no witness chains — only
+the facts that decide verdicts and survival, so its fingerprint is a
+stable content address.
+
+Survival under model edits is the precision contract with
+:mod:`repro.engine.incremental`: an ACL-only edit that adds read
+grants exclusively on **untracked** atoms — (store, field) pairs the
+closure proved unreachable — cannot change any verdict, so the
+certificate survives verbatim even though the LTS stage (whose
+could-read display vectors see every grant) is invalidated. The one
+hazard is wildcard grants: ``AclEntry.covers`` matches *any* field of
+a store for a ``*`` entry, while :func:`repro.dfd.diff.diff_models`
+expands wildcards against the store's schema only. Stores that track
+reachable non-schema fields (pseudonym spillover, extra-write flows)
+are therefore recorded in ``nonschema_tracked_stores`` and any
+read-grant addition on them invalidates the certificate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..access.acl import ALL_FIELDS
+from ..core import GenerationOptions
+from ..dfd import ModelDiff, SystemModel
+from .closure import TaintReport, compute_taint
+
+#: Version of the certificate payload contract; part of the
+#: fingerprint and of the engine's taint-stage cache key. Bump on any
+#: change to the closure rules or the certificate layout.
+CERT_FORMAT = 1
+
+
+def _stable_hash(data) -> str:
+    """sha256 over canonical JSON (sorted keys, no whitespace).
+
+    Local twin of :func:`repro.engine.fingerprint.stable_hash` — the
+    taint package must stay importable without the engine.
+    """
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class TaintCertificate:
+    """What the closure proved, in survivable, fingerprintable form.
+
+    ``tracked_atoms`` are the reachable (store, field) content pairs;
+    everything outside them is proven impossible.
+    ``potential_flags`` / ``flow_read_targets`` are per-actor sorted
+    field tuples naming every way an exact READ event can arise.
+    ``blockers`` are conservative not-clean reasons (exact generation
+    would raise). ``model_fp`` / ``options_key`` pin the inputs the
+    certificate speaks for.
+    """
+
+    model_fp: str
+    options_key: Optional[tuple]
+    tracked_atoms: Tuple[Tuple[str, str], ...]
+    nonschema_tracked_stores: Tuple[str, ...]
+    potential_flags: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    flow_read_targets: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    blockers: Tuple[str, ...]
+
+    # -- verdicts --------------------------------------------------------------
+
+    def flagged_actors(self) -> Tuple[str, ...]:
+        """Actors that can appear as the reader of an exact READ event."""
+        return tuple(sorted({a for a, _ in self.potential_flags} |
+                            {a for a, _ in self.flow_read_targets}))
+
+    def clean_for(self, non_allowed) -> bool:
+        """Taint-clear for a user with this non-allowed actor set?
+
+        True proves the exact disclosure analyzer reports zero risk
+        events for any such user (risk events are READ transitions by
+        non-allowed actors).
+        """
+        if self.blockers:
+            return False
+        bad = set(non_allowed)
+        return not bad & set(self.flagged_actors())
+
+    # -- survival under model edits -------------------------------------------
+
+    def survives_acl_change(self, diff: ModelDiff) -> bool:
+        """Does an ACL-only edit leave every verdict intact?
+
+        The caller must already have established that nothing outside
+        the ACL changed (see
+        :func:`repro.engine.incremental.certificate_survives`).
+        Read-grant *removals* only shrink the exact policy-read
+        surface, so the over-approximation stays sound; create/delete
+        grants never feed a READ event. Only read-grant *additions*
+        can widen reachability — and only when they touch a tracked
+        atom (or a store whose wildcard coverage the diff cannot
+        enumerate, see module docstring).
+        """
+        if diff.structural_change:
+            return False
+        tracked = set(self.tracked_atoms)
+        tracked_stores = {store for store, _ in tracked}
+        risky_stores = set(self.nonschema_tracked_stores)
+        for grant in diff.added_grants:
+            if grant.permission != "read":
+                continue
+            if grant.store in risky_stores:
+                return False
+            if grant.field == ALL_FIELDS:
+                if grant.store in tracked_stores:
+                    return False
+                continue
+            if (grant.store, grant.field) in tracked:
+                return False
+        return True
+
+    def rebind(self, model_fp: str) -> "TaintCertificate":
+        """The same certificate re-pinned to an edited model's
+        fingerprint (valid only when the edit provably survives)."""
+        return replace(self, model_fp=model_fp)
+
+    # -- identity --------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """The certificate's content address."""
+        return _stable_hash([
+            "taint-certificate",
+            CERT_FORMAT,
+            self.model_fp,
+            self.options_key,
+            self.tracked_atoms,
+            self.nonschema_tracked_stores,
+            self.potential_flags,
+            self.flow_read_targets,
+            self.blockers,
+        ])
+
+    def describe(self) -> str:
+        flagged = self.flagged_actors()
+        status = "blocked" if self.blockers else (
+            "flags " + ", ".join(flagged) if flagged else "clean")
+        return (f"taint certificate {self.fingerprint()[:12]}: "
+                f"{len(self.tracked_atoms)} tracked atoms, {status}")
+
+
+def certificate_from_report(
+        report: TaintReport, system: SystemModel,
+        model_fp: Optional[str] = None) -> TaintCertificate:
+    """Distil a closure report into a certificate.
+
+    When ``model_fp`` is omitted the certificate is pinned to a local
+    canonical hash of the model (the engine-compatible recipe).
+    """
+    if model_fp is None:
+        from ..dfd import canonical_system_dict
+        model_fp = _stable_hash(canonical_system_dict(system))
+    nonschema = set()
+    for store_name, field_name in report.content_atoms:
+        store = system.datastores.get(store_name)
+        if store is None or field_name not in store.schema:
+            nonschema.add(store_name)
+    return TaintCertificate(
+        model_fp=model_fp,
+        options_key=report.options_key,
+        tracked_atoms=tuple(sorted(report.content_atoms)),
+        nonschema_tracked_stores=tuple(sorted(nonschema)),
+        potential_flags=tuple(sorted(
+            (actor, tuple(sorted(fields)))
+            for actor, fields in report.potential_read_fields.items())),
+        flow_read_targets=tuple(sorted(
+            (actor, tuple(sorted(fields)))
+            for actor, fields in report.flow_read_fields.items())),
+        blockers=report.blockers,
+    )
+
+
+def build_certificate(system: SystemModel,
+                      options: Optional[GenerationOptions] = None,
+                      model_fp: Optional[str] = None) -> TaintCertificate:
+    """Closure + distillation in one call.
+
+    ``model_fp`` lets callers pass an already-computed model
+    fingerprint; when omitted the certificate is pinned to a local
+    canonical hash of the model via the engine-compatible recipe.
+    """
+    if model_fp is None:
+        from ..dfd import canonical_system_dict
+        model_fp = _stable_hash(canonical_system_dict(system))
+    report = compute_taint(system, options)
+    return certificate_from_report(report, system, model_fp)

@@ -1,0 +1,398 @@
+"""Transitive data-flow closure over the DFD graph.
+
+A sound over-approximation of the exact LTS semantics in
+:mod:`repro.core.generation`, computed directly on the model — linear
+in model size, no state explosion (von Maltitz et al., "Privacy
+Assessment of Software Architectures based on Static Taint Analysis").
+The closure answers "can field F ever reach actor A" and, when the
+answer is *no everywhere that matters*, proves the exact disclosure
+analyzer will report zero risk events, so exact generation can be
+skipped for the model.
+
+The fixpoint propagates **taint atoms** — ``("actor", name, field)``
+for an actor holding a field, ``("store", name, field)`` for a store
+containing one — through every mechanism the exact generator has:
+
+* USER-source flows are always ready; their target gains the fields.
+* actor-source flows are ready once the source holds every
+  non-originated field (originated fields materialise on firing,
+  exactly :func:`_originated_gain`'s rule).
+* flows into an anonymised store rename fields via
+  :func:`repro.schema.anon_name` when the pseudonym is in the store's
+  schema — the pseudonymisation edge.
+* store-source flows are ready once every field is present; a field
+  outside the store's content universe makes the flow never ready
+  (mirroring ``_FlowRecord.never_ready``).
+* potential reads (the access-policy grants): a potential-read actor
+  gains every reachable stored field the policy lets it read. The
+  gain feeds back into the fixpoint — an actor whose only path onward
+  starts from a policy read still propagates.
+
+Soundness direction: the closure ignores joint readiness (each field
+propagates independently), ignores flow ordering, and ignores deletes
+(contents only ever shrink through them), so its reachable set is a
+superset of anything the exact state space can produce. Conditions
+that would make exact generation *raise* rather than run — unknown
+endpoints, unsupported endpoint combinations, an empty flow
+selection, invalid initial store contents — become ``blockers``: the
+model is conservatively not clean and is never screened out.
+
+The one accepted divergence: a screened-clean model bypasses the
+exact generator's resource limits (``max_states`` /
+``StateLimitExceeded``), since no state space is built at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..core import GenerationOptions
+from ..dfd import SystemModel
+from ..dfd.model import USER, NodeKind
+from ..errors import ModelError
+from ..schema import anon_name
+
+#: A taint atom: ("actor"|"store", node name, field name).
+Atom = Tuple[str, str, str]
+
+
+def content_universe(system: SystemModel) -> Dict[str, FrozenSet[str]]:
+    """Per store, the fields it can ever contain.
+
+    Mirrors ``StateCodec``'s content universe exactly: the store's
+    schema plus every extra field an inbound actor->store flow writes
+    (after pseudonym renaming) — validation normally forbids
+    non-schema writes, but generation never required it.
+    """
+    extra: Dict[str, set] = {}
+    for flow in system.all_flows():
+        if flow.target in system.datastores and \
+                flow.source in system.actors:
+            store = system.datastores[flow.target]
+            for field_name in flow.fields:
+                if store.anonymised and \
+                        anon_name(field_name) in store.schema:
+                    field_name = anon_name(field_name)
+                extra.setdefault(flow.target, set()).add(field_name)
+    universe: Dict[str, FrozenSet[str]] = {}
+    for store_name, store in system.datastores.items():
+        names = set(store.field_names()) | extra.get(store_name, set())
+        universe[store_name] = frozenset(names)
+    return universe
+
+
+@dataclass(frozen=True)
+class TaintReport:
+    """The closure's verdicts for one (model, generation options) pair.
+
+    ``content_atoms`` / ``actor_atoms`` are the reachable taint sets;
+    ``potential_read_fields`` maps each potential-read actor to the
+    reachable stored fields the policy lets it read (each such pair is
+    a possible exact READ event); ``flow_read_fields`` maps actors
+    targeted by a fireable store->actor flow to the fields read that
+    way. ``blockers`` are conservative not-clean reasons — conditions
+    under which exact generation would raise.
+    """
+
+    system_name: str
+    options_key: Optional[tuple]
+    content_atoms: FrozenSet[Tuple[str, str]]
+    actor_atoms: FrozenSet[Tuple[str, str]]
+    potential_read_fields: Mapping[str, FrozenSet[str]]
+    flow_read_fields: Mapping[str, FrozenSet[str]]
+    blockers: Tuple[str, ...]
+    universe: Mapping[str, FrozenSet[str]]
+    parents: Mapping[Atom, Tuple[str, Tuple[Atom, ...]]] = \
+        field(repr=False, default_factory=dict)
+
+    # -- per-(field, actor) verdicts ------------------------------------------
+
+    def reaches(self, field_name: str, actor: str) -> bool:
+        """Can ``field_name`` ever reach ``actor``? (over-approximate)
+
+        The data subject trivially "reaches" every field about itself.
+        When the closure hit a blocker, every pair conservatively
+        answers yes — no impossibility claim survives a model that
+        exact generation would refuse to analyse.
+        """
+        if actor == USER:
+            return True
+        if self.blockers:
+            return True
+        return (actor, field_name) in self.actor_atoms
+
+    def unreachable_pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """Every (field, actor) pair proven impossible, sorted."""
+        if self.blockers:
+            return ()
+        fields = sorted({f for fields in self.universe.values()
+                         for f in fields})
+        pairs = []
+        for actor in sorted(self.actors()):
+            for field_name in fields:
+                if not self.reaches(field_name, actor):
+                    pairs.append((field_name, actor))
+        return tuple(pairs)
+
+    def actors(self) -> Tuple[str, ...]:
+        return tuple(sorted({a for a, _ in self.actor_atoms} |
+                            set(self.potential_read_fields) |
+                            set(self.flow_read_fields)))
+
+    # -- risk-event verdicts ---------------------------------------------------
+
+    def flagged_actors(self) -> Tuple[str, ...]:
+        """Actors that can appear as the reader of an exact READ event."""
+        return tuple(sorted(set(self.potential_read_fields) |
+                            set(self.flow_read_fields)))
+
+    def clean_for(self, non_allowed) -> bool:
+        """Taint-clear for a user whose non-allowed set is given?
+
+        True proves the exact disclosure analyzer reports zero risk
+        events for any user with exactly this non-allowed actor set
+        (risk events are READ transitions by non-allowed actors).
+        """
+        if self.blockers:
+            return False
+        bad = set(non_allowed)
+        return not (bad & set(self.potential_read_fields) or
+                    bad & set(self.flow_read_fields))
+
+    # -- witnesses -------------------------------------------------------------
+
+    def witness_path(self, field_name: str, actor: str,
+                     limit: int = 12) -> Tuple[str, ...]:
+        """A derivation chain showing *why* (field, actor) is reachable.
+
+        Empty for unreachable pairs (and for the trivially-reachable
+        data subject). Each entry is one human-readable closure step,
+        seed first.
+        """
+        atom: Atom = ("actor", actor, field_name)
+        if atom not in self.parents:
+            return ()
+        steps: List[str] = []
+        seen = set()
+
+        def walk(current: Atom) -> None:
+            if current in seen or len(steps) >= limit:
+                return
+            seen.add(current)
+            description, prereqs = self.parents[current]
+            for prereq in prereqs:
+                walk(prereq)
+            if len(steps) < limit and description not in steps:
+                steps.append(description)
+
+        walk(atom)
+        return tuple(steps)
+
+
+class _Rule:
+    """One compiled flow: prerequisites -> gained atoms."""
+
+    __slots__ = ("need", "gains", "description", "read_target",
+                 "read_fields")
+
+    def __init__(self, need: Sequence[Atom], gains: Sequence[Atom],
+                 description: str,
+                 read_target: Optional[str] = None,
+                 read_fields: Tuple[str, ...] = ()):
+        self.need = tuple(need)
+        self.gains = tuple(gains)
+        self.description = description
+        self.read_target = read_target
+        self.read_fields = read_fields
+
+
+def compute_taint(system: SystemModel,
+                  options: Optional[GenerationOptions] = None
+                  ) -> TaintReport:
+    """Run the closure to fixpoint and return the verdicts."""
+    blockers: List[str] = []
+    universe = content_universe(system)
+    reached: set = set()
+    parents: Dict[Atom, Tuple[str, Tuple[Atom, ...]]] = {}
+
+    def add(atom: Atom, description: str,
+            prereqs: Tuple[Atom, ...] = ()) -> bool:
+        if atom in reached:
+            return False
+        reached.add(atom)
+        parents[atom] = (description, prereqs)
+        return True
+
+    # -- flow selection (mirrors _compiled_flows) -----------------------------
+    if options is None or options.services is None:
+        names = tuple(system.services)
+    else:
+        names = tuple(options.services)
+    flows = []
+    for name in names:
+        try:
+            flows.extend(system.service(name).flows)
+        except ModelError as error:
+            blockers.append(str(error))
+    if not flows and not blockers:
+        blockers.append(
+            "no flows selected for generation; check the services "
+            f"option (selected: {list(names)})")
+
+    # -- seeds: initial store contents (mirrors _initial_packed) --------------
+    if options is not None:
+        for store_name, fields in sorted(
+                options.initial_store_contents.items()):
+            try:
+                store = system.datastore(store_name)
+            except ModelError as error:
+                blockers.append(str(error))
+                continue
+            for field_name in fields:
+                if field_name not in store.schema:
+                    blockers.append(
+                        f"initial contents: field {field_name!r} is "
+                        f"not in datastore {store_name!r}")
+                else:
+                    add(("store", store_name, field_name),
+                        f"store {store_name!r} initially holds "
+                        f"{field_name!r}")
+
+    # -- compile flows to closure rules ---------------------------------------
+    rules: List[_Rule] = []
+    for flow in flows:
+        try:
+            source_kind = system.node_kind(flow.source)
+            target_kind = system.node_kind(flow.target)
+        except ModelError as error:
+            blockers.append(str(error))
+            continue
+        where = flow.describe()
+        if source_kind is NodeKind.USER and \
+                target_kind is NodeKind.ACTOR:
+            rules.append(_Rule(
+                (), [("actor", flow.target, f) for f in flow.fields],
+                f"flow {where}: the user sends "
+                f"{sorted(flow.fields)} to {flow.target!r}"))
+            continue
+        if source_kind is NodeKind.ACTOR:
+            originated = set(system.actors[flow.source].originates)
+            need = [("actor", flow.source, f) for f in flow.fields
+                    if f not in originated]
+            # Firing materialises originated fields at the source
+            # (exactly _originated_gain).
+            gains: List[Atom] = [("actor", flow.source, f)
+                                 for f in flow.fields if f in originated]
+            if target_kind is NodeKind.ACTOR:
+                gains.extend(("actor", flow.target, f)
+                             for f in flow.fields)
+                rules.append(_Rule(
+                    need, gains,
+                    f"flow {where}: {flow.source!r} discloses "
+                    f"{sorted(flow.fields)} to {flow.target!r}"))
+                continue
+            if target_kind is NodeKind.USER:
+                rules.append(_Rule(
+                    need, gains,
+                    f"flow {where}: {flow.source!r} returns "
+                    f"{sorted(flow.fields)} to the user"))
+                continue
+            if target_kind is NodeKind.DATASTORE:
+                store = system.datastore(flow.target)
+                for field_name in flow.fields:
+                    stored = field_name
+                    if store.anonymised and \
+                            anon_name(field_name) in store.schema:
+                        stored = anon_name(field_name)
+                    gains.append(("store", store.name, stored))
+                action = "pseudonymises" if store.anonymised \
+                    else "stores"
+                rules.append(_Rule(
+                    need, gains,
+                    f"flow {where}: {flow.source!r} {action} "
+                    f"{sorted(flow.fields)} into {store.name!r}"))
+                continue
+        if source_kind is NodeKind.DATASTORE and \
+                target_kind is NodeKind.ACTOR:
+            store_universe = universe.get(flow.source, frozenset())
+            if any(f not in store_universe for f in flow.fields):
+                # mirrors _FlowRecord.never_ready: the required
+                # contents can never exist, the flow can never fire.
+                continue
+            rules.append(_Rule(
+                [("store", flow.source, f) for f in flow.fields],
+                [("actor", flow.target, f) for f in flow.fields],
+                f"flow {where}: {flow.target!r} reads "
+                f"{sorted(flow.fields)} from {flow.source!r}",
+                read_target=flow.target, read_fields=flow.fields))
+            continue
+        blockers.append(
+            f"flow {where} has an unsupported endpoint combination "
+            f"({source_kind.value} -> {target_kind.value})")
+
+    # -- potential-read configuration -----------------------------------------
+    potential_actors: Tuple[str, ...] = ()
+    if options is not None and options.include_potential_reads:
+        if options.potential_read_actors is not None:
+            potential_actors = tuple(sorted(
+                options.potential_read_actors))
+        else:
+            potential_actors = tuple(sorted(system.actors))
+    can_read = system.policy.can_read
+
+    # -- fixpoint --------------------------------------------------------------
+    flow_read_fields: Dict[str, set] = {}
+    potential_read_fields: Dict[str, set] = {}
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if any(atom not in reached for atom in rule.need):
+                continue
+            if rule.read_target is not None:
+                have = flow_read_fields.setdefault(
+                    rule.read_target, set())
+                if not set(rule.read_fields) <= have:
+                    have.update(rule.read_fields)
+                    changed = True
+            for atom in rule.gains:
+                if add(atom, rule.description, rule.need):
+                    changed = True
+        for actor in potential_actors:
+            for store_name, store_fields in universe.items():
+                for field_name in store_fields:
+                    atom = ("store", store_name, field_name)
+                    if atom not in reached:
+                        continue
+                    if not can_read(actor, store_name, field_name):
+                        continue
+                    have = potential_read_fields.setdefault(
+                        actor, set())
+                    if field_name not in have:
+                        have.add(field_name)
+                        changed = True
+                    if add(("actor", actor, field_name),
+                           f"policy: {actor!r} may read "
+                           f"{field_name!r} from {store_name!r}",
+                           (atom,)):
+                        changed = True
+
+    return TaintReport(
+        system_name=system.name,
+        options_key=options.cache_key() if options is not None
+        else None,
+        content_atoms=frozenset(
+            (node, f) for kind, node, f in reached if kind == "store"),
+        actor_atoms=frozenset(
+            (node, f) for kind, node, f in reached if kind == "actor"),
+        potential_read_fields={
+            actor: frozenset(fields)
+            for actor, fields in potential_read_fields.items()},
+        flow_read_fields={
+            actor: frozenset(fields)
+            for actor, fields in flow_read_fields.items()},
+        blockers=tuple(blockers),
+        universe=universe,
+        parents=parents,
+    )

@@ -487,3 +487,43 @@ class TestServeCommand:
                 os.path.abspath(__file__))),
             capture_output=True)
         assert code.returncode == 0, code.stderr.decode()
+
+
+class TestTaintCommand:
+    def test_flagged_model_exits_one_with_witness(self, model_file,
+                                                  capsys):
+        # Auditor holds a read grant on Records but is outside the
+        # agreed Consult flows, so the closure must flag it.
+        code = main(["taint", model_file, "--agree", "Consult",
+                     "--witness"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "flagged: Auditor can read" in out
+        assert " -> " in out
+        assert "certificate:" in out
+        assert "verdict: flagged" in out
+
+    def test_clean_model_exits_zero(self, tmp_path, capsys):
+        clean = GOOD_MODEL.replace(
+            "    allow Auditor read on Records\n", "")
+        path = tmp_path / "clean.dsl"
+        path.write_text(clean)
+        code = main(["taint", str(path), "--agree", "Consult"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: clean" in out
+
+    def test_unknown_service_is_a_usage_error(self, model_file,
+                                              capsys):
+        # Agreeing to a service the model does not define is rejected
+        # before the closure runs, like the exact analyzers do.
+        code = main(["taint", model_file, "--agree", "Ghost"])
+        assert code == 2
+
+    def test_screened_sweep_reports_skips(self, capsys):
+        code = main(["engine", "sweep", "--count", "6",
+                     "--backend", "serial", "--personas", "1",
+                     "--screen"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "taint screen:" in out

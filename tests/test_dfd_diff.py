@@ -194,6 +194,124 @@ class TestDiffEdgeCases:
         assert not diff_models(_base(), mixed).acl_only
 
 
+def _anon_base():
+    """A pipeline into a pseudonymised store: D holds a_anon/b_anon."""
+    return (SystemBuilder("v")
+            .schema("S", ["a", "b"])
+            .anonymised_schema("SAnon", "S", ["a", "b"])
+            .actor("A").actor("B")
+            .datastore("D", "SAnon", anonymised=True)
+            .service("svc")
+            .flow(1, "User", "A", ["a", "b"])
+            .flow(2, "A", "D", ["a", "b"])
+            .allow("A", "create", "D")
+            .build())
+
+
+class TestDiffPseudonymisedAndMergeCases:
+    """Edge cases the taint-certificate survival check leans on:
+    grants over pseudonymised fields, flow retargets, store merges."""
+
+    def test_grant_add_on_pseudonymised_field(self):
+        after = _anon_base()
+        after.policy.allow("B", "read", "D", ["a_anon"])
+        diff = diff_models(_anon_base(), after)
+        assert diff.acl_only
+        assert [g.describe() for g in diff.added_grants] == \
+            ["B: read on D.a_anon"]
+
+    def test_grant_remove_on_pseudonymised_field(self):
+        from repro.access import Permission
+        before = _anon_base()
+        before.policy.allow("B", "read", "D", ["a_anon", "b_anon"])
+        after = _anon_base()
+        after.policy.allow("B", "read", "D", ["a_anon", "b_anon"])
+        after.policy.revoke("B", Permission.READ, "D",
+                            fields=["b_anon"],
+                            store_fields=["a_anon", "b_anon"])
+        diff = diff_models(before, after)
+        assert not diff.widens_access
+        assert [g.describe() for g in diff.removed_grants] == \
+            ["B: read on D.b_anon"]
+
+    def test_wildcard_grant_expands_against_the_anon_schema(self):
+        """A wildcard on a pseudonymised store diffs as its anon
+        field atoms, never as the raw source fields."""
+        after = _anon_base()
+        after.policy.allow("B", "read", "D")
+        diff = diff_models(_anon_base(), after)
+        fields = sorted(g.field for g in diff.added_grants)
+        assert fields == ["a_anon", "b_anon"]
+
+    def test_flow_retarget_is_a_remove_plus_add(self):
+        """Retargeting a flow (A->D becomes A->D2) must surface both
+        sides — flows key on their endpoints."""
+        after = (SystemBuilder("v")
+                 .schema("S", ["a", "b"])
+                 .actor("A").actor("B")
+                 .datastore("D", "S").datastore("D2", "S")
+                 .service("svc")
+                 .flow(1, "User", "A", ["a"])
+                 .flow(2, "A", "D2", ["a"])
+                 .allow("A", ["read", "create"], "D", ["a", "b"])
+                 .build())
+        diff = diff_models(_base(), after)
+        assert diff.added_datastores == ("D2",)
+        assert len(diff.added_flows) == 1
+        assert "A -> D2" in diff.added_flows[0]
+        assert len(diff.removed_flows) == 1
+        assert "A -> D" in diff.removed_flows[0]
+        assert diff.structural_change
+
+    def test_store_merge_moves_flows_and_grants(self):
+        """Merging D2 into D: the removed store, its flows and its
+        grant atoms all surface in one diff."""
+        before = (SystemBuilder("v")
+                  .schema("S", ["a", "b"])
+                  .actor("A").actor("B")
+                  .datastore("D", "S").datastore("D2", "S")
+                  .service("svc")
+                  .flow(1, "User", "A", ["a", "b"])
+                  .flow(2, "A", "D", ["a"])
+                  .flow(3, "A", "D2", ["b"])
+                  .allow("A", "create", "D", ["a"])
+                  .allow("A", "create", "D2", ["b"])
+                  .allow("B", "read", "D2", ["b"])
+                  .build())
+        after = (SystemBuilder("v")
+                 .schema("S", ["a", "b"])
+                 .actor("A").actor("B")
+                 .datastore("D", "S")
+                 .service("svc")
+                 .flow(1, "User", "A", ["a", "b"])
+                 .flow(2, "A", "D", ["a"])
+                 .flow(3, "A", "D", ["b"])
+                 .allow("A", "create", "D", ["a", "b"])
+                 .allow("B", "read", "D", ["b"])
+                 .build())
+        diff = diff_models(before, after)
+        assert diff.removed_datastores == ("D2",)
+        assert any("A -> D2" in f for f in diff.removed_flows)
+        assert any("A -> D" in f for f in diff.added_flows)
+        removed = {g.describe() for g in diff.removed_grants}
+        added = {g.describe() for g in diff.added_grants}
+        assert "A: create on D2.b" in removed
+        assert "B: read on D2.b" in removed
+        assert "A: create on D.b" in added
+        assert "B: read on D.b" in added
+        assert diff.structural_change
+
+    def test_wildcard_grant_on_unknown_store_keeps_the_star(self):
+        """A wildcard grant whose store the model no longer defines
+        cannot expand against a schema — the atom keeps the literal
+        '*' rather than vanishing from the diff."""
+        after = _base()
+        after.policy.allow("B", "read", "Ghost")
+        diff = diff_models(_base(), after)
+        assert [(g.store, g.field) for g in diff.added_grants] == \
+            [("Ghost", "*")]
+
+
 class TestRiskDelta:
     def test_paper_before_after(self):
         patient = surgery_patient()

@@ -163,9 +163,11 @@ class TestDiskCacheLifecycle:
         engine.run([AnalysisJob(system=build_surgery_system(),
                                 user=surgery_patient())])
         report = store_report(cache_dir)
-        assert set(report) == {"results", "lts"}
+        assert set(report) == {"results", "lts", "taint"}
         assert report["results"]["entries"] == 1
         assert report["lts"]["bytes"] > 0
+        # The taint store only fills under run(screen=True).
+        assert report["taint"]["entries"] == 0
         pruned = prune_stores(cache_dir, max_bytes=0)
         assert pruned["results"].removed == 1
         assert pruned["lts"].removed == 1

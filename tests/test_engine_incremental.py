@@ -17,9 +17,13 @@ from repro.engine import (
     INVALIDATES_NOTHING,
     AnalysisJob,
     BatchEngine,
+    certificate_survives,
     classify_invalidation,
     reanalyze,
+    resolve_options,
+    taint_stage_key,
 )
+from repro.taint import TaintCertificate, build_certificate
 
 
 def _create_grant_edit():
@@ -235,3 +239,126 @@ class TestReanalyze:
         text = outcome.describe()
         assert "retargeted" in text
         assert "re-seeded" in text
+
+
+def _untracked_read_grant_edit():
+    """A read grant on atoms the patient's taint closure never
+    tracks: AnonEHR only fills through the research service, which
+    the surgery patient never agreed to."""
+    after = build_surgery_system()
+    after.policy.allow("Nurse", "read", "AnonEHR", ["dob_anon"])
+    return after
+
+
+class TestCertificateSurvival:
+    """The taint stage invalidates on reachability, not on the LTS's
+    policy view — strictly more precise for ACL edits."""
+
+    def _certificate(self, system=None):
+        system = system or build_surgery_system()
+        user = surgery_patient()
+        from repro.core.risk import DisclosureRiskAnalyzer
+        return build_certificate(
+            system,
+            DisclosureRiskAnalyzer.default_options(system, user))
+
+    def test_nothing_level_always_survives(self):
+        plan = classify_invalidation(build_surgery_system(),
+                                     build_surgery_system())
+        assert certificate_survives(plan, self._certificate())
+
+    def test_untracked_read_grant_survives_the_full_invalidation(self):
+        """The precision fix: the plan says `everything` (read grants
+        moved), yet the certificate provably survives because the
+        grant lands on atoms taint never reaches."""
+        plan = classify_invalidation(build_surgery_system(),
+                                     _untracked_read_grant_edit())
+        assert plan.level == INVALIDATES_EVERYTHING
+        assert plan.acl_only
+        assert certificate_survives(plan, self._certificate())
+
+    def test_tracked_read_grant_invalidates(self):
+        after = build_surgery_system()
+        after.policy.allow("Nurse", "read", "EHR", ["diagnosis"])
+        plan = classify_invalidation(build_surgery_system(), after)
+        assert plan.acl_only
+        assert not certificate_survives(plan, self._certificate())
+
+    def test_wildcard_grant_on_tracked_store_invalidates(self):
+        after = build_surgery_system()
+        after.policy.allow("Nurse", "read", "EHR")
+        plan = classify_invalidation(build_surgery_system(), after)
+        assert not certificate_survives(plan, self._certificate())
+
+    def test_create_grant_edit_survives(self):
+        plan = classify_invalidation(build_surgery_system(),
+                                     _create_grant_edit())
+        assert plan.level == INVALIDATES_ANALYZERS
+        assert certificate_survives(plan, self._certificate())
+
+    def test_grant_removal_survives(self):
+        plan = classify_invalidation(
+            build_surgery_system(),
+            tighten_administrator_policy(build_surgery_system()))
+        assert plan.level == INVALIDATES_EVERYTHING
+        assert plan.acl_only
+        assert certificate_survives(plan, self._certificate())
+
+    def test_structural_change_never_survives(self):
+        after = build_surgery_system()
+        from repro.dfd.model import Actor
+        after.actors["Contractor"] = Actor("Contractor")
+        plan = classify_invalidation(build_surgery_system(), after)
+        assert not plan.acl_only
+        assert not certificate_survives(plan, self._certificate())
+
+
+class TestReanalyzeTaintSeeding:
+    def _jobs(self, before):
+        return [AnalysisJob(system=before,
+                            user=surgery_patient(f"p{i}"),
+                            scenario=f"surgery#{i}", family="surgery")
+                for i in range(3)]
+
+    def test_surviving_certificate_reseeds_under_the_new_key(self):
+        before = build_surgery_system()
+        after = _untracked_read_grant_edit()
+        engine = BatchEngine(backend="serial")
+        jobs = self._jobs(before)
+        engine.run(jobs, screen=True)
+        outcome = reanalyze(engine, before, after, jobs, screen=True)
+        assert outcome.taint_seeded == 1  # one (model, options) pair
+        reseeded = engine.taint_cache.get(
+            taint_stage_key(outcome.plan.after_fp,
+                            resolve_options(jobs[0])))
+        assert isinstance(reseeded, TaintCertificate)
+        assert reseeded.model_fp == outcome.plan.after_fp
+        assert "taint certificates" in outcome.describe()
+
+    def test_invalidated_certificate_is_not_reseeded(self):
+        before = build_surgery_system()
+        after = build_surgery_system()
+        after.policy.allow("Nurse", "read", "EHR", ["diagnosis"])
+        engine = BatchEngine(backend="serial")
+        jobs = self._jobs(before)
+        engine.run(jobs, screen=True)
+        outcome = reanalyze(engine, before, after, jobs, screen=True)
+        assert outcome.taint_seeded == 0
+        assert "taint certificates" not in outcome.describe()
+        # The screened re-run recomputed a *fresh* certificate for the
+        # edited model rather than reusing the stale one.
+        fresh = engine.taint_cache.get(
+            taint_stage_key(outcome.plan.after_fp,
+                            resolve_options(jobs[0])))
+        assert isinstance(fresh, TaintCertificate)
+        assert fresh.model_fp == outcome.plan.after_fp
+
+    def test_cold_taint_cache_degrades_gracefully(self):
+        before = build_surgery_system()
+        jobs = self._jobs(before)
+        engine = BatchEngine(backend="serial")
+        engine.run(jobs)  # unscreened: taint cache stays cold
+        outcome = reanalyze(engine, before,
+                            _untracked_read_grant_edit(), jobs)
+        assert outcome.taint_seeded == 0
+        assert len(outcome.batch.results) == len(jobs)

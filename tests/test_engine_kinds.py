@@ -44,14 +44,14 @@ def _researcher_policy():
 
 
 class TestRegistry:
-    def test_five_first_class_kinds(self):
+    def test_six_first_class_kinds(self):
         assert KINDS == ("disclosure", "pseudonym", "consent_change",
-                         "reidentify", "population")
+                         "reidentify", "population", "taint")
         assert set(kind_names()) == set(KINDS)
 
     def test_get_kind_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown analysis kind"):
-            get_kind("taint")
+            get_kind("dataflow")
 
     def test_register_requires_name(self):
         with pytest.raises(ValueError):

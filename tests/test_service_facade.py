@@ -113,7 +113,7 @@ class TestAnalyze:
         with pytest.raises(RequestError, match="unknown analysis kind"):
             service.analyze(AnalysisRequest(
                 models=(ModelRef(hash=model_hash),), user=USER,
-                kind="taint"))
+                kind="dataflow"))
 
     def test_engine_errors_become_structured(self, service):
         """A user agreeing to a service the model lacks is an

@@ -214,7 +214,7 @@ class TestErrors:
         status, body = call(base, "/v1/models", {"text": MODEL})
         status, body = call(base, "/v1/analyze",
                             {"models": [{"hash": body["model_hash"]}],
-                             "user": USER, "kind": "taint"})
+                             "user": USER, "kind": "dataflow"})
         assert status == 400
         assert "unknown analysis kind" in body["error"]["message"]
 
