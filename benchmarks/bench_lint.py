@@ -1,0 +1,209 @@
+"""Model lint engine — rule throughput and byte-stable diagnostics.
+
+Not a paper table: this bench quantifies the PR-9 lint stage. A
+synthetic fleet of builder models — a clean majority plus slots
+seeded with policy conflicts (shadowed grants, grants without a flow
+path, dead grants the taint closure exposes) — is linted end to end,
+and the full three-tier pass must clear 1,000 models/second: lint
+runs as an engine pre-flight over whole fleets, so it must stay orders
+of magnitude cheaper than the state-space search it gates.
+
+Determinism is the second contract: two independent lint runs of the
+same model must render byte-identical text, JSON and SARIF — the
+diagnostic ordering is canonical (line, column, rule, message) and
+every renderer emits sorted keys, so CI can diff lint artifacts
+across runs.
+
+Run under pytest-benchmark for timings, or standalone for the CI smoke
+check (which also emits ``BENCH_lint.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py --quick
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import pytest
+
+from repro.dfd import SystemBuilder
+from repro.engine import AnalysisJob, BatchEngine
+from repro.lint import render, run_lint
+
+FLEET_VARIANTS = 60
+#: Variants in every block of 10 seeded with policy conflicts.
+CONFLICT_SLOTS = (0, 3, 7)
+BENCH_JSON = "BENCH_lint.json"
+THROUGHPUT_BAR = 1000.0
+
+
+def _variant(index: int):
+    """One fleet member: a user -> clerk -> store -> auditor pipeline.
+
+    Conflict slots double the auditor's grant (shadowed-grant), grant
+    a flow-less Outsider a read (grant-without-flow) and grant the
+    auditor a field no flow ever delivers (dead-grant) — one finding
+    per tier-2/3 rule family, so the bench exercises the policy and
+    taint tiers, not just the structural delegation.
+    """
+    fields = [f"f{j}" for j in range(2 + index % 3)]
+    builder = (SystemBuilder(f"lint-fleet-{index:03d}")
+               .schema("S", fields)
+               .actor("Clerk").actor("Auditor").actor("Outsider")
+               .datastore("Store", "S")
+               .service("svc")
+               .flow(1, "User", "Clerk", fields)
+               .flow(2, "Clerk", "Store", fields)
+               .flow(3, "Store", "Auditor", fields[:1])
+               .allow("Clerk", "create", "Store")
+               .allow("Auditor", "read", "Store", fields[:1]))
+    if index % 10 in CONFLICT_SLOTS:
+        builder.allow("Auditor", "read", "Store", fields[:1])
+        builder.allow("Outsider", "read", "Store", fields[:1])
+    return builder.build()
+
+
+def _fleet(count=FLEET_VARIANTS):
+    return [_variant(index) for index in range(count)]
+
+
+def _measure_throughput(count=FLEET_VARIANTS):
+    """Full three-tier lint runs per second over prebuilt models."""
+    systems = _fleet(count)
+    started = time.perf_counter()
+    reports = [run_lint(system) for system in systems]
+    elapsed = time.perf_counter() - started
+    return count / max(elapsed, 1e-9), reports
+
+
+def _measure_stability(count=8):
+    """Render every format twice from independent lint runs."""
+    drifted = []
+    for system in _fleet(count):
+        for fmt in ("text", "json", "sarif"):
+            first = render(run_lint(system), fmt).encode()
+            second = render(run_lint(system), fmt).encode()
+            if first != second:
+                drifted.append((system.name, fmt))
+    return drifted
+
+
+def _measure_engine_preflight(count=12):
+    """Lint-stage cache accounting across two warm-cache sweeps."""
+    from repro.consent import UserProfile
+    engine = BatchEngine(backend="serial")
+    jobs = [AnalysisJob(system=system,
+                        user=UserProfile(f"u{i}",
+                                         agreed_services=["svc"]),
+                        scenario=f"lint#{i:03d}")
+            for i, system in enumerate(_fleet(count))]
+    cold = engine.run(jobs, lint="warn")
+    warm = engine.run(jobs, lint="warn")
+    return cold.stats, warm.stats
+
+
+def _check_contract(throughput, reports, drifted, cold, warm):
+    """The acceptance bars; returns failure strings (empty = pass)."""
+    failures = []
+    if throughput < THROUGHPUT_BAR:
+        failures.append(
+            f"lint throughput {throughput:,.0f} models/s below the "
+            f"{THROUGHPUT_BAR:,.0f} bar")
+    conflicts = sum(1 for report in reports if not report.clean)
+    expected = sum(1 for i in range(len(reports))
+                   if i % 10 in CONFLICT_SLOTS)
+    if conflicts < expected:
+        failures.append(
+            f"only {conflicts}/{expected} seeded-conflict variants "
+            "produced findings")
+    for name, fmt in drifted:
+        failures.append(f"byte drift: {name} rendered {fmt} "
+                        "differently across two runs")
+    if cold.linted != 12 or cold.lint_reuses != 0:
+        failures.append(
+            f"cold pre-flight linted {cold.linted} with "
+            f"{cold.lint_reuses} reuses; expected 12/0")
+    if warm.lint_reuses != 12 or warm.linted != 0:
+        failures.append(
+            f"warm pre-flight reused {warm.lint_reuses} with "
+            f"{warm.linted} fresh lints; expected 12/0")
+    return failures
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_lint_throughput(benchmark):
+    systems = _fleet()
+    reports = benchmark(
+        lambda: [run_lint(system) for system in systems])
+    assert sum(1 for r in reports if not r.clean) >= \
+        sum(1 for i in range(FLEET_VARIANTS)
+            if i % 10 in CONFLICT_SLOTS)
+
+
+def test_sarif_render_throughput(benchmark):
+    reports = [run_lint(system) for system in _fleet()]
+    documents = benchmark(
+        lambda: [render(report, "sarif") for report in reports])
+    assert all(doc.endswith("\n") for doc in documents)
+
+
+def test_diagnostics_are_byte_stable():
+    assert _measure_stability() == []
+
+
+# -- standalone CI smoke -----------------------------------------------------
+
+def _quick_smoke() -> int:
+    """Standalone CI smoke: throughput, stability, pre-flight cache;
+    emit BENCH_lint.json."""
+    throughput, reports = _measure_throughput()
+    conflicts = sum(1 for report in reports if not report.clean)
+    findings = sum(len(report.diagnostics) for report in reports)
+    print(f"lint throughput: {throughput:,.0f} models/s "
+          f"({conflicts}/{len(reports)} variants with findings, "
+          f"{findings} diagnostics)")
+
+    drifted = _measure_stability()
+    print(f"byte stability: "
+          f"{'drift in ' + repr(drifted) if drifted else 'OK'} "
+          f"(text/json/sarif, two independent runs)")
+
+    cold, warm = _measure_engine_preflight()
+    print(f"engine pre-flight cold: {cold.describe()}")
+    print(f"engine pre-flight warm: {warm.describe()}")
+
+    failures = _check_contract(throughput, reports, drifted, cold,
+                               warm)
+    record = {
+        "models": len(reports),
+        "lint_throughput_models_per_s": round(throughput, 1),
+        "throughput_bar": THROUGHPUT_BAR,
+        "variants_with_findings": conflicts,
+        "diagnostics": findings,
+        "byte_stable": not drifted,
+        "preflight": {
+            "cold": {"linted": cold.linted,
+                     "reuses": cold.lint_reuses},
+            "warm": {"linted": warm.linted,
+                     "reuses": warm.lint_reuses},
+        },
+    }
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+    print(f"wrote {BENCH_JSON}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("lint bench smoke:", "FAIL" if failures else "OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv:
+        sys.exit(_quick_smoke())
+    print("run under pytest-benchmark, or pass --quick for the "
+          "CI smoke check", file=sys.stderr)
+    sys.exit(2)

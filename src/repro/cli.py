@@ -2,7 +2,14 @@
 
 Subcommands mirror the method's steps over a DSL model file:
 
-- ``repro validate model.dsl`` — structural validation (Step 1);
+- ``repro validate model.dsl [--json]`` — structural validation
+  (Step 1), rendered through the lint engine (exit 0 clean, 1
+  validation errors, 2 parse failure);
+- ``repro lint model.dsl [--format text|json|sarif]`` — the full
+  static-analysis pass: structural rules plus policy-conflict and
+  taint-powered semantic rules, with source-anchored spans
+  (``--select``/``--ignore`` filter by rule id or category;
+  ``--strict`` makes any finding exit 1; parse failure exits 2);
 - ``repro lts model.dsl`` — generate the privacy LTS and print its
   digest (Step 2);
 - ``repro dot model.dsl [--lts]`` — DOT for the DFD (Fig. 1) or the
@@ -56,7 +63,6 @@ from .consent import UserProfile
 from .core import GenerationOptions, ModelGenerator
 from .core.risk import DisclosureRiskAnalyzer, RiskLevel
 from .dfd import dfd_to_dot, parse_file
-from .dfd.validation import Severity, validate_system
 from .errors import ReproError
 from .viz import identification_table, lts_digest, lts_to_dot
 
@@ -82,18 +88,39 @@ def _generation_options(args) -> GenerationOptions:
 # -- subcommand implementations ---------------------------------------------
 
 def _cmd_validate(args) -> int:
-    system = _load_model(args.model)
-    issues = validate_system(system, strict=False)
-    for issue in issues:
-        print(issue)
-    errors = [i for i in issues if i.severity is Severity.ERROR]
-    if errors:
-        print(f"{len(errors)} error(s), "
-              f"{len(issues) - len(errors)} warning(s)")
+    """Structural validation through the lint engine.
+
+    The structural lint tier reproduces every ``validate_system``
+    issue code-for-code (property-tested), so rendering through the
+    lint renderers changes the *format* of the listing, never its
+    content. Parse failures propagate and exit 2 via ``main``.
+    """
+    from .lint import lint_file, render
+    report = lint_file(args.model, select=("structural",))
+    if args.json:
+        sys.stdout.write(render(report, "json"))
+        return 1 if report.errors else 0
+    if report.diagnostics:
+        sys.stdout.write(render(report, "text"))
+    if report.errors:
         return 1
-    print(f"ok: {system.name!r} is structurally valid "
-          f"({len(issues)} warning(s))")
+    print(f"ok: {report.model!r} is structurally valid "
+          f"({report.warnings} warning(s))")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .lint import lint_file, render
+    report = lint_file(args.model,
+                       select=tuple(args.select) or None,
+                       ignore=tuple(args.ignore) or None)
+    text = render(report, args.format)
+    if args.output is None:
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return report.exit_code(strict=args.strict)
 
 
 def _cmd_dot(args) -> int:
@@ -335,7 +362,8 @@ def _cmd_engine_run(args) -> int:
         models=tuple(ModelRef(path=path, label=path)
                      for path in args.models),
         user=_user_spec(args), kind=args.kind,
-        params=_kind_params(args))
+        params=_kind_params(args),
+        strict_lint=args.strict_lint)
     response = _service(args).analyze(request)
     if args.json:
         _print_json(response.to_dict())
@@ -360,7 +388,8 @@ def _cmd_engine_sweep(args) -> int:
     request = SweepRequest(count=args.count, seed=args.seed,
                            personas=args.personas,
                            kinds=tuple(args.kinds),
-                           screen=args.screen)
+                           screen=args.screen,
+                           strict_lint=args.strict_lint)
     response = _service(args).sweep(request,
                                     include_report=args.json)
     cache_line = f"result cache: {response.result_cache.describe()}"
@@ -384,7 +413,8 @@ def _cmd_engine_reanalyze(args) -> int:
         before=ModelRef(path=args.before, label=args.before),
         after=ModelRef(path=args.after, label=args.after),
         user=_user_spec(args), kind=args.kind,
-        params=_kind_params(args))
+        params=_kind_params(args),
+        strict_lint=args.strict_lint)
     response = _service(args).reanalyze(request)
     if args.json:
         _print_json(response.to_dict())
@@ -448,7 +478,8 @@ def _cmd_fleet_sweep(args) -> int:
     request = SweepRequest(count=args.count, seed=args.seed,
                            personas=args.personas,
                            kinds=tuple(args.kinds),
-                           screen=args.screen)
+                           screen=args.screen,
+                           strict_lint=args.strict_lint)
     transport = HttpTransport()
     dispatcher = FleetDispatcher(workers, transport,
                                  timeout=args.timeout,
@@ -487,7 +518,32 @@ def build_parser() -> argparse.ArgumentParser:
     validate = subparsers.add_parser(
         "validate", help="validate the model's structure")
     validate.add_argument("model")
+    validate.add_argument("--json", action="store_true",
+                          help="emit the diagnostic report as JSON")
     validate.set_defaults(func=_cmd_validate)
+
+    lint = subparsers.add_parser(
+        "lint", help="static analysis: structural, policy-conflict "
+                     "and taint-powered rules with source spans")
+    lint.add_argument("model", help="path to a DSL model file")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"],
+                      help="diagnostic output format")
+    lint.add_argument("--select", action="append", default=[],
+                      metavar="RULE",
+                      help="run only these rule ids/categories "
+                           "(repeatable; categories: structural, "
+                           "policy, taint)")
+    lint.add_argument("--ignore", action="append", default=[],
+                      metavar="RULE",
+                      help="skip these rule ids/categories "
+                           "(repeatable; wins over --select)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 on any finding, not just errors")
+    lint.add_argument("-o", "--output", default=None,
+                      help="write the report to a file instead of "
+                           "stdout")
+    lint.set_defaults(func=_cmd_lint)
 
     dot = subparsers.add_parser(
         "dot", help="render the DFD (default) or LTS as DOT")
@@ -573,6 +629,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--cache-dir", default=None,
                          help="persist LTSs and results under this "
                               "directory")
+        sub.add_argument("--strict-lint", action="store_true",
+                         help="lint every model first and refuse "
+                              "ERROR-level ones before any analysis "
+                              "or cache write")
 
     def add_engine_user(sub):
         sub.add_argument("--user", default="user")
@@ -729,6 +789,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "coordinator: dispatch only the "
                                   "jobs a clean certificate cannot "
                                   "prove disclosure-free")
+    fleet_sweep.add_argument("--strict-lint", action="store_true",
+                             help="lint every model on the "
+                                  "coordinator and refuse ERROR-level "
+                                  "ones before dispatch")
     fleet_sweep.add_argument("--timeout", type=float, default=60.0,
                              help="per-shard dispatch-to-result "
                                   "budget in seconds")

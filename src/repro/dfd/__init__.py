@@ -20,6 +20,7 @@ from .model import (
     USER,
 )
 from .parser import parse_dsl, parse_file, tokenize
+from .spans import SYNTHETIC, Span, SpanTable
 from .serializer import (
     canonical_system_dict,
     from_json,
@@ -49,6 +50,9 @@ __all__ = [
     "parse_dsl",
     "parse_file",
     "tokenize",
+    "SYNTHETIC",
+    "Span",
+    "SpanTable",
     "canonical_system_dict",
     "from_json",
     "system_from_dict",

@@ -23,6 +23,7 @@ from .._util import freeze_fields
 from ..access import AccessPolicy
 from ..errors import ModelError
 from ..schema import DataSchema
+from .spans import SpanTable
 
 USER = "User"
 """Reserved node name for the data subject."""
@@ -214,6 +215,11 @@ class SystemModel:
         self.datastores: Dict[str, Datastore] = {}
         self.services: Dict[str, Service] = {}
         self.policy = AccessPolicy()
+        #: Source positions of declarations (populated by the DSL
+        #: parser; empty — all-synthetic — for builder-made models).
+        #: Display metadata only: never part of canonical
+        #: serialisation or cache fingerprints.
+        self.spans = SpanTable()
 
     # -- construction -----------------------------------------------------
 

@@ -197,8 +197,9 @@ class _Parser:
     # -- grammar --------------------------------------------------------------
 
     def parse_system(self) -> SystemModel:
-        self._expect_keyword("system")
+        header = self._expect_keyword("system")
         system = SystemModel(self._name())
+        system.spans.record(("system",), header.line, header.column)
         self._expect_punct("{")
         while not (self._peek().type == "punct" and
                    self._peek().value == "}"):
@@ -235,25 +236,29 @@ class _Parser:
         handler(system)
 
     def _schema(self, system: SystemModel) -> None:
-        self._expect_keyword("schema")
+        keyword = self._expect_keyword("schema")
         name = self._name()
+        system.spans.record(("schema", name),
+                            keyword.line, keyword.column)
         self._expect_punct("{")
-        fields: List[Field] = []
+        fields: List[Tuple[Field, Token]] = []
         while self._at_keyword("field"):
             fields.append(self._field())
         self._expect_punct("}")
         schema = DataSchema(name)
         # Assign directly: anonymises links may point outside the schema.
         schema._fields = {}
-        for field in fields:
+        for field, token in fields:
             if field.name in schema._fields:
                 self._fail(
                     f"duplicate field {field.name!r} in schema {name!r}")
             schema._fields[field.name] = field
+            system.spans.record(("field", name, field.name),
+                                token.line, token.column)
         system.add_schema(schema)
 
-    def _field(self) -> Field:
-        self._expect_keyword("field")
+    def _field(self) -> Tuple[Field, Token]:
+        keyword = self._expect_keyword("field")
         name = self._ident("field name")
         self._expect_punct(":")
         type_token = self._next()
@@ -276,11 +281,14 @@ class _Parser:
             self._next()
             anonymised_of = self._ident("original field name")
         description = self._optional_desc()
-        return Field(name, ftype, kind, anonymised_of, description)
+        return Field(name, ftype, kind, anonymised_of, description), \
+            keyword
 
     def _role(self, system: SystemModel) -> None:
-        self._expect_keyword("role")
+        keyword = self._expect_keyword("role")
         name = self._name()
+        system.spans.record(("role", name),
+                            keyword.line, keyword.column)
         parents: List[str] = []
         if self._at_keyword("parents"):
             self._next()
@@ -288,8 +296,10 @@ class _Parser:
         system.policy.rbac.define_role(name, parents)
 
     def _actor(self, system: SystemModel) -> None:
-        self._expect_keyword("actor")
+        keyword = self._expect_keyword("actor")
         name = self._name()
+        system.spans.record(("actor", name),
+                            keyword.line, keyword.column)
         role = None
         originates: List[str] = []
         if self._at_keyword("role"):
@@ -311,12 +321,15 @@ class _Parser:
             system.policy.rbac.assign(actor, *roles)
 
     def _datastore(self, system: SystemModel) -> None:
+        start = self._peek()
         anonymised = False
         if self._at_keyword("anonymised"):
             self._next()
             anonymised = True
         self._expect_keyword("datastore")
         name = self._name()
+        system.spans.record(("datastore", name),
+                            start.line, start.column)
         self._expect_keyword("schema")
         schema_name = self._name()
         if schema_name not in system.schemas:
@@ -328,17 +341,22 @@ class _Parser:
             name, system.schemas[schema_name], anonymised, description))
 
     def _service(self, system: SystemModel) -> None:
-        self._expect_keyword("service")
+        keyword = self._expect_keyword("service")
         name = self._name()
+        system.spans.record(("service", name),
+                            keyword.line, keyword.column)
         service = Service(name, description=self._optional_desc())
         self._expect_punct("{")
         while self._at_keyword("flow"):
-            service.add_flow(self._flow())
+            flow, token = self._flow()
+            service.add_flow(flow)
+            system.spans.record(("flow", name, flow.order),
+                                token.line, token.column)
         self._expect_punct("}")
         system.add_service(service)
 
-    def _flow(self) -> Flow:
-        self._expect_keyword("flow")
+    def _flow(self) -> Tuple[Flow, Token]:
+        keyword = self._expect_keyword("flow")
         order = self._number("flow order")
         source = self._name()
         arrow = self._next()
@@ -353,7 +371,8 @@ class _Parser:
         if self._at_keyword("purpose"):
             self._next()
             purpose = self._string("purpose")
-        return Flow(order, source, target, tuple(fields), purpose)
+        return Flow(order, source, target, tuple(fields), purpose), \
+            keyword
 
     def _acl(self, system: SystemModel) -> None:
         self._expect_keyword("acl")
@@ -363,7 +382,7 @@ class _Parser:
         self._expect_punct("}")
 
     def _grant(self, system: SystemModel) -> None:
-        self._expect_keyword("allow")
+        keyword = self._expect_keyword("allow")
         subject = self._name()
         permissions = [self._permission()]
         while self._peek().type == "punct" and self._peek().value == ",":
@@ -377,7 +396,14 @@ class _Parser:
             listed = self._namelist()
             if listed:
                 fields = tuple(listed)
+        # One span per ACL entry *occurrence*: `allow` appends (it
+        # never merges), so the index keys duplicated grants to their
+        # individual source lines — the shadowed-grant lint rule
+        # reports both locations from here.
+        index = len(system.policy.acl)
         system.policy.allow(subject, permissions, store, fields)
+        system.spans.record(("grant", index),
+                            keyword.line, keyword.column)
 
     def _permission(self) -> Permission:
         token = self._next()

@@ -1,0 +1,92 @@
+"""Source spans: where each model entity was declared.
+
+The DSL parser already carries 1-based line/column positions on every
+token; this module gives them a home on the model so downstream
+tooling (the lint engine, ``repro validate --json``, SARIF export) can
+anchor findings to source locations. A :class:`SpanTable` hangs off
+every :class:`~repro.dfd.model.SystemModel` and maps *entity keys* —
+small tuples naming a declaration — to :class:`Span` positions:
+
+======================== ==========================================
+key                      declaration
+======================== ==========================================
+``("system",)``          the ``system`` header
+``("schema", name)``     a schema block
+``("field", schema, f)`` one field of a schema
+``("role", name)``       a role declaration
+``("actor", name)``      an actor declaration
+``("datastore", name)``  a datastore declaration
+``("service", name)``    a service block
+``("flow", service, n)`` the flow with order ``n``
+``("grant", index)``     the ``index``-th ACL entry, in declaration
+                         order — duplicate grants therefore keep one
+                         span *per occurrence*
+======================== ==========================================
+
+Models built programmatically (the :class:`SystemBuilder`, the wire
+deserializer) have an empty table; lookups then return the synthetic
+:data:`SYNTHETIC` span, so every consumer can treat spans as total.
+Spans are display metadata: they never enter canonical serialisation
+or cache fingerprints, exactly like descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["Span", "SpanTable", "SYNTHETIC"]
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """A 1-based source position; line 0 marks a synthetic span."""
+
+    line: int = 0
+    column: int = 0
+
+    @property
+    def synthetic(self) -> bool:
+        return self.line <= 0
+
+    def describe(self) -> str:
+        if self.synthetic:
+            return "<synthetic>"
+        return f"{self.line}:{self.column}"
+
+
+#: The span of entities that have no source text (builder models,
+#: deserialized models, entities the parser never saw).
+SYNTHETIC = Span(0, 0)
+
+
+class SpanTable:
+    """Entity key -> :class:`Span`, total via :data:`SYNTHETIC`."""
+
+    def __init__(self):
+        self._spans: Dict[tuple, Span] = {}
+
+    def record(self, key: tuple, line: int, column: int) -> None:
+        self._spans[tuple(key)] = Span(line, column)
+
+    def get(self, key) -> Span:
+        """The recorded span of ``key`` (synthetic when unknown,
+        including ``key=None`` for findings with no anchor)."""
+        if key is None:
+            return SYNTHETIC
+        return self._spans.get(tuple(key), SYNTHETIC)
+
+    def has(self, key: tuple) -> bool:
+        return tuple(key) in self._spans
+
+    def keys(self) -> Tuple[tuple, ...]:
+        return tuple(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._spans)
+
+    def __repr__(self) -> str:
+        return f"SpanTable({len(self._spans)} spans)"

@@ -15,8 +15,8 @@ tooling to render.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import List, Set
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
 
 from ..access import Permission
 from ..errors import ValidationError
@@ -34,22 +34,32 @@ class Severity(enum.Enum):
 
 @dataclass(frozen=True)
 class Issue:
-    """One validation finding."""
+    """One validation finding.
+
+    ``entity`` names the declaration the finding is about as a
+    span-table key (see :mod:`repro.dfd.spans`), so tooling can anchor
+    the issue to its source position; ``None`` when no single
+    declaration owns the problem. It is metadata — excluded from
+    equality, so issues still compare by (severity, code, message).
+    """
 
     severity: Severity
     code: str
     message: str
+    entity: Optional[tuple] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.severity.value.upper()} [{self.code}] {self.message}"
 
 
-def _error(code: str, message: str) -> Issue:
-    return Issue(Severity.ERROR, code, message)
+def _error(code: str, message: str,
+           entity: Optional[tuple] = None) -> Issue:
+    return Issue(Severity.ERROR, code, message, entity)
 
 
-def _warning(code: str, message: str) -> Issue:
-    return Issue(Severity.WARNING, code, message)
+def _warning(code: str, message: str,
+             entity: Optional[tuple] = None) -> Issue:
+    return Issue(Severity.WARNING, code, message, entity)
 
 
 def validate_system(system: SystemModel, strict: bool = True) -> List[Issue]:
@@ -77,43 +87,48 @@ def _check_nonempty(system: SystemModel) -> List[Issue]:
     issues: List[Issue] = []
     if not system.services:
         issues.append(_warning(
-            "empty-model", f"system {system.name!r} defines no services"))
+            "empty-model", f"system {system.name!r} defines no services",
+            ("system",)))
     for service in system.services.values():
         if len(service) == 0:
             issues.append(_error(
                 "empty-service",
-                f"service {service.name!r} has no flows"))
+                f"service {service.name!r} has no flows",
+                ("service", service.name)))
         # Resolve participants defensively: unknown nodes are reported
         # by the endpoint check, not by crashing here.
         elif not any(p in system.actors for p in service.participants()):
             issues.append(_error(
                 "no-actors",
-                f"service {service.name!r} involves no actors"))
+                f"service {service.name!r} involves no actors",
+                ("service", service.name)))
     return issues
 
 
 def _check_flow_endpoints(system: SystemModel) -> List[Issue]:
     issues: List[Issue] = []
     for flow in system.all_flows():
+        entity = ("flow",) + flow.key
         for endpoint in (flow.source, flow.target):
             if not system.has_node(endpoint):
                 issues.append(_error(
                     "unknown-node",
                     f"flow {flow.describe()} references unknown node "
-                    f"{endpoint!r}"))
+                    f"{endpoint!r}", entity))
         if system.has_node(flow.source) and system.has_node(flow.target):
             if flow.source == USER and \
                     system.node_kind(flow.target) is NodeKind.DATASTORE:
                 issues.append(_error(
                     "user-to-store",
                     f"flow {flow.describe()}: the data subject cannot "
-                    "write a datastore directly; route through an actor"))
+                    "write a datastore directly; route through an actor",
+                    entity))
             if flow.target == USER and \
                     system.node_kind(flow.source) is NodeKind.DATASTORE:
                 issues.append(_error(
                     "store-to-user",
                     f"flow {flow.describe()}: a datastore cannot flow "
-                    "directly to the data subject"))
+                    "directly to the data subject", entity))
     return issues
 
 
@@ -141,7 +156,8 @@ def _check_store_fields(system: SystemModel) -> List[Issue]:
                     "field-not-in-schema",
                     f"flow {flow.describe()}: fields "
                     f"{sorted(missing)} are not in datastore "
-                    f"{store.name!r} schema {store.schema.name!r}"))
+                    f"{store.name!r} schema {store.schema.name!r}",
+                    ("flow",) + flow.key))
     return issues
 
 
@@ -205,7 +221,8 @@ def _check_service_reachability(system: SystemModel,
             issues.append(_warning(
                 "unreachable-flow",
                 f"flow {flow.describe()} can never execute: its source "
-                "never holds the fields it sends"))
+                "never holds the fields it sends",
+                ("flow",) + flow.key))
     return issues
 
 
@@ -214,13 +231,13 @@ def _check_policy(system: SystemModel) -> List[Issue]:
     try:
         system.policy.validate()
     except Exception as exc:  # ModelError from policy internals
-        issues.append(_error("policy", str(exc)))
-    for entry in system.policy.acl:
+        issues.append(_error("policy", str(exc), ("system",)))
+    for index, entry in enumerate(system.policy.acl):
         if entry.store not in system.datastores:
             issues.append(_error(
                 "grant-unknown-store",
                 f"ACL grants {entry.subject!r} access to unknown "
-                f"datastore {entry.store!r}"))
+                f"datastore {entry.store!r}", ("grant", index)))
             continue
         store = system.datastores[entry.store]
         if not entry.grants_all_fields:
@@ -231,7 +248,7 @@ def _check_policy(system: SystemModel) -> List[Issue]:
                     "grant-unknown-field",
                     f"ACL grants {entry.subject!r} access to fields "
                     f"{sorted(missing)} absent from datastore "
-                    f"{store.name!r}"))
+                    f"{store.name!r}", ("grant", index)))
     # Reads in flows should be backed by grants, else generation will
     # produce a read the policy forbids.
     for flow in system.all_flows():
@@ -246,7 +263,8 @@ def _check_policy(system: SystemModel) -> List[Issue]:
                         "unbacked-read",
                         f"flow {flow.describe()}: actor "
                         f"{flow.target!r} reads {field_name!r} from "
-                        f"{store.name!r} without an ACL grant"))
+                        f"{store.name!r} without an ACL grant",
+                        ("flow",) + flow.key))
     return issues
 
 
@@ -258,5 +276,5 @@ def _check_store_store_flows(system: SystemModel) -> List[Issue]:
             issues.append(_error(
                 "store-to-store",
                 f"flow {flow.describe()}: datastore-to-datastore flows "
-                "must be mediated by an actor"))
+                "must be mediated by an actor", ("flow",) + flow.key))
     return issues

@@ -56,6 +56,7 @@ from .fingerprint import (
     analyzer_stage_key,
     canonical_params,
     job_fingerprint,
+    lint_stage_key,
     lts_cache_key,
     lts_stage_key,
     model_fingerprint,
@@ -124,6 +125,7 @@ __all__ = [
     "analyzer_stage_key",
     "canonical_params",
     "job_fingerprint",
+    "lint_stage_key",
     "lts_cache_key",
     "lts_stage_key",
     "model_fingerprint",

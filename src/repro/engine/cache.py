@@ -331,7 +331,7 @@ def build_cache(memory_entries: int = 256,
 
 #: The subdirectories a :class:`~repro.engine.runner.BatchEngine`
 #: cache_dir holds, by store role.
-ENGINE_STORES = ("results", "lts", "taint")
+ENGINE_STORES = ("results", "lts", "taint", "lint")
 
 
 def store_report(cache_dir: str) -> Dict[str, Dict[str, Any]]:

@@ -150,6 +150,21 @@ def taint_stage_key(model_fp: str,
                         options.cache_key() if options else None])
 
 
+def lint_stage_key(model_fp: str) -> str:
+    """The lint pre-flight stage key: model stage x lint rule set.
+
+    The cache key of one model's diagnostic list. Depends on nothing
+    but the model and the rule-set version — lint reads no generation
+    options, user or analyzer config — so every job over a model
+    shares one entry and repeated sweeps never re-lint unchanged
+    models. ``LINT_FORMAT`` (imported lazily, mirroring
+    :func:`taint_stage_key`) bumps on any rule or diagnostic-schema
+    change, invalidating stale cached reports.
+    """
+    from ..lint import LINT_FORMAT
+    return stable_hash(["lint", LINT_FORMAT, CACHE_FORMAT, model_fp])
+
+
 # -- stage 3: the analysis ----------------------------------------------------
 
 def analyzer_stage_key(lts_key: str, kind: str, user: UserProfile,

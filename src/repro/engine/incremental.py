@@ -198,7 +198,8 @@ class ReanalysisOutcome:
 def reanalyze(engine: BatchEngine, before: SystemModel,
               after: SystemModel,
               jobs: Sequence[AnalysisJob],
-              screen: bool = False) -> ReanalysisOutcome:
+              screen: bool = False,
+              lint=False) -> ReanalysisOutcome:
     """Re-run a fleet after editing ``before`` into ``after``.
 
     ``jobs`` is the fleet's job list as originally analysed (its jobs
@@ -213,7 +214,10 @@ def reanalyze(engine: BatchEngine, before: SystemModel,
     its ``cache_dir``); with a cold engine this degrades gracefully to
     a plain run. Results carry the *new* model's fingerprints — they
     are byte-identical to what a cold run over the edited fleet
-    produces.
+    produces. ``screen``/``lint`` pass through to
+    :meth:`~repro.engine.runner.BatchEngine.run` — strict lint refuses
+    an edit that introduced ERROR-level diagnostics before any cache
+    write.
     """
     plan = classify_invalidation(before, after)
     model_fps: Dict[int, str] = {}
@@ -266,7 +270,7 @@ def reanalyze(engine: BatchEngine, before: SystemModel,
         if blob is not None:
             engine.lts_cache.put(new_key, blob)
             lts_seeded += 1
-    batch = engine.run(new_jobs, screen=screen)
+    batch = engine.run(new_jobs, screen=screen, lint=lint)
     return ReanalysisOutcome(
         batch=batch, plan=plan, jobs=len(new_jobs),
         retargeted=retargeted, lts_seeded=lts_seeded,

@@ -161,6 +161,21 @@ class AnalysisKind:
         mutate it) and None when :attr:`uses_lts` is False."""
         raise NotImplementedError
 
+    def screen_outcome(self, job: AnalysisJob,
+                       config: AnalyzerConfig) -> Optional[KindOutcome]:
+        """A statically-provable outcome for ``job``, or None.
+
+        The per-kind clean predicate behind ``BatchEngine.run(
+        screen=True)`` for kinds that are not certificate-screenable:
+        return the exact :class:`KindOutcome` that ``analyse`` would
+        produce when that is decidable *without generating the LTS*
+        (e.g. the pseudonym kind's applicability test), else None to
+        run exact analysis. Must only return outcomes that are provably
+        identical to the exact analyser's — the engine serves them as
+        real results (never cached, mirroring certificate screens).
+        """
+        return None
+
     def aggregate(self, results: Sequence) -> Dict[str, Any]:
         """Fleet-level rollup of this kind's results (hook for
         :class:`~repro.engine.aggregate.FleetReport`)."""
@@ -313,6 +328,27 @@ class PseudonymKind(AnalysisKind):
             return config.value_policy
         return default_policy_for(job.system)
 
+    def screen_outcome(self, job: AnalysisJob,
+                       config: AnalyzerConfig) -> Optional[KindOutcome]:
+        """The exact not-applicable outcome, decided without an LTS.
+
+        ``analyse`` tests applicability against ``lts.registry.fields``,
+        and the generator seeds that registry verbatim from
+        ``system.personal_fields()`` — so the test is a pure function
+        of the model and this screen is sound: when the pseudonymised
+        sensitive field is not in the field universe, exact analysis
+        provably returns the same no-op outcome built here.
+        """
+        policy = self._policy(job, config)
+        if policy is None or \
+                anon_name(policy.sensitive_field) not in \
+                job.system.personal_fields():
+            return KindOutcome(
+                max_level=RiskLevel.NONE.value, events=(),
+                non_allowed_actors=(),
+                details=(("applicable", False),))
+        return None
+
     def analyse(self, job: AnalysisJob, lts: Optional[LTS],
                 config: AnalyzerConfig) -> KindOutcome:
         policy = self._policy(job, config)
@@ -360,6 +396,9 @@ class PseudonymKind(AnalysisKind):
         rollup["risks"] = sum(r.detail("risks", 0) for r in results)
         rollup["violations"] = sum(
             r.detail("violations", 0) for r in results)
+        screened = sum(1 for r in results if r.detail("screened"))
+        if screened:
+            rollup["screened"] = screened
         return rollup
 
 

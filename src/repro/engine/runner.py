@@ -43,12 +43,16 @@ from typing import (
 
 from ..core import GenerationOptions, ModelGenerator
 from ..core.risk import LikelihoodModel, RiskLevel, RiskMatrix
+from ..dfd.validation import Severity
+from ..errors import LintError
+from ..lint import Diagnostic, run_lint
 from ..taint import TaintCertificate, build_certificate
 from .cache import build_cache
-from .fingerprint import (job_fingerprint, lts_cache_key,
-                          model_fingerprint, taint_stage_key)
+from .fingerprint import (job_fingerprint, lint_stage_key,
+                          lts_cache_key, model_fingerprint,
+                          taint_stage_key)
 from .jobs import AnalysisJob, JobResult
-from .kinds import AnalyzerConfig, get_kind
+from .kinds import AnalyzerConfig, KindOutcome, get_kind
 
 #: One fingerprinted cache miss awaiting execution:
 #: ``(fingerprint, job, options, model_fp)``.
@@ -68,11 +72,17 @@ class EngineStats:
     lts_reuses: int = 0
     wall_time: float = 0.0
     by_kind: Dict[str, int] = field(default_factory=dict)
-    #: Jobs answered by a clean taint certificate (exact generation
-    #: skipped) / jobs the screen flagged for exact analysis. Both stay
-    #: zero unless ``run(screen=True)``.
+    #: Jobs answered by a clean taint certificate or a per-kind static
+    #: screen (exact generation skipped) / jobs the screen flagged for
+    #: exact analysis. Both stay zero unless ``run(screen=True)``.
     screened: int = 0
     screen_flagged: int = 0
+    #: Screened jobs broken down by analysis kind.
+    screened_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Distinct models freshly linted by the pre-flight / answered
+    #: from the lint-stage cache. Both stay zero unless ``run(lint=)``.
+    linted: int = 0
+    lint_reuses: int = 0
 
     def describe(self) -> str:
         text = (
@@ -85,6 +95,9 @@ class EngineStats:
         if self.screened or self.screen_flagged:
             text += (f"; taint screen: {self.screened} skipped, "
                      f"{self.screen_flagged} flagged")
+        if self.linted or self.lint_reuses:
+            text += (f"; lint: {self.linted} models linted, "
+                     f"{self.lint_reuses} cache reuses")
         if len(self.by_kind) > 1:
             text += " [" + ", ".join(
                 f"{kind}={count}"
@@ -384,6 +397,10 @@ class BatchEngine:
             memory_entries,
             os.path.join(cache_dir, "taint")
             if cache_dir is not None else None)
+        self.lint_cache = build_cache(
+            memory_entries,
+            os.path.join(cache_dir, "lint")
+            if cache_dir is not None else None)
         self.config = AnalyzerConfig.build(
             likelihood=likelihood, matrix=matrix,
             value_policy=value_policy, dataset=dataset,
@@ -482,10 +499,95 @@ class BatchEngine:
             duration=0.0,
         )
 
+    # -- the lint pre-flight -----------------------------------------------------
+
+    def lint_diagnostics(self, system,
+                         model_fp: Optional[str] = None,
+                         stats: Optional[EngineStats] = None
+                         ) -> Tuple[Diagnostic, ...]:
+        """The lint diagnostics of ``system``, via the lint-stage
+        cache — repeated sweeps never re-lint an unchanged model."""
+        if model_fp is None:
+            model_fp = model_fingerprint(system)
+        key = lint_stage_key(model_fp)
+        cached = self.lint_cache.get(key)
+        if cached is not None:
+            try:
+                diagnostics = tuple(
+                    Diagnostic.from_dict(d) for d in cached)
+            except Exception:   # noqa: BLE001 — cache boundary
+                diagnostics = None  # foreign/corrupt entry: re-lint
+            if diagnostics is not None:
+                if stats is not None:
+                    stats.lint_reuses += 1
+                return diagnostics
+        diagnostics = run_lint(system).diagnostics
+        self.lint_cache.put(
+            key, tuple(d.to_dict() for d in diagnostics))
+        if stats is not None:
+            stats.linted += 1
+        return diagnostics
+
+    def _lint_preflight(self, jobs: Sequence[AnalysisJob],
+                        stats: EngineStats,
+                        strict: bool) -> Dict[int, str]:
+        """Lint every distinct model in ``jobs`` before any
+        fingerprinting or cache write; raise :class:`LintError` on
+        ERROR-level diagnostics when ``strict``. Returns the computed
+        model fingerprints so the main loop reuses them."""
+        model_fps: Dict[int, str] = {}
+        for job in jobs:
+            if id(job.system) in model_fps:
+                continue
+            model_fp = model_fingerprint(job.system)
+            model_fps[id(job.system)] = model_fp
+            diagnostics = self.lint_diagnostics(
+                job.system, model_fp=model_fp, stats=stats)
+            errors = [d for d in diagnostics
+                      if d.severity is Severity.ERROR]
+            if strict and errors:
+                summary = "; ".join(
+                    d.describe() for d in errors[:5])
+                more = f" (+{len(errors) - 5} more)" \
+                    if len(errors) > 5 else ""
+                raise LintError(
+                    f"model {job.system.name!r} refused by strict "
+                    f"lint: {summary}{more}", diagnostics=diagnostics)
+        return model_fps
+
+    def _static_result(self, job: AnalysisJob, fingerprint: str,
+                       outcome: KindOutcome) -> JobResult:
+        """A result asserted by a kind's static screen predicate.
+
+        Provably identical to exact analysis except for
+        ``states``/``transitions`` (no state space was built) and the
+        ``screened`` provenance detail. Never written to the result
+        cache: an unscreened run must not be served a screened
+        stand-in.
+        """
+        return JobResult(
+            job_id=job.job_id,
+            scenario=job.scenario,
+            family=job.family,
+            variant=job.variant,
+            fingerprint=fingerprint,
+            user=job.user.name,
+            states=0,
+            transitions=0,
+            max_level=outcome.max_level,
+            events=outcome.events,
+            non_allowed_actors=outcome.non_allowed_actors,
+            kind=job.kind,
+            details=outcome.details + (("screened", True),),
+            lts_generated=False,
+            duration=0.0,
+        )
+
     # -- execution -------------------------------------------------------------
 
     def run(self, jobs: Sequence[AnalysisJob],
-            screen: bool = False) -> BatchResult:
+            screen: bool = False,
+            lint: Union[bool, str] = False) -> BatchResult:
         """Execute ``jobs``; results come back in submission order.
 
         With ``screen=True``, screenable kinds (disclosure) first
@@ -496,6 +598,16 @@ class BatchEngine:
         result-cache hits still win over the screen — they are exact.
         The only observable divergence of a screened answer is
         resource limits: a clean model never hits ``max_states``.
+        Other kinds consult their
+        :meth:`~repro.engine.kinds.AnalysisKind.screen_outcome`
+        predicate — the pseudonym kind statically answers
+        not-applicable jobs without generating their LTS.
+
+        ``lint`` runs the lint pre-flight over every distinct model
+        before fingerprinting, through the fingerprinted lint-stage
+        cache: ``True`` or ``"strict"`` raises :class:`LintError` on
+        any ERROR-level diagnostic *before any cache write*;
+        ``"warn"`` lints and counts without refusing.
         """
         jobs = list(jobs)
         started = time.perf_counter()
@@ -504,6 +616,13 @@ class BatchEngine:
 
         # Fingerprint each job, hashing every distinct model once.
         model_fps: Dict[int, str] = {}
+        if lint:
+            if lint not in (True, "strict", "warn"):
+                raise ValueError(
+                    f"lint must be False, True, 'strict' or 'warn', "
+                    f"got {lint!r}")
+            model_fps = self._lint_preflight(
+                jobs, stats, strict=lint in (True, "strict"))
         pending: Dict[str, List[int]] = {}
         prepared: List[Tuple[str, AnalysisJob,
                              Optional[GenerationOptions], str]] = []
@@ -537,8 +656,20 @@ class BatchEngine:
                         results[index] = self._screened_result(
                             job, fingerprint, certificate, non_allowed)
                         stats.screened += 1
+                        stats.screened_by_kind[job.kind] = \
+                            stats.screened_by_kind.get(job.kind, 0) + 1
                         continue
                     stats.screen_flagged += 1
+            elif screen:
+                outcome = get_kind(job.kind).screen_outcome(
+                    job, self.config)
+                if outcome is not None:
+                    results[index] = self._static_result(
+                        job, fingerprint, outcome)
+                    stats.screened += 1
+                    stats.screened_by_kind[job.kind] = \
+                        stats.screened_by_kind.get(job.kind, 0) + 1
+                    continue
             if fingerprint in pending:
                 # Same content already queued in this batch: compute
                 # once, fan out below.

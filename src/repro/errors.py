@@ -51,6 +51,20 @@ class ParseError(ReproError):
         self.column = column
 
 
+class LintError(ModelError):
+    """Strict lint refused a model carrying ERROR-level diagnostics.
+
+    Raised by the engine pre-flight (``BatchEngine.run(lint=...)``)
+    and the CLI's ``--strict-lint`` before any cache write. Carries
+    the :class:`repro.lint.Diagnostic` list for rendering.
+    """
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics) \
+            if diagnostics is not None else []
+
+
 class GenerationError(ReproError):
     """LTS generation failed (e.g. the state cap was exceeded)."""
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..dfd import to_dsl
+from ..dfd.validation import Severity
 from ..engine import (
     AnalysisJob,
     AnalyzerConfig,
@@ -50,7 +51,8 @@ from ..engine import (
     scenario_jobs,
     stable_hash,
 )
-from ..errors import ReproError
+from ..errors import LintError, ReproError
+from ..lint import run_lint
 from ..taint import build_certificate
 from ..service.messages import (
     AnalysisRequest,
@@ -300,10 +302,12 @@ class FleetDispatcher:
             personas_per_scenario=request.personas)
         jobs = scenario_jobs(generator.generate(request.count),
                              kinds=request.kinds)
-        return self.run(jobs, screen=request.screen)
+        return self.run(jobs, screen=request.screen,
+                        lint="strict" if request.strict_lint
+                        else False)
 
-    def run(self, jobs: Sequence[AnalysisJob],
-            screen: bool = False) -> FleetOutcome:
+    def run(self, jobs: Sequence[AnalysisJob], screen: bool = False,
+            lint=False) -> FleetOutcome:
         """Dispatch ``jobs``; results merge back in submission order
         with worker-computed signatures intact.
 
@@ -313,12 +317,25 @@ class FleetDispatcher:
         clean models never cross the wire at all. Screen accounting
         lands on ``stats.engine`` so :class:`FleetReport` rollups see
         it exactly as in a single-node screened run.
+
+        ``lint`` mirrors :meth:`BatchEngine.run`: ``True``/"strict"
+        lints every distinct model coordinator-side and raises
+        :class:`~repro.errors.LintError` on ERROR-level diagnostics
+        *before any worker sees a byte*; ``"warn"`` lints and counts
+        but never refuses.
         """
+        if lint not in (False, True, "strict", "warn"):
+            raise ValueError(
+                f"lint must be False, True, 'strict' or 'warn', "
+                f"got {lint!r}")
         jobs = list(jobs)
         started = self._clock()
         stats = FleetStats(jobs=len(jobs))
         reports = {worker: WorkerReport(worker)
                    for worker in self.workers}
+
+        if lint:
+            self._lint(jobs, stats, strict=lint in (True, "strict"))
 
         screened: Dict[int, JobResult] = \
             self._screen(jobs, stats) if screen else {}
@@ -360,6 +377,36 @@ class FleetDispatcher:
             raise FleetError(
                 f"no live workers among {list(self.workers)}")
         return HashRing(live, replicas=self.replicas)
+
+    @staticmethod
+    def _lint(jobs: Sequence[AnalysisJob], stats: FleetStats,
+              strict: bool) -> None:
+        """Lint every distinct model before anything crosses the wire.
+
+        The coordinator has no engine (and so no lint cache); linting
+        is milliseconds per model and runs once per distinct system
+        object. Strict mode refuses exactly like the single-node
+        pre-flight — same error type, same message shape — so callers
+        switch between local and fleet execution without changing
+        their error handling.
+        """
+        seen: set = set()
+        for job in jobs:
+            if id(job.system) in seen:
+                continue
+            seen.add(id(job.system))
+            diagnostics = run_lint(job.system).diagnostics
+            stats.engine.linted += 1
+            errors = [d for d in diagnostics
+                      if d.severity is Severity.ERROR]
+            if strict and errors:
+                summary = "; ".join(
+                    d.describe() for d in errors[:5])
+                more = f" (+{len(errors) - 5} more)" \
+                    if len(errors) > 5 else ""
+                raise LintError(
+                    f"model {job.system.name!r} refused by strict "
+                    f"lint: {summary}{more}", diagnostics=diagnostics)
 
     def _screen(self, jobs: Sequence[AnalysisJob],
                 stats: FleetStats) -> Dict[int, JobResult]:
@@ -574,6 +621,11 @@ class FleetDispatcher:
         merged.lts_reuses += worker_stats.lts_reuses
         merged.screened += worker_stats.screened
         merged.screen_flagged += worker_stats.screen_flagged
+        merged.linted += worker_stats.linted
+        merged.lint_reuses += worker_stats.lint_reuses
+        for kind, count in worker_stats.screened_by_kind.items():
+            merged.screened_by_kind[kind] = \
+                merged.screened_by_kind.get(kind, 0) + count
 
     def _shard_failure(self, shard: _Shard, shards: List[_Shard],
                        ring: HashRing,

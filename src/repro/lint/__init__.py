@@ -1,0 +1,67 @@
+"""Model lint engine: registry, source-anchored diagnostics, SARIF.
+
+A static-analysis pass over parsed system models, three tiers deep:
+
+- **structural** — the :mod:`repro.dfd.validation` checks, re-homed
+  as lint rules (same codes, same severities) with source spans;
+- **policy** — conflict analysis over the access policy: shadowed
+  grants, grants without any flow path, write-only stores, unused
+  purposes, colliding or never-read pseudonym renames;
+- **taint** — rules powered by the :mod:`repro.taint` closure: dead
+  grants (provably unexercisable) and silent disclosures (content
+  provably arriving without a sanctioning grant).
+
+Import discipline: this package depends on ``dfd``, ``access``,
+``schema``, ``core`` and ``taint`` only — never on ``engine``,
+``service`` or ``fleet``, which all layer on top of it.
+"""
+
+from .diagnostics import Diagnostic, RelatedSpan, sort_diagnostics
+from .engine import (
+    LINT_FORMAT,
+    LintReport,
+    lint_file,
+    lint_model,
+    lint_text,
+    run_lint,
+)
+from .render import (
+    RENDERERS,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from .rules import (
+    RULE_CATEGORIES,
+    LintContext,
+    LintRule,
+    get_rule,
+    iter_rules,
+    register_rule,
+    rule_ids,
+)
+
+__all__ = [
+    "Diagnostic",
+    "RelatedSpan",
+    "sort_diagnostics",
+    "LINT_FORMAT",
+    "LintReport",
+    "lint_file",
+    "lint_model",
+    "lint_text",
+    "run_lint",
+    "RENDERERS",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "RULE_CATEGORIES",
+    "LintContext",
+    "LintRule",
+    "get_rule",
+    "iter_rules",
+    "register_rule",
+    "rule_ids",
+]

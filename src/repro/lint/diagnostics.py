@@ -1,0 +1,113 @@
+"""Diagnostic: one lint finding with a source anchor.
+
+A :class:`Diagnostic` is the unit every renderer, the wire contract
+and the engine pre-flight consume: rule id (doubling as the finding
+code), category, severity, message, the entity's source
+:class:`~repro.dfd.spans.Span`, optional *related* locations (e.g. the
+earlier occurrence that shadows a grant) and the rule's autofix hint.
+
+Diagnostics order deterministically — by position, then rule id, then
+message — so rendered reports are byte-stable across runs and
+platforms (the ``bench_lint`` contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..dfd.spans import Span
+from ..dfd.validation import Severity
+
+__all__ = ["Diagnostic", "RelatedSpan", "sort_diagnostics"]
+
+
+@dataclass(frozen=True)
+class RelatedSpan:
+    """A secondary location a diagnostic points at."""
+
+    span: Span
+    note: str
+
+    def to_dict(self) -> dict:
+        return {"line": self.span.line, "column": self.span.column,
+                "note": self.note}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RelatedSpan":
+        return cls(Span(int(data.get("line", 0)),
+                        int(data.get("column", 0))),
+                   str(data.get("note", "")))
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, source-anchored and renderer-agnostic."""
+
+    rule: str
+    category: str
+    severity: Severity
+    message: str
+    span: Span = field(default_factory=Span)
+    #: Span-table key of the entity the finding is about (tooling
+    #: metadata; empty when no single declaration owns it).
+    entity: tuple = ()
+    related: Tuple[RelatedSpan, ...] = ()
+    hint: Optional[str] = None
+
+    @property
+    def code(self) -> str:
+        """Alias: the finding code *is* the rule id (and, for the
+        structural tier, the legacy ``validate_system`` issue code)."""
+        return self.rule
+
+    def sort_key(self) -> tuple:
+        return (self.span.line, self.span.column, self.rule,
+                self.message)
+
+    def describe(self) -> str:
+        location = self.span.describe()
+        text = (f"{location}: {self.severity.value.upper()} "
+                f"[{self.rule}] {self.message}")
+        for related in self.related:
+            text += f" (see {related.span.describe()}: {related.note})"
+        if self.hint:
+            text += f" — hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        data = {
+            "rule": self.rule,
+            "category": self.category,
+            "severity": self.severity.value,
+            "message": self.message,
+            "line": self.span.line,
+            "column": self.span.column,
+        }
+        if self.entity:
+            data["entity"] = list(self.entity)
+        if self.related:
+            data["related"] = [r.to_dict() for r in self.related]
+        if self.hint is not None:
+            data["hint"] = self.hint
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        return cls(
+            rule=str(data["rule"]),
+            category=str(data.get("category", "")),
+            severity=Severity(data.get("severity", "warning")),
+            message=str(data.get("message", "")),
+            span=Span(int(data.get("line", 0)),
+                      int(data.get("column", 0))),
+            entity=tuple(data.get("entity", ())),
+            related=tuple(RelatedSpan.from_dict(r)
+                          for r in data.get("related", ())),
+            hint=data.get("hint"),
+        )
+
+
+def sort_diagnostics(diagnostics) -> Tuple[Diagnostic, ...]:
+    """The canonical, byte-stable report order."""
+    return tuple(sorted(diagnostics, key=Diagnostic.sort_key))

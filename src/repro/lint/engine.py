@@ -1,0 +1,157 @@
+"""Running the lint registry over a model.
+
+:func:`run_lint` executes every (selected) registered rule against one
+:class:`~repro.dfd.model.SystemModel` and returns a
+:class:`LintReport` — the sorted, byte-stable diagnostic list plus
+error/warning tallies and the CLI exit-code policy.
+
+``select``/``ignore`` filters accept rule ids *and* category names
+(``structural``, ``policy``, ``taint``); ``ignore`` wins over
+``select``. Unknown names raise, so typos fail loudly instead of
+silently linting nothing.
+
+:data:`LINT_FORMAT` versions the diagnostic schema for the engine's
+fingerprinted lint cache: bump it whenever rules, messages or the
+diagnostic wire shape change, and cached lint results invalidate
+themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from ..dfd.model import SystemModel
+from ..dfd.parser import parse_dsl, parse_file
+from ..dfd.validation import Severity
+from .diagnostics import Diagnostic, sort_diagnostics
+from .rules import RULE_CATEGORIES, LintContext, iter_rules
+
+#: Version of the lint rule set + diagnostic schema (cache keying).
+LINT_FORMAT = 1
+
+__all__ = [
+    "LINT_FORMAT",
+    "LintReport",
+    "lint_file",
+    "lint_model",
+    "lint_text",
+    "run_lint",
+]
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run over one model."""
+
+    model: str
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    #: Where the model came from (display only; "" for in-memory).
+    path: str = ""
+    rules_run: Tuple[str, ...] = field(default=(), compare=False)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity is Severity.WARNING)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def exit_code(self, strict: bool = False) -> int:
+        """CLI semantics: 0 clean, 1 findings that matter (ERROR
+        always; any diagnostic under ``strict``). Parse failures are
+        exit 2, decided by the caller — lint never sees those models.
+        """
+        if self.errors or (strict and self.diagnostics):
+            return 1
+        return 0
+
+    def to_dict(self) -> dict:
+        return {
+            "format": LINT_FORMAT,
+            "model": self.model,
+            "path": self.path,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "clean": self.clean,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def _normalise_filter(names: Optional[Iterable[str]],
+                      label: str) -> Tuple[set, set]:
+    """Split a select/ignore list into (rule ids, categories)."""
+    from .rules import rule_ids
+    ids, categories = set(), set()
+    if not names:
+        return ids, categories
+    known = set(rule_ids())
+    for name in names:
+        if name in RULE_CATEGORIES:
+            categories.add(name)
+        elif name in known:
+            ids.add(name)
+        else:
+            raise ValueError(
+                f"unknown {label} name {name!r}: not a rule id or "
+                f"category (categories: {', '.join(RULE_CATEGORIES)})")
+    return ids, categories
+
+
+def run_lint(system: SystemModel,
+             select: Optional[Iterable[str]] = None,
+             ignore: Optional[Iterable[str]] = None,
+             path: str = "") -> LintReport:
+    """Lint ``system`` with every selected rule."""
+    select_ids, select_cats = _normalise_filter(select, "--select")
+    ignore_ids, ignore_cats = _normalise_filter(ignore, "--ignore")
+    context = LintContext(system)
+    diagnostics = []
+    ran = []
+    for rule in iter_rules():
+        if select_ids or select_cats:
+            if rule.id not in select_ids and \
+                    rule.category not in select_cats:
+                continue
+        if rule.id in ignore_ids or rule.category in ignore_cats:
+            continue
+        ran.append(rule.id)
+        diagnostics.extend(rule.check(context))
+    return LintReport(
+        model=system.name,
+        diagnostics=sort_diagnostics(diagnostics),
+        path=path,
+        rules_run=tuple(ran),
+    )
+
+
+#: Alias matching the ``lint_model`` naming of the wire layer.
+lint_model = run_lint
+
+
+def lint_text(text: str, select: Optional[Iterable[str]] = None,
+              ignore: Optional[Iterable[str]] = None,
+              path: str = "") -> LintReport:
+    """Parse DSL source and lint it.
+
+    Validation is deliberately *not* strict here: ERROR-level issues
+    are precisely what the structural rules report as diagnostics.
+    ``ParseError`` propagates — unparseable input is exit 2, not a
+    diagnostic.
+    """
+    system = parse_dsl(text, validate=False)
+    return run_lint(system, select=select, ignore=ignore, path=path)
+
+
+def lint_file(path, select: Optional[Iterable[str]] = None,
+              ignore: Optional[Iterable[str]] = None) -> LintReport:
+    system = parse_file(path, validate=False)
+    return run_lint(system, select=select, ignore=ignore,
+                    path=str(path))

@@ -1,0 +1,145 @@
+"""Rendering lint reports: text, JSON, SARIF 2.1.0.
+
+All three renderers are deterministic functions of the report — the
+diagnostic list is already sorted canonically, dict keys are emitted
+sorted — so output is byte-stable across runs and platforms (asserted
+by ``bench_lint``'s contract check).
+
+The SARIF output targets the 2.1.0 schema consumed by code-scanning
+UIs: one run, driver ``repro-lint``, a rule descriptor per *fired*
+rule, and one result per diagnostic with physical locations (synthetic
+spans clamp to 1:1 — SARIF regions are 1-based).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..dfd.validation import Severity
+from .diagnostics import Diagnostic
+from .engine import LINT_FORMAT, LintReport
+from .rules import get_rule
+
+__all__ = ["RENDERERS", "render", "render_json", "render_sarif",
+           "render_text"]
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+
+def render_text(report: LintReport) -> str:
+    """The human-facing listing: one ``path:line:col`` line per
+    diagnostic plus a summary tally."""
+    prefix = report.path or report.model
+    lines = [f"{prefix}:{d.describe()}" for d in report.diagnostics]
+    if report.clean:
+        lines.append(f"{prefix}: clean (no findings)")
+    else:
+        lines.append(
+            f"{report.errors} error(s), {report.warnings} warning(s)")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-facing JSON (sorted keys: byte-stable)."""
+    return json.dumps(report.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _sarif_region(diagnostic: Diagnostic) -> dict:
+    # SARIF regions are 1-based; synthetic (0, 0) spans clamp to 1:1.
+    return {
+        "startLine": max(1, diagnostic.span.line),
+        "startColumn": max(1, diagnostic.span.column),
+    }
+
+
+def _sarif_location(diagnostic: Diagnostic, uri: str) -> dict:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": uri},
+            "region": _sarif_region(diagnostic),
+        }
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 for code-scanning upload."""
+    uri = report.path or "<model>"
+    fired = sorted({d.rule for d in report.diagnostics})
+    rules = []
+    for rule_id in fired:
+        rule = get_rule(rule_id)
+        descriptor = {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "properties": {"category": rule.category},
+            "defaultConfiguration": {
+                "level": _sarif_level(rule.severity)},
+        }
+        if rule.hint:
+            descriptor["help"] = {"text": rule.hint}
+        rules.append(descriptor)
+    results = []
+    for diagnostic in report.diagnostics:
+        result = {
+            "ruleId": diagnostic.rule,
+            "level": _sarif_level(diagnostic.severity),
+            "message": {"text": diagnostic.message},
+            "locations": [_sarif_location(diagnostic, uri)],
+        }
+        if diagnostic.related:
+            result["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": uri},
+                        "region": {
+                            "startLine": max(1, related.span.line),
+                            "startColumn": max(1, related.span.column),
+                        },
+                    },
+                    "message": {"text": related.note},
+                }
+                for related in diagnostic.related
+            ]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri":
+                            "https://example.invalid/repro",
+                        "version": f"{LINT_FORMAT}.0.0",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
+
+
+def render(report: LintReport, fmt: str = "text") -> str:
+    try:
+        renderer = RENDERERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown lint format {fmt!r}; expected one of: "
+            f"{', '.join(sorted(RENDERERS))}") from None
+    return renderer(report)

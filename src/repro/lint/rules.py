@@ -1,0 +1,543 @@
+"""The lint rule registry and the shipped rules.
+
+A :class:`LintRule` is a registry entry: id, category, default
+severity, a one-line summary, an optional autofix hint, and the check
+callable producing :class:`~repro.lint.diagnostics.Diagnostic` items
+from a shared :class:`LintContext`. Rules come in three tiers:
+
+``structural``
+    The migrated :mod:`repro.dfd.validation` checks. One rule per
+    legacy issue code; the checks delegate to ``validate_system`` so
+    lint stays *sound w.r.t. validation by construction* — every
+    validation finding maps to exactly one diagnostic with the same
+    code (property-tested in the suite).
+``policy``
+    Conflict analysis over the access policy: shadowed/duplicate ACL
+    entries, grants to actors outside every flow, write-only stores,
+    collection purposes that never constrain a downstream use, and
+    pseudonym renames that collide or are never read.
+``taint``
+    Semantic rules powered by the :mod:`repro.taint` closure: dead
+    grants (field granted to an actor the closure proves can never
+    obtain it) and silent disclosures (content that provably arrives
+    at an actor the policy never sanctioned — the lint-level mirror of
+    a flagged taint certificate).
+
+The context memoises the validation pass and the taint closure, so a
+full-registry run costs one of each regardless of rule count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..access import Permission
+from ..core import GenerationOptions
+from ..dfd.model import SystemModel, USER
+from ..dfd.spans import Span, SpanTable
+from ..dfd.validation import Severity, validate_system
+from ..schema import anon_name
+from .diagnostics import Diagnostic, RelatedSpan
+
+__all__ = [
+    "LintContext",
+    "LintRule",
+    "RULE_CATEGORIES",
+    "get_rule",
+    "iter_rules",
+    "register_rule",
+    "rule_ids",
+]
+
+#: The rule tiers, in severity-of-machinery order.
+RULE_CATEGORIES = ("structural", "policy", "taint")
+
+
+class LintContext:
+    """Shared, memoised analysis state for one lint run."""
+
+    def __init__(self, system: SystemModel):
+        self.system = system
+        spans = getattr(system, "spans", None)
+        self.spans: SpanTable = spans if spans is not None \
+            else SpanTable()
+        self._issues = None
+        self._taint = None
+
+    @property
+    def issues(self):
+        """The legacy validation findings (computed once)."""
+        if self._issues is None:
+            self._issues = tuple(
+                validate_system(self.system, strict=False))
+        return self._issues
+
+    @property
+    def taint(self):
+        """The whole-model taint closure: every service, potential
+        reads for every actor (computed once)."""
+        if self._taint is None:
+            from ..taint import compute_taint
+            self._taint = compute_taint(
+                self.system,
+                GenerationOptions(include_potential_reads=True))
+        return self._taint
+
+    def span(self, entity) -> Span:
+        return self.spans.get(entity)
+
+    def actors_of_subject(self, subject: str) -> Tuple[str, ...]:
+        """The registered actors an ACL subject resolves to (itself,
+        or every actor holding the role)."""
+        policy = self.system.policy
+        resolved = []
+        for actor in self.system.actors:
+            if actor == subject or \
+                    subject in policy.rbac.roles_of(actor):
+                resolved.append(actor)
+        return tuple(resolved)
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registry entry; ``check`` maps a context to diagnostics."""
+
+    id: str
+    category: str
+    severity: Severity
+    summary: str
+    check: Callable[[LintContext], List[Diagnostic]]
+    hint: Optional[str] = None
+
+    def diagnostic(self, context: LintContext, message: str,
+                   entity: Optional[tuple] = None,
+                   related: Tuple[RelatedSpan, ...] = (),
+                   severity: Optional[Severity] = None) -> Diagnostic:
+        return Diagnostic(
+            rule=self.id, category=self.category,
+            severity=severity if severity is not None else self.severity,
+            message=message, span=context.span(entity),
+            entity=tuple(entity) if entity else (),
+            related=related, hint=self.hint)
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def register_rule(rule: LintRule) -> LintRule:
+    """Add a rule to the registry (last registration wins)."""
+    if rule.category not in RULE_CATEGORIES:
+        raise ValueError(
+            f"rule category must be one of {RULE_CATEGORIES}, "
+            f"got {rule.category!r}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def get_rule(rule_id: str) -> LintRule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown lint rule {rule_id!r}; known rules: "
+            f"{', '.join(sorted(_REGISTRY))}") from None
+
+
+def iter_rules() -> Tuple[LintRule, ...]:
+    """Every registered rule, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def rule_ids() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# -- structural tier ---------------------------------------------------------
+#
+# One rule per legacy validation code; each check filters the shared
+# validation pass, so the diagnostics are the validation findings —
+# same code, same message — with spans resolved from the issue's
+# entity key.
+
+def _structural_check(code: str):
+    def check(context: LintContext) -> List[Diagnostic]:
+        rule = _REGISTRY[code]
+        return [
+            rule.diagnostic(context, issue.message,
+                            entity=issue.entity,
+                            severity=issue.severity)
+            for issue in context.issues if issue.code == code
+        ]
+    return check
+
+
+_STRUCTURAL = (
+    ("empty-model", Severity.WARNING,
+     "the system defines no services",
+     "declare at least one service"),
+    ("empty-service", Severity.ERROR,
+     "a service has no flows",
+     "add flows or remove the service"),
+    ("no-actors", Severity.ERROR,
+     "a service involves no actors",
+     "route the service's flows through at least one actor"),
+    ("unknown-node", Severity.ERROR,
+     "a flow references an undeclared node",
+     "declare the actor/datastore or fix the endpoint name"),
+    ("user-to-store", Severity.ERROR,
+     "the data subject writes a datastore directly",
+     "route the write through an actor"),
+    ("store-to-user", Severity.ERROR,
+     "a datastore flows directly to the data subject",
+     "route the read through an actor"),
+    ("field-not-in-schema", Severity.ERROR,
+     "a flow writes fields outside the datastore schema",
+     "add the fields to the schema or trim the flow"),
+    ("unreachable-flow", Severity.WARNING,
+     "a flow's source can never hold the fields it sends",
+     "add an upstream flow delivering the fields"),
+    ("policy", Severity.ERROR,
+     "the access policy references unknown subjects",
+     "declare the actor or role the ACL names"),
+    ("grant-unknown-store", Severity.ERROR,
+     "an ACL entry grants access to an unknown datastore",
+     "fix the datastore name or remove the grant"),
+    ("grant-unknown-field", Severity.ERROR,
+     "an ACL entry grants fields absent from the store schema",
+     "fix the field list or extend the schema"),
+    ("unbacked-read", Severity.WARNING,
+     "a flow reads from a store without an ACL grant",
+     "add a read grant for the flow's target actor"),
+    ("store-to-store", Severity.ERROR,
+     "a datastore flows directly into another datastore",
+     "mediate the transfer through an actor"),
+)
+
+for _code, _severity, _summary, _hint in _STRUCTURAL:
+    register_rule(LintRule(
+        id=_code, category="structural", severity=_severity,
+        summary=_summary, check=_structural_check(_code), hint=_hint))
+
+
+# -- policy-conflict tier ----------------------------------------------------
+
+def _entry_covers(earlier, later) -> bool:
+    """Does ACL entry ``earlier`` make ``later`` redundant?"""
+    if earlier.subject != later.subject or \
+            earlier.store != later.store:
+        return False
+    if not set(later.permissions) <= set(earlier.permissions):
+        return False
+    if earlier.grants_all_fields:
+        return True
+    if later.grants_all_fields:
+        return False
+    return set(later.fields) <= set(earlier.fields)
+
+
+def _check_shadowed_grant(context: LintContext) -> List[Diagnostic]:
+    rule = _REGISTRY["shadowed-grant"]
+    out: List[Diagnostic] = []
+    entries = list(context.system.policy.acl)
+    for later_index, later in enumerate(entries):
+        for earlier_index in range(later_index):
+            earlier = entries[earlier_index]
+            if not _entry_covers(earlier, later):
+                continue
+            identical = _entry_covers(later, earlier)
+            what = "duplicates" if identical else "is shadowed by"
+            out.append(rule.diagnostic(
+                context,
+                f"ACL entry #{later_index + 1} granting "
+                f"{later.subject!r} "
+                f"{', '.join(p.value for p in later.permissions)} on "
+                f"{later.store!r} {what} entry #{earlier_index + 1}",
+                entity=("grant", later_index),
+                related=(RelatedSpan(
+                    context.span(("grant", earlier_index)),
+                    f"covering entry #{earlier_index + 1}"),)))
+            break  # one report per shadowed entry is enough
+    return out
+
+
+def _check_grant_without_flow(context: LintContext) -> List[Diagnostic]:
+    rule = _REGISTRY["grant-without-flow"]
+    out: List[Diagnostic] = []
+    system = context.system
+    participants = set()
+    for service in system.services.values():
+        participants |= service.participants()
+    for index, entry in enumerate(system.policy.acl):
+        resolved = context.actors_of_subject(entry.subject)
+        if not resolved:
+            continue  # unknown subject: the `policy` rule owns it
+        if any(actor in participants for actor in resolved):
+            continue
+        actors = ", ".join(repr(a) for a in resolved)
+        out.append(rule.diagnostic(
+            context,
+            f"ACL entry #{index + 1} grants {entry.subject!r} access "
+            f"to {entry.store!r}, but "
+            f"{actors} {'takes' if len(resolved) == 1 else 'take'} "
+            "part in no flow of any service",
+            entity=("grant", index)))
+    return out
+
+
+def _check_write_only_store(context: LintContext) -> List[Diagnostic]:
+    rule = _REGISTRY["write-only-store"]
+    out: List[Diagnostic] = []
+    system = context.system
+    written = set()
+    read = set()
+    for flow in system.all_flows():
+        if flow.target in system.datastores:
+            written.add(flow.target)
+        if flow.source in system.datastores:
+            read.add(flow.source)
+    granted = {
+        entry.store for entry in system.policy.acl
+        if Permission.READ in entry.permissions
+    }
+    for name in sorted(written - read - granted):
+        out.append(rule.diagnostic(
+            context,
+            f"datastore {name!r} is written by flows but never read: "
+            "no outgoing flow and no read grant",
+            entity=("datastore", name)))
+    return out
+
+
+def _check_unused_purpose(context: LintContext) -> List[Diagnostic]:
+    rule = _REGISTRY["unused-purpose"]
+    out: List[Diagnostic] = []
+    system = context.system
+    use_purposes = {
+        flow.purpose for flow in system.all_flows()
+        if flow.source != USER and flow.purpose
+    }
+    seen = set()
+    for flow in system.all_flows():
+        if flow.source != USER or not flow.purpose:
+            continue
+        if flow.purpose in use_purposes or flow.purpose in seen:
+            continue
+        seen.add(flow.purpose)
+        out.append(rule.diagnostic(
+            context,
+            f"purpose {flow.purpose!r} is declared at collection "
+            f"({flow.describe()}) but no downstream flow ever uses "
+            "it, so it constrains nothing",
+            entity=("flow",) + flow.key))
+    return out
+
+
+def _anon_rename(store, field_name: str) -> str:
+    """The stored name of a field written into ``store`` (mirrors the
+    generator's pseudonymisation edge)."""
+    if store.anonymised and anon_name(field_name) in store.schema:
+        return anon_name(field_name)
+    return field_name
+
+
+def _check_pseudonym_collision(context: LintContext) -> List[Diagnostic]:
+    rule = _REGISTRY["pseudonym-collision"]
+    out: List[Diagnostic] = []
+    system = context.system
+    # (a) two schema fields pseudonymise the same original.
+    for schema_name in sorted(system.schemas):
+        by_original: Dict[str, List[str]] = {}
+        for field in system.schemas[schema_name]:
+            if field.anonymised_of:
+                by_original.setdefault(
+                    field.anonymised_of, []).append(field.name)
+        for original in sorted(by_original):
+            names = sorted(by_original[original])
+            if len(names) < 2:
+                continue
+            first, *rest = names
+            out.append(rule.diagnostic(
+                context,
+                f"schema {schema_name!r}: fields {names} all "
+                f"pseudonymise {original!r}; the renames collide",
+                entity=("field", schema_name, first),
+                related=tuple(
+                    RelatedSpan(
+                        context.span(("field", schema_name, name)),
+                        f"colliding pseudonym {name!r}")
+                    for name in rest)))
+    # (b) one flow writes two source fields that land on the same
+    # stored name after the pseudonymisation rename.
+    for flow in system.all_flows():
+        store = system.datastores.get(flow.target)
+        if store is None or not store.anonymised:
+            continue
+        landed: Dict[str, str] = {}
+        for field_name in flow.fields:
+            stored = _anon_rename(store, field_name)
+            other = landed.setdefault(stored, field_name)
+            if other != field_name:
+                out.append(rule.diagnostic(
+                    context,
+                    f"flow {flow.describe()}: fields {other!r} and "
+                    f"{field_name!r} both land on {stored!r} in "
+                    f"anonymised store {store.name!r}",
+                    entity=("flow",) + flow.key))
+    return out
+
+
+def _check_pseudonym_never_read(context: LintContext
+                                ) -> List[Diagnostic]:
+    rule = _REGISTRY["pseudonym-never-read"]
+    out: List[Diagnostic] = []
+    system = context.system
+    for store_name in sorted(system.datastores):
+        store = system.datastores[store_name]
+        if not store.anonymised:
+            continue
+        read_fields = set()
+        for flow in system.all_flows():
+            if flow.source == store_name:
+                read_fields |= set(flow.fields)
+        for field in store.schema:
+            if field.anonymised_of is None:
+                continue  # not a pseudonym field
+            if field.name in read_fields:
+                continue
+            if any(system.policy.is_allowed(
+                       actor, Permission.READ, store_name, field.name)
+                   for actor in system.actors):
+                continue
+            out.append(rule.diagnostic(
+                context,
+                f"pseudonymised field {field.name!r} in store "
+                f"{store_name!r} is never read: no outgoing flow "
+                "carries it and no actor holds a read grant",
+                entity=("field", store.schema.name, field.name)))
+    return out
+
+
+register_rule(LintRule(
+    id="shadowed-grant", category="policy", severity=Severity.WARNING,
+    summary="an ACL entry is fully covered by an earlier entry",
+    check=_check_shadowed_grant,
+    hint="remove the redundant grant"))
+register_rule(LintRule(
+    id="grant-without-flow", category="policy",
+    severity=Severity.WARNING,
+    summary="a grant's subject takes part in no flow of any service",
+    check=_check_grant_without_flow,
+    hint="involve the actor in a service or drop the grant"))
+register_rule(LintRule(
+    id="write-only-store", category="policy",
+    severity=Severity.WARNING,
+    summary="a datastore is written but never read",
+    check=_check_write_only_store,
+    hint="add a read flow or grant, or drop the store"))
+register_rule(LintRule(
+    id="unused-purpose", category="policy", severity=Severity.WARNING,
+    summary="a collection purpose never constrains a downstream use",
+    check=_check_unused_purpose,
+    hint="declare the purpose on the downstream flows it governs"))
+register_rule(LintRule(
+    id="pseudonym-collision", category="policy",
+    severity=Severity.WARNING,
+    summary="pseudonymisation renames collide",
+    check=_check_pseudonym_collision,
+    hint="give each pseudonym field a distinct original"))
+register_rule(LintRule(
+    id="pseudonym-never-read", category="policy",
+    severity=Severity.WARNING,
+    summary="a pseudonymised field is never read",
+    check=_check_pseudonym_never_read,
+    hint="read the pseudonym downstream or stop storing it"))
+
+
+# -- taint-powered tier ------------------------------------------------------
+
+def _check_dead_grant(context: LintContext) -> List[Diagnostic]:
+    rule = _REGISTRY["dead-grant"]
+    out: List[Diagnostic] = []
+    system = context.system
+    report = context.taint
+    if report.blockers:
+        # The closure proved nothing; stay silent rather than guess.
+        return out
+    for index, entry in enumerate(system.policy.acl):
+        if Permission.READ not in entry.permissions:
+            continue
+        store = system.datastores.get(entry.store)
+        if store is None:
+            continue  # grant-unknown-store owns it
+        resolved = [a for a in context.actors_of_subject(entry.subject)
+                    if a != USER]
+        if not resolved:
+            continue
+        if entry.grants_all_fields:
+            fields = sorted(store.field_names())
+        else:
+            fields = sorted(set(entry.fields)
+                            & set(store.field_names()))
+        dead = [
+            field_name for field_name in fields
+            if (entry.store, field_name) not in report.content_atoms
+            and not any(report.reaches(field_name, actor)
+                        for actor in resolved)
+        ]
+        if not fields or not dead:
+            continue
+        if entry.grants_all_fields and len(dead) != len(fields):
+            # A live wildcard grant with some never-arriving schema
+            # fields is ordinary over-provisioning, not a dead grant.
+            continue
+        out.append(rule.diagnostic(
+            context,
+            f"ACL entry #{index + 1} grants {entry.subject!r} read on "
+            f"{entry.store!r} fields {dead}, but the taint closure "
+            "proves the grantee can never obtain them",
+            entity=("grant", index)))
+    return out
+
+
+def _check_silent_disclosure(context: LintContext) -> List[Diagnostic]:
+    rule = _REGISTRY["silent-disclosure"]
+    out: List[Diagnostic] = []
+    system = context.system
+    report = context.taint
+    if report.blockers:
+        return out
+    for flow in system.all_flows():
+        store = system.datastores.get(flow.source)
+        if store is None or flow.target not in system.actors:
+            continue
+        silent = []
+        for field_name in flow.fields:
+            if (flow.source, field_name) not in report.content_atoms:
+                continue  # never arrives: dead modelling, not a leak
+            if system.policy.is_allowed(
+                    flow.target, Permission.READ, flow.source,
+                    field_name):
+                continue
+            silent.append(field_name)
+        if silent:
+            out.append(rule.diagnostic(
+                context,
+                f"flow {flow.describe()}: {flow.target!r} provably "
+                f"obtains {sorted(silent)} from {flow.source!r} "
+                "without any sanctioning read grant",
+                entity=("flow",) + flow.key))
+    return out
+
+
+register_rule(LintRule(
+    id="dead-grant", category="taint", severity=Severity.WARNING,
+    summary="a read grant the taint closure proves unexercisable",
+    check=_check_dead_grant,
+    hint="remove the grant or add the flows that feed the store"))
+register_rule(LintRule(
+    id="silent-disclosure", category="taint",
+    severity=Severity.WARNING,
+    summary="content provably reaches an actor with no grant",
+    check=_check_silent_disclosure,
+    hint="grant the read explicitly or cut the flow"))

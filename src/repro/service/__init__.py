@@ -52,6 +52,8 @@ from .messages import (
     CacheStatsResponse,
     InvalidModelError,
     JobStatus,
+    LintRequest,
+    LintResponse,
     ModelRef,
     NotFoundError,
     ReanalyzeRequest,
@@ -81,6 +83,8 @@ __all__ = [
     "CacheStatsResponse",
     "InvalidModelError",
     "JobStatus",
+    "LintRequest",
+    "LintResponse",
     "ModelRef",
     "NotFoundError",
     "ReanalyzeRequest",

@@ -20,6 +20,7 @@ queueing a duplicate.
 
 from __future__ import annotations
 
+import json
 import threading
 from concurrent import futures
 from dataclasses import replace
@@ -41,7 +42,8 @@ from ..engine import (
     stable_hash,
     store_report,
 )
-from ..errors import ParseError, ReproError
+from ..errors import LintError, ParseError, ReproError
+from ..lint import render_sarif, run_lint
 from .messages import (
     AnalysisRequest,
     AnalysisResponse,
@@ -49,6 +51,8 @@ from .messages import (
     CacheStatsResponse,
     InvalidModelError,
     JobStatus,
+    LintRequest,
+    LintResponse,
     ModelRef,
     NotFoundError,
     ReanalyzeRequest,
@@ -59,8 +63,16 @@ from .messages import (
     cache_stats_to_dict,
 )
 
-#: Operations an async submission may name.
+#: Operations an async submission may name. Lint is deliberately
+#: absent: it is synchronous-cheap (milliseconds per model) and its
+#: response carries no fleet-sized payload worth queueing for.
 OPS = ("analyze", "sweep", "reanalyze")
+
+
+def _lint_mode(strict_lint: bool):
+    """Map a request's ``strict_lint`` flag onto
+    :meth:`~repro.engine.runner.BatchEngine.run`'s ``lint`` mode."""
+    return "strict" if strict_lint else False
 
 
 class _JobRecord:
@@ -220,6 +232,43 @@ class AnalysisService:
         self.register_model(system)
         return system, ref.label or ref.path
 
+    def _resolve_for_lint(self, ref: ModelRef,
+                          where: str = "model"
+                          ) -> Tuple[SystemModel, str]:
+        """Resolve a model reference *without* strict validation.
+
+        Lint exists to report structurally invalid models, so this
+        path must not refuse them the way :meth:`resolve_model` does.
+        Unparseable text is still an :class:`InvalidModelError` (the
+        wire equivalent of the CLI's exit 2); invalid-but-parseable
+        models come back whole for the rules to describe. They are
+        deliberately *not* registered — the model store only holds
+        models the analysis operations would accept.
+        """
+        if ref.hash is not None:
+            with self._lock:
+                system = self._models.get(ref.hash)
+            if system is None:
+                raise NotFoundError(
+                    f"{where}: unknown model hash {ref.hash!r}; "
+                    "upload the model first")
+            return system, ref.label or ref.hash[:12]
+        if ref.text is not None:
+            text, label = ref.text, ref.label or ""
+        else:
+            try:
+                with open(ref.path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as error:
+                raise RequestError(f"{where}: {error}") from error
+            label = ref.label or ref.path
+        try:
+            system = parse_dsl(text, validate=False)
+        except ParseError as error:
+            raise InvalidModelError(
+                f"{where} does not parse: {error}") from error
+        return system, label or system.name
+
     # -- operations --------------------------------------------------------
 
     def _check_kind(self, kind: str) -> None:
@@ -240,6 +289,26 @@ class AnalysisService:
             max_level=FleetReport(batch.results).max_level().value,
             report=report)
 
+    def lint(self, request: LintRequest) -> LintResponse:
+        """Lint one model; diagnostics, tallies and SARIF in one hop.
+
+        Unlike the analysis operations, structurally invalid models
+        are the *point*: they resolve, lint and come back as ERROR
+        diagnostics rather than a 422. Only unparseable text refuses.
+        """
+        system, label = self._resolve_for_lint(request.model)
+        report = self._guard(run_lint, system, request.select,
+                             request.ignore, label)
+        return LintResponse(
+            model=report.model,
+            model_hash=model_fingerprint(system),
+            diagnostics=report.diagnostics,
+            errors=report.errors,
+            warnings=report.warnings,
+            clean=report.clean,
+            exit_code=report.exit_code(strict=request.strict),
+            sarif=json.loads(render_sarif(report)))
+
     def analyze(self, request: AnalysisRequest) -> AnalysisResponse:
         """Run one user x kind across the request's models."""
         self._check_kind(request.kind)
@@ -252,7 +321,8 @@ class AnalysisService:
                 system=system, user=user, kind=request.kind,
                 params=request.params, scenario=label,
                 family="service", variant="analyze"))
-        return self._response(self._run(jobs))
+        return self._response(self._run(
+            jobs, lint=_lint_mode(request.strict_lint)))
 
     def sweep(self, request: SweepRequest,
               include_report: bool = True) -> AnalysisResponse:
@@ -270,7 +340,8 @@ class AnalysisService:
             personas_per_scenario=request.personas)
         jobs = scenario_jobs(generator.generate(request.count),
                              kinds=request.kinds)
-        batch = self._run(jobs, screen=request.screen)
+        batch = self._run(jobs, screen=request.screen,
+                          lint=_lint_mode(request.strict_lint))
         report = FleetReport(batch.results, batch.stats).to_dict() \
             if include_report else None
         return self._response(batch, report=report)
@@ -290,9 +361,12 @@ class AnalysisService:
                             variant="reanalyze")]
         # Snapshot the baseline response *before* the incremental leg
         # runs, so its cache accounting reflects the baseline moment.
+        # Strict lint gates only the *edited* model: the baseline was
+        # already accepted, the edit is what may have broken it.
         baseline = self._response(self._run(jobs))
         outcome = self._guard(reanalyze, self.engine, before, after,
-                              jobs)
+                              jobs, False,
+                              _lint_mode(request.strict_lint))
         return ReanalyzeResponse(
             baseline=baseline,
             outcome=self._response(outcome.batch),
@@ -303,15 +377,18 @@ class AnalysisService:
             retargeted=outcome.retargeted,
             lts_seeded=outcome.lts_seeded)
 
-    def _run(self, jobs: List[AnalysisJob],
-             screen: bool = False) -> BatchResult:
-        return self._guard(self.engine.run, jobs, screen)
+    def _run(self, jobs: List[AnalysisJob], screen: bool = False,
+             lint=False) -> BatchResult:
+        return self._guard(self.engine.run, jobs, screen, lint)
 
     @staticmethod
     def _guard(operation, *args):
         """Run an engine operation, typing its failures.
 
-        Engine-level :class:`ReproError` subclasses (unknown agreed
+        A strict-lint refusal (the pre-flight rejected an ERROR-level
+        model before any cache write) becomes the same typed wire
+        error an invalid upload gets, diagnostics as issues. Other
+        engine-level :class:`ReproError` subclasses (unknown agreed
         services, impossible consent changes, ...) pass through as the
         structured errors they already are; anything else would
         surface as a traceback, so it becomes a :class:`ServiceError`
@@ -319,6 +396,11 @@ class AnalysisService:
         """
         try:
             return operation(*args)
+        except LintError as error:
+            raise InvalidModelError(
+                str(error),
+                issues=[d.describe()
+                        for d in error.diagnostics]) from error
         except (ServiceError, ReproError):
             raise
         except ValueError as error:
@@ -346,6 +428,8 @@ class AnalysisService:
                 "lts": cache_stats_to_dict(engine.lts_cache.stats),
                 "taint": cache_stats_to_dict(
                     engine.taint_cache.stats),
+                "lint": cache_stats_to_dict(
+                    engine.lint_cache.stats),
             }
         return CacheStatsResponse(cache_dir=self.cache_dir,
                                   stores=stores, live=live)

@@ -13,6 +13,7 @@ method       path                           operation
 ``POST``     ``/v1/analyze``                :class:`AnalysisRequest`
 ``POST``     ``/v1/sweep``                  :class:`SweepRequest`
 ``POST``     ``/v1/reanalyze``              :class:`ReanalyzeRequest`
+``POST``     ``/v1/lint``                   :class:`LintRequest`
 ``POST``     ``/v1/jobs``                   async submit -> job id (202)
 ``GET``      ``/v1/jobs/<id>``              poll status / fetch result
 ``GET``      ``/v1/cache/stats``            store + live cache accounting
@@ -40,6 +41,7 @@ from ..errors import ReproError
 from .facade import OPS, AnalysisService
 from .messages import (
     AnalysisRequest,
+    LintRequest,
     NotFoundError,
     ReanalyzeRequest,
     RequestError,
@@ -101,6 +103,9 @@ def route_post(service: AnalysisService, path: str,
         request = _REQUEST_TYPES[op].from_dict(payload,
                                                allow_paths=False)
         return 200, getattr(service, op)(request).to_dict()
+    if path == "/v1/lint":
+        request = LintRequest.from_dict(payload, allow_paths=False)
+        return 200, service.lint(request).to_dict()
     if path == "/v1/jobs":
         checked = check_payload(payload, {
             "op": ((str,), True, None),

@@ -336,12 +336,16 @@ class AnalysisRequest:
     user: UserSpec = dc_field(default_factory=UserSpec)
     kind: str = "disclosure"
     params: Optional[Mapping[str, Any]] = None
+    #: Run the engine's strict lint pre-flight: ERROR-level models are
+    #: refused (422) before any analysis or cache write.
+    strict_lint: bool = False
 
     FIELDS = {
         "models": ((list, tuple), True, None),
         "user": ((Mapping,), False, None),
         "kind": ((str,), False, "disclosure"),
         "params": ((Mapping,), False, None),
+        "strict_lint": ((bool,), False, False),
     }
 
     def __post_init__(self):
@@ -357,6 +361,8 @@ class AnalysisRequest:
         if self.params is not None:
             payload["params"] = {key: _jsonify(value)
                                  for key, value in self.params.items()}
+        if self.strict_lint:
+            payload["strict_lint"] = True
         return payload
 
     @classmethod
@@ -370,7 +376,8 @@ class AnalysisRequest:
         user = UserSpec.from_dict(checked["user"]) \
             if checked["user"] is not None else UserSpec()
         return cls(models=models, user=user, kind=checked["kind"],
-                   params=_canonical_params(checked["params"]))
+                   params=_canonical_params(checked["params"]),
+                   strict_lint=bool(checked["strict_lint"]))
 
 
 @dataclass(frozen=True)
@@ -394,6 +401,8 @@ class SweepRequest:
     #: Taint pre-screen: skip exact generation for models a clean
     #: certificate clears (screenable kinds only).
     screen: bool = False
+    #: Strict lint pre-flight over the generated fleet's models.
+    strict_lint: bool = False
 
     FIELDS = {
         "count": ((int,), False, 20),
@@ -401,6 +410,7 @@ class SweepRequest:
         "personas": ((int,), False, 2),
         "kinds": ((list, tuple), False, ["disclosure"]),
         "screen": ((bool,), False, False),
+        "strict_lint": ((bool,), False, False),
     }
 
     def __post_init__(self):
@@ -416,7 +426,8 @@ class SweepRequest:
     def to_dict(self) -> dict:
         return {"count": self.count, "seed": self.seed,
                 "personas": self.personas, "kinds": list(self.kinds),
-                "screen": self.screen}
+                "screen": self.screen,
+                "strict_lint": self.strict_lint}
 
     @classmethod
     def from_dict(cls, payload, allow_paths: bool = True
@@ -427,7 +438,8 @@ class SweepRequest:
                    kinds=_string_tuple(checked["kinds"],
                                        "sweep request", "kinds")
                    or ("disclosure",),
-                   screen=bool(checked["screen"]))
+                   screen=bool(checked["screen"]),
+                   strict_lint=bool(checked["strict_lint"]))
 
 
 @dataclass(frozen=True)
@@ -439,6 +451,8 @@ class ReanalyzeRequest:
     user: UserSpec = dc_field(default_factory=UserSpec)
     kind: str = "disclosure"
     params: Optional[Mapping[str, Any]] = None
+    #: Strict lint pre-flight over the edited model before re-analysis.
+    strict_lint: bool = False
 
     FIELDS = {
         "before": ((Mapping,), True, None),
@@ -446,6 +460,7 @@ class ReanalyzeRequest:
         "user": ((Mapping,), False, None),
         "kind": ((str,), False, "disclosure"),
         "params": ((Mapping,), False, None),
+        "strict_lint": ((bool,), False, False),
     }
 
     def to_dict(self) -> dict:
@@ -458,6 +473,8 @@ class ReanalyzeRequest:
         if self.params is not None:
             payload["params"] = {key: _jsonify(value)
                                  for key, value in self.params.items()}
+        if self.strict_lint:
+            payload["strict_lint"] = True
         return payload
 
     @classmethod
@@ -475,7 +492,114 @@ class ReanalyzeRequest:
                                      allow_paths=allow_paths,
                                      where="after"),
             user=user, kind=checked["kind"],
-            params=_canonical_params(checked["params"]))
+            params=_canonical_params(checked["params"]),
+            strict_lint=bool(checked["strict_lint"]))
+
+
+@dataclass(frozen=True)
+class LintRequest:
+    """Lint one model; optionally filter rules and escalate warnings.
+
+    ``select``/``ignore`` accept rule ids and category names exactly
+    like the CLI flags; ``strict`` makes any diagnostic (not just
+    ERROR) non-clean for the response's ``exit_code``.
+    """
+
+    model: ModelRef
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+    strict: bool = False
+
+    FIELDS = {
+        "model": ((Mapping,), True, None),
+        "select": ((list, tuple), False, ()),
+        "ignore": ((list, tuple), False, ()),
+        "strict": ((bool,), False, False),
+    }
+
+    def to_dict(self) -> dict:
+        payload: dict = {"model": self.model.to_dict()}
+        if self.select:
+            payload["select"] = list(self.select)
+        if self.ignore:
+            payload["ignore"] = list(self.ignore)
+        if self.strict:
+            payload["strict"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload,
+                  allow_paths: bool = True) -> "LintRequest":
+        checked = check_payload(payload, cls.FIELDS, "lint request")
+        return cls(
+            model=ModelRef.from_dict(checked["model"],
+                                     allow_paths=allow_paths,
+                                     where="model"),
+            select=_string_tuple(checked["select"], "lint request",
+                                 "select"),
+            ignore=_string_tuple(checked["ignore"], "lint request",
+                                 "ignore"),
+            strict=bool(checked["strict"]))
+
+
+@dataclass(frozen=True)
+class LintResponse:
+    """The diagnostics of one lint run, spans intact.
+
+    ``diagnostics`` are live :class:`repro.lint.Diagnostic` objects
+    (decoded responses rebuild them — rule, severity, line/column and
+    related spans survive the wire byte-identically); ``sarif`` is the
+    full SARIF 2.1.0 document for code-scanning consumers.
+    """
+
+    model: str
+    model_hash: str
+    diagnostics: tuple
+    errors: int
+    warnings: int
+    clean: bool
+    exit_code: int
+    sarif: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "model": self.model,
+            "model_hash": self.model_hash,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "clean": self.clean,
+            "exit_code": self.exit_code,
+        }
+        if self.sarif is not None:
+            payload["sarif"] = self.sarif
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload) -> "LintResponse":
+        from ..lint import Diagnostic
+        checked = check_payload(payload, {
+            "model": ((str,), True, None),
+            "model_hash": ((str,), True, None),
+            "diagnostics": ((list, tuple), True, None),
+            "errors": ((int,), True, None),
+            "warnings": ((int,), True, None),
+            "clean": ((bool,), True, None),
+            "exit_code": ((int,), True, None),
+            "sarif": ((Mapping,), False, None),
+        }, "lint response")
+        return cls(
+            model=checked["model"],
+            model_hash=checked["model_hash"],
+            diagnostics=_decoded("lint response", lambda: tuple(
+                Diagnostic.from_dict(d)
+                for d in checked["diagnostics"])),
+            errors=checked["errors"],
+            warnings=checked["warnings"],
+            clean=bool(checked["clean"]),
+            exit_code=checked["exit_code"],
+            sarif=dict(checked["sarif"])
+            if checked["sarif"] is not None else None)
 
 
 # -- result serialization -----------------------------------------------------
@@ -568,12 +692,16 @@ def stats_to_dict(stats: EngineStats) -> dict:
         "by_kind": dict(stats.by_kind),
         "screened": stats.screened,
         "screen_flagged": stats.screen_flagged,
+        "screened_by_kind": dict(stats.screened_by_kind),
+        "linted": stats.linted,
+        "lint_reuses": stats.lint_reuses,
     }
 
 
 def stats_from_dict(payload: Mapping) -> EngineStats:
     return _decoded("engine stats", lambda: EngineStats(
-        **{key: (dict(value) if key == "by_kind" else value)
+        **{key: (dict(value)
+                 if key in ("by_kind", "screened_by_kind") else value)
            for key, value in payload.items()}))
 
 

@@ -163,11 +163,13 @@ class TestDiskCacheLifecycle:
         engine.run([AnalysisJob(system=build_surgery_system(),
                                 user=surgery_patient())])
         report = store_report(cache_dir)
-        assert set(report) == {"results", "lts", "taint"}
+        assert set(report) == {"results", "lts", "taint", "lint"}
         assert report["results"]["entries"] == 1
         assert report["lts"]["bytes"] > 0
-        # The taint store only fills under run(screen=True).
+        # The taint store only fills under run(screen=True), the lint
+        # store only under run(lint=...).
         assert report["taint"]["entries"] == 0
+        assert report["lint"]["entries"] == 0
         pruned = prune_stores(cache_dir, max_bytes=0)
         assert pruned["results"].removed == 1
         assert pruned["lts"].removed == 1

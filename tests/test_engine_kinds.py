@@ -140,6 +140,88 @@ class TestPseudonymKind:
             pseudonymise=False)) is None
 
 
+class TestPseudonymScreen:
+    """ROADMAP item-4 rung: the per-kind clean predicate — pseudonym
+    jobs that are statically inapplicable skip LTS generation under
+    ``run(screen=True)`` and roll up in ``screened_by_kind``."""
+
+    def _inapplicable_job(self):
+        system = build_scaled_system(actors=3, fields=4, stores=1,
+                                     pseudonymise=False)
+        return AnalysisJob(
+            system=system,
+            user=UserProfile("u", agreed_services=["Intake"]),
+            kind="pseudonym")
+
+    def test_screen_outcome_decides_inapplicable_without_lts(self):
+        engine = BatchEngine()
+        outcome = get_kind("pseudonym").screen_outcome(
+            self._inapplicable_job(), engine.config)
+        assert outcome is not None
+        assert outcome.max_level == "none"
+        assert dict(outcome.details)["applicable"] is False
+
+    def test_screen_outcome_defers_when_applicable(self):
+        engine = BatchEngine()
+        job = AnalysisJob(system=build_research_system(),
+                          user=surgery_patient(), kind="pseudonym")
+        assert get_kind("pseudonym").screen_outcome(
+            job, engine.config) is None
+
+    def test_base_kind_never_screens_statically(self):
+        engine = BatchEngine()
+        assert AnalysisKind.screen_outcome(
+            get_kind("disclosure"), self._inapplicable_job(),
+            engine.config) is None
+
+    def test_screened_run_skips_lts_and_counts_by_kind(self):
+        engine = BatchEngine(backend="serial")
+        batch = engine.run([self._inapplicable_job()], screen=True)
+        assert batch.stats.screened == 1
+        assert batch.stats.screened_by_kind == {"pseudonym": 1}
+        assert batch.stats.lts_generations == 0
+        assert batch.stats.executed == 0
+        result = batch.results[0]
+        assert result.detail("screened") is True
+        assert result.detail("applicable") is False
+
+    def test_screened_result_matches_exact_run(self):
+        screened = BatchEngine(backend="serial").run(
+            [self._inapplicable_job()], screen=True).results[0]
+        exact = BatchEngine(backend="serial").run(
+            [self._inapplicable_job()]).results[0]
+        assert screened.max_level == exact.max_level == "none"
+        assert screened.detail("applicable") == \
+            exact.detail("applicable") is False
+
+    def test_static_screens_never_poison_the_result_cache(self):
+        engine = BatchEngine(backend="serial")
+        engine.run([self._inapplicable_job()], screen=True)
+        exact = engine.run([self._inapplicable_job()])
+        assert exact.stats.result_hits == 0
+        assert not exact.results[0].detail("screened")
+
+    def test_applicable_jobs_still_run_exactly(self):
+        job = AnalysisJob(system=build_research_system(),
+                          user=surgery_patient(), kind="pseudonym")
+        batch = BatchEngine(backend="serial").run([job], screen=True)
+        assert batch.stats.screened_by_kind.get("pseudonym", 0) == 0
+        assert batch.results[0].detail("applicable") is True
+
+    def test_stats_describe_and_wire_round_trip(self):
+        from repro.service.messages import (
+            stats_from_dict,
+            stats_to_dict,
+        )
+        engine = BatchEngine(backend="serial")
+        stats = engine.run([self._inapplicable_job()],
+                           screen=True).stats
+        clone = stats_from_dict(stats_to_dict(stats))
+        assert clone.screened_by_kind == {"pseudonym": 1}
+        assert clone.linted == stats.linted
+        assert clone.lint_reuses == stats.lint_reuses
+
+
 class TestConsentChangeKind:
     def test_default_whatif_withdraws_first_agreed_service(self):
         system = build_surgery_system()

@@ -184,6 +184,67 @@ class TestDispatchEquivalence:
             assert report.load.in_flight == 0
 
 
+class TestFleetLint:
+    """Coordinator-side strict lint: nothing crosses the wire for a
+    refused fleet, accounting matches single-node pre-flight."""
+
+    def test_clean_fleet_lints_and_proceeds(self, fleet, tmp_path):
+        _, transport = fleet
+        jobs = make_jobs()
+        outcome = make_dispatcher(transport).run(jobs, lint="strict")
+        assert list(outcome.signatures()) == \
+            single_node_signatures(tmp_path)
+        distinct = len({id(job.system) for job in jobs})
+        assert outcome.stats.engine.linted == distinct
+
+    def test_strict_refusal_before_any_dispatch(self, fleet):
+        from repro.dfd import SystemBuilder
+        from repro.engine import AnalysisJob
+        from repro.consent import UserProfile
+        from repro.errors import LintError
+        services, transport = fleet
+        bad = (SystemBuilder("bad").schema("S", ["a"]).actor("A")
+               .datastore("D", "S").service("svc")
+               .flow(1, "User", "Ghost", ["a"])
+               .build(validate=False))
+        jobs = [AnalysisJob(
+            system=bad,
+            user=UserProfile("u", agreed_services=["svc"]))]
+        with pytest.raises(LintError) as excinfo:
+            make_dispatcher(transport).run(jobs, lint="strict")
+        assert excinfo.value.diagnostics
+        # Refusal happened before the probe/dispatch phases: no
+        # worker's engine saw a job.
+        for service in services.values():
+            assert service.engine.result_cache.stats.puts == 0
+
+    def test_warn_mode_never_refuses(self, fleet):
+        from repro.dfd import SystemBuilder
+        from repro.engine import AnalysisJob
+        from repro.consent import UserProfile
+        _, transport = fleet
+        good_jobs = make_jobs(count=2, personas=1)
+        outcome = make_dispatcher(transport).run(good_jobs,
+                                                 lint="warn")
+        assert len(outcome.results) == len(good_jobs)
+        assert outcome.stats.engine.linted > 0
+
+    def test_invalid_lint_value_raises(self, fleet):
+        _, transport = fleet
+        with pytest.raises(ValueError, match="lint"):
+            make_dispatcher(transport).run([], lint="loud")
+
+    def test_sweep_strict_lint_flag_is_wired(self, fleet, tmp_path):
+        from repro.service.messages import SweepRequest
+        _, transport = fleet
+        request = SweepRequest(count=4, seed=7, personas=1,
+                               kinds=("disclosure",),
+                               strict_lint=True)
+        outcome = make_dispatcher(transport).sweep(request)
+        assert len(outcome.results) == 4
+        assert outcome.stats.engine.linted > 0
+
+
 class TestFailureHandling:
     def test_transient_drop_retries_same_worker(self, fleet,
                                                 tmp_path):

@@ -1,0 +1,97 @@
+"""Property: the lint structural tier is a faithful mirror of
+:func:`repro.dfd.validation.validate_system` — every validation issue
+(ERROR and WARNING alike) maps to exactly one lint diagnostic with the
+same rule code, severity and message, over randomly built systems that
+may or may not validate."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dfd import SystemBuilder
+from repro.dfd.validation import Severity, validate_system
+from repro.lint import run_lint
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1,
+                max_size=6)
+
+
+@st.composite
+def random_system(draw):
+    """A builder system with deliberately unconstrained wiring: flows
+    may reference unknown nodes, grants may target unknown stores or
+    fields, services may be empty — the whole validation surface."""
+    fields = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+    actors = draw(st.lists(names.map(str.title), min_size=0,
+                           max_size=3, unique=True))
+    builder = SystemBuilder(draw(names))
+    builder.schema("s", fields)
+    for actor in actors:
+        builder.actor(actor)
+    has_store = draw(st.booleans())
+    if has_store:
+        builder.datastore("store", "s")
+    # Candidate endpoints include "User", a possibly-missing store and
+    # a node name that may not exist at all.
+    nodes = ["User", "store", "ghost"] + actors
+    service_count = draw(st.integers(min_value=0, max_value=2))
+    for index in range(service_count):
+        builder.service(f"svc{index}")
+        for order in range(draw(st.integers(min_value=0,
+                                            max_value=3))):
+            source = draw(st.sampled_from(nodes))
+            target = draw(st.sampled_from(
+                [node for node in nodes if node != source]))
+            builder.flow(
+                order + 1,
+                source,
+                target,
+                draw(st.lists(st.sampled_from(fields + ["bogus"]),
+                              min_size=1, max_size=3, unique=True)),
+                purpose=draw(names))
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        builder.allow(
+            draw(st.sampled_from(nodes)),
+            draw(st.sampled_from(["read", "create", "write"])),
+            draw(st.sampled_from(["store", "ghost"])),
+            draw(st.one_of(
+                st.just(("*",)),
+                st.lists(st.sampled_from(fields + ["bogus"]),
+                         min_size=1, max_size=2, unique=True))))
+    return builder.build(validate=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_system())
+def test_structural_tier_mirrors_validate_system(system):
+    issues = validate_system(system, strict=False)
+    report = run_lint(system, select=("structural",))
+    assert sorted((i.code, i.severity.value, i.message)
+                  for i in issues) == \
+        sorted((d.rule, d.severity.value, d.message)
+               for d in report.diagnostics)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_system())
+def test_every_validation_error_has_exactly_one_diagnostic(system):
+    errors = [i for i in validate_system(system, strict=False)
+              if i.severity is Severity.ERROR]
+    report = run_lint(system)
+    lint_errors = [d for d in report.diagnostics
+                   if d.severity is Severity.ERROR]
+    # Exactly one lint diagnostic per validation ERROR, same code.
+    assert sorted(i.code for i in errors) == \
+        sorted(d.rule for d in lint_errors)
+    assert report.errors == len(errors)
+    # Strict-lint refusal aligns with strict validation: a model the
+    # engine would refuse is exactly a model with validation errors.
+    assert (report.exit_code() == 1) == bool(errors)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_system())
+def test_full_report_is_deterministic(system):
+    first = run_lint(system)
+    second = run_lint(system)
+    assert first.to_dict() == second.to_dict()
