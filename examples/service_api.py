@@ -3,28 +3,52 @@
 
 PR 1 made the method an engine; this example shows it as a *service*.
 An :class:`~repro.service.facade.AnalysisService` is wrapped in the
-stdlib threaded HTTP server (the body of ``repro serve``) and driven
-purely through ``urllib`` — the same requests any non-Python client
-would send:
+asyncio front-end (the default body of ``repro serve``) and driven
+purely through ``urllib`` and ``http.client`` — the same requests any
+non-Python client would send:
 
 1. upload the surgery model's DSL text, getting back its content hash;
 2. run a synchronous disclosure analysis for one patient;
-3. submit an asynchronous mixed-kind sweep and poll its job id;
-4. read the cache accounting, then re-run step 2 to watch the result
+3. stream a sweep as ndjson — one line per job *as it completes*,
+   then a summary line, over ``POST /v1/sweep?stream=1``;
+4. submit an asynchronous mixed-kind sweep and poll its job id;
+5. read the cache accounting, then re-run step 2 to watch the result
    come back from the shared tiered cache.
+
+The asyncio front-end takes the production knobs ``repro serve``
+exposes (all optional):
+
+- ``max_inflight`` — engine threads; concurrent requests beyond this
+  queue for a slot (the default front-end of ``repro serve
+  --max-inflight 8``);
+- ``queue_limit`` — queued requests beyond which new work is *shed*
+  with a typed 429 ``overloaded`` body instead of stalling everyone;
+- ``rate_limit``/``rate_burst`` — a global token bucket answering
+  429 ``rate_limited`` when drained (``--rate-limit``);
+- ``auth_token`` — require ``Authorization: Bearer <token>``,
+  else 401 ``unauthorized`` (``--auth-token``);
+- ``request_timeout`` — per-request deadline answering a typed 408
+  ``deadline_exceeded`` (``--request-timeout``, both front-ends).
+
+``GET /v1/health`` bypasses auth and rate limiting, so fleet
+coordinators can always probe liveness; its ``load`` block carries
+``queue_depth``/``shed_total``/``inflight_limit`` from the running
+front-end. The threaded server (``repro serve --threaded``) speaks a
+byte-identical wire contract — swap ``AsyncServerThread`` for
+``make_server`` and everything below still runs.
 
 Run with ``python examples/service_api.py``. In a second terminal the
 same server could be driven with ``curl`` — everything is plain JSON.
 """
 
+import http.client
 import json
-import threading
 import time
 import urllib.request
 
 from repro.casestudies import build_surgery_system
 from repro.dfd import to_dsl
-from repro.service import AnalysisService, make_server
+from repro.service import AnalysisService, AsyncServerThread
 
 
 def call(base, path, payload=None):
@@ -36,15 +60,30 @@ def call(base, path, payload=None):
         return json.loads(reply.read())
 
 
+def stream(host, port, path, payload):
+    """Yield decoded ndjson lines from a streaming POST."""
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        conn.request("POST", path + "?stream=1",
+                     body=json.dumps(payload).encode(),
+                     headers={"Content-Type": "application/json"})
+        reply = conn.getresponse()   # chunked framing handled for us
+        for line in reply:
+            if line.strip():
+                yield json.loads(line)
+    finally:
+        conn.close()
+
+
 def main() -> None:
     # -- 1. the server: one facade, one ephemeral port ----------------
     service = AnalysisService(backend="thread")
-    server = make_server(service, port=0)
-    threading.Thread(target=server.serve_forever, daemon=True).start()
-    host, port = server.server_address[:2]
-    base = f"http://{host}:{port}"
-    print(f"service listening on {base}")
-    print(f"health: {call(base, '/v1/health')['kinds']}\n")
+    front = AsyncServerThread(service, port=0, max_inflight=4,
+                              queue_limit=64).start()
+    base = front.base
+    print(f"service listening on {base} (asyncio front-end)")
+    health = call(base, "/v1/health")
+    print(f"health: {health['kinds']}  load: {health['load']}\n")
 
     try:
         # -- 2. upload the model by content hash -----------------------
@@ -69,7 +108,22 @@ def main() -> None:
               f"{len(result['events'])} event(s), "
               f"{result['states']} states\n")
 
-        # -- 4. an async sweep: submit, poll, fetch --------------------
+        # -- 4. a streaming sweep: results while the sweep runs --------
+        print("streaming sweep (first lines land before the last "
+              "job has run):")
+        for line in stream(front.host, front.port, "/v1/sweep",
+                           {"count": 6, "personas": 1,
+                            "kinds": ["disclosure"]}):
+            if "summary" in line:
+                summary = line["summary"]
+                print(f"  summary: {summary['stats']['jobs']} jobs, "
+                      f"max level {summary['max_level']}\n")
+            else:
+                print(f"  job {line['index']}: "
+                      f"{line['result']['max_level']:8s} "
+                      f"({line['fingerprint'][:12]}…)")
+
+        # -- 5. an async sweep: submit, poll, fetch --------------------
         submitted = call(base, "/v1/jobs", {
             "op": "sweep",
             "request": {"count": 8, "personas": 1,
@@ -94,15 +148,14 @@ def main() -> None:
         print(f"population rollup: "
               f"{report['kinds'].get('population')}\n")
 
-        # -- 5. the shared cache at work -------------------------------
+        # -- 6. the shared cache at work -------------------------------
         warm = call(base, "/v1/analyze", request)
         print(f"re-analyze from cache: "
               f"from_cache={warm['results'][0]['from_cache']}")
         stats = call(base, "/v1/cache/stats")
         print(f"live cache accounting: {stats.get('live')}")
     finally:
-        server.shutdown()
-        server.server_close()
+        front.stop()
         service.close()
     print("\nserver stopped.")
 

@@ -35,10 +35,15 @@ Subcommands mirror the method's steps over a DSL model file:
 - ``repro engine cache stats|prune --cache-dir DIR`` — inspect and
   age/size-prune the on-disk store;
 - ``repro serve --port 8787 --cache-dir DIR`` — run the HTTP/JSON
-  analysis service (see :mod:`repro.service.http`);
+  analysis service on the asyncio front-end (streaming ndjson sweeps,
+  backpressure, rate limiting, request deadlines — see
+  :mod:`repro.service.aio`); ``--threaded`` selects the original
+  thread-per-connection front-end (:mod:`repro.service.http`);
 - ``repro fleet sweep --workers host:port,host:port --count 50`` —
   shard a scenario sweep across running ``repro serve`` workers and
-  merge the answers into one fleet report (see :mod:`repro.fleet`).
+  merge the answers into one fleet report (see :mod:`repro.fleet`);
+  ``--stream`` consumes the workers' streaming endpoint so results
+  print as they complete.
 
 Every ``engine`` subcommand is a thin client of the
 :class:`~repro.service.facade.AnalysisService` facade — the same API
@@ -461,12 +466,42 @@ def _cmd_engine_cache(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .service import AnalysisService, serve
+    """Run the analysis service.
+
+    Two front-ends over one routing table:
+
+    - the **asyncio** front-end (default): streaming ndjson sweeps
+      (``POST /v1/sweep?stream=1``), bounded-executor backpressure
+      (``--max-inflight`` engine slots plus ``--queue-limit`` waiting
+      requests; beyond that, typed 429 ``overloaded``), token-bucket
+      rate limiting (``--rate-limit`` req/s, 429 ``rate_limited``),
+      bearer-token auth (``--auth-token``, 401; ``/v1/health`` stays
+      open), per-request deadlines (``--request-timeout``, typed 408)
+      and client-disconnect cancellation;
+    - the **threaded** front-end (``--threaded``): the original
+      one-thread-per-connection server, kept for comparison and as
+      the conservative fallback. It honours ``--request-timeout``
+      too, but has no backpressure/rate/auth knobs.
+
+    Both print the actually-bound port on startup (``--port 0`` binds
+    an ephemeral one) and drain in-flight requests on
+    SIGINT/SIGTERM before closing the socket.
+    """
+    from .service import AnalysisService, serve, serve_async
     service = AnalysisService(backend=args.backend,
                               workers=args.workers,
                               cache_dir=args.cache_dir)
-    return serve(service, host=args.host, port=args.port,
-                 verbose=args.verbose)
+    if args.threaded:
+        return serve(service, host=args.host, port=args.port,
+                     verbose=args.verbose,
+                     request_timeout=args.request_timeout)
+    return serve_async(service, host=args.host, port=args.port,
+                       verbose=args.verbose,
+                       max_inflight=args.max_inflight,
+                       queue_limit=args.queue_limit,
+                       rate_limit=args.rate_limit,
+                       auth_token=args.auth_token,
+                       request_timeout=args.request_timeout)
 
 
 def _cmd_fleet_sweep(args) -> int:
@@ -485,7 +520,27 @@ def _cmd_fleet_sweep(args) -> int:
                                  timeout=args.timeout,
                                  max_attempts=args.max_attempts)
     try:
-        outcome = dispatcher.sweep(request)
+        if args.stream:
+            # Results print the moment any worker answers — merging
+            # overlaps the slowest shard instead of waiting for it.
+            outcome = None
+            for event in dispatcher.sweep_stream(request):
+                if event[0] == "summary":
+                    outcome = event[1]
+                    continue
+                _, index, result = event
+                if args.json:
+                    print(json_module.dumps(
+                        {"index": index,
+                         "job_id": result.job_id,
+                         "fingerprint": result.fingerprint,
+                         "max_level": result.max_level},
+                        separators=(",", ":")), file=sys.stderr)
+                else:
+                    print(f"  {result.job_id} {result.max_level:8s} "
+                          f"{result.fingerprint[:12]}")
+        else:
+            outcome = dispatcher.sweep(request)
     finally:
         transport.close()
     stats_line = outcome.stats.describe()
@@ -762,6 +817,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "directory")
     serve.add_argument("--verbose", action="store_true",
                        help="log every request to stderr")
+    frontend = serve.add_mutually_exclusive_group()
+    frontend.add_argument("--async", dest="threaded",
+                          action="store_false",
+                          help="asyncio front-end with streaming, "
+                               "backpressure, rate limiting and "
+                               "cancellation (the default)")
+    frontend.add_argument("--threaded", dest="threaded",
+                          action="store_true",
+                          help="one-thread-per-connection front-end "
+                               "(no backpressure/rate/auth knobs)")
+    serve.set_defaults(threaded=False)
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="engine executor slots on the asyncio "
+                            "front-end (default 8)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="requests allowed to wait for a slot "
+                            "before shedding with 429 (default 64)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="token-bucket request rate in req/s "
+                            "(asyncio front-end; default unlimited)")
+    serve.add_argument("--auth-token", default=None,
+                       help="require 'Authorization: Bearer TOKEN' "
+                            "on every route except /v1/health "
+                            "(asyncio front-end)")
+    serve.add_argument("--request-timeout", type=float, default=60.0,
+                       help="per-request deadline in seconds; "
+                            "exceeding it answers a typed 408 "
+                            "(both front-ends, default 60)")
     serve.set_defaults(func=_cmd_serve)
 
     fleet = subparsers.add_parser(
@@ -799,6 +882,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_sweep.add_argument("--max-attempts", type=int, default=4,
                              help="dispatch attempts per shard before "
                                   "the run fails")
+    fleet_sweep.add_argument("--stream", action="store_true",
+                             help="consume the workers' streaming "
+                                  "sweep endpoint: print each result "
+                                  "as it completes instead of "
+                                  "waiting for the slowest shard "
+                                  "(trades retry/rebalance for "
+                                  "latency)")
     fleet_sweep.add_argument("--json", action="store_true",
                              help="emit the merged outcome as JSON")
     fleet_sweep.add_argument("-o", "--output", default=None,

@@ -35,6 +35,7 @@ from typing import (
     Dict,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -530,17 +531,24 @@ class BatchEngine:
 
     def _lint_preflight(self, jobs: Sequence[AnalysisJob],
                         stats: EngineStats,
-                        strict: bool) -> Dict[int, str]:
+                        strict: bool,
+                        model_fps: Optional[Dict[int, str]] = None
+                        ) -> Dict[int, str]:
         """Lint every distinct model in ``jobs`` before any
         fingerprinting or cache write; raise :class:`LintError` on
         ERROR-level diagnostics when ``strict``. Returns the computed
-        model fingerprints so the main loop reuses them."""
-        model_fps: Dict[int, str] = {}
+        model fingerprints so the main loop reuses them (seeded
+        entries in ``model_fps`` are trusted, but still linted)."""
+        model_fps = model_fps if model_fps is not None else {}
+        linted: set = set()
         for job in jobs:
-            if id(job.system) in model_fps:
+            if id(job.system) in linted:
                 continue
-            model_fp = model_fingerprint(job.system)
-            model_fps[id(job.system)] = model_fp
+            linted.add(id(job.system))
+            model_fp = model_fps.get(id(job.system))
+            if model_fp is None:
+                model_fp = model_fingerprint(job.system)
+                model_fps[id(job.system)] = model_fp
             diagnostics = self.lint_diagnostics(
                 job.system, model_fp=model_fp, stats=stats)
             errors = [d for d in diagnostics
@@ -587,7 +595,9 @@ class BatchEngine:
 
     def run(self, jobs: Sequence[AnalysisJob],
             screen: bool = False,
-            lint: Union[bool, str] = False) -> BatchResult:
+            lint: Union[bool, str] = False,
+            model_fps: Optional[Mapping[int, str]] = None
+            ) -> BatchResult:
         """Execute ``jobs``; results come back in submission order.
 
         With ``screen=True``, screenable kinds (disclosure) first
@@ -608,6 +618,15 @@ class BatchEngine:
         cache: ``True`` or ``"strict"`` raises :class:`LintError` on
         any ERROR-level diagnostic *before any cache write*;
         ``"warn"`` lints and counts without refusing.
+
+        ``model_fps`` optionally seeds the per-model fingerprint table
+        with already-known hashes, keyed by ``id(system)``. Callers
+        that hold models in a content-addressed store (the service
+        facade: its model hash *is* the stage-1 fingerprint) skip the
+        canonical re-serialization entirely — the dominant cost of a
+        warm single-job request. Seeded entries must describe systems
+        that have not been mutated since hashing; unknown ids are
+        simply hashed as usual.
         """
         jobs = list(jobs)
         started = time.perf_counter()
@@ -615,14 +634,15 @@ class BatchEngine:
         results: List[Optional[JobResult]] = [None] * len(jobs)
 
         # Fingerprint each job, hashing every distinct model once.
-        model_fps: Dict[int, str] = {}
+        model_fps = dict(model_fps) if model_fps else {}
         if lint:
             if lint not in (True, "strict", "warn"):
                 raise ValueError(
                     f"lint must be False, True, 'strict' or 'warn', "
                     f"got {lint!r}")
             model_fps = self._lint_preflight(
-                jobs, stats, strict=lint in (True, "strict"))
+                jobs, stats, strict=lint in (True, "strict"),
+                model_fps=model_fps)
         pending: Dict[str, List[int]] = {}
         prepared: List[Tuple[str, AnalysisJob,
                              Optional[GenerationOptions], str]] = []

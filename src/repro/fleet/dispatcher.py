@@ -29,10 +29,13 @@ request elsewhere cannot fix it.
 
 from __future__ import annotations
 
+import queue as queue_module
+import threading
 import time
 from bisect import bisect_right
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 from ..dfd import to_dsl
 from ..dfd.validation import Severity
@@ -61,6 +64,8 @@ from ..service.messages import (
     SweepRequest,
     UserSpec,
     WorkerLoad,
+    result_from_dict,
+    stats_from_dict,
 )
 from .transport import Transport, TransportError, WireError
 
@@ -305,6 +310,155 @@ class FleetDispatcher:
         return self.run(jobs, screen=request.screen,
                         lint="strict" if request.strict_lint
                         else False)
+
+    def sweep_stream(self, request: SweepRequest
+                     ) -> Iterator[Tuple]:
+        """Stream one sweep across the fleet, result by result.
+
+        Yields ``("result", index, JobResult)`` events in completion
+        order — the coordinator starts merging the moment the fastest
+        worker answers its first job, not when the slowest shard
+        finishes — then one final ``("summary", FleetOutcome)`` whose
+        results are in job order, exactly :meth:`sweep`'s shape.
+
+        Placement reuses the fingerprint ring: each worker receives
+        *one* ``SweepRequest`` carrying its ``indices`` slice of the
+        seed-determined fleet over the transport's streaming exchange
+        (``POST /v1/sweep?stream=1``), regenerates the same fleet
+        locally and streams back its slice. Coordinator-side lint and
+        taint screening run exactly as in :meth:`run` — screened jobs
+        yield immediately, before any worker answers.
+
+        Streaming trades the buffered path's retry/rebalance window
+        for latency: results already yielded cannot be recalled, so a
+        worker lost *mid-stream* fails the sweep with
+        :class:`FleetError` instead of rebalancing.
+        """
+        unknown = [kind for kind in request.kinds
+                   if kind not in kind_names()]
+        if unknown:
+            raise FleetError(
+                f"unknown analysis kind(s) {unknown}; registered: "
+                f"{sorted(kind_names())}")
+        started = self._clock()
+        generator = ScenarioGenerator(
+            seed=request.seed,
+            personas_per_scenario=request.personas)
+        jobs = scenario_jobs(generator.generate(request.count),
+                             kinds=request.kinds)
+        for index, job in enumerate(jobs):
+            job.job_id = f"job-{index:04d}"
+        selected = list(request.indices) \
+            if request.indices is not None else list(range(len(jobs)))
+        for index in selected:
+            if index >= len(jobs):
+                raise FleetError(
+                    f"sweep index {index} out of range for a "
+                    f"{len(jobs)}-job fleet")
+        stats = FleetStats(jobs=len(selected))
+        reports = {worker: WorkerReport(worker)
+                   for worker in self.workers}
+
+        if request.strict_lint:
+            self._lint([jobs[i] for i in selected], stats,
+                       strict=True)
+        screened: Dict[int, JobResult] = {}
+        if request.screen:
+            screened = {
+                index: result for index, result
+                in self._screen(jobs, stats).items()
+                if index in set(selected)}
+
+        ring = self._probe_workers(reports, stats)
+        assignments: Dict[str, List[int]] = {}
+        model_fps: Dict[int, str] = {}
+        for index in selected:
+            if index in screened:
+                continue
+            job = jobs[index]
+            model_fp = model_fps.get(id(job.system))
+            if model_fp is None:
+                model_fp = model_fingerprint(job.system)
+                model_fps[id(job.system)] = model_fp
+            worker = ring.assign(model_fp)
+            assignments.setdefault(worker, []).append(index)
+        stats.shards = len(assignments)
+
+        def generate() -> Iterator[Tuple]:
+            results: Dict[int, JobResult] = dict(screened)
+            for index in sorted(screened):
+                yield ("result", index, screened[index])
+            events: "queue_module.Queue" = queue_module.Queue()
+
+            def read(worker: str, indices: List[int]) -> None:
+                payload = replace(
+                    request, indices=tuple(indices), screen=False,
+                    strict_lint=False).to_dict()
+                try:
+                    summary = None
+                    for line in self.transport.stream(
+                            worker, "/v1/sweep", payload,
+                            timeout=self.timeout):
+                        if "summary" in line:
+                            summary = line["summary"]
+                        else:
+                            events.put(("result", worker, line))
+                    events.put(("done", worker, summary))
+                except Exception as error:  # noqa: BLE001 — relayed
+                    events.put(("error", worker, error))
+
+            for worker, indices in assignments.items():
+                reports[worker].dispatched += len(indices)
+                threading.Thread(
+                    target=read, args=(worker, indices),
+                    name=f"fleet-stream-{worker}",
+                    daemon=True).start()
+            waiting = set(assignments)
+            while waiting:
+                kind, worker, body = events.get()
+                if kind == "error":
+                    message = (f"streaming sweep failed on worker "
+                               f"{worker}: {body}")
+                    if isinstance(body, BaseException):
+                        raise FleetError(message) from body
+                    raise FleetError(message)
+                if kind == "done":
+                    waiting.discard(worker)
+                    if body and body.get("stats"):
+                        self._absorb_engine(
+                            stats.engine,
+                            stats_from_dict(body["stats"]))
+                    continue
+                index = body["index"]
+                result = result_from_dict(body["result"])
+                results[index] = result
+                reports[worker].completed += 1
+                yield ("result", index, result)
+            missing = [index for index in selected
+                       if index not in results]
+            if missing:
+                raise FleetError(
+                    f"streaming sweep finished with {len(missing)} "
+                    f"unanswered job(s), first {missing[:5]}")
+            stats.wall_time = self._clock() - started
+            merged = stats.engine
+            merged.backend = "fleet"
+            merged.jobs = len(selected)
+            merged.wall_time = stats.wall_time
+            for index in selected:
+                kind_name = jobs[index].kind
+                merged.by_kind[kind_name] = \
+                    merged.by_kind.get(kind_name, 0) + 1
+            stats.workers = tuple(reports[worker]
+                                  for worker in self.workers)
+            stats.lost_workers = tuple(
+                report.worker for report in stats.workers
+                if report.lost)
+            yield ("summary", FleetOutcome(
+                results=tuple(results[index] for index in selected),
+                stats=stats))
+
+        return generate()
 
     def run(self, jobs: Sequence[AnalysisJob], screen: bool = False,
             lint=False) -> FleetOutcome:
@@ -610,6 +764,22 @@ class FleetDispatcher:
         shard.result = response.results[0]
         reports[worker].completed += 1
         self._absorb_stats(stats.engine, response)
+
+    @staticmethod
+    def _absorb_engine(merged: EngineStats,
+                       worker_stats: EngineStats) -> None:
+        """Fold one worker's sweep-summary stats into the fleet's."""
+        merged.result_hits += worker_stats.result_hits
+        merged.executed += worker_stats.executed
+        merged.lts_generations += worker_stats.lts_generations
+        merged.lts_reuses += worker_stats.lts_reuses
+        merged.screened += worker_stats.screened
+        merged.screen_flagged += worker_stats.screen_flagged
+        merged.linted += worker_stats.linted
+        merged.lint_reuses += worker_stats.lint_reuses
+        for kind, count in worker_stats.screened_by_kind.items():
+            merged.screened_by_kind[kind] = \
+                merged.screened_by_kind.get(kind, 0) + count
 
     @staticmethod
     def _absorb_stats(merged: EngineStats,

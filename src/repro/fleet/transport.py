@@ -30,12 +30,14 @@ built on:
 
 from __future__ import annotations
 
+import http.client
 import json
 import socket
 import time
 import urllib.error
 import urllib.request
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
+                    Tuple)
 
 from ..errors import ReproError
 
@@ -73,6 +75,23 @@ class Transport:
         Raises :class:`TransportError` when the worker cannot be
         reached and :class:`WireError` when it answers an error
         payload.
+        """
+        raise NotImplementedError
+
+    def stream(self, worker: str, path: str,
+               payload: Optional[dict] = None,
+               timeout: float = 30.0) -> Iterator[dict]:
+        """One streaming POST; yields decoded ndjson line dicts.
+
+        The exchange targets the service's streaming routes
+        (``POST /v1/sweep?stream=1``): each yielded dict is one
+        result line, the last one the summary. A pre-commit refusal
+        (the worker answered an error status before streaming) and a
+        mid-stream error line both raise :class:`WireError`; a
+        connection lost mid-stream raises :class:`TransportError`.
+        Streaming trades the dispatcher's retry window for latency —
+        results already consumed cannot be un-consumed, so callers
+        treat mid-stream faults as sweep-fatal.
         """
         raise NotImplementedError
 
@@ -115,6 +134,58 @@ class HttpTransport(Transport):
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise TransportError(
                 worker, f"reply is not valid JSON: {error}") from error
+
+    def stream(self, worker: str, path: str,
+               payload: Optional[dict] = None,
+               timeout: float = 30.0) -> Iterator[dict]:
+        sep = "&" if "?" in path else "?"
+        http_request = urllib.request.Request(
+            f"{self.scheme}://{worker}{path}{sep}stream=1",
+            data=json.dumps(payload or {}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST")
+        try:
+            reply = urllib.request.urlopen(http_request,
+                                           timeout=timeout)
+        except urllib.error.HTTPError as error:
+            try:
+                decoded = json.loads(error.read().decode("utf-8"))
+                detail = decoded["error"]
+            except Exception:  # noqa: BLE001 — error-path decode
+                detail = {"code": "http_error", "message": str(error)}
+            raise WireError(worker, error.code, detail) from error
+        except (urllib.error.URLError, socket.timeout,
+                ConnectionError, OSError) as error:
+            raise TransportError(worker, str(error)) from error
+
+        def lines() -> Iterator[dict]:
+            # http.client strips the chunked framing; each read line
+            # is one ndjson record.
+            try:
+                with reply:
+                    for raw in reply:
+                        raw = raw.strip()
+                        if not raw:
+                            continue
+                        try:
+                            line = json.loads(raw.decode("utf-8"))
+                        except (UnicodeDecodeError,
+                                json.JSONDecodeError) as error:
+                            raise TransportError(
+                                worker,
+                                f"stream line is not valid JSON: "
+                                f"{error}") from error
+                        if set(line.keys()) == {"error"}:
+                            raise WireError(worker, 500,
+                                            line["error"])
+                        yield line
+            except (socket.timeout, ConnectionError,
+                    http.client.HTTPException, OSError) as error:
+                raise TransportError(
+                    worker,
+                    f"stream broken: {error}") from error
+
+        return lines()
 
 
 class LoopbackTransport(Transport):
@@ -229,3 +300,64 @@ class LoopbackTransport(Transport):
             raise WireError(worker, status,
                             body.get("error", {"code": "error"}))
         return body
+
+    def stream(self, worker: str, path: str,
+               payload: Optional[dict] = None,
+               timeout: float = 30.0) -> Iterator[dict]:
+        # Fault injection applies at connect time, like a socket:
+        # reuse the bookkeeping in :meth:`request` by inlining its
+        # preamble (the call is recorded with the stream marker).
+        self.calls.append((worker, "POST", f"{path}?stream=1"))
+        service = self.workers.get(worker)
+        if service is None:
+            raise TransportError(worker, "unknown worker")
+        if self._dead.get(worker):
+            raise TransportError(worker, "connection refused (killed)")
+        remaining = self._fail_after.get(worker)
+        if remaining is not None:
+            if remaining <= 0:
+                raise TransportError(
+                    worker, "connection refused (lost mid-sweep)")
+            self._fail_after[worker] = remaining - 1
+        pending = self._fail_next.get(worker, 0)
+        if pending > 0:
+            self._fail_next[worker] = pending - 1
+            raise TransportError(worker, "transient network drop")
+        lag = self._delay.get(worker, 0.0)
+        if lag:
+            self._sleep(lag)
+            if lag > timeout:
+                raise TransportError(
+                    worker, f"timed out after {timeout}s")
+
+        from ..service.http import route_post_stream
+        from ..service.messages import ServiceError
+
+        payload = json.loads(json.dumps(payload)) \
+            if payload is not None else {}
+        try:
+            lines = route_post_stream(service, path, payload)
+        except ServiceError as error:
+            raise WireError(worker, error.http_status,
+                            error.to_dict()["error"]) from error
+        except ReproError as error:
+            raise WireError(worker, 400, {
+                "code": "analysis_error",
+                "message": str(error)}) from error
+
+        def relay() -> Iterator[dict]:
+            try:
+                for line in lines:
+                    yield json.loads(json.dumps(line))
+            except ServiceError as error:
+                raise WireError(worker, error.http_status,
+                                error.to_dict()["error"]) from error
+            except ReproError as error:
+                # Mid-stream engine fault: the HTTP front-ends send
+                # this as a final error line, which HttpTransport
+                # surfaces as a WireError — match that here.
+                raise WireError(worker, 500, {
+                    "code": "analysis_error",
+                    "message": str(error)}) from error
+
+        return relay()

@@ -4,12 +4,16 @@ The paper's method became an engine (PRs 1-2); this package makes it a
 *service*. :class:`~repro.service.facade.AnalysisService` owns the
 batch engine, its tiered caches, the analysis-kind registry, scenario
 generation and incremental re-analysis behind a typed
-request/response API (:mod:`~repro.service.messages`), and
-:mod:`~repro.service.http` exposes that same API as a threaded
-HTTP/JSON server (``repro serve``). The CLI's ``repro engine *``
-subcommands are thin clients of the facade, so a request produces
-byte-identical result signatures whether it arrived from the command
-line, Python code or the network.
+request/response API (:mod:`~repro.service.messages`), and two
+front-ends expose that same API over HTTP/JSON through one shared
+routing table: the asyncio server (:mod:`~repro.service.aio`, the
+``repro serve`` default — streaming ndjson sweeps, backpressure with
+typed 429 shedding, request deadlines, disconnect cancellation,
+rate limiting and auth) and the threaded server
+(:mod:`~repro.service.http`, ``repro serve --threaded``). The CLI's
+``repro engine *`` subcommands are thin clients of the facade, so a
+request produces byte-identical result signatures whether it arrived
+from the command line, Python code or the network.
 
 Quickstart — in process::
 
@@ -43,24 +47,43 @@ identity discipline the result cache uses — polled via
 ``service.job_status(job_id)`` or ``GET /v1/jobs/<id>``.
 """
 
+from .aio import (
+    AsyncServerThread,
+    AsyncServiceServer,
+    TokenBucket,
+    bearer_auth,
+    serve_async,
+)
 from .facade import OPS, AnalysisService
-from .http import ServiceHTTPRequestHandler, make_server, serve
+from .http import (
+    ServiceHTTPRequestHandler,
+    make_server,
+    route_get,
+    route_post,
+    route_post_stream,
+    serve,
+    split_target,
+)
 from .messages import (
     AnalysisRequest,
     AnalysisResponse,
     CachePruneResponse,
     CacheStatsResponse,
+    DeadlineError,
     InvalidModelError,
     JobStatus,
     LintRequest,
     LintResponse,
     ModelRef,
     NotFoundError,
+    OverloadedError,
+    RateLimitedError,
     ReanalyzeRequest,
     ReanalyzeResponse,
     RequestError,
     ServiceError,
     SweepRequest,
+    UnauthorizedError,
     UserSpec,
     WorkerLoad,
     check_payload,
@@ -74,24 +97,37 @@ from .messages import (
 __all__ = [
     "OPS",
     "AnalysisService",
+    "AsyncServerThread",
+    "AsyncServiceServer",
     "ServiceHTTPRequestHandler",
+    "TokenBucket",
+    "bearer_auth",
     "make_server",
+    "route_get",
+    "route_post",
+    "route_post_stream",
     "serve",
+    "serve_async",
+    "split_target",
     "AnalysisRequest",
     "AnalysisResponse",
     "CachePruneResponse",
     "CacheStatsResponse",
+    "DeadlineError",
     "InvalidModelError",
     "JobStatus",
     "LintRequest",
     "LintResponse",
     "ModelRef",
     "NotFoundError",
+    "OverloadedError",
+    "RateLimitedError",
     "ReanalyzeRequest",
     "ReanalyzeResponse",
     "RequestError",
     "ServiceError",
     "SweepRequest",
+    "UnauthorizedError",
     "UserSpec",
     "WorkerLoad",
     "check_payload",

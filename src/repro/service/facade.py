@@ -75,6 +75,37 @@ def _lint_mode(strict_lint: bool):
     return "strict" if strict_lint else False
 
 
+def _merge_stats(merged, stats):
+    """Accumulate per-job :class:`EngineStats` for a streamed sweep.
+
+    The streaming path runs one engine batch per job; the summary
+    line must still report fleet-level accounting, so counters sum
+    and the per-kind breakdowns merge key-wise.
+    """
+    if merged is None:
+        from dataclasses import replace as dc_replace
+        return dc_replace(stats, by_kind=dict(stats.by_kind),
+                          screened_by_kind=dict(
+                              stats.screened_by_kind))
+    merged.jobs += stats.jobs
+    merged.result_hits += stats.result_hits
+    merged.executed += stats.executed
+    merged.deduplicated += stats.deduplicated
+    merged.lts_generations += stats.lts_generations
+    merged.lts_reuses += stats.lts_reuses
+    merged.wall_time += stats.wall_time
+    merged.screened += stats.screened
+    merged.screen_flagged += stats.screen_flagged
+    merged.linted += stats.linted
+    merged.lint_reuses += stats.lint_reuses
+    for kind, count in stats.by_kind.items():
+        merged.by_kind[kind] = merged.by_kind.get(kind, 0) + count
+    for kind, count in stats.screened_by_kind.items():
+        merged.screened_by_kind[kind] = \
+            merged.screened_by_kind.get(kind, 0) + count
+    return merged
+
+
 class _JobRecord:
     """Mutable backing state of one async submission."""
 
@@ -139,11 +170,24 @@ class AnalysisService:
         self._engine: Optional[BatchEngine] = None
         self._lock = threading.Lock()
         self._models: Dict[str, SystemModel] = {}
+        #: ``id(system) -> model hash`` for every *stored* system —
+        #: the store's key already is the stage-1 fingerprint, so
+        #: analysis requests seed the engine with it instead of
+        #: re-canonicalising the model on every call. Sound because
+        #: the store is append-only and holds its objects for the
+        #: facade's lifetime (ids can never be reused), and stored
+        #: models are never mutated.
+        self._model_fps: Dict[int, str] = {}
         self._job_workers = job_workers
         self._max_jobs = max_jobs
         self._jobs: Dict[str, _JobRecord] = {}
         self._executor: Optional[futures.ThreadPoolExecutor] = None
         self._closed = False
+        #: Front-end load hook: a server front-end (threaded or
+        #: asyncio) may register a callable returning its
+        #: queue/shed/limit counters, merged into the health body's
+        #: ``load`` block by :meth:`describe`.
+        self._load_provider = None
 
     # -- engine ------------------------------------------------------------
 
@@ -169,10 +213,18 @@ class AnalysisService:
     # -- the model store ---------------------------------------------------
 
     def register_model(self, system: SystemModel) -> str:
-        """Register a parsed model; returns its content hash."""
+        """Register a parsed model; returns its content hash.
+
+        Re-registering an equivalent model keeps the first-stored
+        object: in-flight requests may hold it, and the fingerprint
+        seed map is id-keyed — replacing the object would let the old
+        one be collected and its id be reused by an unrelated model.
+        """
         model_hash = model_fingerprint(system)
         with self._lock:
-            self._models[model_hash] = system
+            if model_hash not in self._models:
+                self._models[model_hash] = system
+                self._model_fps[id(system)] = model_hash
         return model_hash
 
     def upload_model(self, text: str) -> str:
@@ -221,16 +273,22 @@ class AnalysisService:
             return system, ref.label or ref.hash[:12]
         if ref.text is not None:
             system = self._parse(ref.text, where)
-            self.register_model(system)
-            return system, ref.label or system.name
+            stored = self._store_and_fetch(system)
+            return stored, ref.label or system.name
         try:
             with open(ref.path, "r", encoding="utf-8") as handle:
                 text = handle.read()
         except OSError as error:
             raise RequestError(f"{where}: {error}") from error
         system = self._parse(text, f"{where} {ref.path!r}")
-        self.register_model(system)
-        return system, ref.label or ref.path
+        return self._store_and_fetch(system), ref.label or ref.path
+
+    def _store_and_fetch(self, system: SystemModel) -> SystemModel:
+        """Register ``system`` and return the *stored* equivalent —
+        the object whose fingerprint the engine seed map knows."""
+        model_hash = self.register_model(system)
+        with self._lock:
+            return self._models[model_hash]
 
     def _resolve_for_lint(self, ref: ModelRef,
                           where: str = "model"
@@ -324,6 +382,36 @@ class AnalysisService:
         return self._response(self._run(
             jobs, lint=_lint_mode(request.strict_lint)))
 
+    def _sweep_jobs(self, request: SweepRequest):
+        """The request's job list as ``(global_index, job)`` pairs.
+
+        The fleet is a pure function of the request's seed, so every
+        caller — buffered sweep, streaming sweep, a fleet worker
+        handed an ``indices`` slice — derives the identical list and
+        the identical global job ids. Jobs are labelled by global
+        index *before* any slicing, so a worker running jobs
+        ``[3, 7]`` answers ``job-0003``/``job-0007``, byte-identical
+        to the same positions of a whole-fleet run.
+        """
+        for kind in request.kinds:
+            self._check_kind(kind)
+        generator = ScenarioGenerator(
+            seed=request.seed,
+            personas_per_scenario=request.personas)
+        jobs = scenario_jobs(generator.generate(request.count),
+                             kinds=request.kinds)
+        for index, job in enumerate(jobs):
+            if not job.job_id:
+                job.job_id = f"job-{index:04d}"
+        if request.indices is None:
+            return list(enumerate(jobs))
+        out_of_range = [i for i in request.indices if i >= len(jobs)]
+        if out_of_range:
+            raise RequestError(
+                f"sweep indices {out_of_range} out of range for a "
+                f"{len(jobs)}-job fleet")
+        return [(index, jobs[index]) for index in request.indices]
+
     def sweep(self, request: SweepRequest,
               include_report: bool = True) -> AnalysisResponse:
         """Generate a scenario fleet, analyse it, aggregate it.
@@ -333,18 +421,69 @@ class AnalysisService:
         the results (the CLI's human rendering) — aggregation is
         linear in fleet size and should not run twice.
         """
-        for kind in request.kinds:
-            self._check_kind(kind)
-        generator = ScenarioGenerator(
-            seed=request.seed,
-            personas_per_scenario=request.personas)
-        jobs = scenario_jobs(generator.generate(request.count),
-                             kinds=request.kinds)
+        jobs = [job for _, job in self._sweep_jobs(request)]
         batch = self._run(jobs, screen=request.screen,
                           lint=_lint_mode(request.strict_lint))
         report = FleetReport(batch.results, batch.stats).to_dict() \
             if include_report else None
         return self._response(batch, report=report)
+
+    def sweep_stream(self, request: SweepRequest,
+                     should_stop=None):
+        """The sweep as an ndjson-shaped line iterator.
+
+        Yields one ``{"index", "fingerprint", "result"}`` dict per
+        job *as it completes* — jobs run one at a time, so the first
+        line is on the wire before the second job has started — then
+        a final ``{"summary": ...}`` line carrying the merged
+        :class:`FleetReport`, engine stats and cache accounting the
+        buffered response would have. Result payloads decode through
+        :func:`~repro.service.messages.result_from_dict` with
+        signatures byte-identical to the buffered sweep's (job
+        fingerprints are per-job; batch size never enters them).
+
+        ``should_stop`` is the cancellation hook: a zero-argument
+        callable polled between jobs (front-ends wire it to client
+        disconnect), truthy means stop cleanly without a summary.
+        Request validation (kinds, bounds, indices) happens *before*
+        the first yield so front-ends can still answer a typed error
+        status; mid-stream failures surface as the generator's
+        exception, which front-ends turn into a final error line.
+        """
+        indexed_jobs = self._sweep_jobs(request)
+
+        def generate():
+            from .messages import result_to_dict, stats_to_dict
+            results = []
+            merged = None
+            for index, job in indexed_jobs:
+                if should_stop is not None and should_stop():
+                    return
+                batch = self._run(
+                    [job], screen=request.screen,
+                    lint=_lint_mode(request.strict_lint))
+                result = batch.results[0]
+                results.append(result)
+                merged = _merge_stats(merged, batch.stats)
+                yield {"index": index,
+                       "fingerprint": result.fingerprint,
+                       "result": result_to_dict(result)}
+            report = FleetReport(results, merged)
+            yield {"summary": {
+                "jobs": len(results),
+                "max_level": report.max_level().value,
+                "stats": stats_to_dict(merged) if merged else None,
+                "result_cache": {
+                    "hits": self.engine.result_cache.stats.hits,
+                    "misses": self.engine.result_cache.stats.misses,
+                    "puts": self.engine.result_cache.stats.puts,
+                    "evictions":
+                        self.engine.result_cache.stats.evictions,
+                },
+                "report": report.to_dict(),
+            }}
+
+        return generate()
 
     def reanalyze(self, request: ReanalyzeRequest
                   ) -> ReanalyzeResponse:
@@ -379,7 +518,10 @@ class AnalysisService:
 
     def _run(self, jobs: List[AnalysisJob], screen: bool = False,
              lint=False) -> BatchResult:
-        return self._guard(self.engine.run, jobs, screen, lint)
+        with self._lock:
+            model_fps = dict(self._model_fps)
+        return self._guard(self.engine.run, jobs, screen, lint,
+                           model_fps)
 
     @staticmethod
     def _guard(operation, *args):
@@ -572,6 +714,17 @@ class AnalysisService:
 
     # -- introspection -----------------------------------------------------
 
+    def set_load_provider(self, provider) -> None:
+        """Register the serving front-end's load hook.
+
+        ``provider`` is a zero-argument callable returning a dict of
+        front-end counters (``queue_depth``, ``shed_total``,
+        ``inflight_limit``) merged into :meth:`describe`'s ``load``
+        block — the facade itself has no work queue, the front-end
+        does. ``None`` detaches (the fields fall back to zero).
+        """
+        self._load_provider = provider
+
     def describe(self) -> dict:
         """Service health/topology snapshot (the HTTP health body).
 
@@ -605,8 +758,19 @@ class AnalysisService:
                     engine.result_cache.stats.hits if engine else 0,
                 "lts_cache_hits":
                     engine.lts_cache.stats.hits if engine else 0,
+                # Front-end half of the load picture; zeros unless a
+                # serving front-end registered its provider.
+                "queue_depth": 0,
+                "shed_total": 0,
+                "inflight_limit": 0,
             },
         }
+        provider = self._load_provider
+        if provider is not None:
+            try:
+                payload["load"].update(provider())
+            except Exception:  # noqa: BLE001 — health must answer
+                pass
         if engine is not None:
             payload["engine"] = {
                 "workers": engine.workers,

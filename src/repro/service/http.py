@@ -34,13 +34,16 @@ it by hash instead.
 from __future__ import annotations
 
 import json
+import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
+from urllib.parse import parse_qs
 
 from ..errors import ReproError
 from .facade import OPS, AnalysisService
 from .messages import (
     AnalysisRequest,
+    DeadlineError,
     LintRequest,
     NotFoundError,
     ReanalyzeRequest,
@@ -59,6 +62,26 @@ _REQUEST_TYPES = {
 
 #: Upload body cap — a DSL model is text, not a blob store.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Default per-request socket/time budget, overridable via
+#: ``repro serve --request-timeout`` on both front-ends.
+DEFAULT_REQUEST_TIMEOUT = 60.0
+
+
+def split_target(target: str) -> Tuple[str, Dict[str, list]]:
+    """An HTTP request target as ``(path, query-params)``.
+
+    The routing tables key on the bare path; query parameters carry
+    per-request serving options (today: ``stream=1``).
+    """
+    path, _, query = target.partition("?")
+    return path, parse_qs(query) if query else {}
+
+
+def wants_stream(query: Dict[str, list]) -> bool:
+    """Whether the query string opts into an ndjson streaming reply."""
+    values = query.get("stream")
+    return bool(values) and values[-1] not in ("0", "", "false")
 
 
 # -- routing -----------------------------------------------------------------
@@ -132,6 +155,32 @@ def route_post(service: AnalysisService, path: str,
     raise NotFoundError(f"no such endpoint: POST {path}")
 
 
+#: POST paths that honour ``?stream=1``.
+STREAM_ROUTES = ("/v1/sweep",)
+
+
+def route_post_stream(service: AnalysisService, path: str,
+                      payload: dict,
+                      should_stop=None) -> Iterator[dict]:
+    """Route one streaming POST; returns the ndjson line iterator.
+
+    Shared by both socket front-ends and the fleet's
+    :class:`~repro.fleet.transport.LoopbackTransport`, exactly like
+    :func:`route_post` — one routing table, no drift. Request
+    validation errors raise *before* the iterator is returned, so
+    callers can still answer a typed error status; once iteration
+    starts the response is committed and failures must travel as a
+    final error line instead.
+    """
+    if path == "/v1/sweep":
+        request = SweepRequest.from_dict(payload, allow_paths=False)
+        return service.sweep_stream(request,
+                                    should_stop=should_stop)
+    raise NotFoundError(
+        f"no streaming endpoint: POST {path} (streaming routes: "
+        f"{', '.join(STREAM_ROUTES)})")
+
+
 class ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
     """Routes the REST surface onto one shared facade instance."""
 
@@ -142,7 +191,10 @@ class ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-service"
     #: Socket timeout: a stalled client must not pin a handler thread.
-    timeout = 60
+    #: Overridden per server by ``repro serve --request-timeout``; a
+    #: timeout *mid-request* answers a typed 408 instead of silently
+    #: dropping the connection.
+    timeout = DEFAULT_REQUEST_TIMEOUT
 
     # -- plumbing ----------------------------------------------------------
 
@@ -187,6 +239,14 @@ class ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
                 f"{MAX_BODY_BYTES} bytes")
         try:
             raw = self.rfile.read(length) if length else b""
+        except socket.timeout as error:
+            # The client stalled mid-body past the request budget:
+            # answer the typed 408 the deadline contract promises
+            # instead of silently dropping the connection.
+            self.close_connection = True
+            raise DeadlineError(
+                f"request body not received within {self.timeout}s"
+            ) from error
         except OSError as error:
             # Stalled or broken client mid-body: the socket is no
             # longer usable for keep-alive, and the failure is the
@@ -223,13 +283,73 @@ class ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
             # nothing to answer, just give the connection up.
             self.close_connection = True
 
+    # -- streaming ---------------------------------------------------------
+
+    def _stream_ndjson(self, lines: Iterator[dict]) -> None:
+        """Emit one chunked ndjson line per iterator item.
+
+        The status is committed before the first line, so mid-stream
+        failures become a final ``{"error": ...}`` line. A client
+        that disconnects mid-stream surfaces as a failed chunk write;
+        the iterator is closed (``GeneratorExit`` inside the facade's
+        generator stops the remaining jobs) and the connection given
+        up.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+        def chunk(line: dict) -> None:
+            data = json.dumps(
+                line, separators=(",", ":")).encode("utf-8") + b"\n"
+            self.wfile.write(b"%x\r\n%s\r\n" % (len(data), data))
+            self.wfile.flush()
+
+        try:
+            try:
+                for line in lines:
+                    chunk(line)
+            except ServiceError as error:
+                chunk(error.to_dict())
+            except ReproError as error:
+                chunk({"error": {"code": "analysis_error",
+                                 "message": str(error)}})
+            except Exception as error:  # noqa: BLE001 — boundary
+                chunk({"error": {"code": "internal",
+                                 "message": str(error)}})
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # The client went away mid-stream: stop producing.
+            self.close_connection = True
+        finally:
+            close = getattr(lines, "close", None)
+            if close is not None:
+                close()
+
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — stdlib name
-        self._dispatch(lambda: self._route_get(self.path))
+        path, _ = split_target(self.path)
+        self._dispatch(lambda: self._route_get(path))
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib name
-        self._dispatch(lambda: self._route_post(self.path))
+        path, query = split_target(self.path)
+        if path in STREAM_ROUTES and wants_stream(query):
+            try:
+                lines = route_post_stream(self.service, path,
+                                          self._read_json())
+            except Exception:  # noqa: BLE001 — pre-stream errors
+                # Validation failed before the stream was committed:
+                # answer the same typed status a buffered request
+                # would get.
+                def refuse():
+                    raise
+                self._dispatch(refuse)
+                return
+            self._stream_ndjson(lines)
+            return
+        self._dispatch(lambda: self._route_post(path))
 
     def _route_get(self, path: str) -> Tuple[int, dict]:
         return route_get(self.service, path)
@@ -239,37 +359,61 @@ class ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
 
 
 def make_server(service: AnalysisService, host: str = "127.0.0.1",
-                port: int = 0,
-                verbose: bool = False) -> ThreadingHTTPServer:
+                port: int = 0, verbose: bool = False,
+                request_timeout: float = DEFAULT_REQUEST_TIMEOUT
+                ) -> ThreadingHTTPServer:
     """A ready-to-run threaded server bound to ``host:port``.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.server_address``) — the shape the tests and benchmarks
     use. The caller owns the lifecycle: ``serve_forever()`` /
-    ``shutdown()`` / ``server_close()``.
+    ``shutdown()`` / ``server_close()``. ``request_timeout`` is the
+    per-request socket budget; a client stalling mid-body past it
+    gets a typed 408 rather than a silent drop.
     """
     handler = type("BoundServiceHandler",
                    (ServiceHTTPRequestHandler,),
-                   {"service": service, "verbose": verbose})
+                   {"service": service, "verbose": verbose,
+                    "timeout": request_timeout})
     return ThreadingHTTPServer((host, port), handler)
 
 
 def serve(service: AnalysisService, host: str = "127.0.0.1",
           port: int = 8787, verbose: bool = False,
-          ready_message: Optional[bool] = True) -> int:
-    """Run the front-end until interrupted (the ``repro serve`` body)."""
-    server = make_server(service, host, port, verbose=verbose)
+          ready_message: Optional[bool] = True,
+          request_timeout: float = DEFAULT_REQUEST_TIMEOUT) -> int:
+    """Run the threaded front-end until interrupted (the body of
+    ``repro serve --threaded``).
+
+    SIGTERM and SIGINT both stop the accept loop; ``port=0`` binds an
+    ephemeral port and the ready message prints the *actually bound*
+    port so parallel test servers can discover their address.
+    """
+    import signal
+    import threading
+    server = make_server(service, host, port, verbose=verbose,
+                         request_timeout=request_timeout)
     bound_host, bound_port = server.server_address[:2]
     if ready_message:
         print(f"repro service listening on "
               f"http://{bound_host}:{bound_port} "
               f"(backend={service.describe()['backend']}, "
-              f"cache_dir={service.cache_dir})")
+              f"cache_dir={service.cache_dir})", flush=True)
+    previous = None
+    if threading.current_thread() is threading.main_thread():
+        # shutdown() must not run on the serve_forever thread (it
+        # deadlocks); hand it to a helper and let the signal return.
+        def on_term(signum, frame):
+            threading.Thread(target=server.shutdown,
+                             daemon=True).start()
+        previous = signal.signal(signal.SIGTERM, on_term)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
         server.server_close()
         service.close()
     return 0

@@ -83,6 +83,42 @@ class NotFoundError(ServiceError):
     http_status = 404
 
 
+class UnauthorizedError(ServiceError):
+    """The request failed the front-end's auth hook."""
+
+    code = "unauthorized"
+    http_status = 401
+
+
+class DeadlineError(ServiceError):
+    """The request exceeded the front-end's time budget."""
+
+    code = "deadline_exceeded"
+    http_status = 408
+
+
+class RateLimitedError(ServiceError):
+    """The front-end's token bucket refused the request.
+
+    Retryable by the caller after a pause — the request itself is
+    fine, the *rate* is not.
+    """
+
+    code = "rate_limited"
+    http_status = 429
+
+
+class OverloadedError(ServiceError):
+    """The front-end shed the request: its work queue is full.
+
+    Distinct from :class:`RateLimitedError` so clients can tell
+    policy (slow down) from capacity (back off or go elsewhere).
+    """
+
+    code = "overloaded"
+    http_status = 429
+
+
 # -- declarative payload validation ------------------------------------------
 
 #: One field spec: (accepted types, required, default).
@@ -387,6 +423,16 @@ class SweepRequest:
     ``count``/``personas`` are bounded: the request is wire-reachable
     and one call must not be able to queue an arbitrarily large
     fleet against the serving process.
+
+    ``indices`` optionally restricts execution to a subset of the
+    generated job list (positions into the deterministic
+    ``scenario_jobs`` flattening of the fleet). The full fleet is
+    still generated — it is a pure function of the seed — but only
+    the named jobs run, keeping their *global* indices on the wire.
+    This is the shard contract of the fleet coordinator's streaming
+    sweep: every worker regenerates the same fleet and analyses a
+    disjoint slice. ``indices=None`` (the default) runs everything
+    and keeps the pre-existing wire shape byte-identical.
     """
 
     #: Largest fleet one sweep request may generate.
@@ -403,6 +449,9 @@ class SweepRequest:
     screen: bool = False
     #: Strict lint pre-flight over the generated fleet's models.
     strict_lint: bool = False
+    #: Optional job-index slice of the generated fleet (sorted,
+    #: deduplicated); ``None`` means the whole fleet.
+    indices: Optional[Tuple[int, ...]] = None
 
     FIELDS = {
         "count": ((int,), False, 20),
@@ -411,6 +460,7 @@ class SweepRequest:
         "kinds": ((list, tuple), False, ["disclosure"]),
         "screen": ((bool,), False, False),
         "strict_lint": ((bool,), False, False),
+        "indices": ((list, tuple), False, None),
     }
 
     def __post_init__(self):
@@ -422,12 +472,27 @@ class SweepRequest:
             raise RequestError(
                 f"sweep personas must be in [1, {self.MAX_PERSONAS}], "
                 f"got {self.personas}")
+        if self.indices is not None:
+            cleaned = []
+            for value in self.indices:
+                if isinstance(value, bool) or \
+                        not isinstance(value, int) or value < 0:
+                    raise RequestError(
+                        "sweep indices must be non-negative "
+                        f"integers, got {value!r}")
+                cleaned.append(value)
+            object.__setattr__(self, "indices",
+                               tuple(sorted(set(cleaned))))
 
     def to_dict(self) -> dict:
-        return {"count": self.count, "seed": self.seed,
-                "personas": self.personas, "kinds": list(self.kinds),
-                "screen": self.screen,
-                "strict_lint": self.strict_lint}
+        payload = {"count": self.count, "seed": self.seed,
+                   "personas": self.personas,
+                   "kinds": list(self.kinds),
+                   "screen": self.screen,
+                   "strict_lint": self.strict_lint}
+        if self.indices is not None:
+            payload["indices"] = list(self.indices)
+        return payload
 
     @classmethod
     def from_dict(cls, payload, allow_paths: bool = True
@@ -439,7 +504,9 @@ class SweepRequest:
                                        "sweep request", "kinds")
                    or ("disclosure",),
                    screen=bool(checked["screen"]),
-                   strict_lint=bool(checked["strict_lint"]))
+                   strict_lint=bool(checked["strict_lint"]),
+                   indices=tuple(checked["indices"])
+                   if checked["indices"] is not None else None)
 
 
 @dataclass(frozen=True)
@@ -892,6 +959,12 @@ class WorkerLoad:
     dispatcher ranks candidate workers by ``in_flight`` and watches
     ``occupancy`` for saturation. Absent fields default to zero so a
     coordinator can still drive a pre-fleet worker.
+
+    ``queue_depth``/``shed_total``/``inflight_limit`` are the
+    front-end half of the picture (requests waiting for an executor
+    slot, 429s shed so far, and the configured concurrency cap);
+    the threaded front-end, which has no bounded queue, reports all
+    three as zero. Every pre-existing field keeps its exact shape.
     """
 
     in_flight: int = 0
@@ -900,6 +973,9 @@ class WorkerLoad:
     occupancy: float = 0.0
     result_cache_hits: int = 0
     lts_cache_hits: int = 0
+    queue_depth: int = 0
+    shed_total: int = 0
+    inflight_limit: int = 0
 
     FIELDS = {
         "in_flight": ((int,), False, 0),
@@ -908,6 +984,9 @@ class WorkerLoad:
         "occupancy": ((int, float), False, 0.0),
         "result_cache_hits": ((int,), False, 0),
         "lts_cache_hits": ((int,), False, 0),
+        "queue_depth": ((int,), False, 0),
+        "shed_total": ((int,), False, 0),
+        "inflight_limit": ((int,), False, 0),
     }
 
     def to_dict(self) -> dict:
@@ -916,7 +995,10 @@ class WorkerLoad:
                 "max_jobs": self.max_jobs,
                 "occupancy": self.occupancy,
                 "result_cache_hits": self.result_cache_hits,
-                "lts_cache_hits": self.lts_cache_hits}
+                "lts_cache_hits": self.lts_cache_hits,
+                "queue_depth": self.queue_depth,
+                "shed_total": self.shed_total,
+                "inflight_limit": self.inflight_limit}
 
     @classmethod
     def from_health(cls, payload) -> "WorkerLoad":

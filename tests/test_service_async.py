@@ -1,0 +1,547 @@
+"""The asyncio front-end: parity with the threaded server, streaming,
+backpressure, cancellation, auth, rate limiting and deadlines.
+
+The centrepiece is a property test driving *identical* request
+streams through a live threaded server and a live asyncio server
+backed by equally-configured facades, asserting byte-identical
+response payloads (after normalising wall-clock fields — ``duration``
+and friends genuinely differ between two independent runs) and
+identical :meth:`JobResult.signature` tuples on every ``/v1/*``
+route. Both servers see every example's requests in the same order,
+so their cache states stay in lockstep across the whole run.
+"""
+
+import http.client
+import json
+import re
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service import (
+    AnalysisResponse,
+    AnalysisService,
+    AsyncServerThread,
+    TokenBucket,
+    WorkerLoad,
+    make_server,
+)
+
+MODEL = """
+system demo {
+  schema S {
+    field name: string kind identifier
+    field issue: string kind sensitive
+  }
+  actor Doctor
+  actor Auditor
+  datastore Records schema S
+  service Consult {
+    flow 1 User -> Doctor fields [name, issue] purpose "consult"
+    flow 2 Doctor -> Records fields [name, issue] purpose "record"
+  }
+  acl {
+    allow Doctor read, create on Records
+    allow Auditor read on Records
+  }
+}
+"""
+
+MODEL_B = """
+system clinic {
+  schema S {
+    field email: string kind identifier
+    field notes: string kind sensitive
+  }
+  actor Nurse
+  datastore Charts schema S
+  service Intake {
+    flow 1 User -> Nurse fields [email, notes] purpose "intake"
+    flow 2 Nurse -> Charts fields [email, notes] purpose "file"
+  }
+  acl {
+    allow Nurse read, create on Charts
+  }
+}
+"""
+
+USER = {"agree": ["Consult"], "sensitivities": {"issue": "high"}}
+
+#: Wall-clock fields that honestly differ between two runs of the
+#: same work, plus the load fields only a serving front-end fills in.
+VOLATILE = ("duration", "wall_time", "oldest_age", "newest_age",
+            "queue_depth", "shed_total", "inflight_limit")
+_VOLATILE_RE = re.compile(
+    r'"(%s)":\s*-?[0-9.e+-]+' % "|".join(VOLATILE))
+
+
+def normalize(body: bytes) -> str:
+    return _VOLATILE_RE.sub(r'"\1": 0', body.decode("utf-8"))
+
+
+def call(base, path, payload=None, method=None, headers=None):
+    """One JSON exchange; ``(status, raw body bytes)``."""
+    data = json.dumps(payload).encode() if payload is not None \
+        else None
+    request = urllib.request.Request(
+        base + path, data=data,
+        method=method or ("POST" if data is not None else "GET"),
+        headers={"Content-Type": "application/json",
+                 **(headers or {})})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            return reply.status, reply.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+@pytest.fixture
+def async_server():
+    service = AnalysisService(backend="thread")
+    front = AsyncServerThread(service).start()
+    yield front.base, service, front
+    front.stop()
+    service.close()
+
+
+# -- parity: one request stream, two front-ends --------------------------------
+
+# Each op is (path, payload) — POST when payload is not None. The
+# pool walks every wire route except the async job table (its
+# queued/running snapshots race wall-clock, covered deterministically
+# below).
+OPS = st.lists(
+    st.one_of(
+        st.just(("/v1/models", {"text": MODEL})),
+        st.just(("/v1/models", {"text": MODEL_B})),
+        st.just(("/v1/models", None)),
+        st.just(("/v1/health", None)),
+        st.just(("/v1/kinds", None)),
+        st.just(("/v1/cache/stats", None)),
+        st.builds(
+            lambda level: ("/v1/analyze", {
+                "models": [{"text": MODEL}],
+                "user": {"agree": ["Consult"],
+                         "sensitivities": {"issue": level}}}),
+            st.sampled_from(["low", "medium", "high"])),
+        st.builds(
+            lambda seed, count, screen: ("/v1/sweep", {
+                "seed": seed, "count": count, "screen": screen}),
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=1, max_value=2),
+            st.booleans()),
+        st.builds(
+            lambda seed: ("/v1/sweep", {
+                "seed": seed, "count": 2, "indices": [0, 2]}),
+            st.integers(min_value=0, max_value=1)),
+        st.just(("/v1/lint", {"models": [{"text": MODEL}]})),
+        st.just(("/v1/nope", None)),            # GET 404
+        st.just(("/v1/nope", {})),              # POST 404
+        st.just(("/v1/models", {"wrong": 1})),  # typed 400
+        st.just(("/v1/sweep", {"count": -4})),  # refused request
+    ),
+    min_size=1, max_size=6)
+
+
+class TestFrontEndParity:
+    """Identical request streams answer identically on both fronts."""
+
+    @classmethod
+    def setup_class(cls):
+        cls.threaded_service = AnalysisService(backend="thread")
+        cls.httpd = make_server(cls.threaded_service, port=0)
+        cls.thread = threading.Thread(
+            target=cls.httpd.serve_forever, daemon=True)
+        cls.thread.start()
+        host, port = cls.httpd.server_address[:2]
+        cls.threaded_base = f"http://{host}:{port}"
+        cls.async_service = AnalysisService(backend="thread")
+        cls.front = AsyncServerThread(cls.async_service).start()
+        cls.async_base = cls.front.base
+
+    @classmethod
+    def teardown_class(cls):
+        cls.httpd.shutdown()
+        cls.httpd.server_close()
+        cls.threaded_service.close()
+        cls.thread.join(timeout=5)
+        cls.front.stop()
+        cls.async_service.close()
+
+    @given(ops=OPS)
+    @settings(max_examples=25, deadline=None)
+    def test_byte_identical_responses(self, ops):
+        for path, payload in ops:
+            t_status, t_body = call(self.threaded_base, path, payload)
+            a_status, a_body = call(self.async_base, path, payload)
+            assert t_status == a_status, (path, payload)
+            assert normalize(t_body) == normalize(a_body), \
+                (path, payload)
+            if t_status == 200 and path in ("/v1/analyze",
+                                            "/v1/sweep"):
+                t_sigs = AnalysisResponse.from_dict(
+                    json.loads(t_body)).signatures()
+                a_sigs = AnalysisResponse.from_dict(
+                    json.loads(a_body)).signatures()
+                assert t_sigs == a_sigs
+
+
+def test_async_job_routes_round_trip(async_server):
+    """The async job table behaves identically once jobs settle."""
+    base, service, _ = async_server
+    status, body = call(base, "/v1/jobs", {
+        "op": "analyze",
+        "request": {"models": [{"text": MODEL}], "user": USER}})
+    assert status == 202
+    job_id = json.loads(body)["job_id"]
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        status, body = call(base, f"/v1/jobs/{job_id}")
+        assert status == 200
+        record = json.loads(body)
+        if record["status"] == "done":
+            break
+        time.sleep(0.02)
+    assert record["status"] == "done"
+    direct = service.job_status(job_id).to_dict()
+    assert normalize(json.dumps(direct).encode()) == \
+        normalize(json.dumps(record).encode())
+
+
+# -- streaming -----------------------------------------------------------------
+
+def test_stream_emits_first_line_before_last_job_runs(tmp_path):
+    """The laziness pin: pulling one ndjson line runs one job, not
+    the fleet — streaming starts before the sweep finishes."""
+    from repro.service import SweepRequest
+    service = AnalysisService(backend="serial")
+    try:
+        executed = []
+        original = service._run
+
+        def counting_run(jobs, **kwargs):
+            executed.extend(jobs)
+            return original(jobs, **kwargs)
+
+        service._run = counting_run
+        lines = service.sweep_stream(SweepRequest(seed=5, count=6))
+        first = next(lines)
+        assert set(first) == {"index", "fingerprint", "result"}
+        assert first["index"] == 0
+        assert 0 < len(executed) < 6
+        lines.close()
+    finally:
+        service.close()
+
+
+def test_stream_over_http_matches_buffered_sweep(async_server):
+    base, service, _ = async_server
+    sweep = {"seed": 9, "count": 4}
+    status, buffered = call(base, "/v1/sweep", sweep)
+    assert status == 200
+    buffered = json.loads(buffered)
+
+    request = urllib.request.Request(
+        base + "/v1/sweep?stream=1",
+        data=json.dumps(sweep).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=30) as reply:
+        assert reply.status == 200
+        assert reply.headers["Content-Type"] == \
+            "application/x-ndjson"
+        lines = [json.loads(line) for line in reply if line.strip()]
+    summary = lines[-1]["summary"]
+    results = [line for line in lines[:-1]]
+    assert [line["index"] for line in results] == \
+        list(range(len(results)))
+    assert summary["jobs"] == len(results)
+    assert summary["max_level"] == buffered["max_level"]
+    streamed_fps = [line["result"]["fingerprint"]
+                    for line in results]
+    buffered_fps = [result["fingerprint"]
+                    for result in buffered["results"]]
+    assert streamed_fps == buffered_fps
+
+
+def test_stream_mid_disconnect_stops_jobs(async_server):
+    base, service, front = async_server
+    executed = []
+    original = service._run
+
+    def slow_run(jobs, **kwargs):
+        executed.extend(jobs)
+        time.sleep(0.05)
+        return original(jobs, **kwargs)
+
+    service._run = slow_run
+    conn = http.client.HTTPConnection(front.host, front.port)
+    conn.request("POST", "/v1/sweep?stream=1",
+                 json.dumps({"seed": 3, "count": 10}),
+                 {"Content-Type": "application/json"})
+    reply = conn.getresponse()
+    first = json.loads(reply.readline())
+    assert first["index"] == 0
+    conn.close()                      # walk away mid-stream
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline and \
+            front.server.cancelled_total == 0:
+        time.sleep(0.02)
+    assert front.server.cancelled_total == 1
+    settled = len(executed)
+    time.sleep(0.3)                   # would keep growing if alive
+    assert len(executed) == settled
+    assert len(executed) < 20         # 10 scenarios x 1 kind x ...
+
+
+def test_threaded_stream_matches_async_stream():
+    """The threaded front-end speaks the same streaming wire."""
+    def collect(base):
+        request = urllib.request.Request(
+            base + "/v1/sweep?stream=1",
+            data=json.dumps({"seed": 2, "count": 3}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST")
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            assert reply.headers["Content-Type"] == \
+                "application/x-ndjson"
+            return [normalize(line) for line in reply if line.strip()]
+
+    t_service = AnalysisService(backend="thread")
+    httpd = make_server(t_service, port=0)
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+    a_service = AnalysisService(backend="thread")
+    front = AsyncServerThread(a_service).start()
+    try:
+        threaded = collect("http://%s:%s" % httpd.server_address[:2])
+        asynced = collect(front.base)
+        assert threaded == asynced
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        t_service.close()
+        front.stop()
+        a_service.close()
+
+
+# -- backpressure, rate limiting, auth, deadlines ------------------------------
+
+class SlowSweepService(AnalysisService):
+    """A facade whose sweeps dwell long enough to observe queueing."""
+
+    dwell = 0.4
+
+    def sweep(self, request):
+        time.sleep(self.dwell)
+        return super().sweep(request)
+
+
+def test_shedding_answers_typed_429():
+    service = SlowSweepService(backend="serial")
+    front = AsyncServerThread(service, max_inflight=1,
+                              queue_limit=0).start()
+    try:
+        outcomes = []
+
+        def fire(seed):
+            status, body = call(front.base, "/v1/sweep",
+                                {"seed": seed, "count": 1})
+            outcomes.append(
+                (status,
+                 json.loads(body).get("error", {}).get("code")))
+
+        threads = [threading.Thread(target=fire, args=(seed,))
+                   for seed in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        shed = [outcome for outcome in outcomes
+                if outcome == (429, "overloaded")]
+        served = [outcome for outcome in outcomes
+                  if outcome[0] == 200]
+        assert served and shed
+        assert len(served) + len(shed) == 5
+        # The health body exposes the shed accounting.
+        _, health = call(front.base, "/v1/health")
+        load = WorkerLoad.from_health(json.loads(health))
+        assert load.shed_total == len(shed)
+        assert load.inflight_limit == 1
+    finally:
+        front.stop()
+        service.close()
+
+
+def test_rate_limit_answers_typed_429_and_health_is_exempt():
+    service = AnalysisService(backend="serial")
+    front = AsyncServerThread(service, rate_limit=1,
+                              rate_burst=2).start()
+    try:
+        codes = [call(front.base, "/v1/kinds")[0] for _ in range(5)]
+        assert codes.count(200) == 2
+        assert codes.count(429) == 3
+        status, body = call(front.base, "/v1/models", {})
+        assert (status,
+                json.loads(body)["error"]["code"]) == \
+            (429, "rate_limited")
+        assert call(front.base, "/v1/health")[0] == 200
+    finally:
+        front.stop()
+        service.close()
+
+
+def test_auth_hook_answers_401_and_health_is_exempt():
+    service = AnalysisService(backend="serial")
+    front = AsyncServerThread(service, auth_token="hunter2").start()
+    try:
+        status, body = call(front.base, "/v1/models", {"text": MODEL})
+        assert (status,
+                json.loads(body)["error"]["code"]) == \
+            (401, "unauthorized")
+        assert call(front.base, "/v1/kinds")[0] == 401
+        assert call(front.base, "/v1/health")[0] == 200
+        status, _ = call(front.base, "/v1/models", {"text": MODEL},
+                         headers={"Authorization": "Bearer hunter2"})
+        assert status == 201
+    finally:
+        front.stop()
+        service.close()
+
+
+def test_request_deadline_answers_typed_408():
+    service = SlowSweepService(backend="serial")
+    front = AsyncServerThread(service, request_timeout=0.1).start()
+    try:
+        status, body = call(front.base, "/v1/sweep",
+                            {"seed": 1, "count": 1})
+        assert status == 408
+        assert json.loads(body)["error"]["code"] == \
+            "deadline_exceeded"
+        assert front.server.timeouts_total == 1
+    finally:
+        front.stop()
+        service.close()
+
+
+def test_threaded_request_timeout_answers_typed_408():
+    """The threaded front-end honours --request-timeout too: a body
+    that never arrives answers 408, not a silent drop."""
+    service = AnalysisService(backend="serial")
+    httpd = make_server(service, port=0, request_timeout=0.2)
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+    host, port = httpd.server_address[:2]
+    try:
+        raw = socket.create_connection((host, port), timeout=10)
+        raw.sendall(b"POST /v1/sweep HTTP/1.1\r\n"
+                    b"Host: x\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: 100\r\n\r\n{")  # ...stall
+        # Head and body may land in separate segments under load.
+        buffered = b""
+        while b"deadline_exceeded" not in buffered:
+            data = raw.recv(65536)
+            if not data:
+                break
+            buffered += data
+        reply = buffered.decode()
+        raw.close()
+        assert "408" in reply.splitlines()[0]
+        assert "deadline_exceeded" in reply
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.close()
+
+
+def test_disconnect_cancels_queued_work():
+    ran = []
+
+    class TrackingService(AnalysisService):
+        def sweep(self, request):
+            ran.append(request.seed)
+            time.sleep(0.3)
+            return super().sweep(request)
+
+    service = TrackingService(backend="serial")
+    front = AsyncServerThread(service, max_inflight=1,
+                              queue_limit=8).start()
+    try:
+        first = http.client.HTTPConnection(front.host, front.port)
+        first.request("POST", "/v1/sweep",
+                      json.dumps({"seed": 1, "count": 1}),
+                      {"Content-Type": "application/json"})
+        time.sleep(0.05)              # occupies the only slot
+        second = http.client.HTTPConnection(front.host, front.port)
+        second.request("POST", "/v1/sweep",
+                       json.dumps({"seed": 2, "count": 1}),
+                       {"Content-Type": "application/json"})
+        time.sleep(0.05)              # now queued behind the first
+        second.close()                # ...and abandoned
+        reply = first.getresponse()
+        assert reply.status == 200
+        reply.read()
+        first.close()
+        time.sleep(0.5)
+        assert ran == [1]             # the abandoned sweep never ran
+        assert front.server.cancelled_total == 1
+    finally:
+        front.stop()
+        service.close()
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+def test_graceful_shutdown_drains_in_flight_requests():
+    service = SlowSweepService(backend="serial")
+    service.dwell = 0.3
+    front = AsyncServerThread(service).start()
+    outcome = {}
+
+    def fire():
+        outcome["reply"] = call(front.base, "/v1/sweep",
+                                {"seed": 4, "count": 1})
+
+    worker = threading.Thread(target=fire)
+    worker.start()
+    time.sleep(0.1)                   # request is on the executor
+    front.stop(drain=True)            # must not cut it off
+    worker.join(timeout=10)
+    assert outcome["reply"][0] == 200
+
+
+def test_port_zero_binds_ephemeral_port_and_reports_it():
+    service = AnalysisService(backend="serial")
+    front = AsyncServerThread(service, port=0).start()
+    try:
+        assert front.port > 0
+        assert call(front.base, "/v1/health")[0] == 200
+    finally:
+        front.stop()
+        service.close()
+
+
+def test_health_decodes_front_end_load_fields(async_server):
+    base, _, front = async_server
+    _, body = call(base, "/v1/health")
+    health = json.loads(body)
+    load = WorkerLoad.from_health(health)
+    assert load.inflight_limit == front.server.max_inflight
+    assert load.to_dict() == health["load"]
+
+
+# -- token bucket --------------------------------------------------------------
+
+def test_token_bucket_refills_at_rate():
+    now = [0.0]
+    bucket = TokenBucket(rate=2, burst=2, clock=lambda: now[0])
+    assert bucket.try_take() and bucket.try_take()
+    assert not bucket.try_take()
+    now[0] += 0.5                     # half a second: one token back
+    assert bucket.try_take()
+    assert not bucket.try_take()
+    now[0] += 10.0                    # refill clamps at burst
+    assert bucket.try_take() and bucket.try_take()
+    assert not bucket.try_take()
